@@ -1,0 +1,372 @@
+// windim_cli - dimension, evaluate and simulate window flow control for
+// a network described in the text spec format (see src/cli/spec.h).
+//
+//   windim_cli dimension <spec-file> [--evaluator=NAME] [--max-window=N]
+//                        [--objective=power|gpower=A|delaycap=T] [--csv]
+//   windim_cli evaluate  <spec-file> E1 E2 ... [--evaluator=NAME]
+//   windim_cli simulate  <spec-file> E1 E2 ... [--time=S] [--seed=N]
+//                        [--buffers=K] [--permits=P] [--reverse-acks]
+//                        [--reps=N]
+//   windim_cli sweep     <spec-file> [--loads=0.5,1,1.5,2] [--evaluator=..]
+//   windim_cli capacity  <spec-file> --budget=KBPS [--rule=sqrt|prop]
+//
+// Evaluator names: heuristic (default), exact-mva, convolution,
+// semiclosed, linearizer.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/spec.h"
+#include "sim/msgnet_sim.h"
+#include "sim/replicate.h"
+#include "util/table.h"
+#include "windim/windim.h"
+
+namespace {
+
+using namespace windim;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  windim_cli dimension <spec> [--evaluator=NAME] [--max-window=N]\n"
+      "                       [--objective=power|gpower=A|delaycap=T] "
+      "[--csv]\n"
+      "  windim_cli evaluate  <spec> E1 E2 ... [--evaluator=NAME]\n"
+      "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
+      "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
+      "                       [--reps=N]\n"
+      "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--evaluator=X]\n"
+      "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
+      "evaluators: heuristic exact-mva convolution semiclosed linearizer\n");
+  return 2;
+}
+
+std::optional<core::Evaluator> evaluator_by_name(const std::string& name) {
+  if (name == "heuristic") return core::Evaluator::kHeuristicMva;
+  if (name == "exact-mva") return core::Evaluator::kExactMva;
+  if (name == "convolution") return core::Evaluator::kConvolution;
+  if (name == "semiclosed") return core::Evaluator::kSemiclosed;
+  if (name == "linearizer") return core::Evaluator::kLinearizer;
+  return std::nullopt;
+}
+
+/// "--key=value" matcher; returns the value part.
+std::optional<std::string> flag_value(const std::string& arg,
+                                      const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  return std::nullopt;
+}
+
+std::optional<cli::NetworkSpec> load_spec(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path);
+    return std::nullopt;
+  }
+  try {
+    return cli::parse_network_spec(in);
+  } catch (const cli::SpecError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path, e.what());
+    return std::nullopt;
+  }
+}
+
+void print_evaluation(const core::Evaluation& ev,
+                      const std::vector<net::TrafficClass>& classes) {
+  std::printf("windows:    %s\n", util::format_window(ev.windows).c_str());
+  std::printf("throughput: %.3f msg/s\n", ev.throughput);
+  std::printf("delay:      %.4f s\n", ev.mean_delay);
+  std::printf("power:      %.2f\n", ev.power);
+  for (std::size_t r = 0; r < classes.size(); ++r) {
+    std::printf("  %-12s window %d  throughput %8.3f msg/s  delay %7.2f ms\n",
+                classes[r].name.c_str(), ev.windows[r],
+                ev.class_throughput[r], ev.class_delay[r] * 1000.0);
+  }
+}
+
+int cmd_dimension(const cli::NetworkSpec& spec,
+                  const std::vector<std::string>& args) {
+  core::DimensionOptions options;
+  bool csv = false;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "evaluator")) {
+      const auto e = evaluator_by_name(*v);
+      if (!e) {
+        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
+        return 2;
+      }
+      options.evaluator = *e;
+    } else if (auto v = flag_value(arg, "max-window")) {
+      options.max_window = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "objective")) {
+      if (*v == "power") {
+        options.objective = core::DimensionObjective::kPower;
+      } else if (v->rfind("gpower=", 0) == 0) {
+        options.objective = core::DimensionObjective::kGeneralizedPower;
+        options.power_exponent = std::stod(v->substr(7));
+      } else if (v->rfind("delaycap=", 0) == 0) {
+        options.objective =
+            core::DimensionObjective::kThroughputUnderDelayCap;
+        options.max_delay = std::stod(v->substr(9));
+      } else {
+        std::fprintf(stderr, "error: unknown objective '%s'\n", v->c_str());
+        return 2;
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const core::WindowProblem problem(spec.topology, spec.classes);
+  const core::DimensionResult result =
+      core::dimension_windows(problem, options);
+
+  if (csv) {
+    util::TextTable table({"class", "window", "throughput", "delay_ms"});
+    for (std::size_t r = 0; r < spec.classes.size(); ++r) {
+      table.begin_row()
+          .add(spec.classes[r].name)
+          .add(result.optimal_windows[r])
+          .add(result.evaluation.class_throughput[r], 3)
+          .add(result.evaluation.class_delay[r] * 1000.0, 2);
+    }
+    std::printf("%s", table.render_csv().c_str());
+    return 0;
+  }
+  std::printf("evaluator:  %s\n", core::to_string(options.evaluator));
+  print_evaluation(result.evaluation, spec.classes);
+  std::printf("search:     %zu evaluations (+%zu cached)\n",
+              result.objective_evaluations, result.cache_hits);
+  return 0;
+}
+
+std::optional<std::vector<int>> parse_windows(
+    const std::vector<std::string>& args, std::size_t count,
+    std::vector<std::string>& remaining) {
+  std::vector<int> windows;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      remaining.push_back(arg);
+      continue;
+    }
+    try {
+      windows.push_back(std::stoi(arg));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: bad window '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (windows.size() != count) {
+    std::fprintf(stderr, "error: expected %zu windows, got %zu\n", count,
+                 windows.size());
+    return std::nullopt;
+  }
+  return windows;
+}
+
+int cmd_evaluate(const cli::NetworkSpec& spec,
+                 const std::vector<std::string>& args) {
+  std::vector<std::string> flags;
+  const auto windows = parse_windows(args, spec.classes.size(), flags);
+  if (!windows) return 2;
+  core::Evaluator evaluator = core::Evaluator::kHeuristicMva;
+  for (const std::string& arg : flags) {
+    if (auto v = flag_value(arg, "evaluator")) {
+      const auto e = evaluator_by_name(*v);
+      if (!e) {
+        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
+        return 2;
+      }
+      evaluator = *e;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  const core::WindowProblem problem(spec.topology, spec.classes);
+  std::printf("evaluator:  %s\n", core::to_string(evaluator));
+  print_evaluation(problem.evaluate(*windows, evaluator), spec.classes);
+  return 0;
+}
+
+int cmd_simulate(const cli::NetworkSpec& spec,
+                 const std::vector<std::string>& args) {
+  std::vector<std::string> flags;
+  const auto windows = parse_windows(args, spec.classes.size(), flags);
+  if (!windows) return 2;
+  sim::MsgNetOptions options;
+  options.windows = *windows;
+  options.sim_time = 600.0;
+  options.warmup = 60.0;
+  int replications = 1;
+  for (const std::string& arg : flags) {
+    if (auto v = flag_value(arg, "time")) {
+      options.sim_time = std::stod(*v);
+      options.warmup = options.sim_time / 10.0;
+    } else if (auto v = flag_value(arg, "seed")) {
+      options.seed = static_cast<std::uint64_t>(std::stoull(*v));
+    } else if (auto v = flag_value(arg, "buffers")) {
+      options.node_buffer_limit.assign(
+          static_cast<std::size_t>(spec.topology.num_nodes()),
+          std::stoi(*v));
+    } else if (auto v = flag_value(arg, "permits")) {
+      options.isarithmic_permits = std::stoi(*v);
+    } else if (arg == "--reverse-acks") {
+      options.ack_mode = sim::AckMode::kReversePath;
+    } else if (auto v = flag_value(arg, "reps")) {
+      replications = std::stoi(*v);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (replications > 1) {
+    const sim::ReplicatedResult rep = sim::run_replications(
+        spec.topology, spec.classes, options, replications);
+    std::printf("%d replications of %.0f s each:\n", replications,
+                options.sim_time);
+    std::printf("delivered:  %.3f +- %.3f msg/s\n", rep.delivered_rate.mean,
+                rep.delivered_rate.half_width);
+    std::printf("net delay:  %.4f +- %.4f s\n",
+                rep.mean_network_delay.mean,
+                rep.mean_network_delay.half_width);
+    std::printf("power:      %.2f +- %.2f\n", rep.power.mean,
+                rep.power.half_width);
+    return 0;
+  }
+  const sim::MsgNetResult r =
+      sim::simulate_msgnet(spec.topology, spec.classes, options);
+  std::printf("simulated %.0f s (warmup %.0f s), seed %llu\n",
+              options.sim_time, options.warmup,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("delivered:  %.3f msg/s\n", r.delivered_rate);
+  std::printf("net delay:  %.4f s\n", r.mean_network_delay);
+  std::printf("power:      %.2f\n", r.power);
+  std::printf("in network: %.2f msgs (time average)\n", r.mean_in_network);
+  for (std::size_t k = 0; k < spec.classes.size(); ++k) {
+    const sim::MsgNetClassStats& s = r.per_class[k];
+    std::printf("  %-12s offered %7.2f  delivered %7.2f  dropped %6.2f  "
+                "delay %7.2f ms\n",
+                spec.classes[k].name.c_str(), s.offered_rate,
+                s.delivered_rate, s.dropped_rate,
+                s.mean_network_delay * 1000.0);
+  }
+  return 0;
+}
+
+int cmd_sweep(const cli::NetworkSpec& spec,
+              const std::vector<std::string>& args) {
+  std::vector<double> factors{0.5, 1.0, 1.5, 2.0};
+  core::DimensionOptions options;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "loads")) {
+      factors.clear();
+      std::size_t pos = 0;
+      while (pos < v->size()) {
+        std::size_t comma = v->find(',', pos);
+        if (comma == std::string::npos) comma = v->size();
+        factors.push_back(std::stod(v->substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (auto v = flag_value(arg, "evaluator")) {
+      const auto e = evaluator_by_name(*v);
+      if (!e) {
+        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
+        return 2;
+      }
+      options.evaluator = *e;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  util::TextTable table(
+      {"load factor", "E_opt", "throughput", "delay(ms)", "power"});
+  for (double f : factors) {
+    auto classes = spec.classes;
+    for (auto& tc : classes) tc.arrival_rate *= f;
+    const core::WindowProblem problem(spec.topology, classes);
+    const core::DimensionResult r = core::dimension_windows(problem, options);
+    table.begin_row()
+        .add(f, 2)
+        .add_window(r.optimal_windows)
+        .add(r.evaluation.throughput, 2)
+        .add(r.evaluation.mean_delay * 1000.0, 1)
+        .add(r.evaluation.power, 1);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_capacity(const cli::NetworkSpec& spec,
+                 const std::vector<std::string>& args) {
+  double budget = -1.0;
+  bool sqrt_rule = true;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "budget")) {
+      budget = std::stod(*v);
+    } else if (auto v = flag_value(arg, "rule")) {
+      if (*v == "sqrt") {
+        sqrt_rule = true;
+      } else if (*v == "prop") {
+        sqrt_rule = false;
+      } else {
+        std::fprintf(stderr, "error: unknown rule '%s'\n", v->c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (budget <= 0.0) {
+    std::fprintf(stderr, "error: --budget=KBPS is required\n");
+    return 2;
+  }
+  const core::CapacityAssignment a =
+      sqrt_rule
+          ? core::assign_capacities_sqrt(spec.topology, spec.classes, budget)
+          : core::assign_capacities_proportional(spec.topology, spec.classes,
+                                                 budget);
+  util::TextTable table({"channel", "load (kbit/s)", "capacity (kbit/s)"});
+  for (int c = 0; c < spec.topology.num_channels(); ++c) {
+    table.begin_row()
+        .add(spec.topology.channel(c).name)
+        .add(a.load_kbps[static_cast<std::size_t>(c)], 2)
+        .add(a.capacity_kbps[static_cast<std::size_t>(c)], 2);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("predicted open-network delay: %.2f ms\n",
+              a.mean_delay * 1000.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const auto spec = load_spec(argv[2]);
+  if (!spec) return 1;
+  std::vector<std::string> args(argv + 3, argv + argc);
+  try {
+    if (command == "dimension") return cmd_dimension(*spec, args);
+    if (command == "evaluate") return cmd_evaluate(*spec, args);
+    if (command == "simulate") return cmd_simulate(*spec, args);
+    if (command == "sweep") return cmd_sweep(*spec, args);
+    if (command == "capacity") return cmd_capacity(*spec, args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,86 @@
+// Ablation A2: operations-count claim of thesis 4.2.
+//
+// Exact multichain analysis (convolution / exact MVA) costs on the order
+// of prod_r (E_r + 1); the WINDIM heuristic on the order of sum_r E_r
+// per sweep.  These google-benchmark timings show the exact solvers'
+// runtime exploding with the window size and chain count while the
+// heuristic stays nearly flat - the thesis's reason to exist.
+#include <benchmark/benchmark.h>
+
+#include "exact/convolution.h"
+#include "mva/approx.h"
+#include "mva/exact_multichain.h"
+#include "net/examples.h"
+#include "windim/problem.h"
+
+namespace {
+
+using namespace windim;
+
+qn::NetworkModel two_class_model(int window) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  return problem.network({window, window}).to_model();
+}
+
+qn::NetworkModel four_class_model(int window) {
+  const core::WindowProblem problem(
+      net::canada_topology(), net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+  return problem.network({window, window, window, window}).to_model();
+}
+
+void BM_Heuristic2Class(benchmark::State& state) {
+  const qn::NetworkModel m = two_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_approx_mva(m));
+  }
+}
+BENCHMARK(BM_Heuristic2Class)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ExactMva2Class(benchmark::State& state) {
+  const qn::NetworkModel m = two_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_exact_multichain(m));
+  }
+}
+BENCHMARK(BM_ExactMva2Class)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Convolution2Class(benchmark::State& state) {
+  const qn::NetworkModel m = two_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_convolution(m));
+  }
+}
+BENCHMARK(BM_Convolution2Class)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Heuristic4Class(benchmark::State& state) {
+  const qn::NetworkModel m =
+      four_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_approx_mva(m));
+  }
+}
+BENCHMARK(BM_Heuristic4Class)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_ExactMva4Class(benchmark::State& state) {
+  const qn::NetworkModel m =
+      four_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_exact_multichain(m));
+  }
+}
+// Lattice = (E+1)^4: keep E modest so the bench stays quick.
+BENCHMARK(BM_ExactMva4Class)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_Convolution4Class(benchmark::State& state) {
+  const qn::NetworkModel m =
+      four_class_model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_convolution(m));
+  }
+}
+BENCHMARK(BM_Convolution4Class)->Arg(2)->Arg(6)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Ablation A8: the three exact algorithms' complementary regimes.
+//
+// Convolution / exact MVA recurse over the population lattice
+// (prod_r (E_r+1) points) - cheap for FEW chains with LARGE windows.
+// RECAL (Conway & Georganas) recurses chain by chain over multiplicity
+// simplices (C(K+N-1, N-1) points) - cheap for MANY chains with SMALL
+// windows and few stations.  All three agree to solver precision; this
+// bench times them across both regimes (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "exact/convolution.h"
+#include "exact/recal.h"
+#include "mva/exact_multichain.h"
+
+namespace {
+
+using namespace windim;
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+/// `chains` chains of population `window` over a SHARED set of four
+/// stations (RECAL cost grows with the station count, so its regime is
+/// many chains over few stations).  Each chain visits three of the four
+/// stations, rotating, so the chains are distinct.
+qn::NetworkModel shared_model(int chains, int window) {
+  qn::NetworkModel m;
+  const double times[4] = {0.02, 0.03, 0.04, 0.05};
+  for (int n = 0; n < 4; ++n) {
+    m.add_station(fcfs("q" + std::to_string(n)));
+  }
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = window;
+    for (int k = 0; k < 3; ++k) {
+      const int n = (r + k) % 4;
+      c.visits.push_back({n, 1.0, times[n]});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+// Regime 1: many chains, window 1 (RECAL's home turf).
+void BM_Recal_ManyChains(benchmark::State& state) {
+  const qn::NetworkModel m =
+      shared_model(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_recal(m));
+  }
+}
+BENCHMARK(BM_Recal_ManyChains)->Arg(8)->Arg(14)->Arg(18);
+
+void BM_Convolution_ManyChains(benchmark::State& state) {
+  const qn::NetworkModel m =
+      shared_model(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_convolution(m));
+  }
+}
+BENCHMARK(BM_Convolution_ManyChains)->Arg(8)->Arg(14)->Arg(18);
+
+void BM_ExactMva_ManyChains(benchmark::State& state) {
+  const qn::NetworkModel m =
+      shared_model(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_exact_multichain(m));
+  }
+}
+BENCHMARK(BM_ExactMva_ManyChains)->Arg(8)->Arg(14)->Arg(18);
+
+// Regime 2: two chains, growing windows (lattice methods' home turf).
+void BM_Recal_BigWindows(benchmark::State& state) {
+  const qn::NetworkModel m =
+      shared_model(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_recal(m));
+  }
+}
+BENCHMARK(BM_Recal_BigWindows)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_Convolution_BigWindows(benchmark::State& state) {
+  const qn::NetworkModel m =
+      shared_model(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_convolution(m));
+  }
+}
+BENCHMARK(BM_Convolution_BigWindows)->Arg(2)->Arg(6)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

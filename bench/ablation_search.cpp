@@ -1,0 +1,81 @@
+// Ablation A3: pattern search vs exhaustive enumeration, and sensitivity
+// to the initialization policy.
+//
+// Over a sweep of 2-class loadings, compares (a) whether the pattern
+// search reaches the exhaustive global optimum of the heuristic power
+// surface, (b) how many objective evaluations each needs, and (c) the
+// effect of starting from Kleinrock's hop counts vs from all-ones vs
+// from a far corner.
+#include <cstdio>
+#include <limits>
+
+#include "search/exhaustive.h"
+#include "util/table.h"
+#include "windim/windim.h"
+
+int main() {
+  using namespace windim;
+  const net::Topology topology = net::canada_topology();
+
+  util::TextTable table({"S1", "S2", "E* (exhaustive)", "evals(exh)",
+                         "E (kleinrock init)", "evals", "E (init 1,1)",
+                         "evals", "E (init 12,12)", "evals", "optimal?"});
+
+  int reached = 0, rows = 0;
+  for (const auto& [s1, s2] : {std::pair{10.0, 10.0}, std::pair{20.0, 20.0},
+                               std::pair{40.0, 40.0}, std::pair{10.0, 35.0},
+                               std::pair{55.0, 15.0}, std::pair{70.0, 70.0}}) {
+    const core::WindowProblem problem(topology,
+                                      net::two_class_traffic(s1, s2));
+    const search::Objective objective = [&](const search::Point& e) {
+      const core::Evaluation ev = problem.evaluate(e);
+      return ev.power > 0.0 ? 1.0 / ev.power
+                            : std::numeric_limits<double>::infinity();
+    };
+    const search::ExhaustiveResult exhaustive =
+        search::exhaustive_search(objective, {1, 1}, {12, 12});
+
+    auto run = [&](std::vector<int> init) {
+      core::DimensionOptions options;
+      options.initial_windows = std::move(init);
+      options.max_window = 12;
+      return core::dimension_windows(problem, options);
+    };
+    const core::DimensionResult from_kleinrock =
+        core::dimension_windows(problem);
+    const core::DimensionResult from_ones = run({1, 1});
+    const core::DimensionResult from_corner = run({12, 12});
+
+    const bool all_optimal =
+        std::abs(1.0 / from_kleinrock.evaluation.power -
+                 exhaustive.best_value) < 1e-9 &&
+        std::abs(1.0 / from_ones.evaluation.power - exhaustive.best_value) <
+            1e-9 &&
+        std::abs(1.0 / from_corner.evaluation.power - exhaustive.best_value) <
+            1e-9;
+    reached += all_optimal ? 1 : 0;
+    ++rows;
+
+    table.begin_row()
+        .add(s1, 1)
+        .add(s2, 1)
+        .add_window(exhaustive.best)
+        .add(static_cast<long>(exhaustive.evaluations))
+        .add_window(from_kleinrock.optimal_windows)
+        .add(static_cast<long>(from_kleinrock.objective_evaluations))
+        .add_window(from_ones.optimal_windows)
+        .add(static_cast<long>(from_ones.objective_evaluations))
+        .add_window(from_corner.optimal_windows)
+        .add(static_cast<long>(from_corner.objective_evaluations))
+        .add(all_optimal ? "yes" : "NO");
+  }
+
+  std::printf("Ablation A3 - pattern search vs exhaustive search "
+              "(2-class network, box [1,12]^2)\n");
+  std::printf("(expected: every init reaches the global optimum with ~10x "
+              "fewer evaluations than the 144-point enumeration)\n\n%s\n",
+              table.render().c_str());
+  std::printf("rows where all inits reached the optimum: %d/%d\n", reached,
+              rows);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// P1: microbenchmarks of the solver kernels (google-benchmark).
+//
+// Tracks the cost of the primitives everything else is built from:
+// Buzen convolution, single-chain MVA, the full WINDIM dimensioning
+// run, the brute-force product form (for scale), and the CTMC oracle.
+#include <benchmark/benchmark.h>
+
+#include "exact/buzen.h"
+#include "exact/product_form.h"
+#include "markov/closed_ctmc.h"
+#include "mva/single_chain.h"
+#include "net/examples.h"
+#include "search/pattern_search.h"
+#include "windim/windim.h"
+
+namespace {
+
+using namespace windim;
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel single_chain_cycle(int stations, int population) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = population;
+  for (int n = 0; n < stations; ++n) {
+    const int idx = m.add_station(fcfs("q" + std::to_string(n)));
+    c.visits.push_back({idx, 1.0, 0.02 + 0.01 * (n % 5)});
+  }
+  m.add_chain(std::move(c));
+  return m;
+}
+
+void BM_BuzenConvolution(benchmark::State& state) {
+  const qn::NetworkModel m = single_chain_cycle(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_buzen(m));
+  }
+}
+BENCHMARK(BM_BuzenConvolution)->Args({5, 10})->Args({10, 50})->Args({20, 100});
+
+void BM_BuzenLogDomain(benchmark::State& state) {
+  const qn::NetworkModel m = single_chain_cycle(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_buzen_log(m));
+  }
+}
+BENCHMARK(BM_BuzenLogDomain)->Args({5, 10})->Args({10, 50});
+
+void BM_SingleChainMva(benchmark::State& state) {
+  const qn::NetworkModel m = single_chain_cycle(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mva::solve_single_chain(m));
+  }
+}
+BENCHMARK(BM_SingleChainMva)->Args({5, 10})->Args({10, 50})->Args({20, 100});
+
+void BM_ProductFormBruteForce(benchmark::State& state) {
+  const qn::NetworkModel m =
+      single_chain_cycle(5, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_product_form(m));
+  }
+}
+BENCHMARK(BM_ProductFormBruteForce)->Arg(6)->Arg(10);
+
+void BM_CtmcOracle(benchmark::State& state) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("b"), fcfs("c")};
+  net.chains = {{"c1", {0, 1}, {0.08, 0.05}, static_cast<int>(state.range(0))},
+                {"c2", {1, 2}, {0.05, 0.11}, static_cast<int>(state.range(0))}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::solve_closed_ctmc(net));
+  }
+}
+BENCHMARK(BM_CtmcOracle)->Arg(3)->Arg(6);
+
+void BM_PowerEvaluationHeuristic(benchmark::State& state) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate({4, 4}));
+  }
+}
+BENCHMARK(BM_PowerEvaluationHeuristic);
+
+void BM_FullWindimTwoClass(benchmark::State& state) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dimension_windows(problem));
+  }
+}
+BENCHMARK(BM_FullWindimTwoClass);
+
+void BM_FullWindimFourClass(benchmark::State& state) {
+  const core::WindowProblem problem(
+      net::canada_topology(), net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dimension_windows(problem));
+  }
+}
+BENCHMARK(BM_FullWindimFourClass);
+
+void BM_PatternSearchQuadratic(benchmark::State& state) {
+  const search::Objective f = [](const search::Point& p) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double d = p[i] - 17.0;
+      v += d * d;
+    }
+    return v;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search::pattern_search(f, search::Point(4, 0)));
+  }
+}
+BENCHMARK(BM_PatternSearchQuadratic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

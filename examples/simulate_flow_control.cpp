@@ -1,0 +1,77 @@
+// Drive the store-and-forward simulator directly: compare life with and
+// without flow control on the thesis network, including the congestion
+// collapse / deadlock that finite buffers produce when nothing throttles
+// admission (thesis Fig 2.1 and section 2.3).
+//
+// Shows the sim:: API a user would reach for when the analytic model's
+// assumptions (exponential lengths, instantaneous acks) need checking.
+#include <cstdio>
+
+#include "net/examples.h"
+#include "sim/msgnet_sim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace windim;
+  const net::Topology topology = net::canada_topology();
+  const double load = 40.0;
+  const auto classes = net::two_class_traffic(load, load);
+
+  sim::MsgNetOptions base;
+  base.sim_time = 600.0;
+  base.warmup = 60.0;
+  base.seed = 2026;
+
+  std::printf("Two opposed 4-hop classes at %.0f msg/s each on the Fig 4.5 "
+              "network (shared-channel capacity 50 msg/s).\n\n",
+              load);
+
+  util::TextTable table({"configuration", "delivered", "net delay(ms)",
+                         "total delay(ms)", "power", "in-network"});
+
+  auto run = [&](const char* name, const sim::MsgNetOptions& options) {
+    const sim::MsgNetResult r =
+        sim::simulate_msgnet(topology, classes, options);
+    table.begin_row()
+        .add(name)
+        .add(r.delivered_rate, 1)
+        .add(r.mean_network_delay * 1000.0, 1)
+        .add(r.mean_total_delay * 1000.0, 1)
+        .add(r.power, 1)
+        .add(r.mean_in_network, 2);
+    return r;
+  };
+
+  run("no control, infinite buffers", base);
+
+  sim::MsgNetOptions windowed = base;
+  windowed.windows = {3, 3};
+  run("end-to-end windows (3,3)", windowed);
+
+  sim::MsgNetOptions tight = base;
+  tight.node_buffer_limit.assign(6, 3);
+  run("finite buffers K=3, NO control", tight);
+
+  sim::MsgNetOptions rescued = tight;
+  rescued.windows = {2, 2};
+  run("finite buffers K=3 + windows (2,2)", rescued);
+
+  sim::MsgNetOptions permits = base;
+  permits.isarithmic_permits = 6;
+  run("isarithmic permits = 6", permits);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading the table:\n"
+      " - uncontrolled: the infinite-buffer network delivers everything but\n"
+      "   at a high in-network delay (all queueing happens inside);\n"
+      " - windows: same delivered rate, far lower in-network delay - the\n"
+      "   queueing moved to the network edge (higher total delay instead);\n"
+      " - finite buffers without control: hold-the-channel blocking between\n"
+      "   the two opposed classes collapses throughput (store-and-forward\n"
+      "   lockup, thesis 2.3);\n"
+      " - small windows rescue the finite-buffer network: they bound the\n"
+      "   in-network population below what a blocking cycle needs;\n"
+      " - isarithmic permits bound the total population network-wide.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "cli/spec.h"
+
+#include <sstream>
+
+namespace windim::cli {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_number(const std::string& token, int line, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw SpecError(line, std::string("expected a number for ") + what +
+                              ", got '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    throw SpecError(line, std::string("trailing garbage in ") + what +
+                              ": '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+NetworkSpec parse_network_spec(std::istream& in) {
+  NetworkSpec spec;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "node") {
+      if (tokens.size() != 2) {
+        throw SpecError(line_number, "usage: node <name>");
+      }
+      try {
+        spec.topology.add_node(tokens[1]);
+      } catch (const std::exception& e) {
+        throw SpecError(line_number, e.what());
+      }
+    } else if (directive == "channel") {
+      if (tokens.size() != 4) {
+        throw SpecError(line_number,
+                        "usage: channel <nodeA> <nodeB> <capacity_kbps>");
+      }
+      const double capacity =
+          parse_number(tokens[3], line_number, "channel capacity");
+      try {
+        spec.topology.add_channel(tokens[1], tokens[2], capacity);
+      } catch (const std::exception& e) {
+        throw SpecError(line_number, e.what());
+      }
+    } else if (directive == "class") {
+      // class <name> rate <r> [bits <b>] path <n1> <n2> ...
+      if (tokens.size() < 4) {
+        throw SpecError(line_number,
+                        "usage: class <name> rate <msgs/s> [bits <mean>] "
+                        "path <n1> <n2> ...");
+      }
+      net::TrafficClass tc;
+      tc.name = tokens[1];
+      std::size_t pos = 2;
+      bool have_rate = false;
+      while (pos < tokens.size()) {
+        if (tokens[pos] == "rate") {
+          if (pos + 1 >= tokens.size()) {
+            throw SpecError(line_number, "rate needs a value");
+          }
+          tc.arrival_rate =
+              parse_number(tokens[pos + 1], line_number, "class rate");
+          have_rate = true;
+          pos += 2;
+        } else if (tokens[pos] == "bits") {
+          if (pos + 1 >= tokens.size()) {
+            throw SpecError(line_number, "bits needs a value");
+          }
+          tc.mean_message_bits =
+              parse_number(tokens[pos + 1], line_number, "message bits");
+          pos += 2;
+        } else if (tokens[pos] == "path") {
+          for (++pos; pos < tokens.size(); ++pos) {
+            tc.path.push_back(tokens[pos]);
+          }
+        } else {
+          throw SpecError(line_number,
+                          "unknown class attribute '" + tokens[pos] + "'");
+        }
+      }
+      if (!have_rate) {
+        throw SpecError(line_number, "class '" + tc.name + "' needs a rate");
+      }
+      if (tc.path.size() < 2) {
+        throw SpecError(line_number, "class '" + tc.name +
+                                         "' needs a path of >= 2 nodes");
+      }
+      // Verify the path is routable now so errors carry line numbers.
+      try {
+        (void)spec.topology.route_channels(tc.path);
+      } catch (const std::exception& e) {
+        throw SpecError(line_number, e.what());
+      }
+      spec.classes.push_back(std::move(tc));
+    } else {
+      throw SpecError(line_number,
+                      "unknown directive '" + directive + "'");
+    }
+  }
+  if (spec.topology.num_nodes() == 0) {
+    throw SpecError(line_number, "spec defines no nodes");
+  }
+  if (spec.classes.empty()) {
+    throw SpecError(line_number, "spec defines no traffic classes");
+  }
+  return spec;
+}
+
+NetworkSpec parse_network_spec(const std::string& text) {
+  std::istringstream is(text);
+  return parse_network_spec(is);
+}
+
+std::string render_network_spec(const NetworkSpec& spec) {
+  std::ostringstream os;
+  for (int n = 0; n < spec.topology.num_nodes(); ++n) {
+    os << "node " << spec.topology.node(n).name << "\n";
+  }
+  for (int c = 0; c < spec.topology.num_channels(); ++c) {
+    const net::Channel& ch = spec.topology.channel(c);
+    os << "channel " << spec.topology.node(ch.a).name << ' '
+       << spec.topology.node(ch.b).name << ' ' << ch.capacity_kbps << "\n";
+  }
+  for (const net::TrafficClass& tc : spec.classes) {
+    os << "class " << tc.name << " rate " << tc.arrival_rate << " bits "
+       << tc.mean_message_bits << " path";
+    for (const std::string& node : tc.path) os << ' ' << node;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace windim::cli

@@ -1,0 +1,54 @@
+// Text format for network specifications, used by the windim_cli tool.
+//
+// Line-oriented; '#' starts a comment; blank lines ignored:
+//
+//   node <name>
+//   channel <nodeA> <nodeB> <capacity_kbps>
+//   class <name> rate <msgs_per_s> [bits <mean_bits>] path <n1> <n2> ...
+//
+// Example:
+//
+//   node Edmonton
+//   node Winnipeg
+//   channel Edmonton Winnipeg 50
+//   class east rate 20 path Edmonton Winnipeg
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace windim::cli {
+
+/// Parse failure with 1-based line number context.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+struct NetworkSpec {
+  net::Topology topology;
+  std::vector<net::TrafficClass> classes;
+};
+
+/// Parses a spec from a stream.  Throws SpecError on the first problem
+/// (unknown directive, bad number, unknown node, missing path, ...).
+[[nodiscard]] NetworkSpec parse_network_spec(std::istream& in);
+
+/// Convenience: parse from a string.
+[[nodiscard]] NetworkSpec parse_network_spec(const std::string& text);
+
+/// Renders a spec back to the text format (round-trips with the parser);
+/// handy for generating example files programmatically.
+[[nodiscard]] std::string render_network_spec(const NetworkSpec& spec);
+
+}  // namespace windim::cli

@@ -1,0 +1,259 @@
+#include "exact/buzen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace windim::exact {
+namespace {
+
+const qn::Chain& single_closed_chain(const qn::NetworkModel& model) {
+  model.validate();
+  if (model.num_chains() != 1) {
+    throw qn::ModelError("buzen: model must have exactly one chain");
+  }
+  const qn::Chain& chain = model.chain(0);
+  if (chain.type != qn::ChainType::kClosed) {
+    throw qn::ModelError("buzen: chain must be closed");
+  }
+  return chain;
+}
+
+/// Station coefficient f_n(k) for k = 0..K, with demand x already
+/// rescaled: fixed-rate x^k; queue-dependent x^k / prod alpha(j);
+/// IS x^k / k!.
+std::vector<double> station_coefficients(const qn::Station& station,
+                                         double demand, int population) {
+  std::vector<double> f(static_cast<std::size_t>(population) + 1, 0.0);
+  f[0] = 1.0;
+  for (int k = 1; k <= population; ++k) {
+    double divisor = 1.0;
+    if (station.is_delay()) {
+      divisor = k;
+    } else if (!station.rate_multipliers.empty()) {
+      divisor = station.rate_multiplier(k);
+    }
+    f[static_cast<std::size_t>(k)] =
+        f[static_cast<std::size_t>(k) - 1] * demand / divisor;
+  }
+  return f;
+}
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b, int population) {
+  std::vector<double> c(static_cast<std::size_t>(population) + 1, 0.0);
+  for (int k = 0; k <= population; ++k) {
+    double sum = 0.0;
+    for (int j = 0; j <= k; ++j) {
+      sum += a[static_cast<std::size_t>(j)] *
+             b[static_cast<std::size_t>(k - j)];
+    }
+    c[static_cast<std::size_t>(k)] = sum;
+  }
+  return c;
+}
+
+}  // namespace
+
+BuzenResult solve_buzen(const qn::NetworkModel& model) {
+  const qn::Chain& chain = single_closed_chain(model);
+  const int population = chain.population;
+  const int num_stations = model.num_stations();
+
+  // Rescale all demands by the largest demand to keep G well-scaled:
+  // G(k) for the rescaled network equals G(k) / scale^k of the original,
+  // so throughput = (1/scale) * G'(K-1)/G'(K).
+  double scale = 0.0;
+  for (int n = 0; n < num_stations; ++n) {
+    scale = std::max(scale, model.demand(0, n));
+  }
+  if (scale <= 0.0) {
+    throw qn::ModelError("buzen: chain has no positive demand");
+  }
+
+  // Sequential convolution over stations.
+  std::vector<double> g(static_cast<std::size_t>(population) + 1, 0.0);
+  g[0] = 1.0;
+  std::vector<std::vector<double>> coefficients(
+      static_cast<std::size_t>(num_stations));
+  for (int n = 0; n < num_stations; ++n) {
+    const double x = model.demand(0, n) / scale;
+    coefficients[static_cast<std::size_t>(n)] =
+        station_coefficients(model.station(n), x, population);
+    if (x == 0.0) continue;  // station not visited; f = delta_0
+    const qn::Station& station = model.station(n);
+    if (station.is_fixed_rate()) {
+      // 1/(1 - x z) factor: g(k) += x g(k-1), in place ascending.
+      for (int k = 1; k <= population; ++k) {
+        g[static_cast<std::size_t>(k)] +=
+            x * g[static_cast<std::size_t>(k) - 1];
+      }
+    } else {
+      g = convolve(g, coefficients[static_cast<std::size_t>(n)], population);
+    }
+  }
+
+  BuzenResult result;
+  result.g = g;
+  result.scale = scale;
+  result.utilization.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.mean_number.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.mean_time.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.marginal.resize(static_cast<std::size_t>(num_stations));
+
+  if (population == 0) {
+    for (int n = 0; n < num_stations; ++n) {
+      result.marginal[static_cast<std::size_t>(n)] = {1.0};
+    }
+    return result;
+  }
+
+  const double gK = g[static_cast<std::size_t>(population)];
+  const double gKm1 = g[static_cast<std::size_t>(population) - 1];
+  if (!(gK > 0.0) || !std::isfinite(gK)) {
+    throw std::runtime_error("buzen: degenerate normalization constant");
+  }
+  result.throughput = (gKm1 / gK) / scale;
+
+  // Marginals need the normalization constant of the network without
+  // station n; recompute by convolving the other stations' coefficients.
+  for (int n = 0; n < num_stations; ++n) {
+    std::vector<double> g_minus(static_cast<std::size_t>(population) + 1,
+                                0.0);
+    g_minus[0] = 1.0;
+    for (int m = 0; m < num_stations; ++m) {
+      if (m == n || model.demand(0, m) == 0.0) continue;
+      g_minus =
+          convolve(g_minus, coefficients[static_cast<std::size_t>(m)],
+                   population);
+    }
+    auto& marginal = result.marginal[static_cast<std::size_t>(n)];
+    marginal.assign(static_cast<std::size_t>(population) + 1, 0.0);
+    const auto& f = coefficients[static_cast<std::size_t>(n)];
+    double mean = 0.0;
+    for (int j = 0; j <= population; ++j) {
+      const double p = f[static_cast<std::size_t>(j)] *
+                       g_minus[static_cast<std::size_t>(population - j)] /
+                       gK;
+      marginal[static_cast<std::size_t>(j)] = p;
+      mean += j * p;
+    }
+    result.mean_number[static_cast<std::size_t>(n)] = mean;
+    result.utilization[static_cast<std::size_t>(n)] =
+        model.station(n).is_delay() ? mean : 1.0 - marginal[0];
+    const double station_rate =
+        result.throughput * model.visit_ratio(0, n);
+    result.mean_time[static_cast<std::size_t>(n)] =
+        station_rate > 0.0 ? mean / station_rate : 0.0;
+  }
+  return result;
+}
+
+BuzenResult solve_buzen_log(const qn::NetworkModel& model) {
+  const qn::Chain& chain = single_closed_chain(model);
+  const int population = chain.population;
+  const int num_stations = model.num_stations();
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  // Per-station log-coefficients.
+  auto log_coefficients = [&](int n) {
+    const qn::Station& station = model.station(n);
+    const double x = model.demand(0, n);
+    std::vector<double> lf(static_cast<std::size_t>(population) + 1,
+                           neg_inf);
+    lf[0] = 0.0;
+    if (x <= 0.0) return lf;
+    const double log_x = std::log(x);
+    for (int k = 1; k <= population; ++k) {
+      double log_divisor = 0.0;
+      if (station.is_delay()) {
+        log_divisor = std::log(static_cast<double>(k));
+      } else if (!station.rate_multipliers.empty()) {
+        log_divisor = std::log(station.rate_multiplier(k));
+      }
+      lf[static_cast<std::size_t>(k)] =
+          lf[static_cast<std::size_t>(k) - 1] + log_x - log_divisor;
+    }
+    return lf;
+  };
+
+  auto log_convolve = [&](const std::vector<double>& a,
+                          const std::vector<double>& b) {
+    std::vector<double> c(static_cast<std::size_t>(population) + 1, neg_inf);
+    for (int k = 0; k <= population; ++k) {
+      double acc = neg_inf;
+      for (int j = 0; j <= k; ++j) {
+        acc = util::log_add(acc, a[static_cast<std::size_t>(j)] +
+                                     b[static_cast<std::size_t>(k - j)]);
+      }
+      c[static_cast<std::size_t>(k)] = acc;
+    }
+    return c;
+  };
+
+  std::vector<std::vector<double>> lf(static_cast<std::size_t>(num_stations));
+  std::vector<double> lg(static_cast<std::size_t>(population) + 1, neg_inf);
+  lg[0] = 0.0;
+  for (int n = 0; n < num_stations; ++n) {
+    lf[static_cast<std::size_t>(n)] = log_coefficients(n);
+    if (model.demand(0, n) > 0.0) {
+      lg = log_convolve(lg, lf[static_cast<std::size_t>(n)]);
+    }
+  }
+
+  BuzenResult result;
+  result.scale = 1.0;
+  result.g.resize(lg.size());
+  // Report G relative to G(K) to stay finite.
+  const double lgK = lg[static_cast<std::size_t>(population)];
+  for (std::size_t k = 0; k < lg.size(); ++k) {
+    result.g[k] = std::exp(lg[k] - lgK);
+  }
+  result.utilization.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.mean_number.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.mean_time.assign(static_cast<std::size_t>(num_stations), 0.0);
+  result.marginal.resize(static_cast<std::size_t>(num_stations));
+  if (population == 0) {
+    for (int n = 0; n < num_stations; ++n) {
+      result.marginal[static_cast<std::size_t>(n)] = {1.0};
+    }
+    return result;
+  }
+  result.throughput =
+      std::exp(lg[static_cast<std::size_t>(population) - 1] - lgK);
+
+  for (int n = 0; n < num_stations; ++n) {
+    std::vector<double> lg_minus(static_cast<std::size_t>(population) + 1,
+                                 neg_inf);
+    lg_minus[0] = 0.0;
+    for (int m = 0; m < num_stations; ++m) {
+      if (m == n || model.demand(0, m) == 0.0) continue;
+      lg_minus = log_convolve(lg_minus, lf[static_cast<std::size_t>(m)]);
+    }
+    auto& marginal = result.marginal[static_cast<std::size_t>(n)];
+    marginal.assign(static_cast<std::size_t>(population) + 1, 0.0);
+    const auto& f = lf[static_cast<std::size_t>(n)];
+    double mean = 0.0;
+    for (int j = 0; j <= population; ++j) {
+      const double lp = f[static_cast<std::size_t>(j)] +
+                        lg_minus[static_cast<std::size_t>(population - j)] -
+                        lgK;
+      const double p = std::exp(lp);
+      marginal[static_cast<std::size_t>(j)] = p;
+      mean += j * p;
+    }
+    result.mean_number[static_cast<std::size_t>(n)] = mean;
+    result.utilization[static_cast<std::size_t>(n)] =
+        model.station(n).is_delay() ? mean : 1.0 - marginal[0];
+    const double station_rate =
+        result.throughput * model.visit_ratio(0, n);
+    result.mean_time[static_cast<std::size_t>(n)] =
+        station_rate > 0.0 ? mean / station_rate : 0.0;
+  }
+  return result;
+}
+
+}  // namespace windim::exact

@@ -1,0 +1,41 @@
+// Buzen's convolution algorithm for single-chain closed networks
+// (thesis 3.3.3; Buzen 1973).
+//
+// Computes the normalization constants G(0..K) by convolving the
+// per-station capacity-function coefficients, then derives throughput,
+// utilizations, mean queue lengths and marginal queue-length
+// distributions.  Demands are internally rescaled so that intermediate
+// G values stay near unity; a log-domain variant is provided for extreme
+// populations.
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct BuzenResult {
+  /// Normalization constants of the *rescaled* network, k = 0..K.  Only
+  /// ratios are meaningful externally; kept for tests and diagnostics.
+  std::vector<double> g;
+  double scale = 1.0;  // demand rescaling factor used internally
+
+  double throughput = 0.0;  // chain completions/s (reference-flow rate)
+  std::vector<double> utilization;   // per station
+  std::vector<double> mean_number;   // per station
+  std::vector<double> mean_time;     // per station, per visit
+  /// marginal[n][j] = P{j customers at station n}.
+  std::vector<std::vector<double>> marginal;
+};
+
+/// Solves a model whose only chain is closed with population K >= 0.
+/// Supports fixed-rate, limited queue-dependent and IS stations.
+/// Throws qn::ModelError on invalid models.
+[[nodiscard]] BuzenResult solve_buzen(const qn::NetworkModel& model);
+
+/// Log-domain variant: identical results, computed with log-sum-exp so it
+/// cannot over/underflow even for populations in the thousands.
+[[nodiscard]] BuzenResult solve_buzen_log(const qn::NetworkModel& model);
+
+}  // namespace windim::exact

@@ -1,0 +1,331 @@
+#include "exact/convolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "exact/convolution_detail.h"
+#include "util/math.h"
+
+namespace windim::exact {
+namespace detail {
+
+using util::MixedRadixIndexer;
+using util::PopVector;
+
+/// Capacity-function inverse c_n(i) on the lattice for a non-fixed-rate
+/// station: c_n(i) = (|i|! prod_w x_w^{i_w} / i_w!) / prod_{j<=|i|} A(j),
+/// where A(j) = j for IS and the rate-multiplier product for limited
+/// queue-dependent stations (thesis eq. 3.27).
+std::vector<double> station_lattice_coefficients(
+    const MixedRadixIndexer& indexer, const qn::Station& station,
+    const std::vector<double>& demands) {
+  const std::size_t size = indexer.size();
+  const std::size_t dims = indexer.dimensions();
+  std::vector<double> c(size, 0.0);
+  PopVector v(dims, 0);
+  std::size_t offset = 0;
+  do {
+    offset = indexer.offset(v);
+    const long total = util::total_population(v);
+    double log_value = 0.0;
+    bool zero = false;
+    for (std::size_t w = 0; w < dims; ++w) {
+      if (v[w] == 0) continue;
+      if (demands[w] <= 0.0) {
+        zero = true;
+        break;
+      }
+      log_value += v[w] * std::log(demands[w]) - util::log_factorial(v[w]);
+    }
+    if (zero) {
+      c[offset] = 0.0;
+      continue;
+    }
+    log_value += util::log_factorial(static_cast<int>(total));
+    for (int j = 1; j <= total; ++j) {
+      log_value -= std::log(station.rate_multiplier(j));
+    }
+    c[offset] = std::exp(log_value);
+  } while (indexer.next(v));
+  return c;
+}
+
+/// Full lattice convolution: result(i) = sum_{j <= i} a(j) b(i - j).
+std::vector<double> lattice_convolve(const MixedRadixIndexer& indexer,
+                                     const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  const std::size_t dims = indexer.dimensions();
+  std::vector<double> out(indexer.size(), 0.0);
+  PopVector i(dims, 0);
+  do {
+    const std::size_t off_i = indexer.offset(i);
+    // Enumerate j <= i with a nested indexer bounded by i.
+    MixedRadixIndexer sub(i);
+    PopVector j(dims, 0);
+    double sum = 0.0;
+    do {
+      PopVector diff(dims);
+      for (std::size_t d = 0; d < dims; ++d) diff[d] = i[d] - j[d];
+      sum += a[indexer.offset(j)] * b[indexer.offset(diff)];
+    } while (sub.next(j));
+    out[off_i] = sum;
+  } while (indexer.next(i));
+  return out;
+}
+
+/// Applies a fixed-rate station's factor 1/(1 - x . z) in place:
+/// g(i) <- g(i) + sum_w x_w g(i - e_w), ascending lattice order.
+void apply_fixed_rate(const MixedRadixIndexer& indexer,
+                      const std::vector<double>& demands,
+                      std::vector<double>& g) {
+  const std::size_t dims = indexer.dimensions();
+  PopVector v(dims, 0);
+  do {
+    const std::size_t off = indexer.offset(v);
+    double add = 0.0;
+    for (std::size_t w = 0; w < dims; ++w) {
+      if (v[w] == 0 || demands[w] == 0.0) continue;
+      add += demands[w] * g[indexer.offset_minus_one(v, w)];
+    }
+    g[off] += add;
+  } while (indexer.next(v));
+}
+
+}  // namespace detail
+
+using detail::apply_fixed_rate;
+using detail::lattice_convolve;
+using detail::station_lattice_coefficients;
+using util::MixedRadixIndexer;
+using util::PopVector;
+
+ConvolutionResult solve_convolution(const qn::NetworkModel& model,
+                                    const ConvolutionOptions& options) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError(
+        "solve_convolution: all chains must be closed (use exact::solve_mixed "
+        "for mixed networks)");
+  }
+
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  PopVector populations(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    populations[static_cast<std::size_t>(r)] = model.chain(r).population;
+  }
+
+  ConvolutionResult result;
+  result.indexer = MixedRadixIndexer(populations);
+  result.num_chains = num_chains;
+  const MixedRadixIndexer& indexer = result.indexer;
+
+  // Per-chain rescaling so lattice values stay near 1: replace demands
+  // d_nw by d_nw / beta_w.  g is then g(h) * prod_w beta_w^{-h_w}; all
+  // derived metrics below account for beta.
+  result.chain_scale.assign(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    double beta = 0.0;
+    for (int n = 0; n < num_stations; ++n) {
+      beta = std::max(beta, model.demand(r, n));
+    }
+    if (beta <= 0.0) {
+      throw qn::ModelError("solve_convolution: chain without demand");
+    }
+    result.chain_scale[static_cast<std::size_t>(r)] = beta;
+  }
+  auto scaled_demand = [&](int n, int r) {
+    return model.demand(r, n) / result.chain_scale[static_cast<std::size_t>(r)];
+  };
+
+  // Build g by convolving stations; remember each station's scaled demand
+  // vector for the metric pass.
+  std::vector<std::vector<double>> demands(
+      static_cast<std::size_t>(num_stations),
+      std::vector<double>(static_cast<std::size_t>(num_chains), 0.0));
+  result.g.assign(indexer.size(), 0.0);
+  result.g[0] = 1.0;
+  for (int n = 0; n < num_stations; ++n) {
+    auto& d = demands[static_cast<std::size_t>(n)];
+    bool visited = false;
+    for (int r = 0; r < num_chains; ++r) {
+      d[static_cast<std::size_t>(r)] = scaled_demand(n, r);
+      visited = visited || d[static_cast<std::size_t>(r)] > 0.0;
+    }
+    if (!visited) continue;
+    if (model.station(n).is_fixed_rate()) {
+      apply_fixed_rate(indexer, d, result.g);
+    } else {
+      const auto c =
+          station_lattice_coefficients(indexer, model.station(n), d);
+      result.g = lattice_convolve(indexer, result.g, c);
+    }
+  }
+
+  const std::size_t top = indexer.offset(populations);
+  const double gH = result.g[top];
+  if (!(gH > 0.0) || !std::isfinite(gH)) {
+    throw std::runtime_error(
+        "solve_convolution: degenerate normalization constant");
+  }
+
+  // Chain throughputs: lambda_w = g(H - e_w) / g(H) / beta_w.
+  result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    if (populations[static_cast<std::size_t>(r)] == 0) continue;
+    const std::size_t off =
+        indexer.offset_minus_one(populations, static_cast<std::size_t>(r));
+    result.chain_throughput[static_cast<std::size_t>(r)] =
+        (result.g[off] / gH) / result.chain_scale[static_cast<std::size_t>(r)];
+  }
+
+  // Mean queue lengths.
+  result.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  result.mean_time.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  result.station_utilization.assign(static_cast<std::size_t>(num_stations),
+                                    0.0);
+  if (options.compute_marginals) {
+    result.marginal.resize(static_cast<std::size_t>(num_stations));
+  }
+
+  for (int n = 0; n < num_stations; ++n) {
+    const qn::Station& station = model.station(n);
+    const auto& d = demands[static_cast<std::size_t>(n)];
+    const bool visited =
+        std::any_of(d.begin(), d.end(), [](double x) { return x > 0.0; });
+
+    if (!visited) {
+      if (options.compute_marginals) {
+        result.marginal[static_cast<std::size_t>(n)] = {1.0};
+      }
+      continue;
+    }
+
+    if (station.is_fixed_rate()) {
+      // N_nw(H) = x_nw (g * c_n)(H - e_w) / g(H); the extra convolution
+      // with c_n is another application of the fixed-rate recursion.
+      std::vector<double> g_plus = result.g;
+      apply_fixed_rate(indexer, d, g_plus);
+      for (int r = 0; r < num_chains; ++r) {
+        if (populations[static_cast<std::size_t>(r)] == 0 ||
+            d[static_cast<std::size_t>(r)] == 0.0) {
+          continue;
+        }
+        const std::size_t off = indexer.offset_minus_one(
+            populations, static_cast<std::size_t>(r));
+        result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] =
+            d[static_cast<std::size_t>(r)] * g_plus[off] / gH;
+      }
+      // Utilization: sum_w d_nw lambda_w (original units).
+      double u = 0.0;
+      for (int r = 0; r < num_chains; ++r) {
+        u += model.demand(r, n) *
+             result.chain_throughput[static_cast<std::size_t>(r)];
+      }
+      result.station_utilization[static_cast<std::size_t>(n)] = u;
+    } else if (station.is_delay()) {
+      // N_nw = demand * throughput (original units).
+      double total = 0.0;
+      for (int r = 0; r < num_chains; ++r) {
+        const double q =
+            model.demand(r, n) *
+            result.chain_throughput[static_cast<std::size_t>(r)];
+        result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] = q;
+        total += q;
+      }
+      result.station_utilization[static_cast<std::size_t>(n)] = total;
+    } else {
+      // Queue-dependent: marginal distribution via g without station n.
+      std::vector<double> g_minus(indexer.size(), 0.0);
+      g_minus[0] = 1.0;
+      for (int m = 0; m < num_stations; ++m) {
+        if (m == n) continue;
+        const auto& dm = demands[static_cast<std::size_t>(m)];
+        const bool mv = std::any_of(dm.begin(), dm.end(),
+                                    [](double x) { return x > 0.0; });
+        if (!mv) continue;
+        if (model.station(m).is_fixed_rate()) {
+          apply_fixed_rate(indexer, dm, g_minus);
+        } else {
+          const auto cm =
+              station_lattice_coefficients(indexer, model.station(m), dm);
+          g_minus = lattice_convolve(indexer, g_minus, cm);
+        }
+      }
+      const auto cn = station_lattice_coefficients(indexer, station, d);
+      // p_n(i | H) = c_n(i) g_minus(H - i) / g(H).
+      PopVector i(static_cast<std::size_t>(num_chains), 0);
+      double p0 = 0.0;
+      do {
+        if (!util::component_le(i, populations)) continue;
+        PopVector diff(static_cast<std::size_t>(num_chains));
+        for (int r = 0; r < num_chains; ++r) {
+          diff[static_cast<std::size_t>(r)] =
+              populations[static_cast<std::size_t>(r)] -
+              i[static_cast<std::size_t>(r)];
+        }
+        const double p =
+            cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
+        if (util::total_population(i) == 0) p0 = p;
+        for (int r = 0; r < num_chains; ++r) {
+          result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] +=
+              i[static_cast<std::size_t>(r)] * p;
+        }
+      } while (indexer.next(i));
+      result.station_utilization[static_cast<std::size_t>(n)] = 1.0 - p0;
+    }
+
+    for (int r = 0; r < num_chains; ++r) {
+      const double lambda_r =
+          result.chain_throughput[static_cast<std::size_t>(r)];
+      if (lambda_r > 0.0) {
+        result.mean_time[static_cast<std::size_t>(n) * num_chains + r] =
+            result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] /
+            lambda_r;
+      }
+    }
+
+    if (options.compute_marginals) {
+      // Total-customer marginal via g without station n (any type).
+      std::vector<double> g_minus(indexer.size(), 0.0);
+      g_minus[0] = 1.0;
+      for (int m = 0; m < num_stations; ++m) {
+        if (m == n) continue;
+        const auto& dm = demands[static_cast<std::size_t>(m)];
+        const bool mv = std::any_of(dm.begin(), dm.end(),
+                                    [](double x) { return x > 0.0; });
+        if (!mv) continue;
+        if (model.station(m).is_fixed_rate()) {
+          apply_fixed_rate(indexer, dm, g_minus);
+        } else {
+          const auto cm =
+              station_lattice_coefficients(indexer, model.station(m), dm);
+          g_minus = lattice_convolve(indexer, g_minus, cm);
+        }
+      }
+      const auto cn = station_lattice_coefficients(indexer, station, d);
+      const long max_total = util::total_population(populations);
+      auto& marginal = result.marginal[static_cast<std::size_t>(n)];
+      marginal.assign(static_cast<std::size_t>(max_total) + 1, 0.0);
+      PopVector i(static_cast<std::size_t>(num_chains), 0);
+      do {
+        PopVector diff(static_cast<std::size_t>(num_chains));
+        for (int r = 0; r < num_chains; ++r) {
+          diff[static_cast<std::size_t>(r)] =
+              populations[static_cast<std::size_t>(r)] -
+              i[static_cast<std::size_t>(r)];
+        }
+        const double p =
+            cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
+        marginal[static_cast<std::size_t>(util::total_population(i))] += p;
+      } while (indexer.next(i));
+    }
+  }
+
+  return result;
+}
+
+}  // namespace windim::exact

@@ -1,0 +1,66 @@
+// Multichain convolution algorithm (thesis 3.3.3; Reiser & Kobayashi).
+//
+// Computes the normalization constant g(h) on the whole population
+// lattice 0 <= h <= H by convolving per-station capacity-function
+// inverses (thesis eq. 3.26-3.32), then the chain throughputs
+// (eq. 3.34), per-station/per-chain mean queue lengths (eq. 3.36/3.37)
+// and, optionally, marginal queue-length distributions.
+//
+// This is the "exact analysis ... [whose] computational limitations do
+// not favour recursive applications in practical design problems"
+// (thesis 3.4): its cost is proportional to the lattice size
+// prod_r (E_r + 1).  WINDIM exists to avoid calling this in the inner
+// loop; here it serves as the ground truth that bounds the heuristic's
+// error (bench/ablation_mva_accuracy).
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+#include "util/mixed_radix.h"
+
+namespace windim::exact {
+
+struct ConvolutionOptions {
+  /// Also compute, for every station, the marginal distribution of the
+  /// *total* number of customers present.  Costs an extra full-lattice
+  /// convolution per non-fixed-rate station.
+  bool compute_marginals = false;
+};
+
+struct ConvolutionResult {
+  util::MixedRadixIndexer indexer;  // lattice of populations 0..H
+  /// Rescaled normalization constants over the lattice (only ratios are
+  /// externally meaningful).
+  std::vector<double> g;
+  std::vector<double> chain_scale;  // per-chain demand rescaling factors
+
+  std::vector<double> chain_throughput;  // per chain, cycles/s
+  /// mean_queue[n * R + r], station n, chain r.
+  std::vector<double> mean_queue;
+  /// mean_time[n * R + r]: mean time chain r spends at station n per
+  /// chain cycle (Little: N_nr / lambda_r).
+  std::vector<double> mean_time;
+  std::vector<double> station_utilization;  // per station
+  /// marginal[n][k] = P{k customers at station n} (if requested).
+  std::vector<std::vector<double>> marginal;
+
+  int num_chains = 0;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+  [[nodiscard]] double time(int station, int chain) const {
+    return mean_time.at(static_cast<std::size_t>(station) * num_chains +
+                        chain);
+  }
+};
+
+/// Solves an all-closed multichain model.  Supports fixed-rate,
+/// limited queue-dependent and IS stations.  Throws qn::ModelError on
+/// invalid input.
+[[nodiscard]] ConvolutionResult solve_convolution(
+    const qn::NetworkModel& model, const ConvolutionOptions& options = {});
+
+}  // namespace windim::exact

@@ -1,0 +1,28 @@
+// Shared internals of the lattice convolution solvers (multichain
+// convolution and the semiclosed solver).  Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+#include "util/mixed_radix.h"
+
+namespace windim::exact::detail {
+
+/// Capacity-function inverse c_n(i) on the lattice for a non-fixed-rate
+/// station (thesis eq. 3.27).
+[[nodiscard]] std::vector<double> station_lattice_coefficients(
+    const util::MixedRadixIndexer& indexer, const qn::Station& station,
+    const std::vector<double>& demands);
+
+/// Full lattice convolution: result(i) = sum_{j <= i} a(j) b(i - j).
+[[nodiscard]] std::vector<double> lattice_convolve(
+    const util::MixedRadixIndexer& indexer, const std::vector<double>& a,
+    const std::vector<double>& b);
+
+/// Applies a fixed-rate station's 1/(1 - x . z) factor in place.
+void apply_fixed_rate(const util::MixedRadixIndexer& indexer,
+                      const std::vector<double>& demands,
+                      std::vector<double>& g);
+
+}  // namespace windim::exact::detail

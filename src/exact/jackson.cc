@@ -1,0 +1,126 @@
+#include "exact/jackson.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::exact {
+namespace {
+
+/// Mean occupancy of a birth-death queue with Poisson arrivals of
+/// intensity rho (in units of nominal service) and relative service rate
+/// alpha(j) at occupancy j, where alpha(j) is constant past the given
+/// table.  p(k) ~ prod_{j=1..k} rho / alpha(j).
+double birth_death_mean_number(double rho, const qn::Station& station) {
+  if (station.is_delay()) return rho;  // M/G/inf: Poisson(rho)
+  // Limiting multiplier (1.0 for fixed-rate stations).
+  const double alpha_inf = station.rate_multiplier(
+      static_cast<int>(station.rate_multipliers.size()) + 1);
+  if (rho >= alpha_inf) {
+    throw std::domain_error("open network: saturated station '" +
+                            station.name + "'");
+  }
+  if (station.is_fixed_rate()) {
+    return rho / (1.0 - rho);
+  }
+  // Explicit head up to the table length, geometric tail afterwards.
+  const int head = static_cast<int>(station.rate_multipliers.size());
+  double weight = 1.0;  // unnormalized p(k)
+  double total = 1.0;   // sum of weights
+  double number = 0.0;  // sum of k * weight
+  for (int k = 1; k <= head; ++k) {
+    weight *= rho / station.rate_multiplier(k);
+    total += weight;
+    number += k * weight;
+  }
+  // For k > head: weight(k) = weight(head) * q^{k-head}, q = rho/alpha_inf.
+  const double q = rho / alpha_inf;
+  // sum_{k>head} q^{k-head} = q/(1-q);
+  // sum_{k>head} k q^{k-head} = q*(head*(1-q)+1)/(1-q)^2.
+  total += weight * q / (1.0 - q);
+  number += weight * q * (head * (1.0 - q) + 1.0) / ((1.0 - q) * (1.0 - q));
+  return number / total;
+}
+
+}  // namespace
+
+bool open_network_stable(const qn::NetworkModel& model) {
+  for (int n = 0; n < model.num_stations(); ++n) {
+    const qn::Station& station = model.station(n);
+    if (station.is_delay()) continue;
+    double rho = 0.0;
+    for (int r = 0; r < model.num_chains(); ++r) {
+      rho += model.chain(r).arrival_rate * model.demand(r, n);
+    }
+    const double alpha_inf = station.rate_multiplier(
+        static_cast<int>(station.rate_multipliers.size()) + 1);
+    if (rho >= alpha_inf) return false;
+  }
+  return true;
+}
+
+OpenSolution solve_open(const qn::NetworkModel& model) {
+  model.validate();
+  for (int r = 0; r < model.num_chains(); ++r) {
+    if (model.chain(r).type != qn::ChainType::kOpen) {
+      throw qn::ModelError("solve_open: chain '" + model.chain(r).name +
+                           "' is not open");
+    }
+  }
+
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+
+  OpenSolution sol;
+  sol.num_chains = num_chains;
+  sol.stations.resize(static_cast<std::size_t>(num_stations));
+  sol.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  sol.chain_delay.assign(static_cast<std::size_t>(num_chains), 0.0);
+
+  for (int n = 0; n < num_stations; ++n) {
+    const qn::Station& station = model.station(n);
+    double rho = 0.0;     // total work intensity
+    double lambda = 0.0;  // total arrival rate
+    for (int r = 0; r < num_chains; ++r) {
+      const double rate = model.chain(r).arrival_rate;
+      rho += rate * model.demand(r, n);
+      lambda += rate * model.visit_ratio(r, n);
+    }
+    OpenStationMetrics& m = sol.stations[static_cast<std::size_t>(n)];
+    m.arrival_rate = lambda;
+    m.utilization = rho;
+    m.mean_number = birth_death_mean_number(rho, station);
+    m.mean_time = lambda > 0.0 ? m.mean_number / lambda : 0.0;
+
+    // Per-class split: class share of the station population equals its
+    // share of the work intensity (BCMP marginals, thesis eq. 3.8).
+    for (int r = 0; r < num_chains; ++r) {
+      const double rho_r = model.chain(r).arrival_rate * model.demand(r, n);
+      if (rho > 0.0) {
+        sol.mean_queue[static_cast<std::size_t>(n) * num_chains + r] =
+            m.mean_number * (rho_r / rho);
+      }
+    }
+  }
+
+  double total_rate = 0.0;
+  double total_number = 0.0;
+  for (int r = 0; r < num_chains; ++r) {
+    const double rate = model.chain(r).arrival_rate;
+    total_rate += rate;
+    double delay = 0.0;
+    for (int n = 0; n < num_stations; ++n) {
+      if (!model.visits(r, n)) continue;
+      delay += model.visit_ratio(r, n) *
+               sol.stations[static_cast<std::size_t>(n)].mean_time;
+      total_number +=
+          sol.mean_queue[static_cast<std::size_t>(n) * num_chains + r];
+    }
+    sol.chain_delay[static_cast<std::size_t>(r)] = delay;
+  }
+  sol.total_throughput = total_rate;
+  sol.mean_network_delay = total_rate > 0.0 ? total_number / total_rate : 0.0;
+  return sol;
+}
+
+}  // namespace windim::exact

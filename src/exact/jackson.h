@@ -1,0 +1,50 @@
+// Open (Jackson / open BCMP) network solver (thesis 3.3.2).
+//
+// Every chain of the model must be open.  Each station then behaves, in
+// isolation, like a Markovian queue fed by the superposed per-chain flows
+// (lambda_nr = chain rate * visit ratio); the joint distribution is the
+// product of the per-station marginals (thesis eq. 3.2/3.3).  Fixed-rate
+// FCFS/PS/LCFS-PR stations reduce to M/M/1; queue-dependent stations to
+// general birth-death queues; IS stations to M/G/infinity.
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct OpenStationMetrics {
+  double arrival_rate = 0.0;   // total customers/s through the station
+  double utilization = 0.0;    // total work intensity rho_n
+  double mean_number = 0.0;    // E[N_n]
+  double mean_time = 0.0;      // E[T_n] per visit (Little)
+};
+
+struct OpenSolution {
+  std::vector<OpenStationMetrics> stations;
+  /// mean_queue[n * R + r]: mean number of chain-r customers at station n.
+  std::vector<double> mean_queue;
+  /// End-to-end mean delay of chain r: sum over its visits of visit_ratio
+  /// * station time.
+  std::vector<double> chain_delay;
+  double total_throughput = 0.0;   // sum of chain arrival rates
+  double mean_network_delay = 0.0; // by Little over all stations
+  int num_chains = 0;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+};
+
+/// Solves the open network.  Throws qn::ModelError if any chain is closed
+/// or the model is invalid, and std::domain_error if any station is
+/// saturated (work intensity >= its limiting rate multiplier).
+[[nodiscard]] OpenSolution solve_open(const qn::NetworkModel& model);
+
+/// Stability check without solving: true iff every station's work
+/// intensity is below its limiting service rate.
+[[nodiscard]] bool open_network_stable(const qn::NetworkModel& model);
+
+}  // namespace windim::exact

@@ -1,0 +1,113 @@
+#include "exact/mixed.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::exact {
+
+MixedSolution solve_mixed(const qn::NetworkModel& model) {
+  model.validate();
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+
+  for (int n = 0; n < num_stations; ++n) {
+    const qn::Station& s = model.station(n);
+    if (!s.is_fixed_rate() && !s.is_delay()) {
+      throw qn::ModelError(
+          "solve_mixed: only fixed-rate and IS stations are supported");
+    }
+  }
+
+  // Open-chain work intensity per station.
+  std::vector<double> rho0(static_cast<std::size_t>(num_stations), 0.0);
+  bool any_open = false;
+  bool any_closed = false;
+  for (int r = 0; r < num_chains; ++r) {
+    if (model.chain(r).type == qn::ChainType::kOpen) {
+      any_open = true;
+      for (int n = 0; n < num_stations; ++n) {
+        rho0[static_cast<std::size_t>(n)] +=
+            model.chain(r).arrival_rate * model.demand(r, n);
+      }
+    } else {
+      any_closed = true;
+    }
+  }
+  if (!any_closed) {
+    throw qn::ModelError(
+        "solve_mixed: no closed chain; use exact::solve_open instead");
+  }
+  for (int n = 0; n < num_stations; ++n) {
+    if (!model.station(n).is_delay() &&
+        rho0[static_cast<std::size_t>(n)] >= 1.0) {
+      throw std::domain_error("solve_mixed: open load saturates station '" +
+                              model.station(n).name + "'");
+    }
+  }
+
+  // Inflated closed-only model.
+  qn::NetworkModel closed_model;
+  for (int n = 0; n < num_stations; ++n) {
+    closed_model.add_station(model.station(n));
+  }
+  MixedSolution sol;
+  for (int r = 0; r < num_chains; ++r) {
+    const qn::Chain& c = model.chain(r);
+    if (c.type != qn::ChainType::kClosed) continue;
+    qn::Chain inflated = c;
+    for (qn::Visit& v : inflated.visits) {
+      if (!model.station(v.station).is_delay()) {
+        v.mean_service_time /=
+            1.0 - rho0[static_cast<std::size_t>(v.station)];
+      }
+    }
+    closed_model.add_chain(std::move(inflated));
+    sol.closed_chain_index.push_back(r);
+  }
+
+  sol.closed = solve_convolution(closed_model);
+  sol.open_utilization = rho0;
+
+  // Open-chain mean numbers: at a fixed-rate station,
+  //   N0_n = rho0_n (1 + Nc_n(H)) / (1 - rho0_n)
+  // where Nc_n(H) is the total closed mean queue length at n from the
+  // inflated closed network; at IS stations N0_n = rho0_n.
+  sol.open_mean_number.assign(static_cast<std::size_t>(num_stations), 0.0);
+  const int num_closed = static_cast<int>(sol.closed_chain_index.size());
+  for (int n = 0; n < num_stations; ++n) {
+    const double r0 = rho0[static_cast<std::size_t>(n)];
+    if (r0 == 0.0) continue;
+    if (model.station(n).is_delay()) {
+      sol.open_mean_number[static_cast<std::size_t>(n)] = r0;
+      continue;
+    }
+    double closed_n = 0.0;
+    for (int w = 0; w < num_closed; ++w) {
+      closed_n += sol.closed.queue_length(n, w);
+    }
+    sol.open_mean_number[static_cast<std::size_t>(n)] =
+        r0 * (1.0 + closed_n) / (1.0 - r0);
+  }
+
+  // Open-chain delays by Little: each open chain's share of N0_n is its
+  // share of the open work intensity.
+  sol.open_chain_delay.assign(static_cast<std::size_t>(num_chains), 0.0);
+  if (any_open) {
+    for (int r = 0; r < num_chains; ++r) {
+      const qn::Chain& c = model.chain(r);
+      if (c.type != qn::ChainType::kOpen || c.arrival_rate <= 0.0) continue;
+      double number = 0.0;
+      for (int n = 0; n < num_stations; ++n) {
+        const double r0 = rho0[static_cast<std::size_t>(n)];
+        if (r0 == 0.0) continue;
+        const double share = c.arrival_rate * model.demand(r, n) / r0;
+        number += share * sol.open_mean_number[static_cast<std::size_t>(n)];
+      }
+      sol.open_chain_delay[static_cast<std::size_t>(r)] =
+          number / c.arrival_rate;
+    }
+  }
+  return sol;
+}
+
+}  // namespace windim::exact

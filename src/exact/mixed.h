@@ -1,0 +1,41 @@
+// Mixed open/closed multichain networks (thesis 3.3.3).
+//
+// The thesis (after Reiser & Kobayashi) observes that open chains merely
+// *shift the argument* of each station's capacity function, so for fixed
+// rate and IS stations they can be folded away exactly: the closed
+// sub-network is solved with service demands inflated by 1/(1 - rho0_n),
+// where rho0_n is the open-chain work intensity at station n; open-chain
+// queue lengths then follow from the closed solution in closed form.
+// Queue-dependent stations are not supported here (the shift changes
+// their capacity function shape); use the full convolution machinery
+// manually for those.
+#pragma once
+
+#include "exact/convolution.h"
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct MixedSolution {
+  /// Closed-chain metrics (indices over closed chains, in model order
+  /// skipping open chains).
+  ConvolutionResult closed;
+  /// Map from closed-chain index (in `closed`) to the model chain index.
+  std::vector<int> closed_chain_index;
+
+  /// Open-chain work intensity per station.
+  std::vector<double> open_utilization;
+  /// Mean number of open-chain customers per station (all open chains
+  /// combined).
+  std::vector<double> open_mean_number;
+  /// Mean end-to-end delay per open chain (model chain indices; zero for
+  /// closed chains).
+  std::vector<double> open_chain_delay;
+};
+
+/// Solves a mixed network with fixed-rate and IS stations.  Throws
+/// qn::ModelError for unsupported station types and std::domain_error if
+/// the open load saturates a station.
+[[nodiscard]] MixedSolution solve_mixed(const qn::NetworkModel& model);
+
+}  // namespace windim::exact

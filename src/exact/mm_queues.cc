@@ -1,0 +1,90 @@
+#include "exact/mm_queues.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace windim::exact {
+
+namespace {
+void check_params(double lambda, double mu) {
+  if (!(lambda >= 0.0) || !std::isfinite(lambda)) {
+    throw std::invalid_argument("queue: arrival rate must be >= 0");
+  }
+  if (!(mu > 0.0) || !std::isfinite(mu)) {
+    throw std::invalid_argument("queue: service rate must be > 0");
+  }
+}
+}  // namespace
+
+MM1::MM1(double lambda, double mu) : lambda_(lambda), mu_(mu) {
+  check_params(lambda, mu);
+}
+
+double MM1::mean_number() const {
+  if (!stable()) throw std::domain_error("MM1: unstable queue");
+  const double rho = utilization();
+  return rho / (1.0 - rho);
+}
+
+double MM1::mean_time() const {
+  if (!stable()) throw std::domain_error("MM1: unstable queue");
+  return 1.0 / (mu_ - lambda_);
+}
+
+double MM1::mean_queue_waiting() const {
+  const double rho = utilization();
+  return mean_number() - rho;
+}
+
+double MM1::prob_n(int n) const {
+  if (!stable()) throw std::domain_error("MM1: unstable queue");
+  if (n < 0) return 0.0;
+  const double rho = utilization();
+  return (1.0 - rho) * std::pow(rho, n);
+}
+
+MMm::MMm(double lambda, double mu, int servers)
+    : lambda_(lambda), mu_(mu), servers_(servers) {
+  check_params(lambda, mu);
+  if (servers < 1) throw std::invalid_argument("MMm: need >= 1 server");
+}
+
+double MMm::erlang_c() const {
+  if (!stable()) throw std::domain_error("MMm: unstable queue");
+  const double a = offered_load();
+  const int m = servers_;
+  // Sum_{k<m} a^k/k! and the a^m/m! * 1/(1-rho) tail term, computed
+  // iteratively to avoid factorial overflow.
+  double term = 1.0;  // a^0/0!
+  double sum = 1.0;
+  for (int k = 1; k < m; ++k) {
+    term *= a / k;
+    sum += term;
+  }
+  term *= a / m;  // a^m/m!
+  const double rho = utilization();
+  const double tail = term / (1.0 - rho);
+  return tail / (sum + tail);
+}
+
+double MMm::mean_number() const {
+  const double rho = utilization();
+  return offered_load() + erlang_c() * rho / (1.0 - rho);
+}
+
+double MMm::mean_time() const { return mean_number() / lambda_; }
+
+MMInf::MMInf(double lambda, double mu) : lambda_(lambda), mu_(mu) {
+  check_params(lambda, mu);
+}
+
+double MMInf::prob_n(int n) const {
+  if (n < 0) return 0.0;
+  const double a = mean_number();
+  if (a == 0.0) return n == 0 ? 1.0 : 0.0;
+  return std::exp(-a + n * std::log(a) - util::log_factorial(n));
+}
+
+}  // namespace windim::exact

@@ -1,0 +1,70 @@
+// Classical single-station Markovian queue formulas (thesis 3.3.2,
+// Tables 3.6/3.7).  These are both building blocks (Jackson networks,
+// Kleinrock's isolated-chain window rule) and test oracles for the
+// network solvers.
+#pragma once
+
+namespace windim::exact {
+
+/// M/M/1 queue with arrival rate lambda and service rate mu.
+/// Construction requires lambda >= 0, mu > 0; metrics other than
+/// utilization require stability (lambda < mu) and throw
+/// std::domain_error otherwise.
+class MM1 {
+ public:
+  MM1(double lambda, double mu);
+
+  [[nodiscard]] double utilization() const noexcept { return lambda_ / mu_; }
+  [[nodiscard]] bool stable() const noexcept { return lambda_ < mu_; }
+  /// Mean number in system, rho / (1 - rho).
+  [[nodiscard]] double mean_number() const;
+  /// Mean time in system, 1 / (mu - lambda).
+  [[nodiscard]] double mean_time() const;
+  /// Mean number waiting (excluding in service).
+  [[nodiscard]] double mean_queue_waiting() const;
+  /// P{N = n} = (1 - rho) rho^n.
+  [[nodiscard]] double prob_n(int n) const;
+
+ private:
+  double lambda_;
+  double mu_;
+};
+
+/// M/M/m queue (m identical exponential servers, shared FCFS queue).
+class MMm {
+ public:
+  MMm(double lambda, double mu, int servers);
+
+  [[nodiscard]] double offered_load() const noexcept { return lambda_ / mu_; }
+  [[nodiscard]] double utilization() const noexcept {
+    return lambda_ / (mu_ * servers_);
+  }
+  [[nodiscard]] bool stable() const noexcept {
+    return lambda_ < mu_ * servers_;
+  }
+  /// Erlang-C probability that an arrival must wait.
+  [[nodiscard]] double erlang_c() const;
+  [[nodiscard]] double mean_number() const;
+  [[nodiscard]] double mean_time() const;
+
+ private:
+  double lambda_;
+  double mu_;
+  int servers_;
+};
+
+/// M/M/inf (infinite server / pure delay).
+class MMInf {
+ public:
+  MMInf(double lambda, double mu);
+  /// Mean number in system = lambda / mu (Poisson with that mean).
+  [[nodiscard]] double mean_number() const noexcept { return lambda_ / mu_; }
+  [[nodiscard]] double mean_time() const noexcept { return 1.0 / mu_; }
+  [[nodiscard]] double prob_n(int n) const;
+
+ private:
+  double lambda_;
+  double mu_;
+};
+
+}  // namespace windim::exact

@@ -1,0 +1,167 @@
+#include "exact/product_form.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace windim::exact {
+namespace {
+
+/// Station weight f_n(h_n) for counts h (per chain) at station n
+/// (thesis eq. 3.15c), written with service demands x_nr:
+///   fixed-rate / queue-dependent: |h|! prod_r x^{h_r}/h_r! / prod A(j)
+///   IS:                            prod_r x^{h_r}/h_r!
+double station_weight(const qn::NetworkModel& model, int n,
+                      const std::vector<int>& counts) {
+  const qn::Station& station = model.station(n);
+  long total = 0;
+  double weight = 1.0;
+  for (int r = 0; r < model.num_chains(); ++r) {
+    const int h = counts[static_cast<std::size_t>(r)];
+    if (h == 0) continue;
+    const double x = model.demand(r, n);
+    if (x <= 0.0) return 0.0;  // customers at a station the chain skips
+    weight *= std::pow(x, h) / util::factorial(h);
+    total += h;
+  }
+  if (total == 0) return 1.0;
+  if (!station.is_delay()) {
+    weight *= util::factorial(static_cast<int>(total));
+    for (int j = 1; j <= total; ++j) {
+      weight /= station.rate_multiplier(j);
+    }
+  }
+  return weight;
+}
+
+struct Accumulator {
+  double g = 0.0;
+  std::vector<double> queue_sum;  // station x chain, weighted counts
+};
+
+/// Normalization constant for the given populations (model populations
+/// overridden).
+Accumulator accumulate(const qn::NetworkModel& model,
+                       const std::vector<int>& populations) {
+  const int num_chains = model.num_chains();
+  std::vector<std::vector<int>> chain_stations(
+      static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    chain_stations[static_cast<std::size_t>(r)] = model.stations_of(r);
+    if (chain_stations[static_cast<std::size_t>(r)].empty()) {
+      throw qn::ModelError("product_form: chain visits no station");
+    }
+  }
+  std::vector<std::vector<int>> counts(
+      static_cast<std::size_t>(model.num_stations()),
+      std::vector<int>(static_cast<std::size_t>(num_chains), 0));
+  Accumulator acc;
+  acc.queue_sum.assign(
+      static_cast<std::size_t>(model.num_stations()) * num_chains, 0.0);
+
+  // Temporarily treat `populations` as the chain populations by seeding
+  // the recursion with them.
+  struct Rec {
+    const qn::NetworkModel& model;
+    const std::vector<std::vector<int>>& chain_stations;
+    const std::vector<int>& pops;
+    std::vector<std::vector<int>>& counts;
+    Accumulator& acc;
+
+    void run(int r, int pos, int remaining) {
+      const int num_chains = model.num_chains();
+      if (r == num_chains) {
+        double weight = 1.0;
+        for (int n = 0; n < model.num_stations(); ++n) {
+          weight *=
+              station_weight(model, n, counts[static_cast<std::size_t>(n)]);
+          if (weight == 0.0) return;
+        }
+        acc.g += weight;
+        for (int n = 0; n < model.num_stations(); ++n) {
+          for (int k = 0; k < num_chains; ++k) {
+            acc.queue_sum[static_cast<std::size_t>(n) * num_chains + k] +=
+                weight * counts[static_cast<std::size_t>(n)]
+                               [static_cast<std::size_t>(k)];
+          }
+        }
+        return;
+      }
+      const auto& stations = chain_stations[static_cast<std::size_t>(r)];
+      const int n = stations[static_cast<std::size_t>(pos)];
+      if (pos == static_cast<int>(stations.size()) - 1) {
+        counts[static_cast<std::size_t>(n)][static_cast<std::size_t>(r)] =
+            remaining;
+        run(r + 1, 0,
+            r + 1 < num_chains ? pops[static_cast<std::size_t>(r + 1)] : 0);
+        counts[static_cast<std::size_t>(n)][static_cast<std::size_t>(r)] = 0;
+        return;
+      }
+      for (int take = 0; take <= remaining; ++take) {
+        counts[static_cast<std::size_t>(n)][static_cast<std::size_t>(r)] =
+            take;
+        run(r, pos + 1, remaining - take);
+      }
+      counts[static_cast<std::size_t>(n)][static_cast<std::size_t>(r)] = 0;
+    }
+  } rec{model, chain_stations, populations, counts, acc};
+
+  rec.run(0, 0, populations.empty() ? 0 : populations[0]);
+  return acc;
+}
+
+std::size_t state_count(const qn::NetworkModel& model) {
+  std::size_t total = 1;
+  for (int r = 0; r < model.num_chains(); ++r) {
+    const int m = static_cast<int>(model.stations_of(r).size());
+    const double c = util::binomial(model.chain(r).population + m - 1, m - 1);
+    total *= static_cast<std::size_t>(c + 0.5);
+  }
+  return total;
+}
+
+}  // namespace
+
+ProductFormResult solve_product_form(const qn::NetworkModel& model,
+                                     std::size_t max_states) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError("product_form: all chains must be closed");
+  }
+  const std::size_t states = state_count(model);
+  if (states > max_states) {
+    throw std::runtime_error("product_form: state space too large");
+  }
+
+  const int num_chains = model.num_chains();
+  std::vector<int> populations(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    populations[static_cast<std::size_t>(r)] = model.chain(r).population;
+  }
+
+  const Accumulator full = accumulate(model, populations);
+  if (!(full.g > 0.0)) {
+    throw std::runtime_error("product_form: zero normalization constant");
+  }
+
+  ProductFormResult result;
+  result.g = full.g;
+  result.num_states = states;
+  result.num_chains = num_chains;
+  result.mean_queue.assign(full.queue_sum.size(), 0.0);
+  for (std::size_t i = 0; i < full.queue_sum.size(); ++i) {
+    result.mean_queue[i] = full.queue_sum[i] / full.g;
+  }
+  result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    if (populations[static_cast<std::size_t>(r)] == 0) continue;
+    std::vector<int> reduced = populations;
+    --reduced[static_cast<std::size_t>(r)];
+    const Accumulator less = accumulate(model, reduced);
+    result.chain_throughput[static_cast<std::size_t>(r)] = less.g / full.g;
+  }
+  return result;
+}
+
+}  // namespace windim::exact

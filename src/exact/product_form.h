@@ -1,0 +1,36 @@
+// Brute-force product-form evaluation (thesis eq. 3.15c/3.15d).
+//
+// Enumerates every feasible state of a closed multichain network, sums
+// the unnormalized BCMP product weights to obtain the normalization
+// constant, and computes throughputs and mean queue lengths by direct
+// expectation.  Exponential in the populations; exists purely as a
+// ground-truth oracle for the convolution algorithm and MVA on tiny
+// models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct ProductFormResult {
+  double g = 0.0;  // normalization constant (absolute demands)
+  std::vector<double> chain_throughput;
+  /// mean_queue[n * R + r].
+  std::vector<double> mean_queue;
+  std::size_t num_states = 0;
+  int num_chains = 0;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+};
+
+/// Throws std::runtime_error if the state count would exceed `max_states`.
+[[nodiscard]] ProductFormResult solve_product_form(
+    const qn::NetworkModel& model, std::size_t max_states = 20'000'000);
+
+}  // namespace windim::exact

@@ -1,0 +1,197 @@
+#include "exact/recal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/simplex.h"
+
+namespace windim::exact {
+namespace {
+
+struct CompiledModel {
+  /// Compact index of fixed-rate stations (in model order) and the list
+  /// of IS stations.
+  std::vector<int> fixed_stations;           // model station indices
+  std::vector<int> fixed_index_of_station;   // model index -> compact, -1
+  std::vector<int> is_stations;
+  /// Scaled demands [chain][model station].
+  std::vector<std::vector<double>> demand;
+  std::vector<double> beta;  // per-chain scale
+};
+
+CompiledModel compile(const qn::NetworkModel& model) {
+  CompiledModel c;
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  c.fixed_index_of_station.assign(static_cast<std::size_t>(num_stations),
+                                  -1);
+  for (int n = 0; n < num_stations; ++n) {
+    bool visited = false;
+    for (int r = 0; r < num_chains; ++r) {
+      visited = visited || model.demand(r, n) > 0.0;
+    }
+    if (!visited) continue;
+    if (model.station(n).is_fixed_rate()) {
+      c.fixed_index_of_station[static_cast<std::size_t>(n)] =
+          static_cast<int>(c.fixed_stations.size());
+      c.fixed_stations.push_back(n);
+    } else if (model.station(n).is_delay()) {
+      c.is_stations.push_back(n);
+    } else {
+      throw qn::ModelError("solve_recal: queue-dependent stations unsupported");
+    }
+  }
+  c.demand.assign(static_cast<std::size_t>(num_chains),
+                  std::vector<double>(static_cast<std::size_t>(num_stations),
+                                      0.0));
+  c.beta.assign(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    for (int n = 0; n < num_stations; ++n) {
+      c.beta[static_cast<std::size_t>(r)] = std::max(
+          c.beta[static_cast<std::size_t>(r)], model.demand(r, n));
+    }
+    if (c.beta[static_cast<std::size_t>(r)] <= 0.0) {
+      throw qn::ModelError("solve_recal: chain without demand");
+    }
+    for (int n = 0; n < num_stations; ++n) {
+      c.demand[static_cast<std::size_t>(r)][static_cast<std::size_t>(n)] =
+          model.demand(r, n) / c.beta[static_cast<std::size_t>(r)];
+    }
+  }
+  return c;
+}
+
+/// One backward RECAL pass for a clone order (clone = original chain
+/// index).  Returns G = g_R(0), and the r = R-1 layer values
+/// g_{R-1}(0) and g_{R-1}(e_n) needed for the last clone's metrics.
+struct PassResult {
+  double g_full = 0.0;          // g_R(0)
+  double g_minus_zero = 0.0;    // g_{R-1}(0)
+  std::vector<double> g_minus_e;  // g_{R-1}(e_n), compact fixed index
+  std::size_t max_layer = 0;
+};
+
+PassResult run_pass(const CompiledModel& c, const std::vector<int>& clones,
+                    std::size_t max_layer_size) {
+  const int total = static_cast<int>(clones.size());
+  const int dims = static_cast<int>(c.fixed_stations.size());
+  if (dims == 0) {
+    throw qn::ModelError("solve_recal: need at least one fixed-rate station");
+  }
+
+  PassResult result;
+
+  // Layer r holds g_r over the ball of radius total - r.
+  util::SimplexIndexer prev_indexer(dims, total);
+  if (prev_indexer.size() > max_layer_size) {
+    throw std::runtime_error("solve_recal: multiplicity layer too large");
+  }
+  result.max_layer = prev_indexer.size();
+  std::vector<double> prev(prev_indexer.size(), 1.0);  // g_0 == 1
+
+  for (int r = 1; r <= total; ++r) {
+    const int chain = clones[static_cast<std::size_t>(r) - 1];
+    const auto& demand = c.demand[static_cast<std::size_t>(chain)];
+    double is_total = 0.0;
+    for (int n : c.is_stations) {
+      is_total += demand[static_cast<std::size_t>(n)];
+    }
+
+    util::SimplexIndexer indexer(dims, total - r);
+    std::vector<double> layer(indexer.size(), 0.0);
+    indexer.for_each([&](const std::vector<int>& v) {
+      double sum = 0.0;
+      for (int k = 0; k < dims; ++k) {
+        const double x = demand[static_cast<std::size_t>(
+            c.fixed_stations[static_cast<std::size_t>(k)])];
+        if (x == 0.0) continue;
+        sum += x * (v[static_cast<std::size_t>(k)] + 1) *
+               prev[prev_indexer.offset_plus_one(v, k)];
+      }
+      if (is_total > 0.0) {
+        sum += is_total * prev[prev_indexer.offset(v)];
+      }
+      layer[indexer.offset(v)] = sum;
+    });
+
+    if (r == total) {
+      // Save the g_{R-1} values the metrics need before overwriting.
+      std::vector<int> zero(static_cast<std::size_t>(dims), 0);
+      result.g_minus_zero = prev[prev_indexer.offset(zero)];
+      result.g_minus_e.assign(static_cast<std::size_t>(dims), 0.0);
+      for (int k = 0; k < dims; ++k) {
+        result.g_minus_e[static_cast<std::size_t>(k)] =
+            prev[prev_indexer.offset_plus_one(zero, k)];
+      }
+      result.g_full = layer[0];
+    }
+    prev = std::move(layer);
+    prev_indexer = indexer;
+  }
+  return result;
+}
+
+}  // namespace
+
+RecalResult solve_recal(const qn::NetworkModel& model,
+                        std::size_t max_layer_size) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError("solve_recal: all chains must be closed");
+  }
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  const CompiledModel c = compile(model);
+
+  RecalResult result;
+  result.num_chains = num_chains;
+  result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  result.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+
+  // One pass per class, with one clone of that class recursed last.
+  for (int target = 0; target < num_chains; ++target) {
+    const int population = model.chain(target).population;
+    if (population == 0) continue;
+    std::vector<int> clones;
+    for (int r = 0; r < num_chains; ++r) {
+      int count = model.chain(r).population;
+      if (r == target) --count;  // the measured clone goes last
+      for (int k = 0; k < count; ++k) clones.push_back(r);
+    }
+    clones.push_back(target);
+
+    const PassResult pass = run_pass(c, clones, max_layer_size);
+    result.max_layer_size =
+        std::max(result.max_layer_size, pass.max_layer);
+    if (!(pass.g_full > 0.0) || !std::isfinite(pass.g_full)) {
+      throw std::runtime_error("solve_recal: degenerate normalization");
+    }
+
+    // Clone throughput = g_{R-1}(0) / g_R(0), rescaled; the class carries
+    // `population` identical clones.
+    result.chain_throughput[static_cast<std::size_t>(target)] =
+        population * (pass.g_minus_zero / pass.g_full) /
+        c.beta[static_cast<std::size_t>(target)];
+
+    // Clone location probabilities -> class mean queue lengths.
+    const auto& demand = c.demand[static_cast<std::size_t>(target)];
+    for (std::size_t k = 0; k < c.fixed_stations.size(); ++k) {
+      const int n = c.fixed_stations[k];
+      const double p = demand[static_cast<std::size_t>(n)] *
+                       pass.g_minus_e[k] / pass.g_full;
+      result.mean_queue[static_cast<std::size_t>(n) * num_chains + target] =
+          population * p;
+    }
+    for (int n : c.is_stations) {
+      const double p = demand[static_cast<std::size_t>(n)] *
+                       pass.g_minus_zero / pass.g_full;
+      result.mean_queue[static_cast<std::size_t>(n) * num_chains + target] =
+          population * p;
+    }
+  }
+  return result;
+}
+
+}  // namespace windim::exact

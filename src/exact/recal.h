@@ -1,0 +1,53 @@
+// RECAL - recursion by chain (Conway & Georganas, 1986).
+//
+// A third exact algorithm for closed multichain networks, developed by
+// the thesis supervisor's group after the thesis: instead of recursing
+// over the population lattice (convolution, exact MVA - cost
+// prod_r (E_r + 1)), RECAL splits every chain into single-customer
+// "clones" and recurses chain by chain over multiplicity vectors v
+// (one counter per fixed-rate station):
+//
+//     g_r(v) = sum_n x_rn (v_n + 1) g_{r-1}(v + e_n)     (fixed rate)
+//            +  sum_n x_rn g_{r-1}(v)                    (IS stations)
+//
+// with g_0 = 1 and G = g_R(0).  The state space is the set of
+// compositions of the remaining-customer count over the fixed-rate
+// stations, C(K + N - 1, N - 1) for K total customers and N stations -
+// polynomial in the number of chains for a fixed station count, i.e.
+// cheap exactly when there are *many chains with small windows*, the
+// regime window dimensioning lives in.
+//
+// Clone splitting is exact for product-form networks: a chain of
+// population E is equivalent to E identical population-1 chains; class
+// throughput is E times the clone throughput computed with one clone of
+// that class recursed last.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct RecalResult {
+  std::vector<double> chain_throughput;  // per original chain
+  /// mean_queue[n * R + r], station n, original chain r.
+  std::vector<double> mean_queue;
+  int num_chains = 0;
+  /// Size of the largest multiplicity-vector layer touched.
+  std::size_t max_layer_size = 0;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+};
+
+/// Solves an all-closed model with fixed-rate and IS stations.  Throws
+/// qn::ModelError on invalid models and std::runtime_error if a
+/// multiplicity layer would exceed `max_layer_size`.
+[[nodiscard]] RecalResult solve_recal(const qn::NetworkModel& model,
+                                      std::size_t max_layer_size = 50'000'000);
+
+}  // namespace windim::exact

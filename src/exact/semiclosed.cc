@@ -1,0 +1,270 @@
+#include "exact/semiclosed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "exact/convolution_detail.h"
+
+namespace windim::exact {
+
+using detail::apply_fixed_rate;
+using util::MixedRadixIndexer;
+using util::PopVector;
+
+SemiclosedResult solve_semiclosed(
+    const qn::NetworkModel& model,
+    const std::vector<SemiclosedChainSpec>& specs,
+    const SemiclosedGlobalBound& global) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError(
+        "solve_semiclosed: chains must be declared closed (the spec "
+        "supplies the population bounds)");
+  }
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  if (static_cast<int>(specs.size()) != num_chains) {
+    throw std::invalid_argument("solve_semiclosed: spec size mismatch");
+  }
+  for (const SemiclosedChainSpec& s : specs) {
+    if (s.min_population < 0 || s.max_population < s.min_population) {
+      throw std::invalid_argument("solve_semiclosed: bad population bounds");
+    }
+    if (!(s.arrival_rate >= 0.0) || !std::isfinite(s.arrival_rate)) {
+      throw std::invalid_argument("solve_semiclosed: bad arrival rate");
+    }
+  }
+  if (global.min_population < 0) {
+    throw std::invalid_argument("solve_semiclosed: bad global lower bound");
+  }
+  {
+    long min_total = 0, max_total = 0;
+    for (const SemiclosedChainSpec& s : specs) {
+      min_total += s.min_population;
+      max_total += s.max_population;
+    }
+    const long cap = global.max_population >= 0
+                         ? std::min<long>(global.max_population, max_total)
+                         : max_total;
+    if (std::max<long>(global.min_population, min_total) > cap) {
+      throw std::invalid_argument(
+          "solve_semiclosed: empty feasible population band");
+    }
+  }
+  for (int n = 0; n < num_stations; ++n) {
+    if (!model.station(n).is_fixed_rate() && !model.station(n).is_delay()) {
+      throw qn::ModelError(
+          "solve_semiclosed: queue-dependent stations unsupported");
+    }
+  }
+
+  PopVector limits(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    limits[static_cast<std::size_t>(r)] =
+        specs[static_cast<std::size_t>(r)].max_population;
+  }
+
+  SemiclosedResult result;
+  result.indexer = MixedRadixIndexer(limits);
+  result.num_chains = num_chains;
+  const MixedRadixIndexer& indexer = result.indexer;
+
+  // Rescaled demands (per-chain beta as in the convolution solver).
+  std::vector<double> beta(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    for (int n = 0; n < num_stations; ++n) {
+      beta[static_cast<std::size_t>(r)] = std::max(
+          beta[static_cast<std::size_t>(r)], model.demand(r, n));
+    }
+    if (beta[static_cast<std::size_t>(r)] <= 0.0) {
+      throw qn::ModelError("solve_semiclosed: chain without demand");
+    }
+  }
+
+  std::vector<std::vector<double>> demands(
+      static_cast<std::size_t>(num_stations),
+      std::vector<double>(static_cast<std::size_t>(num_chains), 0.0));
+  std::vector<double> g(indexer.size(), 0.0);
+  g[0] = 1.0;
+  for (int n = 0; n < num_stations; ++n) {
+    auto& d = demands[static_cast<std::size_t>(n)];
+    bool visited = false;
+    for (int r = 0; r < num_chains; ++r) {
+      d[static_cast<std::size_t>(r)] =
+          model.demand(r, n) / beta[static_cast<std::size_t>(r)];
+      visited = visited || d[static_cast<std::size_t>(r)] > 0.0;
+    }
+    if (!visited) continue;
+    if (model.station(n).is_fixed_rate()) {
+      apply_fixed_rate(indexer, d, g);
+    } else {
+      const auto c = detail::station_lattice_coefficients(
+          indexer, model.station(n), d);
+      g = detail::lattice_convolve(indexer, g, c);
+    }
+  }
+
+  // Population weights: w(h) = prod_r (lambda_r * beta_r)^{h_r} * g'(h)
+  // on the feasible band, normalized.  (The beta power compensates the
+  // per-chain rescaling baked into g'.)
+  result.population_probability.assign(indexer.size(), 0.0);
+  std::vector<double> log_rate(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    const double rate = specs[static_cast<std::size_t>(r)].arrival_rate *
+                        beta[static_cast<std::size_t>(r)];
+    log_rate[static_cast<std::size_t>(r)] =
+        rate > 0.0 ? std::log(rate) : -std::numeric_limits<double>::infinity();
+  }
+  double z = 0.0;
+  {
+    PopVector h(static_cast<std::size_t>(num_chains), 0);
+    do {
+      bool feasible = true;
+      double log_w = 0.0;
+      long total = 0;
+      for (int r = 0; r < num_chains; ++r) {
+        const SemiclosedChainSpec& s = specs[static_cast<std::size_t>(r)];
+        const int k = h[static_cast<std::size_t>(r)];
+        if (k < s.min_population) {
+          feasible = false;
+          break;
+        }
+        total += k;
+        if (k > 0) {
+          if (std::isinf(log_rate[static_cast<std::size_t>(r)])) {
+            feasible = false;  // zero arrival rate cannot populate
+            break;
+          }
+          log_w += k * log_rate[static_cast<std::size_t>(r)];
+        }
+      }
+      if (feasible &&
+          (total < global.min_population ||
+           (global.max_population >= 0 &&
+            total > global.max_population))) {
+        feasible = false;
+      }
+      if (!feasible) continue;
+      const double weight = std::exp(log_w) * g[indexer.offset(h)];
+      result.population_probability[indexer.offset(h)] = weight;
+      z += weight;
+    } while (indexer.next(h));
+  }
+  if (!(z > 0.0) || !std::isfinite(z)) {
+    throw std::runtime_error(
+        "solve_semiclosed: degenerate population distribution");
+  }
+  for (double& p : result.population_probability) p /= z;
+
+  // Chain marginals, blocking, carried throughput, mean populations.
+  result.population_marginal.resize(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    result.population_marginal[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(
+            specs[static_cast<std::size_t>(r)].max_population) + 1,
+        0.0);
+  }
+  {
+    PopVector h(static_cast<std::size_t>(num_chains), 0);
+    do {
+      const double p = result.population_probability[indexer.offset(h)];
+      if (p == 0.0) continue;
+      for (int r = 0; r < num_chains; ++r) {
+        result.population_marginal[static_cast<std::size_t>(r)]
+            [static_cast<std::size_t>(h[static_cast<std::size_t>(r)])] += p;
+      }
+    } while (indexer.next(h));
+  }
+  result.blocking_probability.assign(static_cast<std::size_t>(num_chains),
+                                     0.0);
+  result.carried_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  result.mean_population.assign(static_cast<std::size_t>(num_chains), 0.0);
+  {
+    // An arrival of chain r is blocked when its own bound or the global
+    // bound is active.
+    PopVector h(static_cast<std::size_t>(num_chains), 0);
+    do {
+      const double p = result.population_probability[indexer.offset(h)];
+      if (p == 0.0) continue;
+      long total = 0;
+      for (int r = 0; r < num_chains; ++r) {
+        total += h[static_cast<std::size_t>(r)];
+      }
+      const bool global_full =
+          global.max_population >= 0 && total == global.max_population;
+      for (int r = 0; r < num_chains; ++r) {
+        if (global_full ||
+            h[static_cast<std::size_t>(r)] ==
+                specs[static_cast<std::size_t>(r)].max_population) {
+          result.blocking_probability[static_cast<std::size_t>(r)] += p;
+        }
+      }
+    } while (indexer.next(h));
+  }
+  for (int r = 0; r < num_chains; ++r) {
+    const auto& marginal =
+        result.population_marginal[static_cast<std::size_t>(r)];
+    result.carried_throughput[static_cast<std::size_t>(r)] =
+        specs[static_cast<std::size_t>(r)].arrival_rate *
+        (1.0 - result.blocking_probability[static_cast<std::size_t>(r)]);
+    for (std::size_t k = 0; k < marginal.size(); ++k) {
+      result.mean_population[static_cast<std::size_t>(r)] +=
+          static_cast<double>(k) * marginal[k];
+    }
+  }
+
+  // Station-level mean queue lengths:
+  //   fixed rate: N_ir(h) = x'_ir g_plus_n(h - e_r) / g'(h)
+  //   IS:         N_ir(h) = d_ir * lambda_r(h),
+  //               lambda_r(h) = (g'(h - e_r)/g'(h)) / beta_r,
+  // averaged over the population distribution.  The g'(h) in the
+  // denominator cancels against the unnormalized weight, so we
+  // accumulate w(h) * numerator / Z directly.
+  result.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  for (int n = 0; n < num_stations; ++n) {
+    const auto& d = demands[static_cast<std::size_t>(n)];
+    const bool visited =
+        std::any_of(d.begin(), d.end(), [](double x) { return x > 0.0; });
+    if (!visited) continue;
+
+    std::vector<double> g_plus;
+    if (model.station(n).is_fixed_rate()) {
+      g_plus = g;
+      apply_fixed_rate(indexer, d, g_plus);
+    }
+
+    PopVector h(static_cast<std::size_t>(num_chains), 0);
+    do {
+      const std::size_t off = indexer.offset(h);
+      const double p = result.population_probability[off];
+      if (p == 0.0) continue;
+      const double g_h = g[off];
+      if (!(g_h > 0.0)) continue;
+      for (int r = 0; r < num_chains; ++r) {
+        if (h[static_cast<std::size_t>(r)] == 0 ||
+            d[static_cast<std::size_t>(r)] == 0.0) {
+          continue;
+        }
+        const std::size_t off_prev =
+            indexer.offset_minus_one(h, static_cast<std::size_t>(r));
+        double n_ir;
+        if (model.station(n).is_fixed_rate()) {
+          n_ir = d[static_cast<std::size_t>(r)] * g_plus[off_prev] / g_h;
+        } else {
+          const double lambda_h =
+              (g[off_prev] / g_h) / beta[static_cast<std::size_t>(r)];
+          n_ir = model.demand(r, n) * lambda_h;
+        }
+        result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] +=
+            p * n_ir;
+      }
+    } while (indexer.next(h));
+  }
+
+  return result;
+}
+
+}  // namespace windim::exact

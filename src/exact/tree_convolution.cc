@@ -1,0 +1,329 @@
+#include "exact/tree_convolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.h"
+#include "util/mixed_radix.h"
+
+namespace windim::exact {
+namespace {
+
+using util::MixedRadixIndexer;
+using util::PopVector;
+
+/// One partially-merged subtree: a set of covered stations and the
+/// g-array over the populations of its *active* chains (chains that also
+/// visit stations outside the subtree).
+struct Component {
+  std::vector<int> stations;      // model station indices covered
+  std::vector<int> active;        // sorted chain ids with an array axis
+  MixedRadixIndexer indexer;      // limits = populations of `active`
+  std::vector<double> values;
+};
+
+struct Compiled {
+  std::vector<std::vector<double>> demand;  // [chain][station], scaled
+  std::vector<double> beta;                 // per-chain scale
+  std::vector<std::vector<int>> chain_stations;  // visited stations
+};
+
+Compiled compile(const qn::NetworkModel& model) {
+  Compiled c;
+  const int num_chains = model.num_chains();
+  const int num_stations = model.num_stations();
+  c.demand.assign(static_cast<std::size_t>(num_chains),
+                  std::vector<double>(static_cast<std::size_t>(num_stations),
+                                      0.0));
+  c.beta.assign(static_cast<std::size_t>(num_chains), 0.0);
+  c.chain_stations.resize(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    for (int n = 0; n < num_stations; ++n) {
+      c.beta[static_cast<std::size_t>(r)] = std::max(
+          c.beta[static_cast<std::size_t>(r)], model.demand(r, n));
+    }
+    if (c.beta[static_cast<std::size_t>(r)] <= 0.0) {
+      throw qn::ModelError("tree_convolution: chain without demand");
+    }
+    for (int n = 0; n < num_stations; ++n) {
+      const double d =
+          model.demand(r, n) / c.beta[static_cast<std::size_t>(r)];
+      c.demand[static_cast<std::size_t>(r)][static_cast<std::size_t>(n)] = d;
+      if (d > 0.0) {
+        c.chain_stations[static_cast<std::size_t>(r)].push_back(n);
+      }
+    }
+  }
+  return c;
+}
+
+/// Station coefficient for combined per-chain counts `counts` (model
+/// chain ids in `chains` order): fixed-rate |i|! prod x^i/i!; IS
+/// prod x^i/i!.
+double station_coefficient(const qn::NetworkModel& model, const Compiled& c,
+                           int station, const std::vector<int>& chains,
+                           const std::vector<int>& counts) {
+  double log_value = 0.0;
+  long total = 0;
+  for (std::size_t k = 0; k < chains.size(); ++k) {
+    const int count = counts[k];
+    if (count == 0) continue;
+    const double x = c.demand[static_cast<std::size_t>(chains[k])]
+                             [static_cast<std::size_t>(station)];
+    if (x <= 0.0) return 0.0;
+    log_value += count * std::log(x) - util::log_factorial(count);
+    total += count;
+  }
+  if (total == 0) return 1.0;
+  if (!model.station(station).is_delay()) {
+    log_value += util::log_factorial(static_cast<int>(total));
+  }
+  return std::exp(log_value);
+}
+
+}  // namespace
+
+TreeConvolutionResult solve_tree_convolution(const qn::NetworkModel& model,
+                                             std::size_t max_array_size) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError("tree_convolution: all chains must be closed");
+  }
+  const int num_chains = model.num_chains();
+  const int num_stations = model.num_stations();
+  for (int n = 0; n < num_stations; ++n) {
+    if (!model.station(n).is_fixed_rate() && !model.station(n).is_delay()) {
+      throw qn::ModelError(
+          "tree_convolution: queue-dependent stations unsupported");
+    }
+  }
+  const Compiled compiled = compile(model);
+
+  TreeConvolutionResult result;
+  result.num_chains = num_chains;
+  result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+
+  // One full pass computes G(pops); per-chain passes compute G(pops-e_r).
+  // `track_size` records the max intermediate array of the full pass.
+  auto run_pass = [&](const std::vector<int>& pops,
+                      bool track_size) -> double {
+    // Per-chain station coverage countdown: a chain becomes inactive
+    // (finished) in the component that covers its last station.
+    std::vector<Component> components;
+    for (int n = 0; n < num_stations; ++n) {
+      // Chains visiting this station.
+      std::vector<int> visiting;
+      for (int r = 0; r < num_chains; ++r) {
+        if (compiled.demand[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(n)] > 0.0) {
+          visiting.push_back(r);
+        }
+      }
+      if (visiting.empty()) continue;
+      Component comp;
+      comp.stations = {n};
+      std::vector<int> finished;
+      for (int r : visiting) {
+        if (compiled.chain_stations[static_cast<std::size_t>(r)].size() ==
+            1) {
+          finished.push_back(r);  // chain lives entirely at this station
+        } else {
+          comp.active.push_back(r);
+        }
+      }
+      PopVector limits;
+      for (int r : comp.active) {
+        limits.push_back(pops[static_cast<std::size_t>(r)]);
+      }
+      comp.indexer = MixedRadixIndexer(limits);
+      if (comp.indexer.size() > max_array_size) {
+        throw std::runtime_error("tree_convolution: array too large");
+      }
+      comp.values.assign(comp.indexer.size(), 0.0);
+      // Combined chain list: active then finished (finished pinned).
+      std::vector<int> chains = comp.active;
+      chains.insert(chains.end(), finished.begin(), finished.end());
+      std::vector<int> counts(chains.size(), 0);
+      for (std::size_t k = comp.active.size(); k < chains.size(); ++k) {
+        counts[k] = pops[static_cast<std::size_t>(chains[k])];
+      }
+      PopVector h(comp.active.size(), 0);
+      do {
+        for (std::size_t k = 0; k < comp.active.size(); ++k) {
+          counts[k] = h[k];
+        }
+        comp.values[comp.indexer.offset(h)] =
+            station_coefficient(model, compiled, n, chains, counts);
+      } while (comp.indexer.next(h));
+      if (track_size) {
+        result.max_array_size =
+            std::max(result.max_array_size, comp.indexer.size());
+      }
+      components.push_back(std::move(comp));
+    }
+    if (components.empty()) {
+      throw qn::ModelError("tree_convolution: no visited stations");
+    }
+
+    // Predicted active set (and array size) of merging components i, j.
+    auto merge_plan = [&](const Component& a, const Component& b) {
+      std::vector<int> stations = a.stations;
+      stations.insert(stations.end(), b.stations.begin(), b.stations.end());
+      std::sort(stations.begin(), stations.end());
+      std::vector<int> chains;  // union of active sets
+      std::set_union(a.active.begin(), a.active.end(), b.active.begin(),
+                     b.active.end(), std::back_inserter(chains));
+      std::vector<int> active;
+      for (int r : chains) {
+        // Still active if some visited station lies outside.
+        const auto& visited =
+            compiled.chain_stations[static_cast<std::size_t>(r)];
+        const bool covered = std::includes(stations.begin(), stations.end(),
+                                           visited.begin(), visited.end());
+        if (!covered) active.push_back(r);
+      }
+      return std::pair{std::move(stations), std::move(active)};
+    };
+    auto array_size = [&](const std::vector<int>& active) {
+      double size = 1.0;
+      for (int r : active) {
+        size *= pops[static_cast<std::size_t>(r)] + 1.0;
+      }
+      return size;
+    };
+
+    while (components.size() > 1) {
+      // Greedy: merge the pair with the smallest resulting array.
+      std::size_t best_i = 0, best_j = 1;
+      double best_size = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < components.size(); ++i) {
+        for (std::size_t j = i + 1; j < components.size(); ++j) {
+          const auto [stations, active] =
+              merge_plan(components[i], components[j]);
+          const double size = array_size(active);
+          if (size < best_size) {
+            best_size = size;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+      Component& a = components[best_i];
+      Component& b = components[best_j];
+      auto [stations, active] = merge_plan(a, b);
+
+      Component merged;
+      merged.stations = std::move(stations);
+      merged.active = std::move(active);
+      PopVector limits;
+      for (int r : merged.active) {
+        limits.push_back(pops[static_cast<std::size_t>(r)]);
+      }
+      merged.indexer = MixedRadixIndexer(limits);
+      if (merged.indexer.size() > max_array_size) {
+        throw std::runtime_error("tree_convolution: array too large");
+      }
+      merged.values.assign(merged.indexer.size(), 0.0);
+      if (track_size) {
+        result.max_array_size =
+            std::max(result.max_array_size, merged.indexer.size());
+      }
+
+      // Shared chains must be split a + b = total; one-sided chains take
+      // their full total on that side.
+      std::vector<int> shared;
+      std::set_intersection(a.active.begin(), a.active.end(),
+                            b.active.begin(), b.active.end(),
+                            std::back_inserter(shared));
+      auto axis_of = [](const Component& c, int chain) {
+        const auto it =
+            std::lower_bound(c.active.begin(), c.active.end(), chain);
+        return static_cast<std::size_t>(it - c.active.begin());
+      };
+      // total for chain r at this merge: its merged-array coordinate if
+      // still active, else its full population.
+      auto total_of = [&](int chain, const PopVector& h) {
+        const auto it = std::lower_bound(merged.active.begin(),
+                                         merged.active.end(), chain);
+        if (it != merged.active.end() && *it == chain) {
+          return h[static_cast<std::size_t>(it - merged.active.begin())];
+        }
+        return pops[static_cast<std::size_t>(chain)];
+      };
+
+      PopVector ha(a.active.size(), 0);
+      PopVector hb(b.active.size(), 0);
+      PopVector h(merged.active.size(), 0);
+      do {
+        // Fix the one-sided coordinates.
+        for (int r : a.active) {
+          const bool is_shared =
+              std::binary_search(shared.begin(), shared.end(), r);
+          if (!is_shared) ha[axis_of(a, r)] = total_of(r, h);
+        }
+        for (int r : b.active) {
+          const bool is_shared =
+              std::binary_search(shared.begin(), shared.end(), r);
+          if (!is_shared) hb[axis_of(b, r)] = total_of(r, h);
+        }
+        // Odometer over the shared chains' splits.
+        std::vector<int> split(shared.size(), 0);
+        double sum = 0.0;
+        while (true) {
+          for (std::size_t k = 0; k < shared.size(); ++k) {
+            ha[axis_of(a, shared[k])] = split[k];
+            hb[axis_of(b, shared[k])] = total_of(shared[k], h) - split[k];
+          }
+          sum += a.values[a.indexer.offset(ha)] *
+                 b.values[b.indexer.offset(hb)];
+          // Advance the odometer.
+          std::size_t k = 0;
+          for (; k < shared.size(); ++k) {
+            if (split[k] < total_of(shared[k], h)) {
+              ++split[k];
+              break;
+            }
+            split[k] = 0;
+          }
+          if (k == shared.size()) break;
+        }
+        merged.values[merged.indexer.offset(h)] = sum;
+      } while (merged.indexer.next(h));
+
+      // Replace a and b by the merged component (erase higher index
+      // first).
+      components.erase(components.begin() +
+                       static_cast<std::ptrdiff_t>(best_j));
+      components[best_i] = std::move(merged);
+    }
+
+    const Component& root = components.front();
+    if (!root.active.empty()) {
+      throw std::runtime_error(
+          "tree_convolution: chains left active at the root");
+    }
+    return root.values.at(0);
+  };
+
+  std::vector<int> pops(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    pops[static_cast<std::size_t>(r)] = model.chain(r).population;
+  }
+  const double g_full = run_pass(pops, /*track_size=*/true);
+  if (!(g_full > 0.0) || !std::isfinite(g_full)) {
+    throw std::runtime_error("tree_convolution: degenerate normalization");
+  }
+  for (int r = 0; r < num_chains; ++r) {
+    if (pops[static_cast<std::size_t>(r)] == 0) continue;
+    std::vector<int> reduced = pops;
+    --reduced[static_cast<std::size_t>(r)];
+    const double g_minus = run_pass(reduced, /*track_size=*/false);
+    result.chain_throughput[static_cast<std::size_t>(r)] =
+        (g_minus / g_full) / compiled.beta[static_cast<std::size_t>(r)];
+  }
+  return result;
+}
+
+}  // namespace windim::exact

@@ -1,0 +1,43 @@
+// Tree convolution (Lam & Lien, 1983).
+//
+// The flat convolution algorithm (src/exact/convolution.h) carries the
+// FULL population lattice prod_r (E_r + 1) through every station.  In
+// store-and-forward networks most chains are *sparse* - a virtual
+// channel visits only the few stations on its route - so most of that
+// lattice is dead weight: once all of a chain's stations have been
+// folded in, its inside-count is pinned at E_r and its dimension can be
+// dropped.  Tree convolution merges per-station arrays pairwise and
+// keeps, at every intermediate node, only the "active" chains (those
+// visiting both sides of the cut).  For localized traffic the largest
+// intermediate array is exponentially smaller than the flat lattice.
+//
+// This implementation exposes the normalization constant and the chain
+// throughputs (lambda_r = G(H - e_r)/G(H), one reduced-population pass
+// per chain).  For station-level queue statistics use the flat
+// convolution or RECAL - by the time you need per-station detail you
+// have already chosen a tractable model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+struct TreeConvolutionResult {
+  std::vector<double> chain_throughput;  // per chain, cycles/s
+  int num_chains = 0;
+  /// Largest intermediate array (lattice points) over all merges of the
+  /// full-population pass - the quantity tree convolution minimizes.
+  std::size_t max_array_size = 0;
+};
+
+/// Solves an all-closed model with fixed-rate and IS stations.  Throws
+/// qn::ModelError on invalid models and std::runtime_error if an
+/// intermediate array would exceed `max_array_size`.
+[[nodiscard]] TreeConvolutionResult solve_tree_convolution(
+    const qn::NetworkModel& model,
+    std::size_t max_array_size = 50'000'000);
+
+}  // namespace windim::exact

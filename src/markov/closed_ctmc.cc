@@ -1,0 +1,195 @@
+#include "markov/closed_ctmc.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace windim::markov {
+namespace {
+
+/// All compositions of `total` into `parts` non-negative integers, in
+/// lexicographic order.
+std::vector<std::vector<int>> compositions(int total, int parts) {
+  std::vector<std::vector<int>> result;
+  std::vector<int> comp(static_cast<std::size_t>(parts), 0);
+  auto rec = [&](auto&& self, int pos, int remaining) -> void {
+    if (pos == parts - 1) {
+      comp[static_cast<std::size_t>(pos)] = remaining;
+      result.push_back(comp);
+      return;
+    }
+    for (int take = 0; take <= remaining; ++take) {
+      comp[static_cast<std::size_t>(pos)] = take;
+      self(self, pos + 1, remaining - take);
+    }
+  };
+  rec(rec, 0, total);
+  return result;
+}
+
+}  // namespace
+
+ClosedCtmcResult solve_closed_ctmc(const qn::CyclicNetwork& net,
+                                   std::size_t max_states,
+                                   const CtmcSolveOptions& options) {
+  net.validate();
+  const int num_stations = static_cast<int>(net.stations.size());
+  const int num_chains = static_cast<int>(net.chains.size());
+
+  // Per-chain composition lists and lookup maps.
+  std::vector<std::vector<std::vector<int>>> comps(
+      static_cast<std::size_t>(num_chains));
+  std::vector<std::map<std::vector<int>, int>> comp_index(
+      static_cast<std::size_t>(num_chains));
+  std::size_t num_states = 1;
+  for (int r = 0; r < num_chains; ++r) {
+    const auto& chain = net.chains[static_cast<std::size_t>(r)];
+    comps[static_cast<std::size_t>(r)] = compositions(
+        chain.population, static_cast<int>(chain.route.size()));
+    const auto& list = comps[static_cast<std::size_t>(r)];
+    for (int k = 0; k < static_cast<int>(list.size()); ++k) {
+      comp_index[static_cast<std::size_t>(r)]
+          [list[static_cast<std::size_t>(k)]] = k;
+    }
+    num_states *= list.size();
+    if (num_states > max_states) {
+      throw std::runtime_error("solve_closed_ctmc: state space too large");
+    }
+  }
+
+  // Global state index = mixed radix over per-chain composition indices.
+  std::vector<std::size_t> strides(static_cast<std::size_t>(num_chains), 1);
+  for (int r = num_chains - 1; r >= 1; --r) {
+    strides[static_cast<std::size_t>(r - 1)] =
+        strides[static_cast<std::size_t>(r)] *
+        comps[static_cast<std::size_t>(r)].size();
+  }
+  auto decode = [&](std::size_t state) {
+    std::vector<int> idx(static_cast<std::size_t>(num_chains));
+    for (int r = 0; r < num_chains; ++r) {
+      idx[static_cast<std::size_t>(r)] =
+          static_cast<int>(state / strides[static_cast<std::size_t>(r)]);
+      state %= strides[static_cast<std::size_t>(r)];
+    }
+    return idx;
+  };
+
+  Ctmc ctmc(num_states);
+  // completion_rate[state-less]: computed on the fly per state.
+  std::vector<double> station_total(static_cast<std::size_t>(num_stations));
+
+  for (std::size_t state = 0; state < num_states; ++state) {
+    const std::vector<int> idx = decode(state);
+    // Station occupancies.
+    std::fill(station_total.begin(), station_total.end(), 0.0);
+    for (int r = 0; r < num_chains; ++r) {
+      const auto& chain = net.chains[static_cast<std::size_t>(r)];
+      const auto& comp = comps[static_cast<std::size_t>(r)]
+          [static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+      for (std::size_t k = 0; k < chain.route.size(); ++k) {
+        station_total[static_cast<std::size_t>(chain.route[k])] += comp[k];
+      }
+    }
+    // Completions.
+    for (int r = 0; r < num_chains; ++r) {
+      const auto& chain = net.chains[static_cast<std::size_t>(r)];
+      const auto& comp = comps[static_cast<std::size_t>(r)]
+          [static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+      for (std::size_t k = 0; k < chain.route.size(); ++k) {
+        if (comp[k] == 0) continue;
+        const int st = chain.route[k];
+        const qn::Station& station =
+            net.stations[static_cast<std::size_t>(st)];
+        const double occupancy = station_total[static_cast<std::size_t>(st)];
+        double rate;
+        if (station.is_delay()) {
+          rate = comp[k] / chain.service_times[k];
+        } else {
+          // PS sharing (== FCFS counts for class-independent rates).
+          const double multiplier =
+              station.rate_multiplier(static_cast<int>(occupancy));
+          rate = multiplier * (comp[k] / occupancy) / chain.service_times[k];
+        }
+        // Move one chain-r customer from position k to k+1 (mod cycle).
+        std::vector<int> next_comp = comp;
+        --next_comp[k];
+        ++next_comp[(k + 1) % chain.route.size()];
+        const int next_idx =
+            comp_index[static_cast<std::size_t>(r)].at(next_comp);
+        const std::size_t next_state =
+            state +
+            (static_cast<std::size_t>(next_idx) -
+             static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])) *
+                strides[static_cast<std::size_t>(r)];
+        ctmc.add_rate(state, next_state, rate);
+      }
+    }
+  }
+
+  const CtmcSolution sol = ctmc.stationary(options);
+
+  ClosedCtmcResult result;
+  result.num_stations = num_stations;
+  result.num_chains = num_chains;
+  result.num_states = num_states;
+  result.converged = sol.converged;
+  result.throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  result.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  long total_population = 0;
+  for (const auto& chain : net.chains) total_population += chain.population;
+  result.marginal.assign(
+      static_cast<std::size_t>(num_stations),
+      std::vector<double>(static_cast<std::size_t>(total_population) + 1,
+                          0.0));
+
+  for (std::size_t state = 0; state < num_states; ++state) {
+    const std::vector<int> idx = decode(state);
+    std::fill(station_total.begin(), station_total.end(), 0.0);
+    for (int r = 0; r < num_chains; ++r) {
+      const auto& chain = net.chains[static_cast<std::size_t>(r)];
+      const auto& comp = comps[static_cast<std::size_t>(r)]
+          [static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+      for (std::size_t k = 0; k < chain.route.size(); ++k) {
+        station_total[static_cast<std::size_t>(chain.route[k])] += comp[k];
+      }
+    }
+    const double p = sol.pi[state];
+    for (int n = 0; n < num_stations; ++n) {
+      result.marginal[static_cast<std::size_t>(n)][static_cast<std::size_t>(
+          station_total[static_cast<std::size_t>(n)] + 0.5)] += p;
+    }
+    for (int r = 0; r < num_chains; ++r) {
+      const auto& chain = net.chains[static_cast<std::size_t>(r)];
+      const auto& comp = comps[static_cast<std::size_t>(r)]
+          [static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+      for (std::size_t k = 0; k < chain.route.size(); ++k) {
+        result.mean_queue[static_cast<std::size_t>(chain.route[k]) *
+                              num_chains +
+                          r] += p * comp[k];
+        if (comp[k] == 0) continue;
+        // Chain throughput measured as the completion rate at route
+        // position 0 (any fixed position of the cycle works).
+        if (k == 0) {
+          const int st = chain.route[k];
+          const qn::Station& station =
+              net.stations[static_cast<std::size_t>(st)];
+          const double occupancy =
+              station_total[static_cast<std::size_t>(st)];
+          double rate;
+          if (station.is_delay()) {
+            rate = comp[k] / chain.service_times[k];
+          } else {
+            const double multiplier =
+                station.rate_multiplier(static_cast<int>(occupancy));
+            rate =
+                multiplier * (comp[k] / occupancy) / chain.service_times[k];
+          }
+          result.throughput[static_cast<std::size_t>(r)] += p * rate;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace windim::markov

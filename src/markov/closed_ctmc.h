@@ -1,0 +1,49 @@
+// Exact CTMC solution of small closed multichain cyclic networks.
+//
+// Builds the full continuous-time Markov chain over customer-count states
+// and solves the global balance equations.  The count process is Markov
+// for processor-sharing, LCFS-PR and IS stations; for FCFS stations with
+// class-independent exponential service (the only FCFS case that is
+// product-form, and the case the thesis uses) the stationary *counts*
+// coincide with those of the PS station with the same demands, so this
+// solver doubles as the ground-truth oracle for FCFS models too.
+//
+// State-space size is the product over chains of C(D_r + m_r - 1, m_r - 1)
+// (compositions of the window D_r over the m_r route positions), so this
+// is usable only for the "most simple models" — exactly its role here:
+// verifying the convolution and MVA solvers (thesis 3.3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.h"
+#include "qn/cyclic.h"
+
+namespace windim::markov {
+
+struct ClosedCtmcResult {
+  /// throughput[r]: cycles per second completed by chain r.
+  std::vector<double> throughput;
+  /// mean_queue[i * R + r]: mean number of chain-r customers at station i.
+  std::vector<double> mean_queue;
+  /// marginal[i][k]: P{k customers (all chains) at station i}.
+  std::vector<std::vector<double>> marginal;
+  int num_stations = 0;
+  int num_chains = 0;
+  std::size_t num_states = 0;
+  bool converged = false;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+};
+
+/// Builds and solves the CTMC for `net`.  Throws std::runtime_error if the
+/// state space would exceed `max_states`.
+[[nodiscard]] ClosedCtmcResult solve_closed_ctmc(
+    const qn::CyclicNetwork& net, std::size_t max_states = 2'000'000,
+    const CtmcSolveOptions& options = {});
+
+}  // namespace windim::markov

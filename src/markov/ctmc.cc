@@ -1,0 +1,68 @@
+#include "markov/ctmc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::markov {
+
+Ctmc::Ctmc(std::size_t num_states) : n_(num_states) {
+  if (num_states == 0) {
+    throw std::invalid_argument("Ctmc: need at least one state");
+  }
+  incoming_.resize(n_);
+  out_rate_.assign(n_, 0.0);
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  if (from >= n_ || to >= n_) {
+    throw std::invalid_argument("Ctmc::add_rate: state out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Ctmc::add_rate: self-loop");
+  }
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("Ctmc::add_rate: rate must be positive");
+  }
+  incoming_[to].push_back(Incoming{from, rate});
+  out_rate_[from] += rate;
+}
+
+CtmcSolution Ctmc::stationary(const CtmcSolveOptions& options) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!(out_rate_[i] > 0.0)) {
+      throw std::runtime_error(
+          "Ctmc::stationary: absorbing state; chain is not irreducible");
+    }
+  }
+
+  CtmcSolution sol;
+  sol.pi.assign(n_, 1.0 / static_cast<double>(n_));
+  for (int sweep = 1; sweep <= options.max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      double inflow = 0.0;
+      for (const Incoming& in : incoming_[i]) {
+        inflow += sol.pi[in.from] * in.rate;
+      }
+      const double updated = inflow / out_rate_[i];
+      max_change = std::max(max_change, std::abs(updated - sol.pi[i]));
+      sol.pi[i] = updated;
+    }
+    // Renormalize (Gauss-Seidel on the singular balance system drifts in
+    // overall scale).
+    double total = 0.0;
+    for (double v : sol.pi) total += v;
+    if (!(total > 0.0)) {
+      throw std::runtime_error("Ctmc::stationary: distribution collapsed");
+    }
+    for (double& v : sol.pi) v /= total;
+    sol.sweeps = sweep;
+    if (max_change / total < options.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+}  // namespace windim::markov

@@ -1,0 +1,57 @@
+// Sparse continuous-time Markov chains and stationary solvers.
+//
+// This is the "ground truth" substrate of the library (thesis 3.3.1):
+// for small networks we build the full CTMC of the queueing model, solve
+// the global balance equations numerically, and use the result to verify
+// the product-form solvers.  The thesis notes that "a numerical solution
+// of the balance equations is impossible for all but the most simple
+// models" — which is exactly what makes it a good oracle for tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace windim::markov {
+
+struct CtmcSolveOptions {
+  double tolerance = 1e-12;  // max-abs change per sweep, normalized
+  int max_sweeps = 200000;
+};
+
+struct CtmcSolution {
+  std::vector<double> pi;  // stationary probabilities, sums to 1
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Sparse CTMC described by its transition rates.  Diagonal entries are
+/// implied (negative row sums).
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t num_states);
+
+  /// Adds rate `rate` from state `from` to state `to`.  Parallel
+  /// transitions accumulate.  Throws std::invalid_argument for self-loops,
+  /// non-positive rates or out-of-range states.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return n_; }
+
+  /// Stationary distribution by Gauss-Seidel iteration on the global
+  /// balance equations pi_i * q_i = sum_j pi_j q_ji, renormalizing each
+  /// sweep.  Requires an irreducible chain; states with no outgoing rate
+  /// cause a std::runtime_error.
+  [[nodiscard]] CtmcSolution stationary(
+      const CtmcSolveOptions& options = {}) const;
+
+ private:
+  struct Incoming {
+    std::size_t from;
+    double rate;
+  };
+  std::size_t n_;
+  std::vector<std::vector<Incoming>> incoming_;
+  std::vector<double> out_rate_;
+};
+
+}  // namespace windim::markov

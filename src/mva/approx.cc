@@ -1,0 +1,193 @@
+#include "mva/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mva/single_chain.h"
+
+namespace windim::mva {
+namespace {
+
+void check_model(const qn::NetworkModel& model) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError("solve_approx_mva: all chains must be closed");
+  }
+  for (int n = 0; n < model.num_stations(); ++n) {
+    if (!model.station(n).is_fixed_rate() && !model.station(n).is_delay()) {
+      throw qn::ModelError(
+          "solve_approx_mva: queue-dependent stations unsupported");
+    }
+  }
+}
+
+}  // namespace
+
+MvaSolution solve_approx_mva(const qn::NetworkModel& model,
+                             const ApproxMvaOptions& options) {
+  check_model(model);
+  if (!(options.damping > 0.0 && options.damping <= 1.0)) {
+    throw std::invalid_argument("solve_approx_mva: damping must be in (0,1]");
+  }
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+
+  // N[n * R + r], t[n * R + r].
+  std::vector<double> number(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  std::vector<double> time(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  std::vector<double> lambda(static_cast<std::size_t>(num_chains), 0.0);
+  std::vector<double> sigma(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+
+  // STEP 1: initialize mean queue sizes (thesis eq. 4.16/4.17) and the
+  // chain throughputs from the uncongested cycle times.
+  for (int r = 0; r < num_chains; ++r) {
+    const int pop = model.chain(r).population;
+    const std::vector<int> stations = model.stations_of(r);
+    if (pop == 0 || stations.empty()) continue;
+    if (options.init == InitPolicy::kBalanced) {
+      const double share = static_cast<double>(pop) /
+                           static_cast<double>(stations.size());
+      for (int n : stations) {
+        number[static_cast<std::size_t>(n) * num_chains + r] = share;
+      }
+    } else {
+      int bottleneck = stations.front();
+      for (int n : stations) {
+        if (model.demand(r, n) > model.demand(r, bottleneck)) bottleneck = n;
+      }
+      number[static_cast<std::size_t>(bottleneck) * num_chains + r] = pop;
+    }
+    double cycle = 0.0;
+    for (int n : stations) cycle += model.demand(r, n);
+    lambda[static_cast<std::size_t>(r)] = pop / cycle;
+  }
+
+  MvaSolution sol;
+  sol.num_chains = num_chains;
+  sol.converged = false;
+
+  std::vector<double> lambda_prev(lambda);
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    // STEP 2: estimate sigma_ir(r-).
+    for (int r = 0; r < num_chains; ++r) {
+      const int pop = model.chain(r).population;
+      if (pop == 0) continue;
+      if (options.sigma == SigmaPolicy::kSchweitzerBard) {
+        for (int n = 0; n < num_stations; ++n) {
+          sigma[static_cast<std::size_t>(n) * num_chains + r] =
+              number[static_cast<std::size_t>(n) * num_chains + r] / pop;
+        }
+        continue;
+      }
+      // Thesis heuristic: isolated single-chain problem with service
+      // times inflated by the other chains' utilization (APL LP22-LP33).
+      std::vector<SingleChainStation> sub;
+      std::vector<int> sub_station;
+      for (int n = 0; n < num_stations; ++n) {
+        const double d = model.demand(r, n);
+        if (d <= 0.0) continue;
+        double rho_other = 0.0;
+        for (int j = 0; j < num_chains; ++j) {
+          if (j == r) continue;
+          rho_other += lambda[static_cast<std::size_t>(j)] *
+                       model.demand(j, n);
+        }
+        rho_other = std::clamp(rho_other, 0.0, options.utilization_clamp);
+        SingleChainStation s;
+        s.station = model.station(n);
+        s.demand =
+            s.station.is_delay() ? d : d / (1.0 - rho_other);
+        sub.push_back(std::move(s));
+        sub_station.push_back(n);
+      }
+      const SingleChainResult sc = solve_single_chain(sub, pop);
+      for (std::size_t k = 0; k < sub.size(); ++k) {
+        const double increment =
+            sc.mean_number[static_cast<std::size_t>(pop)][k] -
+            sc.mean_number[static_cast<std::size_t>(pop) - 1][k];
+        sigma[static_cast<std::size_t>(sub_station[k]) * num_chains + r] =
+            std::clamp(increment, 0.0, 1.0);
+      }
+    }
+
+    // STEP 3: mean queueing times (thesis eq. 4.13).
+    for (int r = 0; r < num_chains; ++r) {
+      if (model.chain(r).population == 0) continue;
+      for (int n = 0; n < num_stations; ++n) {
+        const double d = model.demand(r, n);
+        if (d <= 0.0) {
+          time[static_cast<std::size_t>(n) * num_chains + r] = 0.0;
+          continue;
+        }
+        if (model.station(n).is_delay()) {
+          time[static_cast<std::size_t>(n) * num_chains + r] = d;
+          continue;
+        }
+        double others = 0.0;
+        for (int j = 0; j < num_chains; ++j) {
+          others += number[static_cast<std::size_t>(n) * num_chains + j];
+        }
+        const double seen = std::max(
+            0.0,
+            others - sigma[static_cast<std::size_t>(n) * num_chains + r]);
+        time[static_cast<std::size_t>(n) * num_chains + r] =
+            d * (1.0 + seen);
+      }
+    }
+
+    // STEP 4: chain throughputs (Little for chains, thesis eq. 4.14).
+    for (int r = 0; r < num_chains; ++r) {
+      const int pop = model.chain(r).population;
+      if (pop == 0) {
+        lambda[static_cast<std::size_t>(r)] = 0.0;
+        continue;
+      }
+      double cycle = 0.0;
+      for (int n = 0; n < num_stations; ++n) {
+        cycle += time[static_cast<std::size_t>(n) * num_chains + r];
+      }
+      lambda[static_cast<std::size_t>(r)] = pop / cycle;
+    }
+
+    // STEP 5: mean queue lengths (Little for stations, thesis eq. 4.15),
+    // with optional under-relaxation.
+    for (int r = 0; r < num_chains; ++r) {
+      for (int n = 0; n < num_stations; ++n) {
+        const std::size_t idx =
+            static_cast<std::size_t>(n) * num_chains + r;
+        const double updated = lambda[static_cast<std::size_t>(r)] *
+                               time[idx];
+        number[idx] =
+            options.damping * updated + (1.0 - options.damping) * number[idx];
+      }
+    }
+
+    // STEP 6: stopping condition on the throughput vector (APL CRIT).
+    double crit = 0.0;
+    double scale = 1.0;
+    for (int r = 0; r < num_chains; ++r) {
+      crit = std::max(crit,
+                      std::abs(lambda[static_cast<std::size_t>(r)] -
+                               lambda_prev[static_cast<std::size_t>(r)]));
+      scale = std::max(scale,
+                       std::abs(lambda[static_cast<std::size_t>(r)]));
+    }
+    lambda_prev = lambda;
+    sol.iterations = iteration;
+    if (crit / scale < options.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  sol.chain_throughput = lambda;
+  sol.mean_queue = number;
+  sol.mean_time = time;
+  return sol;
+}
+
+}  // namespace windim::mva

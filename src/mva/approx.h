@@ -1,0 +1,62 @@
+// The WINDIM heuristic mean value analysis (thesis 4.2, steps 1-6;
+// re-implementation of the APL function `fct`).
+//
+// The exact multichain recursion costs prod_r E_r operations; the
+// heuristic reduces this to (roughly) sum_r E_r per sweep by assuming
+// that removing one chain-r customer mostly affects chain r itself
+// (thesis eq. 4.11): sigma_ij(r-) = 0 for j != r, and sigma_ir(r-) is
+// estimated from an *isolated single-chain* problem in which chain r's
+// service times are inflated by the other chains' utilizations
+// (thesis eq. 4.12, APL lines LP22-LP55).  The fixed point of
+//
+//   t_ir   = s_ir (1 + sum_j N_ij - sigma_ir)
+//   lambda_r = E_r / sum_i t_ir            (Little, chains)
+//   N_ir   = lambda_r t_ir                 (Little, stations)
+//
+// is reached by direct iteration.  A Schweitzer-Bard sigma policy
+// (sigma_ir = N_ir / E_r) is provided as an ablation.
+#pragma once
+
+#include "mva/solution.h"
+#include "qn/network.h"
+
+namespace windim::mva {
+
+enum class SigmaPolicy {
+  /// Thesis heuristic: isolated single-chain MVA with other-class
+  /// utilization-inflated service times.
+  kChanSingleChain,
+  /// Classical Schweitzer-Bard proportional estimate.
+  kSchweitzerBard,
+};
+
+enum class InitPolicy {
+  /// Chain population spread evenly over its queues (thesis eq. 4.17).
+  kBalanced,
+  /// Chain population placed at its largest-demand queue (thesis eq. 4.16).
+  kBottleneck,
+};
+
+struct ApproxMvaOptions {
+  SigmaPolicy sigma = SigmaPolicy::kChanSingleChain;
+  InitPolicy init = InitPolicy::kBalanced;
+  int max_iterations = 2000;
+  /// Convergence criterion on max |lambda - lambda_prev| (the APL CRIT),
+  /// relative to max(1, |lambda|).
+  double tolerance = 1e-10;
+  /// Other-chain utilization is clamped below this when inflating the
+  /// single-chain service times (the isolated subproblem needs a stable
+  /// queue).
+  double utilization_clamp = 0.999;
+  /// Under-relaxation factor in (0, 1]: N <- damping * N_new +
+  /// (1 - damping) * N_old.  1.0 = plain fixed-point iteration.
+  double damping = 1.0;
+};
+
+/// Runs the heuristic on an all-closed model with fixed-rate and IS
+/// stations.  Chains with zero population contribute zero throughput.
+/// Throws qn::ModelError on invalid input.
+[[nodiscard]] MvaSolution solve_approx_mva(const qn::NetworkModel& model,
+                                           const ApproxMvaOptions& options = {});
+
+}  // namespace windim::mva

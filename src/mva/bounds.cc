@@ -1,0 +1,70 @@
+#include "mva/bounds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace windim::mva {
+
+ChainBounds balanced_job_bounds(const std::vector<double>& queueing_demands,
+                                double delay_demand, int population) {
+  if (population < 1) {
+    throw std::invalid_argument("balanced_job_bounds: population must be >= 1");
+  }
+  double total = 0.0;
+  double largest = 0.0;
+  int stations = 0;
+  for (double d : queueing_demands) {
+    if (d < 0.0) {
+      throw std::invalid_argument("balanced_job_bounds: negative demand");
+    }
+    if (d == 0.0) continue;
+    total += d;
+    largest = std::max(largest, d);
+    ++stations;
+  }
+  if (stations == 0 || !(largest > 0.0)) {
+    throw std::invalid_argument(
+        "balanced_job_bounds: need at least one queueing demand");
+  }
+  const double average = total / stations;
+  const double n = population;
+
+  ChainBounds b;
+  // Balanced-job lower bound: all queueing concentrated at the largest
+  // demand.
+  b.throughput_lower = n / (delay_demand + total + (n - 1.0) * largest);
+  // Upper bound: balanced network (demands averaged) and the bottleneck
+  // asymptote.
+  const double balanced_upper =
+      n / (delay_demand + total + (n - 1.0) * average);
+  b.throughput_upper = std::min(1.0 / largest, balanced_upper);
+  b.cycle_time_lower = n / b.throughput_upper;
+  b.cycle_time_upper = n / b.throughput_lower;
+  return b;
+}
+
+ChainBounds balanced_job_bounds(const qn::NetworkModel& model) {
+  model.validate();
+  if (model.num_chains() != 1 ||
+      model.chain(0).type != qn::ChainType::kClosed) {
+    throw qn::ModelError(
+        "balanced_job_bounds: model must have exactly one closed chain");
+  }
+  std::vector<double> queueing;
+  double delay = 0.0;
+  for (int n = 0; n < model.num_stations(); ++n) {
+    const double d = model.demand(0, n);
+    if (d <= 0.0) continue;
+    if (model.station(n).is_delay()) {
+      delay += d;
+    } else if (model.station(n).is_fixed_rate()) {
+      queueing.push_back(d);
+    } else {
+      throw qn::ModelError(
+          "balanced_job_bounds: queue-dependent stations unsupported");
+    }
+  }
+  return balanced_job_bounds(queueing, delay, model.chain(0).population);
+}
+
+}  // namespace windim::mva

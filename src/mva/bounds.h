@@ -1,0 +1,34 @@
+// Throughput and delay bounds for single closed chains: asymptotic
+// bounds and balanced job bounds (Zahorjan et al.).
+//
+// Cheap (O(M)) brackets on the exact MVA/convolution results.  Used as
+// a sanity oracle in the test suite (the exact and heuristic solvers
+// must fall inside) and available to users for quick feasibility
+// screening before running WINDIM.
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::mva {
+
+struct ChainBounds {
+  double throughput_lower = 0.0;  // balanced-job lower bound
+  double throughput_upper = 0.0;  // min(asymptotic, balanced-job upper)
+  double cycle_time_lower = 0.0;  // N / throughput_upper
+  double cycle_time_upper = 0.0;  // N / throughput_lower
+};
+
+/// Bounds for a single closed chain described by its per-station service
+/// demands at queueing (fixed-rate) stations and a total pure-delay
+/// demand Z (IS stations).  Population must be >= 1.
+[[nodiscard]] ChainBounds balanced_job_bounds(
+    const std::vector<double>& queueing_demands, double delay_demand,
+    int population);
+
+/// Convenience: bounds for a NetworkModel with exactly one closed chain
+/// over fixed-rate and IS stations.
+[[nodiscard]] ChainBounds balanced_job_bounds(const qn::NetworkModel& model);
+
+}  // namespace windim::mva

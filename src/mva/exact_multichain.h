@@ -1,0 +1,21 @@
+// Exact multichain mean value analysis (thesis eq. 4.5-4.7).
+//
+// Recursion over the full population lattice: for every population vector
+// n <= D, the arrival theorem gives the per-chain station times from the
+// mean queue lengths at n - e_r.  Operations (and memory) are proportional
+// to the lattice size prod_r (D_r + 1) — the cost the WINDIM heuristic is
+// designed to avoid (thesis 4.2); kept here as the second exact oracle
+// next to the convolution algorithm.  Supports fixed-rate and IS stations.
+#pragma once
+
+#include "mva/solution.h"
+#include "qn/network.h"
+
+namespace windim::mva {
+
+/// Solves an all-closed model exactly.  Throws qn::ModelError for open
+/// chains or queue-dependent stations (use exact::solve_convolution).
+[[nodiscard]] MvaSolution solve_exact_multichain(
+    const qn::NetworkModel& model);
+
+}  // namespace windim::mva

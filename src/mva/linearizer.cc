@@ -1,0 +1,189 @@
+#include "mva/linearizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace windim::mva {
+namespace {
+
+/// Dense (station x chain) matrix helper.
+struct Matrix {
+  int stations = 0;
+  int chains = 0;
+  std::vector<double> v;
+
+  Matrix() = default;
+  Matrix(int s, int c)
+      : stations(s), chains(c),
+        v(static_cast<std::size_t>(s) * static_cast<std::size_t>(c), 0.0) {}
+  double& at(int n, int r) {
+    return v[static_cast<std::size_t>(n) * chains + r];
+  }
+  [[nodiscard]] double at(int n, int r) const {
+    return v[static_cast<std::size_t>(n) * chains + r];
+  }
+};
+
+struct CoreResult {
+  std::vector<double> lambda;  // per chain
+  Matrix number;               // N_ir
+  Matrix time;                 // w_ir
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Approximate MVA core at population vector `pop`, given fraction
+/// estimates F and their first-order corrections D (D[j] applies when a
+/// chain-j customer is removed): the arriving chain-r customer sees
+///   N_ij(pop - e_r) ~= (pop_j - delta_jr) * (F_ij + D_ijr).
+CoreResult solve_core(const qn::NetworkModel& model,
+                      const std::vector<int>& pop, const Matrix& fractions,
+                      const std::vector<Matrix>& delta,
+                      const LinearizerOptions& options) {
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+
+  CoreResult result;
+  result.lambda.assign(static_cast<std::size_t>(num_chains), 0.0);
+  result.number = Matrix(num_stations, num_chains);
+  result.time = Matrix(num_stations, num_chains);
+
+  // Working fractions initialized from the estimates.
+  Matrix f = fractions;
+
+  for (int iteration = 1; iteration <= options.core_max_iterations;
+       ++iteration) {
+    double change = 0.0;
+    // Waiting times and throughputs from the fraction estimates.
+    for (int r = 0; r < num_chains; ++r) {
+      if (pop[static_cast<std::size_t>(r)] == 0) {
+        result.lambda[static_cast<std::size_t>(r)] = 0.0;
+        continue;
+      }
+      double cycle = 0.0;
+      for (int n = 0; n < num_stations; ++n) {
+        const double d = model.demand(r, n);
+        if (d <= 0.0) {
+          result.time.at(n, r) = 0.0;
+          continue;
+        }
+        if (model.station(n).is_delay()) {
+          result.time.at(n, r) = d;
+        } else {
+          double seen = 0.0;
+          for (int j = 0; j < num_chains; ++j) {
+            const double pop_j =
+                pop[static_cast<std::size_t>(j)] - (j == r ? 1.0 : 0.0);
+            if (pop_j <= 0.0) continue;
+            const double frac =
+                f.at(n, j) + delta[static_cast<std::size_t>(r)].at(n, j);
+            seen += pop_j * std::max(0.0, frac);
+          }
+          result.time.at(n, r) = d * (1.0 + seen);
+        }
+        cycle += result.time.at(n, r);
+      }
+      result.lambda[static_cast<std::size_t>(r)] =
+          pop[static_cast<std::size_t>(r)] / cycle;
+    }
+    // New queue lengths and fractions.
+    for (int r = 0; r < num_chains; ++r) {
+      const int pr = pop[static_cast<std::size_t>(r)];
+      for (int n = 0; n < num_stations; ++n) {
+        const double updated =
+            result.lambda[static_cast<std::size_t>(r)] * result.time.at(n, r);
+        result.number.at(n, r) = updated;
+        const double new_fraction = pr > 0 ? updated / pr : 0.0;
+        change = std::max(change, std::abs(new_fraction - f.at(n, r)));
+        f.at(n, r) = new_fraction;
+      }
+    }
+    result.iterations = iteration;
+    if (change < options.core_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+Matrix fractions_of(const CoreResult& core, const std::vector<int>& pop) {
+  Matrix f(core.number.stations, core.number.chains);
+  for (int n = 0; n < core.number.stations; ++n) {
+    for (int r = 0; r < core.number.chains; ++r) {
+      f.at(n, r) = pop[static_cast<std::size_t>(r)] > 0
+                       ? core.number.at(n, r) /
+                             pop[static_cast<std::size_t>(r)]
+                       : 0.0;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+MvaSolution solve_linearizer(const qn::NetworkModel& model,
+                             const LinearizerOptions& options) {
+  model.validate();
+  if (!model.all_closed()) {
+    throw qn::ModelError("solve_linearizer: all chains must be closed");
+  }
+  for (int n = 0; n < model.num_stations(); ++n) {
+    if (!model.station(n).is_fixed_rate() && !model.station(n).is_delay()) {
+      throw qn::ModelError(
+          "solve_linearizer: queue-dependent stations unsupported");
+    }
+  }
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  std::vector<int> pop(static_cast<std::size_t>(num_chains));
+  for (int r = 0; r < num_chains; ++r) {
+    pop[static_cast<std::size_t>(r)] = model.chain(r).population;
+  }
+
+  // F initialized uniform over each chain's stations; all corrections 0.
+  Matrix fractions(num_stations, num_chains);
+  for (int r = 0; r < num_chains; ++r) {
+    const std::vector<int> stations = model.stations_of(r);
+    for (int n : stations) {
+      fractions.at(n, r) = 1.0 / static_cast<double>(stations.size());
+    }
+  }
+  std::vector<Matrix> delta(
+      static_cast<std::size_t>(num_chains), Matrix(num_stations, num_chains));
+
+  CoreResult full = solve_core(model, pop, fractions, delta, options);
+
+  for (int sweep = 0; sweep < options.iterations; ++sweep) {
+    fractions = fractions_of(full, pop);
+    // Solve the core at each reduced population D - e_j.
+    for (int j = 0; j < num_chains; ++j) {
+      if (pop[static_cast<std::size_t>(j)] == 0) continue;
+      std::vector<int> reduced = pop;
+      --reduced[static_cast<std::size_t>(j)];
+      const CoreResult at_reduced =
+          solve_core(model, reduced, fractions, delta, options);
+      const Matrix f_reduced = fractions_of(at_reduced, reduced);
+      for (int n = 0; n < num_stations; ++n) {
+        for (int r = 0; r < num_chains; ++r) {
+          delta[static_cast<std::size_t>(j)].at(n, r) =
+              f_reduced.at(n, r) - fractions.at(n, r);
+        }
+      }
+    }
+    full = solve_core(model, pop, fractions, delta, options);
+  }
+
+  MvaSolution sol;
+  sol.num_chains = num_chains;
+  sol.iterations = full.iterations;
+  sol.converged = full.converged;
+  sol.chain_throughput = full.lambda;
+  sol.mean_queue = full.number.v;
+  sol.mean_time = full.time.v;
+  return sol;
+}
+
+}  // namespace windim::mva

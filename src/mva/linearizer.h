@@ -1,0 +1,33 @@
+// The Linearizer approximate MVA (Chandy & Neuse, 1982).
+//
+// The thesis's heuristic (and Schweitzer-Bard) assume the queue-length
+// *fractions* F_ir = N_ir / D_r do not change when one customer is
+// removed.  Linearizer estimates the first-order change
+// D_irj = F_ir(D - e_j) - F_ir(D) by actually solving the approximate
+// core at the reduced populations D - e_j and iterating; accuracy
+// improves roughly an order of magnitude at ~ (R+1) times the cost -
+// still nothing like the exact lattice cost.  Included as the natural
+// "continue the heuristic development effort" extension of thesis
+// chapter 5, and as an ablation point between the thesis heuristic and
+// the exact solvers.
+#pragma once
+
+#include "mva/solution.h"
+#include "qn/network.h"
+
+namespace windim::mva {
+
+struct LinearizerOptions {
+  /// Outer Linearizer sweeps (2-3 suffice in practice).
+  int iterations = 3;
+  /// Fixed-point tolerance and iteration cap of the inner core solver.
+  double core_tolerance = 1e-10;
+  int core_max_iterations = 5000;
+};
+
+/// Runs Linearizer on an all-closed model with fixed-rate and IS
+/// stations.  Throws qn::ModelError on invalid input.
+[[nodiscard]] MvaSolution solve_linearizer(
+    const qn::NetworkModel& model, const LinearizerOptions& options = {});
+
+}  // namespace windim::mva

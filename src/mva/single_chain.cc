@@ -1,0 +1,113 @@
+#include "mva/single_chain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::mva {
+
+SingleChainResult solve_single_chain(
+    const std::vector<SingleChainStation>& stations, int population) {
+  if (population < 0) {
+    throw std::invalid_argument("solve_single_chain: negative population");
+  }
+  const std::size_t num_stations = stations.size();
+  for (const SingleChainStation& s : stations) {
+    if (s.demand < 0.0 || !std::isfinite(s.demand)) {
+      throw std::invalid_argument("solve_single_chain: invalid demand");
+    }
+  }
+
+  SingleChainResult result;
+  result.throughput.assign(static_cast<std::size_t>(population) + 1, 0.0);
+  result.mean_number.assign(static_cast<std::size_t>(population) + 1,
+                            std::vector<double>(num_stations, 0.0));
+  result.mean_time.assign(static_cast<std::size_t>(population) + 1,
+                          std::vector<double>(num_stations, 0.0));
+
+  // Marginal probabilities p[n][j] = P{j at station n} at the previous
+  // population level, needed only for queue-dependent stations.
+  std::vector<std::vector<double>> marginal_prev(num_stations);
+  for (std::size_t n = 0; n < num_stations; ++n) {
+    if (!stations[n].station.is_fixed_rate() &&
+        !stations[n].station.is_delay()) {
+      marginal_prev[n].assign(static_cast<std::size_t>(population) + 1, 0.0);
+      marginal_prev[n][0] = 1.0;
+    }
+  }
+
+  for (int k = 1; k <= population; ++k) {
+    auto& time_k = result.mean_time[static_cast<std::size_t>(k)];
+    const auto& number_prev =
+        result.mean_number[static_cast<std::size_t>(k) - 1];
+    double cycle_time = 0.0;
+    for (std::size_t n = 0; n < num_stations; ++n) {
+      const SingleChainStation& s = stations[n];
+      if (s.demand == 0.0) {
+        time_k[n] = 0.0;
+        continue;
+      }
+      if (s.station.is_delay()) {
+        time_k[n] = s.demand;
+      } else if (s.station.is_fixed_rate()) {
+        // Arrival theorem: an arriving customer sees the network with
+        // itself removed (thesis eq. 4.4).
+        time_k[n] = s.demand * (1.0 + number_prev[n]);
+      } else {
+        // Queue-dependent: t_n(k) = d_n sum_{j=1..k} j/alpha(j) *
+        // p_n(j-1 | k-1).
+        double t = 0.0;
+        for (int j = 1; j <= k; ++j) {
+          t += (static_cast<double>(j) / s.station.rate_multiplier(j)) *
+               marginal_prev[n][static_cast<std::size_t>(j) - 1];
+        }
+        time_k[n] = s.demand * t;
+      }
+      cycle_time += time_k[n];
+    }
+    if (!(cycle_time > 0.0)) {
+      throw std::invalid_argument(
+          "solve_single_chain: chain has zero total demand");
+    }
+    const double lambda = k / cycle_time;
+    result.throughput[static_cast<std::size_t>(k)] = lambda;
+    auto& number_k = result.mean_number[static_cast<std::size_t>(k)];
+    for (std::size_t n = 0; n < num_stations; ++n) {
+      number_k[n] = lambda * time_k[n];
+    }
+    // Update marginals of queue-dependent stations:
+    // p_n(j|k) = (d_n / alpha(j)) lambda(k) p_n(j-1|k-1), j >= 1.
+    for (std::size_t n = 0; n < num_stations; ++n) {
+      if (marginal_prev[n].empty() || stations[n].demand == 0.0) continue;
+      std::vector<double> next(marginal_prev[n].size(), 0.0);
+      double tail = 0.0;
+      for (int j = 1; j <= k; ++j) {
+        next[static_cast<std::size_t>(j)] =
+            (stations[n].demand /
+             stations[n].station.rate_multiplier(j)) *
+            lambda * marginal_prev[n][static_cast<std::size_t>(j) - 1];
+        tail += next[static_cast<std::size_t>(j)];
+      }
+      next[0] = std::max(0.0, 1.0 - tail);
+      marginal_prev[n] = std::move(next);
+    }
+  }
+  return result;
+}
+
+SingleChainResult solve_single_chain(const qn::NetworkModel& model) {
+  model.validate();
+  if (model.num_chains() != 1 ||
+      model.chain(0).type != qn::ChainType::kClosed) {
+    throw qn::ModelError(
+        "solve_single_chain: model must have exactly one closed chain");
+  }
+  std::vector<SingleChainStation> stations;
+  stations.reserve(static_cast<std::size_t>(model.num_stations()));
+  for (int n = 0; n < model.num_stations(); ++n) {
+    stations.push_back(
+        SingleChainStation{model.station(n), model.demand(0, n)});
+  }
+  return solve_single_chain(stations, model.chain(0).population);
+}
+
+}  // namespace windim::mva

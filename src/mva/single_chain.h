@@ -1,0 +1,44 @@
+// Exact mean value analysis for a single closed chain (thesis eq.
+// 4.1-4.4, after Reiser & Lavenberg).
+//
+// Computes throughput, per-station mean queue lengths and times for every
+// population 0..K in one pass; the WINDIM heuristic consumes the last two
+// population levels to estimate its sigma terms (thesis eq. 4.12).
+// Supports fixed-rate stations (the arrival theorem recursion), IS
+// stations, and limited queue-dependent stations (via the
+// marginal-probability form of MVA).
+#pragma once
+
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::mva {
+
+/// Station description for the single-chain solver: a demand plus the
+/// station's rate behaviour.  `station` may be shared from a NetworkModel.
+struct SingleChainStation {
+  qn::Station station;
+  double demand = 0.0;  // visit ratio * mean service time
+};
+
+struct SingleChainResult {
+  /// throughput[k], k = 0..K.
+  std::vector<double> throughput;
+  /// mean_number[k][n]: mean customers at station n with population k.
+  std::vector<std::vector<double>> mean_number;
+  /// mean_time[k][n]: per-visit time at station n with population k.
+  std::vector<std::vector<double>> mean_time;
+};
+
+/// Runs the exact MVA recursion to population K.  Throws
+/// std::invalid_argument for K < 0 or non-positive demands at visited
+/// stations.
+[[nodiscard]] SingleChainResult solve_single_chain(
+    const std::vector<SingleChainStation>& stations, int population);
+
+/// Convenience: solves a NetworkModel with exactly one closed chain.
+[[nodiscard]] SingleChainResult solve_single_chain(
+    const qn::NetworkModel& model);
+
+}  // namespace windim::mva

@@ -1,0 +1,53 @@
+#include "net/examples.h"
+
+namespace windim::net {
+
+Topology canada_topology() {
+  Topology t;
+  t.add_node("Vancouver");
+  t.add_node("Edmonton");
+  t.add_node("Winnipeg");
+  t.add_node("Toronto");
+  t.add_node("Montreal");
+  t.add_node("Ottawa");
+  // Channels 1-5: 50 kbit/s trunk line west to east.
+  t.add_channel("Vancouver", "Edmonton", 50.0, "ch1");
+  t.add_channel("Edmonton", "Winnipeg", 50.0, "ch2");
+  t.add_channel("Winnipeg", "Toronto", 50.0, "ch3");
+  t.add_channel("Toronto", "Montreal", 50.0, "ch4");
+  t.add_channel("Montreal", "Ottawa", 50.0, "ch5");
+  // Channels 6-7: 25 kbit/s shortcuts.
+  t.add_channel("Winnipeg", "Montreal", 25.0, "ch6");
+  t.add_channel("Toronto", "Ottawa", 25.0, "ch7");
+  return t;
+}
+
+std::vector<TrafficClass> two_class_traffic(double s1, double s2) {
+  std::vector<TrafficClass> classes(2);
+  classes[0].name = "class1";
+  classes[0].path = {"Edmonton", "Winnipeg", "Toronto", "Montreal", "Ottawa"};
+  classes[0].arrival_rate = s1;
+  classes[1].name = "class2";
+  classes[1].path = {"Montreal", "Toronto", "Winnipeg", "Edmonton",
+                     "Vancouver"};
+  classes[1].arrival_rate = s2;
+  return classes;
+}
+
+std::vector<TrafficClass> four_class_traffic(double s1, double s2, double s3,
+                                             double s4) {
+  std::vector<TrafficClass> classes = two_class_traffic(s1, s2);
+  TrafficClass c3;
+  c3.name = "class3";
+  c3.path = {"Vancouver", "Edmonton", "Winnipeg", "Montreal"};
+  c3.arrival_rate = s3;
+  TrafficClass c4;
+  c4.name = "class4";
+  c4.path = {"Toronto", "Winnipeg"};
+  c4.arrival_rate = s4;
+  classes.push_back(std::move(c3));
+  classes.push_back(std::move(c4));
+  return classes;
+}
+
+}  // namespace windim::net

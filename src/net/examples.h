@@ -1,0 +1,39 @@
+// The thesis's example networks (Figs 4.5 and 4.10).
+//
+// Six Canadian switching nodes joined by seven half-duplex channels;
+// channels 1-5 run at 50 kbit/s, channels 6-7 at 25 kbit/s; messages are
+// exponential with mean 1000 bits for every class.
+//
+// The microfiche reproduction of Figs 4.5/4.10 is not legible enough to
+// pin the two 25 kbit/s channels exactly; we lay the network out so that
+// every constraint stated in the text holds: class 1
+// Edmonton->Winnipeg->Toronto->Montreal->Ottawa (4 hops), class 2
+// Montreal->Toronto->Winnipeg->Edmonton->Vancouver (4 hops, sharing three
+// half-duplex channels with class 1), class 3
+// Vancouver->Edmonton->Winnipeg->Montreal (3 hops, last hop on the
+// 25 kbit/s Winnipeg-Montreal channel), class 4 Toronto->Winnipeg
+// (1 hop), giving the (4,4,3,1) Kleinrock hop-count vector of Table 4.12.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace windim::net {
+
+/// The 6-node, 7-channel network of Fig 4.5 / Fig 4.10.
+[[nodiscard]] Topology canada_topology();
+
+/// Fig 4.5 traffic: class 1 Edmonton->Ottawa at rate s1, class 2
+/// Montreal->Vancouver at rate s2 (msgs/s), 1000-bit messages.
+[[nodiscard]] std::vector<TrafficClass> two_class_traffic(double s1,
+                                                          double s2);
+
+/// Fig 4.10 traffic: classes 1-2 as above plus class 3
+/// Vancouver->Montreal at s3 and class 4 Toronto->Winnipeg at s4.
+[[nodiscard]] std::vector<TrafficClass> four_class_traffic(double s1,
+                                                           double s2,
+                                                           double s3,
+                                                           double s4);
+
+}  // namespace windim::net

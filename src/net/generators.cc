@@ -1,0 +1,127 @@
+#include "net/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace windim::net {
+
+Topology line_topology(int nodes, double capacity_kbps) {
+  if (nodes < 2) throw std::invalid_argument("line_topology: nodes < 2");
+  Topology t;
+  for (int n = 0; n < nodes; ++n) t.add_node("n" + std::to_string(n));
+  for (int n = 0; n + 1 < nodes; ++n) {
+    t.add_channel(n, n + 1, capacity_kbps);
+  }
+  return t;
+}
+
+Topology ring_topology(int nodes, double capacity_kbps) {
+  if (nodes < 3) throw std::invalid_argument("ring_topology: nodes < 3");
+  Topology t;
+  for (int n = 0; n < nodes; ++n) t.add_node("n" + std::to_string(n));
+  for (int n = 0; n < nodes; ++n) {
+    t.add_channel(n, (n + 1) % nodes, capacity_kbps);
+  }
+  return t;
+}
+
+Topology star_topology(int leaves, double capacity_kbps) {
+  if (leaves < 2) throw std::invalid_argument("star_topology: leaves < 2");
+  Topology t;
+  const int hub = t.add_node("hub");
+  for (int n = 0; n < leaves; ++n) {
+    const int leaf = t.add_node("leaf" + std::to_string(n));
+    t.add_channel(hub, leaf, capacity_kbps);
+  }
+  return t;
+}
+
+Topology grid_topology(int width, int height, double capacity_kbps) {
+  if (width < 1 || height < 1 || width * height < 2) {
+    throw std::invalid_argument("grid_topology: degenerate grid");
+  }
+  Topology t;
+  auto name = [](int x, int y) {
+    return "g" + std::to_string(x) + "_" + std::to_string(y);
+  };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      t.add_node(name(x, y));
+    }
+  }
+  auto index = [&](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        t.add_channel(index(x, y), index(x + 1, y), capacity_kbps);
+      }
+      if (y + 1 < height) {
+        t.add_channel(index(x, y), index(x, y + 1), capacity_kbps);
+      }
+    }
+  }
+  return t;
+}
+
+Topology random_topology(int nodes, int extra_channels,
+                         double min_capacity_kbps, double max_capacity_kbps,
+                         util::Rng& rng) {
+  if (nodes < 2) throw std::invalid_argument("random_topology: nodes < 2");
+  if (!(min_capacity_kbps > 0.0) || max_capacity_kbps < min_capacity_kbps) {
+    throw std::invalid_argument("random_topology: bad capacity range");
+  }
+  Topology t;
+  for (int n = 0; n < nodes; ++n) t.add_node("n" + std::to_string(n));
+  auto capacity = [&] {
+    return rng.uniform(min_capacity_kbps, max_capacity_kbps);
+  };
+  // Random spanning tree: attach each new node to a random earlier one.
+  for (int n = 1; n < nodes; ++n) {
+    t.add_channel(rng.uniform_int(0, n - 1), n, capacity());
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_channels && attempts < 50 * (extra_channels + 1)) {
+    ++attempts;
+    const int a = rng.uniform_int(0, nodes - 1);
+    const int b = rng.uniform_int(0, nodes - 1);
+    if (a == b || t.channel_between(a, b) >= 0) continue;
+    t.add_channel(a, b, capacity());
+    ++added;
+  }
+  return t;
+}
+
+std::vector<TrafficClass> random_traffic(const Topology& topology, int count,
+                                         double min_rate, double max_rate,
+                                         util::Rng& rng) {
+  if (count < 1) throw std::invalid_argument("random_traffic: count < 1");
+  if (!(min_rate > 0.0) || max_rate < min_rate) {
+    throw std::invalid_argument("random_traffic: bad rate range");
+  }
+  std::vector<TrafficClass> classes;
+  for (int k = 0; k < count; ++k) {
+    int from = 0, to = 0;
+    while (from == to) {
+      from = rng.uniform_int(0, topology.num_nodes() - 1);
+      to = rng.uniform_int(0, topology.num_nodes() - 1);
+    }
+    const std::vector<int> route = topology.shortest_route(from, to);
+    TrafficClass tc;
+    tc.name = "class" + std::to_string(k);
+    tc.arrival_rate = rng.uniform(min_rate, max_rate);
+    // Convert the channel route back into the node-name path.
+    int current = from;
+    tc.path.push_back(topology.node(current).name);
+    for (int c : route) {
+      const Channel& ch = topology.channel(c);
+      current = ch.a == current ? ch.b : ch.a;
+      tc.path.push_back(topology.node(current).name);
+    }
+    classes.push_back(std::move(tc));
+  }
+  return classes;
+}
+
+}  // namespace windim::net

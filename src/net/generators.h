@@ -1,0 +1,46 @@
+// Parametric topology and traffic generators.
+//
+// The thesis evaluates two hand-drawn networks; a library users adopt
+// needs families of topologies to study how window dimensioning scales:
+// linear (tandem) chains, rings, stars, grids and random connected
+// graphs, plus a random traffic-matrix generator.  Used by the scaling
+// bench and the randomized property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace windim::net {
+
+/// n nodes in a line, n-1 channels ("n0".."n<n-1>").
+[[nodiscard]] Topology line_topology(int nodes, double capacity_kbps);
+
+/// n nodes in a cycle, n channels.
+[[nodiscard]] Topology ring_topology(int nodes, double capacity_kbps);
+
+/// One hub ("hub") plus n leaves ("leaf0"..), n channels.
+[[nodiscard]] Topology star_topology(int leaves, double capacity_kbps);
+
+/// width x height grid ("g<x>_<y>"), channels between 4-neighbours.
+[[nodiscard]] Topology grid_topology(int width, int height,
+                                     double capacity_kbps);
+
+/// Random connected graph: a random spanning tree plus `extra_channels`
+/// additional random channels (skipping duplicates), capacities drawn
+/// uniformly from [min_capacity, max_capacity].
+[[nodiscard]] Topology random_topology(int nodes, int extra_channels,
+                                       double min_capacity_kbps,
+                                       double max_capacity_kbps,
+                                       util::Rng& rng);
+
+/// `count` traffic classes between distinct random node pairs, routed on
+/// shortest paths, with rates uniform in [min_rate, max_rate] msg/s and
+/// 1000-bit messages.
+[[nodiscard]] std::vector<TrafficClass> random_traffic(
+    const Topology& topology, int count, double min_rate, double max_rate,
+    util::Rng& rng);
+
+}  // namespace windim::net

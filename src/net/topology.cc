@@ -1,0 +1,138 @@
+#include "net/topology.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace windim::net {
+
+const char* to_string(LengthModel m) noexcept {
+  switch (m) {
+    case LengthModel::kExponential:
+      return "exponential";
+    case LengthModel::kDeterministic:
+      return "deterministic";
+    case LengthModel::kErlang2:
+      return "erlang-2";
+    case LengthModel::kHyperExp2:
+      return "hyperexp-2";
+  }
+  return "?";
+}
+
+int Topology::add_node(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument("Topology: node name must be non-empty");
+  }
+  for (const Node& n : nodes_) {
+    if (n.name == name) {
+      throw std::invalid_argument("Topology: duplicate node '" + name + "'");
+    }
+  }
+  nodes_.push_back(Node{name});
+  return num_nodes() - 1;
+}
+
+int Topology::add_channel(int a, int b, double capacity_kbps,
+                          const std::string& name) {
+  if (a < 0 || a >= num_nodes() || b < 0 || b >= num_nodes()) {
+    throw std::invalid_argument("Topology: channel endpoint out of range");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Topology: channel endpoints must differ");
+  }
+  if (!(capacity_kbps > 0.0)) {
+    throw std::invalid_argument("Topology: capacity must be positive");
+  }
+  if (channel_between(a, b) >= 0) {
+    throw std::invalid_argument("Topology: duplicate channel");
+  }
+  Channel c;
+  c.a = a;
+  c.b = b;
+  c.capacity_kbps = capacity_kbps;
+  c.name = name.empty()
+               ? nodes_[static_cast<std::size_t>(a)].name + "-" +
+                     nodes_[static_cast<std::size_t>(b)].name
+               : name;
+  channels_.push_back(std::move(c));
+  return num_channels() - 1;
+}
+
+int Topology::add_channel(const std::string& a, const std::string& b,
+                          double capacity_kbps, const std::string& name) {
+  return add_channel(node_index(a), node_index(b), capacity_kbps, name);
+}
+
+int Topology::node_index(const std::string& name) const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  throw std::out_of_range("Topology: unknown node '" + name + "'");
+}
+
+int Topology::channel_between(int a, int b) const noexcept {
+  for (int i = 0; i < num_channels(); ++i) {
+    const Channel& c = channels_[static_cast<std::size_t>(i)];
+    if ((c.a == a && c.b == b) || (c.a == b && c.b == a)) return i;
+  }
+  return -1;
+}
+
+std::vector<int> Topology::shortest_route(int from, int to) const {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::invalid_argument("shortest_route: node out of range");
+  }
+  if (from == to) return {};
+  std::vector<int> parent_channel(static_cast<std::size_t>(num_nodes()), -1);
+  std::vector<int> parent_node(static_cast<std::size_t>(num_nodes()), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes()), false);
+  std::queue<int> frontier;
+  frontier.push(from);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int c = 0; c < num_channels(); ++c) {
+      const Channel& ch = channels_[static_cast<std::size_t>(c)];
+      int v = -1;
+      if (ch.a == u) v = ch.b;
+      if (ch.b == u) v = ch.a;
+      if (v < 0 || seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent_channel[static_cast<std::size_t>(v)] = c;
+      parent_node[static_cast<std::size_t>(v)] = u;
+      if (v == to) {
+        std::vector<int> route;
+        for (int w = to; w != from;
+             w = parent_node[static_cast<std::size_t>(w)]) {
+          route.push_back(parent_channel[static_cast<std::size_t>(w)]);
+        }
+        return {route.rbegin(), route.rend()};
+      }
+      frontier.push(v);
+    }
+  }
+  throw std::runtime_error("shortest_route: nodes are disconnected");
+}
+
+std::vector<int> Topology::route_channels(
+    const std::vector<std::string>& node_path) const {
+  if (node_path.size() < 2) {
+    throw std::invalid_argument("route_channels: need at least two nodes");
+  }
+  std::vector<int> route;
+  for (std::size_t k = 0; k + 1 < node_path.size(); ++k) {
+    const int a = node_index(node_path[k]);
+    const int b = node_index(node_path[k + 1]);
+    const int c = channel_between(a, b);
+    if (c < 0) {
+      throw std::runtime_error("route_channels: no channel between '" +
+                               node_path[k] + "' and '" + node_path[k + 1] +
+                               "'");
+    }
+    route.push_back(c);
+  }
+  return route;
+}
+
+}  // namespace windim::net

@@ -1,0 +1,92 @@
+// Message-switched network topology (thesis chapter 1/4.5).
+//
+// Nodes are switching computers; channels are *half-duplex* communication
+// lines: a single transmission resource shared by traffic in both
+// directions, which is why one channel maps to one FCFS queue in the
+// queueing model and why oppositely-routed classes interact (the essence
+// of the thesis's 2-class example).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace windim::net {
+
+struct Node {
+  std::string name;
+};
+
+struct Channel {
+  std::string name;
+  int a = -1;  // endpoint node indices (order irrelevant: half-duplex)
+  int b = -1;
+  double capacity_kbps = 0.0;
+};
+
+class Topology {
+ public:
+  /// Returns the node index.  Names must be unique and non-empty.
+  int add_node(const std::string& name);
+  /// Returns the channel index.  Endpoints must exist and differ; at most
+  /// one channel per node pair.
+  int add_channel(int a, int b, double capacity_kbps,
+                  const std::string& name = "");
+  /// Convenience: endpoints by name.
+  int add_channel(const std::string& a, const std::string& b,
+                  double capacity_kbps, const std::string& name = "");
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int num_channels() const noexcept {
+    return static_cast<int>(channels_.size());
+  }
+  [[nodiscard]] const Node& node(int i) const { return nodes_.at(i); }
+  [[nodiscard]] const Channel& channel(int i) const {
+    return channels_.at(i);
+  }
+
+  /// Node index by name; throws std::out_of_range if unknown.
+  [[nodiscard]] int node_index(const std::string& name) const;
+  /// Channel connecting nodes a and b, or -1.
+  [[nodiscard]] int channel_between(int a, int b) const noexcept;
+
+  /// Minimum-hop route between two nodes (BFS) as a channel-index list.
+  /// Throws std::runtime_error if no path exists.
+  [[nodiscard]] std::vector<int> shortest_route(int from, int to) const;
+
+  /// Converts a node-name path into the channel-index list along it;
+  /// throws std::runtime_error if consecutive nodes are not connected.
+  [[nodiscard]] std::vector<int> route_channels(
+      const std::vector<std::string>& node_path) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Channel> channels_;
+};
+
+/// Message length distribution of a traffic class.  The analytic stack
+/// uses only the mean (exponential lengths are what make the FCFS
+/// channel queues product-form, thesis 4.2 assumption (c)); the
+/// simulator samples the actual distribution, which is how the library
+/// prices that assumption (bench/ablation_length_dist).
+enum class LengthModel {
+  kExponential,    // cv = 1 (the thesis's assumption)
+  kDeterministic,  // cv = 0: fixed-size messages
+  kErlang2,        // cv = 1/sqrt(2): mildly regular
+  kHyperExp2,      // cv = 2: bursty mix of short and long messages
+};
+
+[[nodiscard]] const char* to_string(LengthModel m) noexcept;
+
+/// One end-to-end traffic class: a virtual channel from path.front() to
+/// path.back() carrying Poisson message traffic.
+struct TrafficClass {
+  std::string name;
+  std::vector<std::string> path;  // node names, source first
+  double arrival_rate = 0.0;      // S_r, messages/second
+  double mean_message_bits = 1000.0;
+  LengthModel length_model = LengthModel::kExponential;
+};
+
+}  // namespace windim::net

@@ -1,0 +1,59 @@
+#include "qn/cyclic.h"
+
+#include <set>
+
+namespace windim::qn {
+
+void CyclicNetwork::validate() const {
+  if (stations.empty()) throw ModelError("CyclicNetwork: no stations");
+  if (chains.empty()) throw ModelError("CyclicNetwork: no chains");
+  for (const CyclicChain& c : chains) {
+    if (c.route.empty()) {
+      throw ModelError("CyclicNetwork: chain '" + c.name + "' has no route");
+    }
+    if (c.route.size() != c.service_times.size()) {
+      throw ModelError("CyclicNetwork: chain '" + c.name +
+                       "' route/service_times size mismatch");
+    }
+    if (c.population < 0) {
+      throw ModelError("CyclicNetwork: chain '" + c.name +
+                       "' has negative population");
+    }
+    std::set<int> seen;
+    for (std::size_t k = 0; k < c.route.size(); ++k) {
+      const int s = c.route[k];
+      if (s < 0 || s >= static_cast<int>(stations.size())) {
+        throw ModelError("CyclicNetwork: chain '" + c.name +
+                         "' routes through unknown station");
+      }
+      if (!seen.insert(s).second) {
+        throw ModelError("CyclicNetwork: chain '" + c.name +
+                         "' visits a station twice; not supported");
+      }
+      if (!(c.service_times[k] > 0.0)) {
+        throw ModelError("CyclicNetwork: chain '" + c.name +
+                         "' has non-positive service time");
+      }
+    }
+  }
+}
+
+NetworkModel CyclicNetwork::to_model() const {
+  validate();
+  NetworkModel model;
+  for (const Station& s : stations) model.add_station(s);
+  for (const CyclicChain& c : chains) {
+    Chain chain;
+    chain.name = c.name;
+    chain.type = ChainType::kClosed;
+    chain.population = c.population;
+    for (std::size_t k = 0; k < c.route.size(); ++k) {
+      chain.visits.push_back(
+          Visit{c.route[k], /*visit_ratio=*/1.0, c.service_times[k]});
+    }
+    model.add_chain(std::move(chain));
+  }
+  return model;
+}
+
+}  // namespace windim::qn

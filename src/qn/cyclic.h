@@ -1,0 +1,43 @@
+// Cyclic-chain network specification.
+//
+// The thesis models an end-to-end flow-controlled virtual channel as a
+// *cyclic* closed chain: the message visits the channel queues of its
+// route in order, is absorbed at the sink, and the acknowledgment returns
+// through a reentrant "source" queue that closes the cycle (thesis 3.4,
+// Fig 4.1/4.6).  This header captures that ordered structure, which the
+// visit-ratio NetworkModel intentionally abstracts away but which the
+// CTMC builder and the discrete-event simulator need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::qn {
+
+/// One closed cyclic chain: the customer repeatedly traverses `route`
+/// in order.  route[k] is a station index; service_times[k] is the mean
+/// exponential service time of this chain at route[k].
+struct CyclicChain {
+  std::string name;
+  std::vector<int> route;
+  std::vector<double> service_times;
+  int population = 0;
+};
+
+/// A network of stations plus cyclic closed chains.
+struct CyclicNetwork {
+  std::vector<Station> stations;
+  std::vector<CyclicChain> chains;
+
+  /// Converts to the solver-facing NetworkModel (visit ratio 1 per visited
+  /// station).  Throws ModelError if a chain visits a station twice or
+  /// route/service_times sizes disagree.
+  [[nodiscard]] NetworkModel to_model() const;
+
+  /// Validates route indices, sizes and populations.
+  void validate() const;
+};
+
+}  // namespace windim::qn

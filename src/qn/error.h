@@ -1,0 +1,16 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace windim::qn {
+
+/// Thrown when a queueing-network model is structurally invalid or violates
+/// the separability (product-form) conditions of BCMP networks that the
+/// exact solvers rely on (thesis sections 3.2-3.3).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace windim::qn

@@ -1,0 +1,197 @@
+#include "qn/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace windim::qn {
+
+const char* to_string(Discipline d) noexcept {
+  switch (d) {
+    case Discipline::kFcfs:
+      return "FCFS";
+    case Discipline::kProcessorSharing:
+      return "PS";
+    case Discipline::kLcfsPreemptiveResume:
+      return "LCFS-PR";
+    case Discipline::kInfiniteServer:
+      return "IS";
+  }
+  return "?";
+}
+
+double Station::rate_multiplier(int j) const {
+  if (j <= 0) return 0.0;
+  if (discipline == Discipline::kInfiniteServer) return j;
+  if (rate_multipliers.empty()) return 1.0;
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(j) - 1,
+                            rate_multipliers.size() - 1);
+  return rate_multipliers[idx];
+}
+
+int NetworkModel::add_station(Station station) {
+  stations_.push_back(std::move(station));
+  rebuild_cache();
+  return num_stations() - 1;
+}
+
+int NetworkModel::add_chain(Chain chain) {
+  for (const Visit& v : chain.visits) {
+    if (v.station < 0 || v.station >= num_stations()) {
+      throw ModelError("add_chain: visit references unknown station");
+    }
+  }
+  chains_.push_back(std::move(chain));
+  rebuild_cache();
+  return num_chains() - 1;
+}
+
+void NetworkModel::rebuild_cache() {
+  const std::size_t n =
+      static_cast<std::size_t>(num_chains()) * num_stations();
+  demand_.assign(n, 0.0);
+  service_time_.assign(n, 0.0);
+  visit_ratio_.assign(n, 0.0);
+  for (int r = 0; r < num_chains(); ++r) {
+    for (const Visit& v : chains_[r].visits) {
+      const std::size_t idx =
+          static_cast<std::size_t>(r) * num_stations() + v.station;
+      demand_[idx] += v.demand();
+      service_time_[idx] = v.mean_service_time;
+      visit_ratio_[idx] += v.visit_ratio;
+    }
+  }
+}
+
+bool NetworkModel::visits(int r, int i) const { return visit_ratio(r, i) > 0; }
+
+double NetworkModel::demand(int r, int i) const {
+  if (r < 0 || r >= num_chains() || i < 0 || i >= num_stations()) {
+    throw ModelError("demand: index out of range");
+  }
+  return demand_[static_cast<std::size_t>(r) * num_stations() + i];
+}
+
+double NetworkModel::service_time(int r, int i) const {
+  if (r < 0 || r >= num_chains() || i < 0 || i >= num_stations()) {
+    throw ModelError("service_time: index out of range");
+  }
+  return service_time_[static_cast<std::size_t>(r) * num_stations() + i];
+}
+
+double NetworkModel::visit_ratio(int r, int i) const {
+  if (r < 0 || r >= num_chains() || i < 0 || i >= num_stations()) {
+    throw ModelError("visit_ratio: index out of range");
+  }
+  return visit_ratio_[static_cast<std::size_t>(r) * num_stations() + i];
+}
+
+std::vector<int> NetworkModel::chains_visiting(int i) const {
+  std::vector<int> result;
+  for (int r = 0; r < num_chains(); ++r) {
+    if (visits(r, i)) result.push_back(r);
+  }
+  return result;
+}
+
+std::vector<int> NetworkModel::stations_of(int r) const {
+  std::vector<int> result;
+  for (int i = 0; i < num_stations(); ++i) {
+    if (visits(r, i)) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<int> NetworkModel::closed_populations() const {
+  std::vector<int> pops;
+  for (const Chain& c : chains_) {
+    if (c.type == ChainType::kClosed) pops.push_back(c.population);
+  }
+  return pops;
+}
+
+bool NetworkModel::all_closed() const {
+  return std::all_of(chains_.begin(), chains_.end(), [](const Chain& c) {
+    return c.type == ChainType::kClosed;
+  });
+}
+
+void NetworkModel::validate() const {
+  if (stations_.empty()) throw ModelError("validate: no stations");
+  if (chains_.empty()) throw ModelError("validate: no chains");
+
+  for (int i = 0; i < num_stations(); ++i) {
+    const Station& s = stations_[i];
+    if (s.is_delay() && !s.rate_multipliers.empty()) {
+      throw ModelError("validate: station '" + s.name +
+                       "' is IS but has explicit rate multipliers");
+    }
+    for (double m : s.rate_multipliers) {
+      if (!(m > 0.0)) {
+        throw ModelError("validate: station '" + s.name +
+                         "' has non-positive rate multiplier");
+      }
+    }
+  }
+
+  for (int r = 0; r < num_chains(); ++r) {
+    const Chain& c = chains_[r];
+    if (c.visits.empty()) {
+      throw ModelError("validate: chain '" + c.name + "' visits no station");
+    }
+    if (c.type == ChainType::kClosed) {
+      if (c.population < 0) {
+        throw ModelError("validate: chain '" + c.name +
+                         "' has negative population");
+      }
+    } else {
+      if (!(c.arrival_rate >= 0.0) || !std::isfinite(c.arrival_rate)) {
+        throw ModelError("validate: chain '" + c.name +
+                         "' has invalid arrival rate");
+      }
+    }
+    std::vector<bool> seen(static_cast<std::size_t>(num_stations()), false);
+    for (const Visit& v : c.visits) {
+      if (seen[static_cast<std::size_t>(v.station)]) {
+        throw ModelError("validate: chain '" + c.name +
+                         "' lists station " + std::to_string(v.station) +
+                         " twice; merge visits into one entry");
+      }
+      seen[static_cast<std::size_t>(v.station)] = true;
+      if (!(v.visit_ratio > 0.0)) {
+        throw ModelError("validate: chain '" + c.name +
+                         "' has non-positive visit ratio");
+      }
+      if (!(v.mean_service_time > 0.0) ||
+          !std::isfinite(v.mean_service_time)) {
+        throw ModelError("validate: chain '" + c.name +
+                         "' has non-positive service time at station " +
+                         std::to_string(v.station));
+      }
+    }
+  }
+
+  // BCMP condition: FCFS stations require class-independent exponential
+  // service; chains sharing an FCFS station must agree on the mean
+  // service time (thesis 3.2.4 / 3.3.1 assumption (f)-(g)).
+  for (int i = 0; i < num_stations(); ++i) {
+    if (stations_[i].discipline != Discipline::kFcfs) continue;
+    double common = -1.0;
+    for (int r = 0; r < num_chains(); ++r) {
+      if (!visits(r, i)) continue;
+      const double st = service_time(r, i);
+      if (common < 0.0) {
+        common = st;
+      } else if (std::abs(st - common) > 1e-12 * std::max(st, common)) {
+        std::ostringstream os;
+        os << "validate: FCFS station '" << stations_[i].name
+           << "' has class-dependent service times (" << common << " vs "
+           << st << "); product form requires equal means at FCFS stations";
+        throw ModelError(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace windim::qn

@@ -1,0 +1,149 @@
+// Multiclass queueing-network model (thesis chapter 3).
+//
+// A NetworkModel is the common input of every solver in this library:
+// the exact product-form solvers (src/exact), mean value analysis
+// (src/mva), and the closed-network simulator (src/sim).  It describes
+// service stations, routing chains (classes), and per-visit service
+// demands.  Routing inside a chain is summarized by visit ratios; when a
+// model is specified by routing probabilities, src/qn/traffic.h solves the
+// traffic equations to obtain the visit ratios first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qn/error.h"
+
+namespace windim::qn {
+
+/// Queueing disciplines of the BCMP/separable class (thesis 3.2.4).
+enum class Discipline {
+  kFcfs,                  // first-come-first-served, exponential service
+  kProcessorSharing,      // PS
+  kLcfsPreemptiveResume,  // LCFS-PR
+  kInfiniteServer,        // IS ("delay" station)
+};
+
+[[nodiscard]] const char* to_string(Discipline d) noexcept;
+
+/// A service station.
+///
+/// `rate_multipliers` models limited queue-dependent service (thesis Table
+/// 3.6 row 2): with j customers present the station works at
+/// rate_multipliers[min(j, size)-1] times its nominal rate.  Empty means a
+/// fixed-rate single server.  For kInfiniteServer the multipliers are
+/// implied (rate grows linearly with occupancy) and must be left empty.
+struct Station {
+  std::string name;
+  Discipline discipline = Discipline::kFcfs;
+  std::vector<double> rate_multipliers;
+
+  [[nodiscard]] bool is_delay() const noexcept {
+    return discipline == Discipline::kInfiniteServer;
+  }
+  [[nodiscard]] bool is_fixed_rate() const noexcept {
+    return !is_delay() && rate_multipliers.empty();
+  }
+  /// Relative service rate with j >= 1 customers present (1.0 for a fixed
+  /// rate station; j for IS).
+  [[nodiscard]] double rate_multiplier(int j) const;
+};
+
+/// One chain's visits to one station.
+struct Visit {
+  int station = -1;
+  /// Mean number of visits to `station` per chain cycle (closed chains) or
+  /// per customer (open chains), relative to the chain's reference flow.
+  double visit_ratio = 1.0;
+  /// Mean service time per visit, in seconds.
+  double mean_service_time = 0.0;
+
+  /// Service demand: visit_ratio * mean_service_time.
+  [[nodiscard]] double demand() const noexcept {
+    return visit_ratio * mean_service_time;
+  }
+};
+
+enum class ChainType { kClosed, kOpen };
+
+/// A routing chain (customer class).  Closed chains carry a fixed
+/// population (the end-to-end window in the flow-control interpretation);
+/// open chains a Poisson arrival rate.
+struct Chain {
+  std::string name;
+  ChainType type = ChainType::kClosed;
+  int population = 0;        // closed chains only
+  double arrival_rate = 0.0; // open chains only, customers/second
+  std::vector<Visit> visits;
+};
+
+/// The complete model.  Construction is incremental (add_station /
+/// add_chain); validate() checks structural and product-form conditions
+/// and is called by every solver entry point.
+class NetworkModel {
+ public:
+  /// Returns the index of the new station.
+  int add_station(Station station);
+  /// Returns the index of the new chain.  Visits must reference existing
+  /// stations; throws ModelError otherwise.
+  int add_chain(Chain chain);
+
+  [[nodiscard]] int num_stations() const noexcept {
+    return static_cast<int>(stations_.size());
+  }
+  [[nodiscard]] int num_chains() const noexcept {
+    return static_cast<int>(chains_.size());
+  }
+  [[nodiscard]] const Station& station(int i) const { return stations_.at(i); }
+  [[nodiscard]] const Chain& chain(int r) const { return chains_.at(r); }
+  [[nodiscard]] const std::vector<Station>& stations() const noexcept {
+    return stations_;
+  }
+  [[nodiscard]] const std::vector<Chain>& chains() const noexcept {
+    return chains_;
+  }
+
+  /// True if chain r visits station i (with nonzero visit ratio).
+  [[nodiscard]] bool visits(int r, int i) const;
+  /// Service demand of chain r at station i (0 when not visited).
+  [[nodiscard]] double demand(int r, int i) const;
+  /// Mean service time of chain r at station i (0 when not visited).
+  [[nodiscard]] double service_time(int r, int i) const;
+  /// Visit ratio of chain r at station i (0 when not visited).
+  [[nodiscard]] double visit_ratio(int r, int i) const;
+
+  /// Indices of chains visiting station i ("R(i)" in the thesis).
+  [[nodiscard]] std::vector<int> chains_visiting(int i) const;
+  /// Indices of stations visited by chain r ("Q(r)" in the thesis).
+  [[nodiscard]] std::vector<int> stations_of(int r) const;
+
+  /// Population vector of the closed chains, in chain order (open chains
+  /// are skipped).
+  [[nodiscard]] std::vector<int> closed_populations() const;
+
+  /// All-chains-closed convenience check.
+  [[nodiscard]] bool all_closed() const;
+
+  /// Validates the model:
+  ///  - at least one station and one chain; every visit references a valid
+  ///    station; visit ratios > 0 and service times >= 0 (source/delay
+  ///    modelling can use 0 demands only at IS stations);
+  ///  - closed chains have population >= 0, open chains arrival_rate >= 0;
+  ///  - FCFS stations visited by more than one chain require equal mean
+  ///    service times across those chains (BCMP condition, thesis 3.2.4);
+  ///  - rate multipliers, when present, are strictly positive and not
+  ///    given for IS stations.
+  /// Throws ModelError on the first violation.
+  void validate() const;
+
+ private:
+  std::vector<Station> stations_;
+  std::vector<Chain> chains_;
+  // demand_[r * stations + i] caches, rebuilt on add_chain/add_station.
+  std::vector<double> demand_;
+  std::vector<double> service_time_;
+  std::vector<double> visit_ratio_;
+  void rebuild_cache();
+};
+
+}  // namespace windim::qn

@@ -1,0 +1,178 @@
+#include "qn/traffic.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace windim::qn {
+
+RoutingMatrix RoutingMatrix::zero(int n) {
+  RoutingMatrix m;
+  m.size = n;
+  m.p.assign(static_cast<std::size_t>(n) * n, 0.0);
+  return m;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) {
+    throw std::invalid_argument("solve_linear_system: dimension mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-13) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[pivot * n + k], a[col * n + k]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      sum -= a[row * n + k] * x[k];
+    }
+    x[row] = sum / a[row * n + row];
+  }
+  return x;
+}
+
+std::vector<double> solve_open_traffic(const RoutingMatrix& routing,
+                                       const std::vector<double>& gamma) {
+  const int n = routing.size;
+  if (static_cast<int>(gamma.size()) != n) {
+    throw std::invalid_argument("solve_open_traffic: dimension mismatch");
+  }
+  // (I - P^T) lambda = gamma.
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          (i == j ? 1.0 : 0.0) - routing.at(j, i);
+    }
+  }
+  return solve_linear_system(std::move(a), gamma);
+}
+
+std::vector<double> solve_closed_visit_ratios(const RoutingMatrix& routing,
+                                              int reference_station) {
+  const int n = routing.size;
+  if (reference_station < 0 || reference_station >= n) {
+    throw std::invalid_argument(
+        "solve_closed_visit_ratios: bad reference station");
+  }
+  // e (I - P) = 0 with e[ref] = 1: replace the ref-th equation of
+  // (I - P^T) e = 0 by e[ref] = 1.
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (i == reference_station) {
+      a[static_cast<std::size_t>(i) * n + i] = 1.0;
+      b[static_cast<std::size_t>(i)] = 1.0;
+      continue;
+    }
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          (i == j ? 1.0 : 0.0) - routing.at(j, i);
+    }
+  }
+  std::vector<double> e = solve_linear_system(std::move(a), std::move(b));
+  for (double& v : e) {
+    if (std::abs(v) < 1e-14) v = 0.0;
+    if (v < 0.0) {
+      throw std::runtime_error(
+          "solve_closed_visit_ratios: negative visit ratio; routing matrix "
+          "is not a proper stochastic matrix over one closed chain");
+    }
+  }
+  return e;
+}
+
+}  // namespace windim::qn
+
+namespace windim::qn {
+namespace {
+
+void check_service_times(const RoutingMatrix& routing,
+                         const std::vector<double>& service_times) {
+  if (static_cast<int>(service_times.size()) != routing.size) {
+    throw std::invalid_argument(
+        "chain_from_routing: service_times size mismatch");
+  }
+}
+
+}  // namespace
+
+Chain closed_chain_from_routing(const RoutingMatrix& routing,
+                                const std::vector<double>& service_times,
+                                int population, int reference_station,
+                                std::string name) {
+  check_service_times(routing, service_times);
+  const std::vector<double> visits =
+      solve_closed_visit_ratios(routing, reference_station);
+  Chain chain;
+  chain.name = std::move(name);
+  chain.type = ChainType::kClosed;
+  chain.population = population;
+  for (int i = 0; i < routing.size; ++i) {
+    if (visits[static_cast<std::size_t>(i)] <= 0.0) continue;
+    chain.visits.push_back(Visit{i, visits[static_cast<std::size_t>(i)],
+                                 service_times[static_cast<std::size_t>(i)]});
+  }
+  return chain;
+}
+
+Chain open_chain_from_routing(const RoutingMatrix& routing,
+                              const std::vector<double>& gamma,
+                              const std::vector<double>& service_times,
+                              std::string name) {
+  check_service_times(routing, service_times);
+  if (static_cast<int>(gamma.size()) != routing.size) {
+    throw std::invalid_argument("open_chain_from_routing: gamma size");
+  }
+  double total = 0.0;
+  for (double g : gamma) {
+    if (g < 0.0) {
+      throw std::invalid_argument("open_chain_from_routing: negative gamma");
+    }
+    total += g;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(
+        "open_chain_from_routing: no exogenous traffic");
+  }
+  const std::vector<double> lambda = solve_open_traffic(routing, gamma);
+  Chain chain;
+  chain.name = std::move(name);
+  chain.type = ChainType::kOpen;
+  chain.arrival_rate = total;
+  for (int i = 0; i < routing.size; ++i) {
+    if (lambda[static_cast<std::size_t>(i)] <= 0.0) continue;
+    chain.visits.push_back(
+        Visit{i, lambda[static_cast<std::size_t>(i)] / total,
+              service_times[static_cast<std::size_t>(i)]});
+  }
+  return chain;
+}
+
+}  // namespace windim::qn

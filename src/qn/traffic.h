@@ -1,0 +1,68 @@
+// Traffic equations (thesis eq. 3.1 and 3.15a).
+//
+// When a model is specified by routing probabilities p_ij rather than
+// visit ratios, the per-station flows are the solution of the linear
+// traffic equations.  For open chains the flows are absolute rates; for
+// closed chains they are determined only up to a multiplicative constant
+// and are normalized so that a chosen reference station has visit ratio 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::qn {
+
+/// Row-major square routing matrix; entry (i, j) is the probability that a
+/// customer completing service at station i proceeds to station j.  Row
+/// sums <= 1; the deficit 1 - sum_j p_ij is the departure probability
+/// (open chains only).
+struct RoutingMatrix {
+  int size = 0;
+  std::vector<double> p;  // size * size entries
+
+  [[nodiscard]] double at(int i, int j) const { return p.at(i * size + j); }
+  double& at(int i, int j) { return p.at(i * size + j); }
+
+  static RoutingMatrix zero(int n);
+};
+
+/// Solves lambda_i = gamma_i + sum_j lambda_j p_ji for an open chain.
+/// `gamma` is the exogenous Poisson arrival rate per station.  Throws
+/// std::invalid_argument on dimension mismatch and std::runtime_error if
+/// the system is singular (e.g. a closed routing sub-structure receiving
+/// exogenous traffic, which has no finite solution).
+[[nodiscard]] std::vector<double> solve_open_traffic(
+    const RoutingMatrix& routing, const std::vector<double>& gamma);
+
+/// Solves e_i = sum_j e_j p_ji for a closed chain (rows of `routing` must
+/// each sum to 1), normalized so e[reference_station] = 1.  Throws
+/// std::runtime_error if station `reference_station` carries no flow or
+/// the chain is not irreducible enough to determine ratios.
+[[nodiscard]] std::vector<double> solve_closed_visit_ratios(
+    const RoutingMatrix& routing, int reference_station);
+
+/// Dense Gaussian elimination with partial pivoting: solves A x = b.
+/// A is row-major n*n.  Throws std::runtime_error on singular systems.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b);
+
+/// Builds a closed chain from a routing matrix: solves the visit-ratio
+/// equations (normalized at `reference_station`) and attaches the given
+/// per-station mean service times.  Station indices of the matrix must
+/// match the target NetworkModel's station indices; stations with zero
+/// visit ratio are omitted from the chain.
+[[nodiscard]] Chain closed_chain_from_routing(
+    const RoutingMatrix& routing, const std::vector<double>& service_times,
+    int population, int reference_station, std::string name = "");
+
+/// Builds an open chain from a routing matrix and exogenous arrival
+/// rates `gamma` (per station): solves the traffic equations, sets the
+/// chain arrival rate to sum(gamma) and per-station visit ratios to
+/// lambda_i / sum(gamma).
+[[nodiscard]] Chain open_chain_from_routing(
+    const RoutingMatrix& routing, const std::vector<double>& gamma,
+    const std::vector<double>& service_times, std::string name = "");
+
+}  // namespace windim::qn

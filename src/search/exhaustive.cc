@@ -1,0 +1,44 @@
+#include "search/exhaustive.h"
+
+#include <stdexcept>
+
+#include "util/mixed_radix.h"
+
+namespace windim::search {
+
+ExhaustiveResult exhaustive_search(const Objective& objective,
+                                   const Point& lower, const Point& upper,
+                                   bool keep_surface) {
+  if (lower.empty() || lower.size() != upper.size()) {
+    throw std::invalid_argument("exhaustive_search: malformed box");
+  }
+  util::PopVector extent(lower.size());
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    if (upper[i] < lower[i]) {
+      throw std::invalid_argument("exhaustive_search: empty box");
+    }
+    extent[i] = upper[i] - lower[i];
+  }
+  const util::MixedRadixIndexer indexer(extent);
+
+  ExhaustiveResult result;
+  util::PopVector offset(lower.size(), 0);
+  bool first = true;
+  do {
+    Point p(lower.size());
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      p[i] = lower[i] + offset[i];
+    }
+    const double v = objective(p);
+    ++result.evaluations;
+    if (keep_surface) result.surface.emplace_back(p, v);
+    if (first || v < result.best_value) {
+      result.best = std::move(p);
+      result.best_value = v;
+      first = false;
+    }
+  } while (indexer.next(offset));
+  return result;
+}
+
+}  // namespace windim::search

@@ -1,0 +1,34 @@
+// Exhaustive grid minimization over an integer box.
+//
+// The validation baseline for the pattern search: on the small window
+// boxes of the thesis examples, enumerating every setting is feasible and
+// certifies (or refutes) the global optimality of the searched optimum
+// ("In probing the global optimality of the window sizes selected ...",
+// thesis 4.5).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "search/pattern_search.h"
+
+namespace windim::search {
+
+struct ExhaustiveResult {
+  Point best;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  /// All evaluated points with values (row-major over the box) when
+  /// `keep_surface` was requested.
+  std::vector<std::pair<Point, double>> surface;
+};
+
+/// Evaluates `objective` at every point of the inclusive box
+/// [lower, upper].  Throws std::invalid_argument on malformed boxes.
+[[nodiscard]] ExhaustiveResult exhaustive_search(const Objective& objective,
+                                                 const Point& lower,
+                                                 const Point& upper,
+                                                 bool keep_surface = false);
+
+}  // namespace windim::search

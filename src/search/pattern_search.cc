@@ -1,0 +1,178 @@
+#include "search/pattern_search.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace windim::search {
+namespace {
+
+struct Cache {
+  const Objective& objective;
+  std::size_t max_evaluations;
+  std::map<Point, double> values;
+  std::size_t evaluations = 0;
+  std::size_t hits = 0;
+
+  double operator()(const Point& p) {
+    auto it = values.find(p);
+    if (it != values.end()) {
+      ++hits;
+      return it->second;
+    }
+    if (evaluations >= max_evaluations) {
+      throw std::runtime_error("pattern_search: evaluation budget exhausted");
+    }
+    ++evaluations;
+    const double v = objective(p);
+    values.emplace(p, v);
+    return v;
+  }
+};
+
+bool in_bounds(const Point& p, const PatternSearchOptions& options) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!options.lower_bound.empty() && p[i] < options.lower_bound[i]) {
+      return false;
+    }
+    if (!options.upper_bound.empty() && p[i] > options.upper_bound[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Point clip(Point p, const PatternSearchOptions& options) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!options.lower_bound.empty()) {
+      p[i] = std::max(p[i], options.lower_bound[i]);
+    }
+    if (!options.upper_bound.empty()) {
+      p[i] = std::min(p[i], options.upper_bound[i]);
+    }
+  }
+  return p;
+}
+
+/// Exploratory move about `base`: perturb each coordinate by +step then
+/// -step, keeping strict improvements (thesis Fig 4.2).  Returns the
+/// explored point and its value.
+std::pair<Point, double> explore(Cache& cache, Point base, double f_base,
+                                 const Point& step,
+                                 const PatternSearchOptions& options) {
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    Point plus = base;
+    plus[i] += step[i];
+    if (in_bounds(plus, options)) {
+      const double f_plus = cache(plus);
+      if (f_plus < f_base) {
+        base = std::move(plus);
+        f_base = f_plus;
+        continue;
+      }
+    }
+    Point minus = base;
+    minus[i] -= step[i];
+    if (in_bounds(minus, options)) {
+      const double f_minus = cache(minus);
+      if (f_minus < f_base) {
+        base = std::move(minus);
+        f_base = f_minus;
+      }
+    }
+  }
+  return {std::move(base), f_base};
+}
+
+}  // namespace
+
+PatternSearchResult pattern_search(const Objective& objective, Point initial,
+                                   const PatternSearchOptions& options) {
+  if (initial.empty()) {
+    throw std::invalid_argument("pattern_search: empty initial point");
+  }
+  Point step = options.initial_step.empty()
+                   ? Point(initial.size(), 1)
+                   : options.initial_step;
+  if (step.size() != initial.size()) {
+    throw std::invalid_argument("pattern_search: step dimension mismatch");
+  }
+  for (int s : step) {
+    if (s < 1) {
+      throw std::invalid_argument("pattern_search: steps must be >= 1");
+    }
+  }
+  if ((!options.lower_bound.empty() &&
+       options.lower_bound.size() != initial.size()) ||
+      (!options.upper_bound.empty() &&
+       options.upper_bound.size() != initial.size())) {
+    throw std::invalid_argument("pattern_search: bound dimension mismatch");
+  }
+  if (!in_bounds(initial, options)) {
+    throw std::invalid_argument("pattern_search: initial point out of bounds");
+  }
+
+  Cache cache{objective, options.max_evaluations, {}, 0, 0};
+  PatternSearchResult result;
+
+  Point base = std::move(initial);
+  double f_base = cache(base);
+  result.base_points.emplace_back(base, f_base);
+
+  int reductions = 0;
+  while (true) {
+    // Exploratory move about the current base point.
+    auto [explored, f_explored] = explore(cache, base, f_base, step, options);
+    if (f_explored < f_base) {
+      // New base established; enter the pattern-move phase (thesis
+      // Fig 4.3/4.4).
+      Point previous = base;
+      base = std::move(explored);
+      f_base = f_explored;
+      result.base_points.emplace_back(base, f_base);
+      while (true) {
+        Point pattern(base.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+          pattern[i] = 2 * base[i] - previous[i];
+        }
+        pattern = clip(std::move(pattern), options);
+        const double f_pattern = cache(pattern);
+        auto [next, f_next] =
+            explore(cache, pattern, f_pattern, step, options);
+        if (f_next < f_base) {
+          previous = base;
+          base = std::move(next);
+          f_base = f_next;
+          result.base_points.emplace_back(base, f_base);
+        } else {
+          break;  // pattern terminated; resume local exploration
+        }
+      }
+      continue;
+    }
+    // Exploration failed: reduce the step or stop.
+    if (reductions >= options.max_step_reductions) break;
+    ++reductions;
+    bool reduced = false;
+    for (int& s : step) {
+      if (s > 1) {
+        s = std::max(1, s / 2);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      // Already at unit steps; a failed unit exploration is final for an
+      // integer search.
+      break;
+    }
+  }
+
+  result.best = base;
+  result.best_value = f_base;
+  result.evaluations = cache.evaluations;
+  result.cache_hits = cache.hits;
+  result.step_reductions = reductions;
+  return result;
+}
+
+}  // namespace windim::search

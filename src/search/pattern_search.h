@@ -1,0 +1,59 @@
+// Integer Hooke-Jeeves pattern search (thesis 4.3; APL program WINDIM).
+//
+// Direct search over integer vectors, minimizing a black-box objective:
+// exploratory moves perturb one coordinate at a time by the current step;
+// a successful exploration is followed by accelerating pattern moves that
+// repeat the combined displacement; failures halve the step until the
+// configured number of reductions is exhausted.  Because the thesis
+// dimensions *integer* windows, steps are integers and halving saturates
+// at 1 ("since we are interested only in integral window settings ...
+// the Pattern Search suffices").
+//
+// Objective evaluations are memoized (the APL FLOC/FCT pair): the search
+// revisits points freely and each is evaluated at most once.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace windim::search {
+
+using Point = std::vector<int>;
+/// Objective to minimize; must be defined on every in-bounds point.
+using Objective = std::function<double(const Point&)>;
+
+struct PatternSearchOptions {
+  /// Initial per-coordinate step sizes; empty means all ones.
+  Point initial_step;
+  /// Number of step halvings before termination (the APL KMAX).  With
+  /// integer saturation at 1, further halvings re-run the exploration at
+  /// step 1 and stop when it fails.
+  int max_step_reductions = 4;
+  /// Inclusive bounds; empty vectors mean unbounded.  Window dimensioning
+  /// uses lower bounds of 1 (a window of 0 closes the virtual channel).
+  Point lower_bound;
+  Point upper_bound;
+  /// Safety valve on fresh objective evaluations.
+  std::size_t max_evaluations = 1'000'000;
+};
+
+struct PatternSearchResult {
+  Point best;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;  // fresh (uncached) objective calls
+  std::size_t cache_hits = 0;
+  int step_reductions = 0;
+  /// Successive base points (including the initial one), for diagnostics
+  /// and tests of the ridge-following behaviour.
+  std::vector<std::pair<Point, double>> base_points;
+};
+
+/// Minimizes `objective` from `initial`.  Throws std::invalid_argument on
+/// dimension mismatches or an out-of-bounds initial point.
+[[nodiscard]] PatternSearchResult pattern_search(
+    const Objective& objective, Point initial,
+    const PatternSearchOptions& options = {});
+
+}  // namespace windim::search

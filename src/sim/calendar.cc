@@ -1,0 +1,36 @@
+#include "sim/calendar.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace windim::sim {
+
+void Calendar::schedule(double delay, std::function<void()> action) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("Calendar::schedule: negative delay");
+  }
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+bool Calendar::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast-free copy of the
+  // closure is wasteful, so pop into a local through a non-const ref
+  // obtained before pop.  Simplest safe approach: copy time/seq, move the
+  // function by re-pushing is not possible; accept a copy here (closures
+  // in this codebase are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.action();
+  return true;
+}
+
+void Calendar::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace windim::sim

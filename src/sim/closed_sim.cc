@@ -1,0 +1,178 @@
+#include "sim/closed_sim.h"
+
+#include <deque>
+
+#include "sim/calendar.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace windim::sim {
+namespace {
+
+struct Customer {
+  int chain = 0;
+  int position = 0;       // index into the chain's route
+  double cycle_start = 0.0;
+};
+
+struct StationState {
+  bool busy = false;          // fixed-rate FCFS only
+  std::deque<int> queue;      // waiting customer ids (FCFS)
+};
+
+}  // namespace
+
+ClosedSimResult simulate_closed(const qn::CyclicNetwork& net,
+                                const ClosedSimOptions& options) {
+  net.validate();
+  for (const qn::Station& s : net.stations) {
+    if (!s.is_fixed_rate() && !s.is_delay()) {
+      throw qn::ModelError(
+          "simulate_closed: queue-dependent stations unsupported");
+    }
+  }
+  const int num_stations = static_cast<int>(net.stations.size());
+  const int num_chains = static_cast<int>(net.chains.size());
+
+  Calendar calendar;
+  util::Rng rng(options.seed);
+
+  std::vector<Customer> customers;
+  std::vector<StationState> stations(
+      static_cast<std::size_t>(num_stations));
+  std::vector<TimeWeightedStat> queue_stat(
+      static_cast<std::size_t>(num_stations) * num_chains);
+  std::vector<long> cycles(static_cast<std::size_t>(num_chains), 0);
+  std::vector<TallyStat> cycle_time(static_cast<std::size_t>(num_chains));
+  bool in_measurement = false;
+
+  auto station_of = [&](const Customer& c) {
+    return net.chains[static_cast<std::size_t>(c.chain)]
+        .route[static_cast<std::size_t>(c.position)];
+  };
+  auto service_mean = [&](const Customer& c) {
+    return net.chains[static_cast<std::size_t>(c.chain)]
+        .service_times[static_cast<std::size_t>(c.position)];
+  };
+  auto bump_queue = [&](int station, int chain, double delta) {
+    auto& stat = queue_stat[static_cast<std::size_t>(station) * num_chains +
+                            chain];
+    stat.update(calendar.now(), stat.current() + delta);
+  };
+
+  // Forward declaration trick: store the handler in a std::function that
+  // events capture by reference via a stable location.
+  std::function<void(int)> begin_service;
+  std::function<void(int)> complete_service;
+
+  begin_service = [&](int customer_id) {
+    Customer& c = customers[static_cast<std::size_t>(customer_id)];
+    const double s = rng.exponential(service_mean(c));
+    calendar.schedule(s, [&, customer_id] { complete_service(customer_id); });
+  };
+
+  complete_service = [&](int customer_id) {
+    Customer& c = customers[static_cast<std::size_t>(customer_id)];
+    const int station = station_of(c);
+    const qn::Station& st = net.stations[static_cast<std::size_t>(station)];
+    bump_queue(station, c.chain, -1.0);
+
+    // Free the FCFS server and start the next waiter.
+    if (!st.is_delay()) {
+      StationState& state = stations[static_cast<std::size_t>(station)];
+      if (!state.queue.empty()) {
+        const int next = state.queue.front();
+        state.queue.pop_front();
+        begin_service(next);
+      } else {
+        state.busy = false;
+      }
+    }
+
+    // Advance the customer along its cycle.
+    const auto& chain = net.chains[static_cast<std::size_t>(c.chain)];
+    c.position = (c.position + 1) % static_cast<int>(chain.route.size());
+    if (c.position == 0) {
+      if (in_measurement) {
+        ++cycles[static_cast<std::size_t>(c.chain)];
+        cycle_time[static_cast<std::size_t>(c.chain)].record(
+            calendar.now() - c.cycle_start);
+      }
+      c.cycle_start = calendar.now();
+    }
+    const int next_station = station_of(c);
+    const qn::Station& nst =
+        net.stations[static_cast<std::size_t>(next_station)];
+    bump_queue(next_station, c.chain, 1.0);
+    if (nst.is_delay()) {
+      begin_service(customer_id);
+    } else {
+      StationState& state = stations[static_cast<std::size_t>(next_station)];
+      if (state.busy) {
+        state.queue.push_back(customer_id);
+      } else {
+        state.busy = true;
+        begin_service(customer_id);
+      }
+    }
+  };
+
+  // Initial placement: all customers at route position 0.
+  for (int r = 0; r < num_chains; ++r) {
+    const auto& chain = net.chains[static_cast<std::size_t>(r)];
+    for (int k = 0; k < chain.population; ++k) {
+      Customer c;
+      c.chain = r;
+      c.position = 0;
+      customers.push_back(c);
+    }
+  }
+  for (int id = 0; id < static_cast<int>(customers.size()); ++id) {
+    Customer& c = customers[static_cast<std::size_t>(id)];
+    const int station = station_of(c);
+    const qn::Station& st = net.stations[static_cast<std::size_t>(station)];
+    bump_queue(station, c.chain, 1.0);
+    if (st.is_delay()) {
+      begin_service(id);
+    } else {
+      StationState& state = stations[static_cast<std::size_t>(station)];
+      if (state.busy) {
+        state.queue.push_back(id);
+      } else {
+        state.busy = true;
+        begin_service(id);
+      }
+    }
+  }
+
+  // Warmup, then measure.
+  calendar.run_until(options.warmup);
+  for (auto& stat : queue_stat) stat.reset(calendar.now());
+  for (Customer& c : customers) c.cycle_start = calendar.now();
+  in_measurement = true;
+  calendar.run_until(options.sim_time);
+
+  ClosedSimResult result;
+  result.num_chains = num_chains;
+  result.measured_time = options.sim_time - options.warmup;
+  result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
+  result.mean_cycle_time.assign(static_cast<std::size_t>(num_chains), 0.0);
+  for (int r = 0; r < num_chains; ++r) {
+    result.chain_throughput[static_cast<std::size_t>(r)] =
+        cycles[static_cast<std::size_t>(r)] / result.measured_time;
+    result.mean_cycle_time[static_cast<std::size_t>(r)] =
+        cycle_time[static_cast<std::size_t>(r)].mean();
+  }
+  result.mean_queue.assign(
+      static_cast<std::size_t>(num_stations) * num_chains, 0.0);
+  for (int n = 0; n < num_stations; ++n) {
+    for (int r = 0; r < num_chains; ++r) {
+      result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] =
+          queue_stat[static_cast<std::size_t>(n) * num_chains + r].mean(
+              options.sim_time);
+    }
+  }
+  return result;
+}
+
+}  // namespace windim::sim

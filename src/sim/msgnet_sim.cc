@@ -1,0 +1,445 @@
+#include "sim/msgnet_sim.h"
+
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/calendar.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace windim::sim {
+namespace {
+
+struct Message {
+  int cls = 0;
+  double arrival_time = 0.0;
+  double admit_time = 0.0;
+  int hop = 0;  // index into the class route (or reversed route for acks)
+  bool is_ack = false;
+};
+
+struct ChannelState {
+  std::deque<int> queue;   // waiting message ids
+  int serving = -1;        // message id in service, -1 = idle
+  bool blocked = false;    // service done, waiting for downstream space
+};
+
+struct ClassRoute {
+  std::vector<int> channels;  // channel index per hop
+  std::vector<int> nodes;     // node index along the path (hops + 1)
+  std::vector<int> reverse_channels;  // ack path (kReversePath mode)
+  double service_mean_bits = 1000.0;
+  net::LengthModel length_model = net::LengthModel::kExponential;
+};
+
+/// Samples a message length with the class's distribution and mean.
+double sample_bits(util::Rng& rng, net::LengthModel model, double mean) {
+  switch (model) {
+    case net::LengthModel::kExponential:
+      return rng.exponential(mean);
+    case net::LengthModel::kDeterministic:
+      return mean;
+    case net::LengthModel::kErlang2:
+      return rng.exponential(mean / 2.0) + rng.exponential(mean / 2.0);
+    case net::LengthModel::kHyperExp2: {
+      // Balanced two-phase hyperexponential with cv^2 = 4:
+      // p from p(1-p) = (cv^2+1)^-1... using the standard balanced-means
+      // construction: p = (1 + sqrt((c2-1)/(c2+1)))/2, mean_i = mean/(2p_i).
+      constexpr double c2 = 4.0;
+      constexpr double root = 0.7745966692414834;  // sqrt((c2-1)/(c2+1))
+      const double p = 0.5 * (1.0 + root);
+      (void)c2;
+      if (rng.uniform01() < p) {
+        return rng.exponential(mean / (2.0 * p));
+      }
+      return rng.exponential(mean / (2.0 * (1.0 - p)));
+    }
+  }
+  return mean;
+}
+
+}  // namespace
+
+MsgNetResult simulate_msgnet(const net::Topology& topology,
+                             const std::vector<net::TrafficClass>& classes,
+                             const MsgNetOptions& options) {
+  if (classes.empty()) {
+    throw std::invalid_argument("simulate_msgnet: no traffic classes");
+  }
+  const int num_classes = static_cast<int>(classes.size());
+  const int num_nodes = topology.num_nodes();
+  const int num_channels = topology.num_channels();
+  if (!options.windows.empty() &&
+      static_cast<int>(options.windows.size()) != num_classes) {
+    throw std::invalid_argument("simulate_msgnet: windows size mismatch");
+  }
+  if (!options.node_buffer_limit.empty() &&
+      static_cast<int>(options.node_buffer_limit.size()) != num_nodes) {
+    throw std::invalid_argument(
+        "simulate_msgnet: node_buffer_limit size mismatch");
+  }
+
+  // Routes.
+  std::vector<ClassRoute> routes(static_cast<std::size_t>(num_classes));
+  for (int r = 0; r < num_classes; ++r) {
+    const net::TrafficClass& tc = classes[static_cast<std::size_t>(r)];
+    if (!(tc.arrival_rate > 0.0)) {
+      throw std::invalid_argument("simulate_msgnet: class '" + tc.name +
+                                  "' needs a positive arrival rate");
+    }
+    ClassRoute& route = routes[static_cast<std::size_t>(r)];
+    route.channels = topology.route_channels(tc.path);
+    route.reverse_channels.assign(route.channels.rbegin(),
+                                  route.channels.rend());
+    for (const std::string& name : tc.path) {
+      route.nodes.push_back(topology.node_index(name));
+    }
+    route.service_mean_bits = tc.mean_message_bits;
+    route.length_model = tc.length_model;
+  }
+
+  Calendar calendar;
+  util::Rng rng(options.seed);
+
+  std::vector<Message> messages;
+  std::vector<ChannelState> channels(
+      static_cast<std::size_t>(num_channels));
+  std::vector<int> node_occupancy(static_cast<std::size_t>(num_nodes), 0);
+  /// Channels blocked waiting for space at a node, FIFO.
+  std::vector<std::deque<int>> node_waiters(
+      static_cast<std::size_t>(num_nodes));
+  std::vector<std::deque<int>> source_queue(
+      static_cast<std::size_t>(num_classes));
+  std::vector<int> in_flight(static_cast<std::size_t>(num_classes), 0);
+  int free_permits = options.isarithmic_permits;
+
+  // Statistics.
+  bool measuring = false;
+  std::vector<long> arrivals(static_cast<std::size_t>(num_classes), 0);
+  std::vector<long> admissions(static_cast<std::size_t>(num_classes), 0);
+  std::vector<long> deliveries(static_cast<std::size_t>(num_classes), 0);
+  std::vector<long> drops(static_cast<std::size_t>(num_classes), 0);
+  std::vector<TallyStat> network_delay(static_cast<std::size_t>(num_classes));
+  std::vector<TallyStat> total_delay(static_cast<std::size_t>(num_classes));
+  TimeWeightedStat in_network;
+  std::vector<TimeWeightedStat> channel_queue(
+      static_cast<std::size_t>(num_channels));
+  std::vector<TimeWeightedStat> channel_busy(
+      static_cast<std::size_t>(num_channels));
+  std::vector<long> channel_completions(
+      static_cast<std::size_t>(num_channels), 0);
+  auto channel_occupancy = [&](int channel) {
+    const ChannelState& ch = channels[static_cast<std::size_t>(channel)];
+    return static_cast<double>(ch.queue.size()) +
+           (ch.serving >= 0 ? 1.0 : 0.0);
+  };
+  auto note_channel = [&](int channel) {
+    channel_queue[static_cast<std::size_t>(channel)].update(
+        calendar.now(), channel_occupancy(channel));
+    channel_busy[static_cast<std::size_t>(channel)].update(
+        calendar.now(),
+        channels[static_cast<std::size_t>(channel)].serving >= 0 ? 1.0 : 0.0);
+  };
+
+  auto node_limit = [&](int node) {
+    if (options.node_buffer_limit.empty()) return -1;  // unlimited
+    const int k = options.node_buffer_limit[static_cast<std::size_t>(node)];
+    return k <= 0 ? -1 : k;
+  };
+  auto node_has_space = [&](int node) {
+    const int limit = node_limit(node);
+    return limit < 0 ||
+           node_occupancy[static_cast<std::size_t>(node)] < limit;
+  };
+  auto window_of = [&](int cls) {
+    if (options.windows.empty()) return -1;  // disabled
+    const int e = options.windows[static_cast<std::size_t>(cls)];
+    return e <= 0 ? -1 : e;
+  };
+
+  std::function<void(int)> start_service;
+  std::function<void(int)> finish_service;
+  std::function<void(int)> advance_message;  // move to next hop / deliver
+  std::function<void()> try_admissions;
+  std::function<void(int)> release_node_space;
+
+  auto channel_capacity_bps = [&](int channel) {
+    return topology.channel(channel).capacity_kbps * 1000.0;
+  };
+
+  start_service = [&](int channel) {
+    ChannelState& ch = channels[static_cast<std::size_t>(channel)];
+    note_channel(channel);
+    if (ch.serving >= 0 || ch.queue.empty()) return;
+    const int id = ch.queue.front();
+    ch.queue.pop_front();
+    ch.serving = id;
+    note_channel(channel);
+    const Message& m = messages[static_cast<std::size_t>(id)];
+    const ClassRoute& mr = routes[static_cast<std::size_t>(m.cls)];
+    const double bits =
+        m.is_ack ? rng.exponential(options.ack_bits)
+                 : sample_bits(rng, mr.length_model, mr.service_mean_bits);
+    const double service = bits / channel_capacity_bps(channel);
+    calendar.schedule(service, [&, channel] { finish_service(channel); });
+  };
+
+  finish_service = [&](int channel) {
+    ChannelState& ch = channels[static_cast<std::size_t>(channel)];
+    const int id = ch.serving;
+    const Message& m = messages[static_cast<std::size_t>(id)];
+    const ClassRoute& route = routes[static_cast<std::size_t>(m.cls)];
+    if (m.is_ack) {
+      // Acknowledgments are tiny control messages: they consume channel
+      // capacity but bypass store-and-forward buffer limits.
+      advance_message(channel);
+      return;
+    }
+    const int dest_node =
+        route.nodes[static_cast<std::size_t>(m.hop) + 1];
+    const bool delivering =
+        m.hop + 1 == static_cast<int>(route.channels.size());
+    if (delivering || node_has_space(dest_node)) {
+      advance_message(channel);
+    } else {
+      // Hold the channel until the destination node has space
+      // (store-and-forward blocking, thesis 2.2.2).
+      ch.blocked = true;
+      node_waiters[static_cast<std::size_t>(dest_node)].push_back(channel);
+    }
+  };
+
+  advance_message = [&](int channel) {
+    ChannelState& ch = channels[static_cast<std::size_t>(channel)];
+    const int id = ch.serving;
+    ch.serving = -1;
+    ch.blocked = false;
+    if (measuring) ++channel_completions[static_cast<std::size_t>(channel)];
+    note_channel(channel);
+    Message& m = messages[static_cast<std::size_t>(id)];
+    const ClassRoute& route = routes[static_cast<std::size_t>(m.cls)];
+
+    if (m.is_ack) {
+      const bool done =
+          m.hop + 1 == static_cast<int>(route.reverse_channels.size());
+      if (done) {
+        // Credit arrives back at the source.
+        if (window_of(m.cls) > 0) {
+          --in_flight[static_cast<std::size_t>(m.cls)];
+        }
+      } else {
+        ++m.hop;
+        const int next_channel =
+            route.reverse_channels[static_cast<std::size_t>(m.hop)];
+        channels[static_cast<std::size_t>(next_channel)].queue.push_back(id);
+        start_service(next_channel);
+      }
+      start_service(channel);
+      try_admissions();
+      return;
+    }
+
+    const int from_node = route.nodes[static_cast<std::size_t>(m.hop)];
+    const int dest_node = route.nodes[static_cast<std::size_t>(m.hop) + 1];
+    const bool delivering =
+        m.hop + 1 == static_cast<int>(route.channels.size());
+
+    --node_occupancy[static_cast<std::size_t>(from_node)];
+
+    if (delivering) {
+      // Leaves the network: release the permit; the window credit is
+      // released now (instantaneous acks) or when the acknowledgment
+      // message completes the reverse path.
+      const int cls = m.cls;
+      if (window_of(cls) > 0 &&
+          options.ack_mode == AckMode::kInstantaneous) {
+        --in_flight[static_cast<std::size_t>(cls)];
+      }
+      if (options.isarithmic_permits > 0) ++free_permits;
+      in_network.update(calendar.now(), in_network.current() - 1.0);
+      if (measuring) {
+        ++deliveries[static_cast<std::size_t>(cls)];
+        network_delay[static_cast<std::size_t>(cls)].record(
+            calendar.now() - m.admit_time);
+        total_delay[static_cast<std::size_t>(cls)].record(
+            calendar.now() - m.arrival_time);
+      }
+      if (window_of(cls) > 0 && options.ack_mode == AckMode::kReversePath) {
+        Message ack;
+        ack.cls = cls;
+        ack.is_ack = true;
+        ack.arrival_time = calendar.now();
+        messages.push_back(ack);  // invalidates `m`
+        const int ack_id = static_cast<int>(messages.size()) - 1;
+        const int first_channel =
+            routes[static_cast<std::size_t>(cls)].reverse_channels[0];
+        channels[static_cast<std::size_t>(first_channel)].queue.push_back(
+            ack_id);
+        start_service(first_channel);
+      }
+    } else {
+      ++node_occupancy[static_cast<std::size_t>(dest_node)];
+      ++m.hop;
+      const int next_channel =
+          route.channels[static_cast<std::size_t>(m.hop)];
+      channels[static_cast<std::size_t>(next_channel)].queue.push_back(id);
+      start_service(next_channel);
+    }
+
+    // The channel is free again.
+    start_service(channel);
+    // Space freed at from_node (and the window/permit on delivery):
+    // unblock waiters, then try admissions.
+    release_node_space(from_node);
+    try_admissions();
+  };
+
+  release_node_space = [&](int node) {
+    auto& waiters = node_waiters[static_cast<std::size_t>(node)];
+    while (!waiters.empty() && node_has_space(node)) {
+      const int channel = waiters.front();
+      waiters.pop_front();
+      ChannelState& ch = channels[static_cast<std::size_t>(channel)];
+      if (!ch.blocked || ch.serving < 0) continue;  // stale entry
+      // Confirm the blocked message still targets this node.
+      const Message& m =
+          messages[static_cast<std::size_t>(ch.serving)];
+      const ClassRoute& route = routes[static_cast<std::size_t>(m.cls)];
+      const int dest =
+          route.nodes[static_cast<std::size_t>(m.hop) + 1];
+      if (dest != node) continue;
+      advance_message(channel);
+    }
+  };
+
+  try_admissions = [&]() {
+    // Round-robin over classes until no admission is possible.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int r = 0; r < num_classes; ++r) {
+        auto& waiting = source_queue[static_cast<std::size_t>(r)];
+        if (waiting.empty()) continue;
+        const int window = window_of(r);
+        if (window > 0 && in_flight[static_cast<std::size_t>(r)] >= window) {
+          continue;
+        }
+        if (options.isarithmic_permits > 0 && free_permits == 0) continue;
+        const int source_node =
+            routes[static_cast<std::size_t>(r)].nodes[0];
+        if (!node_has_space(source_node)) continue;
+
+        const int id = waiting.front();
+        waiting.pop_front();
+        Message& m = messages[static_cast<std::size_t>(id)];
+        m.admit_time = calendar.now();
+        if (window > 0) ++in_flight[static_cast<std::size_t>(r)];
+        if (options.isarithmic_permits > 0) --free_permits;
+        ++node_occupancy[static_cast<std::size_t>(source_node)];
+        in_network.update(calendar.now(), in_network.current() + 1.0);
+        if (measuring) ++admissions[static_cast<std::size_t>(r)];
+
+        const int first_channel =
+            routes[static_cast<std::size_t>(r)].channels[0];
+        channels[static_cast<std::size_t>(first_channel)].queue.push_back(
+            id);
+        start_service(first_channel);
+        progress = true;
+      }
+    }
+  };
+
+  // Poisson arrival processes.
+  std::function<void(int)> arrive = [&](int cls) {
+    if (measuring) ++arrivals[static_cast<std::size_t>(cls)];
+    auto& waiting = source_queue[static_cast<std::size_t>(cls)];
+    // Enqueue, attempt immediate admission, then enforce the backlog
+    // limit: with limit 0 an arrival is carried only if it can enter the
+    // network right away (the semiclosed/loss model).
+    Message m;
+    m.cls = cls;
+    m.arrival_time = calendar.now();
+    messages.push_back(m);
+    waiting.push_back(static_cast<int>(messages.size()) - 1);
+    try_admissions();
+    if (options.source_queue_limit >= 0 &&
+        static_cast<int>(waiting.size()) >
+            options.source_queue_limit) {
+      waiting.pop_back();
+      if (measuring) ++drops[static_cast<std::size_t>(cls)];
+    }
+    calendar.schedule(
+        rng.exponential(1.0 /
+                        classes[static_cast<std::size_t>(cls)].arrival_rate),
+        [&, cls] { arrive(cls); });
+  };
+  for (int r = 0; r < num_classes; ++r) {
+    calendar.schedule(
+        rng.exponential(1.0 /
+                        classes[static_cast<std::size_t>(r)].arrival_rate),
+        [&, r] { arrive(r); });
+  }
+
+  calendar.run_until(options.warmup);
+  in_network.reset(calendar.now());
+  for (int c = 0; c < num_channels; ++c) {
+    channel_queue[static_cast<std::size_t>(c)].update(calendar.now(),
+                                                      channel_occupancy(c));
+    channel_queue[static_cast<std::size_t>(c)].reset(calendar.now());
+    channel_busy[static_cast<std::size_t>(c)].update(
+        calendar.now(),
+        channels[static_cast<std::size_t>(c)].serving >= 0 ? 1.0 : 0.0);
+    channel_busy[static_cast<std::size_t>(c)].reset(calendar.now());
+  }
+  measuring = true;
+  calendar.run_until(options.sim_time);
+
+  MsgNetResult result;
+  result.measured_time = options.sim_time - options.warmup;
+  result.per_class.resize(static_cast<std::size_t>(num_classes));
+  long total_delivered = 0;
+  double weighted_network_delay = 0.0;
+  double weighted_total_delay = 0.0;
+  for (int r = 0; r < num_classes; ++r) {
+    MsgNetClassStats& s = result.per_class[static_cast<std::size_t>(r)];
+    s.offered_rate =
+        arrivals[static_cast<std::size_t>(r)] / result.measured_time;
+    s.admitted_rate =
+        admissions[static_cast<std::size_t>(r)] / result.measured_time;
+    s.delivered_rate =
+        deliveries[static_cast<std::size_t>(r)] / result.measured_time;
+    s.dropped_rate = drops[static_cast<std::size_t>(r)] /
+                     result.measured_time;
+    s.mean_network_delay =
+        network_delay[static_cast<std::size_t>(r)].mean();
+    s.mean_total_delay = total_delay[static_cast<std::size_t>(r)].mean();
+    total_delivered += deliveries[static_cast<std::size_t>(r)];
+    weighted_network_delay +=
+        s.mean_network_delay * deliveries[static_cast<std::size_t>(r)];
+    weighted_total_delay +=
+        s.mean_total_delay * deliveries[static_cast<std::size_t>(r)];
+  }
+  result.delivered_rate = total_delivered / result.measured_time;
+  if (total_delivered > 0) {
+    result.mean_network_delay = weighted_network_delay / total_delivered;
+    result.mean_total_delay = weighted_total_delay / total_delivered;
+  }
+  result.power = result.mean_network_delay > 0.0
+                     ? result.delivered_rate / result.mean_network_delay
+                     : 0.0;
+  result.mean_in_network = in_network.mean(options.sim_time);
+  result.per_channel.resize(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    MsgNetChannelStats& s = result.per_channel[static_cast<std::size_t>(c)];
+    s.mean_queue =
+        channel_queue[static_cast<std::size_t>(c)].mean(options.sim_time);
+    s.utilization =
+        channel_busy[static_cast<std::size_t>(c)].mean(options.sim_time);
+    s.carried_rate = channel_completions[static_cast<std::size_t>(c)] /
+                     result.measured_time;
+  }
+  return result;
+}
+
+}  // namespace windim::sim

@@ -1,0 +1,96 @@
+// Full store-and-forward message-switched network simulator with the
+// thesis's chapter-2 flow-control taxonomy:
+//
+//   (a) end-to-end windows: at most E_r unacknowledged messages per
+//       virtual channel (acknowledgments are instantaneous, as in the
+//       thesis's closed-chain model);
+//   (b) local flow control: per-node store-and-forward buffer limits K_i
+//       (thesis 2.2.2, Fig 2.4) with hold-the-channel blocking - a
+//       transmission whose destination node is full keeps the channel
+//       until space frees (and can therefore produce the congestion
+//       collapse / deadlock of Fig 2.1 when no other control is active);
+//   (c) isarithmic (global) flow control: a fixed pool of permits; a
+//       message needs a permit to enter the network and releases it on
+//       delivery (thesis 2.2.3).
+//
+// Messages arrive in Poisson streams per class, have exponential lengths
+// resampled per hop (the standard independence assumption, matching the
+// analytic model), and traverse the half-duplex channel queues of their
+// route FCFS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace windim::sim {
+
+/// How window credits return to the source.
+enum class AckMode {
+  /// Credit released the instant the message is delivered - the thesis's
+  /// modelling assumption (the reentrant queue carries no traffic).
+  kInstantaneous,
+  /// An acknowledgment message travels back along the reverse route,
+  /// consuming half-duplex channel capacity; the credit is released when
+  /// it reaches the source.  Quantifies the cost of the instantaneous-ack
+  /// assumption (bench/ablation_ack_path).
+  kReversePath,
+};
+
+struct MsgNetOptions {
+  /// Per-class end-to-end windows; entry <= 0 disables the window for
+  /// that class.  Empty disables end-to-end control entirely.
+  std::vector<int> windows;
+  AckMode ack_mode = AckMode::kInstantaneous;
+  /// Mean exponential acknowledgment length (bits) for kReversePath.
+  double ack_bits = 100.0;
+  /// Per-node buffer limits K_i; empty disables local control; entry
+  /// <= 0 means unlimited at that node.
+  std::vector<int> node_buffer_limit;
+  /// Isarithmic permit pool size; 0 disables global control.
+  int isarithmic_permits = 0;
+  /// Maximum messages waiting for admission per class source; -1 means
+  /// unbounded, 0 means arrivals finding the window closed are dropped.
+  int source_queue_limit = -1;
+  double sim_time = 500.0;
+  double warmup = 50.0;
+  std::uint64_t seed = 1;
+};
+
+struct MsgNetClassStats {
+  double offered_rate = 0.0;     // arrivals/s after warmup
+  double admitted_rate = 0.0;    // admissions/s
+  double delivered_rate = 0.0;   // deliveries/s
+  double dropped_rate = 0.0;     // source drops/s
+  double mean_network_delay = 0.0;  // admission -> delivery
+  double mean_total_delay = 0.0;    // arrival -> delivery
+};
+
+struct MsgNetChannelStats {
+  double utilization = 0.0;     // fraction of time transmitting or blocked
+  double mean_queue = 0.0;      // time-averaged messages queued + in service
+  double carried_rate = 0.0;    // transmissions completed / s (incl. acks)
+};
+
+struct MsgNetResult {
+  double delivered_rate = 0.0;
+  double mean_network_delay = 0.0;
+  double mean_total_delay = 0.0;
+  /// delivered_rate / mean_network_delay (thesis power, measured).
+  double power = 0.0;
+  double mean_in_network = 0.0;  // time-averaged admitted messages
+  std::vector<MsgNetClassStats> per_class;
+  /// Per half-duplex channel, in topology order.
+  std::vector<MsgNetChannelStats> per_channel;
+  double measured_time = 0.0;
+};
+
+/// Simulates the network.  Throws std::invalid_argument on option/model
+/// mismatches (window or buffer vector sizes, bad rates).
+[[nodiscard]] MsgNetResult simulate_msgnet(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    const MsgNetOptions& options = {});
+
+}  // namespace windim::sim

@@ -1,0 +1,48 @@
+#include "sim/replicate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/stats.h"
+
+namespace windim::sim {
+namespace {
+
+MetricEstimate estimate(const TallyStat& stat) {
+  MetricEstimate e;
+  e.mean = stat.mean();
+  // Normal approximation with the t-ish factor 2.0 (replication counts
+  // here are small but the metrics are means of long runs).
+  e.half_width = 2.0 * stat.stddev() /
+                 std::sqrt(static_cast<double>(stat.count()));
+  return e;
+}
+
+}  // namespace
+
+ReplicatedResult run_replications(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    const MsgNetOptions& options, int replications) {
+  if (replications < 2) {
+    throw std::invalid_argument("run_replications: need >= 2 replications");
+  }
+  ReplicatedResult result;
+  result.replications = replications;
+  TallyStat delivered, delay, power;
+  for (int k = 0; k < replications; ++k) {
+    MsgNetOptions run_options = options;
+    run_options.seed = options.seed + static_cast<std::uint64_t>(k);
+    MsgNetResult run = simulate_msgnet(topology, classes, run_options);
+    delivered.record(run.delivered_rate);
+    delay.record(run.mean_network_delay);
+    power.record(run.power);
+    result.runs.push_back(std::move(run));
+  }
+  result.delivered_rate = estimate(delivered);
+  result.mean_network_delay = estimate(delay);
+  result.power = estimate(power);
+  return result;
+}
+
+}  // namespace windim::sim

@@ -1,0 +1,41 @@
+// Independent replications of the message-network simulation.
+//
+// Single runs are point estimates; design decisions want intervals.
+// run_replications() repeats simulate_msgnet with consecutive seeds and
+// returns mean and ~95% normal-approximation confidence half-widths for
+// the headline metrics.
+#pragma once
+
+#include <vector>
+
+#include "sim/msgnet_sim.h"
+
+namespace windim::sim {
+
+struct MetricEstimate {
+  double mean = 0.0;
+  double half_width = 0.0;  // ~95% CI half width over replications
+
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= mean - half_width && value <= mean + half_width;
+  }
+};
+
+struct ReplicatedResult {
+  MetricEstimate delivered_rate;
+  MetricEstimate mean_network_delay;
+  MetricEstimate power;
+  int replications = 0;
+  /// The raw per-replication results, for custom post-processing.
+  std::vector<MsgNetResult> runs;
+};
+
+/// Runs `replications` simulations with seeds base_seed, base_seed+1, ...
+/// (everything else from `options`).  Throws std::invalid_argument for
+/// replications < 2.
+[[nodiscard]] ReplicatedResult run_replications(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    const MsgNetOptions& options, int replications);
+
+}  // namespace windim::sim

@@ -1,0 +1,73 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::sim {
+
+void TallyStat::record(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double TallyStat::mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+double TallyStat::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double TallyStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedStat::update(double time, double new_value) {
+  if (time < last_time_) {
+    throw std::invalid_argument("TimeWeightedStat: time went backwards");
+  }
+  integral_ += value_ * (time - last_time_);
+  last_time_ = time;
+  value_ = new_value;
+}
+
+void TimeWeightedStat::reset(double time) {
+  integral_ += value_ * (time - last_time_);  // discard below
+  integral_ = 0.0;
+  last_time_ = time;
+  window_start_ = time;
+}
+
+double TimeWeightedStat::mean(double end_time) const {
+  const double span = end_time - window_start_;
+  if (!(span > 0.0)) return value_;
+  const double total =
+      integral_ + value_ * (end_time - last_time_);
+  return total / span;
+}
+
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             int num_batches) {
+  BatchMeansResult result;
+  if (num_batches < 2) {
+    throw std::invalid_argument("batch_means: need >= 2 batches");
+  }
+  const std::size_t per_batch = observations.size() /
+                                static_cast<std::size_t>(num_batches);
+  if (per_batch == 0) return result;
+
+  TallyStat batch_stat;
+  for (int b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < per_batch; ++i) {
+      sum += observations[static_cast<std::size_t>(b) * per_batch + i];
+    }
+    batch_stat.record(sum / static_cast<double>(per_batch));
+  }
+  result.mean = batch_stat.mean();
+  result.batches = num_batches;
+  // Normal approximation; with ~10 batches t_{0.975,9} ~= 2.26, use 2.26.
+  result.half_width =
+      2.26 * batch_stat.stddev() / std::sqrt(static_cast<double>(num_batches));
+  return result;
+}
+
+}  // namespace windim::sim

@@ -1,0 +1,59 @@
+// Output statistics for the simulators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace windim::sim {
+
+/// Running mean/variance (Welford) over tallied observations.
+class TallyStat {
+ public:
+  void record(double value) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant process (queue lengths,
+/// in-flight counts).  Call update(t, v) whenever the value changes;
+/// finalize(t_end) before reading the mean.
+class TimeWeightedStat {
+ public:
+  explicit TimeWeightedStat(double start_time = 0.0, double value = 0.0)
+      : last_time_(start_time), value_(value) {}
+
+  void update(double time, double new_value);
+  /// Resets the averaging window (used at warmup end) keeping the current
+  /// value.
+  void reset(double time);
+  [[nodiscard]] double mean(double end_time) const;
+  [[nodiscard]] double current() const noexcept { return value_; }
+
+ private:
+  double last_time_;
+  double value_;
+  double integral_ = 0.0;
+  double window_start_ = 0.0;
+};
+
+/// Batch-means confidence interval over a series of observations.
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;  // ~95% CI half width
+  int batches = 0;
+};
+
+/// Splits `observations` into `num_batches` equal batches and returns the
+/// grand mean with a normal-approximation 95% confidence half width on
+/// the batch means.  Returns batches = 0 if there is not enough data.
+[[nodiscard]] BatchMeansResult batch_means(
+    const std::vector<double>& observations, int num_batches = 10);
+
+}  // namespace windim::sim

@@ -1,0 +1,43 @@
+// Seedable random number generation for the discrete-event simulator and
+// the randomized property tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace windim::util {
+
+/// Thin wrapper around std::mt19937_64 with the distributions the
+/// simulator needs.  Deterministic given the seed; one instance per
+/// simulation replication so that replications are independent streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Exponential variate with the given mean (mean > 0).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace windim::util

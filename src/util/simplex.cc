@@ -1,0 +1,80 @@
+#include "util/simplex.h"
+
+#include <stdexcept>
+
+namespace windim::util {
+
+SimplexIndexer::SimplexIndexer(int dims, int radius)
+    : dims_(dims), radius_(radius) {
+  if (dims < 1 || radius < 0) {
+    throw std::invalid_argument("SimplexIndexer: dims >= 1, radius >= 0");
+  }
+  // Pascal-style table: count(b, d) = count(b - 1, d) + count(b, d - 1),
+  // count(b, 0) = 1, count(0, d) = 1.
+  count_.assign(static_cast<std::size_t>(radius) + 1,
+                std::vector<std::size_t>(static_cast<std::size_t>(dims) + 1,
+                                         1));
+  for (int b = 1; b <= radius; ++b) {
+    for (int d = 1; d <= dims; ++d) {
+      count_[static_cast<std::size_t>(b)][static_cast<std::size_t>(d)] =
+          count_[static_cast<std::size_t>(b) - 1]
+                [static_cast<std::size_t>(d)] +
+          count_[static_cast<std::size_t>(b)]
+                [static_cast<std::size_t>(d) - 1];
+    }
+  }
+  size_ = count_[static_cast<std::size_t>(radius)]
+                [static_cast<std::size_t>(dims)];
+}
+
+std::size_t SimplexIndexer::offset(const std::vector<int>& v) const {
+  if (static_cast<int>(v.size()) != dims_) {
+    throw std::out_of_range("SimplexIndexer::offset: dimension mismatch");
+  }
+  std::size_t rank = 0;
+  int budget = radius_;
+  for (int i = 0; i < dims_; ++i) {
+    const int value = v[static_cast<std::size_t>(i)];
+    if (value < 0 || value > budget) {
+      throw std::out_of_range("SimplexIndexer::offset: vector outside ball");
+    }
+    // Vectors with a smaller i-th coordinate come first: for each t <
+    // value, the remaining dims - i - 1 coordinates range over a ball of
+    // radius budget - t.
+    const int rest = dims_ - i - 1;
+    for (int t = 0; t < value; ++t) {
+      rank += count_[static_cast<std::size_t>(budget - t)]
+                    [static_cast<std::size_t>(rest)];
+    }
+    budget -= value;
+  }
+  return rank;
+}
+
+std::size_t SimplexIndexer::offset_plus_one(const std::vector<int>& v,
+                                            int d) const {
+  // Computed via a temporary to keep the hot path simple and correct;
+  // RECAL's inner loop dominates on the layer arithmetic, not here.
+  std::vector<int> w = v;
+  ++w[static_cast<std::size_t>(d)];
+  return offset(w);
+}
+
+void SimplexIndexer::for_each(
+    const std::function<void(const std::vector<int>&)>& visit) const {
+  std::vector<int> v(static_cast<std::size_t>(dims_), 0);
+  auto rec = [&](auto&& self, int pos, int budget) -> void {
+    if (pos == dims_) {
+      visit(v);
+      return;
+    }
+    for (int t = 0; t <= budget; ++t) {
+      v[static_cast<std::size_t>(pos)] = t;
+      self(self, pos + 1, budget - t);
+    }
+    v[static_cast<std::size_t>(pos)] = 0;
+  };
+  rec(rec, 0, radius_);
+}
+
+}  // namespace windim::util

@@ -1,0 +1,44 @@
+// Indexing of the discrete simplex { v >= 0 : sum(v) <= radius }.
+//
+// RECAL's multiplicity vectors live on simplex "balls" whose dense
+// bounding box would be astronomically larger; this indexer ranks such
+// vectors lexicographically so layer values can be stored in flat
+// arrays of exactly C(radius + dims, dims) entries.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace windim::util {
+
+class SimplexIndexer {
+ public:
+  /// dims >= 1, radius >= 0.
+  SimplexIndexer(int dims, int radius);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] int radius() const noexcept { return radius_; }
+
+  /// Rank of `v` (must satisfy v >= 0 componentwise, sum <= radius).
+  [[nodiscard]] std::size_t offset(const std::vector<int>& v) const;
+
+  /// Rank of `v + e_d` (sum(v) + 1 must be <= radius).
+  [[nodiscard]] std::size_t offset_plus_one(const std::vector<int>& v,
+                                            int d) const;
+
+  /// Calls `visit(v)` for every vector in the simplex, in rank order.
+  void for_each(const std::function<void(const std::vector<int>&)>& visit)
+      const;
+
+ private:
+  int dims_;
+  int radius_;
+  std::size_t size_;
+  /// count_[b][d] = number of d-dimensional vectors with sum <= b
+  ///              = C(b + d, d).
+  std::vector<std::vector<std::size_t>> count_;
+};
+
+}  // namespace windim::util

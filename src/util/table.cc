@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace windim::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string format_window(const std::vector<int>& window) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << window[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+}
+
+TextTable& TextTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add(long value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add_window(const std::vector<int>& window) {
+  return add(format_window(window));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << cell << std::string(widths[c] - cell.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << '|' << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      // Quote cells containing commas (window vectors).
+      if (cells[c].find(',') != std::string::npos) {
+        os << '"' << cells[c] << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace windim::util

@@ -1,0 +1,49 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the thesis; this
+// helper prints aligned columns in the same style so the output can be put
+// side by side with the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace windim::util {
+
+/// Column-aligned plain-text table.  Cells are strings; numeric helpers
+/// format with a fixed precision.  Rendering pads each column to its
+/// widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row.  Cells are appended with add(); rows shorter than
+  /// the header are right-padded with empty cells at render time.
+  TextTable& begin_row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 3);
+  TextTable& add(int value);
+  TextTable& add(long value);
+
+  /// Convenience: formats a window vector as "(e1, e2, ...)".
+  TextTable& add_window(const std::vector<int>& window);
+
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as comma-separated values (for machine post-processing).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Formats a window vector as "(e1, e2, ...)".
+[[nodiscard]] std::string format_window(const std::vector<int>& window);
+
+}  // namespace windim::util

@@ -1,0 +1,146 @@
+#include "windim/capacity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::core {
+namespace {
+
+/// Per-channel carried load (kbit/s) and total message rate.
+struct Loads {
+  std::vector<double> load_kbps;
+  double total_message_rate = 0.0;  // msgs/s entering the network
+};
+
+Loads channel_loads(const net::Topology& topology,
+                    const std::vector<net::TrafficClass>& classes) {
+  if (classes.empty()) {
+    throw std::invalid_argument("capacity assignment: no traffic classes");
+  }
+  Loads loads;
+  loads.load_kbps.assign(static_cast<std::size_t>(topology.num_channels()),
+                         0.0);
+  for (const net::TrafficClass& tc : classes) {
+    if (!(tc.arrival_rate > 0.0) || !(tc.mean_message_bits > 0.0)) {
+      throw std::invalid_argument("capacity assignment: class '" + tc.name +
+                                  "' has non-positive rate or length");
+    }
+    const std::vector<int> route = topology.route_channels(tc.path);
+    for (int c : route) {
+      loads.load_kbps[static_cast<std::size_t>(c)] +=
+          tc.arrival_rate * tc.mean_message_bits / 1000.0;
+    }
+    loads.total_message_rate += tc.arrival_rate;
+  }
+  return loads;
+}
+
+/// Kleinrock open-network delay under the independence assumption:
+/// T = (1/gamma) sum_i lambda_i / (mu C_i - lambda_i b) with all terms in
+/// message units; per channel, mean delay 1/(C_i/b - load_i/b) weighted
+/// by the channel's message rate.
+double predicted_delay(const Loads& loads,
+                       const std::vector<double>& capacity,
+                       const std::vector<net::TrafficClass>& classes,
+                       const net::Topology& topology) {
+  // Channel message rates: load / mean bits.  Classes may differ in
+  // message length; use the aggregate bit load and the network-average
+  // message length per channel for the M/M/1 terms.
+  std::vector<double> msg_rate(loads.load_kbps.size(), 0.0);
+  std::vector<double> bits(loads.load_kbps.size(), 0.0);
+  for (const net::TrafficClass& tc : classes) {
+    for (int c : topology.route_channels(tc.path)) {
+      msg_rate[static_cast<std::size_t>(c)] += tc.arrival_rate;
+      bits[static_cast<std::size_t>(c)] +=
+          tc.arrival_rate * tc.mean_message_bits;
+    }
+  }
+  double weighted = 0.0;
+  for (std::size_t c = 0; c < loads.load_kbps.size(); ++c) {
+    if (msg_rate[c] == 0.0) continue;
+    const double mean_bits = bits[c] / msg_rate[c];
+    const double mu = capacity[c] * 1000.0 / mean_bits;  // msgs/s
+    if (mu <= msg_rate[c]) {
+      throw std::invalid_argument(
+          "capacity assignment: channel saturated under assignment");
+    }
+    weighted += msg_rate[c] / (mu - msg_rate[c]);
+  }
+  return weighted / loads.total_message_rate;
+}
+
+CapacityAssignment finish(const net::Topology& topology,
+                          const std::vector<net::TrafficClass>& classes,
+                          Loads loads, std::vector<double> capacity) {
+  CapacityAssignment result;
+  result.mean_delay = predicted_delay(loads, capacity, classes, topology);
+  result.capacity_kbps = std::move(capacity);
+  result.load_kbps = std::move(loads.load_kbps);
+  return result;
+}
+
+}  // namespace
+
+CapacityAssignment assign_capacities_sqrt(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    double total_capacity_kbps) {
+  Loads loads = channel_loads(topology, classes);
+  double total_load = 0.0;
+  double sqrt_sum = 0.0;
+  for (double l : loads.load_kbps) {
+    total_load += l;
+    sqrt_sum += std::sqrt(l);
+  }
+  if (!(total_capacity_kbps > total_load)) {
+    throw std::invalid_argument(
+        "assign_capacities_sqrt: budget does not cover the carried load");
+  }
+  const double excess = total_capacity_kbps - total_load;
+  std::vector<double> capacity(loads.load_kbps.size(), 0.0);
+  for (std::size_t c = 0; c < capacity.size(); ++c) {
+    capacity[c] = loads.load_kbps[c] +
+                  excess * std::sqrt(loads.load_kbps[c]) / sqrt_sum;
+  }
+  return finish(topology, classes, std::move(loads), std::move(capacity));
+}
+
+CapacityAssignment assign_capacities_proportional(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    double total_capacity_kbps) {
+  Loads loads = channel_loads(topology, classes);
+  double total_load = 0.0;
+  for (double l : loads.load_kbps) total_load += l;
+  if (!(total_capacity_kbps > total_load)) {
+    throw std::invalid_argument(
+        "assign_capacities_proportional: budget does not cover the load");
+  }
+  std::vector<double> capacity(loads.load_kbps.size(), 0.0);
+  for (std::size_t c = 0; c < capacity.size(); ++c) {
+    capacity[c] = loads.load_kbps[c] * total_capacity_kbps / total_load;
+  }
+  return finish(topology, classes, std::move(loads), std::move(capacity));
+}
+
+net::Topology with_capacities(const net::Topology& topology,
+                              const std::vector<double>& capacity_kbps) {
+  if (static_cast<int>(capacity_kbps.size()) != topology.num_channels()) {
+    throw std::invalid_argument("with_capacities: size mismatch");
+  }
+  net::Topology result;
+  for (int n = 0; n < topology.num_nodes(); ++n) {
+    result.add_node(topology.node(n).name);
+  }
+  for (int c = 0; c < topology.num_channels(); ++c) {
+    const net::Channel& ch = topology.channel(c);
+    // Channels the assignment left without capacity (zero load) are
+    // dropped - they carried no class's traffic.
+    if (!(capacity_kbps[static_cast<std::size_t>(c)] > 0.0)) continue;
+    result.add_channel(ch.a, ch.b, capacity_kbps[static_cast<std::size_t>(c)],
+                       ch.name);
+  }
+  return result;
+}
+
+}  // namespace windim::core

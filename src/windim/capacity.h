@@ -1,0 +1,53 @@
+// Link capacity assignment (Kleinrock; cited in thesis chapter 3 intro).
+//
+// The dual of window dimensioning: given the topology, the traffic
+// matrix and a total capacity budget, choose channel capacities to
+// minimize the open-network mean message delay.  Kleinrock's classical
+// solution assigns each channel its carried load plus a share of the
+// excess capacity proportional to the square root of its load:
+//
+//   C_i = load_i + (C_total - sum_j load_j) * sqrt(load_i) / sum_j sqrt(load_j)
+//
+// (loads in kbit/s).  Combined with WINDIM this closes the planning
+// loop: assign capacities for the long-run traffic matrix, then
+// dimension the end-to-end windows on the resulting network (see
+// examples/capacity_planning.cpp and bench/ablation_capacity).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace windim::core {
+
+struct CapacityAssignment {
+  /// New capacity per channel (kbit/s), in topology channel order.
+  std::vector<double> capacity_kbps;
+  /// Carried load per channel (kbit/s).
+  std::vector<double> load_kbps;
+  /// Predicted open-network mean message delay (s) under the assignment
+  /// (M/M/1 per channel, Kleinrock independence assumption).
+  double mean_delay = 0.0;
+};
+
+/// Square-root capacity assignment.  `total_capacity_kbps` must exceed
+/// the total carried load; throws std::invalid_argument otherwise or on
+/// classes that do not route over `topology`.
+[[nodiscard]] CapacityAssignment assign_capacities_sqrt(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    double total_capacity_kbps);
+
+/// Baseline for comparison: capacities proportional to channel loads
+/// (every channel gets the same utilization).
+[[nodiscard]] CapacityAssignment assign_capacities_proportional(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    double total_capacity_kbps);
+
+/// Applies an assignment: returns a copy of `topology` with the new
+/// capacities.
+[[nodiscard]] net::Topology with_capacities(
+    const net::Topology& topology, const std::vector<double>& capacity_kbps);
+
+}  // namespace windim::core

@@ -1,0 +1,95 @@
+#include "windim/dimension.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace windim::core {
+
+DimensionResult dimension_windows(const WindowProblem& problem,
+                                  const DimensionOptions& options) {
+  const int num_classes = problem.num_classes();
+  if (options.min_window < 1) {
+    throw std::invalid_argument(
+        "dimension_windows: min_window must be >= 1 (a window of 0 closes "
+        "the virtual channel)");
+  }
+  if (options.max_window < options.min_window) {
+    throw std::invalid_argument("dimension_windows: empty window box");
+  }
+
+  // Default start: Kleinrock's hop counts for the power objectives; the
+  // all-minimum corner (lowest-delay point, always feasible if anything
+  // is) for the delay-capped objective.
+  std::vector<int> initial =
+      !options.initial_windows.empty() ? options.initial_windows
+      : options.objective == DimensionObjective::kThroughputUnderDelayCap
+          ? std::vector<int>(static_cast<std::size_t>(num_classes),
+                             options.min_window)
+          : problem.kleinrock_windows();
+  if (static_cast<int>(initial.size()) != num_classes) {
+    throw std::invalid_argument(
+        "dimension_windows: initial window vector size mismatch");
+  }
+  for (int& e : initial) {
+    e = std::clamp(e, options.min_window, options.max_window);
+  }
+
+  search::PatternSearchOptions ps;
+  ps.lower_bound.assign(static_cast<std::size_t>(num_classes),
+                        options.min_window);
+  ps.upper_bound.assign(static_cast<std::size_t>(num_classes),
+                        options.max_window);
+  ps.max_step_reductions = options.max_step_reductions;
+  if (!options.initial_step.empty()) {
+    ps.initial_step = options.initial_step;
+  }
+
+  if (options.objective == DimensionObjective::kGeneralizedPower &&
+      !(options.power_exponent > 0.0)) {
+    throw std::invalid_argument(
+        "dimension_windows: power_exponent must be positive");
+  }
+  if (options.objective == DimensionObjective::kThroughputUnderDelayCap &&
+      !(options.max_delay > 0.0)) {
+    throw std::invalid_argument(
+        "dimension_windows: max_delay must be positive");
+  }
+
+  const search::Objective objective = [&](const search::Point& e) {
+    const Evaluation ev =
+        problem.evaluate(e, options.evaluator, options.mva);
+    const double inf = std::numeric_limits<double>::infinity();
+    switch (options.objective) {
+      case DimensionObjective::kPower:
+        // Minimize F = 1/P (thesis 4.3); degenerate settings are +inf.
+        return ev.power > 0.0 ? 1.0 / ev.power : inf;
+      case DimensionObjective::kGeneralizedPower: {
+        if (!(ev.throughput > 0.0) || !(ev.mean_delay > 0.0)) return inf;
+        return ev.mean_delay /
+               std::pow(ev.throughput, options.power_exponent);
+      }
+      case DimensionObjective::kThroughputUnderDelayCap:
+        if (!(ev.throughput > 0.0)) return inf;
+        if (ev.mean_delay > options.max_delay) return inf;
+        return -ev.throughput;
+    }
+    return inf;
+  };
+
+  const search::PatternSearchResult ps_result =
+      search::pattern_search(objective, std::move(initial), ps);
+
+  DimensionResult result;
+  result.feasible = std::isfinite(ps_result.best_value);
+  result.optimal_windows = ps_result.best;
+  result.evaluation = problem.evaluate(ps_result.best, options.evaluator,
+                                       options.mva);
+  result.objective_evaluations = ps_result.evaluations;
+  result.cache_hits = ps_result.cache_hits;
+  result.base_points = ps_result.base_points;
+  return result;
+}
+
+}  // namespace windim::core

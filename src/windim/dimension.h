@@ -1,0 +1,67 @@
+// The WINDIM algorithm (thesis 4.4): dimension end-to-end windows to
+// maximize network power.
+//
+// Wires the pattern search (src/search) to the window-evaluation engine
+// (WindowProblem): the objective is F(E) = 1/P(E), the initial point is
+// Kleinrock's hop-count vector (E_r = number of hops of chain r, thesis
+// 4.4/4.6), and the search runs over integer windows bounded below by 1.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "search/pattern_search.h"
+#include "windim/problem.h"
+
+namespace windim::core {
+
+/// What the search maximizes.
+enum class DimensionObjective {
+  /// Network power P = throughput / delay (thesis eq. 4.19).
+  kPower,
+  /// Kleinrock's generalized power P_a = throughput^alpha / delay:
+  /// alpha > 1 weights throughput more (larger windows), alpha < 1
+  /// weights delay more (smaller windows).
+  kGeneralizedPower,
+  /// Maximize throughput subject to mean network delay <= max_delay;
+  /// settings violating the cap are infeasible.
+  kThroughputUnderDelayCap,
+};
+
+struct DimensionOptions {
+  Evaluator evaluator = Evaluator::kHeuristicMva;
+  mva::ApproxMvaOptions mva;
+  DimensionObjective objective = DimensionObjective::kPower;
+  /// Exponent alpha for kGeneralizedPower.
+  double power_exponent = 1.0;
+  /// Delay cap (seconds) for kThroughputUnderDelayCap.
+  double max_delay = 0.0;
+  /// Empty = Kleinrock hop-count initialization.
+  std::vector<int> initial_windows;
+  /// Inclusive window bounds for the search box.
+  int min_window = 1;
+  int max_window = 64;
+  /// Pattern-search step schedule (see search::PatternSearchOptions).
+  std::vector<int> initial_step;
+  int max_step_reductions = 4;
+};
+
+struct DimensionResult {
+  std::vector<int> optimal_windows;
+  Evaluation evaluation;  // metrics at the optimum
+  /// False when no window setting satisfied the objective's constraints
+  /// (e.g. a delay cap below the minimum achievable delay); in that case
+  /// `optimal_windows` is just the search's start and must not be used.
+  bool feasible = true;
+  std::size_t objective_evaluations = 0;
+  std::size_t cache_hits = 0;
+  /// Base-point trajectory of the pattern search (diagnostics).
+  std::vector<std::pair<std::vector<int>, double>> base_points;
+};
+
+/// Runs WINDIM on `problem`.  Throws std::invalid_argument on malformed
+/// options (e.g. initial windows outside the bounds).
+[[nodiscard]] DimensionResult dimension_windows(
+    const WindowProblem& problem, const DimensionOptions& options = {});
+
+}  // namespace windim::core

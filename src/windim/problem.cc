@@ -1,0 +1,217 @@
+#include "windim/problem.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "exact/convolution.h"
+#include "exact/semiclosed.h"
+#include "mva/exact_multichain.h"
+#include "mva/linearizer.h"
+
+namespace windim::core {
+
+const char* to_string(Evaluator e) noexcept {
+  switch (e) {
+    case Evaluator::kHeuristicMva:
+      return "heuristic-mva";
+    case Evaluator::kExactMva:
+      return "exact-mva";
+    case Evaluator::kConvolution:
+      return "convolution";
+    case Evaluator::kSemiclosed:
+      return "semiclosed";
+    case Evaluator::kLinearizer:
+      return "linearizer";
+  }
+  return "?";
+}
+
+WindowProblem::WindowProblem(const net::Topology& topology,
+                             std::vector<net::TrafficClass> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("WindowProblem: no traffic classes");
+  }
+
+  // One FCFS station per half-duplex channel; service time = message
+  // length / capacity, identical for all classes (thesis 4.2 assumption
+  // (c) keeps the FCFS stations product-form).
+  for (int c = 0; c < topology.num_channels(); ++c) {
+    qn::Station s;
+    s.name = topology.channel(c).name;
+    s.discipline = qn::Discipline::kFcfs;
+    base_.stations.push_back(std::move(s));
+  }
+
+  for (const net::TrafficClass& tc : classes_) {
+    if (!(tc.arrival_rate > 0.0)) {
+      throw std::invalid_argument("WindowProblem: class '" + tc.name +
+                                  "' needs a positive arrival rate");
+    }
+    if (!(tc.mean_message_bits > 0.0)) {
+      throw std::invalid_argument("WindowProblem: class '" + tc.name +
+                                  "' needs a positive message length");
+    }
+    const std::vector<int> route = topology.route_channels(tc.path);
+    hops_.push_back(static_cast<int>(route.size()));
+
+    // The class's reentrant source queue.
+    qn::Station source;
+    source.name = tc.name + "-source";
+    source.discipline = qn::Discipline::kFcfs;
+    const int source_idx = static_cast<int>(base_.stations.size());
+    base_.stations.push_back(std::move(source));
+    source_station_.push_back(source_idx);
+
+    qn::CyclicChain chain;
+    chain.name = tc.name;
+    chain.population = 0;  // set per evaluation
+    for (int c : route) {
+      chain.route.push_back(c);
+      const double capacity_bits_per_s =
+          topology.channel(c).capacity_kbps * 1000.0;
+      chain.service_times.push_back(tc.mean_message_bits /
+                                    capacity_bits_per_s);
+    }
+    chain.route.push_back(source_idx);
+    chain.service_times.push_back(1.0 / tc.arrival_rate);
+    base_.chains.push_back(std::move(chain));
+  }
+}
+
+qn::CyclicNetwork WindowProblem::network(
+    const std::vector<int>& windows) const {
+  if (windows.size() != classes_.size()) {
+    throw std::invalid_argument("WindowProblem: window vector size mismatch");
+  }
+  qn::CyclicNetwork net = base_;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    if (windows[r] < 0) {
+      throw std::invalid_argument("WindowProblem: negative window");
+    }
+    net.chains[r].population = windows[r];
+  }
+  return net;
+}
+
+Evaluation WindowProblem::evaluate(
+    const std::vector<int>& windows, Evaluator evaluator,
+    const mva::ApproxMvaOptions& mva_options) const {
+  const qn::CyclicNetwork cyclic = network(windows);
+  const qn::NetworkModel model = cyclic.to_model();
+  const int num_chains = model.num_chains();
+
+  // Obtain chain throughputs and per-station-chain queue lengths from the
+  // chosen engine.
+  std::vector<double> lambda;
+  std::vector<double> queue;  // station x chain
+  int iterations = 0;
+  bool converged = true;
+  switch (evaluator) {
+    case Evaluator::kHeuristicMva: {
+      const mva::MvaSolution s = mva::solve_approx_mva(model, mva_options);
+      lambda = s.chain_throughput;
+      queue = s.mean_queue;
+      iterations = s.iterations;
+      converged = s.converged;
+      break;
+    }
+    case Evaluator::kExactMva: {
+      const mva::MvaSolution s = mva::solve_exact_multichain(model);
+      lambda = s.chain_throughput;
+      queue = s.mean_queue;
+      iterations = s.iterations;
+      break;
+    }
+    case Evaluator::kConvolution: {
+      const exact::ConvolutionResult s = exact::solve_convolution(model);
+      lambda = s.chain_throughput;
+      queue = s.mean_queue;
+      iterations = 1;
+      break;
+    }
+    case Evaluator::kSemiclosed: {
+      // Route queues only: the Poisson source with window blocking
+      // replaces the reentrant source queue (thesis 3.3.3 semiclosed
+      // chains).
+      qn::NetworkModel route_model;
+      for (const qn::Station& s : cyclic.stations) {
+        route_model.add_station(s);
+      }
+      std::vector<exact::SemiclosedChainSpec> specs;
+      for (int r = 0; r < num_chains; ++r) {
+        const qn::CyclicChain& chain =
+            cyclic.chains[static_cast<std::size_t>(r)];
+        qn::Chain model_chain;
+        model_chain.name = chain.name;
+        model_chain.type = qn::ChainType::kClosed;
+        model_chain.population = 0;  // bounds come from the spec
+        for (std::size_t k = 0; k < chain.route.size(); ++k) {
+          if (chain.route[k] == source_station_[static_cast<std::size_t>(r)]) {
+            continue;
+          }
+          model_chain.visits.push_back(
+              qn::Visit{chain.route[k], 1.0, chain.service_times[k]});
+        }
+        route_model.add_chain(std::move(model_chain));
+        exact::SemiclosedChainSpec spec;
+        spec.arrival_rate =
+            classes_[static_cast<std::size_t>(r)].arrival_rate;
+        spec.min_population = 0;
+        spec.max_population = windows[static_cast<std::size_t>(r)];
+        specs.push_back(spec);
+      }
+      const exact::SemiclosedResult s =
+          exact::solve_semiclosed(route_model, specs);
+      lambda = s.carried_throughput;
+      // Map route-model station indices (identical to cyclic station
+      // indices) into the full queue matrix.
+      queue.assign(
+          static_cast<std::size_t>(model.num_stations()) * num_chains, 0.0);
+      for (int n = 0; n < route_model.num_stations(); ++n) {
+        for (int r = 0; r < num_chains; ++r) {
+          queue[static_cast<std::size_t>(n) * num_chains + r] =
+              s.queue_length(n, r);
+        }
+      }
+      iterations = 1;
+      break;
+    }
+    case Evaluator::kLinearizer: {
+      const mva::MvaSolution s = mva::solve_linearizer(model);
+      lambda = s.chain_throughput;
+      queue = s.mean_queue;
+      iterations = s.iterations;
+      converged = s.converged;
+      break;
+    }
+  }
+
+  Evaluation ev;
+  ev.windows = windows;
+  ev.iterations = iterations;
+  ev.converged = converged;
+  ev.class_throughput = lambda;
+  ev.class_delay.assign(static_cast<std::size_t>(num_chains), 0.0);
+
+  double total_rate = 0.0;
+  double total_number = 0.0;  // customers on route queues (V(r))
+  for (int r = 0; r < num_chains; ++r) {
+    const double rate = lambda[static_cast<std::size_t>(r)];
+    total_rate += rate;
+    double number_r = 0.0;
+    for (int n = 0; n < model.num_stations(); ++n) {
+      if (n == source_station_[static_cast<std::size_t>(r)]) continue;
+      number_r += queue[static_cast<std::size_t>(n) * num_chains + r];
+    }
+    total_number += number_r;
+    ev.class_delay[static_cast<std::size_t>(r)] =
+        rate > 0.0 ? number_r / rate : 0.0;
+  }
+  ev.throughput = total_rate;
+  ev.mean_delay = total_rate > 0.0 ? total_number / total_rate : 0.0;
+  ev.power = ev.mean_delay > 0.0 ? ev.throughput / ev.mean_delay : 0.0;
+  return ev;
+}
+
+}  // namespace windim::core

@@ -1,0 +1,98 @@
+// Window-dimensioning problem: the thesis's closed-chain model of an
+// end-to-end flow-controlled network (thesis 3.4, 4.2, Fig 4.6/4.11).
+//
+// Each traffic class (virtual channel) becomes a closed cyclic chain:
+// the message traverses the FCFS queue of every half-duplex channel on
+// its route and then a *source queue* whose mean service time is 1/S_r
+// (the reciprocal of the class's Poisson rate) - the thesis's "reentrant
+// queue from sink to source" that models both the acknowledgment return
+// and the throttled source.  The chain population is the end-to-end
+// window E_r.
+//
+// Network power (thesis eq. 4.19) is evaluated over the *route* queues
+// only (V(r) = Q(r) minus the reentrant queue):
+//   lambda = sum_r lambda_r,   T = sum_r sum_{i in V(r)} N_ir / lambda,
+//   P = lambda / T.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mva/approx.h"
+#include "net/examples.h"
+#include "net/topology.h"
+#include "qn/cyclic.h"
+
+namespace windim::core {
+
+/// Which analytic engine evaluates a window setting.
+enum class Evaluator {
+  kHeuristicMva,  // thesis WINDIM evaluator (fast, approximate)
+  kExactMva,      // exact multichain MVA (lattice cost)
+  kConvolution,   // multichain convolution algorithm (lattice cost)
+  /// Semiclosed-chain model (thesis 3.3.3): Poisson sources blocked at
+  /// the window limit instead of the closed model's exponential source
+  /// queue.  Slightly different abstraction of the same flow control;
+  /// carried throughput = S_r (1 - P_block,r).  Lattice cost.
+  kSemiclosed,
+  /// Chandy-Neuse Linearizer: higher-accuracy approximate MVA at a few
+  /// times the heuristic's cost (still no lattice).
+  kLinearizer,
+};
+
+[[nodiscard]] const char* to_string(Evaluator e) noexcept;
+
+/// Performance of one window setting.
+struct Evaluation {
+  std::vector<int> windows;
+  double throughput = 0.0;   // messages/s, network total
+  double mean_delay = 0.0;   // seconds, source-to-sink average
+  double power = 0.0;        // throughput / delay (thesis eq. 4.19)
+  std::vector<double> class_throughput;
+  std::vector<double> class_delay;
+  int iterations = 0;        // MVA iterations (heuristic evaluator)
+  bool converged = true;
+};
+
+class WindowProblem {
+ public:
+  /// Builds the closed-chain model from a topology and traffic classes.
+  /// Every class must have arrival_rate > 0 and a route of >= 1 hop.
+  WindowProblem(const net::Topology& topology,
+                std::vector<net::TrafficClass> classes);
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+  [[nodiscard]] const net::TrafficClass& traffic_class(int r) const {
+    return classes_.at(r);
+  }
+  /// Hop count of class r's route (Kleinrock's window estimate for the
+  /// isolated chain, thesis 4.4/4.6).
+  [[nodiscard]] int hops(int r) const { return hops_.at(r); }
+  [[nodiscard]] std::vector<int> kleinrock_windows() const { return hops_; }
+
+  /// The closed cyclic network with populations set to `windows`.
+  [[nodiscard]] qn::CyclicNetwork network(
+      const std::vector<int>& windows) const;
+
+  /// Index of class r's source (reentrant) station in the cyclic network.
+  [[nodiscard]] int source_station(int r) const {
+    return source_station_.at(r);
+  }
+
+  /// Evaluates a window setting.  Throws std::invalid_argument on a
+  /// malformed window vector (size mismatch or negative entries).
+  [[nodiscard]] Evaluation evaluate(
+      const std::vector<int>& windows,
+      Evaluator evaluator = Evaluator::kHeuristicMva,
+      const mva::ApproxMvaOptions& mva_options = {}) const;
+
+ private:
+  std::vector<net::TrafficClass> classes_;
+  qn::CyclicNetwork base_;            // populations left at 0
+  std::vector<int> source_station_;   // per class
+  std::vector<int> hops_;
+};
+
+}  // namespace windim::core

@@ -1,0 +1,44 @@
+// Umbrella header: the public API of the windim library.
+//
+//   #include "windim/windim.h"
+//
+//   using namespace windim;
+//   net::Topology topo = net::canada_topology();
+//   core::WindowProblem problem(topo, net::two_class_traffic(20, 20));
+//   core::DimensionResult r = core::dimension_windows(problem);
+//   // r.optimal_windows, r.evaluation.power, ...
+//
+// Layers (see DESIGN.md):
+//   qn::      queueing-network models (stations, chains, cyclic networks)
+//   exact::   product-form solvers (Jackson, Buzen, multichain convolution)
+//   mva::     exact and heuristic mean value analysis
+//   search::  integer pattern search / exhaustive search
+//   net::     topologies, routes, the thesis example networks
+//   core::    the WINDIM window-dimensioning algorithm
+#pragma once
+
+#include "exact/buzen.h"
+#include "exact/convolution.h"
+#include "exact/jackson.h"
+#include "exact/mixed.h"
+#include "exact/mm_queues.h"
+#include "exact/product_form.h"
+#include "exact/recal.h"
+#include "exact/semiclosed.h"
+#include "exact/tree_convolution.h"
+#include "mva/approx.h"
+#include "mva/bounds.h"
+#include "mva/linearizer.h"
+#include "mva/exact_multichain.h"
+#include "mva/single_chain.h"
+#include "net/examples.h"
+#include "net/generators.h"
+#include "net/topology.h"
+#include "qn/cyclic.h"
+#include "qn/network.h"
+#include "qn/traffic.h"
+#include "search/exhaustive.h"
+#include "search/pattern_search.h"
+#include "windim/capacity.h"
+#include "windim/dimension.h"
+#include "windim/problem.h"

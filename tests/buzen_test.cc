@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/buzen.h"
+#include "exact/product_form.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel cycle(const std::vector<double>& demands, int population,
+                       const std::vector<qn::Discipline>& disciplines = {}) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.name = "chain";
+  c.type = qn::ChainType::kClosed;
+  c.population = population;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    qn::Station s = fcfs("q" + std::to_string(i));
+    if (!disciplines.empty()) s.discipline = disciplines[i];
+    const int idx = m.add_station(std::move(s));
+    c.visits.push_back({idx, 1.0, demands[i]});
+  }
+  m.add_chain(std::move(c));
+  return m;
+}
+
+TEST(BuzenTest, TwoStationClosedForm) {
+  // G(k) = sum_{j=0..k} x0^j x1^(k-j); with the internal rescaling only
+  // throughput ratios are externally visible.
+  const qn::NetworkModel m = cycle({0.1, 0.25}, 4);
+  const BuzenResult r = solve_buzen(m);
+  auto g = [&](int k) {
+    double sum = 0.0;
+    for (int j = 0; j <= k; ++j) sum += std::pow(0.1, j) * std::pow(0.25, k - j);
+    return sum;
+  };
+  EXPECT_NEAR(r.throughput, g(3) / g(4), 1e-12);
+}
+
+TEST(BuzenTest, BalancedCycleClosedForm) {
+  // M identical stations with demand x, population K:
+  // lambda = K / (x (K + M - 1)).
+  const int M = 4, K = 6;
+  const double x = 0.05;
+  const qn::NetworkModel m = cycle(std::vector<double>(M, x), K);
+  const BuzenResult r = solve_buzen(m);
+  EXPECT_NEAR(r.throughput, K / (x * (K + M - 1)), 1e-10);
+  // Balanced: each station holds K/M customers.
+  for (int n = 0; n < M; ++n) {
+    EXPECT_NEAR(r.mean_number[static_cast<std::size_t>(n)],
+                static_cast<double>(K) / M, 1e-10);
+  }
+}
+
+TEST(BuzenTest, MatchesBruteForceProductForm) {
+  const qn::NetworkModel m = cycle({0.12, 0.3, 0.07}, 5);
+  const BuzenResult buzen = solve_buzen(m);
+  const ProductFormResult brute = solve_product_form(m);
+  EXPECT_NEAR(buzen.throughput, brute.chain_throughput[0], 1e-10);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(buzen.mean_number[static_cast<std::size_t>(n)],
+                brute.queue_length(n, 0), 1e-10);
+  }
+}
+
+TEST(BuzenTest, UtilizationEqualsDemandTimesThroughput) {
+  const qn::NetworkModel m = cycle({0.1, 0.2, 0.15}, 4);
+  const BuzenResult r = solve_buzen(m);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(r.utilization[static_cast<std::size_t>(n)],
+                m.demand(0, n) * r.throughput, 1e-10);
+  }
+}
+
+TEST(BuzenTest, MarginalsSumToOneAndToMeans) {
+  const qn::NetworkModel m = cycle({0.1, 0.3}, 6);
+  const BuzenResult r = solve_buzen(m);
+  for (int n = 0; n < 2; ++n) {
+    double total = 0.0, mean = 0.0;
+    for (std::size_t j = 0; j < r.marginal[static_cast<std::size_t>(n)].size();
+         ++j) {
+      total += r.marginal[static_cast<std::size_t>(n)][j];
+      mean += static_cast<double>(j) *
+              r.marginal[static_cast<std::size_t>(n)][j];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+    EXPECT_NEAR(mean, r.mean_number[static_cast<std::size_t>(n)], 1e-10);
+  }
+}
+
+TEST(BuzenTest, QueueLengthsSumToPopulation) {
+  const qn::NetworkModel m = cycle({0.1, 0.2, 0.3, 0.05}, 7);
+  const BuzenResult r = solve_buzen(m);
+  double total = 0.0;
+  for (double n : r.mean_number) total += n;
+  EXPECT_NEAR(total, 7.0, 1e-9);
+}
+
+TEST(BuzenTest, BottleneckSaturatesAtLargePopulation) {
+  // Throughput approaches 1/max_demand as K grows.
+  const qn::NetworkModel m = cycle({0.1, 0.5, 0.2}, 60);
+  const BuzenResult r = solve_buzen(m);
+  EXPECT_NEAR(r.throughput, 1.0 / 0.5, 0.01);
+  EXPECT_LE(r.throughput, 1.0 / 0.5 + 1e-12);  // never above capacity
+}
+
+TEST(BuzenTest, IsStationAbsorbsCustomersWithoutQueueing) {
+  const qn::NetworkModel m =
+      cycle({0.1, 2.0}, 8,
+            {qn::Discipline::kFcfs, qn::Discipline::kInfiniteServer});
+  const BuzenResult r = solve_buzen(m);
+  // IS mean number equals demand * throughput.
+  EXPECT_NEAR(r.mean_number[1], 2.0 * r.throughput, 1e-9);
+  // And the IS station must match brute force.
+  const ProductFormResult brute = solve_product_form(m);
+  EXPECT_NEAR(r.throughput, brute.chain_throughput[0], 1e-10);
+  EXPECT_NEAR(r.mean_number[1], brute.queue_length(1, 0), 1e-9);
+}
+
+TEST(BuzenTest, QueueDependentStationMatchesBruteForce) {
+  qn::NetworkModel m;
+  qn::Station mm2 = fcfs("mm2");
+  mm2.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(mm2));
+  const int b = m.add_station(fcfs("fix"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 5;
+  c.visits = {{a, 1.0, 0.4}, {b, 1.0, 0.15}};
+  m.add_chain(std::move(c));
+  const BuzenResult r = solve_buzen(m);
+  const ProductFormResult brute = solve_product_form(m);
+  EXPECT_NEAR(r.throughput, brute.chain_throughput[0], 1e-10);
+  EXPECT_NEAR(r.mean_number[0], brute.queue_length(0, 0), 1e-9);
+  EXPECT_NEAR(r.mean_number[1], brute.queue_length(1, 0), 1e-9);
+}
+
+TEST(BuzenTest, ZeroPopulationIsEmptyNetwork) {
+  const qn::NetworkModel m = cycle({0.1, 0.2}, 0);
+  const BuzenResult r = solve_buzen(m);
+  EXPECT_DOUBLE_EQ(r.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(r.marginal[0][0], 1.0);
+}
+
+TEST(BuzenTest, ThroughputMonotoneInPopulation) {
+  double previous = 0.0;
+  for (int k = 1; k <= 12; ++k) {
+    const BuzenResult r = solve_buzen(cycle({0.1, 0.25, 0.18}, k));
+    EXPECT_GT(r.throughput, previous);
+    previous = r.throughput;
+  }
+}
+
+TEST(BuzenTest, RejectsMultichainModels) {
+  qn::NetworkModel m = cycle({0.1, 0.2}, 2);
+  qn::Chain extra;
+  extra.type = qn::ChainType::kClosed;
+  extra.population = 1;
+  extra.visits = {{0, 1.0, 0.1}};
+  m.add_chain(std::move(extra));
+  EXPECT_THROW((void)solve_buzen(m), qn::ModelError);
+}
+
+// ----------------------------------------------------------------- log domain
+
+TEST(BuzenLogTest, MatchesLinearDomainOnModerateCases) {
+  const qn::NetworkModel m = cycle({0.1, 0.3, 0.22}, 8);
+  const BuzenResult lin = solve_buzen(m);
+  const BuzenResult log = solve_buzen_log(m);
+  EXPECT_NEAR(lin.throughput, log.throughput, 1e-9 * lin.throughput);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(lin.mean_number[static_cast<std::size_t>(n)],
+                log.mean_number[static_cast<std::size_t>(n)], 1e-8);
+  }
+}
+
+TEST(BuzenLogTest, SurvivesExtremePopulationAndDemands) {
+  // Demands spanning 4 orders of magnitude and population 400: the
+  // linear-domain G would overflow without rescaling; the log domain
+  // must stay finite and sane.
+  const qn::NetworkModel m = cycle({1e-4, 5.0, 0.01}, 400);
+  const BuzenResult r = solve_buzen_log(m);
+  EXPECT_TRUE(std::isfinite(r.throughput));
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_LT(r.throughput, 1.0 / 5.0 + 1e-9);  // below bottleneck capacity
+  double total = 0.0;
+  for (double n : r.mean_number) total += n;
+  EXPECT_NEAR(total, 400.0, 1e-6 * 400.0);
+}
+
+}  // namespace
+}  // namespace windim::exact

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/examples.h"
+#include "windim/capacity.h"
+#include "windim/windim.h"
+
+namespace windim::core {
+namespace {
+
+TEST(CapacityTest, BudgetIsFullyAllocated) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(20.0, 20.0);
+  const CapacityAssignment a = assign_capacities_sqrt(topo, classes, 300.0);
+  double total = 0.0;
+  for (double c : a.capacity_kbps) total += c;
+  EXPECT_NEAR(total, 300.0, 1e-9);
+  // Every capacity covers its load.
+  for (std::size_t c = 0; c < a.capacity_kbps.size(); ++c) {
+    EXPECT_GE(a.capacity_kbps[c], a.load_kbps[c] - 1e-12);
+  }
+}
+
+TEST(CapacityTest, LoadsMatchRoutes) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(20.0, 10.0);
+  const CapacityAssignment a = assign_capacities_sqrt(topo, classes, 300.0);
+  // Shared channels (ch2, ch3, ch4 = indices 1..3) carry both classes:
+  // (20 + 10) msgs/s * 1 kbit = 30 kbit/s.
+  for (int c : {1, 2, 3}) {
+    EXPECT_NEAR(a.load_kbps[static_cast<std::size_t>(c)], 30.0, 1e-12);
+  }
+  // ch5 (index 4) only class 1; ch1 (index 0) only class 2.
+  EXPECT_NEAR(a.load_kbps[4], 20.0, 1e-12);
+  EXPECT_NEAR(a.load_kbps[0], 10.0, 1e-12);
+  // Unused shortcuts get zero load.
+  EXPECT_DOUBLE_EQ(a.load_kbps[5], 0.0);
+  EXPECT_DOUBLE_EQ(a.load_kbps[6], 0.0);
+}
+
+TEST(CapacityTest, SqrtBeatsProportionalOnDelay) {
+  // Kleinrock's optimality: the square-root rule minimizes the mean
+  // delay; the equal-utilization rule cannot beat it.
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 10.0);
+  const CapacityAssignment sqrt_assign =
+      assign_capacities_sqrt(topo, classes, 250.0);
+  const CapacityAssignment prop_assign =
+      assign_capacities_proportional(topo, classes, 250.0);
+  EXPECT_LE(sqrt_assign.mean_delay, prop_assign.mean_delay + 1e-12);
+  EXPECT_GT(prop_assign.mean_delay, 0.0);
+}
+
+TEST(CapacityTest, EqualLoadsMakeBothRulesAgree) {
+  // With identical loads on all used channels the sqrt and proportional
+  // splits coincide.
+  net::Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_node("c");
+  topo.add_channel("a", "b", 1.0);
+  topo.add_channel("b", "c", 1.0);
+  net::TrafficClass tc;
+  tc.name = "f";
+  tc.path = {"a", "b", "c"};
+  tc.arrival_rate = 10.0;
+  const CapacityAssignment s =
+      assign_capacities_sqrt(topo, {tc}, 100.0);
+  const CapacityAssignment p =
+      assign_capacities_proportional(topo, {tc}, 100.0);
+  for (std::size_t c = 0; c < s.capacity_kbps.size(); ++c) {
+    EXPECT_NEAR(s.capacity_kbps[c], p.capacity_kbps[c], 1e-9);
+  }
+  EXPECT_NEAR(s.mean_delay, p.mean_delay, 1e-12);
+}
+
+TEST(CapacityTest, WithCapacitiesRebuildTopology) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(20.0, 20.0);
+  const CapacityAssignment a = assign_capacities_sqrt(topo, classes, 400.0);
+  const net::Topology upgraded = with_capacities(topo, a.capacity_kbps);
+  // Unused channels (zero capacity) are dropped; 5 remain.
+  EXPECT_EQ(upgraded.num_nodes(), 6);
+  EXPECT_EQ(upgraded.num_channels(), 5);
+  // The upgraded network still routes both classes and can be
+  // dimensioned.
+  const WindowProblem problem(upgraded, classes);
+  const DimensionResult r = dimension_windows(problem);
+  EXPECT_GT(r.evaluation.power, 0.0);
+}
+
+TEST(CapacityTest, MoreBudgetMoreWindimPower) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 25.0);
+  double previous_power = 0.0;
+  for (double budget : {250.0, 350.0, 500.0}) {
+    const CapacityAssignment a =
+        assign_capacities_sqrt(topo, classes, budget);
+    const WindowProblem problem(with_capacities(topo, a.capacity_kbps),
+                                classes);
+    const DimensionResult r = dimension_windows(problem);
+    EXPECT_GT(r.evaluation.power, previous_power);
+    previous_power = r.evaluation.power;
+  }
+}
+
+TEST(CapacityTest, RejectsInsufficientBudget) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(20.0, 20.0);
+  // Carried load = 2 * 4 hops * 20 kbit/s = 160 kbit/s.
+  EXPECT_THROW((void)assign_capacities_sqrt(topo, classes, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)assign_capacities_proportional(topo, classes, 160.0),
+               std::invalid_argument);
+}
+
+TEST(CapacityTest, RejectsEmptyClasses) {
+  const net::Topology topo = net::canada_topology();
+  EXPECT_THROW((void)assign_capacities_sqrt(topo, {}, 100.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace windim::core

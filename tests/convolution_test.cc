@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/buzen.h"
+#include "exact/convolution.h"
+#include "exact/product_form.h"
+#include "markov/closed_ctmc.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+/// Two chains sharing a middle station - the canonical interaction case.
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.name = "c1";
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.name = "c2";
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+TEST(ConvolutionTest, SingleChainReducesToBuzen) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 6;
+  for (double d : {0.1, 0.25, 0.18}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const ConvolutionResult conv = solve_convolution(m);
+  const BuzenResult buzen = solve_buzen(m);
+  EXPECT_NEAR(conv.chain_throughput[0], buzen.throughput, 1e-10);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(conv.queue_length(n, 0),
+                buzen.mean_number[static_cast<std::size_t>(n)], 1e-9);
+  }
+}
+
+TEST(ConvolutionTest, MatchesBruteForceTwoChains) {
+  const qn::NetworkModel m = shared_middle(3, 4);
+  const ConvolutionResult conv = solve_convolution(m);
+  const ProductFormResult brute = solve_product_form(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                brute.chain_throughput[static_cast<std::size_t>(r)], 1e-10);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-9)
+          << "station " << n << " chain " << r;
+    }
+  }
+}
+
+TEST(ConvolutionTest, MatchesCtmcOracle) {
+  // Independent exact method: full global-balance solution.
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("shared"), fcfs("b")};
+  net.chains = {{"c1", {0, 1}, {0.08, 0.05}, 3},
+                {"c2", {1, 2}, {0.05, 0.11}, 4}};
+  const markov::ClosedCtmcResult ctmc = markov::solve_closed_ctmc(net);
+  const ConvolutionResult conv = solve_convolution(net.to_model());
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                ctmc.throughput[static_cast<std::size_t>(r)], 1e-7);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(conv.queue_length(n, r), ctmc.queue_length(n, r), 1e-7);
+    }
+  }
+}
+
+TEST(ConvolutionTest, QueueLengthsSumToPopulations) {
+  const qn::NetworkModel m = shared_middle(5, 2);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (int n = 0; n < m.num_stations(); ++n) {
+      total += conv.queue_length(n, r);
+    }
+    EXPECT_NEAR(total, m.chain(r).population, 1e-9);
+  }
+}
+
+TEST(ConvolutionTest, LittleLawPerChainAndStation) {
+  const qn::NetworkModel m = shared_middle(4, 4);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int n = 0; n < m.num_stations(); ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(conv.queue_length(n, r),
+                  conv.chain_throughput[static_cast<std::size_t>(r)] *
+                      conv.time(n, r),
+                  1e-10);
+    }
+  }
+}
+
+TEST(ConvolutionTest, SymmetricChainsGetSymmetricSolutions) {
+  // Mirror-image chains with equal populations must have equal
+  // throughputs.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 3;
+    if (r == 0) {
+      c.visits = {{a, 1.0, 0.07}, {shared, 1.0, 0.04}};
+    } else {
+      c.visits = {{b, 1.0, 0.07}, {shared, 1.0, 0.04}};
+    }
+    m.add_chain(std::move(c));
+  }
+  const ConvolutionResult conv = solve_convolution(m);
+  EXPECT_NEAR(conv.chain_throughput[0], conv.chain_throughput[1], 1e-10);
+  EXPECT_NEAR(conv.queue_length(0, 0), conv.queue_length(2, 1), 1e-10);
+}
+
+TEST(ConvolutionTest, UtilizationBelowOneAndConsistent) {
+  const qn::NetworkModel m = shared_middle(6, 6);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int n = 0; n < m.num_stations(); ++n) {
+    EXPECT_GE(conv.station_utilization[static_cast<std::size_t>(n)], 0.0);
+    EXPECT_LE(conv.station_utilization[static_cast<std::size_t>(n)],
+              1.0 + 1e-12);
+  }
+  // Shared station utilization = sum of demand * throughput.
+  const double expected = 0.05 * (conv.chain_throughput[0] +
+                                  conv.chain_throughput[1]);
+  EXPECT_NEAR(conv.station_utilization[1], expected, 1e-10);
+}
+
+TEST(ConvolutionTest, IsStationMatchesBruteForce) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station think;
+  think.name = "think";
+  think.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(think));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 3;
+    c.visits = {{a, 1.0, 0.1}, {z, 1.0, 0.5 + 0.25 * r}};
+    m.add_chain(std::move(c));
+  }
+  const ConvolutionResult conv = solve_convolution(m);
+  const ProductFormResult brute = solve_product_form(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                brute.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+    EXPECT_NEAR(conv.queue_length(z, r), brute.queue_length(z, r), 1e-9);
+  }
+}
+
+TEST(ConvolutionTest, QueueDependentStationMatchesBruteForce) {
+  qn::NetworkModel m;
+  qn::Station mm2 = fcfs("mm2");
+  mm2.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(mm2));
+  const int b = m.add_station(fcfs("b"));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 2 + r;
+    c.visits = {{a, 1.0, 0.2}, {b, 1.0, 0.1}};
+    m.add_chain(std::move(c));
+  }
+  const ConvolutionResult conv = solve_convolution(m);
+  const ProductFormResult brute = solve_product_form(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                brute.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+    for (int n = 0; n < 2; ++n) {
+      EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-8);
+    }
+  }
+}
+
+TEST(ConvolutionTest, MarginalDistributionsMatchCtmcOracle) {
+  // Full distributional agreement with the global-balance solution, not
+  // just the means.
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("shared"), fcfs("b")};
+  net.chains = {{"c1", {0, 1}, {0.08, 0.05}, 3},
+                {"c2", {1, 2}, {0.05, 0.11}, 2}};
+  const markov::ClosedCtmcResult ctmc = markov::solve_closed_ctmc(net);
+  ConvolutionOptions options;
+  options.compute_marginals = true;
+  const ConvolutionResult conv =
+      solve_convolution(net.to_model(), options);
+  for (int n = 0; n < 3; ++n) {
+    for (std::size_t k = 0;
+         k < ctmc.marginal[static_cast<std::size_t>(n)].size(); ++k) {
+      const double conv_p =
+          k < conv.marginal[static_cast<std::size_t>(n)].size()
+              ? conv.marginal[static_cast<std::size_t>(n)][k]
+              : 0.0;
+      EXPECT_NEAR(conv_p, ctmc.marginal[static_cast<std::size_t>(n)][k],
+                  1e-7)
+          << "station " << n << " count " << k;
+    }
+  }
+}
+
+TEST(ConvolutionTest, MarginalDistributionsWhenRequested) {
+  ConvolutionOptions options;
+  options.compute_marginals = true;
+  const qn::NetworkModel m = shared_middle(3, 3);
+  const ConvolutionResult conv = solve_convolution(m, options);
+  ASSERT_EQ(conv.marginal.size(), 3u);
+  for (int n = 0; n < 3; ++n) {
+    double total = 0.0, mean = 0.0;
+    for (std::size_t k = 0; k < conv.marginal[static_cast<std::size_t>(n)].size();
+         ++k) {
+      const double p = conv.marginal[static_cast<std::size_t>(n)][k];
+      EXPECT_GE(p, -1e-12);
+      total += p;
+      mean += static_cast<double>(k) * p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    const double expected_mean =
+        conv.queue_length(n, 0) + conv.queue_length(n, 1);
+    EXPECT_NEAR(mean, expected_mean, 1e-8);
+  }
+}
+
+TEST(ConvolutionTest, ZeroPopulationChainContributesNothing) {
+  const qn::NetworkModel m = shared_middle(4, 0);
+  const ConvolutionResult conv = solve_convolution(m);
+  EXPECT_DOUBLE_EQ(conv.chain_throughput[1], 0.0);
+  EXPECT_NEAR(conv.queue_length(1, 1), 0.0, 1e-12);
+  // Chain 1 behaves as if alone.
+  qn::NetworkModel alone;
+  const int a = alone.add_station(fcfs("a"));
+  const int s = alone.add_station(fcfs("shared"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 4;
+  c.visits = {{a, 1.0, 0.08}, {s, 1.0, 0.05}};
+  alone.add_chain(std::move(c));
+  EXPECT_NEAR(conv.chain_throughput[0],
+              solve_buzen(alone).throughput, 1e-10);
+}
+
+TEST(ConvolutionTest, ThroughputMonotoneInOwnPopulation) {
+  double previous = 0.0;
+  for (int pop = 1; pop <= 8; ++pop) {
+    const ConvolutionResult conv = solve_convolution(shared_middle(pop, 3));
+    EXPECT_GT(conv.chain_throughput[0], previous);
+    previous = conv.chain_throughput[0];
+  }
+}
+
+TEST(ConvolutionTest, MoreCompetitionLowersOtherChainThroughput) {
+  const double alone = solve_convolution(shared_middle(4, 1))
+                           .chain_throughput[0];
+  const double crowded = solve_convolution(shared_middle(4, 8))
+                             .chain_throughput[0];
+  EXPECT_LT(crowded, alone);
+}
+
+TEST(ConvolutionTest, RejectsOpenChains) {
+  qn::NetworkModel m = shared_middle(2, 2);
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 1.0;
+  open.visits = {{0, 1.0, 0.01}};
+  m.add_chain(std::move(open));
+  EXPECT_THROW((void)solve_convolution(m), qn::ModelError);
+}
+
+TEST(ConvolutionTest, ThreeChainLatticeMatchesBruteForce) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int b = m.add_station(fcfs("b"));
+  const int c = m.add_station(fcfs("c"));
+  const int hub = m.add_station(fcfs("hub"));
+  const double hub_time = 0.03;
+  int pops[3] = {2, 3, 1};
+  const int firsts[3] = {a, b, c};
+  const double first_time[3] = {0.06, 0.09, 0.04};
+  for (int r = 0; r < 3; ++r) {
+    qn::Chain chain;
+    chain.type = qn::ChainType::kClosed;
+    chain.population = pops[r];
+    chain.visits = {{firsts[r], 1.0, first_time[r]}, {hub, 1.0, hub_time}};
+    m.add_chain(std::move(chain));
+  }
+  const ConvolutionResult conv = solve_convolution(m);
+  const ProductFormResult brute = solve_product_form(m);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                brute.chain_throughput[static_cast<std::size_t>(r)], 1e-10);
+  }
+  for (int n = 0; n < 4; ++n) {
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace windim::exact

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "exact/jackson.h"
+#include "exact/mm_queues.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel tandem(double rate, double s0, double s1) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c;
+  c.name = "open";
+  c.type = qn::ChainType::kOpen;
+  c.arrival_rate = rate;
+  c.visits = {{a, 1.0, s0}, {b, 1.0, s1}};
+  m.add_chain(std::move(c));
+  return m;
+}
+
+TEST(JacksonTest, TandemMatchesIndependentMM1s) {
+  const double rate = 3.0;
+  const qn::NetworkModel m = tandem(rate, 0.1, 0.2);
+  const OpenSolution sol = solve_open(m);
+  const MM1 q0(rate, 10.0), q1(rate, 5.0);
+  EXPECT_NEAR(sol.stations[0].mean_number, q0.mean_number(), 1e-12);
+  EXPECT_NEAR(sol.stations[1].mean_number, q1.mean_number(), 1e-12);
+  EXPECT_NEAR(sol.stations[0].mean_time, q0.mean_time(), 1e-12);
+  EXPECT_NEAR(sol.chain_delay[0], q0.mean_time() + q1.mean_time(), 1e-12);
+  EXPECT_NEAR(sol.total_throughput, rate, 1e-12);
+}
+
+TEST(JacksonTest, NetworkDelayByLittle) {
+  const qn::NetworkModel m = tandem(2.0, 0.1, 0.3);
+  const OpenSolution sol = solve_open(m);
+  const double total_number =
+      sol.stations[0].mean_number + sol.stations[1].mean_number;
+  EXPECT_NEAR(sol.mean_network_delay, total_number / 2.0, 1e-12);
+}
+
+TEST(JacksonTest, TwoChainsSuperposeAtSharedStation) {
+  qn::NetworkModel m;
+  const int shared = m.add_station(fcfs("shared"));
+  for (int i = 0; i < 2; ++i) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(i);
+    c.type = qn::ChainType::kOpen;
+    c.arrival_rate = 2.0;
+    c.visits = {{shared, 1.0, 0.1}};
+    m.add_chain(std::move(c));
+  }
+  const OpenSolution sol = solve_open(m);
+  // Station sees 4.0 total at mu = 10: rho = 0.4.
+  const MM1 q(4.0, 10.0);
+  EXPECT_NEAR(sol.stations[0].mean_number, q.mean_number(), 1e-12);
+  // Classes split the queue evenly (equal intensities).
+  EXPECT_NEAR(sol.queue_length(0, 0), q.mean_number() / 2.0, 1e-12);
+  EXPECT_NEAR(sol.queue_length(0, 1), q.mean_number() / 2.0, 1e-12);
+}
+
+TEST(JacksonTest, VisitRatiosScaleDemand) {
+  // A chain visiting a station twice per customer doubles its load there.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Chain c;
+  c.type = qn::ChainType::kOpen;
+  c.arrival_rate = 2.0;
+  c.visits = {{a, 2.0, 0.1}};
+  m.add_chain(std::move(c));
+  const OpenSolution sol = solve_open(m);
+  EXPECT_NEAR(sol.stations[0].utilization, 0.4, 1e-12);
+  EXPECT_NEAR(sol.stations[0].arrival_rate, 4.0, 1e-12);
+}
+
+TEST(JacksonTest, IsStationIsPureDelay) {
+  qn::NetworkModel m;
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int a = m.add_station(std::move(is));
+  qn::Chain c;
+  c.type = qn::ChainType::kOpen;
+  c.arrival_rate = 4.0;
+  c.visits = {{a, 1.0, 2.0}};
+  m.add_chain(std::move(c));
+  const OpenSolution sol = solve_open(m);
+  EXPECT_NEAR(sol.stations[0].mean_number, 8.0, 1e-12);  // Poisson mean
+  EXPECT_NEAR(sol.stations[0].mean_time, 2.0, 1e-12);    // no queueing
+}
+
+TEST(JacksonTest, QueueDependentStationMatchesMMm) {
+  // rate_multipliers {1, 2} make the station an M/M/2.
+  qn::NetworkModel m;
+  qn::Station s = fcfs("mm2");
+  s.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(s));
+  qn::Chain c;
+  c.type = qn::ChainType::kOpen;
+  c.arrival_rate = 3.0;
+  c.visits = {{a, 1.0, 0.5}};  // per-server mu = 2
+  m.add_chain(std::move(c));
+  const OpenSolution sol = solve_open(m);
+  const MMm reference(3.0, 2.0, 2);
+  EXPECT_NEAR(sol.stations[0].mean_number, reference.mean_number(), 1e-9);
+}
+
+TEST(JacksonTest, SaturatedStationThrows) {
+  const qn::NetworkModel m = tandem(11.0, 0.1, 0.01);  // rho0 = 1.1
+  EXPECT_FALSE(open_network_stable(m));
+  EXPECT_THROW((void)solve_open(m), std::domain_error);
+}
+
+TEST(JacksonTest, StableCheckPasses) {
+  EXPECT_TRUE(open_network_stable(tandem(3.0, 0.1, 0.2)));
+}
+
+TEST(JacksonTest, RejectsClosedChains) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 2;
+  c.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(c));
+  EXPECT_THROW((void)solve_open(m), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::exact

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "exact/convolution.h"
+#include "exact/mixed.h"
+#include "exact/mm_queues.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+TEST(MixedTest, NoOpenLoadReducesToConvolution) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain closed;
+  closed.type = qn::ChainType::kClosed;
+  closed.population = 4;
+  closed.visits = {{a, 1.0, 0.1}, {b, 1.0, 0.2}};
+  m.add_chain(std::move(closed));
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 0.0;  // open chain with zero traffic
+  open.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(open));
+
+  const MixedSolution mixed = solve_mixed(m);
+
+  qn::NetworkModel pure;
+  const int a2 = pure.add_station(fcfs("a"));
+  const int b2 = pure.add_station(fcfs("b"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 4;
+  c.visits = {{a2, 1.0, 0.1}, {b2, 1.0, 0.2}};
+  pure.add_chain(std::move(c));
+  const ConvolutionResult conv = solve_convolution(pure);
+
+  EXPECT_NEAR(mixed.closed.chain_throughput[0], conv.chain_throughput[0],
+              1e-10);
+  EXPECT_NEAR(mixed.open_mean_number[0], 0.0, 1e-12);
+}
+
+TEST(MixedTest, OpenLoadSlowsClosedChain) {
+  auto build = [&](double open_rate) {
+    qn::NetworkModel m;
+    const int a = m.add_station(fcfs("a"));
+    const int b = m.add_station(fcfs("b"));
+    qn::Chain closed;
+    closed.type = qn::ChainType::kClosed;
+    closed.population = 3;
+    closed.visits = {{a, 1.0, 0.1}, {b, 1.0, 0.1}};
+    m.add_chain(std::move(closed));
+    qn::Chain open;
+    open.type = qn::ChainType::kOpen;
+    open.arrival_rate = open_rate;
+    open.visits = {{a, 1.0, 0.1}};
+    m.add_chain(std::move(open));
+    return m;
+  };
+  const double idle = solve_mixed(build(0.0)).closed.chain_throughput[0];
+  const double busy = solve_mixed(build(5.0)).closed.chain_throughput[0];
+  EXPECT_LT(busy, idle);
+}
+
+TEST(MixedTest, OpenQueueLengthFormulaAtIsolatedStation) {
+  // Open chain at a station the closed chain never visits: N0 must be
+  // the plain M/M/1 queue length.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain closed;
+  closed.type = qn::ChainType::kClosed;
+  closed.population = 2;
+  closed.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(closed));
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 4.0;
+  open.visits = {{b, 1.0, 0.1}};
+  m.add_chain(std::move(open));
+  const MixedSolution mixed = solve_mixed(m);
+  const MM1 reference(4.0, 10.0);
+  EXPECT_NEAR(mixed.open_mean_number[static_cast<std::size_t>(b)],
+              reference.mean_number(), 1e-10);
+  EXPECT_NEAR(mixed.open_chain_delay[1], reference.mean_time(), 1e-10);
+}
+
+TEST(MixedTest, SaturatedOpenLoadThrows) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Chain closed;
+  closed.type = qn::ChainType::kClosed;
+  closed.population = 1;
+  closed.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(closed));
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 20.0;  // rho0 = 2
+  open.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(open));
+  EXPECT_THROW((void)solve_mixed(m), std::domain_error);
+}
+
+TEST(MixedTest, AllOpenIsRejected) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 1.0;
+  open.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(open));
+  EXPECT_THROW((void)solve_mixed(m), qn::ModelError);
+}
+
+TEST(MixedTest, QueueDependentStationRejected) {
+  qn::NetworkModel m;
+  qn::Station s = fcfs("mm2");
+  s.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(s));
+  qn::Chain closed;
+  closed.type = qn::ChainType::kClosed;
+  closed.population = 1;
+  closed.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(closed));
+  EXPECT_THROW((void)solve_mixed(m), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::exact

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "exact/mm_queues.h"
+
+namespace windim::exact {
+namespace {
+
+// ----------------------------------------------------------------------- MM1
+
+TEST(MM1Test, TextbookValues) {
+  const MM1 q(2.0, 5.0);  // rho = 0.4
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.4);
+  EXPECT_TRUE(q.stable());
+  EXPECT_NEAR(q.mean_number(), 0.4 / 0.6, 1e-12);
+  EXPECT_NEAR(q.mean_time(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.mean_queue_waiting(), 0.4 / 0.6 - 0.4, 1e-12);
+}
+
+TEST(MM1Test, LittleLawHolds) {
+  const MM1 q(3.0, 4.0);
+  EXPECT_NEAR(q.mean_number(), 3.0 * q.mean_time(), 1e-12);
+}
+
+TEST(MM1Test, GeometricDistributionSumsToOne) {
+  const MM1 q(1.0, 2.0);
+  double total = 0.0;
+  for (int n = 0; n < 200; ++n) total += q.prob_n(n);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(q.prob_n(0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(q.prob_n(-1), 0.0);
+}
+
+TEST(MM1Test, UnstableQueueThrows) {
+  const MM1 q(5.0, 4.0);
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW((void)q.mean_number(), std::domain_error);
+  EXPECT_THROW((void)q.mean_time(), std::domain_error);
+}
+
+TEST(MM1Test, RejectsBadParameters) {
+  EXPECT_THROW(MM1(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MM1(1.0, 0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------- MMm
+
+TEST(MMmTest, OneServerReducesToMM1) {
+  const MMm multi(2.0, 5.0, 1);
+  const MM1 single(2.0, 5.0);
+  EXPECT_NEAR(multi.mean_number(), single.mean_number(), 1e-12);
+  EXPECT_NEAR(multi.mean_time(), single.mean_time(), 1e-12);
+  // Erlang C with one server equals the utilization.
+  EXPECT_NEAR(multi.erlang_c(), 0.4, 1e-12);
+}
+
+TEST(MMmTest, TwoServerTextbookValue) {
+  // M/M/2, lambda = 3, mu = 2 => a = 1.5, rho = 0.75.
+  // Erlang C = a^2/2! / ((1-rho)(1 + a + a^2/2!/(1-rho))) ... computed:
+  // C = (1.125/0.25) / (1 + 1.5 + 1.125/0.25) = 4.5 / 7 = 0.642857...
+  const MMm q(3.0, 2.0, 2);
+  EXPECT_NEAR(q.erlang_c(), 4.5 / 7.0, 1e-12);
+  EXPECT_NEAR(q.mean_number(), 1.5 + (4.5 / 7.0) * 0.75 / 0.25, 1e-12);
+}
+
+TEST(MMmTest, ManyServersApproachDelaySystem) {
+  // With servers >> offered load the queueing probability vanishes and
+  // N -> offered load.
+  const MMm q(2.0, 1.0, 50);
+  EXPECT_LT(q.erlang_c(), 1e-12);
+  EXPECT_NEAR(q.mean_number(), 2.0, 1e-9);
+}
+
+TEST(MMmTest, UnstableThrows) {
+  const MMm q(10.0, 1.0, 5);
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW((void)q.erlang_c(), std::domain_error);
+}
+
+TEST(MMmTest, RejectsZeroServers) {
+  EXPECT_THROW(MMm(1.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- MMInf
+
+TEST(MMInfTest, PoissonOccupancy) {
+  const MMInf q(6.0, 2.0);  // mean 3
+  EXPECT_DOUBLE_EQ(q.mean_number(), 3.0);
+  EXPECT_DOUBLE_EQ(q.mean_time(), 0.5);
+  EXPECT_NEAR(q.prob_n(0), std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(q.prob_n(3), std::exp(-3.0) * 27.0 / 6.0, 1e-12);
+  double total = 0.0;
+  for (int n = 0; n < 60; ++n) total += q.prob_n(n);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MMInfTest, ZeroArrivalRateIsEmpty) {
+  const MMInf q(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_number(), 0.0);
+  EXPECT_DOUBLE_EQ(q.prob_n(0), 1.0);
+  EXPECT_DOUBLE_EQ(q.prob_n(1), 0.0);
+}
+
+}  // namespace
+}  // namespace windim::exact

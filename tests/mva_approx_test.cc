@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mva/approx.h"
+#include "mva/exact_multichain.h"
+#include "mva/single_chain.h"
+
+namespace windim::mva {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+TEST(ApproxMvaTest, ConvergesOnTwoChainNetwork) {
+  const MvaSolution sol = solve_approx_mva(shared_middle(4, 4));
+  EXPECT_TRUE(sol.converged);
+  EXPECT_GT(sol.iterations, 1);
+  EXPECT_GT(sol.chain_throughput[0], 0.0);
+  EXPECT_GT(sol.chain_throughput[1], 0.0);
+}
+
+TEST(ApproxMvaTest, SingleChainIsNearExact) {
+  // With one chain the sigma heuristic sees no "other" classes; the
+  // inflation is identity and the fixed point should sit very close to
+  // the exact single-chain MVA.
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 5;
+  for (double d : {0.1, 0.25, 0.18}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const MvaSolution approx = solve_approx_mva(m);
+  const SingleChainResult exact = solve_single_chain(m);
+  EXPECT_NEAR(approx.chain_throughput[0], exact.throughput[5],
+              0.02 * exact.throughput[5]);
+}
+
+TEST(ApproxMvaTest, CloseToExactOnModeratePopulations) {
+  // Thesis claim: the heuristic error is acceptable and shrinks as
+  // populations grow.  Verify < 5% throughput error on a 2-chain case.
+  const qn::NetworkModel m = shared_middle(5, 5);
+  const MvaSolution approx = solve_approx_mva(m);
+  const MvaSolution exact = solve_exact_multichain(m);
+  for (int r = 0; r < 2; ++r) {
+    const double err =
+        std::abs(approx.chain_throughput[static_cast<std::size_t>(r)] -
+                 exact.chain_throughput[static_cast<std::size_t>(r)]) /
+        exact.chain_throughput[static_cast<std::size_t>(r)];
+    EXPECT_LT(err, 0.05) << "chain " << r;
+  }
+}
+
+TEST(ApproxMvaTest, ErrorShrinksWithPopulation) {
+  // Asymptotic validity (thesis 4.2, citing [26]).
+  auto throughput_error = [&](int pop) {
+    const qn::NetworkModel m = shared_middle(pop, pop);
+    const MvaSolution approx = solve_approx_mva(m);
+    const MvaSolution exact = solve_exact_multichain(m);
+    return std::abs(approx.chain_throughput[0] - exact.chain_throughput[0]) /
+           exact.chain_throughput[0];
+  };
+  const double small = throughput_error(2);
+  const double large = throughput_error(12);
+  EXPECT_LT(large, small + 1e-9);
+  EXPECT_LT(large, 0.02);
+}
+
+TEST(ApproxMvaTest, PopulationConservation) {
+  const MvaSolution sol = solve_approx_mva(shared_middle(6, 3));
+  double total0 = 0.0, total1 = 0.0;
+  for (int n = 0; n < 3; ++n) {
+    total0 += sol.queue_length(n, 0);
+    total1 += sol.queue_length(n, 1);
+  }
+  EXPECT_NEAR(total0, 6.0, 1e-6);
+  EXPECT_NEAR(total1, 3.0, 1e-6);
+}
+
+TEST(ApproxMvaTest, LittleLawAtFixedPoint) {
+  const MvaSolution sol = solve_approx_mva(shared_middle(4, 4));
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(sol.queue_length(n, r),
+                  sol.chain_throughput[static_cast<std::size_t>(r)] *
+                      sol.time(n, r),
+                  1e-6);
+    }
+  }
+}
+
+TEST(ApproxMvaTest, SymmetricChainsGetSymmetricThroughputs) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 4;
+    c.visits = {{r == 0 ? a : b, 1.0, 0.07}, {shared, 1.0, 0.04}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution sol = solve_approx_mva(m);
+  EXPECT_NEAR(sol.chain_throughput[0], sol.chain_throughput[1], 1e-8);
+}
+
+TEST(ApproxMvaTest, SchweitzerBardAlsoConvergesAndIsClose) {
+  ApproxMvaOptions options;
+  options.sigma = SigmaPolicy::kSchweitzerBard;
+  const qn::NetworkModel m = shared_middle(5, 5);
+  const MvaSolution sb = solve_approx_mva(m, options);
+  const MvaSolution exact = solve_exact_multichain(m);
+  EXPECT_TRUE(sb.converged);
+  for (int r = 0; r < 2; ++r) {
+    const double err =
+        std::abs(sb.chain_throughput[static_cast<std::size_t>(r)] -
+                 exact.chain_throughput[static_cast<std::size_t>(r)]) /
+        exact.chain_throughput[static_cast<std::size_t>(r)];
+    EXPECT_LT(err, 0.08);
+  }
+}
+
+TEST(ApproxMvaTest, BothInitPoliciesReachTheSameFixedPoint) {
+  const qn::NetworkModel m = shared_middle(4, 6);
+  ApproxMvaOptions balanced;
+  balanced.init = InitPolicy::kBalanced;
+  ApproxMvaOptions bottleneck;
+  bottleneck.init = InitPolicy::kBottleneck;
+  const MvaSolution a = solve_approx_mva(m, balanced);
+  const MvaSolution b = solve_approx_mva(m, bottleneck);
+  EXPECT_NEAR(a.chain_throughput[0], b.chain_throughput[0], 1e-6);
+  EXPECT_NEAR(a.chain_throughput[1], b.chain_throughput[1], 1e-6);
+}
+
+TEST(ApproxMvaTest, DampingReachesSameFixedPoint) {
+  const qn::NetworkModel m = shared_middle(4, 4);
+  ApproxMvaOptions damped;
+  damped.damping = 0.5;
+  const MvaSolution plain = solve_approx_mva(m);
+  const MvaSolution slow = solve_approx_mva(m, damped);
+  EXPECT_TRUE(slow.converged);
+  EXPECT_NEAR(plain.chain_throughput[0], slow.chain_throughput[0], 1e-6);
+}
+
+TEST(ApproxMvaTest, ZeroPopulationChainHasZeroThroughput) {
+  const MvaSolution sol = solve_approx_mva(shared_middle(4, 0));
+  EXPECT_DOUBLE_EQ(sol.chain_throughput[1], 0.0);
+  EXPECT_GT(sol.chain_throughput[0], 0.0);
+}
+
+TEST(ApproxMvaTest, IsStationsHandled) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(is));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 5;
+    c.visits = {{a, 1.0, 0.05}, {z, 1.0, 0.8}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution approx = solve_approx_mva(m);
+  const MvaSolution exact = solve_exact_multichain(m);
+  EXPECT_TRUE(approx.converged);
+  for (int r = 0; r < 2; ++r) {
+    const double err =
+        std::abs(approx.chain_throughput[static_cast<std::size_t>(r)] -
+                 exact.chain_throughput[static_cast<std::size_t>(r)]) /
+        exact.chain_throughput[static_cast<std::size_t>(r)];
+    EXPECT_LT(err, 0.05);
+  }
+}
+
+TEST(ApproxMvaTest, HeavyCompetitionStillConverges) {
+  // Ten chains through one shared bottleneck.
+  qn::NetworkModel m;
+  const int hub = m.add_station(fcfs("hub"));
+  for (int r = 0; r < 10; ++r) {
+    const int leg = m.add_station(fcfs("leg" + std::to_string(r)));
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 3;
+    c.visits = {{hub, 1.0, 0.02}, {leg, 1.0, 0.05}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution sol = solve_approx_mva(m);
+  EXPECT_TRUE(sol.converged);
+  double total_util = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    total_util += 0.02 * sol.chain_throughput[static_cast<std::size_t>(r)];
+  }
+  EXPECT_LE(total_util, 1.0 + 1e-6);  // hub cannot exceed capacity
+}
+
+TEST(ApproxMvaTest, RejectsInvalidOptionsAndModels) {
+  const qn::NetworkModel m = shared_middle(2, 2);
+  ApproxMvaOptions bad;
+  bad.damping = 0.0;
+  EXPECT_THROW((void)solve_approx_mva(m, bad), std::invalid_argument);
+
+  qn::NetworkModel open = shared_middle(2, 2);
+  qn::Chain oc;
+  oc.type = qn::ChainType::kOpen;
+  oc.arrival_rate = 1.0;
+  oc.visits = {{0, 1.0, 0.01}};
+  open.add_chain(std::move(oc));
+  EXPECT_THROW((void)solve_approx_mva(open), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::mva

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "exact/convolution.h"
+#include "mva/exact_multichain.h"
+#include "mva/single_chain.h"
+
+namespace windim::mva {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+TEST(ExactMvaTest, AgreesWithConvolutionTwoChains) {
+  const qn::NetworkModel m = shared_middle(4, 3);
+  const MvaSolution mva = solve_exact_multichain(m);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(mva.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(mva.queue_length(n, r), conv.queue_length(n, r), 1e-8);
+    }
+  }
+}
+
+TEST(ExactMvaTest, SingleChainReducesToSingleChainMva) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 6;
+  for (double d : {0.1, 0.25, 0.18}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const MvaSolution multi = solve_exact_multichain(m);
+  const SingleChainResult single = solve_single_chain(m);
+  EXPECT_NEAR(multi.chain_throughput[0], single.throughput[6], 1e-10);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(multi.queue_length(n, 0),
+                single.mean_number[6][static_cast<std::size_t>(n)], 1e-9);
+  }
+}
+
+TEST(ExactMvaTest, PopulationConservation) {
+  const qn::NetworkModel m = shared_middle(5, 6);
+  const MvaSolution mva = solve_exact_multichain(m);
+  for (int r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (int n = 0; n < 3; ++n) total += mva.queue_length(n, r);
+    EXPECT_NEAR(total, m.chain(r).population, 1e-9);
+  }
+}
+
+TEST(ExactMvaTest, IsStationsSupported) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(is));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 4;
+    c.visits = {{a, 1.0, 0.05}, {z, 1.0, 1.0}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution mva = solve_exact_multichain(m);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(mva.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+    EXPECT_NEAR(mva.queue_length(z, r), conv.queue_length(z, r), 1e-8);
+  }
+}
+
+TEST(ExactMvaTest, ThreeChainsAgreeWithConvolution) {
+  qn::NetworkModel m;
+  const int hub = m.add_station(fcfs("hub"));
+  for (int r = 0; r < 3; ++r) {
+    const int leg = m.add_station(fcfs("leg" + std::to_string(r)));
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 2 + r;
+    c.visits = {{hub, 1.0, 0.03}, {leg, 1.0, 0.05 + 0.02 * r}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution mva = solve_exact_multichain(m);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(mva.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(ExactMvaTest, RejectsQueueDependentStations) {
+  qn::NetworkModel m;
+  qn::Station s = fcfs("mm2");
+  s.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(s));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 2;
+  c.visits = {{a, 1.0, 0.1}};
+  m.add_chain(std::move(c));
+  EXPECT_THROW((void)solve_exact_multichain(m), qn::ModelError);
+}
+
+TEST(ExactMvaTest, RejectsOpenChains) {
+  qn::NetworkModel m = shared_middle(1, 1);
+  qn::Chain open;
+  open.type = qn::ChainType::kOpen;
+  open.arrival_rate = 1.0;
+  open.visits = {{0, 1.0, 0.01}};
+  m.add_chain(std::move(open));
+  EXPECT_THROW((void)solve_exact_multichain(m), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::mva

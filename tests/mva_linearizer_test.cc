@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mva/approx.h"
+#include "mva/bounds.h"
+#include "mva/exact_multichain.h"
+#include "mva/linearizer.h"
+#include "mva/single_chain.h"
+#include "util/rng.h"
+
+namespace windim::mva {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+double throughput_error(const MvaSolution& approx, const MvaSolution& exact,
+                        int chain) {
+  return std::abs(approx.chain_throughput[static_cast<std::size_t>(chain)] -
+                  exact.chain_throughput[static_cast<std::size_t>(chain)]) /
+         exact.chain_throughput[static_cast<std::size_t>(chain)];
+}
+
+TEST(LinearizerTest, ConvergesAndConservesPopulation) {
+  const qn::NetworkModel m = shared_middle(4, 5);
+  const MvaSolution sol = solve_linearizer(m);
+  EXPECT_TRUE(sol.converged);
+  for (int r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (int n = 0; n < 3; ++n) total += sol.queue_length(n, r);
+    EXPECT_NEAR(total, m.chain(r).population, 1e-6);
+  }
+}
+
+TEST(LinearizerTest, CloseToExactOnTwoChains) {
+  const qn::NetworkModel m = shared_middle(4, 4);
+  const MvaSolution lin = solve_linearizer(m);
+  const MvaSolution exact = solve_exact_multichain(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_LT(throughput_error(lin, exact, r), 0.01) << "chain " << r;
+  }
+}
+
+TEST(LinearizerTest, MoreAccurateThanSchweitzerBard) {
+  // The reason Linearizer exists: averaged over a family of random
+  // networks it must beat the one-term approximations.
+  double linearizer_total = 0.0;
+  double schweitzer_total = 0.0;
+  int cases = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 500);
+    qn::NetworkModel m;
+    const int stations = rng.uniform_int(3, 5);
+    std::vector<double> times(static_cast<std::size_t>(stations));
+    for (double& t : times) t = rng.uniform(0.02, 0.2);
+    for (int n = 0; n < stations; ++n) m.add_station(fcfs("q"));
+    for (int r = 0; r < 2; ++r) {
+      qn::Chain c;
+      c.type = qn::ChainType::kClosed;
+      c.population = rng.uniform_int(2, 5);
+      for (int n = 0; n < stations; ++n) {
+        if (rng.uniform01() < 0.7) {
+          c.visits.push_back({n, 1.0, times[static_cast<std::size_t>(n)]});
+        }
+      }
+      if (c.visits.empty()) {
+        c.visits.push_back({0, 1.0, times[0]});
+      }
+      m.add_chain(std::move(c));
+    }
+    const MvaSolution exact = solve_exact_multichain(m);
+    const MvaSolution lin = solve_linearizer(m);
+    ApproxMvaOptions sb;
+    sb.sigma = SigmaPolicy::kSchweitzerBard;
+    const MvaSolution schweitzer = solve_approx_mva(m, sb);
+    for (int r = 0; r < 2; ++r) {
+      linearizer_total += throughput_error(lin, exact, r);
+      schweitzer_total += throughput_error(schweitzer, exact, r);
+      ++cases;
+    }
+  }
+  EXPECT_GT(cases, 0);
+  EXPECT_LT(linearizer_total, schweitzer_total);
+  EXPECT_LT(linearizer_total / cases, 0.01);  // sub-1% mean error
+}
+
+TEST(LinearizerTest, SingleChainNearExact) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 6;
+  for (double d : {0.1, 0.25, 0.18}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const MvaSolution lin = solve_linearizer(m);
+  const SingleChainResult exact = solve_single_chain(m);
+  EXPECT_NEAR(lin.chain_throughput[0], exact.throughput[6],
+              0.005 * exact.throughput[6]);
+}
+
+TEST(LinearizerTest, IsStationsSupported) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(is));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 4;
+    c.visits = {{a, 1.0, 0.05}, {z, 1.0, 0.9}};
+    m.add_chain(std::move(c));
+  }
+  const MvaSolution lin = solve_linearizer(m);
+  const MvaSolution exact = solve_exact_multichain(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_LT(throughput_error(lin, exact, r), 0.01);
+  }
+}
+
+TEST(LinearizerTest, ZeroPopulationChain) {
+  const MvaSolution sol = solve_linearizer(shared_middle(4, 0));
+  EXPECT_DOUBLE_EQ(sol.chain_throughput[1], 0.0);
+  EXPECT_GT(sol.chain_throughput[0], 0.0);
+}
+
+TEST(LinearizerTest, RejectsOpenChainsAndQdStations) {
+  qn::NetworkModel open = shared_middle(2, 2);
+  qn::Chain oc;
+  oc.type = qn::ChainType::kOpen;
+  oc.arrival_rate = 1.0;
+  oc.visits = {{0, 1.0, 0.01}};
+  open.add_chain(std::move(oc));
+  EXPECT_THROW((void)solve_linearizer(open), qn::ModelError);
+
+  qn::NetworkModel qd;
+  qn::Station s = fcfs("mm2");
+  s.rate_multipliers = {1.0, 2.0};
+  const int a = qd.add_station(std::move(s));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 2;
+  c.visits = {{a, 1.0, 0.1}};
+  qd.add_chain(std::move(c));
+  EXPECT_THROW((void)solve_linearizer(qd), qn::ModelError);
+}
+
+// --------------------------------------------------------------------- bounds
+
+TEST(BoundsTest, BracketExactSingleChain) {
+  for (int pop : {1, 2, 4, 8, 16}) {
+    qn::NetworkModel m;
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = pop;
+    for (double d : {0.12, 0.3, 0.07}) {
+      const int idx = m.add_station(fcfs("q"));
+      c.visits.push_back({idx, 1.0, d});
+    }
+    m.add_chain(std::move(c));
+    const ChainBounds b = balanced_job_bounds(m);
+    const SingleChainResult exact = solve_single_chain(m);
+    const double x = exact.throughput[static_cast<std::size_t>(pop)];
+    EXPECT_LE(b.throughput_lower, x + 1e-12) << "pop " << pop;
+    EXPECT_GE(b.throughput_upper, x - 1e-12) << "pop " << pop;
+  }
+}
+
+TEST(BoundsTest, BalancedNetworkIsTight) {
+  // On a perfectly balanced network the upper bound is exact.
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 5;
+  for (int n = 0; n < 4; ++n) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, 0.1});
+  }
+  m.add_chain(std::move(c));
+  const ChainBounds b = balanced_job_bounds(m);
+  const SingleChainResult exact = solve_single_chain(m);
+  EXPECT_NEAR(b.throughput_upper, exact.throughput[5], 1e-10);
+}
+
+TEST(BoundsTest, DelayDemandHandled) {
+  // IS demand enters the denominators but not the bottleneck.
+  const ChainBounds b = balanced_job_bounds({0.1, 0.2}, 1.0, 3);
+  EXPECT_LE(b.throughput_upper, 1.0 / 0.2 + 1e-12);
+  EXPECT_GT(b.throughput_lower, 0.0);
+  EXPECT_NEAR(b.cycle_time_lower * b.throughput_upper, 3.0, 1e-9);
+}
+
+TEST(BoundsTest, RandomNetworksAlwaysBracketed) {
+  for (int seed = 0; seed < 20; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 900);
+    const int stations = rng.uniform_int(2, 7);
+    std::vector<double> demands;
+    qn::NetworkModel m;
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, 12);
+    for (int n = 0; n < stations; ++n) {
+      const int idx = m.add_station(fcfs("q"));
+      const double d = rng.uniform(0.01, 0.5);
+      c.visits.push_back({idx, 1.0, d});
+    }
+    const int pop = c.population;
+    m.add_chain(std::move(c));
+    const ChainBounds b = balanced_job_bounds(m);
+    const SingleChainResult exact = solve_single_chain(m);
+    const double x = exact.throughput[static_cast<std::size_t>(pop)];
+    EXPECT_LE(b.throughput_lower, x + 1e-10) << "seed " << seed;
+    EXPECT_GE(b.throughput_upper, x - 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(BoundsTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)balanced_job_bounds({0.1}, 0.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)balanced_job_bounds({}, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)balanced_job_bounds({-0.1}, 0.0, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace windim::mva

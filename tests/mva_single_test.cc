@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "exact/buzen.h"
+#include "mva/single_chain.h"
+
+namespace windim::mva {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+std::vector<SingleChainStation> cycle(const std::vector<double>& demands) {
+  std::vector<SingleChainStation> stations;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    stations.push_back({fcfs("q" + std::to_string(i)), demands[i]});
+  }
+  return stations;
+}
+
+qn::NetworkModel cycle_model(const std::vector<double>& demands,
+                             int population) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = population;
+  for (double d : demands) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  return m;
+}
+
+TEST(SingleChainMvaTest, SingleCustomerHasNoQueueing) {
+  const std::vector<double> demands{0.1, 0.2, 0.3};
+  const SingleChainResult r = solve_single_chain(cycle(demands), 1);
+  EXPECT_NEAR(r.throughput[1], 1.0 / 0.6, 1e-12);
+  for (std::size_t n = 0; n < demands.size(); ++n) {
+    EXPECT_NEAR(r.mean_time[1][n], demands[n], 1e-12);
+  }
+}
+
+TEST(SingleChainMvaTest, MatchesBuzenAtEveryPopulation) {
+  const std::vector<double> demands{0.12, 0.3, 0.07, 0.2};
+  const SingleChainResult mva = solve_single_chain(cycle(demands), 8);
+  for (int k = 1; k <= 8; ++k) {
+    const exact::BuzenResult buzen =
+        exact::solve_buzen(cycle_model(demands, k));
+    EXPECT_NEAR(mva.throughput[static_cast<std::size_t>(k)],
+                buzen.throughput, 1e-10)
+        << "population " << k;
+    for (std::size_t n = 0; n < demands.size(); ++n) {
+      EXPECT_NEAR(mva.mean_number[static_cast<std::size_t>(k)][n],
+                  buzen.mean_number[n], 1e-9);
+    }
+  }
+}
+
+TEST(SingleChainMvaTest, BalancedNetworkClosedForm) {
+  const int M = 5, K = 7;
+  const double x = 0.04;
+  const SingleChainResult r =
+      solve_single_chain(cycle(std::vector<double>(M, x)), K);
+  EXPECT_NEAR(r.throughput[K], K / (x * (K + M - 1)), 1e-10);
+}
+
+TEST(SingleChainMvaTest, QueueLengthsSumToPopulation) {
+  const SingleChainResult r = solve_single_chain(cycle({0.1, 0.4, 0.25}), 9);
+  for (int k = 0; k <= 9; ++k) {
+    double total = 0.0;
+    for (double n : r.mean_number[static_cast<std::size_t>(k)]) total += n;
+    EXPECT_NEAR(total, k, 1e-9);
+  }
+}
+
+TEST(SingleChainMvaTest, QueueGrowthPerCustomerBoundedByOne) {
+  // The WINDIM sigma estimate relies on N(k) - N(k-1) in [0, 1].
+  const SingleChainResult r =
+      solve_single_chain(cycle({0.1, 0.5, 0.2, 0.3}), 15);
+  for (int k = 1; k <= 15; ++k) {
+    for (std::size_t n = 0; n < 4; ++n) {
+      const double inc = r.mean_number[static_cast<std::size_t>(k)][n] -
+                         r.mean_number[static_cast<std::size_t>(k) - 1][n];
+      EXPECT_GE(inc, -1e-12);
+      EXPECT_LE(inc, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SingleChainMvaTest, IsStationIsPureDelay) {
+  std::vector<SingleChainStation> stations = cycle({0.1, 0.2});
+  stations[1].station.discipline = qn::Discipline::kInfiniteServer;
+  const SingleChainResult r = solve_single_chain(stations, 6);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(r.mean_time[static_cast<std::size_t>(k)][1], 0.2, 1e-12);
+  }
+  // Cross-check against Buzen with an IS station.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "is";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int b = m.add_station(std::move(is));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 6;
+  c.visits = {{a, 1.0, 0.1}, {b, 1.0, 0.2}};
+  m.add_chain(std::move(c));
+  EXPECT_NEAR(r.throughput[6], exact::solve_buzen(m).throughput, 1e-10);
+}
+
+TEST(SingleChainMvaTest, QueueDependentStationMatchesBuzen) {
+  std::vector<SingleChainStation> stations = cycle({0.4, 0.15});
+  stations[0].station.rate_multipliers = {1.0, 2.0};  // M/M/2
+  const SingleChainResult mva = solve_single_chain(stations, 7);
+
+  qn::NetworkModel m;
+  qn::Station mm2 = fcfs("mm2");
+  mm2.rate_multipliers = {1.0, 2.0};
+  const int a = m.add_station(std::move(mm2));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 7;
+  c.visits = {{a, 1.0, 0.4}, {b, 1.0, 0.15}};
+  m.add_chain(std::move(c));
+  const exact::BuzenResult buzen = exact::solve_buzen(m);
+
+  EXPECT_NEAR(mva.throughput[7], buzen.throughput, 1e-9);
+  EXPECT_NEAR(mva.mean_number[7][0], buzen.mean_number[0], 1e-8);
+  EXPECT_NEAR(mva.mean_number[7][1], buzen.mean_number[1], 1e-8);
+}
+
+TEST(SingleChainMvaTest, UnvisitedStationStaysEmpty) {
+  std::vector<SingleChainStation> stations = cycle({0.1, 0.2});
+  stations.push_back({fcfs("unused"), 0.0});
+  const SingleChainResult r = solve_single_chain(stations, 4);
+  EXPECT_DOUBLE_EQ(r.mean_number[4][2], 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_time[4][2], 0.0);
+}
+
+TEST(SingleChainMvaTest, ZeroPopulation) {
+  const SingleChainResult r = solve_single_chain(cycle({0.1}), 0);
+  EXPECT_DOUBLE_EQ(r.throughput[0], 0.0);
+}
+
+TEST(SingleChainMvaTest, RejectsBadInput) {
+  EXPECT_THROW((void)solve_single_chain(cycle({0.1}), -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_single_chain(cycle({0.0, 0.0}), 2),
+               std::invalid_argument);
+}
+
+TEST(SingleChainMvaTest, ModelOverloadMatchesVectorOverload) {
+  const std::vector<double> demands{0.1, 0.3};
+  const SingleChainResult a = solve_single_chain(cycle(demands), 5);
+  const SingleChainResult b = solve_single_chain(cycle_model(demands, 5));
+  EXPECT_NEAR(a.throughput[5], b.throughput[5], 1e-12);
+}
+
+}  // namespace
+}  // namespace windim::mva

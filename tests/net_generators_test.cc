@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "net/generators.h"
+#include "windim/windim.h"
+
+namespace windim::net {
+namespace {
+
+TEST(GeneratorsTest, LineTopologyShape) {
+  const Topology t = line_topology(5, 50.0);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_channels(), 4);
+  EXPECT_EQ(t.shortest_route(0, 4).size(), 4u);
+  EXPECT_THROW((void)line_topology(1, 50.0), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, RingTopologyShape) {
+  const Topology t = ring_topology(6, 50.0);
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.num_channels(), 6);
+  // Opposite nodes are 3 hops apart either way.
+  EXPECT_EQ(t.shortest_route(0, 3).size(), 3u);
+  EXPECT_THROW((void)ring_topology(2, 50.0), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, StarTopologyShape) {
+  const Topology t = star_topology(4, 50.0);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_channels(), 4);
+  // Leaf to leaf goes through the hub: 2 hops.
+  EXPECT_EQ(t.shortest_route(t.node_index("leaf0"), t.node_index("leaf3"))
+                .size(),
+            2u);
+}
+
+TEST(GeneratorsTest, GridTopologyShape) {
+  const Topology t = grid_topology(3, 4, 50.0);
+  EXPECT_EQ(t.num_nodes(), 12);
+  // 4 rows * 2 horizontal + 3 cols * 3 vertical = 8 + 9.
+  EXPECT_EQ(t.num_channels(), 17);
+  // Corner to corner: Manhattan distance = 2 + 3.
+  EXPECT_EQ(t.shortest_route(t.node_index("g0_0"), t.node_index("g2_3"))
+                .size(),
+            5u);
+}
+
+TEST(GeneratorsTest, RandomTopologyIsConnected) {
+  for (int seed = 0; seed < 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const Topology t = random_topology(8, 4, 25.0, 100.0, rng);
+    EXPECT_EQ(t.num_nodes(), 8);
+    EXPECT_GE(t.num_channels(), 7);  // spanning tree at minimum
+    for (int n = 1; n < t.num_nodes(); ++n) {
+      EXPECT_NO_THROW((void)t.shortest_route(0, n));
+    }
+    for (int c = 0; c < t.num_channels(); ++c) {
+      EXPECT_GE(t.channel(c).capacity_kbps, 25.0);
+      EXPECT_LE(t.channel(c).capacity_kbps, 100.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomTrafficIsRoutable) {
+  util::Rng rng(7);
+  const Topology t = grid_topology(3, 3, 50.0);
+  const auto classes = random_traffic(t, 6, 5.0, 20.0, rng);
+  EXPECT_EQ(classes.size(), 6u);
+  for (const TrafficClass& tc : classes) {
+    EXPECT_GE(tc.arrival_rate, 5.0);
+    EXPECT_LE(tc.arrival_rate, 20.0);
+    EXPECT_GE(tc.path.size(), 2u);
+    // The generated path must be a valid channel route.
+    EXPECT_NO_THROW((void)t.route_channels(tc.path));
+  }
+}
+
+TEST(GeneratorsTest, GeneratedNetworksDimensionable) {
+  // End-to-end: random topology + traffic feed straight into WINDIM.
+  util::Rng rng(42);
+  const Topology t = random_topology(6, 3, 25.0, 75.0, rng);
+  const auto classes = random_traffic(t, 3, 5.0, 15.0, rng);
+  const core::WindowProblem problem(t, classes);
+  const core::DimensionResult r = core::dimension_windows(problem);
+  EXPECT_EQ(r.optimal_windows.size(), 3u);
+  EXPECT_GT(r.evaluation.power, 0.0);
+}
+
+TEST(GeneratorsTest, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)random_topology(1, 0, 10.0, 20.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_topology(4, 0, 0.0, 20.0, rng),
+               std::invalid_argument);
+  const Topology t = line_topology(3, 50.0);
+  EXPECT_THROW((void)random_traffic(t, 0, 1.0, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_traffic(t, 1, 5.0, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)grid_topology(1, 1, 50.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace windim::net

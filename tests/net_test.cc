@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "net/examples.h"
+#include "net/topology.h"
+
+namespace windim::net {
+namespace {
+
+TEST(TopologyTest, AddAndLookupNodes) {
+  Topology t;
+  EXPECT_EQ(t.add_node("a"), 0);
+  EXPECT_EQ(t.add_node("b"), 1);
+  EXPECT_EQ(t.node_index("b"), 1);
+  EXPECT_THROW((void)t.node_index("zzz"), std::out_of_range);
+  EXPECT_THROW((void)t.add_node("a"), std::invalid_argument);
+  EXPECT_THROW((void)t.add_node(""), std::invalid_argument);
+}
+
+TEST(TopologyTest, ChannelsAreHalfDuplex) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  const int c = t.add_channel("a", "b", 50.0);
+  // One channel serves both directions.
+  EXPECT_EQ(t.channel_between(0, 1), c);
+  EXPECT_EQ(t.channel_between(1, 0), c);
+  EXPECT_EQ(t.channel_between(0, 0), -1);
+  EXPECT_EQ(t.channel(c).name, "a-b");
+}
+
+TEST(TopologyTest, RejectsBadChannels) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_channel("a", "b", 50.0);
+  EXPECT_THROW((void)t.add_channel("a", "b", 25.0), std::invalid_argument);
+  EXPECT_THROW((void)t.add_channel(0, 0, 25.0), std::invalid_argument);
+  EXPECT_THROW((void)t.add_channel(0, 5, 25.0), std::invalid_argument);
+  EXPECT_THROW((void)t.add_channel(0, 1, 0.0), std::invalid_argument);
+}
+
+TEST(TopologyTest, ShortestRouteByHops) {
+  // a - b - c - d plus shortcut a - c.
+  Topology t;
+  for (const char* n : {"a", "b", "c", "d"}) t.add_node(n);
+  t.add_channel("a", "b", 50.0);
+  const int bc = t.add_channel("b", "c", 50.0);
+  const int cd = t.add_channel("c", "d", 50.0);
+  const int ac = t.add_channel("a", "c", 25.0);
+  EXPECT_EQ(t.shortest_route(0, 3), (std::vector<int>{ac, cd}));
+  EXPECT_EQ(t.shortest_route(1, 3), (std::vector<int>{bc, cd}));
+  EXPECT_TRUE(t.shortest_route(2, 2).empty());
+}
+
+TEST(TopologyTest, ShortestRouteDisconnected) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  EXPECT_THROW((void)t.shortest_route(0, 1), std::runtime_error);
+}
+
+TEST(TopologyTest, RouteChannelsFollowsNamedPath) {
+  Topology t;
+  for (const char* n : {"a", "b", "c"}) t.add_node(n);
+  const int ab = t.add_channel("a", "b", 50.0);
+  const int bc = t.add_channel("b", "c", 50.0);
+  EXPECT_EQ(t.route_channels({"a", "b", "c"}),
+            (std::vector<int>{ab, bc}));
+  EXPECT_EQ(t.route_channels({"c", "b", "a"}),
+            (std::vector<int>{bc, ab}));
+  EXPECT_THROW((void)t.route_channels({"a", "c"}), std::runtime_error);
+  EXPECT_THROW((void)t.route_channels({"a"}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ thesis networks
+
+TEST(CanadaTest, TopologyShape) {
+  const Topology t = canada_topology();
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.num_channels(), 7);
+  int fast = 0, slow = 0;
+  for (int c = 0; c < t.num_channels(); ++c) {
+    if (t.channel(c).capacity_kbps == 50.0) ++fast;
+    if (t.channel(c).capacity_kbps == 25.0) ++slow;
+  }
+  EXPECT_EQ(fast, 5);  // channels 1-5
+  EXPECT_EQ(slow, 2);  // channels 6-7
+}
+
+TEST(CanadaTest, TwoClassRoutesHaveFourHopsEach) {
+  const Topology t = canada_topology();
+  const auto classes = two_class_traffic(10.0, 20.0);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(t.route_channels(classes[0].path).size(), 4u);
+  EXPECT_EQ(t.route_channels(classes[1].path).size(), 4u);
+  EXPECT_DOUBLE_EQ(classes[0].arrival_rate, 10.0);
+  EXPECT_DOUBLE_EQ(classes[1].arrival_rate, 20.0);
+  EXPECT_DOUBLE_EQ(classes[0].mean_message_bits, 1000.0);
+}
+
+TEST(CanadaTest, OppositeClassesShareThreeChannels) {
+  // The interaction that drives the thesis's 2-class example: classes 1
+  // and 2 run in opposite directions over the same half-duplex channels.
+  const Topology t = canada_topology();
+  const auto classes = two_class_traffic(1.0, 1.0);
+  auto r1 = t.route_channels(classes[0].path);
+  auto r2 = t.route_channels(classes[1].path);
+  int shared = 0;
+  for (int c1 : r1) {
+    for (int c2 : r2) {
+      if (c1 == c2) ++shared;
+    }
+  }
+  EXPECT_EQ(shared, 3);
+}
+
+TEST(CanadaTest, FourClassHopCountsMatchTable412) {
+  // Kleinrock initialization (4, 4, 3, 1) of Table 4.12.
+  const Topology t = canada_topology();
+  const auto classes = four_class_traffic(1.0, 1.0, 1.0, 1.0);
+  ASSERT_EQ(classes.size(), 4u);
+  const int expected[] = {4, 4, 3, 1};
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(t.route_channels(classes[static_cast<std::size_t>(r)].path)
+                  .size(),
+              static_cast<std::size_t>(expected[r]))
+        << "class " << r;
+  }
+}
+
+TEST(CanadaTest, Class3UsesTheSlowShortcut) {
+  const Topology t = canada_topology();
+  const auto classes = four_class_traffic(1.0, 1.0, 1.0, 1.0);
+  const auto route = t.route_channels(classes[2].path);
+  bool uses_25kbps = false;
+  for (int c : route) {
+    if (t.channel(c).capacity_kbps == 25.0) uses_25kbps = true;
+  }
+  EXPECT_TRUE(uses_25kbps);
+}
+
+}  // namespace
+}  // namespace windim::net

@@ -1,0 +1,268 @@
+// Property-based tests: invariants checked over families of randomized
+// queueing networks (parameterized by RNG seed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/convolution.h"
+#include "exact/semiclosed.h"
+#include "exact/product_form.h"
+#include "mva/approx.h"
+#include "mva/exact_multichain.h"
+#include "util/rng.h"
+#include "windim/windim.h"
+
+namespace windim {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+/// Random all-closed multichain model: 2-4 chains over 3-6 stations,
+/// random subsets, demands in [0.01, 0.3], populations 1-4.
+qn::NetworkModel random_closed_model(util::Rng& rng) {
+  qn::NetworkModel m;
+  const int num_stations = rng.uniform_int(3, 6);
+  for (int n = 0; n < num_stations; ++n) {
+    m.add_station(fcfs("q" + std::to_string(n)));
+  }
+  const int num_chains = rng.uniform_int(2, 4);
+  // Per-station service time (shared by all chains: FCFS product form).
+  std::vector<double> station_time(static_cast<std::size_t>(num_stations));
+  for (double& t : station_time) t = rng.uniform(0.01, 0.3);
+  for (int r = 0; r < num_chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, 4);
+    // Visit a random nonempty subset of stations.
+    std::vector<int> stations;
+    for (int n = 0; n < num_stations; ++n) {
+      if (rng.uniform01() < 0.6) stations.push_back(n);
+    }
+    if (stations.empty()) stations.push_back(rng.uniform_int(0, num_stations - 1));
+    for (int n : stations) {
+      c.visits.push_back(
+          {n, 1.0, station_time[static_cast<std::size_t>(n)]});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+class RandomNetworkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetworkProperty, ConvolutionMatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const qn::NetworkModel m = random_closed_model(rng);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  const exact::ProductFormResult brute = exact::solve_product_form(m);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
+                brute.chain_throughput[static_cast<std::size_t>(r)],
+                1e-8 * (1.0 + brute.chain_throughput[static_cast<std::size_t>(r)]))
+        << "chain " << r;
+  }
+  for (int n = 0; n < m.num_stations(); ++n) {
+    for (int r = 0; r < m.num_chains(); ++r) {
+      EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-7);
+    }
+  }
+}
+
+TEST_P(RandomNetworkProperty, ExactMvaMatchesConvolution) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const qn::NetworkModel m = random_closed_model(rng);
+  const mva::MvaSolution mva = mva::solve_exact_multichain(m);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    EXPECT_NEAR(mva.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)],
+                1e-7 * (1.0 + conv.chain_throughput[static_cast<std::size_t>(r)]));
+  }
+}
+
+TEST_P(RandomNetworkProperty, PopulationConservationEverywhere) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const qn::NetworkModel m = random_closed_model(rng);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  const mva::MvaSolution approx = mva::solve_approx_mva(m);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    double conv_total = 0.0, approx_total = 0.0;
+    for (int n = 0; n < m.num_stations(); ++n) {
+      conv_total += conv.queue_length(n, r);
+      approx_total += approx.queue_length(n, r);
+    }
+    EXPECT_NEAR(conv_total, m.chain(r).population, 1e-8);
+    EXPECT_NEAR(approx_total, m.chain(r).population, 1e-5);
+  }
+}
+
+TEST_P(RandomNetworkProperty, HeuristicBoundedErrorAtTinyPopulations) {
+  // Populations of 1-4 are the heuristic's worst case (it is only
+  // asymptotically exact, thesis 4.2); bound the error at 20% there.
+  // The windim_test/integration_test suites check the few-percent regime
+  // on realistic window sizes.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const qn::NetworkModel m = random_closed_model(rng);
+  const mva::MvaSolution approx = mva::solve_approx_mva(m);
+  const mva::MvaSolution exact = mva::solve_exact_multichain(m);
+  ASSERT_TRUE(approx.converged);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    const double x = exact.chain_throughput[static_cast<std::size_t>(r)];
+    const double h = approx.chain_throughput[static_cast<std::size_t>(r)];
+    EXPECT_LT(std::abs(h - x) / x, 0.20) << "chain " << r;
+  }
+}
+
+TEST_P(RandomNetworkProperty, UtilizationWithinUnitInterval) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const qn::NetworkModel m = random_closed_model(rng);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int n = 0; n < m.num_stations(); ++n) {
+    EXPECT_GE(conv.station_utilization[static_cast<std::size_t>(n)], -1e-12);
+    EXPECT_LE(conv.station_utilization[static_cast<std::size_t>(n)],
+              1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkProperty,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------- window-model properties
+
+class WindowSweepProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WindowSweepProperty, ThroughputMonotoneAndBounded) {
+  const auto [s1, s2] = GetParam();
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(s1, s2));
+  double previous = -1.0;
+  for (int e = 1; e <= 6; ++e) {
+    const core::Evaluation ev =
+        problem.evaluate({e, e}, core::Evaluator::kConvolution);
+    // Monotone in the window.
+    EXPECT_GT(ev.throughput, previous);
+    previous = ev.throughput;
+    // Never above offered load or channel capacity.
+    EXPECT_LE(ev.class_throughput[0], s1 + 1e-9);
+    EXPECT_LE(ev.class_throughput[1], s2 + 1e-9);
+    // Shared 50 kbit/s channels cap the *sum* at 50 msg/s.
+    EXPECT_LE(ev.throughput, 50.0 + 1e-9);
+  }
+}
+
+TEST_P(WindowSweepProperty, PowerSurfaceHasInteriorOrBoundaryMaximum) {
+  const auto [s1, s2] = GetParam();
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(s1, s2));
+  // The diagonal power curve rises then falls (or is monotone to the
+  // boundary): verify it is unimodal along the diagonal.
+  std::vector<double> power;
+  for (int e = 1; e <= 10; ++e) {
+    power.push_back(problem.evaluate({e, e}).power);
+  }
+  int direction_changes = 0;
+  for (std::size_t i = 2; i < power.size(); ++i) {
+    const bool was_rising = power[i - 1] > power[i - 2];
+    const bool is_rising = power[i] > power[i - 1];
+    if (was_rising != is_rising) ++direction_changes;
+  }
+  EXPECT_LE(direction_changes, 1) << "power curve is not unimodal";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, WindowSweepProperty,
+    ::testing::Values(std::make_tuple(10.0, 10.0), std::make_tuple(20.0, 20.0),
+                      std::make_tuple(40.0, 40.0), std::make_tuple(10.0, 30.0),
+                      std::make_tuple(5.0, 45.0), std::make_tuple(60.0, 60.0)));
+
+// ------------------------------------------------- pattern-search properties
+
+class SearchSeedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchSeedProperty, PatternSearchFindsExhaustiveOptimumOnPowerSurface) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const double s1 = rng.uniform(8.0, 60.0);
+  const double s2 = rng.uniform(8.0, 60.0);
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(s1, s2));
+  const core::DimensionResult dim = core::dimension_windows(problem);
+  const search::Objective objective = [&](const search::Point& e) {
+    const core::Evaluation ev = problem.evaluate(e);
+    return ev.power > 0.0 ? 1.0 / ev.power
+                          : std::numeric_limits<double>::infinity();
+  };
+  const search::ExhaustiveResult exhaustive =
+      search::exhaustive_search(objective, {1, 1}, {10, 10});
+  // Equal value (ties in the flat region are acceptable as long as the
+  // achieved power matches the global optimum).
+  EXPECT_NEAR(1.0 / dim.evaluation.power, exhaustive.best_value,
+              1e-9 + 1e-6 * exhaustive.best_value)
+      << "s1=" << s1 << " s2=" << s2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchSeedProperty, ::testing::Range(0, 8));
+
+// ------------------------------------------------- semiclosed properties
+
+class SemiclosedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiclosedProperty, CarriedThroughputMonotoneInBound) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 11000);
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(2, 4);
+  std::vector<double> times(static_cast<std::size_t>(stations));
+  for (double& t : times) t = rng.uniform(0.01, 0.1);
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  for (int n = 0; n < stations; ++n) {
+    m.add_station(fcfs("q"));
+    c.visits.push_back({n, 1.0, times[static_cast<std::size_t>(n)]});
+  }
+  m.add_chain(std::move(c));
+  const double rate = rng.uniform(3.0, 30.0);
+  double previous_carried = -1.0;
+  double previous_blocking = 2.0;
+  for (int bound = 1; bound <= 6; ++bound) {
+    const exact::SemiclosedResult r =
+        exact::solve_semiclosed(m, {{rate, 0, bound}});
+    // A larger window carries more and blocks less.
+    EXPECT_GT(r.carried_throughput[0], previous_carried);
+    EXPECT_LT(r.blocking_probability[0], previous_blocking);
+    // Carried throughput never exceeds the offered rate.
+    EXPECT_LE(r.carried_throughput[0], rate + 1e-9);
+    previous_carried = r.carried_throughput[0];
+    previous_blocking = r.blocking_probability[0];
+  }
+}
+
+TEST_P(SemiclosedProperty, PinnedBoundsMatchConvolution) {
+  // [E, E] bounds == closed network at population E, whatever the rate.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 12000);
+  const qn::NetworkModel m = random_closed_model(rng);
+  std::vector<exact::SemiclosedChainSpec> specs;
+  for (int r = 0; r < m.num_chains(); ++r) {
+    specs.push_back(exact::SemiclosedChainSpec{
+        rng.uniform(1.0, 20.0), m.chain(r).population,
+        m.chain(r).population});
+  }
+  const exact::SemiclosedResult semi = exact::solve_semiclosed(m, specs);
+  const exact::ConvolutionResult conv = exact::solve_convolution(m);
+  for (int n = 0; n < m.num_stations(); ++n) {
+    for (int r = 0; r < m.num_chains(); ++r) {
+      EXPECT_NEAR(semi.queue_length(n, r), conv.queue_length(n, r), 1e-7)
+          << "station " << n << " chain " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiclosedProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace windim

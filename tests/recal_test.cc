@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "exact/buzen.h"
+#include "exact/convolution.h"
+#include "exact/recal.h"
+#include "util/rng.h"
+#include "util/simplex.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+// ------------------------------------------------------------------- simplex
+
+TEST(SimplexIndexerTest, SizeIsBinomial) {
+  EXPECT_EQ(util::SimplexIndexer(3, 0).size(), 1u);
+  EXPECT_EQ(util::SimplexIndexer(2, 3).size(), 10u);   // C(5,2)
+  EXPECT_EQ(util::SimplexIndexer(4, 2).size(), 15u);   // C(6,4)
+}
+
+TEST(SimplexIndexerTest, OffsetsAreDenseAndOrdered) {
+  const util::SimplexIndexer indexer(3, 4);
+  std::size_t expected = 0;
+  indexer.for_each([&](const std::vector<int>& v) {
+    EXPECT_EQ(indexer.offset(v), expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, indexer.size());
+}
+
+TEST(SimplexIndexerTest, OffsetPlusOneMatchesExplicit) {
+  const util::SimplexIndexer indexer(3, 5);
+  indexer.for_each([&](const std::vector<int>& v) {
+    int total = 0;
+    for (int x : v) total += x;
+    if (total >= 5) return;
+    for (int d = 0; d < 3; ++d) {
+      std::vector<int> w = v;
+      ++w[static_cast<std::size_t>(d)];
+      EXPECT_EQ(indexer.offset_plus_one(v, d), indexer.offset(w));
+    }
+  });
+}
+
+TEST(SimplexIndexerTest, RejectsOutOfBall) {
+  const util::SimplexIndexer indexer(2, 3);
+  EXPECT_THROW((void)indexer.offset({2, 2}), std::out_of_range);
+  EXPECT_THROW((void)indexer.offset({-1, 0}), std::out_of_range);
+  EXPECT_THROW((void)indexer.offset({1}), std::out_of_range);
+  EXPECT_THROW(util::SimplexIndexer(0, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- RECAL
+
+TEST(RecalTest, SingleChainMatchesBuzen) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 5;
+  for (double d : {0.12, 0.3, 0.07}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const RecalResult recal = solve_recal(m);
+  const BuzenResult buzen = solve_buzen(m);
+  EXPECT_NEAR(recal.chain_throughput[0], buzen.throughput, 1e-9);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(recal.queue_length(n, 0),
+                buzen.mean_number[static_cast<std::size_t>(n)], 1e-8);
+  }
+}
+
+TEST(RecalTest, TwoChainsMatchConvolution) {
+  const qn::NetworkModel m = shared_middle(3, 4);
+  const RecalResult recal = solve_recal(m);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(recal.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(recal.queue_length(n, r), conv.queue_length(n, r), 1e-8)
+          << "station " << n << " chain " << r;
+    }
+  }
+}
+
+TEST(RecalTest, ManySmallChainsMatchConvolution) {
+  // RECAL's home turf: 6 chains of window 1 through a shared hub.
+  qn::NetworkModel m;
+  const int hub = m.add_station(fcfs("hub"));
+  for (int r = 0; r < 6; ++r) {
+    const int leg = m.add_station(fcfs("leg" + std::to_string(r)));
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 1;
+    c.visits = {{hub, 1.0, 0.02}, {leg, 1.0, 0.03 + 0.01 * r}};
+    m.add_chain(std::move(c));
+  }
+  const RecalResult recal = solve_recal(m);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_NEAR(recal.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(RecalTest, IsStationsMatchConvolution) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(is));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 3;
+    c.visits = {{a, 1.0, 0.05}, {z, 1.0, 0.6 + 0.2 * r}};
+    m.add_chain(std::move(c));
+  }
+  const RecalResult recal = solve_recal(m);
+  const ConvolutionResult conv = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(recal.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+    EXPECT_NEAR(recal.queue_length(z, r), conv.queue_length(z, r), 1e-8);
+  }
+}
+
+TEST(RecalTest, QueueLengthsSumToPopulations) {
+  const qn::NetworkModel m = shared_middle(4, 2);
+  const RecalResult recal = solve_recal(m);
+  for (int r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (int n = 0; n < 3; ++n) total += recal.queue_length(n, r);
+    EXPECT_NEAR(total, m.chain(r).population, 1e-8);
+  }
+}
+
+TEST(RecalTest, RandomNetworksMatchConvolution) {
+  for (int seed = 0; seed < 8; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 1300);
+    qn::NetworkModel m;
+    const int stations = rng.uniform_int(2, 4);
+    std::vector<double> times(static_cast<std::size_t>(stations));
+    for (double& t : times) t = rng.uniform(0.02, 0.25);
+    for (int n = 0; n < stations; ++n) m.add_station(fcfs("q"));
+    const int chains = rng.uniform_int(2, 4);
+    for (int r = 0; r < chains; ++r) {
+      qn::Chain c;
+      c.type = qn::ChainType::kClosed;
+      c.population = rng.uniform_int(1, 3);
+      for (int n = 0; n < stations; ++n) {
+        if (rng.uniform01() < 0.7) {
+          c.visits.push_back({n, 1.0, times[static_cast<std::size_t>(n)]});
+        }
+      }
+      if (c.visits.empty()) c.visits.push_back({0, 1.0, times[0]});
+      m.add_chain(std::move(c));
+    }
+    const RecalResult recal = solve_recal(m);
+    const ConvolutionResult conv = solve_convolution(m);
+    for (int r = 0; r < chains; ++r) {
+      EXPECT_NEAR(recal.chain_throughput[static_cast<std::size_t>(r)],
+                  conv.chain_throughput[static_cast<std::size_t>(r)], 1e-8)
+          << "seed " << seed << " chain " << r;
+    }
+  }
+}
+
+TEST(RecalTest, ZeroPopulationChainSkipped) {
+  const qn::NetworkModel m = shared_middle(3, 0);
+  const RecalResult recal = solve_recal(m);
+  EXPECT_DOUBLE_EQ(recal.chain_throughput[1], 0.0);
+  const ConvolutionResult conv = solve_convolution(m);
+  EXPECT_NEAR(recal.chain_throughput[0], conv.chain_throughput[0], 1e-9);
+}
+
+TEST(RecalTest, LayerCapEnforced) {
+  const qn::NetworkModel m = shared_middle(10, 10);
+  EXPECT_THROW((void)solve_recal(m, /*max_layer_size=*/10),
+               std::runtime_error);
+}
+
+TEST(RecalTest, RejectsUnsupportedModels) {
+  qn::NetworkModel open = shared_middle(1, 1);
+  qn::Chain oc;
+  oc.type = qn::ChainType::kOpen;
+  oc.arrival_rate = 1.0;
+  oc.visits = {{0, 1.0, 0.01}};
+  open.add_chain(std::move(oc));
+  EXPECT_THROW((void)solve_recal(open), qn::ModelError);
+
+  qn::NetworkModel qd;
+  qn::Station s = fcfs("mm2");
+  s.rate_multipliers = {1.0, 2.0};
+  const int a = qd.add_station(std::move(s));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 1;
+  c.visits = {{a, 1.0, 0.1}};
+  qd.add_chain(std::move(c));
+  EXPECT_THROW((void)solve_recal(qd), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::exact

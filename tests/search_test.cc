@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "search/exhaustive.h"
+#include "search/pattern_search.h"
+
+namespace windim::search {
+namespace {
+
+double quadratic(const Point& p, const Point& target) {
+  double f = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = p[i] - target[i];
+    f += d * d;
+  }
+  return f;
+}
+
+TEST(PatternSearchTest, FindsQuadraticMinimumFromAfar) {
+  const Point target{7, -3};
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, target); }, {0, 0});
+  EXPECT_EQ(r.best, target);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+}
+
+TEST(PatternSearchTest, PatternMovesAccelerateAlongDiagonals) {
+  // A far-away optimum reachable along a diagonal: pattern moves should
+  // need far fewer evaluations than the ~4 * distance of plain
+  // coordinate descent.
+  const Point target{30, 30};
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, target); }, {0, 0});
+  EXPECT_EQ(r.best, target);
+  EXPECT_LT(r.evaluations, 100u);
+  EXPECT_GE(r.base_points.size(), 3u);
+}
+
+TEST(PatternSearchTest, MemoizesRepeatedEvaluations) {
+  std::size_t calls = 0;
+  const Point target{3, 3};
+  const Objective f = [&](const Point& p) {
+    ++calls;
+    return quadratic(p, target);
+  };
+  const PatternSearchResult r = pattern_search(f, {1, 1});
+  EXPECT_EQ(r.evaluations, calls);
+  // The search revisits points; some must have been served from cache.
+  EXPECT_GT(r.cache_hits, 0u);
+}
+
+TEST(PatternSearchTest, RespectsBounds) {
+  PatternSearchOptions options;
+  options.lower_bound = {1, 1};
+  options.upper_bound = {4, 4};
+  // Unconstrained optimum at (0, 0): must stop at the boundary.
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, {0, 0}); }, {3, 3}, options);
+  EXPECT_EQ(r.best, (Point{1, 1}));
+}
+
+TEST(PatternSearchTest, LargerStepsHalveDownToOne) {
+  PatternSearchOptions options;
+  options.initial_step = {4, 4};
+  const Point target{5, 9};
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, target); }, {0, 0}, options);
+  EXPECT_EQ(r.best, target);
+  EXPECT_GT(r.step_reductions, 0);
+}
+
+TEST(PatternSearchTest, RidgeFollowingDownDiagonalValley) {
+  // Diagonal valley f = (x - y)^2 + ((x + y)/10)^2 sloping toward the
+  // origin.  The search must descend the valley (large objective
+  // reduction) and use diagonal pattern moves (consecutive base points
+  // changing both coordinates) rather than pure coordinate descent.
+  const Objective f = [](const Point& p) {
+    const double x = p[0], y = p[1];
+    return (x - y) * (x - y) + (x + y) * (x + y) / 100.0;
+  };
+  const PatternSearchResult r = pattern_search(f, {40, 38});
+  EXPECT_LE(r.best_value, 1.0);
+  EXPECT_LE(f(r.best), f({40, 38}) / 50.0);
+  bool diagonal_step = false;
+  for (std::size_t i = 1; i < r.base_points.size(); ++i) {
+    const Point& a = r.base_points[i - 1].first;
+    const Point& b = r.base_points[i].first;
+    if (a[0] != b[0] && a[1] != b[1]) diagonal_step = true;
+  }
+  EXPECT_TRUE(diagonal_step);
+}
+
+TEST(PatternSearchTest, InitialPointAlreadyOptimal) {
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, {2, 2}); }, {2, 2});
+  EXPECT_EQ(r.best, (Point{2, 2}));
+  // Only the local exploration around the optimum is evaluated.
+  EXPECT_LE(r.evaluations, 5u);
+}
+
+TEST(PatternSearchTest, OneDimensional) {
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return std::abs(p[0] - 13.0); }, {0});
+  EXPECT_EQ(r.best, (Point{13}));
+}
+
+TEST(PatternSearchTest, FourDimensional) {
+  const Point target{2, 5, 1, 7};
+  const PatternSearchResult r = pattern_search(
+      [&](const Point& p) { return quadratic(p, target); }, {4, 4, 4, 4});
+  EXPECT_EQ(r.best, target);
+}
+
+TEST(PatternSearchTest, EvaluationBudgetEnforced) {
+  PatternSearchOptions options;
+  options.max_evaluations = 3;
+  EXPECT_THROW((void)pattern_search(
+                   [](const Point& p) { return quadratic(p, {50, 50}); },
+                   {0, 0}, options),
+               std::runtime_error);
+}
+
+TEST(PatternSearchTest, RejectsMalformedInput) {
+  const Objective f = [](const Point&) { return 0.0; };
+  EXPECT_THROW((void)pattern_search(f, {}), std::invalid_argument);
+  PatternSearchOptions bad_step;
+  bad_step.initial_step = {0};
+  EXPECT_THROW((void)pattern_search(f, {1}, bad_step), std::invalid_argument);
+  PatternSearchOptions bad_bounds;
+  bad_bounds.lower_bound = {0, 0};
+  EXPECT_THROW((void)pattern_search(f, {1}, bad_bounds),
+               std::invalid_argument);
+  PatternSearchOptions oob;
+  oob.lower_bound = {5};
+  EXPECT_THROW((void)pattern_search(f, {1}, oob), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- exhaustive
+
+TEST(ExhaustiveTest, FindsGlobalMinimum) {
+  const ExhaustiveResult r = exhaustive_search(
+      [](const Point& p) {
+        return quadratic(p, {3, 2});
+      },
+      {1, 1}, {5, 5});
+  EXPECT_EQ(r.best, (Point{3, 2}));
+  EXPECT_EQ(r.evaluations, 25u);
+}
+
+TEST(ExhaustiveTest, SurfaceCoversWholeBox) {
+  const ExhaustiveResult r = exhaustive_search(
+      [](const Point& p) { return static_cast<double>(p[0] + p[1]); },
+      {0, 0}, {2, 3}, /*keep_surface=*/true);
+  EXPECT_EQ(r.surface.size(), 12u);
+  std::set<Point> points;
+  for (const auto& [p, v] : r.surface) points.insert(p);
+  EXPECT_EQ(points.size(), 12u);
+}
+
+TEST(ExhaustiveTest, AgreesWithPatternSearchOnConvexObjective) {
+  const Objective f = [](const Point& p) { return quadratic(p, {4, 6}); };
+  const ExhaustiveResult ex = exhaustive_search(f, {1, 1}, {8, 8});
+  PatternSearchOptions options;
+  options.lower_bound = {1, 1};
+  options.upper_bound = {8, 8};
+  const PatternSearchResult ps = pattern_search(f, {1, 1}, options);
+  EXPECT_EQ(ex.best, ps.best);
+  EXPECT_LT(ps.evaluations, ex.evaluations);
+}
+
+TEST(ExhaustiveTest, RejectsEmptyBox) {
+  const Objective f = [](const Point&) { return 0.0; };
+  EXPECT_THROW((void)exhaustive_search(f, {2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)exhaustive_search(f, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace windim::search

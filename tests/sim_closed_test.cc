@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "exact/convolution.h"
+#include "mva/single_chain.h"
+#include "sim/closed_sim.h"
+
+namespace windim::sim {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+TEST(ClosedSimTest, SingleChainMatchesExactMva) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("b"), fcfs("c")};
+  net.chains = {{"chain", {0, 1, 2}, {0.05, 0.12, 0.08}, 5}};
+  ClosedSimOptions options;
+  options.sim_time = 4000.0;
+  options.warmup = 400.0;
+  const ClosedSimResult sim = simulate_closed(net, options);
+
+  const mva::SingleChainResult exact =
+      mva::solve_single_chain(net.to_model());
+  EXPECT_NEAR(sim.chain_throughput[0], exact.throughput[5],
+              0.03 * exact.throughput[5]);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_NEAR(sim.queue_length(n, 0),
+                exact.mean_number[5][static_cast<std::size_t>(n)], 0.15)
+        << "station " << n;
+  }
+}
+
+TEST(ClosedSimTest, TwoChainsMatchConvolution) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("shared"), fcfs("b")};
+  net.chains = {{"c1", {0, 1}, {0.08, 0.05}, 3},
+                {"c2", {1, 2}, {0.05, 0.11}, 4}};
+  ClosedSimOptions options;
+  options.sim_time = 4000.0;
+  options.warmup = 400.0;
+  options.seed = 7;
+  const ClosedSimResult sim = simulate_closed(net, options);
+  const exact::ConvolutionResult conv =
+      exact::solve_convolution(net.to_model());
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(sim.chain_throughput[static_cast<std::size_t>(r)],
+                conv.chain_throughput[static_cast<std::size_t>(r)],
+                0.03 * conv.chain_throughput[static_cast<std::size_t>(r)]);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(sim.queue_length(n, r), conv.queue_length(n, r), 0.15);
+    }
+  }
+}
+
+TEST(ClosedSimTest, QueueLengthsSumToPopulation) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("b")};
+  net.chains = {{"c", {0, 1}, {0.1, 0.2}, 6}};
+  const ClosedSimResult sim = simulate_closed(net);
+  EXPECT_NEAR(sim.queue_length(0, 0) + sim.queue_length(1, 0), 6.0, 1e-6);
+}
+
+TEST(ClosedSimTest, LittleLawHoldsOnMeasuredQuantities) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("b")};
+  net.chains = {{"c", {0, 1}, {0.07, 0.15}, 4}};
+  ClosedSimOptions options;
+  options.sim_time = 3000.0;
+  const ClosedSimResult sim = simulate_closed(net, options);
+  // lambda * cycle_time == population (Little for the whole cycle).
+  EXPECT_NEAR(sim.chain_throughput[0] * sim.mean_cycle_time[0], 4.0, 0.1);
+}
+
+TEST(ClosedSimTest, IsStationSupported) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("think")};
+  net.stations[1].discipline = qn::Discipline::kInfiniteServer;
+  net.chains = {{"c", {0, 1}, {0.05, 1.0}, 8}};
+  ClosedSimOptions options;
+  options.sim_time = 3000.0;
+  const ClosedSimResult sim = simulate_closed(net, options);
+  const exact::ConvolutionResult conv =
+      exact::solve_convolution(net.to_model());
+  EXPECT_NEAR(sim.chain_throughput[0], conv.chain_throughput[0],
+              0.03 * conv.chain_throughput[0]);
+}
+
+TEST(ClosedSimTest, DeterministicGivenSeed) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a"), fcfs("b")};
+  net.chains = {{"c", {0, 1}, {0.1, 0.2}, 3}};
+  ClosedSimOptions options;
+  options.sim_time = 100.0;
+  options.seed = 99;
+  const ClosedSimResult a = simulate_closed(net, options);
+  const ClosedSimResult b = simulate_closed(net, options);
+  EXPECT_DOUBLE_EQ(a.chain_throughput[0], b.chain_throughput[0]);
+  EXPECT_DOUBLE_EQ(a.queue_length(0, 0), b.queue_length(0, 0));
+}
+
+TEST(ClosedSimTest, RejectsQueueDependentStations) {
+  qn::CyclicNetwork net;
+  net.stations = {fcfs("a")};
+  net.stations[0].rate_multipliers = {1.0, 2.0};
+  net.chains = {{"c", {0}, {0.1}, 1}};
+  EXPECT_THROW((void)simulate_closed(net), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::sim

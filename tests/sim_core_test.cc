@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/calendar.h"
+#include "sim/stats.h"
+
+namespace windim::sim {
+namespace {
+
+// ------------------------------------------------------------------- calendar
+
+TEST(CalendarTest, ExecutesInTimeOrder) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(3.0, [&] { order.push_back(3); });
+  cal.schedule(1.0, [&] { order.push_back(1); });
+  cal.schedule(2.0, [&] { order.push_back(2); });
+  cal.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(cal.now(), 10.0);
+}
+
+TEST(CalendarTest, TiesBreakFifo) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(1.0, [&] { order.push_back(0); });
+  cal.schedule(1.0, [&] { order.push_back(1); });
+  cal.schedule(1.0, [&] { order.push_back(2); });
+  cal.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CalendarTest, EventsCanScheduleEvents) {
+  Calendar cal;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) cal.schedule(1.0, chain);
+  };
+  cal.schedule(1.0, chain);
+  cal.run_until(100.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(cal.now(), 100.0);
+}
+
+TEST(CalendarTest, RunUntilStopsBeforeLaterEvents) {
+  Calendar cal;
+  int fired = 0;
+  cal.schedule(5.0, [&] { ++fired; });
+  cal.run_until(4.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(cal.pending(), 1u);
+  cal.run_until(6.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CalendarTest, RejectsNegativeDelay) {
+  Calendar cal;
+  EXPECT_THROW(cal.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(CalendarTest, StepReturnsFalseWhenEmpty) {
+  Calendar cal;
+  EXPECT_FALSE(cal.step());
+}
+
+// ---------------------------------------------------------------------- tally
+
+TEST(TallyStatTest, MeanAndVariance) {
+  TallyStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(TallyStatTest, EmptyIsZero) {
+  const TallyStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+// -------------------------------------------------------------- time-weighted
+
+TEST(TimeWeightedStatTest, PiecewiseConstantAverage) {
+  TimeWeightedStat s(0.0, 0.0);
+  s.update(1.0, 2.0);  // value 0 on [0,1)
+  s.update(3.0, 1.0);  // value 2 on [1,3)
+  // value 1 on [3,5): mean = (0*1 + 2*2 + 1*2) / 5 = 1.2
+  EXPECT_NEAR(s.mean(5.0), 1.2, 1e-12);
+}
+
+TEST(TimeWeightedStatTest, ResetDiscardsHistory) {
+  TimeWeightedStat s(0.0, 10.0);
+  s.update(5.0, 2.0);
+  s.reset(5.0);
+  EXPECT_NEAR(s.mean(10.0), 2.0, 1e-12);
+}
+
+TEST(TimeWeightedStatTest, RejectsTimeTravel) {
+  TimeWeightedStat s(5.0, 0.0);
+  EXPECT_THROW(s.update(4.0, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- batch means
+
+TEST(BatchMeansTest, TightIntervalOnConstantData) {
+  const std::vector<double> data(1000, 3.5);
+  const BatchMeansResult r = batch_means(data);
+  EXPECT_NEAR(r.mean, 3.5, 1e-12);
+  EXPECT_NEAR(r.half_width, 0.0, 1e-12);
+  EXPECT_EQ(r.batches, 10);
+}
+
+TEST(BatchMeansTest, CoversTrueMeanOfNoisyData) {
+  std::vector<double> data;
+  // Deterministic "noise" with zero average around 10.
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(10.0 + ((i % 7) - 3.0));
+  }
+  const BatchMeansResult r = batch_means(data);
+  EXPECT_NEAR(r.mean, 10.0, 0.05);
+  EXPECT_GE(r.half_width, 0.0);
+}
+
+TEST(BatchMeansTest, InsufficientDataReportsZeroBatches) {
+  const BatchMeansResult r = batch_means({1.0, 2.0}, 10);
+  EXPECT_EQ(r.batches, 0);
+}
+
+TEST(BatchMeansTest, RejectsTooFewBatches) {
+  EXPECT_THROW((void)batch_means({1.0}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace windim::sim

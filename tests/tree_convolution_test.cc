@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "exact/buzen.h"
+#include "exact/convolution.h"
+#include "exact/tree_convolution.h"
+#include "net/generators.h"
+#include "util/rng.h"
+#include "windim/windim.h"
+
+namespace windim::exact {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::NetworkModel shared_middle(int pop1, int pop2) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int shared = m.add_station(fcfs("shared"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain c1;
+  c1.type = qn::ChainType::kClosed;
+  c1.population = pop1;
+  c1.visits = {{a, 1.0, 0.08}, {shared, 1.0, 0.05}};
+  m.add_chain(std::move(c1));
+  qn::Chain c2;
+  c2.type = qn::ChainType::kClosed;
+  c2.population = pop2;
+  c2.visits = {{shared, 1.0, 0.05}, {b, 1.0, 0.11}};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+TEST(TreeConvolutionTest, SingleChainMatchesBuzen) {
+  qn::NetworkModel m;
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 6;
+  for (double d : {0.12, 0.3, 0.07}) {
+    const int idx = m.add_station(fcfs("q"));
+    c.visits.push_back({idx, 1.0, d});
+  }
+  m.add_chain(std::move(c));
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  const BuzenResult buzen = solve_buzen(m);
+  EXPECT_NEAR(tree.chain_throughput[0], buzen.throughput, 1e-9);
+}
+
+TEST(TreeConvolutionTest, TwoChainsMatchFlatConvolution) {
+  const qn::NetworkModel m = shared_middle(4, 3);
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  const ConvolutionResult flat = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(TreeConvolutionTest, IsStationsSupported) {
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station is;
+  is.name = "think";
+  is.discipline = qn::Discipline::kInfiniteServer;
+  const int z = m.add_station(std::move(is));
+  for (int r = 0; r < 2; ++r) {
+    qn::Chain c;
+    c.type = qn::ChainType::kClosed;
+    c.population = 3 + r;
+    c.visits = {{a, 1.0, 0.05}, {z, 1.0, 0.5}};
+    m.add_chain(std::move(c));
+  }
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  const ConvolutionResult flat = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(TreeConvolutionTest, SingleStationChainsFinishAtLeaves) {
+  // Chains confined to one station exercise the leaf-pinning path.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  const int b = m.add_station(fcfs("b"));
+  qn::Chain local;
+  local.type = qn::ChainType::kClosed;
+  local.population = 3;
+  local.visits = {{a, 1.0, 0.04}};
+  m.add_chain(std::move(local));
+  qn::Chain crossing;
+  crossing.type = qn::ChainType::kClosed;
+  crossing.population = 2;
+  crossing.visits = {{a, 1.0, 0.04}, {b, 1.0, 0.09}};
+  m.add_chain(std::move(crossing));
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  const ConvolutionResult flat = solve_convolution(m);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(TreeConvolutionTest, ThesisNetworksMatchFlatConvolution) {
+  // Both thesis models, full windows.
+  {
+    const core::WindowProblem p(net::canada_topology(),
+                                net::two_class_traffic(20.0, 20.0));
+    const qn::NetworkModel m = p.network({4, 4}).to_model();
+    const TreeConvolutionResult tree = solve_tree_convolution(m);
+    const ConvolutionResult flat = solve_convolution(m);
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                  flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+    }
+  }
+  {
+    const core::WindowProblem p(
+        net::canada_topology(),
+        net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+    const qn::NetworkModel m = p.network({2, 2, 2, 3}).to_model();
+    const TreeConvolutionResult tree = solve_tree_convolution(m);
+    const ConvolutionResult flat = solve_convolution(m);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                  flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9)
+          << "chain " << r;
+    }
+  }
+}
+
+TEST(TreeConvolutionTest, RandomSparseNetworksMatchFlat) {
+  for (int seed = 0; seed < 8; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 4200);
+    const net::Topology topo = net::grid_topology(3, 3, 50.0);
+    const auto classes = net::random_traffic(topo, 4, 5.0, 15.0, rng);
+    const core::WindowProblem p(topo, classes);
+    std::vector<int> windows;
+    for (int r = 0; r < 4; ++r) windows.push_back(rng.uniform_int(1, 3));
+    const qn::NetworkModel m = p.network(windows).to_model();
+    const TreeConvolutionResult tree = solve_tree_convolution(m);
+    const ConvolutionResult flat = solve_convolution(m);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                  flat.chain_throughput[static_cast<std::size_t>(r)],
+                  1e-8 *
+                      (1.0 +
+                       flat.chain_throughput[static_cast<std::size_t>(r)]))
+          << "seed " << seed << " chain " << r;
+    }
+  }
+}
+
+TEST(TreeConvolutionTest, SparseChainsShrinkTheArrays) {
+  // Localized chains on a line: the flat lattice is (E+1)^R while the
+  // tree's largest array stays small because distant chains never share
+  // an active set.
+  const net::Topology topo = net::line_topology(9, 50.0);
+  std::vector<net::TrafficClass> classes;
+  for (int k = 0; k < 4; ++k) {
+    net::TrafficClass tc;
+    tc.name = "c" + std::to_string(k);
+    tc.arrival_rate = 10.0;
+    tc.path = {"n" + std::to_string(2 * k), "n" + std::to_string(2 * k + 1),
+               "n" + std::to_string(2 * k + 2)};
+    classes.push_back(std::move(tc));
+  }
+  const core::WindowProblem p(topo, classes);
+  const qn::NetworkModel m = p.network({3, 3, 3, 3}).to_model();
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  // Flat lattice would be 4^4 = 256 points; disjoint chains let the tree
+  // finish each chain before the next is opened.
+  EXPECT_LT(tree.max_array_size, 64u);
+  const ConvolutionResult flat = solve_convolution(m);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(tree.chain_throughput[static_cast<std::size_t>(r)],
+                flat.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(TreeConvolutionTest, ZeroPopulationChain) {
+  const qn::NetworkModel m = shared_middle(3, 0);
+  const TreeConvolutionResult tree = solve_tree_convolution(m);
+  EXPECT_DOUBLE_EQ(tree.chain_throughput[1], 0.0);
+  const ConvolutionResult flat = solve_convolution(m);
+  EXPECT_NEAR(tree.chain_throughput[0], flat.chain_throughput[0], 1e-9);
+}
+
+TEST(TreeConvolutionTest, ArraySizeCapEnforced) {
+  const qn::NetworkModel m = shared_middle(30, 30);
+  EXPECT_THROW((void)solve_tree_convolution(m, /*max_array_size=*/8),
+               std::runtime_error);
+}
+
+TEST(TreeConvolutionTest, RejectsUnsupportedModels) {
+  qn::NetworkModel open = shared_middle(1, 1);
+  qn::Chain oc;
+  oc.type = qn::ChainType::kOpen;
+  oc.arrival_rate = 1.0;
+  oc.visits = {{0, 1.0, 0.01}};
+  open.add_chain(std::move(oc));
+  EXPECT_THROW((void)solve_tree_convolution(open), qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim::exact
