@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/windim_cli.cpp" "apps/CMakeFiles/windim_cli.dir/windim_cli.cpp.o" "gcc" "apps/CMakeFiles/windim_cli.dir/windim_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/windim_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/windim/CMakeFiles/windim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/windim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/windim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mva/CMakeFiles/windim_mva.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/windim_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/windim_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/windim_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

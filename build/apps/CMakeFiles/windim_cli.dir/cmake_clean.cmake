@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_cli.dir/windim_cli.cpp.o"
+  "CMakeFiles/windim_cli.dir/windim_cli.cpp.o.d"
+  "windim_cli"
+  "windim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

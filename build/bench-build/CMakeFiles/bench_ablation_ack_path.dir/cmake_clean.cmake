@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ack_path"
+  "../bench/bench_ablation_ack_path.pdb"
+  "CMakeFiles/bench_ablation_ack_path.dir/ablation_ack_path.cpp.o"
+  "CMakeFiles/bench_ablation_ack_path.dir/ablation_ack_path.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ack_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

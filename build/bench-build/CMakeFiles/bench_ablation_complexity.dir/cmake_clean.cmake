@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_complexity"
+  "../bench/bench_ablation_complexity.pdb"
+  "CMakeFiles/bench_ablation_complexity.dir/ablation_complexity.cpp.o"
+  "CMakeFiles/bench_ablation_complexity.dir/ablation_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

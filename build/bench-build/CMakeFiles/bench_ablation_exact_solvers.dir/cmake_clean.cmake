@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_exact_solvers"
+  "../bench/bench_ablation_exact_solvers.pdb"
+  "CMakeFiles/bench_ablation_exact_solvers.dir/ablation_exact_solvers.cpp.o"
+  "CMakeFiles/bench_ablation_exact_solvers.dir/ablation_exact_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exact_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

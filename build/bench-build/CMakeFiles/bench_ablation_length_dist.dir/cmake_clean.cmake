@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_length_dist"
+  "../bench/bench_ablation_length_dist.pdb"
+  "CMakeFiles/bench_ablation_length_dist.dir/ablation_length_dist.cpp.o"
+  "CMakeFiles/bench_ablation_length_dist.dir/ablation_length_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_length_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mva_accuracy"
+  "../bench/bench_ablation_mva_accuracy.pdb"
+  "CMakeFiles/bench_ablation_mva_accuracy.dir/ablation_mva_accuracy.cpp.o"
+  "CMakeFiles/bench_ablation_mva_accuracy.dir/ablation_mva_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mva_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_objectives"
+  "../bench/bench_ablation_objectives.pdb"
+  "CMakeFiles/bench_ablation_objectives.dir/ablation_objectives.cpp.o"
+  "CMakeFiles/bench_ablation_objectives.dir/ablation_objectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

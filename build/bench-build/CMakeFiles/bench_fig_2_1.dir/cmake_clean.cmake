@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_2_1"
+  "../bench/bench_fig_2_1.pdb"
+  "CMakeFiles/bench_fig_2_1.dir/fig_2_1.cpp.o"
+  "CMakeFiles/bench_fig_2_1.dir/fig_2_1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_2_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flow_control_comparison"
+  "../bench/bench_flow_control_comparison.pdb"
+  "CMakeFiles/bench_flow_control_comparison.dir/flow_control_comparison.cpp.o"
+  "CMakeFiles/bench_flow_control_comparison.dir/flow_control_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_control_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

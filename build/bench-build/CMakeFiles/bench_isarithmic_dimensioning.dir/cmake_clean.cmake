@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_isarithmic_dimensioning"
+  "../bench/bench_isarithmic_dimensioning.pdb"
+  "CMakeFiles/bench_isarithmic_dimensioning.dir/isarithmic_dimensioning.cpp.o"
+  "CMakeFiles/bench_isarithmic_dimensioning.dir/isarithmic_dimensioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isarithmic_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kleinrock_isolated"
+  "../bench/bench_kleinrock_isolated.pdb"
+  "CMakeFiles/bench_kleinrock_isolated.dir/kleinrock_isolated.cpp.o"
+  "CMakeFiles/bench_kleinrock_isolated.dir/kleinrock_isolated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kleinrock_isolated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_generated"
+  "../bench/bench_scaling_generated.pdb"
+  "CMakeFiles/bench_scaling_generated.dir/scaling_generated.cpp.o"
+  "CMakeFiles/bench_scaling_generated.dir/scaling_generated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

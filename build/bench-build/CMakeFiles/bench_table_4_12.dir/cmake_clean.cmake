@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_4_12"
+  "../bench/bench_table_4_12.pdb"
+  "CMakeFiles/bench_table_4_12.dir/table_4_12.cpp.o"
+  "CMakeFiles/bench_table_4_12.dir/table_4_12.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_4_12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_4_8"
+  "../bench/bench_table_4_8.pdb"
+  "CMakeFiles/bench_table_4_8.dir/table_4_8.cpp.o"
+  "CMakeFiles/bench_table_4_8.dir/table_4_8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_4_8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

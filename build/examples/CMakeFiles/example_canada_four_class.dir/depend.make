@@ -1,0 +1,2 @@
+# Empty dependencies file for example_canada_four_class.
+# This may be replaced when dependencies are built.

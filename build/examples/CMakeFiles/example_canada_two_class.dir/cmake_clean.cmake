@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_canada_two_class.dir/canada_two_class.cpp.o"
+  "CMakeFiles/example_canada_two_class.dir/canada_two_class.cpp.o.d"
+  "example_canada_two_class"
+  "example_canada_two_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_canada_two_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

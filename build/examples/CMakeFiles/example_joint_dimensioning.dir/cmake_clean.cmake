@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_joint_dimensioning.dir/joint_dimensioning.cpp.o"
+  "CMakeFiles/example_joint_dimensioning.dir/joint_dimensioning.cpp.o.d"
+  "example_joint_dimensioning"
+  "example_joint_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_joint_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_simulate_flow_control.dir/simulate_flow_control.cpp.o"
+  "CMakeFiles/example_simulate_flow_control.dir/simulate_flow_control.cpp.o.d"
+  "example_simulate_flow_control"
+  "example_simulate_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_simulate_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

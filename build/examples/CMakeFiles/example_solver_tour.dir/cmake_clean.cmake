@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_tour.dir/solver_tour.cpp.o"
+  "CMakeFiles/example_solver_tour.dir/solver_tour.cpp.o.d"
+  "example_solver_tour"
+  "example_solver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

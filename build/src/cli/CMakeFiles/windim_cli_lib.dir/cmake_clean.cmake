@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_cli_lib.dir/spec.cc.o"
+  "CMakeFiles/windim_cli_lib.dir/spec.cc.o.d"
+  "libwindim_cli_lib.a"
+  "libwindim_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

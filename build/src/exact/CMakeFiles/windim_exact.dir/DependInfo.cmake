@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/buzen.cc" "src/exact/CMakeFiles/windim_exact.dir/buzen.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/buzen.cc.o.d"
+  "/root/repo/src/exact/convolution.cc" "src/exact/CMakeFiles/windim_exact.dir/convolution.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/convolution.cc.o.d"
+  "/root/repo/src/exact/jackson.cc" "src/exact/CMakeFiles/windim_exact.dir/jackson.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/jackson.cc.o.d"
+  "/root/repo/src/exact/mixed.cc" "src/exact/CMakeFiles/windim_exact.dir/mixed.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/mixed.cc.o.d"
+  "/root/repo/src/exact/mm_queues.cc" "src/exact/CMakeFiles/windim_exact.dir/mm_queues.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/mm_queues.cc.o.d"
+  "/root/repo/src/exact/product_form.cc" "src/exact/CMakeFiles/windim_exact.dir/product_form.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/product_form.cc.o.d"
+  "/root/repo/src/exact/recal.cc" "src/exact/CMakeFiles/windim_exact.dir/recal.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/recal.cc.o.d"
+  "/root/repo/src/exact/semiclosed.cc" "src/exact/CMakeFiles/windim_exact.dir/semiclosed.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/semiclosed.cc.o.d"
+  "/root/repo/src/exact/tree_convolution.cc" "src/exact/CMakeFiles/windim_exact.dir/tree_convolution.cc.o" "gcc" "src/exact/CMakeFiles/windim_exact.dir/tree_convolution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/windim_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

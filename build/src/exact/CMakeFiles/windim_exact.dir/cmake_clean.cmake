@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_exact.dir/buzen.cc.o"
+  "CMakeFiles/windim_exact.dir/buzen.cc.o.d"
+  "CMakeFiles/windim_exact.dir/convolution.cc.o"
+  "CMakeFiles/windim_exact.dir/convolution.cc.o.d"
+  "CMakeFiles/windim_exact.dir/jackson.cc.o"
+  "CMakeFiles/windim_exact.dir/jackson.cc.o.d"
+  "CMakeFiles/windim_exact.dir/mixed.cc.o"
+  "CMakeFiles/windim_exact.dir/mixed.cc.o.d"
+  "CMakeFiles/windim_exact.dir/mm_queues.cc.o"
+  "CMakeFiles/windim_exact.dir/mm_queues.cc.o.d"
+  "CMakeFiles/windim_exact.dir/product_form.cc.o"
+  "CMakeFiles/windim_exact.dir/product_form.cc.o.d"
+  "CMakeFiles/windim_exact.dir/recal.cc.o"
+  "CMakeFiles/windim_exact.dir/recal.cc.o.d"
+  "CMakeFiles/windim_exact.dir/semiclosed.cc.o"
+  "CMakeFiles/windim_exact.dir/semiclosed.cc.o.d"
+  "CMakeFiles/windim_exact.dir/tree_convolution.cc.o"
+  "CMakeFiles/windim_exact.dir/tree_convolution.cc.o.d"
+  "libwindim_exact.a"
+  "libwindim_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

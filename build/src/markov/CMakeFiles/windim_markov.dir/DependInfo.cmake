@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/closed_ctmc.cc" "src/markov/CMakeFiles/windim_markov.dir/closed_ctmc.cc.o" "gcc" "src/markov/CMakeFiles/windim_markov.dir/closed_ctmc.cc.o.d"
+  "/root/repo/src/markov/ctmc.cc" "src/markov/CMakeFiles/windim_markov.dir/ctmc.cc.o" "gcc" "src/markov/CMakeFiles/windim_markov.dir/ctmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/windim_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

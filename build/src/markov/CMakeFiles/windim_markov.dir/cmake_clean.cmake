@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_markov.dir/closed_ctmc.cc.o"
+  "CMakeFiles/windim_markov.dir/closed_ctmc.cc.o.d"
+  "CMakeFiles/windim_markov.dir/ctmc.cc.o"
+  "CMakeFiles/windim_markov.dir/ctmc.cc.o.d"
+  "libwindim_markov.a"
+  "libwindim_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mva/approx.cc" "src/mva/CMakeFiles/windim_mva.dir/approx.cc.o" "gcc" "src/mva/CMakeFiles/windim_mva.dir/approx.cc.o.d"
+  "/root/repo/src/mva/bounds.cc" "src/mva/CMakeFiles/windim_mva.dir/bounds.cc.o" "gcc" "src/mva/CMakeFiles/windim_mva.dir/bounds.cc.o.d"
+  "/root/repo/src/mva/exact_multichain.cc" "src/mva/CMakeFiles/windim_mva.dir/exact_multichain.cc.o" "gcc" "src/mva/CMakeFiles/windim_mva.dir/exact_multichain.cc.o.d"
+  "/root/repo/src/mva/linearizer.cc" "src/mva/CMakeFiles/windim_mva.dir/linearizer.cc.o" "gcc" "src/mva/CMakeFiles/windim_mva.dir/linearizer.cc.o.d"
+  "/root/repo/src/mva/single_chain.cc" "src/mva/CMakeFiles/windim_mva.dir/single_chain.cc.o" "gcc" "src/mva/CMakeFiles/windim_mva.dir/single_chain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/windim_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_mva.dir/approx.cc.o"
+  "CMakeFiles/windim_mva.dir/approx.cc.o.d"
+  "CMakeFiles/windim_mva.dir/bounds.cc.o"
+  "CMakeFiles/windim_mva.dir/bounds.cc.o.d"
+  "CMakeFiles/windim_mva.dir/exact_multichain.cc.o"
+  "CMakeFiles/windim_mva.dir/exact_multichain.cc.o.d"
+  "CMakeFiles/windim_mva.dir/linearizer.cc.o"
+  "CMakeFiles/windim_mva.dir/linearizer.cc.o.d"
+  "CMakeFiles/windim_mva.dir/single_chain.cc.o"
+  "CMakeFiles/windim_mva.dir/single_chain.cc.o.d"
+  "libwindim_mva.a"
+  "libwindim_mva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

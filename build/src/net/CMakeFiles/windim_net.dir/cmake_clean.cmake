@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_net.dir/examples.cc.o"
+  "CMakeFiles/windim_net.dir/examples.cc.o.d"
+  "CMakeFiles/windim_net.dir/generators.cc.o"
+  "CMakeFiles/windim_net.dir/generators.cc.o.d"
+  "CMakeFiles/windim_net.dir/topology.cc.o"
+  "CMakeFiles/windim_net.dir/topology.cc.o.d"
+  "libwindim_net.a"
+  "libwindim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

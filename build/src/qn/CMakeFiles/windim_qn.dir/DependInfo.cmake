@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qn/cyclic.cc" "src/qn/CMakeFiles/windim_qn.dir/cyclic.cc.o" "gcc" "src/qn/CMakeFiles/windim_qn.dir/cyclic.cc.o.d"
+  "/root/repo/src/qn/network.cc" "src/qn/CMakeFiles/windim_qn.dir/network.cc.o" "gcc" "src/qn/CMakeFiles/windim_qn.dir/network.cc.o.d"
+  "/root/repo/src/qn/traffic.cc" "src/qn/CMakeFiles/windim_qn.dir/traffic.cc.o" "gcc" "src/qn/CMakeFiles/windim_qn.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

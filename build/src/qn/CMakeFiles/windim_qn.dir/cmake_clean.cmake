@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_qn.dir/cyclic.cc.o"
+  "CMakeFiles/windim_qn.dir/cyclic.cc.o.d"
+  "CMakeFiles/windim_qn.dir/network.cc.o"
+  "CMakeFiles/windim_qn.dir/network.cc.o.d"
+  "CMakeFiles/windim_qn.dir/traffic.cc.o"
+  "CMakeFiles/windim_qn.dir/traffic.cc.o.d"
+  "libwindim_qn.a"
+  "libwindim_qn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_qn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

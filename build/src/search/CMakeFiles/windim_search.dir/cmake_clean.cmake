@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_search.dir/exhaustive.cc.o"
+  "CMakeFiles/windim_search.dir/exhaustive.cc.o.d"
+  "CMakeFiles/windim_search.dir/pattern_search.cc.o"
+  "CMakeFiles/windim_search.dir/pattern_search.cc.o.d"
+  "libwindim_search.a"
+  "libwindim_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

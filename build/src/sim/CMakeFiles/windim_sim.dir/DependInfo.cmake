@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calendar.cc" "src/sim/CMakeFiles/windim_sim.dir/calendar.cc.o" "gcc" "src/sim/CMakeFiles/windim_sim.dir/calendar.cc.o.d"
+  "/root/repo/src/sim/closed_sim.cc" "src/sim/CMakeFiles/windim_sim.dir/closed_sim.cc.o" "gcc" "src/sim/CMakeFiles/windim_sim.dir/closed_sim.cc.o.d"
+  "/root/repo/src/sim/msgnet_sim.cc" "src/sim/CMakeFiles/windim_sim.dir/msgnet_sim.cc.o" "gcc" "src/sim/CMakeFiles/windim_sim.dir/msgnet_sim.cc.o.d"
+  "/root/repo/src/sim/replicate.cc" "src/sim/CMakeFiles/windim_sim.dir/replicate.cc.o" "gcc" "src/sim/CMakeFiles/windim_sim.dir/replicate.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/windim_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/windim_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/windim_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/windim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/windim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

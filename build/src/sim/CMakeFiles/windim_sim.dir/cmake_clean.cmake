@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_sim.dir/calendar.cc.o"
+  "CMakeFiles/windim_sim.dir/calendar.cc.o.d"
+  "CMakeFiles/windim_sim.dir/closed_sim.cc.o"
+  "CMakeFiles/windim_sim.dir/closed_sim.cc.o.d"
+  "CMakeFiles/windim_sim.dir/msgnet_sim.cc.o"
+  "CMakeFiles/windim_sim.dir/msgnet_sim.cc.o.d"
+  "CMakeFiles/windim_sim.dir/replicate.cc.o"
+  "CMakeFiles/windim_sim.dir/replicate.cc.o.d"
+  "CMakeFiles/windim_sim.dir/stats.cc.o"
+  "CMakeFiles/windim_sim.dir/stats.cc.o.d"
+  "libwindim_sim.a"
+  "libwindim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

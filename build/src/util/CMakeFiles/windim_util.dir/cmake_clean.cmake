@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_util.dir/math.cc.o"
+  "CMakeFiles/windim_util.dir/math.cc.o.d"
+  "CMakeFiles/windim_util.dir/mixed_radix.cc.o"
+  "CMakeFiles/windim_util.dir/mixed_radix.cc.o.d"
+  "CMakeFiles/windim_util.dir/simplex.cc.o"
+  "CMakeFiles/windim_util.dir/simplex.cc.o.d"
+  "CMakeFiles/windim_util.dir/table.cc.o"
+  "CMakeFiles/windim_util.dir/table.cc.o.d"
+  "libwindim_util.a"
+  "libwindim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwindim_util.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_core.dir/capacity.cc.o"
+  "CMakeFiles/windim_core.dir/capacity.cc.o.d"
+  "CMakeFiles/windim_core.dir/dimension.cc.o"
+  "CMakeFiles/windim_core.dir/dimension.cc.o.d"
+  "CMakeFiles/windim_core.dir/problem.cc.o"
+  "CMakeFiles/windim_core.dir/problem.cc.o.d"
+  "libwindim_core.a"
+  "libwindim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buzen_test.dir/buzen_test.cc.o"
+  "CMakeFiles/buzen_test.dir/buzen_test.cc.o.d"
+  "buzen_test"
+  "buzen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buzen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

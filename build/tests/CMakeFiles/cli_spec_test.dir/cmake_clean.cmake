@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_spec_test.dir/cli_spec_test.cc.o"
+  "CMakeFiles/cli_spec_test.dir/cli_spec_test.cc.o.d"
+  "cli_spec_test"
+  "cli_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

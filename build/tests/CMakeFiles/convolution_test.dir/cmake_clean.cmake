@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution_test.dir/convolution_test.cc.o"
+  "CMakeFiles/convolution_test.dir/convolution_test.cc.o.d"
+  "convolution_test"
+  "convolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackson_test.dir/jackson_test.cc.o"
+  "CMakeFiles/jackson_test.dir/jackson_test.cc.o.d"
+  "jackson_test"
+  "jackson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

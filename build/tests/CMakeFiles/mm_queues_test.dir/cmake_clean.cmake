@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_queues_test.dir/mm_queues_test.cc.o"
+  "CMakeFiles/mm_queues_test.dir/mm_queues_test.cc.o.d"
+  "mm_queues_test"
+  "mm_queues_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_approx_test.dir/mva_approx_test.cc.o"
+  "CMakeFiles/mva_approx_test.dir/mva_approx_test.cc.o.d"
+  "mva_approx_test"
+  "mva_approx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

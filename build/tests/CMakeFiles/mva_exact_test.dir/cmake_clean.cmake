@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_exact_test.dir/mva_exact_test.cc.o"
+  "CMakeFiles/mva_exact_test.dir/mva_exact_test.cc.o.d"
+  "mva_exact_test"
+  "mva_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

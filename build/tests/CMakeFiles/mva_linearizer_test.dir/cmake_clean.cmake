@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_linearizer_test.dir/mva_linearizer_test.cc.o"
+  "CMakeFiles/mva_linearizer_test.dir/mva_linearizer_test.cc.o.d"
+  "mva_linearizer_test"
+  "mva_linearizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_linearizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_single_test.dir/mva_single_test.cc.o"
+  "CMakeFiles/mva_single_test.dir/mva_single_test.cc.o.d"
+  "mva_single_test"
+  "mva_single_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

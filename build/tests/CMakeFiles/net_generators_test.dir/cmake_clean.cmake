@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_generators_test.dir/net_generators_test.cc.o"
+  "CMakeFiles/net_generators_test.dir/net_generators_test.cc.o.d"
+  "net_generators_test"
+  "net_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

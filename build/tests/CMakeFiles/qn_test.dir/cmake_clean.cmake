@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qn_test.dir/qn_test.cc.o"
+  "CMakeFiles/qn_test.dir/qn_test.cc.o.d"
+  "qn_test"
+  "qn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

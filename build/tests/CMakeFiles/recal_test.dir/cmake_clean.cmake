@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recal_test.dir/recal_test.cc.o"
+  "CMakeFiles/recal_test.dir/recal_test.cc.o.d"
+  "recal_test"
+  "recal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semiclosed_test.dir/semiclosed_test.cc.o"
+  "CMakeFiles/semiclosed_test.dir/semiclosed_test.cc.o.d"
+  "semiclosed_test"
+  "semiclosed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semiclosed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_closed_test.dir/sim_closed_test.cc.o"
+  "CMakeFiles/sim_closed_test.dir/sim_closed_test.cc.o.d"
+  "sim_closed_test"
+  "sim_closed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_closed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_msgnet_test.dir/sim_msgnet_test.cc.o"
+  "CMakeFiles/sim_msgnet_test.dir/sim_msgnet_test.cc.o.d"
+  "sim_msgnet_test"
+  "sim_msgnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_msgnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

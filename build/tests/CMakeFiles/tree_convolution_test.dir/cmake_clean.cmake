@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_convolution_test.dir/tree_convolution_test.cc.o"
+  "CMakeFiles/tree_convolution_test.dir/tree_convolution_test.cc.o.d"
+  "tree_convolution_test"
+  "tree_convolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_convolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

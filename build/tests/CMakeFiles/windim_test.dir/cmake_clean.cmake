@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windim_test.dir/windim_test.cc.o"
+  "CMakeFiles/windim_test.dir/windim_test.cc.o.d"
+  "windim_test"
+  "windim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
