@@ -36,11 +36,13 @@ int usage() {
       "  windim_cli dimension <spec> [--evaluator=NAME] [--max-window=N]\n"
       "                       [--objective=power|gpower=A|delaycap=T] "
       "[--csv]\n"
+      "                       [--threads=N] [--max-evals=N] [--cold-start]\n"
       "  windim_cli evaluate  <spec> E1 E2 ... [--evaluator=NAME]\n"
       "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
       "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
       "                       [--reps=N]\n"
       "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--evaluator=X]\n"
+      "                       [--threads=N]\n"
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
       "evaluators: heuristic exact-mva convolution semiclosed linearizer\n");
   return 2;
@@ -118,6 +120,14 @@ int cmd_dimension(const cli::NetworkSpec& spec,
         std::fprintf(stderr, "error: unknown objective '%s'\n", v->c_str());
         return 2;
       }
+    } else if (auto v = flag_value(arg, "threads")) {
+      // 1 = serial; N > 1 = speculative parallel probes; 0 = hardware.
+      options.threads = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "max-evals")) {
+      options.max_evaluations =
+          static_cast<std::size_t>(std::stoull(*v));
+    } else if (arg == "--cold-start") {
+      options.warm_start = false;
     } else if (arg == "--csv") {
       csv = true;
     } else {
@@ -129,6 +139,20 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   const core::WindowProblem problem(spec.topology, spec.classes);
   const core::DimensionResult result =
       core::dimension_windows(problem, options);
+  if (result.budget_exhausted) {
+    std::fprintf(stderr,
+                 "warning: evaluation budget exhausted after %zu "
+                 "evaluations; reporting best point found so far\n",
+                 result.objective_evaluations);
+  }
+  if (result.evaluation.class_throughput.empty()) {
+    // The budget did not even cover the initial point: there is no
+    // evaluation to report.
+    std::fprintf(stderr,
+                 "error: evaluation budget too small to evaluate the "
+                 "initial point\n");
+    return 1;
+  }
 
   if (csv) {
     util::TextTable table({"class", "window", "throughput", "delay_ms"});
@@ -284,6 +308,8 @@ int cmd_sweep(const cli::NetworkSpec& spec,
         return 2;
       }
       options.evaluator = *e;
+    } else if (auto v = flag_value(arg, "threads")) {
+      options.threads = std::stoi(*v);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;

@@ -105,11 +105,17 @@ BENCHMARK(BM_FullWindimTwoClass);
 void BM_FullWindimFourClass(benchmark::State& state) {
   const core::WindowProblem problem(
       net::canada_topology(), net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+  // range(0): worker threads; range(1): warm start on/off.  (1, 0) is the
+  // pre-engine serial cold-start baseline; see also bench_perf_dimension
+  // for the headline comparison.
+  core::DimensionOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.warm_start = state.range(1) != 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::dimension_windows(problem));
+    benchmark::DoNotOptimize(core::dimension_windows(problem, options));
   }
 }
-BENCHMARK(BM_FullWindimFourClass);
+BENCHMARK(BM_FullWindimFourClass)->Args({1, 0})->Args({1, 1})->Args({4, 1});
 
 void BM_PatternSearchQuadratic(benchmark::State& state) {
   const search::Objective f = [](const search::Point& p) {

@@ -25,7 +25,8 @@ void check_model(const qn::NetworkModel& model) {
 }  // namespace
 
 MvaSolution solve_approx_mva(const qn::NetworkModel& model,
-                             const ApproxMvaOptions& options) {
+                             const ApproxMvaOptions& options,
+                             const MvaWarmStart* warm_start) {
   check_model(model);
   if (!(options.damping > 0.0 && options.damping <= 1.0)) {
     throw std::invalid_argument("solve_approx_mva: damping must be in (0,1]");
@@ -42,12 +43,44 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
   std::vector<double> sigma(
       static_cast<std::size_t>(num_stations) * num_chains, 0.0);
 
+  if (warm_start != nullptr &&
+      (warm_start->lambda.size() != static_cast<std::size_t>(num_chains) ||
+       warm_start->number.size() != number.size() ||
+       (!warm_start->sigma.empty() &&
+        warm_start->sigma.size() != sigma.size()))) {
+    throw std::invalid_argument(
+        "solve_approx_mva: warm-start state does not match the model's "
+        "chain/station counts");
+  }
+
   // STEP 1: initialize mean queue sizes (thesis eq. 4.16/4.17) and the
-  // chain throughputs from the uncongested cycle times.
+  // chain throughputs from the uncongested cycle times — or, when a
+  // warm start is given, from the nearby converged state (zero-population
+  // chains keep their zero state either way).
   for (int r = 0; r < num_chains; ++r) {
     const int pop = model.chain(r).population;
     const std::vector<int> stations = model.stations_of(r);
     if (pop == 0 || stations.empty()) continue;
+    double cycle = 0.0;
+    for (int n : stations) cycle += model.demand(r, n);
+    if (!(cycle > 0.0)) {
+      // All-zero demands: the uncongested cycle time vanishes and the
+      // chain has no finite fixed point (lambda would seed at +inf).
+      throw qn::ModelError("solve_approx_mva: chain '" +
+                           model.chain(r).name +
+                           "' has zero uncongested cycle time");
+    }
+    if (warm_start != nullptr) {
+      for (int n : stations) {
+        const std::size_t idx = static_cast<std::size_t>(n) * num_chains + r;
+        number[idx] = std::max(0.0, warm_start->number[idx]);
+      }
+      lambda[static_cast<std::size_t>(r)] =
+          std::max(0.0, warm_start->lambda[static_cast<std::size_t>(r)]);
+      // A degenerate (zero-throughput) seed for a populated chain would
+      // stall STEP 2's utilization inflation; fall through to cold init.
+      if (lambda[static_cast<std::size_t>(r)] > 0.0) continue;
+    }
     if (options.init == InitPolicy::kBalanced) {
       const double share = static_cast<double>(pop) /
                            static_cast<double>(stations.size());
@@ -61,8 +94,6 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
       }
       number[static_cast<std::size_t>(bottleneck) * num_chains + r] = pop;
     }
-    double cycle = 0.0;
-    for (int n : stations) cycle += model.demand(r, n);
     lambda[static_cast<std::size_t>(r)] = pop / cycle;
   }
 
@@ -70,10 +101,40 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
   sol.num_chains = num_chains;
   sol.converged = false;
 
-  std::vector<double> lambda_prev(lambda);
-  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
-    // STEP 2: estimate sigma_ir(r-).
+  // Lazy sigma refresh (warm starts with a sigma seed only): keep the
+  // seeded sigma while the throughput vector stays within
+  // sigma_refresh_threshold of `lambda_sigma`, the state the current
+  // sigma was estimated at.  The cold path (and warm starts without a
+  // sigma seed) re-estimates sigma every sweep, exactly as the thesis
+  // iteration does.
+  const bool lazy_sigma =
+      warm_start != nullptr && !warm_start->sigma.empty();
+  std::vector<double> lambda_sigma;
+  if (lazy_sigma) {
+    sigma = warm_start->sigma;
+    for (double& s : sigma) s = std::clamp(s, 0.0, 1.0);
+    lambda_sigma = lambda;
+  }
+  const auto sigma_drift = [&]() {
+    double drift = 0.0;
     for (int r = 0; r < num_chains; ++r) {
+      const double l = lambda[static_cast<std::size_t>(r)];
+      const double d = std::abs(l - lambda_sigma[static_cast<std::size_t>(r)]);
+      drift = std::max(drift, d / std::max(1.0, std::abs(l)));
+    }
+    return drift;
+  };
+
+  std::vector<double> lambda_prev(lambda);
+  bool force_sigma = false;
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    const bool refresh_sigma =
+        !lazy_sigma || force_sigma ||
+        sigma_drift() > options.sigma_refresh_threshold;
+    force_sigma = false;
+    if (refresh_sigma) ++sol.sigma_refreshes;
+    // STEP 2: estimate sigma_ir(r-).
+    for (int r = 0; refresh_sigma && r < num_chains; ++r) {
       const int pop = model.chain(r).population;
       if (pop == 0) continue;
       if (options.sigma == SigmaPolicy::kSchweitzerBard) {
@@ -113,6 +174,7 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
             std::clamp(increment, 0.0, 1.0);
       }
     }
+    if (refresh_sigma && lazy_sigma) lambda_sigma = lambda;
 
     // STEP 3: mean queueing times (thesis eq. 4.13).
     for (int r = 0; r < num_chains; ++r) {
@@ -179,14 +241,27 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
     lambda_prev = lambda;
     sol.iterations = iteration;
     if (crit / scale < options.tolerance) {
-      sol.converged = true;
-      break;
+      if (refresh_sigma) {
+        // Sigma is freshly consistent with this iterate (the cold
+        // iteration's stopping state): converged.
+        sol.converged = true;
+        break;
+      }
+      // The cheap stale-sigma sweeps settled; polish with a fresh sigma
+      // before accepting, so the warm fixed point matches the cold one.
+      force_sigma = true;
+    } else if (!refresh_sigma && crit / scale < options.tolerance * 1e2) {
+      // Stale sweeps have nearly settled: further progress needs a fresh
+      // sigma, so refresh now instead of polishing a stale fixed point
+      // to full precision first.
+      force_sigma = true;
     }
   }
 
   sol.chain_throughput = lambda;
   sol.mean_queue = number;
   sol.mean_time = time;
+  sol.sigma = std::move(sigma);
   return sol;
 }
 

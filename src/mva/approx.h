@@ -51,12 +51,51 @@ struct ApproxMvaOptions {
   /// Under-relaxation factor in (0, 1]: N <- damping * N_new +
   /// (1 - damping) * N_old.  1.0 = plain fixed-point iteration.
   double damping = 1.0;
+  /// Warm starts only: maximum relative drift of the throughput vector
+  /// (vs. the state sigma was last estimated at) before the sigma
+  /// estimation is re-run.  Irrelevant without a sigma seed — the cold
+  /// iteration re-estimates sigma every sweep, as the thesis does.
+  double sigma_refresh_threshold = 0.05;
+};
+
+/// Initial fixed-point state for warm-starting the heuristic iteration.
+/// Taken from the converged solution of a *nearby* model (same stations
+/// and chains, slightly different populations — e.g. the neighboring
+/// window vectors a pattern search generates), it replaces the cold
+/// STEP-1 initialization and typically cuts the iteration count several
+/// fold because the transient toward the fixed-point basin is skipped.
+struct MvaWarmStart {
+  /// Chain throughputs, one per chain (MvaSolution::chain_throughput).
+  std::vector<double> lambda;
+  /// Mean queue lengths, station-major [n * R + r]
+  /// (MvaSolution::mean_queue).
+  std::vector<double> number;
+  /// Converged sigma estimates, station-major [n * R + r]
+  /// (MvaSolution::sigma); may be empty.  When present, the iteration
+  /// starts from this sigma and re-runs the (expensive) sigma
+  /// estimation lazily: only once the throughput vector has drifted
+  /// more than ApproxMvaOptions::sigma_refresh_threshold from the
+  /// state the current sigma was computed at, and always before
+  /// convergence is declared — the stopping criterion is only accepted
+  /// on an iteration whose sigma is freshly consistent, exactly as in
+  /// the cold iteration, so the fixed point reached is the same to the
+  /// configured tolerance.
+  std::vector<double> sigma;
 };
 
 /// Runs the heuristic on an all-closed model with fixed-rate and IS
 /// stations.  Chains with zero population contribute zero throughput.
-/// Throws qn::ModelError on invalid input.
-[[nodiscard]] MvaSolution solve_approx_mva(const qn::NetworkModel& model,
-                                           const ApproxMvaOptions& options = {});
+/// Throws qn::ModelError on invalid input (including a chain whose
+/// uncongested cycle time is zero, which has no finite fixed point).
+///
+/// `warm_start`, when non-null, seeds the fixed point from a previous
+/// solution instead of the cold InitPolicy; its vectors must match the
+/// model's chain/station counts (std::invalid_argument otherwise).
+/// Entries for zero-population chains are ignored.  The converged
+/// solution is the same fixed point as the cold start's, to the
+/// configured tolerance.
+[[nodiscard]] MvaSolution solve_approx_mva(
+    const qn::NetworkModel& model, const ApproxMvaOptions& options = {},
+    const MvaWarmStart* warm_start = nullptr);
 
 }  // namespace windim::mva

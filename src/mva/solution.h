@@ -15,10 +15,18 @@ struct MvaSolution {
   /// chain cycle (queueing + service; equals per-visit time when the
   /// visit ratio is 1, as in the flow-control models).
   std::vector<double> mean_time;
+  /// sigma[n * R + r]: the heuristic's converged "self-customer seen"
+  /// estimates (thesis eq. 4.11/4.12); empty for the exact solvers.
+  /// Feeds MvaWarmStart::sigma when warm-starting a neighboring solve.
+  std::vector<double> sigma;
   int num_chains = 0;
 
   /// Iterations used (1 for the exact recursive solvers).
   int iterations = 0;
+  /// Sweeps that re-ran the (expensive) sigma estimation; equals
+  /// `iterations` except for sigma-seeded warm starts, which refresh
+  /// sigma lazily (see ApproxMvaOptions::sigma_refresh_threshold).
+  int sigma_refreshes = 0;
   bool converged = true;
 
   [[nodiscard]] double queue_length(int station, int chain) const {

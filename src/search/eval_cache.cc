@@ -1,0 +1,31 @@
+#include "search/eval_cache.h"
+
+namespace windim::search {
+
+std::optional<double> EvalCache::lookup(const Point& p) {
+  Shard& s = shard_of(p);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.values.find(p);
+  if (it == s.values.end()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool EvalCache::try_reserve_evaluation() {
+  std::size_t current = evaluations_.load(std::memory_order_relaxed);
+  while (current < max_evaluations_) {
+    if (evaluations_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EvalCache::insert(const Point& p, double value) {
+  Shard& s = shard_of(p);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.values.emplace(p, value);
+}
+
+}  // namespace windim::search

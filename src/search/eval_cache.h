@@ -1,0 +1,82 @@
+// Thread-safe memoization cache for objective evaluations (the APL
+// FLOC/FCT pair, grown up): a sharded hash map from integer points to
+// objective values plus an atomic evaluation budget.
+//
+// One cache instance is shared across a whole dimensioning run — the
+// pattern search, its speculative parallel probes, and the final
+// best-point read all see the same memo — so no point is ever evaluated
+// twice, from any thread.  Budget accounting is a reservation protocol:
+// a caller that wants to run a fresh evaluation first acquires a budget
+// slot; when none is left the caller reports exhaustion instead of
+// evaluating (the search then returns its best-so-far point rather than
+// throwing, see pattern_search.h).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace windim::search {
+
+using Point = std::vector<int>;
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t max_evaluations = SIZE_MAX)
+      : max_evaluations_(max_evaluations) {}
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Cached value for `p`, counting a cache hit; nullopt when absent.
+  [[nodiscard]] std::optional<double> lookup(const Point& p);
+
+  /// Reserves one fresh evaluation against the budget.  False when the
+  /// budget is exhausted; the reservation is permanent (evaluations are
+  /// counted when reserved, not when the value is stored).
+  [[nodiscard]] bool try_reserve_evaluation();
+
+  /// Stores the value of a reserved evaluation.
+  void insert(const Point& p, double value);
+
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_evaluations() const noexcept {
+    return max_evaluations_;
+  }
+
+ private:
+  struct PointHash {
+    std::size_t operator()(const Point& p) const noexcept {
+      std::size_t h = 0x9e3779b97f4a7c15ull;
+      for (int v : p) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Point, double, PointHash> values;
+  };
+  static constexpr std::size_t kNumShards = 16;
+
+  Shard& shard_of(const Point& p) noexcept {
+    return shards_[PointHash{}(p) % kNumShards];
+  }
+
+  Shard shards_[kNumShards];
+  std::size_t max_evaluations_;
+  std::atomic<std::size_t> evaluations_{0};
+  std::atomic<std::size_t> hits_{0};
+};
+
+}  // namespace windim::search

@@ -1,32 +1,55 @@
 #include "search/pattern_search.h"
 
 #include <algorithm>
-#include <map>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 namespace windim::search {
 namespace {
 
-struct Cache {
+/// Memoized, budget-aware objective front-end.  `operator()` returns
+/// nullopt exactly once the budget is exhausted; `prefetch` fills the
+/// cache concurrently without affecting the serial acceptance order.
+struct Evaluator {
   const Objective& objective;
-  std::size_t max_evaluations;
-  std::map<Point, double> values;
-  std::size_t evaluations = 0;
-  std::size_t hits = 0;
+  EvalCache& cache;
+  util::ThreadPool* pool;
+  bool exhausted = false;
 
-  double operator()(const Point& p) {
-    auto it = values.find(p);
-    if (it != values.end()) {
-      ++hits;
-      return it->second;
+  std::optional<double> operator()(const Point& p) {
+    if (const auto v = cache.lookup(p)) return v;
+    if (!cache.try_reserve_evaluation()) {
+      exhausted = true;
+      return std::nullopt;
     }
-    if (evaluations >= max_evaluations) {
-      throw std::runtime_error("pattern_search: evaluation budget exhausted");
-    }
-    ++evaluations;
     const double v = objective(p);
-    values.emplace(p, v);
+    cache.insert(p, v);
     return v;
+  }
+
+  /// Evaluates every uncached candidate on the pool, concurrently.  A
+  /// candidate that loses the budget race is simply left unevaluated;
+  /// the serial replay discovers exhaustion when (and if) it actually
+  /// needs the point.
+  void prefetch(const std::vector<Point>& candidates) {
+    if (pool == nullptr || pool->num_threads() < 2) return;
+    std::vector<Point> fresh;
+    for (const Point& p : candidates) {
+      if (std::find(fresh.begin(), fresh.end(), p) != fresh.end()) continue;
+      fresh.push_back(p);
+    }
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(fresh.size());
+    for (const Point& p : fresh) {
+      jobs.push_back([this, &p] {
+        if (cache.lookup(p)) return;
+        if (!cache.try_reserve_evaluation()) return;
+        cache.insert(p, objective(p));
+      });
+    }
+    pool->run_batch(std::move(jobs));
   }
 };
 
@@ -54,30 +77,53 @@ Point clip(Point p, const PatternSearchOptions& options) {
   return p;
 }
 
-/// Exploratory move about `base`: perturb each coordinate by +step then
-/// -step, keeping strict improvements (thesis Fig 4.2).  Returns the
-/// explored point and its value.
-std::pair<Point, double> explore(Cache& cache, Point base, double f_base,
-                                 const Point& step,
-                                 const PatternSearchOptions& options) {
+/// The +/- step candidates an exploratory move about `base` can touch
+/// (speculation superset: the serial move only evaluates a minus probe
+/// when the plus probe failed, and later probes shift with acceptances).
+std::vector<Point> probe_candidates(const Point& base, const Point& step,
+                                    const PatternSearchOptions& options) {
+  std::vector<Point> candidates;
+  candidates.reserve(2 * base.size());
   for (std::size_t i = 0; i < base.size(); ++i) {
     Point plus = base;
     plus[i] += step[i];
+    if (in_bounds(plus, options)) candidates.push_back(std::move(plus));
+    Point minus = base;
+    minus[i] -= step[i];
+    if (in_bounds(minus, options)) candidates.push_back(std::move(minus));
+  }
+  return candidates;
+}
+
+/// Exploratory move about `base`: perturb each coordinate by +step then
+/// -step, keeping strict improvements (thesis Fig 4.2).  Returns the
+/// explored point and its value.  On budget exhaustion the move stops
+/// accepting further probes and returns the best point reached so far
+/// (`cache.exhausted` is then set).
+std::pair<Point, double> explore(Evaluator& eval, Point base, double f_base,
+                                 const Point& step,
+                                 const PatternSearchOptions& options) {
+  eval.prefetch(probe_candidates(base, step, options));
+  for (std::size_t i = 0; i < base.size() && !eval.exhausted; ++i) {
+    Point plus = base;
+    plus[i] += step[i];
     if (in_bounds(plus, options)) {
-      const double f_plus = cache(plus);
-      if (f_plus < f_base) {
+      const std::optional<double> f_plus = eval(plus);
+      if (!f_plus) break;
+      if (*f_plus < f_base) {
         base = std::move(plus);
-        f_base = f_plus;
+        f_base = *f_plus;
         continue;
       }
     }
     Point minus = base;
     minus[i] -= step[i];
     if (in_bounds(minus, options)) {
-      const double f_minus = cache(minus);
-      if (f_minus < f_base) {
+      const std::optional<double> f_minus = eval(minus);
+      if (!f_minus) break;
+      if (*f_minus < f_base) {
         base = std::move(minus);
-        f_base = f_minus;
+        f_base = *f_minus;
       }
     }
   }
@@ -112,17 +158,37 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
     throw std::invalid_argument("pattern_search: initial point out of bounds");
   }
 
-  Cache cache{objective, options.max_evaluations, {}, 0, 0};
-  PatternSearchResult result;
+  std::unique_ptr<EvalCache> private_cache;
+  EvalCache* cache = options.cache;
+  if (cache == nullptr) {
+    private_cache = std::make_unique<EvalCache>(options.max_evaluations);
+    cache = private_cache.get();
+  }
+  const std::size_t evaluations_before = cache->evaluations();
+  const std::size_t hits_before = cache->hits();
+  Evaluator eval{objective, *cache, options.pool, false};
+  const auto new_base = [&](const Point& p, double f) {
+    if (options.on_new_base) options.on_new_base(p, f);
+  };
 
+  PatternSearchResult result;
   Point base = std::move(initial);
-  double f_base = cache(base);
+  const std::optional<double> f_initial = eval(base);
+  if (!f_initial) {
+    // Budget did not even cover the initial point.
+    result.best = std::move(base);
+    result.best_value = std::numeric_limits<double>::infinity();
+    result.budget_exhausted = true;
+    return result;
+  }
+  double f_base = *f_initial;
   result.base_points.emplace_back(base, f_base);
+  new_base(base, f_base);
 
   int reductions = 0;
-  while (true) {
+  while (!eval.exhausted) {
     // Exploratory move about the current base point.
-    auto [explored, f_explored] = explore(cache, base, f_base, step, options);
+    auto [explored, f_explored] = explore(eval, base, f_base, step, options);
     if (f_explored < f_base) {
       // New base established; enter the pattern-move phase (thesis
       // Fig 4.3/4.4).
@@ -130,29 +196,38 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
       base = std::move(explored);
       f_base = f_explored;
       result.base_points.emplace_back(base, f_base);
-      while (true) {
+      new_base(base, f_base);
+      while (!eval.exhausted) {
         Point pattern(base.size());
         for (std::size_t i = 0; i < base.size(); ++i) {
           pattern[i] = 2 * base[i] - previous[i];
         }
         pattern = clip(std::move(pattern), options);
-        const double f_pattern = cache(pattern);
+        // Speculate on the pattern probe together with the exploration
+        // around it, then replay serially.
+        std::vector<Point> candidates = probe_candidates(pattern, step,
+                                                         options);
+        candidates.push_back(pattern);
+        eval.prefetch(candidates);
+        const std::optional<double> f_pattern = eval(pattern);
+        if (!f_pattern) break;
         auto [next, f_next] =
-            explore(cache, pattern, f_pattern, step, options);
+            explore(eval, pattern, *f_pattern, step, options);
         if (f_next < f_base) {
           previous = base;
           base = std::move(next);
           f_base = f_next;
           result.base_points.emplace_back(base, f_base);
+          new_base(base, f_base);
         } else {
           break;  // pattern terminated; resume local exploration
         }
       }
       continue;
     }
+    if (eval.exhausted) break;
     // Exploration failed: reduce the step or stop.
     if (reductions >= options.max_step_reductions) break;
-    ++reductions;
     bool reduced = false;
     for (int& s : step) {
       if (s > 1) {
@@ -165,13 +240,15 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
       // integer search.
       break;
     }
+    ++reductions;
   }
 
   result.best = base;
   result.best_value = f_base;
-  result.evaluations = cache.evaluations;
-  result.cache_hits = cache.hits;
+  result.evaluations = cache->evaluations() - evaluations_before;
+  result.cache_hits = cache->hits() - hits_before;
   result.step_reductions = reductions;
+  result.budget_exhausted = eval.exhausted;
   return result;
 }
 

@@ -10,7 +10,23 @@
 // the Pattern Search suffices").
 //
 // Objective evaluations are memoized (the APL FLOC/FCT pair): the search
-// revisits points freely and each is evaluated at most once.
+// revisits points freely and each is evaluated at most once.  The memo
+// lives in a thread-safe EvalCache that callers may supply and share
+// across a whole run (see eval_cache.h).
+//
+// Speculative parallel exploration: when `options.pool` is set, the 2R
+// coordinate probes of an exploratory move (and the pattern-move probe)
+// are evaluated concurrently to pre-fill the cache, after which the
+// *exact serial* Hooke-Jeeves acceptance order is replayed against the
+// memo.  The replay makes the search trajectory — every accepted base
+// point and the final optimum — identical to the sequential search
+// whenever the objective is a pure function of the point; speculation
+// only changes which probes get evaluated (wasted speculative
+// evaluations count against the budget and `evaluations`).
+//
+// Budget exhaustion is not an error: when the evaluation budget runs out
+// mid-search the best point found so far is returned with
+// `budget_exhausted == true` instead of throwing.
 #pragma once
 
 #include <cstddef>
@@ -18,10 +34,14 @@
 #include <utility>
 #include <vector>
 
+#include "search/eval_cache.h"
+#include "util/thread_pool.h"
+
 namespace windim::search {
 
-using Point = std::vector<int>;
 /// Objective to minimize; must be defined on every in-bounds point.
+/// Called concurrently from pool threads when speculative exploration is
+/// enabled, so it must be thread-safe (const problem evaluations are).
 using Objective = std::function<double(const Point&)>;
 
 struct PatternSearchOptions {
@@ -35,8 +55,22 @@ struct PatternSearchOptions {
   /// uses lower bounds of 1 (a window of 0 closes the virtual channel).
   Point lower_bound;
   Point upper_bound;
-  /// Safety valve on fresh objective evaluations.
+  /// Safety valve on fresh objective evaluations; ignored when `cache`
+  /// is supplied (the shared cache carries its own budget).
   std::size_t max_evaluations = 1'000'000;
+  /// Shared memoization cache; null means a private per-search cache
+  /// with a budget of `max_evaluations`.  Sharing lets the caller reuse
+  /// every evaluation of the run (e.g. the final best-point read).
+  EvalCache* cache = nullptr;
+  /// Thread pool for speculative exploration; null (or a pool with < 2
+  /// workers) keeps the search fully sequential.
+  util::ThreadPool* pool = nullptr;
+  /// Invoked on the calling thread for the initial point and for every
+  /// newly accepted base point, in trajectory order.  The trajectory is
+  /// identical in serial and speculative runs, which makes this hook a
+  /// deterministic anchor stream (the warm-start engine seeds MVA fixed
+  /// points from it; see windim/dimension.cc).
+  std::function<void(const Point&, double)> on_new_base;
 };
 
 struct PatternSearchResult {
@@ -45,6 +79,11 @@ struct PatternSearchResult {
   std::size_t evaluations = 0;  // fresh (uncached) objective calls
   std::size_t cache_hits = 0;
   int step_reductions = 0;
+  /// True when the evaluation budget ran out before the search
+  /// terminated on its own; `best` is then the best point found so far
+  /// (never worse than the initial point).  If the budget did not even
+  /// cover the initial evaluation, `best_value` is +infinity.
+  bool budget_exhausted = false;
   /// Successive base points (including the initial one), for diagnostics
   /// and tests of the ridge-following behaviour.
   std::vector<std::pair<Point, double>> base_points;

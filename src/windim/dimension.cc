@@ -2,10 +2,117 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "search/eval_cache.h"
+#include "util/thread_pool.h"
 
 namespace windim::core {
+namespace {
+
+/// Every full Evaluation of the run, shared between the objective (any
+/// thread), the warm-start seeding, and the final best-point read — the
+/// search's EvalCache memoizes objective *values*, this store keeps the
+/// *evaluations* so nothing is ever recomputed.
+class EvaluationStore {
+ public:
+  void insert(const std::vector<int>& windows, Evaluation evaluation,
+              mva::MvaWarmStart state) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    evaluations_.emplace(windows,
+                         Entry{std::move(evaluation), std::move(state)});
+  }
+
+  [[nodiscard]] std::optional<Evaluation> find(
+      const std::vector<int>& windows) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = evaluations_.find(windows);
+    if (it == evaluations_.end()) return std::nullopt;
+    return it->second.evaluation;
+  }
+
+  /// Registers `windows` as a warm-start anchor.  Anchors are the
+  /// accepted base points of the pattern search, registered on the
+  /// search thread in trajectory order — a sequence that is identical
+  /// in serial and speculative-parallel runs, which keeps warm-start
+  /// seeds (and therefore every evaluated value) independent of thread
+  /// timing.
+  void add_anchor(const std::vector<int>& windows) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = evaluations_.find(windows);
+    if (it == evaluations_.end() || it->second.state.lambda.empty()) return;
+    anchors_.push_back(&it->second);  // node pointers survive rehashing
+  }
+
+  /// Converged state of the anchor nearest to `windows` (L1 distance,
+  /// earliest-registered anchor on ties); nullopt before any anchor.
+  [[nodiscard]] std::optional<mva::MvaWarmStart> nearest_anchor(
+      const std::vector<int>& windows) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* best = nullptr;
+    long best_distance = 0;
+    for (const Entry* a : anchors_) {
+      long distance = 0;
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        distance += std::labs(static_cast<long>(windows[i]) -
+                              a->evaluation.windows[i]);
+      }
+      if (best == nullptr || distance < best_distance) {
+        best = a;
+        best_distance = distance;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->state;
+  }
+
+ private:
+  struct Entry {
+    Evaluation evaluation;
+    mva::MvaWarmStart state;  // empty for non-heuristic evaluators
+  };
+  struct VectorHash {
+    std::size_t operator()(const std::vector<int>& v) const noexcept {
+      std::size_t h = 0x9e3779b97f4a7c15ull;
+      for (int x : v) {
+        h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::vector<int>, Entry, VectorHash> evaluations_;
+  std::vector<const Entry*> anchors_;
+};
+
+double objective_value(const Evaluation& ev, const DimensionOptions& options) {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (options.objective) {
+    case DimensionObjective::kPower:
+      // Minimize F = 1/P (thesis 4.3); degenerate settings are +inf.
+      return ev.power > 0.0 ? 1.0 / ev.power : inf;
+    case DimensionObjective::kGeneralizedPower: {
+      if (!(ev.throughput > 0.0) || !(ev.mean_delay > 0.0)) return inf;
+      return ev.mean_delay / std::pow(ev.throughput, options.power_exponent);
+    }
+    case DimensionObjective::kThroughputUnderDelayCap:
+      if (!(ev.throughput > 0.0)) return inf;
+      if (ev.mean_delay > options.max_delay) return inf;
+      return -ev.throughput;
+  }
+  return inf;
+}
+
+}  // namespace
 
 DimensionResult dimension_windows(const WindowProblem& problem,
                                   const DimensionOptions& options) {
@@ -36,16 +143,6 @@ DimensionResult dimension_windows(const WindowProblem& problem,
     e = std::clamp(e, options.min_window, options.max_window);
   }
 
-  search::PatternSearchOptions ps;
-  ps.lower_bound.assign(static_cast<std::size_t>(num_classes),
-                        options.min_window);
-  ps.upper_bound.assign(static_cast<std::size_t>(num_classes),
-                        options.max_window);
-  ps.max_step_reductions = options.max_step_reductions;
-  if (!options.initial_step.empty()) {
-    ps.initial_step = options.initial_step;
-  }
-
   if (options.objective == DimensionObjective::kGeneralizedPower &&
       !(options.power_exponent > 0.0)) {
     throw std::invalid_argument(
@@ -57,35 +154,60 @@ DimensionResult dimension_windows(const WindowProblem& problem,
         "dimension_windows: max_delay must be positive");
   }
 
+  // The run-wide engine state: one memo/budget, one evaluation store,
+  // and (for --threads > 1) one worker pool for speculative probes.
+  search::EvalCache cache(options.max_evaluations);
+  EvaluationStore store;
+  std::unique_ptr<util::ThreadPool> pool;
+  const std::size_t pool_size =
+      options.threads == 1 ? 1 : util::resolve_thread_count(options.threads);
+  if (pool_size > 1) pool = std::make_unique<util::ThreadPool>(pool_size);
+
+  const bool warm =
+      options.warm_start && options.evaluator == Evaluator::kHeuristicMva;
   const search::Objective objective = [&](const search::Point& e) {
-    const Evaluation ev =
-        problem.evaluate(e, options.evaluator, options.mva);
-    const double inf = std::numeric_limits<double>::infinity();
-    switch (options.objective) {
-      case DimensionObjective::kPower:
-        // Minimize F = 1/P (thesis 4.3); degenerate settings are +inf.
-        return ev.power > 0.0 ? 1.0 / ev.power : inf;
-      case DimensionObjective::kGeneralizedPower: {
-        if (!(ev.throughput > 0.0) || !(ev.mean_delay > 0.0)) return inf;
-        return ev.mean_delay /
-               std::pow(ev.throughput, options.power_exponent);
-      }
-      case DimensionObjective::kThroughputUnderDelayCap:
-        if (!(ev.throughput > 0.0)) return inf;
-        if (ev.mean_delay > options.max_delay) return inf;
-        return -ev.throughput;
-    }
-    return inf;
+    std::optional<mva::MvaWarmStart> seed;
+    if (warm) seed = store.nearest_anchor(e);
+    mva::MvaWarmStart state;
+    Evaluation ev = problem.evaluate(e, options.evaluator, options.mva,
+                                     seed ? &*seed : nullptr, &state);
+    const double value = objective_value(ev, options);
+    store.insert(e, std::move(ev), std::move(state));
+    return value;
   };
+
+  search::PatternSearchOptions ps;
+  ps.lower_bound.assign(static_cast<std::size_t>(num_classes),
+                        options.min_window);
+  ps.upper_bound.assign(static_cast<std::size_t>(num_classes),
+                        options.max_window);
+  ps.max_step_reductions = options.max_step_reductions;
+  if (!options.initial_step.empty()) {
+    ps.initial_step = options.initial_step;
+  }
+  ps.cache = &cache;
+  ps.pool = pool.get();
+  if (warm) {
+    ps.on_new_base = [&](const search::Point& p, double) {
+      store.add_anchor(p);
+    };
+  }
 
   const search::PatternSearchResult ps_result =
       search::pattern_search(objective, std::move(initial), ps);
 
   DimensionResult result;
   result.feasible = std::isfinite(ps_result.best_value);
+  result.budget_exhausted = ps_result.budget_exhausted;
   result.optimal_windows = ps_result.best;
-  result.evaluation = problem.evaluate(ps_result.best, options.evaluator,
-                                       options.mva);
+  // The best point was already evaluated inside the objective; reuse it
+  // rather than re-running the evaluator.  (The store can only miss when
+  // the budget did not even cover the initial point.)
+  if (const auto cached = store.find(ps_result.best)) {
+    result.evaluation = *cached;
+  } else {
+    result.evaluation.windows = ps_result.best;
+  }
   result.objective_evaluations = ps_result.evaluations;
   result.cache_hits = ps_result.cache_hits;
   result.base_points = ps_result.base_points;

@@ -44,6 +44,27 @@ struct DimensionOptions {
   /// Pattern-search step schedule (see search::PatternSearchOptions).
   std::vector<int> initial_step;
   int max_step_reductions = 4;
+  /// Worker threads for speculative probe evaluation: 1 keeps the run
+  /// fully sequential, N > 1 evaluates the coordinate probes of each
+  /// exploratory/pattern move concurrently on a pool of N workers, and
+  /// 0 or a negative value resolves to the hardware concurrency.  The
+  /// optimum and trajectory are identical to the sequential run (the
+  /// serial Hooke-Jeeves acceptance order is replayed over the shared
+  /// memo); only the evaluation/cache-hit counts may differ, because
+  /// speculative probes that the serial order never needs still run.
+  int threads = 1;
+  /// Seed each heuristic-MVA evaluation from the converged state of the
+  /// nearest already-accepted base point (fewer fixed-point iterations
+  /// for the neighboring probes pattern search generates).  Base points
+  /// form the same deterministic trajectory in serial and parallel runs,
+  /// so seeds — hence results — do not depend on thread timing.  Only
+  /// the heuristic-MVA evaluator uses this.
+  bool warm_start = true;
+  /// Budget of fresh objective evaluations for the whole run (shared by
+  /// speculative probes).  On exhaustion the search returns its best
+  /// point so far with DimensionResult::budget_exhausted set instead of
+  /// throwing.
+  std::size_t max_evaluations = 1'000'000;
 };
 
 struct DimensionResult {
@@ -53,6 +74,10 @@ struct DimensionResult {
   /// (e.g. a delay cap below the minimum achievable delay); in that case
   /// `optimal_windows` is just the search's start and must not be used.
   bool feasible = true;
+  /// True when the evaluation budget ran out before the pattern search
+  /// finished; `optimal_windows` is then the best point found so far
+  /// rather than a converged optimum.
+  bool budget_exhausted = false;
   std::size_t objective_evaluations = 0;
   std::size_t cache_hits = 0;
   /// Base-point trajectory of the pattern search (diagnostics).

@@ -96,24 +96,39 @@ qn::CyclicNetwork WindowProblem::network(
 
 Evaluation WindowProblem::evaluate(
     const std::vector<int>& windows, Evaluator evaluator,
-    const mva::ApproxMvaOptions& mva_options) const {
+    const mva::ApproxMvaOptions& mva_options,
+    const mva::MvaWarmStart* warm_start,
+    mva::MvaWarmStart* final_state) const {
   const qn::CyclicNetwork cyclic = network(windows);
   const qn::NetworkModel model = cyclic.to_model();
   const int num_chains = model.num_chains();
+  if (final_state != nullptr) {
+    final_state->lambda.clear();
+    final_state->number.clear();
+    final_state->sigma.clear();
+  }
 
   // Obtain chain throughputs and per-station-chain queue lengths from the
   // chosen engine.
   std::vector<double> lambda;
   std::vector<double> queue;  // station x chain
   int iterations = 0;
+  int ev_sigma_refreshes = 0;
   bool converged = true;
   switch (evaluator) {
     case Evaluator::kHeuristicMva: {
-      const mva::MvaSolution s = mva::solve_approx_mva(model, mva_options);
+      const mva::MvaSolution s =
+          mva::solve_approx_mva(model, mva_options, warm_start);
       lambda = s.chain_throughput;
       queue = s.mean_queue;
       iterations = s.iterations;
       converged = s.converged;
+      ev_sigma_refreshes = s.sigma_refreshes;
+      if (final_state != nullptr) {
+        final_state->lambda = s.chain_throughput;
+        final_state->number = s.mean_queue;
+        final_state->sigma = s.sigma;
+      }
       break;
     }
     case Evaluator::kExactMva: {
@@ -190,6 +205,7 @@ Evaluation WindowProblem::evaluate(
   Evaluation ev;
   ev.windows = windows;
   ev.iterations = iterations;
+  ev.sigma_refreshes = ev_sigma_refreshes;
   ev.converged = converged;
   ev.class_throughput = lambda;
   ev.class_delay.assign(static_cast<std::size_t>(num_chains), 0.0);

@@ -51,6 +51,9 @@ struct Evaluation {
   std::vector<double> class_throughput;
   std::vector<double> class_delay;
   int iterations = 0;        // MVA iterations (heuristic evaluator)
+  /// Iterations that re-ran the sigma estimation (= iterations for cold
+  /// starts; fewer for sigma-seeded warm starts).
+  int sigma_refreshes = 0;
   bool converged = true;
 };
 
@@ -83,10 +86,19 @@ class WindowProblem {
 
   /// Evaluates a window setting.  Throws std::invalid_argument on a
   /// malformed window vector (size mismatch or negative entries).
+  ///
+  /// With the heuristic-MVA evaluator, `warm_start` (when non-null)
+  /// seeds the fixed-point iteration from a nearby converged state and
+  /// `final_state` (when non-null) receives this evaluation's converged
+  /// state for seeding future neighbors; both are ignored by the other
+  /// evaluators (`final_state` is then cleared).  The converged result
+  /// is independent of the seed to the solver tolerance.
   [[nodiscard]] Evaluation evaluate(
       const std::vector<int>& windows,
       Evaluator evaluator = Evaluator::kHeuristicMva,
-      const mva::ApproxMvaOptions& mva_options = {}) const;
+      const mva::ApproxMvaOptions& mva_options = {},
+      const mva::MvaWarmStart* warm_start = nullptr,
+      mva::MvaWarmStart* final_state = nullptr) const;
 
  private:
   std::vector<net::TrafficClass> classes_;

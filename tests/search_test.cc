@@ -113,13 +113,84 @@ TEST(PatternSearchTest, FourDimensional) {
   EXPECT_EQ(r.best, target);
 }
 
-TEST(PatternSearchTest, EvaluationBudgetEnforced) {
+TEST(PatternSearchTest, BudgetExhaustionReturnsPartialResult) {
   PatternSearchOptions options;
   options.max_evaluations = 3;
-  EXPECT_THROW((void)pattern_search(
-                   [](const Point& p) { return quadratic(p, {50, 50}); },
-                   {0, 0}, options),
-               std::runtime_error);
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {50, 50}); }, {0, 0}, options);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_LE(r.evaluations, 3u);
+  // Best-so-far is never worse than the initial point.
+  EXPECT_LE(r.best_value, quadratic({0, 0}, {50, 50}));
+  EXPECT_FALSE(r.base_points.empty());
+}
+
+TEST(PatternSearchTest, BudgetTooSmallForInitialPoint) {
+  PatternSearchOptions options;
+  options.max_evaluations = 0;
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {50, 50}); }, {4, 4}, options);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(r.best, (Point{4, 4}));
+  EXPECT_TRUE(std::isinf(r.best_value));
+}
+
+TEST(PatternSearchTest, AmpleBudgetNeverReportsExhaustion) {
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {5, 5}); }, {0, 0});
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(PatternSearchTest, SharedCacheCarriesValuesAcrossSearches) {
+  EvalCache cache;
+  std::size_t calls = 0;
+  const Objective f = [&](const Point& p) {
+    ++calls;
+    return quadratic(p, {3, 3});
+  };
+  PatternSearchOptions options;
+  options.cache = &cache;
+  const PatternSearchResult first = pattern_search(f, {0, 0}, options);
+  const std::size_t calls_after_first = calls;
+  // A second search over the same region is served mostly from the memo.
+  const PatternSearchResult second = pattern_search(f, {1, 1}, options);
+  EXPECT_EQ(first.best, second.best);
+  EXPECT_LT(calls - calls_after_first, calls_after_first);
+  // Per-search counters report deltas, not cache totals.
+  EXPECT_EQ(first.evaluations + second.evaluations, calls);
+}
+
+TEST(PatternSearchTest, UnitStepsReportNoStepReductions) {
+  // With all steps already at 1, halving is impossible: the search must
+  // terminate without counting a phantom reduction.
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {6, 2}); }, {0, 0});
+  EXPECT_EQ(r.step_reductions, 0);
+}
+
+TEST(PatternSearchTest, SpeculativePoolMatchesSerialSearch) {
+  util::ThreadPool pool(4);
+  const Point target{17, -6};
+  const Objective f = [&](const Point& p) { return quadratic(p, target); };
+  const PatternSearchResult serial = pattern_search(f, {0, 0});
+  PatternSearchOptions options;
+  options.pool = &pool;
+  const PatternSearchResult parallel = pattern_search(f, {0, 0}, options);
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_DOUBLE_EQ(serial.best_value, parallel.best_value);
+  EXPECT_EQ(serial.base_points, parallel.base_points);
+}
+
+TEST(PatternSearchTest, OnNewBaseFiresInTrajectoryOrder) {
+  std::vector<Point> anchors;
+  PatternSearchOptions options;
+  options.on_new_base = [&](const Point& p, double) { anchors.push_back(p); };
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {9, 9}); }, {0, 0}, options);
+  ASSERT_EQ(anchors.size(), r.base_points.size());
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    EXPECT_EQ(anchors[i], r.base_points[i].first);
+  }
 }
 
 TEST(PatternSearchTest, RejectsMalformedInput) {
