@@ -23,6 +23,8 @@
 #include "sim/msgnet_sim.h"
 #include "sim/replicate.h"
 #include "util/table.h"
+#include "verify/corpus.h"
+#include "verify/fuzz.h"
 #include "windim/windim.h"
 
 namespace {
@@ -44,7 +46,13 @@ int usage() {
       "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--evaluator=X]\n"
       "                       [--threads=N]\n"
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
-      "evaluators: heuristic exact-mva convolution semiclosed linearizer\n");
+      "  windim_cli fuzz      [--seeds=N] [--family=NAME,...] [--jobs=N]\n"
+      "                       [--time-budget=SECONDS] [--base-seed=N]\n"
+      "                       [--corpus-out=DIR] [--replay=DIR|FILE]\n"
+      "                       [--sim] [--no-shrink] [--no-ctmc] [--quiet]\n"
+      "evaluators: heuristic exact-mva convolution semiclosed linearizer\n"
+      "fuzz families: fcfs-closed disciplines queue-dependent semiclosed\n"
+      "               mixed cyclic windim (default: all)\n");
   return 2;
 }
 
@@ -376,15 +384,100 @@ int cmd_capacity(const cli::NetworkSpec& spec,
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  verify::FuzzOptions options;
+  options.seeds = 100;
+  std::string replay_path;
+  bool quiet = false;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "seeds")) {
+      options.seeds = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "family")) {
+      // Comma-separated family tokens; "all" = every family.
+      std::size_t pos = 0;
+      while (pos <= v->size()) {
+        std::size_t comma = v->find(',', pos);
+        if (comma == std::string::npos) comma = v->size();
+        const std::string token = v->substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty()) continue;
+        if (token == "all") {
+          options.families.clear();
+          continue;
+        }
+        const auto family = verify::family_from_string(token);
+        if (!family) {
+          std::fprintf(stderr, "error: unknown family '%s'\n", token.c_str());
+          return 2;
+        }
+        options.families.push_back(*family);
+      }
+    } else if (auto v = flag_value(arg, "time-budget")) {
+      options.time_budget_seconds = std::stod(*v);
+    } else if (auto v = flag_value(arg, "jobs")) {
+      options.jobs = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "base-seed")) {
+      options.base_seed = static_cast<std::uint64_t>(std::stoull(*v));
+    } else if (auto v = flag_value(arg, "corpus-out")) {
+      options.corpus_dir = *v;
+    } else if (auto v = flag_value(arg, "replay")) {
+      replay_path = *v;
+    } else if (arg == "--sim") {
+      options.oracle.with_simulation = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink_failures = false;
+    } else if (arg == "--no-ctmc") {
+      options.oracle.with_ctmc = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  verify::FuzzReport report;
+  if (!replay_path.empty()) {
+    const std::vector<std::string> files =
+        verify::list_corpus_files(replay_path);
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no corpus files under '%s'\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    report = verify::replay_corpus(files, options);
+  } else {
+    report = verify::run_fuzz(options);
+  }
+  if (!quiet) {
+    std::printf("%s", verify::to_json(report).c_str());
+  }
+  if (report.unexpected_passes > 0) {
+    std::fprintf(stderr,
+                 "note: %d corpus entr%s no longer fail%s the annotated "
+                 "oracle; consider removing them\n",
+                 report.unexpected_passes,
+                 report.unexpected_passes == 1 ? "y" : "ies",
+                 report.unexpected_passes == 1 ? "s" : "");
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
-  const auto spec = load_spec(argv[2]);
-  if (!spec) return 1;
-  std::vector<std::string> args(argv + 3, argv + argc);
   try {
+    if (command == "fuzz") {
+      // fuzz takes no spec file: every instance is generated or
+      // replayed from the corpus.
+      return cmd_fuzz(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (argc < 3) return usage();
+    const auto spec = load_spec(argv[2]);
+    if (!spec) return 1;
+    std::vector<std::string> args(argv + 3, argv + argc);
     if (command == "dimension") return cmd_dimension(*spec, args);
     if (command == "evaluate") return cmd_evaluate(*spec, args);
     if (command == "simulate") return cmd_simulate(*spec, args);

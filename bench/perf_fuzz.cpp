@@ -1,0 +1,68 @@
+// Microbenchmarks for the differential oracle harness: per-family
+// oracle cost (what one fuzz seed costs, and which oracles dominate),
+// generator cost, and the shrinker's minimization loop.  The fuzz
+// campaign budget planning in DESIGN.md §6 is derived from these
+// numbers: at ~1-10 ms per fcfs-closed instance, a 500-seed x 7-family
+// campaign fits well inside a one-minute CI smoke on a few cores.
+#include <benchmark/benchmark.h>
+
+#include "verify/gen.h"
+#include "verify/oracle.h"
+#include "verify/shrink.h"
+
+namespace {
+
+using namespace windim::verify;
+
+void BM_Generate(benchmark::State& state) {
+  const Family family = all_families()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate(family, seed++));
+  }
+  state.SetLabel(to_string(family));
+}
+BENCHMARK(BM_Generate)->DenseRange(0, 6);
+
+void BM_RunOracles(benchmark::State& state) {
+  const Family family = all_families()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Instance inst = generate(family, seed++);
+    benchmark::DoNotOptimize(run_oracles(inst));
+  }
+  state.SetLabel(to_string(family));
+}
+BENCHMARK(BM_RunOracles)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_RunOraclesNoCtmc(benchmark::State& state) {
+  // The CTMC dominates cyclic-family cost; this isolates the rest.
+  const Family family = all_families()[static_cast<std::size_t>(state.range(0))];
+  OracleOptions options;
+  options.with_ctmc = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Instance inst = generate(family, seed++);
+    benchmark::DoNotOptimize(run_oracles(inst, options));
+  }
+  state.SetLabel(to_string(family));
+}
+BENCHMARK(BM_RunOraclesNoCtmc)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_Shrink(benchmark::State& state) {
+  // Minimization under a structural predicate (always reducible to one
+  // station and one chain): measures the candidate-generation and
+  // model-rebuild machinery rather than oracle cost.
+  const FailurePredicate synthetic = [](const Instance& inst) {
+    return inst.model.num_stations() >= 1;
+  };
+  for (auto _ : state) {
+    const Instance inst = generate(Family::kDisciplines, 187);
+    benchmark::DoNotOptimize(shrink(inst, synthetic));
+  }
+}
+BENCHMARK(BM_Shrink)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -124,4 +124,57 @@ std::vector<TrafficClass> random_traffic(const Topology& topology, int count,
   return classes;
 }
 
+qn::CyclicNetwork random_cyclic_network(int stations, int chains,
+                                        int max_population, util::Rng& rng) {
+  if (stations < 2) {
+    throw std::invalid_argument("random_cyclic_network: stations < 2");
+  }
+  if (chains < 1 || max_population < 1) {
+    throw std::invalid_argument("random_cyclic_network: degenerate request");
+  }
+  qn::CyclicNetwork net;
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  for (int n = 0; n < stations; ++n) {
+    qn::Station s;
+    s.name = "s" + std::to_string(n);
+    s.discipline = qn::Discipline::kFcfs;
+    net.stations.push_back(std::move(s));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.02, 0.2);
+  }
+  const bool with_think = rng.uniform01() < 0.3;
+  int think = -1;
+  if (with_think) {
+    qn::Station s;
+    s.name = "think";
+    s.discipline = qn::Discipline::kInfiniteServer;
+    think = static_cast<int>(net.stations.size());
+    net.stations.push_back(std::move(s));
+  }
+  for (int r = 0; r < chains; ++r) {
+    qn::CyclicChain chain;
+    chain.name = "c" + std::to_string(r);
+    chain.population = rng.uniform_int(1, max_population);
+    // Ordered subset of distinct stations (to_model rejects repeats).
+    std::vector<int> pool(static_cast<std::size_t>(stations));
+    for (int n = 0; n < stations; ++n) pool[static_cast<std::size_t>(n)] = n;
+    const int hops = rng.uniform_int(2, std::min(4, stations));
+    for (int k = 0; k < hops; ++k) {
+      const int pick =
+          rng.uniform_int(k, static_cast<int>(pool.size()) - 1);
+      std::swap(pool[static_cast<std::size_t>(k)],
+                pool[static_cast<std::size_t>(pick)]);
+      const int station = pool[static_cast<std::size_t>(k)];
+      chain.route.push_back(station);
+      chain.service_times.push_back(
+          station_time[static_cast<std::size_t>(station)]);
+    }
+    if (with_think) {
+      chain.route.push_back(think);
+      chain.service_times.push_back(rng.uniform(0.05, 0.5));
+    }
+    net.chains.push_back(std::move(chain));
+  }
+  return net;
+}
+
 }  // namespace windim::net

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "qn/cyclic.h"
 #include "util/rng.h"
 
 namespace windim::net {
@@ -42,5 +43,17 @@ namespace windim::net {
 [[nodiscard]] std::vector<TrafficClass> random_traffic(
     const Topology& topology, int count, double min_rate, double max_rate,
     util::Rng& rng);
+
+/// Random closed cyclic network: `chains` chains, each routed over an
+/// ordered random subset (2..min(4, stations) distinct stations) of
+/// `stations` FCFS queues, with populations 1..max_population.  FCFS
+/// service times are per-station (BCMP class independence); with
+/// probability ~0.3 an IS "think" station with per-chain service times
+/// is appended to every route.  Small enough by construction for the
+/// CTMC and simulation oracles (verify/oracle.h).
+[[nodiscard]] qn::CyclicNetwork random_cyclic_network(int stations,
+                                                      int chains,
+                                                      int max_population,
+                                                      util::Rng& rng);
 
 }  // namespace windim::net

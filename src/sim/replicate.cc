@@ -45,4 +45,36 @@ ReplicatedResult run_replications(
   return result;
 }
 
+ReplicatedClosedResult run_closed_replications(const qn::CyclicNetwork& net,
+                                               const ClosedSimOptions& options,
+                                               int replications) {
+  if (replications < 2) {
+    throw std::invalid_argument(
+        "run_closed_replications: need >= 2 replications");
+  }
+  const int num_chains = static_cast<int>(net.chains.size());
+  const std::size_t cells =
+      net.stations.size() * static_cast<std::size_t>(num_chains);
+  std::vector<TallyStat> throughput(static_cast<std::size_t>(num_chains));
+  std::vector<TallyStat> queue(cells);
+  for (int k = 0; k < replications; ++k) {
+    ClosedSimOptions run_options = options;
+    run_options.seed = options.seed + static_cast<std::uint64_t>(k);
+    const ClosedSimResult run = simulate_closed(net, run_options);
+    for (int r = 0; r < num_chains; ++r) {
+      throughput[static_cast<std::size_t>(r)].record(
+          run.chain_throughput[static_cast<std::size_t>(r)]);
+    }
+    for (std::size_t c = 0; c < cells; ++c) queue[c].record(run.mean_queue[c]);
+  }
+  ReplicatedClosedResult result;
+  result.num_chains = num_chains;
+  result.replications = replications;
+  for (const TallyStat& t : throughput) {
+    result.chain_throughput.push_back(estimate(t));
+  }
+  for (const TallyStat& q : queue) result.mean_queue.push_back(estimate(q));
+  return result;
+}
+
 }  // namespace windim::sim

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "sim/closed_sim.h"
 #include "sim/msgnet_sim.h"
 
 namespace windim::sim {
@@ -37,5 +38,31 @@ struct ReplicatedResult {
     const net::Topology& topology,
     const std::vector<net::TrafficClass>& classes,
     const MsgNetOptions& options, int replications);
+
+/// Replicated closed-network simulation: per-chain throughput and
+/// per-(station, chain) mean queue length estimates with confidence
+/// half-widths.  Used by the simulator-vs-exact differential oracle
+/// (src/verify) and the statistical regression tests.
+struct ReplicatedClosedResult {
+  /// chain_throughput[r]: cycles/s of chain r.
+  std::vector<MetricEstimate> chain_throughput;
+  /// mean_queue[i * R + r]: chain-r customers at station i.
+  std::vector<MetricEstimate> mean_queue;
+  int num_chains = 0;
+  int replications = 0;
+
+  [[nodiscard]] const MetricEstimate& queue_length(int station,
+                                                   int chain) const {
+    return mean_queue.at(static_cast<std::size_t>(station) * num_chains +
+                         chain);
+  }
+};
+
+/// Runs `replications` closed-network simulations with seeds
+/// options.seed, options.seed+1, ...  Throws std::invalid_argument for
+/// replications < 2.
+[[nodiscard]] ReplicatedClosedResult run_closed_replications(
+    const qn::CyclicNetwork& net, const ClosedSimOptions& options,
+    int replications);
 
 }  // namespace windim::sim

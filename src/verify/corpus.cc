@@ -1,0 +1,285 @@
+#include "verify/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace windim::verify {
+namespace {
+
+/// Round-tripping double format: shortest representation that parses
+/// back to the identical bits for all doubles.
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+const char* discipline_token(qn::Discipline d) {
+  switch (d) {
+    case qn::Discipline::kFcfs: return "fcfs";
+    case qn::Discipline::kProcessorSharing: return "ps";
+    case qn::Discipline::kLcfsPreemptiveResume: return "lcfs-pr";
+    case qn::Discipline::kInfiniteServer: return "is";
+  }
+  return "?";
+}
+
+qn::Discipline discipline_from_token(const std::string& token, int line) {
+  if (token == "fcfs") return qn::Discipline::kFcfs;
+  if (token == "ps") return qn::Discipline::kProcessorSharing;
+  if (token == "lcfs-pr") return qn::Discipline::kLcfsPreemptiveResume;
+  if (token == "is") return qn::Discipline::kInfiniteServer;
+  throw std::runtime_error("corpus line " + std::to_string(line) +
+                           ": unknown discipline '" + token + "'");
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("corpus line " + std::to_string(line) + ": " +
+                           what);
+}
+
+double parse_double(const std::string& token, int line) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size()) fail(line, "bad number '" + token + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + token + "'");
+  }
+}
+
+int parse_int(const std::string& token, int line) {
+  try {
+    std::size_t consumed = 0;
+    const int v = std::stoi(token, &consumed);
+    if (consumed != token.size()) fail(line, "bad integer '" + token + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string serialize(const CorpusEntry& entry) {
+  const Instance& inst = entry.instance;
+  std::ostringstream out;
+  out << "# windim fuzz corpus v1\n";
+  out << "family " << to_string(inst.family) << "\n";
+  out << "seed " << inst.seed << "\n";
+  if (!inst.name.empty()) out << "name " << inst.name << "\n";
+  if (!entry.expect.empty()) out << "expect " << entry.expect << "\n";
+  if (!entry.note.empty()) out << "note " << entry.note << "\n";
+  for (const qn::Station& s : inst.model.stations()) {
+    out << "station " << s.name << " " << discipline_token(s.discipline);
+    for (double m : s.rate_multipliers) out << " " << format_double(m);
+    out << "\n";
+  }
+  if (inst.cyclic) {
+    for (const qn::CyclicChain& c : inst.cyclic->chains) {
+      out << "route " << c.name << " " << c.population;
+      for (std::size_t k = 0; k < c.route.size(); ++k) {
+        out << " " << c.route[k] << ":" << format_double(c.service_times[k]);
+      }
+      out << "\n";
+    }
+  } else {
+    for (const qn::Chain& c : inst.model.chains()) {
+      if (c.type == qn::ChainType::kClosed) {
+        out << "chain " << c.name << " closed " << c.population << "\n";
+      } else {
+        out << "chain " << c.name << " open "
+            << format_double(c.arrival_rate) << "\n";
+      }
+      for (const qn::Visit& v : c.visits) {
+        out << "visit " << v.station << " " << format_double(v.visit_ratio)
+            << " " << format_double(v.mean_service_time) << "\n";
+      }
+    }
+  }
+  for (std::size_t r = 0; r < inst.semiclosed.size(); ++r) {
+    const exact::SemiclosedChainSpec& spec = inst.semiclosed[r];
+    out << "semiclosed " << r << " " << format_double(spec.arrival_rate)
+        << " " << spec.min_population << " " << spec.max_population << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+CorpusEntry parse_corpus_entry(const std::string& text) {
+  CorpusEntry entry;
+  Instance& inst = entry.instance;
+  std::vector<qn::Station> stations;
+  std::vector<qn::Chain> chains;          // `chain`/`visit` form
+  std::vector<qn::CyclicChain> routes;    // `route` form
+  bool saw_family = false;
+  bool saw_end = false;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (saw_end) break;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+
+    auto next = [&](const char* what) {
+      std::string token;
+      if (!(tokens >> token)) {
+        fail(line_number, std::string("missing ") + what);
+      }
+      return token;
+    };
+    auto rest_of_line = [&] {
+      std::string rest;
+      std::getline(tokens, rest);
+      const std::size_t start = rest.find_first_not_of(" \t");
+      return start == std::string::npos ? std::string() : rest.substr(start);
+    };
+
+    if (keyword == "family") {
+      const std::string token = next("family name");
+      const auto family = family_from_string(token);
+      if (!family) fail(line_number, "unknown family '" + token + "'");
+      inst.family = *family;
+      saw_family = true;
+    } else if (keyword == "seed") {
+      inst.seed = std::stoull(next("seed"));
+    } else if (keyword == "name") {
+      inst.name = next("name");
+    } else if (keyword == "expect") {
+      entry.expect = next("oracle name");
+    } else if (keyword == "note") {
+      entry.note = rest_of_line();
+    } else if (keyword == "station") {
+      qn::Station s;
+      s.name = next("station name");
+      s.discipline = discipline_from_token(next("discipline"), line_number);
+      std::string token;
+      while (tokens >> token) {
+        s.rate_multipliers.push_back(parse_double(token, line_number));
+      }
+      stations.push_back(std::move(s));
+    } else if (keyword == "chain") {
+      if (!routes.empty()) fail(line_number, "chain after route");
+      qn::Chain c;
+      c.name = next("chain name");
+      const std::string type = next("chain type");
+      if (type == "closed") {
+        c.type = qn::ChainType::kClosed;
+        c.population = parse_int(next("population"), line_number);
+      } else if (type == "open") {
+        c.type = qn::ChainType::kOpen;
+        c.arrival_rate = parse_double(next("arrival rate"), line_number);
+      } else {
+        fail(line_number, "chain type must be closed|open");
+      }
+      chains.push_back(std::move(c));
+    } else if (keyword == "visit") {
+      if (chains.empty()) fail(line_number, "visit before chain");
+      qn::Visit v;
+      v.station = parse_int(next("station index"), line_number);
+      v.visit_ratio = parse_double(next("visit ratio"), line_number);
+      v.mean_service_time = parse_double(next("service time"), line_number);
+      chains.back().visits.push_back(v);
+    } else if (keyword == "route") {
+      if (!chains.empty()) fail(line_number, "route after chain");
+      qn::CyclicChain c;
+      c.name = next("chain name");
+      c.population = parse_int(next("population"), line_number);
+      std::string hop;
+      while (tokens >> hop) {
+        const std::size_t colon = hop.find(':');
+        if (colon == std::string::npos) {
+          fail(line_number, "route hop must be station:time");
+        }
+        c.route.push_back(parse_int(hop.substr(0, colon), line_number));
+        c.service_times.push_back(
+            parse_double(hop.substr(colon + 1), line_number));
+      }
+      if (c.route.empty()) fail(line_number, "empty route");
+      routes.push_back(std::move(c));
+    } else if (keyword == "semiclosed") {
+      exact::SemiclosedChainSpec spec;
+      const int chain = parse_int(next("chain index"), line_number);
+      spec.arrival_rate = parse_double(next("arrival rate"), line_number);
+      spec.min_population = parse_int(next("min population"), line_number);
+      spec.max_population = parse_int(next("max population"), line_number);
+      if (chain != static_cast<int>(inst.semiclosed.size())) {
+        fail(line_number, "semiclosed specs must appear in chain order");
+      }
+      inst.semiclosed.push_back(spec);
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      fail(line_number, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (!saw_family) fail(line_number, "missing family");
+  if (!saw_end) fail(line_number, "missing end");
+
+  if (!routes.empty()) {
+    qn::CyclicNetwork net;
+    net.stations = std::move(stations);
+    net.chains = std::move(routes);
+    inst.cyclic = std::move(net);
+    inst.model = inst.cyclic->to_model();
+  } else {
+    qn::NetworkModel m;
+    for (qn::Station& s : stations) m.add_station(std::move(s));
+    for (qn::Chain& c : chains) m.add_chain(std::move(c));
+    inst.model = std::move(m);
+  }
+  inst.model.validate();
+  if (inst.name.empty()) {
+    inst.name = std::string(to_string(inst.family)) + "-" +
+                std::to_string(inst.seed);
+  }
+  return entry;
+}
+
+CorpusEntry load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open corpus file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_corpus_entry(text.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void save_corpus_file(const std::string& path, const CorpusEntry& entry) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write corpus file '" + path + "'");
+  out << serialize(entry);
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(dir, ec)) return {dir};
+  if (!fs::is_directory(dir, ec)) return {};
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".corpus") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace windim::verify

@@ -1,0 +1,63 @@
+// Replayable failure corpus: text serialization of verify instances.
+//
+// A corpus entry is one shrunk failing instance plus bookkeeping: the
+// oracle expected to fail (`expect`, the xfail annotation) and a
+// free-text note.  The format is line-oriented and whitespace-
+// tokenized, round-trips doubles exactly (%.17g), and is stable under
+// re-serialization, so committed entries diff cleanly:
+//
+//   # windim fuzz corpus v1
+//   family cyclic
+//   seed 123
+//   name cyclic-123
+//   expect convolution-vs-ctmc        (optional; empty = must pass)
+//   note <free text to end of line>   (optional)
+//   station s0 fcfs                   (disciplines: fcfs ps lcfs-pr is;
+//   station s1 ps 1 2 2.5              trailing numbers = rate multipliers)
+//   chain c0 closed 2                 (then `visit` lines)
+//   visit 0 1 0.05                    (station, visit ratio, service time)
+//   chain c1 open 12.5                (open chains: arrival rate)
+//   route c2 2 0:0.05 1:0.1           (cyclic chains: population, then
+//                                      station:service_time hops in order)
+//   semiclosed 0 12.5 0 3             (chain, rate, min, max bound)
+//   end
+//
+// `route` and `chain` lines are mutually exclusive: when routes are
+// present the NetworkModel is rebuilt from the cyclic network, keeping
+// the two representations consistent by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/gen.h"
+
+namespace windim::verify {
+
+struct CorpusEntry {
+  Instance instance;
+  /// Name of the oracle this entry is expected to fail (see
+  /// verify/oracle.h); empty means the entry must pass all oracles.
+  std::string expect;
+  std::string note;
+};
+
+/// Serializes an entry to the corpus text format.
+[[nodiscard]] std::string serialize(const CorpusEntry& entry);
+
+/// Parses an entry; throws std::runtime_error with a line number on the
+/// first malformed line.  The rebuilt model is validated.
+[[nodiscard]] CorpusEntry parse_corpus_entry(const std::string& text);
+
+/// File helpers.  load throws std::runtime_error when the file cannot
+/// be opened or parsed; save overwrites.
+[[nodiscard]] CorpusEntry load_corpus_file(const std::string& path);
+void save_corpus_file(const std::string& path, const CorpusEntry& entry);
+
+/// Sorted list of corpus files (*.corpus) in `dir`; a missing
+/// directory yields an empty list.  If `dir` names a regular file, the
+/// one-element list {dir} is returned (replaying a single entry).
+[[nodiscard]] std::vector<std::string> list_corpus_files(
+    const std::string& dir);
+
+}  // namespace windim::verify

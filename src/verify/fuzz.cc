@@ -1,0 +1,337 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "verify/shrink.h"
+
+namespace windim::verify {
+namespace {
+
+struct Task {
+  Family family = Family::kFcfsClosed;
+  std::uint64_t seed = 0;
+  // Replay: the corpus entry to re-check instead of generating.
+  bool is_replay = false;
+  CorpusEntry entry;
+  std::string path;
+};
+
+struct TaskResult {
+  bool ran = false;
+  OracleReport report;
+  std::vector<FuzzFailure> failures;
+  int expected_failures = 0;
+  int unexpected_passes = 0;
+};
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ErrorQuantiles summarize(std::vector<double> samples) {
+  ErrorQuantiles q;
+  q.samples = static_cast<int>(samples.size());
+  if (samples.empty()) return q;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  q.p50 = at(0.50);
+  q.p90 = at(0.90);
+  q.p99 = at(0.99);
+  q.max = samples.back();
+  return q;
+}
+
+/// Runs one generated instance: oracles, then shrink + corpus entry per
+/// disagreement.  Never throws; internal errors become failures.
+TaskResult run_generated(const Task& task, const FuzzOptions& options) {
+  TaskResult result;
+  Instance inst;
+  try {
+    inst = generate(task.family, task.seed, options.gen);
+  } catch (const std::exception& e) {
+    result.ran = true;
+    FuzzFailure f;
+    f.family = task.family;
+    f.seed = task.seed;
+    f.oracle = "generator-error";
+    f.detail = e.what();
+    result.failures.push_back(std::move(f));
+    return result;
+  }
+  result.ran = true;
+  result.report = run_oracles(inst, options.oracle);
+  for (const Disagreement& d : result.report.failures) {
+    FuzzFailure f;
+    f.family = task.family;
+    f.seed = task.seed;
+    f.oracle = d.oracle;
+    f.detail = d.detail;
+    f.magnitude = d.magnitude;
+    f.repro.instance = inst;
+    f.repro.expect = d.oracle;
+    f.repro.note = "found by fuzz " + inst.name + ": " + d.detail;
+    if (options.shrink_failures) {
+      try {
+        ShrinkResult shrunk =
+            shrink(inst, fails_oracle(d.oracle, options.oracle));
+        f.repro.instance = std::move(shrunk.instance);
+        // Re-run for the detail of the *minimized* instance.
+        const OracleReport small =
+            run_oracles(f.repro.instance, options.oracle);
+        for (const Disagreement& sd : small.failures) {
+          if (sd.oracle == d.oracle) {
+            f.repro.note = "found by fuzz " + inst.name + ", shrunk (" +
+                           std::to_string(shrunk.accepted) + " steps): " +
+                           sd.detail;
+            break;
+          }
+        }
+      } catch (const std::exception&) {
+        // Shrinking is best-effort; keep the unshrunk repro.
+      }
+    }
+    result.failures.push_back(std::move(f));
+  }
+  return result;
+}
+
+/// Replays one corpus entry with xfail semantics.
+TaskResult run_replay(const Task& task, const FuzzOptions& options) {
+  TaskResult result;
+  result.ran = true;
+  const CorpusEntry& entry = task.entry;
+  result.report = run_oracles(entry.instance, options.oracle);
+  bool expect_seen = false;
+  for (const Disagreement& d : result.report.failures) {
+    if (!entry.expect.empty() && d.oracle == entry.expect) {
+      // The xfail fired as annotated: informational, not a failure.
+      expect_seen = true;
+      ++result.expected_failures;
+      continue;
+    }
+    FuzzFailure f;
+    f.family = entry.instance.family;
+    f.seed = entry.instance.seed;
+    f.oracle = d.oracle;
+    f.detail = d.detail;
+    f.magnitude = d.magnitude;
+    f.repro = entry;
+    f.corpus_file = task.path;
+    result.failures.push_back(std::move(f));
+  }
+  if (!entry.expect.empty() && !expect_seen) ++result.unexpected_passes;
+  return result;
+}
+
+FuzzReport run_tasks(const std::vector<Task>& tasks,
+                     const FuzzOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const bool budgeted = options.time_budget_seconds > 0.0;
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.time_budget_seconds));
+
+  std::vector<TaskResult> results(tasks.size());
+  std::atomic<bool> exhausted{false};
+
+  const std::size_t workers =
+      options.jobs == 1 ? 0 : util::resolve_thread_count(options.jobs);
+  util::ThreadPool pool(workers);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    jobs.push_back([i, &tasks, &results, &options, budgeted, deadline,
+                    &exhausted] {
+      if (budgeted && Clock::now() >= deadline) {
+        exhausted.store(true, std::memory_order_relaxed);
+        return;  // unstarted: counted as skipped in the merge
+      }
+      const Task& task = tasks[i];
+      results[i] = task.is_replay ? run_replay(task, options)
+                                  : run_generated(task, options);
+    });
+  }
+  pool.run_batch(std::move(jobs));
+
+  // Merge in task order: deterministic for any --jobs value.
+  FuzzReport report;
+  std::vector<double> heuristic, schweitzer, linearizer;
+  for (TaskResult& r : results) {
+    if (!r.ran) {
+      ++report.instances_skipped;
+      continue;
+    }
+    ++report.instances_run;
+    report.expected_failures += r.expected_failures;
+    report.unexpected_passes += r.unexpected_passes;
+    if (r.report.heuristic_error >= 0.0) {
+      heuristic.push_back(r.report.heuristic_error);
+    }
+    if (r.report.schweitzer_error >= 0.0) {
+      schweitzer.push_back(r.report.schweitzer_error);
+    }
+    if (r.report.linearizer_error >= 0.0) {
+      linearizer.push_back(r.report.linearizer_error);
+    }
+    for (FuzzFailure& f : r.failures) {
+      report.failures.push_back(std::move(f));
+    }
+  }
+  report.heuristic = summarize(std::move(heuristic));
+  report.schweitzer = summarize(std::move(schweitzer));
+  report.linearizer = summarize(std::move(linearizer));
+  report.time_budget_exhausted =
+      exhausted.load(std::memory_order_relaxed) ||
+      (budgeted && report.instances_skipped > 0);
+
+  // Persist repros after the merge: single-threaded, ordered writes.
+  if (!options.corpus_dir.empty() && !report.failures.empty()) {
+    std::filesystem::create_directories(options.corpus_dir);
+    for (FuzzFailure& f : report.failures) {
+      if (!f.corpus_file.empty()) continue;  // replayed entries keep theirs
+      std::string name = std::string(to_string(f.family)) + "-" +
+                         std::to_string(f.seed) + "-" + f.oracle + ".corpus";
+      const std::string path =
+          (std::filesystem::path(options.corpus_dir) / name).string();
+      try {
+        save_corpus_file(path, f.repro);
+        f.corpus_file = path;
+      } catch (const std::exception&) {
+        // Leave corpus_file empty: the failure is still reported.
+      }
+    }
+  }
+
+  report.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  if (options.seeds < 0) {
+    throw std::invalid_argument("fuzz: seeds must be non-negative");
+  }
+  const std::vector<Family> families =
+      options.families.empty() ? all_families() : options.families;
+  std::vector<Task> tasks;
+  tasks.reserve(families.size() * static_cast<std::size_t>(options.seeds));
+  // Interleave families (seed-major) so a time-budgeted run covers
+  // every family before going deep on any of them.
+  for (int s = 0; s < options.seeds; ++s) {
+    for (Family family : families) {
+      Task t;
+      t.family = family;
+      t.seed = options.base_seed + static_cast<std::uint64_t>(s);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return run_tasks(tasks, options);
+}
+
+FuzzReport replay_corpus(const std::vector<std::string>& corpus_files,
+                         const FuzzOptions& options) {
+  std::vector<Task> tasks;
+  tasks.reserve(corpus_files.size());
+  for (const std::string& path : corpus_files) {
+    Task t;
+    t.is_replay = true;
+    t.path = path;
+    t.entry = load_corpus_file(path);  // parse errors propagate: a
+                                       // corrupt committed entry should
+                                       // fail loudly, not quietly
+    t.family = t.entry.instance.family;
+    t.seed = t.entry.instance.seed;
+    tasks.push_back(std::move(t));
+  }
+  FuzzOptions replay_options = options;
+  replay_options.shrink_failures = false;
+  replay_options.time_budget_seconds = 0.0;
+  replay_options.corpus_dir.clear();
+  return run_tasks(tasks, replay_options);
+}
+
+std::string to_json(const FuzzReport& report, bool include_timing) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"instances_run\": " << report.instances_run << ",\n";
+  out << "  \"instances_skipped\": " << report.instances_skipped << ",\n";
+  out << "  \"time_budget_exhausted\": "
+      << (report.time_budget_exhausted ? "true" : "false") << ",\n";
+  if (include_timing) {
+    out << "  \"elapsed_seconds\": " << fmt_double(report.elapsed_seconds)
+        << ",\n";
+  }
+  out << "  \"expected_failures\": " << report.expected_failures << ",\n";
+  out << "  \"unexpected_passes\": " << report.unexpected_passes << ",\n";
+  out << "  \"failures\": [";
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const FuzzFailure& f = report.failures[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"family\": \"" << to_string(f.family) << "\", \"seed\": "
+        << f.seed << ", \"oracle\": \"" << json_escape(f.oracle)
+        << "\", \"magnitude\": " << fmt_double(f.magnitude)
+        << ", \"corpus_file\": \"" << json_escape(f.corpus_file)
+        << "\", \"detail\": \"" << json_escape(f.detail) << "\"}";
+  }
+  out << (report.failures.empty() ? "],\n" : "\n  ],\n");
+  const auto accuracy = [&](const char* name, const ErrorQuantiles& q,
+                            bool last) {
+    out << "    \"" << name << "\": {\"samples\": " << q.samples
+        << ", \"p50\": " << fmt_double(q.p50)
+        << ", \"p90\": " << fmt_double(q.p90)
+        << ", \"p99\": " << fmt_double(q.p99)
+        << ", \"max\": " << fmt_double(q.max) << "}" << (last ? "\n" : ",\n");
+  };
+  out << "  \"accuracy\": {\n";
+  accuracy("heuristic_mva", report.heuristic, false);
+  accuracy("schweitzer_bard", report.schweitzer, false);
+  accuracy("linearizer", report.linearizer, true);
+  out << "  },\n";
+  out << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace windim::verify

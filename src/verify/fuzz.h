@@ -1,0 +1,96 @@
+// Randomized cross-solver fuzz campaigns and corpus replay.
+//
+// A campaign is a deterministic task list — (family, seed) pairs in a
+// fixed order — distributed over a util::ThreadPool.  Results are
+// merged in task order, so the report (failures, accuracy quantiles)
+// is identical for any --jobs value; only wall-clock timing differs.
+// Failures are minimized by verify/shrink and serialized into the
+// corpus directory as replayable entries (verify/corpus.h).
+//
+// Replay runs every committed corpus entry through the oracles again:
+// an entry's `expect` annotation (the xfail) must still fail exactly
+// that oracle — anything else fails the replay (a new failure) or is
+// flagged as an unexpected pass (the bug got fixed; drop the entry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/corpus.h"
+#include "verify/gen.h"
+#include "verify/oracle.h"
+
+namespace windim::verify {
+
+struct FuzzOptions {
+  /// Families to draw from; empty = all families.
+  std::vector<Family> families;
+  /// Instances per family.
+  int seeds = 100;
+  std::uint64_t base_seed = 1;
+  /// Stop handing out new instances after this many seconds (0 = run
+  /// everything).  Unstarted instances are counted as skipped.
+  double time_budget_seconds = 0.0;
+  /// Worker threads: 1 = serial, 0 or negative = hardware concurrency.
+  int jobs = 1;
+  bool shrink_failures = true;
+  /// When non-empty, shrunk repros are written here as
+  /// <family>-<seed>-<oracle>.corpus.
+  std::string corpus_dir;
+  OracleOptions oracle;
+  GenOptions gen;
+};
+
+struct FuzzFailure {
+  Family family = Family::kFcfsClosed;
+  std::uint64_t seed = 0;
+  std::string oracle;
+  std::string detail;
+  double magnitude = 0.0;
+  /// Minimized repro (the unshrunk instance when shrinking is off).
+  CorpusEntry repro;
+  std::string corpus_file;   // written path; empty when not persisted
+  bool expected = false;     // replay only: matched the entry's xfail
+};
+
+/// Distribution summary of an approximation's observed error sample.
+struct ErrorQuantiles {
+  int samples = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct FuzzReport {
+  int instances_run = 0;
+  int instances_skipped = 0;  // time budget exhausted before they ran
+  std::vector<FuzzFailure> failures;  // unexpected ones only
+  int expected_failures = 0;   // replay: xfails that failed as annotated
+  int unexpected_passes = 0;   // replay: xfails that no longer fail
+  ErrorQuantiles heuristic;
+  ErrorQuantiles schweitzer;
+  ErrorQuantiles linearizer;
+  double elapsed_seconds = 0.0;
+  bool time_budget_exhausted = false;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Runs a fuzz campaign.  Deterministic up to timing fields (and up to
+/// which instances a nonzero time budget reaches).
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Replays corpus entries (paths from list_corpus_files).  Shrinking
+/// and the time budget are ignored; determinism across jobs is exact.
+[[nodiscard]] FuzzReport replay_corpus(
+    const std::vector<std::string>& corpus_files, const FuzzOptions& options);
+
+/// JSON summary of a report.  `include_timing` = false drops the
+/// wall-clock field, giving byte-identical output for equal campaigns
+/// regardless of --jobs (used by the determinism tests).
+[[nodiscard]] std::string to_json(const FuzzReport& report,
+                                  bool include_timing = true);
+
+}  // namespace windim::verify

@@ -1,0 +1,311 @@
+#include "verify/gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "net/generators.h"
+#include "windim/problem.h"
+
+namespace windim::verify {
+namespace {
+
+qn::Station make_station(const std::string& name, qn::Discipline d) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = d;
+  return s;
+}
+
+/// Random nonempty subset of [0, count); falls back to one random
+/// element when the coin flips all come up empty.
+std::vector<int> random_subset(int count, double keep_probability,
+                               util::Rng& rng) {
+  std::vector<int> subset;
+  for (int n = 0; n < count; ++n) {
+    if (rng.uniform01() < keep_probability) subset.push_back(n);
+  }
+  if (subset.empty()) subset.push_back(rng.uniform_int(0, count - 1));
+  return subset;
+}
+
+/// All-closed FCFS fixed-rate family: 1-4 chains over 3-6 stations,
+/// per-station service times (BCMP class independence at FCFS), random
+/// visit ratios, populations 1..max.  The classical product-form core:
+/// every closed solver applies.
+qn::NetworkModel gen_fcfs_closed(util::Rng& rng, const GenOptions& opt) {
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(3, std::max(3, opt.max_stations));
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  for (int n = 0; n < stations; ++n) {
+    m.add_station(make_station("q" + std::to_string(n),
+                               qn::Discipline::kFcfs));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.01, 0.3);
+  }
+  const int chains = rng.uniform_int(1, std::max(1, opt.max_chains));
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, opt.max_population);
+    for (int n : random_subset(stations, 0.6, rng)) {
+      const double ratio = rng.uniform01() < 0.3 ? rng.uniform(0.5, 2.0) : 1.0;
+      c.visits.push_back({n, ratio, station_time[static_cast<std::size_t>(n)]});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+/// Mixed-discipline family: FCFS (shared service times), PS, LCFS-PR
+/// and IS stations; the non-FCFS disciplines get per-chain service
+/// times, which BCMP permits.
+qn::NetworkModel gen_disciplines(util::Rng& rng, const GenOptions& opt) {
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(3, std::max(3, opt.max_stations));
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  std::vector<qn::Discipline> discipline(static_cast<std::size_t>(stations));
+  static constexpr qn::Discipline kAll[] = {
+      qn::Discipline::kFcfs, qn::Discipline::kProcessorSharing,
+      qn::Discipline::kLcfsPreemptiveResume, qn::Discipline::kInfiniteServer};
+  for (int n = 0; n < stations; ++n) {
+    const qn::Discipline d = kAll[rng.uniform_int(0, 3)];
+    discipline[static_cast<std::size_t>(n)] = d;
+    m.add_station(make_station("q" + std::to_string(n), d));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.01, 0.3);
+  }
+  const int chains = rng.uniform_int(1, std::max(1, opt.max_chains));
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, opt.max_population);
+    for (int n : random_subset(stations, 0.6, rng)) {
+      const std::size_t idx = static_cast<std::size_t>(n);
+      const bool class_dependent =
+          discipline[idx] != qn::Discipline::kFcfs;
+      const double time = class_dependent
+                              ? station_time[idx] * rng.uniform(0.5, 2.0)
+                              : station_time[idx];
+      c.visits.push_back({n, 1.0, time});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+/// Queue-dependent family: FCFS/PS stations where roughly half carry
+/// limited queue-dependent rate multipliers (multi-server style, plus
+/// occasional arbitrary positive capacity functions).  Only the
+/// lattice solvers (convolution, brute force, Buzen) apply.
+qn::NetworkModel gen_queue_dependent(util::Rng& rng, const GenOptions& opt) {
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(3, std::max(3, opt.max_stations));
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  for (int n = 0; n < stations; ++n) {
+    qn::Station s = make_station("q" + std::to_string(n),
+                                 qn::Discipline::kFcfs);
+    if (rng.uniform01() < 0.5) {
+      const int servers = rng.uniform_int(2, 3);
+      if (rng.uniform01() < 0.7) {
+        // m-server capacity function: 1, 2, ..., m.
+        for (int j = 1; j <= servers; ++j) s.rate_multipliers.push_back(j);
+      } else {
+        double level = rng.uniform(0.5, 1.5);
+        for (int j = 0; j < servers; ++j) {
+          s.rate_multipliers.push_back(level);
+          level += rng.uniform(0.0, 1.0);
+        }
+      }
+    }
+    m.add_station(std::move(s));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.01, 0.3);
+  }
+  const int chains = rng.uniform_int(1, std::max(1, opt.max_chains));
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, opt.max_population);
+    for (int n : random_subset(stations, 0.6, rng)) {
+      c.visits.push_back({n, 1.0, station_time[static_cast<std::size_t>(n)]});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+/// Semiclosed family: a closed FCFS/IS model plus per-chain Poisson
+/// arrival specs with population bounds [min, max]; populations in the
+/// model are set to the upper bounds (the pinned-bound oracle re-uses
+/// them).
+Instance gen_semiclosed(util::Rng& rng, const GenOptions& opt) {
+  Instance inst;
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(2, std::max(2, opt.max_stations - 2));
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  for (int n = 0; n < stations; ++n) {
+    const bool is = rng.uniform01() < 0.2;
+    m.add_station(make_station("q" + std::to_string(n),
+                               is ? qn::Discipline::kInfiniteServer
+                                  : qn::Discipline::kFcfs));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.01, 0.2);
+  }
+  const int chains = rng.uniform_int(1, std::min(3, opt.max_chains));
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    const int max_pop = rng.uniform_int(1, opt.max_population);
+    c.population = max_pop;
+    for (int n : random_subset(stations, 0.7, rng)) {
+      c.visits.push_back({n, 1.0, station_time[static_cast<std::size_t>(n)]});
+    }
+    m.add_chain(std::move(c));
+    exact::SemiclosedChainSpec spec;
+    spec.arrival_rate = rng.uniform(1.0, 30.0);
+    spec.max_population = max_pop;
+    spec.min_population = rng.uniform_int(0, max_pop);
+    inst.semiclosed.push_back(spec);
+  }
+  inst.model = std::move(m);
+  return inst;
+}
+
+/// Mixed open/closed family: fixed-rate FCFS/IS stations (the mixed
+/// solver's domain), 1-2 open chains kept well below saturation, 1-3
+/// closed chains.
+qn::NetworkModel gen_mixed(util::Rng& rng, const GenOptions& opt) {
+  qn::NetworkModel m;
+  const int stations = rng.uniform_int(2, std::max(2, opt.max_stations - 1));
+  std::vector<double> station_time(static_cast<std::size_t>(stations));
+  for (int n = 0; n < stations; ++n) {
+    const bool is = rng.uniform01() < 0.2;
+    m.add_station(make_station("q" + std::to_string(n),
+                               is ? qn::Discipline::kInfiniteServer
+                                  : qn::Discipline::kFcfs));
+    station_time[static_cast<std::size_t>(n)] = rng.uniform(0.01, 0.1);
+  }
+  const int open_chains = rng.uniform_int(1, 2);
+  const int closed_chains = rng.uniform_int(1, std::min(3, opt.max_chains));
+  for (int r = 0; r < open_chains + closed_chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    if (r < open_chains) {
+      c.type = qn::ChainType::kOpen;
+      // Worst-case open utilization per station: rate * time <= 0.35
+      // per open chain at max time 0.1s -> rate <= 3.5; two open chains
+      // stay below rho0 = 0.7, leaving the closed subnetwork solvable.
+      c.arrival_rate = rng.uniform(0.5, 3.5);
+    } else {
+      c.type = qn::ChainType::kClosed;
+      c.population = rng.uniform_int(1, opt.max_population);
+    }
+    for (int n : random_subset(stations, 0.7, rng)) {
+      c.visits.push_back({n, 1.0, station_time[static_cast<std::size_t>(n)]});
+    }
+    m.add_chain(std::move(c));
+  }
+  return m;
+}
+
+/// Cyclic family: small ordered-route networks; route order is what the
+/// CTMC and the discrete-event simulator consume.
+Instance gen_cyclic(util::Rng& rng, const GenOptions& opt) {
+  Instance inst;
+  const int stations = rng.uniform_int(2, std::min(4, opt.max_stations));
+  const int chains = rng.uniform_int(1, std::min(2, opt.max_chains));
+  const int max_pop = std::min(3, opt.max_population);
+  inst.cyclic = net::random_cyclic_network(stations, chains, max_pop, rng);
+  inst.model = inst.cyclic->to_model();
+  return inst;
+}
+
+/// WINDIM family: the thesis's workload — random topology and traffic
+/// classes, windows as closed-chain populations, source queues closing
+/// the cycles (core::WindowProblem does the construction).
+Instance gen_windim(util::Rng& rng, const GenOptions& opt) {
+  Instance inst;
+  const int nodes = rng.uniform_int(3, 5);
+  const int extra = rng.uniform_int(0, 2);
+  const net::Topology topology =
+      net::random_topology(nodes, extra, 20.0, 60.0, rng);
+  const int classes = rng.uniform_int(1, std::min(3, opt.max_chains));
+  const std::vector<net::TrafficClass> traffic =
+      net::random_traffic(topology, classes, 5.0, 20.0, rng);
+  const core::WindowProblem problem(topology, traffic);
+  std::vector<int> windows(static_cast<std::size_t>(classes));
+  for (int& e : windows) e = rng.uniform_int(1, std::min(3, opt.max_population));
+  inst.cyclic = problem.network(windows);
+  inst.model = inst.cyclic->to_model();
+  return inst;
+}
+
+}  // namespace
+
+const char* to_string(Family f) noexcept {
+  switch (f) {
+    case Family::kFcfsClosed: return "fcfs-closed";
+    case Family::kDisciplines: return "disciplines";
+    case Family::kQueueDependent: return "queue-dependent";
+    case Family::kSemiclosed: return "semiclosed";
+    case Family::kMixed: return "mixed";
+    case Family::kCyclic: return "cyclic";
+    case Family::kWindim: return "windim";
+  }
+  return "?";
+}
+
+std::optional<Family> family_from_string(const std::string& token) {
+  for (Family f : all_families()) {
+    if (token == to_string(f)) return f;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> kFamilies = {
+      Family::kFcfsClosed,   Family::kDisciplines, Family::kQueueDependent,
+      Family::kSemiclosed,   Family::kMixed,       Family::kCyclic,
+      Family::kWindim};
+  return kFamilies;
+}
+
+Instance generate(Family family, std::uint64_t seed,
+                  const GenOptions& options) {
+  // Decorrelate the per-family streams: seed k of family A shares no
+  // prefix with seed k of family B.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(family) * 0x2545f4914f6cdd1dULL + 1);
+  Instance inst;
+  switch (family) {
+    case Family::kFcfsClosed:
+      inst.model = gen_fcfs_closed(rng, options);
+      break;
+    case Family::kDisciplines:
+      inst.model = gen_disciplines(rng, options);
+      break;
+    case Family::kQueueDependent:
+      inst.model = gen_queue_dependent(rng, options);
+      break;
+    case Family::kSemiclosed:
+      inst = gen_semiclosed(rng, options);
+      break;
+    case Family::kMixed:
+      inst.model = gen_mixed(rng, options);
+      break;
+    case Family::kCyclic:
+      inst = gen_cyclic(rng, options);
+      break;
+    case Family::kWindim:
+      inst = gen_windim(rng, options);
+      break;
+  }
+  inst.family = family;
+  inst.seed = seed;
+  inst.name = std::string(to_string(family)) + "-" + std::to_string(seed);
+  inst.model.validate();
+  return inst;
+}
+
+}  // namespace windim::verify

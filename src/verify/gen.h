@@ -1,0 +1,87 @@
+// Random model generator library for the differential oracle harness.
+//
+// Generalizes the ad-hoc generator of tests/property_test.cc into
+// parameterized *families* of randomized instances, all derived
+// deterministically from a single util::Rng seed: the same (family,
+// seed) pair produces bit-identical instances on every host, so a
+// failure is fully described by its family and seed (plus, after
+// shrinking, by the serialized instance itself — see verify/corpus.h).
+//
+// Each family targets a different slice of the solver capability
+// matrix (see verify/oracle.h for which oracles apply to which slice):
+//
+//   fcfs-closed      all-closed FCFS fixed-rate chains (the classical
+//                    product-form core; every closed solver applies)
+//   disciplines      mixed FCFS/PS/LCFS-PR/IS stations with per-chain
+//                    service times where BCMP permits them
+//   queue-dependent  stations with limited queue-dependent rates
+//                    (multi-server style capacity functions)
+//   semiclosed       closed models plus per-chain Poisson arrival
+//                    specs with population bounds (thesis 3.3.3)
+//   mixed            open + closed chains together (thesis 3.3.3)
+//   cyclic           small ordered-route cyclic networks, enabling the
+//                    CTMC and discrete-event-simulation oracles
+//   windim           window flow-control problems: random topology +
+//                    traffic through core::WindowProblem, windows as
+//                    chain populations (the thesis's actual workload)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exact/semiclosed.h"
+#include "qn/cyclic.h"
+#include "qn/network.h"
+#include "util/rng.h"
+
+namespace windim::verify {
+
+enum class Family {
+  kFcfsClosed,
+  kDisciplines,
+  kQueueDependent,
+  kSemiclosed,
+  kMixed,
+  kCyclic,
+  kWindim,
+};
+
+[[nodiscard]] const char* to_string(Family f) noexcept;
+/// Parses a family token ("fcfs-closed", "disciplines", ...).
+[[nodiscard]] std::optional<Family> family_from_string(
+    const std::string& token);
+/// Every family, in a fixed canonical order ("--family=all").
+[[nodiscard]] const std::vector<Family>& all_families();
+
+/// One generated (or shrunk, or corpus-loaded) test instance.
+///
+/// `model` is always present.  `cyclic` is set for families with
+/// meaningful route order (cyclic, windim); when set, `model` equals
+/// `cyclic->to_model()` with the cyclic populations.  `semiclosed`
+/// holds per-chain arrival/bound specs for the semiclosed family
+/// (one entry per chain, in chain order).
+struct Instance {
+  Family family = Family::kFcfsClosed;
+  std::uint64_t seed = 0;
+  std::string name;
+  qn::NetworkModel model;
+  std::optional<qn::CyclicNetwork> cyclic;
+  std::vector<exact::SemiclosedChainSpec> semiclosed;
+};
+
+/// Generation bounds.  The defaults keep every applicable oracle
+/// (including brute-force product form and the CTMC) tractable.
+struct GenOptions {
+  int max_stations = 6;
+  int max_chains = 4;
+  int max_population = 4;
+};
+
+/// Deterministically generates instance `seed` of `family`.  The
+/// result always passes qn::NetworkModel::validate().
+[[nodiscard]] Instance generate(Family family, std::uint64_t seed,
+                                const GenOptions& options = {});
+
+}  // namespace windim::verify

@@ -1,0 +1,641 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "exact/buzen.h"
+#include "exact/convolution.h"
+#include "exact/mixed.h"
+#include "exact/product_form.h"
+#include "exact/recal.h"
+#include "exact/semiclosed.h"
+#include "exact/tree_convolution.h"
+#include "markov/closed_ctmc.h"
+#include "mva/approx.h"
+#include "mva/exact_multichain.h"
+#include "mva/linearizer.h"
+#include "sim/replicate.h"
+
+namespace windim::verify {
+namespace {
+
+/// One oracle's comparison context: collects mismatches under a single
+/// registry name with an |a-b| <= abs + rel * max(|a|,|b|) tolerance.
+class Comparison {
+ public:
+  Comparison(OracleReport& report, std::string oracle, double rel, double abs)
+      : report_(report), oracle_(std::move(oracle)), rel_(rel), abs_(abs) {
+    report_.ran.push_back(oracle_);
+  }
+
+  void expect_near(double a, double b, const std::string& what) {
+    const double gap = std::abs(a - b);
+    const double scale = std::max(std::abs(a), std::abs(b));
+    if (gap <= abs_ + rel_ * scale) return;
+    fail(what + ": " + std::to_string(a) + " vs " + std::to_string(b),
+         scale > 0.0 ? gap / scale : gap);
+  }
+
+  void expect_true(bool condition, const std::string& what,
+                   double magnitude = 0.0) {
+    if (!condition) fail(what, magnitude);
+  }
+
+  void fail(const std::string& detail, double magnitude) {
+    // One failure per oracle per instance keeps reports readable; the
+    // first mismatch is almost always the informative one.
+    if (failed_) return;
+    failed_ = true;
+    report_.failures.push_back({oracle_, detail, magnitude});
+  }
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ private:
+  OracleReport& report_;
+  std::string oracle_;
+  double rel_;
+  double abs_;
+  bool failed_ = false;
+};
+
+std::size_t closed_lattice_size(const qn::NetworkModel& m) {
+  std::size_t size = 1;
+  for (const qn::Chain& c : m.chains()) {
+    if (c.type != qn::ChainType::kClosed) continue;
+    size *= static_cast<std::size_t>(c.population) + 1;
+    if (size > (std::size_t{1} << 40)) return size;  // saturate
+  }
+  return size;
+}
+
+bool fixed_rate_or_delay_only(const qn::NetworkModel& m) {
+  for (const qn::Station& s : m.stations()) {
+    if (!s.is_fixed_rate() && !s.is_delay()) return false;
+  }
+  return true;
+}
+
+bool has_visited_fixed_rate_station(const qn::NetworkModel& m) {
+  for (int n = 0; n < m.num_stations(); ++n) {
+    if (!m.station(n).is_fixed_rate()) continue;
+    for (int r = 0; r < m.num_chains(); ++r) {
+      if (m.visits(r, n)) return true;
+    }
+  }
+  return false;
+}
+
+std::string cell(int station, int chain) {
+  return "station " + std::to_string(station) + " chain " +
+         std::to_string(chain);
+}
+
+/// Model-level invariants on the convolution reference solution.
+void check_invariants(const qn::NetworkModel& m,
+                      const exact::ConvolutionResult& conv,
+                      OracleReport& report, const OracleOptions& opt) {
+  Comparison check(report, "model-invariants", opt.exact_rel, opt.exact_abs);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    const double lambda = conv.chain_throughput[static_cast<std::size_t>(r)];
+    check.expect_true(lambda >= 0.0 && std::isfinite(lambda),
+                      "chain " + std::to_string(r) + " throughput " +
+                          std::to_string(lambda) + " not finite nonnegative");
+    double total = 0.0;
+    for (int n = 0; n < m.num_stations(); ++n) {
+      const double q = conv.queue_length(n, r);
+      check.expect_true(q >= -1e-9 && std::isfinite(q),
+                        cell(n, r) + " queue length " + std::to_string(q) +
+                            " negative");
+      total += q;
+    }
+    // Population conservation: queue lengths come from independent
+    // lattice passes, so this is a genuine cross-check.
+    check.expect_near(total, m.chain(r).population,
+                      "chain " + std::to_string(r) + " population");
+  }
+  for (int n = 0; n < m.num_stations(); ++n) {
+    const double u = conv.station_utilization[static_cast<std::size_t>(n)];
+    if (m.station(n).is_delay()) continue;
+    check.expect_true(u >= -1e-9 && u <= 1.0 + 1e-9,
+                      "station " + std::to_string(n) + " utilization " +
+                          std::to_string(u) + " outside [0, 1]",
+                      std::abs(u - 0.5) - 0.5);
+    if (m.station(n).is_fixed_rate()) {
+      // A queue holds at least its utilization worth of customers.
+      double total = 0.0;
+      for (int r = 0; r < m.num_chains(); ++r) total += conv.queue_length(n, r);
+      check.expect_true(total >= u - 1e-7,
+                        "station " + std::to_string(n) + " mean queue " +
+                            std::to_string(total) + " below utilization " +
+                            std::to_string(u),
+                        u - total);
+    }
+  }
+}
+
+void compare_product_form(const Instance& inst,
+                          const exact::ConvolutionResult& conv,
+                          OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  exact::ProductFormResult brute;
+  try {
+    brute = exact::solve_product_form(m, opt.max_product_form_states);
+  } catch (const std::runtime_error&) {
+    report.skipped.push_back("convolution-vs-product-form");
+    return;
+  }
+  Comparison check(report, "convolution-vs-product-form", opt.exact_rel,
+                   opt.exact_abs);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+                      brute.chain_throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+    for (int n = 0; n < m.num_stations(); ++n) {
+      check.expect_near(conv.queue_length(n, r), brute.queue_length(n, r),
+                        cell(n, r) + " queue length");
+    }
+  }
+}
+
+void compare_exact_mva(const Instance& inst,
+                       const exact::ConvolutionResult& conv,
+                       OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  Comparison check(report, "convolution-vs-exact-mva", opt.exact_rel,
+                   opt.exact_abs);
+  mva::MvaSolution sol;
+  try {
+    sol = mva::solve_exact_multichain(m);
+  } catch (const std::exception& e) {
+    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    return;
+  }
+  for (int r = 0; r < m.num_chains(); ++r) {
+    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+                      sol.chain_throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+    for (int n = 0; n < m.num_stations(); ++n) {
+      check.expect_near(conv.queue_length(n, r), sol.queue_length(n, r),
+                        cell(n, r) + " queue length");
+    }
+  }
+}
+
+void compare_recal(const Instance& inst, const exact::ConvolutionResult& conv,
+                   OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  exact::RecalResult recal;
+  try {
+    recal = exact::solve_recal(m);
+  } catch (const std::runtime_error&) {
+    report.skipped.push_back("convolution-vs-recal");
+    return;
+  }
+  Comparison check(report, "convolution-vs-recal", opt.exact_rel,
+                   opt.exact_abs);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+                      recal.chain_throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+    for (int n = 0; n < m.num_stations(); ++n) {
+      check.expect_near(conv.queue_length(n, r), recal.queue_length(n, r),
+                        cell(n, r) + " queue length");
+    }
+  }
+}
+
+void compare_tree(const Instance& inst, const exact::ConvolutionResult& conv,
+                  OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  exact::TreeConvolutionResult tree;
+  try {
+    tree = exact::solve_tree_convolution(m);
+  } catch (const std::runtime_error&) {
+    report.skipped.push_back("convolution-vs-tree");
+    return;
+  }
+  Comparison check(report, "convolution-vs-tree", opt.exact_rel,
+                   opt.exact_abs);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+                      tree.chain_throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+  }
+}
+
+void compare_buzen(const Instance& inst, const exact::ConvolutionResult& conv,
+                   OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  Comparison check(report, "convolution-vs-buzen", opt.exact_rel,
+                   opt.exact_abs);
+  exact::BuzenResult buzen;
+  try {
+    buzen = exact::solve_buzen(m);
+  } catch (const std::exception& e) {
+    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    return;
+  }
+  check.expect_near(conv.chain_throughput[0], buzen.throughput,
+                    "chain 0 throughput");
+  for (int n = 0; n < m.num_stations(); ++n) {
+    check.expect_near(conv.queue_length(n, 0),
+                      buzen.mean_number[static_cast<std::size_t>(n)],
+                      "station " + std::to_string(n) + " mean number");
+    check.expect_near(conv.station_utilization[static_cast<std::size_t>(n)],
+                      buzen.utilization[static_cast<std::size_t>(n)],
+                      "station " + std::to_string(n) + " utilization");
+  }
+}
+
+/// Shared core of the three approximate-MVA envelope oracles: returns
+/// the max relative chain-throughput error vs the exact reference, or
+/// records a divergence failure and returns a negative value.
+double approximation_error(const qn::NetworkModel& m,
+                           const exact::ConvolutionResult& conv,
+                           const mva::MvaSolution& sol, bool converged,
+                           Comparison& check) {
+  if (!converged) {
+    check.fail("iteration did not converge", 0.0);
+    return -1.0;
+  }
+  double worst = 0.0;
+  for (int r = 0; r < m.num_chains(); ++r) {
+    const double exact = conv.chain_throughput[static_cast<std::size_t>(r)];
+    const double approx = sol.chain_throughput[static_cast<std::size_t>(r)];
+    if (exact <= 0.0) continue;
+    worst = std::max(worst, std::abs(approx - exact) / exact);
+  }
+  return worst;
+}
+
+mva::MvaSolution solve_heuristic_with_retry(const qn::NetworkModel& m,
+                                            mva::SigmaPolicy policy) {
+  mva::ApproxMvaOptions options;
+  options.sigma = policy;
+  mva::MvaSolution sol = mva::solve_approx_mva(m, options);
+  // Plain fixed-point iteration (the thesis's choice) can oscillate on
+  // adversarial random instances; damping converges to the same fixed
+  // point when it exists.
+  if (!sol.converged) {
+    options.damping = 0.5;
+    sol = mva::solve_approx_mva(m, options);
+  }
+  return sol;
+}
+
+void check_approximations(const Instance& inst,
+                          const exact::ConvolutionResult& conv,
+                          OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  {
+    Comparison check(report, "heuristic-envelope", 0.0, 0.0);
+    const mva::MvaSolution sol =
+        solve_heuristic_with_retry(m, mva::SigmaPolicy::kChanSingleChain);
+    const double err = approximation_error(m, conv, sol, sol.converged, check);
+    if (err >= 0.0) {
+      report.heuristic_error = err;
+      check.expect_true(err <= opt.heuristic_envelope,
+                        "max relative throughput error " +
+                            std::to_string(err) + " above envelope " +
+                            std::to_string(opt.heuristic_envelope),
+                        err);
+    }
+  }
+  {
+    Comparison check(report, "schweitzer-envelope", 0.0, 0.0);
+    const mva::MvaSolution sol =
+        solve_heuristic_with_retry(m, mva::SigmaPolicy::kSchweitzerBard);
+    const double err = approximation_error(m, conv, sol, sol.converged, check);
+    if (err >= 0.0) {
+      report.schweitzer_error = err;
+      check.expect_true(err <= opt.schweitzer_envelope,
+                        "max relative throughput error " +
+                            std::to_string(err) + " above envelope " +
+                            std::to_string(opt.schweitzer_envelope),
+                        err);
+    }
+  }
+  {
+    Comparison check(report, "linearizer-envelope", 0.0, 0.0);
+    const mva::MvaSolution sol = mva::solve_linearizer(m);
+    const double err = approximation_error(m, conv, sol, sol.converged, check);
+    if (err >= 0.0) {
+      report.linearizer_error = err;
+      check.expect_true(err <= opt.linearizer_envelope,
+                        "max relative throughput error " +
+                            std::to_string(err) + " above envelope " +
+                            std::to_string(opt.linearizer_envelope),
+                        err);
+    }
+  }
+}
+
+/// Own-chain throughput must not decrease when the chain gains a
+/// customer (product form, fixed-rate/IS stations).
+void check_monotonicity(const Instance& inst,
+                        const exact::ConvolutionResult& conv,
+                        OracleReport& report, const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  Comparison check(report, "throughput-monotonicity", 0.0, 0.0);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    qn::NetworkModel grown;
+    for (const qn::Station& s : m.stations()) grown.add_station(s);
+    for (int j = 0; j < m.num_chains(); ++j) {
+      qn::Chain c = m.chain(j);
+      if (j == r) ++c.population;
+      grown.add_chain(std::move(c));
+    }
+    if (closed_lattice_size(grown) > opt.max_lattice) continue;
+    const exact::ConvolutionResult bigger = exact::solve_convolution(grown);
+    const double before = conv.chain_throughput[static_cast<std::size_t>(r)];
+    const double after = bigger.chain_throughput[static_cast<std::size_t>(r)];
+    check.expect_true(
+        after >= before - (1e-9 + 1e-9 * before),
+        "chain " + std::to_string(r) + " throughput fell from " +
+            std::to_string(before) + " to " + std::to_string(after) +
+            " when its population grew",
+        before > 0.0 ? (before - after) / before : before - after);
+    if (check.failed()) return;
+  }
+}
+
+void check_semiclosed(const Instance& inst, OracleReport& report,
+                      const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  {
+    Comparison check(report, "semiclosed-invariants", opt.exact_rel,
+                     opt.exact_abs);
+    exact::SemiclosedResult semi;
+    try {
+      semi = exact::solve_semiclosed(m, inst.semiclosed);
+    } catch (const std::exception& e) {
+      check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+      return;
+    }
+    for (int r = 0; r < m.num_chains(); ++r) {
+      const std::size_t ri = static_cast<std::size_t>(r);
+      const exact::SemiclosedChainSpec& spec = inst.semiclosed[ri];
+      const double block = semi.blocking_probability[ri];
+      const double carried = semi.carried_throughput[ri];
+      check.expect_true(block >= -1e-12 && block <= 1.0 + 1e-12,
+                        "chain " + std::to_string(r) +
+                            " blocking probability " + std::to_string(block) +
+                            " outside [0, 1]");
+      check.expect_true(
+          carried <= spec.arrival_rate * (1.0 + 1e-9),
+          "chain " + std::to_string(r) + " carried throughput " +
+              std::to_string(carried) + " above offered rate " +
+              std::to_string(spec.arrival_rate),
+          carried - spec.arrival_rate);
+      check.expect_true(
+          semi.mean_population[ri] >=
+                  static_cast<double>(spec.min_population) - 1e-9 &&
+              semi.mean_population[ri] <=
+                  static_cast<double>(spec.max_population) + 1e-9,
+          "chain " + std::to_string(r) + " mean population " +
+              std::to_string(semi.mean_population[ri]) +
+              " outside its bounds");
+      double marginal_mass = 0.0;
+      for (double p : semi.population_marginal[ri]) marginal_mass += p;
+      check.expect_near(marginal_mass, 1.0,
+                        "chain " + std::to_string(r) +
+                            " population marginal mass");
+      double queue_total = 0.0;
+      for (int n = 0; n < m.num_stations(); ++n) {
+        queue_total += semi.queue_length(n, r);
+      }
+      check.expect_near(queue_total, semi.mean_population[ri],
+                        "chain " + std::to_string(r) +
+                            " queue total vs mean population");
+    }
+  }
+  {
+    // Pinning the bounds to [E, E] must reproduce the closed network
+    // at population E, whatever the arrival rates.
+    Comparison check(report, "semiclosed-pinned-vs-convolution",
+                     opt.exact_rel, 1e-7);
+    std::vector<exact::SemiclosedChainSpec> pinned = inst.semiclosed;
+    for (std::size_t r = 0; r < pinned.size(); ++r) {
+      pinned[r].min_population = m.chain(static_cast<int>(r)).population;
+      pinned[r].max_population = m.chain(static_cast<int>(r)).population;
+    }
+    try {
+      const exact::SemiclosedResult semi = exact::solve_semiclosed(m, pinned);
+      const exact::ConvolutionResult conv = exact::solve_convolution(m);
+      for (int n = 0; n < m.num_stations(); ++n) {
+        for (int r = 0; r < m.num_chains(); ++r) {
+          check.expect_near(semi.queue_length(n, r), conv.queue_length(n, r),
+                            cell(n, r) + " queue length");
+        }
+      }
+    } catch (const std::exception& e) {
+      check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    }
+  }
+}
+
+void check_ctmc(const Instance& inst, const exact::ConvolutionResult& conv,
+                OracleReport& report, const OracleOptions& opt) {
+  markov::ClosedCtmcResult ctmc;
+  try {
+    ctmc = markov::solve_closed_ctmc(*inst.cyclic, opt.max_ctmc_states);
+  } catch (const std::runtime_error&) {
+    report.skipped.push_back("convolution-vs-ctmc");
+    return;
+  }
+  if (!ctmc.converged) {
+    report.skipped.push_back("convolution-vs-ctmc");
+    return;
+  }
+  const qn::NetworkModel& m = inst.model;
+  Comparison check(report, "convolution-vs-ctmc", opt.ctmc_rel, opt.ctmc_abs);
+  for (int r = 0; r < m.num_chains(); ++r) {
+    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+                      ctmc.throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+    for (int n = 0; n < m.num_stations(); ++n) {
+      check.expect_near(conv.queue_length(n, r), ctmc.queue_length(n, r),
+                        cell(n, r) + " queue length");
+    }
+  }
+}
+
+void check_simulation(const Instance& inst,
+                      const exact::ConvolutionResult& conv,
+                      OracleReport& report, const OracleOptions& opt) {
+  sim::ClosedSimOptions options;
+  options.sim_time = opt.sim_time;
+  options.warmup = opt.sim_warmup;
+  // Fixed, instance-derived seed: the oracle is deterministic.
+  options.seed = inst.seed * 2654435761ULL + 12345;
+  Comparison check(report, "simulation-ci", 0.0, 0.0);
+  sim::ReplicatedClosedResult rep;
+  try {
+    rep = sim::run_closed_replications(*inst.cyclic, options,
+                                       opt.sim_replications);
+  } catch (const std::exception& e) {
+    check.fail(std::string("simulator rejected instance: ") + e.what(), 0.0);
+    return;
+  }
+  const qn::NetworkModel& m = inst.model;
+  for (int r = 0; r < m.num_chains(); ++r) {
+    const double exact = conv.chain_throughput[static_cast<std::size_t>(r)];
+    const sim::MetricEstimate& est =
+        rep.chain_throughput[static_cast<std::size_t>(r)];
+    const double slack =
+        opt.sim_ci_factor * est.half_width + opt.sim_slack * exact;
+    check.expect_true(
+        std::abs(est.mean - exact) <= slack,
+        "chain " + std::to_string(r) + " simulated throughput " +
+            std::to_string(est.mean) + " +- " + std::to_string(est.half_width) +
+            " excludes exact " + std::to_string(exact),
+        exact > 0.0 ? std::abs(est.mean - exact) / exact : 0.0);
+  }
+}
+
+void check_mixed(const Instance& inst, OracleReport& report,
+                 const OracleOptions& opt) {
+  const qn::NetworkModel& m = inst.model;
+  exact::MixedSolution mixed;
+  {
+    Comparison check(report, "mixed-invariants", opt.exact_rel,
+                     opt.exact_abs);
+    try {
+      mixed = exact::solve_mixed(m);
+    } catch (const std::exception& e) {
+      check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+      return;
+    }
+    for (int n = 0; n < m.num_stations(); ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (!m.station(n).is_fixed_rate()) continue;
+      check.expect_true(mixed.open_utilization[ni] >= -1e-12 &&
+                            mixed.open_utilization[ni] < 1.0,
+                        "station " + std::to_string(n) +
+                            " open utilization " +
+                            std::to_string(mixed.open_utilization[ni]) +
+                            " outside [0, 1)");
+    }
+    for (int r = 0; r < m.num_chains(); ++r) {
+      if (m.chain(r).type != qn::ChainType::kOpen) continue;
+      // An open chain's end-to-end delay is at least its uncongested
+      // service demand.
+      double demand = 0.0;
+      for (int n = 0; n < m.num_stations(); ++n) demand += m.demand(r, n);
+      check.expect_true(
+          mixed.open_chain_delay[static_cast<std::size_t>(r)] >=
+              demand * (1.0 - 1e-9),
+          "open chain " + std::to_string(r) + " delay " +
+              std::to_string(mixed.open_chain_delay[static_cast<std::size_t>(r)]) +
+              " below its service demand " + std::to_string(demand));
+    }
+  }
+  {
+    // Differential: folding the open chains away by hand (demand
+    // inflation 1/(1 - rho0) at fixed-rate stations) and running the
+    // plain closed convolution must agree with the mixed solver.
+    Comparison check(report, "mixed-vs-inflated-convolution", opt.exact_rel,
+                     opt.exact_abs);
+    std::vector<double> open_rho(static_cast<std::size_t>(m.num_stations()),
+                                 0.0);
+    for (int r = 0; r < m.num_chains(); ++r) {
+      if (m.chain(r).type != qn::ChainType::kOpen) continue;
+      for (int n = 0; n < m.num_stations(); ++n) {
+        if (!m.station(n).is_fixed_rate()) continue;
+        open_rho[static_cast<std::size_t>(n)] +=
+            m.chain(r).arrival_rate * m.demand(r, n);
+      }
+    }
+    qn::NetworkModel closed;
+    for (const qn::Station& s : m.stations()) closed.add_station(s);
+    std::vector<int> closed_index;
+    for (int r = 0; r < m.num_chains(); ++r) {
+      if (m.chain(r).type != qn::ChainType::kClosed) continue;
+      qn::Chain c = m.chain(r);
+      for (qn::Visit& v : c.visits) {
+        if (m.station(v.station).is_fixed_rate()) {
+          v.mean_service_time /=
+              1.0 - open_rho[static_cast<std::size_t>(v.station)];
+        }
+      }
+      closed_index.push_back(r);
+      closed.add_chain(std::move(c));
+    }
+    if (closed_index.empty()) return;
+    try {
+      const exact::ConvolutionResult conv = exact::solve_convolution(closed);
+      for (std::size_t k = 0; k < closed_index.size(); ++k) {
+        check.expect_near(conv.chain_throughput[k],
+                          mixed.closed.chain_throughput[k],
+                          "closed chain " + std::to_string(closed_index[k]) +
+                              " throughput");
+      }
+    } catch (const std::exception& e) {
+      check.fail(std::string("inflated convolution rejected instance: ") +
+                     e.what(),
+                 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+bool OracleReport::failed(const std::string& oracle) const {
+  return std::any_of(
+      failures.begin(), failures.end(),
+      [&](const Disagreement& d) { return d.oracle == oracle; });
+}
+
+OracleReport run_oracles(const Instance& inst, const OracleOptions& opt) {
+  OracleReport report;
+  const qn::NetworkModel& m = inst.model;
+
+  if (!m.all_closed()) {
+    check_mixed(inst, report, opt);
+    return report;
+  }
+
+  if (closed_lattice_size(m) > opt.max_lattice) {
+    report.skipped.push_back("all (population lattice too large)");
+    return report;
+  }
+
+  exact::ConvolutionResult conv;
+  try {
+    conv = exact::solve_convolution(m);
+  } catch (const std::exception& e) {
+    report.failures.push_back(
+        {"model-invariants",
+         std::string("convolution rejected instance: ") + e.what(), 0.0});
+    return report;
+  }
+  check_invariants(m, conv, report, opt);
+
+  compare_product_form(inst, conv, report, opt);
+
+  const bool plain = fixed_rate_or_delay_only(m);
+  if (plain) {
+    compare_exact_mva(inst, conv, report, opt);
+    if (has_visited_fixed_rate_station(m)) {
+      compare_recal(inst, conv, report, opt);
+      compare_tree(inst, conv, report, opt);
+    }
+    check_approximations(inst, conv, report, opt);
+    if (opt.with_monotonicity) check_monotonicity(inst, conv, report, opt);
+  }
+  if (m.num_chains() == 1) compare_buzen(inst, conv, report, opt);
+
+  if (!inst.semiclosed.empty()) check_semiclosed(inst, report, opt);
+
+  if (inst.cyclic) {
+    if (opt.with_ctmc) check_ctmc(inst, conv, report, opt);
+    if (opt.with_simulation) check_simulation(inst, conv, report, opt);
+  }
+
+  return report;
+}
+
+}  // namespace windim::verify

@@ -1,0 +1,106 @@
+// Differential oracle registry with a per-pair tolerance model.
+//
+// Runs a verify instance through every solver pair that applies to it
+// and collects disagreements.  The tolerance model encodes what each
+// pair is entitled to:
+//
+//   exact vs exact        machine tolerance (relative 1e-9): the
+//                         convolution algorithm, brute-force product
+//                         form, Buzen, RECAL, tree convolution and
+//                         exact MVA all compute the same product-form
+//                         quantities by different recursions;
+//   iterative vs exact    the CTMC oracle is a Gauss-Seidel fixed
+//                         point (1e-12 sweep tolerance), compared at a
+//                         looser 1e-6;
+//   heuristic vs exact    the thesis heuristic, Schweitzer-Bard and
+//                         Linearizer carry documented error envelopes
+//                         (DESIGN.md §6); the observed error is also
+//                         recorded so fuzz campaigns can report error
+//                         quantiles and catch accuracy drift;
+//   simulation vs exact   replicated discrete-event runs must cover
+//                         the exact value within a multiple of their
+//                         ~95% confidence half-width.
+//
+// Plus model-level invariant checks that need no second solver:
+// population conservation, utilization bounds, the utilization/
+// throughput identity, Little consistency, semiclosed blocking bounds
+// and own-chain throughput monotonicity in population.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "verify/gen.h"
+
+namespace windim::verify {
+
+struct OracleOptions {
+  /// Exact-vs-exact comparison: |a-b| <= abs + rel * max(|a|,|b|).
+  double exact_rel = 1e-9;
+  double exact_abs = 1e-9;
+  /// CTMC (iterative ground truth) vs convolution.
+  double ctmc_rel = 1e-6;
+  double ctmc_abs = 1e-7;
+  /// Approximation error envelopes: max relative chain-throughput
+  /// error vs exact MVA over the generator's population range (1-4,
+  /// the approximations' worst case — they are asymptotically exact).
+  /// Calibrated from a 3500-instance campaign (500 seeds x 7 families;
+  /// observed maxima 0.379 / 0.273 / 0.105) with ~20% headroom; the
+  /// full quantile table is in DESIGN.md §6.
+  double heuristic_envelope = 0.45;
+  double schweitzer_envelope = 0.35;
+  double linearizer_envelope = 0.15;
+
+  /// Guards: lattice/state-space ceilings above which an oracle is
+  /// skipped (recorded in OracleReport::skipped) instead of run.
+  std::size_t max_lattice = 2'000'000;
+  std::size_t max_product_form_states = 2'000'000;
+  std::size_t max_ctmc_states = 200'000;
+
+  /// Own-chain throughput monotonicity re-solves (adds one customer
+  /// per chain): R extra convolutions per instance.
+  bool with_monotonicity = true;
+  bool with_ctmc = true;
+
+  /// Simulation oracle: expensive, off by default (fuzz --sim).
+  bool with_simulation = false;
+  double sim_time = 400.0;
+  double sim_warmup = 50.0;
+  int sim_replications = 5;
+  /// Accept |sim - exact| <= sim_ci_factor * half_width + sim_slack *
+  /// |exact| (the slack absorbs residual warmup bias).
+  double sim_ci_factor = 4.0;
+  double sim_slack = 0.03;
+};
+
+struct Disagreement {
+  std::string oracle;  // registry name, e.g. "convolution-vs-exact-mva"
+  std::string detail;  // human-readable: what differed, where, by how much
+  double magnitude = 0.0;  // observed relative error
+};
+
+struct OracleReport {
+  std::vector<std::string> ran;      // oracle names that executed
+  std::vector<std::string> skipped;  // guarded out (state space too big...)
+  std::vector<Disagreement> failures;
+
+  /// Observed max relative chain-throughput errors of the
+  /// approximations (negative when the oracle did not run); feeds the
+  /// fuzz campaign's error-quantile report.
+  double heuristic_error = -1.0;
+  double schweitzer_error = -1.0;
+  double linearizer_error = -1.0;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] bool failed(const std::string& oracle) const;
+};
+
+/// Runs every applicable oracle on `instance`.  Throws only on
+/// internal errors (a solver rejecting an instance the generator
+/// promised it could handle is reported as a "<solver>-rejected"
+/// failure, not an exception).
+[[nodiscard]] OracleReport run_oracles(const Instance& instance,
+                                       const OracleOptions& options = {});
+
+}  // namespace windim::verify

@@ -1,0 +1,290 @@
+#include "verify/shrink.h"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace windim::verify {
+namespace {
+
+double round_to_one_digit(double v) {
+  if (v == 0.0 || !std::isfinite(v)) return v;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(std::fabs(v))));
+  return std::round(v / magnitude) * magnitude;
+}
+
+/// Rebuilds inst.model from its editable parts; returns nullopt when
+/// the mutation produced an invalid model (the caller just skips the
+/// candidate).
+std::optional<Instance> finish(Instance inst) {
+  try {
+    if (inst.cyclic) inst.model = inst.cyclic->to_model();
+    inst.model.validate();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return inst;
+}
+
+std::optional<Instance> rebuild_plain(const Instance& base,
+                                      std::vector<qn::Station> stations,
+                                      std::vector<qn::Chain> chains,
+                                      std::vector<exact::SemiclosedChainSpec>
+                                          semiclosed) {
+  Instance inst;
+  inst.family = base.family;
+  inst.seed = base.seed;
+  inst.name = base.name;
+  inst.semiclosed = std::move(semiclosed);
+  qn::NetworkModel m;
+  try {
+    for (qn::Station& s : stations) m.add_station(std::move(s));
+    for (qn::Chain& c : chains) m.add_chain(std::move(c));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  inst.model = std::move(m);
+  return finish(std::move(inst));
+}
+
+void append(std::vector<Instance>& out, std::optional<Instance> candidate) {
+  if (candidate) out.push_back(std::move(*candidate));
+}
+
+/// Candidates for an instance backed by an ordered cyclic network.
+void cyclic_candidates(const Instance& inst, std::vector<Instance>& out) {
+  const qn::CyclicNetwork& net = *inst.cyclic;
+  const int chains = static_cast<int>(net.chains.size());
+  const int stations = static_cast<int>(net.stations.size());
+
+  // Drop a chain.
+  if (chains > 1) {
+    for (int r = 0; r < chains; ++r) {
+      Instance candidate = inst;
+      candidate.cyclic->chains.erase(candidate.cyclic->chains.begin() + r);
+      append(out, finish(std::move(candidate)));
+    }
+  }
+  // Drop a station (reindexing routes); a chain whose route would
+  // become empty vetoes the candidate.
+  for (int i = 0; i < stations; ++i) {
+    Instance candidate = inst;
+    qn::CyclicNetwork& c = *candidate.cyclic;
+    c.stations.erase(c.stations.begin() + i);
+    bool viable = true;
+    for (qn::CyclicChain& chain : c.chains) {
+      std::vector<int> route;
+      std::vector<double> times;
+      for (std::size_t k = 0; k < chain.route.size(); ++k) {
+        if (chain.route[k] == i) continue;
+        route.push_back(chain.route[k] > i ? chain.route[k] - 1
+                                           : chain.route[k]);
+        times.push_back(chain.service_times[k]);
+      }
+      if (route.empty()) {
+        viable = false;
+        break;
+      }
+      chain.route = std::move(route);
+      chain.service_times = std::move(times);
+    }
+    if (viable) append(out, finish(std::move(candidate)));
+  }
+  // Shrink populations: all the way to 1 first, then halve.
+  for (int r = 0; r < chains; ++r) {
+    const int pop = net.chains[static_cast<std::size_t>(r)].population;
+    for (int target : {1, pop / 2, pop - 1}) {
+      if (target >= pop || target < 1) continue;
+      Instance candidate = inst;
+      candidate.cyclic->chains[static_cast<std::size_t>(r)].population =
+          target;
+      append(out, finish(std::move(candidate)));
+    }
+  }
+  // Round service times to one significant digit.
+  {
+    Instance candidate = inst;
+    bool changed = false;
+    for (qn::CyclicChain& chain : candidate.cyclic->chains) {
+      for (double& t : chain.service_times) {
+        const double rounded = round_to_one_digit(t);
+        changed = changed || rounded != t;
+        t = rounded;
+      }
+    }
+    if (changed) append(out, finish(std::move(candidate)));
+  }
+}
+
+/// Candidates for a plain (visit-ratio) instance.
+void plain_candidates(const Instance& inst, std::vector<Instance>& out) {
+  const std::vector<qn::Station>& stations = inst.model.stations();
+  const std::vector<qn::Chain>& chains = inst.model.chains();
+  const int num_chains = static_cast<int>(chains.size());
+  const int num_stations = static_cast<int>(stations.size());
+
+  // Drop a chain (and its semiclosed spec).
+  if (num_chains > 1) {
+    for (int r = 0; r < num_chains; ++r) {
+      std::vector<qn::Chain> reduced = chains;
+      reduced.erase(reduced.begin() + r);
+      std::vector<exact::SemiclosedChainSpec> specs = inst.semiclosed;
+      if (!specs.empty()) specs.erase(specs.begin() + r);
+      append(out, rebuild_plain(inst, stations, std::move(reduced),
+                                std::move(specs)));
+    }
+  }
+  // Drop a station; chains keep their remaining visits, a chain left
+  // with no visits vetoes the candidate.
+  for (int i = 0; i < num_stations; ++i) {
+    std::vector<qn::Station> fewer = stations;
+    fewer.erase(fewer.begin() + i);
+    std::vector<qn::Chain> rerouted = chains;
+    bool viable = true;
+    for (qn::Chain& c : rerouted) {
+      std::vector<qn::Visit> visits;
+      for (const qn::Visit& v : c.visits) {
+        if (v.station == i) continue;
+        qn::Visit moved = v;
+        if (moved.station > i) --moved.station;
+        visits.push_back(moved);
+      }
+      if (visits.empty()) {
+        viable = false;
+        break;
+      }
+      c.visits = std::move(visits);
+    }
+    if (viable) {
+      append(out, rebuild_plain(inst, std::move(fewer), std::move(rerouted),
+                                inst.semiclosed));
+    }
+  }
+  // Shrink populations.
+  for (int r = 0; r < num_chains; ++r) {
+    const qn::Chain& chain = chains[static_cast<std::size_t>(r)];
+    if (chain.type != qn::ChainType::kClosed) continue;
+    for (int target : {1, chain.population / 2, chain.population - 1}) {
+      if (target >= chain.population || target < 1) continue;
+      std::vector<qn::Chain> adjusted = chains;
+      adjusted[static_cast<std::size_t>(r)].population = target;
+      std::vector<exact::SemiclosedChainSpec> specs = inst.semiclosed;
+      if (!specs.empty()) {
+        // Keep the bounds meaningful for the shrunk population.
+        auto& spec = specs[static_cast<std::size_t>(r)];
+        spec.max_population = std::min(spec.max_population, target);
+        spec.min_population = std::min(spec.min_population,
+                                       spec.max_population);
+      }
+      append(out, rebuild_plain(inst, stations, std::move(adjusted),
+                                std::move(specs)));
+    }
+  }
+  // Simplify semiclosed specs: widen to [0, max] and round the rate.
+  for (std::size_t r = 0; r < inst.semiclosed.size(); ++r) {
+    const exact::SemiclosedChainSpec& spec = inst.semiclosed[r];
+    if (spec.min_population != 0) {
+      std::vector<exact::SemiclosedChainSpec> specs = inst.semiclosed;
+      specs[r].min_population = 0;
+      append(out, rebuild_plain(inst, stations, chains, std::move(specs)));
+    }
+    const double rounded = round_to_one_digit(spec.arrival_rate);
+    if (rounded != spec.arrival_rate && rounded > 0.0) {
+      std::vector<exact::SemiclosedChainSpec> specs = inst.semiclosed;
+      specs[r].arrival_rate = rounded;
+      append(out, rebuild_plain(inst, stations, chains, std::move(specs)));
+    }
+  }
+  // Round service times and normalize visit ratios, chain by chain.
+  for (int r = 0; r < num_chains; ++r) {
+    std::vector<qn::Chain> rounded = chains;
+    bool changed = false;
+    for (qn::Visit& v : rounded[static_cast<std::size_t>(r)].visits) {
+      const double t = round_to_one_digit(v.mean_service_time);
+      changed = changed || t != v.mean_service_time || v.visit_ratio != 1.0;
+      v.mean_service_time = t;
+      v.visit_ratio = 1.0;
+    }
+    if (changed) {
+      append(out, rebuild_plain(inst, stations, std::move(rounded),
+                                inst.semiclosed));
+    }
+  }
+  // Strip queue-dependent rates / demote exotic disciplines to FCFS
+  // (invalid conversions are weeded out by validate()).
+  for (int i = 0; i < num_stations; ++i) {
+    const qn::Station& s = stations[static_cast<std::size_t>(i)];
+    if (!s.rate_multipliers.empty()) {
+      std::vector<qn::Station> stripped = stations;
+      stripped[static_cast<std::size_t>(i)].rate_multipliers.clear();
+      append(out, rebuild_plain(inst, std::move(stripped), chains,
+                                inst.semiclosed));
+    }
+    if (s.discipline == qn::Discipline::kProcessorSharing ||
+        s.discipline == qn::Discipline::kLcfsPreemptiveResume) {
+      std::vector<qn::Station> demoted = stations;
+      demoted[static_cast<std::size_t>(i)].discipline =
+          qn::Discipline::kFcfs;
+      append(out, rebuild_plain(inst, std::move(demoted), chains,
+                                inst.semiclosed));
+    }
+  }
+}
+
+std::vector<Instance> candidates(const Instance& inst) {
+  std::vector<Instance> out;
+  if (inst.cyclic) {
+    cyclic_candidates(inst, out);
+  } else {
+    plain_candidates(inst, out);
+  }
+  return out;
+}
+
+bool safely_fails(const FailurePredicate& predicate, const Instance& inst) {
+  try {
+    return predicate(inst);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Instance& failing,
+                    const FailurePredicate& still_fails,
+                    const ShrinkOptions& options) {
+  if (!safely_fails(still_fails, failing)) {
+    throw std::invalid_argument("shrink: the input instance does not fail");
+  }
+  ShrinkResult result;
+  result.instance = failing;
+  bool progress = true;
+  while (progress && result.attempts < options.max_attempts) {
+    progress = false;
+    for (Instance& candidate : candidates(result.instance)) {
+      if (result.attempts >= options.max_attempts) break;
+      ++result.attempts;
+      if (safely_fails(still_fails, candidate)) {
+        result.instance = std::move(candidate);
+        ++result.accepted;
+        progress = true;
+        break;  // restart from the shrunk instance
+      }
+    }
+  }
+  return result;
+}
+
+FailurePredicate fails_oracle(std::string oracle_name,
+                              const OracleOptions& oracle_options) {
+  return [oracle_name = std::move(oracle_name),
+          oracle_options](const Instance& inst) {
+    const OracleReport report = run_oracles(inst, oracle_options);
+    if (oracle_name.empty()) return !report.ok();
+    return report.failed(oracle_name);
+  };
+}
+
+}  // namespace windim::verify

@@ -1,0 +1,53 @@
+// Automatic failing-instance minimization.
+//
+// Given a failing instance and a predicate "does this instance still
+// fail?", greedily applies structure-removing transformations — drop a
+// chain, drop a station, shrink a population, round service times and
+// visit ratios, strip queue-dependent rates, tighten semiclosed bounds
+// — keeping a transformation only when the failure survives, until a
+// fixpoint (no transformation applies) or the attempt budget runs out.
+// The result is the minimal repro that goes into tests/corpus/.
+//
+// The predicate abstraction decouples shrinking from the oracle
+// registry: the fuzz driver passes "the same oracle still fails"
+// (verify/fuzz.cc), tests can pass synthetic predicates.
+#pragma once
+
+#include <functional>
+
+#include "verify/gen.h"
+#include "verify/oracle.h"
+
+namespace windim::verify {
+
+/// Returns true when `candidate` still exhibits the failure being
+/// minimized.  Must be deterministic.  Exceptions escaping the
+/// predicate are treated as "does not fail" (the candidate is
+/// rejected), so a predicate may simply run a solver that throws on
+/// degenerate inputs.
+using FailurePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkOptions {
+  /// Ceiling on predicate evaluations (the expensive part).
+  int max_attempts = 2000;
+};
+
+struct ShrinkResult {
+  Instance instance;   // the minimized repro (== input when nothing helped)
+  int attempts = 0;    // predicate evaluations spent
+  int accepted = 0;    // transformations kept
+};
+
+/// Minimizes `failing` under `still_fails`.  `failing` itself must
+/// satisfy the predicate (std::invalid_argument otherwise — a shrink
+/// request for a passing instance is a caller bug).
+[[nodiscard]] ShrinkResult shrink(const Instance& failing,
+                                  const FailurePredicate& still_fails,
+                                  const ShrinkOptions& options = {});
+
+/// Convenience predicate: instance fails oracle `oracle_name` (any
+/// oracle when empty) under `oracle_options`.
+[[nodiscard]] FailurePredicate fails_oracle(
+    std::string oracle_name, const OracleOptions& oracle_options = {});
+
+}  // namespace windim::verify

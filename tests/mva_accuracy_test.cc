@@ -1,0 +1,148 @@
+// Accuracy regression tests for the approximate MVA solvers: both
+// sigma policies (the thesis heuristic and Schweitzer-Bard) and the
+// Linearizer must stay within the error envelopes recorded from fuzz
+// campaigns (DESIGN.md §6) against exact multichain MVA, over a fixed
+// deterministic seed set.  A regression in the fixed-point iteration
+// shows up here as an envelope breach, not as a silent accuracy drift.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mva/approx.h"
+#include "mva/exact_multichain.h"
+#include "mva/linearizer.h"
+#include "verify/gen.h"
+
+namespace windim {
+namespace {
+
+using verify::Family;
+using verify::Instance;
+
+constexpr int kSeeds = 30;
+
+/// Max relative chain-throughput error of `approx` vs `exact`.
+double max_rel_error(const mva::MvaSolution& approx,
+                     const mva::MvaSolution& exact) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < exact.chain_throughput.size(); ++r) {
+    const double x = exact.chain_throughput[r];
+    const double e = std::abs(approx.chain_throughput[r] - x) / x;
+    worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+struct EnvelopeStats {
+  double worst = 0.0;
+  double sum = 0.0;
+  int samples = 0;
+
+  void add(double e) {
+    worst = std::max(worst, e);
+    sum += e;
+    ++samples;
+  }
+  [[nodiscard]] double mean() const { return sum / samples; }
+};
+
+class MvaAccuracy : public ::testing::Test {
+ protected:
+  /// Accumulates the error of one sigma policy over the seed set.
+  EnvelopeStats policy_stats(mva::SigmaPolicy policy) {
+    EnvelopeStats stats;
+    for (Family family : {Family::kFcfsClosed, Family::kDisciplines}) {
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Instance inst = verify::generate(family, seed);
+        const mva::MvaSolution exact =
+            mva::solve_exact_multichain(inst.model);
+        mva::ApproxMvaOptions options;
+        options.sigma = policy;
+        mva::MvaSolution approx = mva::solve_approx_mva(inst.model, options);
+        if (!approx.converged) {
+          // The oracle registry retries with damping; mirror that.
+          options.damping = 0.5;
+          approx = mva::solve_approx_mva(inst.model, options);
+        }
+        EXPECT_TRUE(approx.converged) << inst.name;
+        stats.add(max_rel_error(approx, exact));
+      }
+    }
+    return stats;
+  }
+};
+
+TEST_F(MvaAccuracy, ChanHeuristicStaysWithinRecordedEnvelope) {
+  const EnvelopeStats stats =
+      policy_stats(mva::SigmaPolicy::kChanSingleChain);
+  // Campaign-recorded quantiles (500 seeds x 7 families, populations
+  // 1-4): p50 ~ 0.03, p99 ~ 0.12.  The hard ceiling is the oracle
+  // envelope; the mean guards against broad drift.
+  EXPECT_LT(stats.worst, 0.25);
+  EXPECT_LT(stats.mean(), 0.08);
+}
+
+TEST_F(MvaAccuracy, SchweitzerBardStaysWithinRecordedEnvelope) {
+  const EnvelopeStats stats =
+      policy_stats(mva::SigmaPolicy::kSchweitzerBard);
+  EXPECT_LT(stats.worst, 0.25);
+  EXPECT_LT(stats.mean(), 0.08);
+}
+
+TEST_F(MvaAccuracy, KnownHeuristicWorstCaseDelayDominatedChain) {
+  // Shrink-amplified worst case from the fuzz campaign (committed as
+  // tests/corpus/disciplines-187-heuristic-xfail.corpus): one chain of
+  // population 2 spending most of its cycle at IS stations.  The
+  // thesis sigma policy mis-estimates sigma at the single queueing
+  // station and lands ~49% high; Schweitzer-Bard and Linearizer stay
+  // tight.  If the heuristic is ever improved past the 0.40 bar below,
+  // retire this test together with the corpus xfail entry.
+  qn::NetworkModel m;
+  qn::Station is1, is2, q;
+  is1.name = "q1";
+  is1.discipline = qn::Discipline::kInfiniteServer;
+  is2.name = "q2";
+  is2.discipline = qn::Discipline::kInfiniteServer;
+  q.name = "q3";
+  q.discipline = qn::Discipline::kFcfs;
+  m.add_station(std::move(is1));
+  m.add_station(std::move(is2));
+  m.add_station(std::move(q));
+  qn::Chain c;
+  c.name = "c0";
+  c.type = qn::ChainType::kClosed;
+  c.population = 2;
+  c.visits.push_back({0, 1.0, 0.1});
+  c.visits.push_back({1, 1.0, 0.03});
+  c.visits.push_back({2, 1.0, 0.3});
+  m.add_chain(std::move(c));
+
+  const mva::MvaSolution exact = mva::solve_exact_multichain(m);
+  const mva::MvaSolution chan = mva::solve_approx_mva(m);
+  const double chan_err = max_rel_error(chan, exact);
+  EXPECT_GT(chan_err, 0.40) << "heuristic improved: retire the xfail";
+  EXPECT_LT(chan_err, 0.60);
+
+  mva::ApproxMvaOptions sb;
+  sb.sigma = mva::SigmaPolicy::kSchweitzerBard;
+  EXPECT_LT(max_rel_error(mva::solve_approx_mva(m, sb), exact), 0.10);
+  EXPECT_LT(max_rel_error(mva::solve_linearizer(m), exact), 0.01);
+}
+
+TEST_F(MvaAccuracy, LinearizerIsAnOrderTighterThanTheHeuristics) {
+  EnvelopeStats stats;
+  for (Family family : {Family::kFcfsClosed, Family::kDisciplines}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Instance inst = verify::generate(family, seed);
+      const mva::MvaSolution exact = mva::solve_exact_multichain(inst.model);
+      const mva::MvaSolution lin = mva::solve_linearizer(inst.model);
+      EXPECT_TRUE(lin.converged) << inst.name;
+      stats.add(max_rel_error(lin, exact));
+    }
+  }
+  EXPECT_LT(stats.worst, 0.08);
+  EXPECT_LT(stats.mean(), 0.02);
+}
+
+}  // namespace
+}  // namespace windim

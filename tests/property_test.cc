@@ -1,19 +1,25 @@
 // Property-based tests: invariants checked over families of randomized
-// queueing networks (parameterized by RNG seed).
+// queueing networks drawn from the verify/gen generator library (the
+// same families the `windim fuzz` differential harness uses), so every
+// property here is pinned to a deterministic (family, seed) pair.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "exact/convolution.h"
-#include "exact/semiclosed.h"
 #include "exact/product_form.h"
+#include "exact/semiclosed.h"
 #include "mva/approx.h"
 #include "mva/exact_multichain.h"
 #include "util/rng.h"
+#include "verify/gen.h"
 #include "windim/windim.h"
 
 namespace windim {
 namespace {
+
+using verify::Family;
+using verify::Instance;
 
 qn::Station fcfs(const std::string& name) {
   qn::Station s;
@@ -22,116 +28,129 @@ qn::Station fcfs(const std::string& name) {
   return s;
 }
 
-/// Random all-closed multichain model: 2-4 chains over 3-6 stations,
-/// random subsets, demands in [0.01, 0.3], populations 1-4.
-qn::NetworkModel random_closed_model(util::Rng& rng) {
-  qn::NetworkModel m;
-  const int num_stations = rng.uniform_int(3, 6);
-  for (int n = 0; n < num_stations; ++n) {
-    m.add_station(fcfs("q" + std::to_string(n)));
+/// True when every station is fixed-rate or infinite-server (the MVA
+/// solvers' domain; queue-dependent rates are convolution-only).
+bool fixed_rate_only(const qn::NetworkModel& m) {
+  for (const qn::Station& s : m.stations()) {
+    if (!s.rate_multipliers.empty()) return false;
   }
-  const int num_chains = rng.uniform_int(2, 4);
-  // Per-station service time (shared by all chains: FCFS product form).
-  std::vector<double> station_time(static_cast<std::size_t>(num_stations));
-  for (double& t : station_time) t = rng.uniform(0.01, 0.3);
-  for (int r = 0; r < num_chains; ++r) {
-    qn::Chain c;
-    c.name = "c" + std::to_string(r);
-    c.type = qn::ChainType::kClosed;
-    c.population = rng.uniform_int(1, 4);
-    // Visit a random nonempty subset of stations.
-    std::vector<int> stations;
-    for (int n = 0; n < num_stations; ++n) {
-      if (rng.uniform01() < 0.6) stations.push_back(n);
-    }
-    if (stations.empty()) stations.push_back(rng.uniform_int(0, num_stations - 1));
-    for (int n : stations) {
-      c.visits.push_back(
-          {n, 1.0, station_time[static_cast<std::size_t>(n)]});
-    }
-    m.add_chain(std::move(c));
-  }
-  return m;
+  return true;
 }
 
-class RandomNetworkProperty : public ::testing::TestWithParam<int> {};
+class GenFamilyProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(RandomNetworkProperty, ConvolutionMatchesBruteForce) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
-  const qn::NetworkModel m = random_closed_model(rng);
-  const exact::ConvolutionResult conv = exact::solve_convolution(m);
-  const exact::ProductFormResult brute = exact::solve_product_form(m);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    EXPECT_NEAR(conv.chain_throughput[static_cast<std::size_t>(r)],
-                brute.chain_throughput[static_cast<std::size_t>(r)],
-                1e-8 * (1.0 + brute.chain_throughput[static_cast<std::size_t>(r)]))
-        << "chain " << r;
-  }
-  for (int n = 0; n < m.num_stations(); ++n) {
-    for (int r = 0; r < m.num_chains(); ++r) {
-      EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-7);
+TEST_P(GenFamilyProperty, ConvolutionMatchesBruteForce) {
+  // Product-form counts are discipline-blind (BCMP): the brute-force
+  // state sum must agree with the convolution recursion on FCFS, mixed
+  // PS/LCFS-PR/IS and queue-dependent stations alike.
+  for (Family family : {Family::kFcfsClosed, Family::kDisciplines,
+                        Family::kQueueDependent}) {
+    const Instance inst =
+        verify::generate(family, static_cast<std::uint64_t>(GetParam()));
+    const exact::ConvolutionResult conv =
+        exact::solve_convolution(inst.model);
+    const exact::ProductFormResult brute =
+        exact::solve_product_form(inst.model);
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      EXPECT_NEAR(
+          conv.chain_throughput[static_cast<std::size_t>(r)],
+          brute.chain_throughput[static_cast<std::size_t>(r)],
+          1e-8 *
+              (1.0 + brute.chain_throughput[static_cast<std::size_t>(r)]))
+          << inst.name << " chain " << r;
+    }
+    for (int n = 0; n < inst.model.num_stations(); ++n) {
+      for (int r = 0; r < inst.model.num_chains(); ++r) {
+        EXPECT_NEAR(conv.queue_length(n, r), brute.queue_length(n, r), 1e-7)
+            << inst.name;
+      }
     }
   }
 }
 
-TEST_P(RandomNetworkProperty, ExactMvaMatchesConvolution) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
-  const qn::NetworkModel m = random_closed_model(rng);
-  const mva::MvaSolution mva = mva::solve_exact_multichain(m);
-  const exact::ConvolutionResult conv = exact::solve_convolution(m);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    EXPECT_NEAR(mva.chain_throughput[static_cast<std::size_t>(r)],
-                conv.chain_throughput[static_cast<std::size_t>(r)],
-                1e-7 * (1.0 + conv.chain_throughput[static_cast<std::size_t>(r)]));
-  }
-}
-
-TEST_P(RandomNetworkProperty, PopulationConservationEverywhere) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
-  const qn::NetworkModel m = random_closed_model(rng);
-  const exact::ConvolutionResult conv = exact::solve_convolution(m);
-  const mva::MvaSolution approx = mva::solve_approx_mva(m);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    double conv_total = 0.0, approx_total = 0.0;
-    for (int n = 0; n < m.num_stations(); ++n) {
-      conv_total += conv.queue_length(n, r);
-      approx_total += approx.queue_length(n, r);
+TEST_P(GenFamilyProperty, ExactMvaMatchesConvolution) {
+  for (Family family : {Family::kFcfsClosed, Family::kDisciplines}) {
+    const Instance inst = verify::generate(
+        family, static_cast<std::uint64_t>(GetParam()) + 1000);
+    ASSERT_TRUE(fixed_rate_only(inst.model)) << inst.name;
+    const mva::MvaSolution mva = mva::solve_exact_multichain(inst.model);
+    const exact::ConvolutionResult conv =
+        exact::solve_convolution(inst.model);
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      EXPECT_NEAR(
+          mva.chain_throughput[static_cast<std::size_t>(r)],
+          conv.chain_throughput[static_cast<std::size_t>(r)],
+          1e-7 * (1.0 + conv.chain_throughput[static_cast<std::size_t>(r)]))
+          << inst.name;
     }
-    EXPECT_NEAR(conv_total, m.chain(r).population, 1e-8);
-    EXPECT_NEAR(approx_total, m.chain(r).population, 1e-5);
   }
 }
 
-TEST_P(RandomNetworkProperty, HeuristicBoundedErrorAtTinyPopulations) {
+TEST_P(GenFamilyProperty, PopulationConservationEverywhere) {
+  for (Family family : {Family::kFcfsClosed, Family::kDisciplines}) {
+    const Instance inst = verify::generate(
+        family, static_cast<std::uint64_t>(GetParam()) + 2000);
+    const exact::ConvolutionResult conv =
+        exact::solve_convolution(inst.model);
+    const mva::MvaSolution approx = mva::solve_approx_mva(inst.model);
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      double conv_total = 0.0, approx_total = 0.0;
+      for (int n = 0; n < inst.model.num_stations(); ++n) {
+        conv_total += conv.queue_length(n, r);
+        approx_total += approx.queue_length(n, r);
+      }
+      EXPECT_NEAR(conv_total, inst.model.chain(r).population, 1e-8)
+          << inst.name;
+      EXPECT_NEAR(approx_total, inst.model.chain(r).population, 1e-5)
+          << inst.name;
+    }
+  }
+}
+
+TEST_P(GenFamilyProperty, HeuristicBoundedErrorAtTinyPopulations) {
   // Populations of 1-4 are the heuristic's worst case (it is only
-  // asymptotically exact, thesis 4.2); bound the error at 20% there.
-  // The windim_test/integration_test suites check the few-percent regime
-  // on realistic window sizes.
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
-  const qn::NetworkModel m = random_closed_model(rng);
-  const mva::MvaSolution approx = mva::solve_approx_mva(m);
-  const mva::MvaSolution exact = mva::solve_exact_multichain(m);
-  ASSERT_TRUE(approx.converged);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    const double x = exact.chain_throughput[static_cast<std::size_t>(r)];
-    const double h = approx.chain_throughput[static_cast<std::size_t>(r)];
-    EXPECT_LT(std::abs(h - x) / x, 0.20) << "chain " << r;
+  // asymptotically exact, thesis 4.2); bound the error at 25% there.
+  // tests/mva_accuracy_test.cc tracks the tighter aggregate envelope;
+  // the windim_test/integration_test suites check the few-percent
+  // regime on realistic window sizes.
+  for (Family family : {Family::kFcfsClosed, Family::kDisciplines}) {
+    const Instance inst = verify::generate(
+        family, static_cast<std::uint64_t>(GetParam()) + 3000);
+    const mva::MvaSolution approx = mva::solve_approx_mva(inst.model);
+    const mva::MvaSolution exact = mva::solve_exact_multichain(inst.model);
+    ASSERT_TRUE(approx.converged) << inst.name;
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      const double x = exact.chain_throughput[static_cast<std::size_t>(r)];
+      const double h = approx.chain_throughput[static_cast<std::size_t>(r)];
+      EXPECT_LT(std::abs(h - x) / x, 0.25) << inst.name << " chain " << r;
+    }
   }
 }
 
-TEST_P(RandomNetworkProperty, UtilizationWithinUnitInterval) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
-  const qn::NetworkModel m = random_closed_model(rng);
-  const exact::ConvolutionResult conv = exact::solve_convolution(m);
-  for (int n = 0; n < m.num_stations(); ++n) {
-    EXPECT_GE(conv.station_utilization[static_cast<std::size_t>(n)], -1e-12);
-    EXPECT_LE(conv.station_utilization[static_cast<std::size_t>(n)],
-              1.0 + 1e-9);
+TEST_P(GenFamilyProperty, UtilizationWithinUnitInterval) {
+  // Every all-closed family, including the route-ordered ones.
+  for (Family family :
+       {Family::kFcfsClosed, Family::kDisciplines, Family::kQueueDependent,
+        Family::kCyclic, Family::kWindim}) {
+    const Instance inst = verify::generate(
+        family, static_cast<std::uint64_t>(GetParam()) + 4000);
+    const exact::ConvolutionResult conv =
+        exact::solve_convolution(inst.model);
+    for (int n = 0; n < inst.model.num_stations(); ++n) {
+      // An infinite-server "utilization" is the mean number in service,
+      // which may legitimately exceed 1.
+      if (inst.model.station(n).is_delay()) continue;
+      EXPECT_GE(conv.station_utilization[static_cast<std::size_t>(n)],
+                -1e-12)
+          << inst.name;
+      EXPECT_LE(conv.station_utilization[static_cast<std::size_t>(n)],
+                1.0 + 1e-9)
+          << inst.name;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkProperty,
-                         ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, GenFamilyProperty, ::testing::Range(0, 12));
 
 // ---------------------------------------------------- window-model properties
 
@@ -243,22 +262,42 @@ TEST_P(SemiclosedProperty, CarriedThroughputMonotoneInBound) {
 }
 
 TEST_P(SemiclosedProperty, PinnedBoundsMatchConvolution) {
-  // [E, E] bounds == closed network at population E, whatever the rate.
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 12000);
-  const qn::NetworkModel m = random_closed_model(rng);
-  std::vector<exact::SemiclosedChainSpec> specs;
-  for (int r = 0; r < m.num_chains(); ++r) {
-    specs.push_back(exact::SemiclosedChainSpec{
-        rng.uniform(1.0, 20.0), m.chain(r).population,
-        m.chain(r).population});
+  // [E, E] bounds == closed network at population E, whatever the rate:
+  // checked on the generator's semiclosed family with its random bounds
+  // replaced by pinned ones.
+  const Instance inst = verify::generate(
+      Family::kSemiclosed, static_cast<std::uint64_t>(GetParam()) + 12000);
+  ASSERT_EQ(inst.semiclosed.size(),
+            static_cast<std::size_t>(inst.model.num_chains()));
+  std::vector<exact::SemiclosedChainSpec> pinned = inst.semiclosed;
+  for (int r = 0; r < inst.model.num_chains(); ++r) {
+    pinned[static_cast<std::size_t>(r)].min_population =
+        inst.model.chain(r).population;
+    pinned[static_cast<std::size_t>(r)].max_population =
+        inst.model.chain(r).population;
   }
-  const exact::SemiclosedResult semi = exact::solve_semiclosed(m, specs);
-  const exact::ConvolutionResult conv = exact::solve_convolution(m);
-  for (int n = 0; n < m.num_stations(); ++n) {
-    for (int r = 0; r < m.num_chains(); ++r) {
+  const exact::SemiclosedResult semi =
+      exact::solve_semiclosed(inst.model, pinned);
+  const exact::ConvolutionResult conv = exact::solve_convolution(inst.model);
+  for (int n = 0; n < inst.model.num_stations(); ++n) {
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
       EXPECT_NEAR(semi.queue_length(n, r), conv.queue_length(n, r), 1e-7)
-          << "station " << n << " chain " << r;
+          << inst.name << " station " << n << " chain " << r;
     }
+  }
+}
+
+TEST_P(SemiclosedProperty, GeneratedBoundsKeepBlockingInUnitInterval) {
+  const Instance inst = verify::generate(
+      Family::kSemiclosed, static_cast<std::uint64_t>(GetParam()) + 13000);
+  const exact::SemiclosedResult r =
+      exact::solve_semiclosed(inst.model, inst.semiclosed);
+  for (std::size_t k = 0; k < inst.semiclosed.size(); ++k) {
+    EXPECT_GE(r.blocking_probability[k], -1e-12) << inst.name;
+    EXPECT_LE(r.blocking_probability[k], 1.0 + 1e-12) << inst.name;
+    EXPECT_LE(r.carried_throughput[k],
+              inst.semiclosed[k].arrival_rate + 1e-9)
+        << inst.name;
   }
 }
 

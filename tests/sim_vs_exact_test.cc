@@ -1,0 +1,94 @@
+// Statistical regression test: the discrete-event closed-network
+// simulator, replicated for confidence intervals, must agree with the
+// convolution solver on small cyclic networks.  The acceptance band is
+// the differential harness's simulation tolerance — a multiple of the
+// replication CI half-width plus a small relative slack for residual
+// warmup bias — with fixed seeds throughout, so the test is exact-
+// repeatable, not flaky.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/convolution.h"
+#include "sim/replicate.h"
+#include "verify/gen.h"
+
+namespace windim {
+namespace {
+
+using verify::Family;
+using verify::Instance;
+
+constexpr double kCiFactor = 4.0;  // ~4 half-widths ≈ well beyond 99%
+constexpr double kSlack = 0.03;    // residual-bias allowance
+
+TEST(SimVsExact, ReplicatedThroughputCoversConvolution) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Instance inst = verify::generate(Family::kCyclic, seed);
+    ASSERT_TRUE(inst.cyclic.has_value());
+    const exact::ConvolutionResult conv =
+        exact::solve_convolution(inst.model);
+    sim::ClosedSimOptions options;
+    options.sim_time = 400.0;
+    options.warmup = 50.0;
+    options.seed = 9000 + seed;
+    const sim::ReplicatedClosedResult rep =
+        sim::run_closed_replications(*inst.cyclic, options, 5);
+    ASSERT_EQ(rep.chain_throughput.size(),
+              static_cast<std::size_t>(inst.model.num_chains()));
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      const double exact =
+          conv.chain_throughput[static_cast<std::size_t>(r)];
+      const sim::MetricEstimate& est =
+          rep.chain_throughput[static_cast<std::size_t>(r)];
+      EXPECT_GE(est.half_width, 0.0);
+      EXPECT_LE(std::abs(est.mean - exact),
+                kCiFactor * est.half_width + kSlack * exact)
+          << inst.name << " chain " << r << ": sim " << est.mean << " +- "
+          << est.half_width << " vs exact " << exact;
+    }
+  }
+}
+
+TEST(SimVsExact, ReplicatedQueueLengthsCoverConvolution) {
+  const Instance inst = verify::generate(Family::kCyclic, 5);
+  ASSERT_TRUE(inst.cyclic.has_value());
+  const exact::ConvolutionResult conv = exact::solve_convolution(inst.model);
+  sim::ClosedSimOptions options;
+  options.sim_time = 400.0;
+  options.warmup = 50.0;
+  options.seed = 777;
+  const sim::ReplicatedClosedResult rep =
+      sim::run_closed_replications(*inst.cyclic, options, 5);
+  for (int n = 0; n < inst.model.num_stations(); ++n) {
+    for (int r = 0; r < inst.model.num_chains(); ++r) {
+      const double exact = conv.queue_length(n, r);
+      const sim::MetricEstimate& est = rep.queue_length(n, r);
+      // Queue lengths near zero get an absolute floor on the band.
+      EXPECT_LE(std::abs(est.mean - exact),
+                kCiFactor * est.half_width + kSlack * exact + 0.02)
+          << inst.name << " station " << n << " chain " << r;
+    }
+  }
+}
+
+TEST(SimVsExact, ReplicationEstimatesAreDeterministicInTheSeed) {
+  const Instance inst = verify::generate(Family::kCyclic, 2);
+  sim::ClosedSimOptions options;
+  options.sim_time = 100.0;
+  options.warmup = 10.0;
+  options.seed = 42;
+  const sim::ReplicatedClosedResult a =
+      sim::run_closed_replications(*inst.cyclic, options, 3);
+  const sim::ReplicatedClosedResult b =
+      sim::run_closed_replications(*inst.cyclic, options, 3);
+  ASSERT_EQ(a.chain_throughput.size(), b.chain_throughput.size());
+  for (std::size_t r = 0; r < a.chain_throughput.size(); ++r) {
+    EXPECT_EQ(a.chain_throughput[r].mean, b.chain_throughput[r].mean);
+    EXPECT_EQ(a.chain_throughput[r].half_width,
+              b.chain_throughput[r].half_width);
+  }
+}
+
+}  // namespace
+}  // namespace windim

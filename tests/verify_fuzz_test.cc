@@ -1,0 +1,143 @@
+// Tests for the fuzz campaign driver: determinism across --jobs,
+// corpus persistence, and replay xfail semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "verify/corpus.h"
+#include "verify/fuzz.h"
+
+namespace windim::verify {
+namespace {
+
+FuzzOptions small_campaign() {
+  FuzzOptions options;
+  options.seeds = 4;
+  options.base_seed = 100;
+  // The CTMC and shrinking are exercised elsewhere; keep this quick.
+  options.oracle.with_ctmc = false;
+  options.shrink_failures = false;
+  return options;
+}
+
+TEST(VerifyFuzz, ReportIsIdenticalForSerialAndParallelRuns) {
+  FuzzOptions serial = small_campaign();
+  serial.jobs = 1;
+  FuzzOptions parallel = small_campaign();
+  parallel.jobs = 4;
+  const FuzzReport a = run_fuzz(serial);
+  const FuzzReport b = run_fuzz(parallel);
+  EXPECT_EQ(a.instances_run, b.instances_run);
+  // Byte-identical modulo wall-clock timing.
+  EXPECT_EQ(to_json(a, /*include_timing=*/false),
+            to_json(b, /*include_timing=*/false));
+}
+
+TEST(VerifyFuzz, CountsEveryRequestedInstance) {
+  FuzzOptions options = small_campaign();
+  options.families = {Family::kFcfsClosed, Family::kDisciplines};
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.instances_run, 8);  // 2 families x 4 seeds
+  EXPECT_EQ(report.instances_skipped, 0);
+  EXPECT_FALSE(report.time_budget_exhausted);
+  EXPECT_GT(report.heuristic.samples, 0);
+}
+
+TEST(VerifyFuzz, ForcedFailureIsShrunkAndPersistedToCorpus) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "fuzz_corpus").string();
+  std::filesystem::remove_all(dir);
+  FuzzOptions options = small_campaign();
+  options.families = {Family::kFcfsClosed};
+  options.seeds = 1;
+  options.base_seed = 11;
+  options.shrink_failures = true;
+  options.corpus_dir = dir;
+  options.oracle.heuristic_envelope = -1.0;  // force a failure
+  const FuzzReport report = run_fuzz(options);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FuzzFailure& f = report.failures.front();
+  EXPECT_EQ(f.oracle, "heuristic-envelope");
+  ASSERT_FALSE(f.corpus_file.empty());
+  // The persisted entry replays: same instance, xfail annotation set.
+  const CorpusEntry entry = load_corpus_file(f.corpus_file);
+  EXPECT_EQ(entry.expect, "heuristic-envelope");
+  EXPECT_EQ(entry.instance.family, Family::kFcfsClosed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerifyFuzz, ReplayHonorsXfailAnnotations) {
+  CorpusEntry entry;
+  entry.instance = generate(Family::kFcfsClosed, 11);
+  entry.expect = "heuristic-envelope";
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "replay_corpus")
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / "entry.corpus").string();
+  save_corpus_file(path, entry);
+
+  // With the envelope forced impossible the xfail fires as annotated:
+  // the replay is clean and records one expected failure.
+  FuzzOptions expecting = small_campaign();
+  expecting.oracle.heuristic_envelope = -1.0;
+  const FuzzReport xfail = replay_corpus({path}, expecting);
+  EXPECT_TRUE(xfail.ok());
+  EXPECT_EQ(xfail.expected_failures, 1);
+  EXPECT_EQ(xfail.unexpected_passes, 0);
+
+  // Under the normal envelope the annotated oracle passes: the entry
+  // is stale and the replay flags it (without failing).
+  const FuzzReport stale = replay_corpus({path}, small_campaign());
+  EXPECT_TRUE(stale.ok());
+  EXPECT_EQ(stale.expected_failures, 0);
+  EXPECT_EQ(stale.unexpected_passes, 1);
+
+  // With no annotation the same forced failure is a real failure.
+  entry.expect.clear();
+  save_corpus_file(path, entry);
+  const FuzzReport plain = replay_corpus({path}, expecting);
+  EXPECT_FALSE(plain.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerifyFuzz, ReplayIsDeterministicAcrossJobs) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "replay_jobs").string();
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> files;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    CorpusEntry entry;
+    entry.instance = generate(Family::kDisciplines, seed);
+    const std::string path =
+        (std::filesystem::path(dir) /
+         ("d" + std::to_string(seed) + ".corpus"))
+            .string();
+    save_corpus_file(path, entry);
+    files.push_back(path);
+  }
+  FuzzOptions serial = small_campaign();
+  serial.jobs = 1;
+  FuzzOptions parallel = small_campaign();
+  parallel.jobs = 4;
+  EXPECT_EQ(to_json(replay_corpus(files, serial), false),
+            to_json(replay_corpus(files, parallel), false));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerifyFuzz, TimeBudgetSkipsInsteadOfFailing) {
+  FuzzOptions options = small_campaign();
+  options.seeds = 50;
+  options.time_budget_seconds = 1e-9;  // expires immediately
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.time_budget_exhausted);
+  EXPECT_GT(report.instances_skipped, 0);
+}
+
+}  // namespace
+}  // namespace windim::verify
