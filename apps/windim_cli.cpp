@@ -1,17 +1,18 @@
 // windim_cli - dimension, evaluate and simulate window flow control for
 // a network described in the text spec format (see src/cli/spec.h).
 //
-//   windim_cli dimension <spec-file> [--evaluator=NAME] [--max-window=N]
+//   windim_cli dimension <spec-file> [--solver=NAME] [--max-window=N]
 //                        [--objective=power|gpower=A|delaycap=T] [--csv]
-//   windim_cli evaluate  <spec-file> E1 E2 ... [--evaluator=NAME]
+//   windim_cli evaluate  <spec-file> E1 E2 ... [--solver=NAME]
 //   windim_cli simulate  <spec-file> E1 E2 ... [--time=S] [--seed=N]
 //                        [--buffers=K] [--permits=P] [--reverse-acks]
 //                        [--reps=N]
-//   windim_cli sweep     <spec-file> [--loads=0.5,1,1.5,2] [--evaluator=..]
+//   windim_cli sweep     <spec-file> [--loads=0.5,1,1.5,2] [--solver=NAME]
 //   windim_cli capacity  <spec-file> --budget=KBPS [--rule=sqrt|prop]
+//   windim_cli solvers
 //
-// Evaluator names: heuristic (default), exact-mva, convolution,
-// semiclosed, linearizer.
+// Solver names come from the solver registry (windim_cli solvers lists
+// them); --evaluator is accepted as a compatibility alias of --solver.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +23,8 @@
 #include "cli/spec.h"
 #include "sim/msgnet_sim.h"
 #include "sim/replicate.h"
+#include "solver/registry.h"
+#include "solver/workspace.h"
 #include "util/table.h"
 #include "verify/corpus.h"
 #include "verify/fuzz.h"
@@ -35,34 +38,39 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  windim_cli dimension <spec> [--evaluator=NAME] [--max-window=N]\n"
+      "  windim_cli dimension <spec> [--solver=NAME] [--max-window=N]\n"
       "                       [--objective=power|gpower=A|delaycap=T] "
       "[--csv]\n"
       "                       [--threads=N] [--max-evals=N] [--cold-start]\n"
-      "  windim_cli evaluate  <spec> E1 E2 ... [--evaluator=NAME]\n"
+      "  windim_cli evaluate  <spec> E1 E2 ... [--solver=NAME]\n"
       "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
       "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
       "                       [--reps=N]\n"
-      "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--evaluator=X]\n"
+      "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--solver=NAME]\n"
       "                       [--threads=N]\n"
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
+      "  windim_cli solvers\n"
       "  windim_cli fuzz      [--seeds=N] [--family=NAME,...] [--jobs=N]\n"
-      "                       [--time-budget=SECONDS] [--base-seed=N]\n"
-      "                       [--corpus-out=DIR] [--replay=DIR|FILE]\n"
-      "                       [--sim] [--no-shrink] [--no-ctmc] [--quiet]\n"
-      "evaluators: heuristic exact-mva convolution semiclosed linearizer\n"
+      "                       [--solver=NAME,...] [--time-budget=SECONDS]\n"
+      "                       [--base-seed=N] [--corpus-out=DIR]\n"
+      "                       [--replay=DIR|FILE] [--sim] [--no-shrink]\n"
+      "                       [--no-ctmc] [--quiet]\n"
+      "solvers: see `windim_cli solvers` (--evaluator = alias of "
+      "--solver)\n"
       "fuzz families: fcfs-closed disciplines queue-dependent semiclosed\n"
       "               mixed cyclic windim (default: all)\n");
   return 2;
 }
 
-std::optional<core::Evaluator> evaluator_by_name(const std::string& name) {
-  if (name == "heuristic") return core::Evaluator::kHeuristicMva;
-  if (name == "exact-mva") return core::Evaluator::kExactMva;
-  if (name == "convolution") return core::Evaluator::kConvolution;
-  if (name == "semiclosed") return core::Evaluator::kSemiclosed;
-  if (name == "linearizer") return core::Evaluator::kLinearizer;
-  return std::nullopt;
+/// Resolves a --solver/--evaluator name against the registry; prints
+/// the registry's available-solver error on unknown names.
+const solver::Solver* resolve_solver(const std::string& name) {
+  try {
+    return &solver::SolverRegistry::instance().require(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return nullptr;
+  }
 }
 
 /// "--key=value" matcher; returns the value part.
@@ -105,13 +113,13 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   core::DimensionOptions options;
   bool csv = false;
   for (const std::string& arg : args) {
-    if (auto v = flag_value(arg, "evaluator")) {
-      const auto e = evaluator_by_name(*v);
-      if (!e) {
-        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
-        return 2;
-      }
-      options.evaluator = *e;
+    if (auto v = flag_value(arg, "solver")) {
+      if (resolve_solver(*v) == nullptr) return 2;
+      options.solver = *v;
+    } else if (auto v = flag_value(arg, "evaluator")) {
+      // Compatibility alias: evaluator names are registry names.
+      if (resolve_solver(*v) == nullptr) return 2;
+      options.solver = *v;
     } else if (auto v = flag_value(arg, "max-window")) {
       options.max_window = std::stoi(*v);
     } else if (auto v = flag_value(arg, "objective")) {
@@ -174,7 +182,9 @@ int cmd_dimension(const cli::NetworkSpec& spec,
     std::printf("%s", table.render_csv().c_str());
     return 0;
   }
-  std::printf("evaluator:  %s\n", core::to_string(options.evaluator));
+  std::printf("evaluator:  %s\n",
+              options.solver.empty() ? core::to_string(options.evaluator)
+                                     : options.solver.c_str());
   print_evaluation(result.evaluation, spec.classes);
   std::printf("search:     %zu evaluations (+%zu cached)\n",
               result.objective_evaluations, result.cache_hits);
@@ -210,23 +220,24 @@ int cmd_evaluate(const cli::NetworkSpec& spec,
   std::vector<std::string> flags;
   const auto windows = parse_windows(args, spec.classes.size(), flags);
   if (!windows) return 2;
-  core::Evaluator evaluator = core::Evaluator::kHeuristicMva;
+  std::string solver_name = "heuristic-mva";
   for (const std::string& arg : flags) {
-    if (auto v = flag_value(arg, "evaluator")) {
-      const auto e = evaluator_by_name(*v);
-      if (!e) {
-        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
-        return 2;
-      }
-      evaluator = *e;
+    if (auto v = flag_value(arg, "solver")) {
+      solver_name = *v;
+    } else if (auto v = flag_value(arg, "evaluator")) {
+      solver_name = *v;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
     }
   }
+  const solver::Solver* solver = resolve_solver(solver_name);
+  if (solver == nullptr) return 2;
   const core::WindowProblem problem(spec.topology, spec.classes);
-  std::printf("evaluator:  %s\n", core::to_string(evaluator));
-  print_evaluation(problem.evaluate(*windows, evaluator), spec.classes);
+  solver::Workspace ws;
+  std::printf("evaluator:  %s\n", std::string(solver->name()).c_str());
+  print_evaluation(problem.evaluate_with(*windows, *solver, ws),
+                   spec.classes);
   return 0;
 }
 
@@ -309,13 +320,12 @@ int cmd_sweep(const cli::NetworkSpec& spec,
         factors.push_back(std::stod(v->substr(pos, comma - pos)));
         pos = comma + 1;
       }
+    } else if (auto v = flag_value(arg, "solver")) {
+      if (resolve_solver(*v) == nullptr) return 2;
+      options.solver = *v;
     } else if (auto v = flag_value(arg, "evaluator")) {
-      const auto e = evaluator_by_name(*v);
-      if (!e) {
-        std::fprintf(stderr, "error: unknown evaluator '%s'\n", v->c_str());
-        return 2;
-      }
-      options.evaluator = *e;
+      if (resolve_solver(*v) == nullptr) return 2;
+      options.solver = *v;
     } else if (auto v = flag_value(arg, "threads")) {
       options.threads = std::stoi(*v);
     } else {
@@ -412,6 +422,23 @@ int cmd_fuzz(const std::vector<std::string>& args) {
         }
         options.families.push_back(*family);
       }
+    } else if (auto v = flag_value(arg, "solver")) {
+      // Comma-separated registry names restricting the solver-pair and
+      // envelope oracles; "all" = no restriction.
+      std::size_t pos = 0;
+      while (pos <= v->size()) {
+        std::size_t comma = v->find(',', pos);
+        if (comma == std::string::npos) comma = v->size();
+        const std::string token = v->substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty()) continue;
+        if (token == "all") {
+          options.oracle.solvers.clear();
+          continue;
+        }
+        if (resolve_solver(token) == nullptr) return 2;
+        options.oracle.solvers.push_back(token);
+      }
     } else if (auto v = flag_value(arg, "time-budget")) {
       options.time_budget_seconds = std::stod(*v);
     } else if (auto v = flag_value(arg, "jobs")) {
@@ -463,6 +490,26 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_solvers() {
+  util::TextTable table({"name", "kind", "chains", "queue lengths", "notes"});
+  for (const solver::Solver* s : solver::SolverRegistry::instance().solvers()) {
+    const solver::Traits t = s->traits();
+    std::string notes;
+    if (t.semiclosed_view) notes += "semiclosed view; ";
+    if (t.supports_queue_dependent) notes += "queue-dependent; ";
+    if (t.supports_warm_start) notes += "warm start; ";
+    if (!notes.empty()) notes.resize(notes.size() - 2);
+    table.begin_row()
+        .add(std::string(s->name()))
+        .add(t.exact ? "exact" : t.iterative ? "iterative" : "bound")
+        .add(t.requires_single_chain ? "single" : "multi")
+        .add(t.has_queue_lengths ? "yes" : "no")
+        .add(notes);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -474,6 +521,7 @@ int main(int argc, char** argv) {
       // replayed from the corpus.
       return cmd_fuzz(std::vector<std::string>(argv + 2, argv + argc));
     }
+    if (command == "solvers") return cmd_solvers();
     if (argc < 3) return usage();
     const auto spec = load_spec(argv[2]);
     if (!spec) return 1;

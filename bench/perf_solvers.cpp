@@ -2,15 +2,23 @@
 //
 // Tracks the cost of the primitives everything else is built from:
 // Buzen convolution, single-chain MVA, the full WINDIM dimensioning
-// run, the brute-force product form (for scale), and the CTMC oracle.
+// run, the brute-force product form (for scale), the CTMC oracle — and
+// a registry sweep that times every solver::Solver through the uniform
+// CompiledModel/Workspace interface (registered dynamically from
+// SolverRegistry, so new solvers get a benchmark for free).
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "exact/buzen.h"
 #include "exact/product_form.h"
 #include "markov/closed_ctmc.h"
+#include "mva/approx.h"
 #include "mva/single_chain.h"
 #include "net/examples.h"
 #include "search/pattern_search.h"
+#include "solver/registry.h"
+#include "solver/workspace.h"
 #include "windim/windim.h"
 
 namespace {
@@ -93,6 +101,20 @@ void BM_PowerEvaluationHeuristic(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerEvaluationHeuristic);
 
+void BM_PowerEvaluationLegacyRebuild(benchmark::State& state) {
+  // The pre-CompiledModel per-evaluation cost: copy the cyclic network,
+  // build a NetworkModel and run the heap-allocating legacy heuristic.
+  // Compare against BM_PowerEvaluationHeuristic (compiled + arena) for
+  // the per-evaluation win of compile-once/solve-many.
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  for (auto _ : state) {
+    const qn::NetworkModel m = problem.network({4, 4}).to_model();
+    benchmark::DoNotOptimize(mva::solve_approx_mva(m));
+  }
+}
+BENCHMARK(BM_PowerEvaluationLegacyRebuild);
+
 void BM_FullWindimTwoClass(benchmark::State& state) {
   const core::WindowProblem problem(net::canada_topology(),
                                     net::two_class_traffic(20.0, 20.0));
@@ -117,6 +139,50 @@ void BM_FullWindimFourClass(benchmark::State& state) {
 }
 BENCHMARK(BM_FullWindimFourClass)->Args({1, 0})->Args({1, 1})->Args({4, 1});
 
+// Times `Solver::solve` on a warm workspace: the steady-state cost a
+// dimensioning run pays per evaluation (arena already at its high-water
+// mark, zero heap allocations).
+void BM_RegistrySolver(benchmark::State& state, const solver::Solver* s,
+                       const qn::CompiledModel* model,
+                       solver::PopulationVector population) {
+  solver::Workspace ws;
+  (void)s->solve(*model, population, ws);  // warm the arena
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->solve(*model, population, ws));
+  }
+}
+
+// One benchmark per registry solver, on the fixture its traits accept:
+// single-chain solvers get a 10-station cycle at population 20, the
+// rest get the two-class thesis network at windows (4,4) — the
+// semiclosed view for semiclosed_view solvers.  Solvers that reject
+// their fixture outright (runtime_error on the probe) are skipped.
+void RegisterRegistrySolverBenchmarks() {
+  static const core::WindowProblem problem(net::canada_topology(),
+                                           net::two_class_traffic(20.0, 20.0));
+  static const qn::CompiledModel single =
+      qn::CompiledModel::compile(single_chain_cycle(10, 20));
+  for (const solver::Solver* s : solver::SolverRegistry::instance().solvers()) {
+    const solver::Traits traits = s->traits();
+    const qn::CompiledModel* model =
+        traits.requires_single_chain ? &single
+        : traits.semiclosed_view     ? &problem.compiled_semiclosed()
+                                     : &problem.compiled();
+    solver::PopulationVector population =
+        traits.requires_single_chain ? solver::PopulationVector{20}
+                                     : solver::PopulationVector{4, 4};
+    try {
+      solver::Workspace probe;
+      (void)s->solve(*model, population, probe);
+    } catch (const std::exception&) {
+      continue;
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_RegistrySolver/" + std::string(s->name())).c_str(),
+        BM_RegistrySolver, s, model, std::move(population));
+  }
+}
+
 void BM_PatternSearchQuadratic(benchmark::State& state) {
   const search::Objective f = [](const search::Point& p) {
     double v = 0.0;
@@ -135,4 +201,13 @@ BENCHMARK(BM_PatternSearchQuadratic);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (vs BENCHMARK_MAIN): the registry sweep registers its
+// benchmarks at runtime, one per SolverRegistry entry.
+int main(int argc, char** argv) {
+  RegisterRegistrySolverBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "exact/convolution_detail.h"
@@ -94,14 +96,97 @@ void apply_fixed_rate(const MixedRadixIndexer& indexer,
 
 }  // namespace detail
 
+namespace {
+
 using detail::apply_fixed_rate;
 using detail::lattice_convolve;
 using detail::station_lattice_coefficients;
 using util::MixedRadixIndexer;
 using util::PopVector;
 
-ConvolutionResult solve_convolution(const qn::NetworkModel& model,
-                                    const ConvolutionOptions& options) {
+constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+// --- log-domain twins of the lattice primitives ------------------------
+// Same recurrences with (+, *) replaced by (log_add, +); entries hold
+// log g.  Used by the kLog path and the kAuto over/underflow fallback.
+
+std::vector<double> station_lattice_log_coefficients(
+    const MixedRadixIndexer& indexer, const qn::Station& station,
+    const std::vector<double>& demands) {
+  const std::size_t size = indexer.size();
+  const std::size_t dims = indexer.dimensions();
+  std::vector<double> c(size, kLogZero);
+  PopVector v(dims, 0);
+  std::size_t offset = 0;
+  do {
+    offset = indexer.offset(v);
+    const long total = util::total_population(v);
+    double log_value = 0.0;
+    bool zero = false;
+    for (std::size_t w = 0; w < dims; ++w) {
+      if (v[w] == 0) continue;
+      if (demands[w] <= 0.0) {
+        zero = true;
+        break;
+      }
+      log_value += v[w] * std::log(demands[w]) - util::log_factorial(v[w]);
+    }
+    if (zero) continue;
+    log_value += util::log_factorial(static_cast<int>(total));
+    for (int j = 1; j <= total; ++j) {
+      log_value -= std::log(station.rate_multiplier(j));
+    }
+    c[offset] = log_value;
+  } while (indexer.next(v));
+  return c;
+}
+
+std::vector<double> lattice_convolve_log(const MixedRadixIndexer& indexer,
+                                         const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  const std::size_t dims = indexer.dimensions();
+  std::vector<double> out(indexer.size(), kLogZero);
+  PopVector i(dims, 0);
+  do {
+    const std::size_t off_i = indexer.offset(i);
+    MixedRadixIndexer sub(i);
+    PopVector j(dims, 0);
+    double sum = kLogZero;
+    do {
+      PopVector diff(dims);
+      for (std::size_t d = 0; d < dims; ++d) diff[d] = i[d] - j[d];
+      sum = util::log_add(sum, a[indexer.offset(j)] + b[indexer.offset(diff)]);
+    } while (sub.next(j));
+    out[off_i] = sum;
+  } while (indexer.next(i));
+  return out;
+}
+
+void apply_fixed_rate_log(const MixedRadixIndexer& indexer,
+                          const std::vector<double>& demands,
+                          std::vector<double>& g) {
+  const std::size_t dims = indexer.dimensions();
+  PopVector v(dims, 0);
+  do {
+    const std::size_t off = indexer.offset(v);
+    double acc = g[off];
+    for (std::size_t w = 0; w < dims; ++w) {
+      if (v[w] == 0 || demands[w] == 0.0) continue;
+      acc = util::log_add(
+          acc, std::log(demands[w]) + g[indexer.offset_minus_one(v, w)]);
+    }
+    g[off] = acc;
+  } while (indexer.next(v));
+}
+
+/// One full solve in either domain.  Returns nullopt when the linear
+/// pass hit a degenerate (over/underflowed) normalization constant —
+/// the caller decides between throwing (kLinear) and re-solving in the
+/// log domain (kAuto).  The log pass throws std::runtime_error if even
+/// log G is non-finite (a genuinely singular model).
+std::optional<ConvolutionResult> solve_in_domain(
+    const qn::NetworkModel& model, const ConvolutionOptions& options,
+    const bool log_domain) {
   model.validate();
   if (!model.all_closed()) {
     throw qn::ModelError(
@@ -119,6 +204,7 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
   ConvolutionResult result;
   result.indexer = MixedRadixIndexer(populations);
   result.num_chains = num_chains;
+  result.log_domain = log_domain;
   const MixedRadixIndexer& indexer = result.indexer;
 
   // Per-chain rescaling so lattice values stay near 1: replace demands
@@ -139,13 +225,33 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
     return model.demand(r, n) / result.chain_scale[static_cast<std::size_t>(r)];
   };
 
+  // Domain primitives: result.g holds g (linear) or log g (log domain).
+  const auto coefficients = [&](const qn::Station& station,
+                                const std::vector<double>& d) {
+    return log_domain ? station_lattice_log_coefficients(indexer, station, d)
+                      : station_lattice_coefficients(indexer, station, d);
+  };
+  const auto convolve = [&](const std::vector<double>& a,
+                            const std::vector<double>& b) {
+    return log_domain ? lattice_convolve_log(indexer, a, b)
+                      : lattice_convolve(indexer, a, b);
+  };
+  const auto fixed_rate = [&](const std::vector<double>& d,
+                              std::vector<double>& g) {
+    if (log_domain) {
+      apply_fixed_rate_log(indexer, d, g);
+    } else {
+      apply_fixed_rate(indexer, d, g);
+    }
+  };
+
   // Build g by convolving stations; remember each station's scaled demand
   // vector for the metric pass.
   std::vector<std::vector<double>> demands(
       static_cast<std::size_t>(num_stations),
       std::vector<double>(static_cast<std::size_t>(num_chains), 0.0));
-  result.g.assign(indexer.size(), 0.0);
-  result.g[0] = 1.0;
+  result.g.assign(indexer.size(), log_domain ? kLogZero : 0.0);
+  result.g[0] = log_domain ? 0.0 : 1.0;
   for (int n = 0; n < num_stations; ++n) {
     auto& d = demands[static_cast<std::size_t>(n)];
     bool visited = false;
@@ -155,20 +261,29 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
     }
     if (!visited) continue;
     if (model.station(n).is_fixed_rate()) {
-      apply_fixed_rate(indexer, d, result.g);
+      fixed_rate(d, result.g);
     } else {
-      const auto c =
-          station_lattice_coefficients(indexer, model.station(n), d);
-      result.g = lattice_convolve(indexer, result.g, c);
+      result.g = convolve(result.g, coefficients(model.station(n), d));
     }
   }
 
   const std::size_t top = indexer.offset(populations);
   const double gH = result.g[top];
-  if (!(gH > 0.0) || !std::isfinite(gH)) {
-    throw std::runtime_error(
-        "solve_convolution: degenerate normalization constant");
+  if (log_domain) {
+    if (!std::isfinite(gH)) {
+      throw std::runtime_error(
+          "solve_convolution: degenerate normalization constant (log "
+          "domain)");
+    }
+  } else if (!(gH > 0.0) || !std::isfinite(gH)) {
+    // Over/underflowed linear pass: signal the caller instead of
+    // throwing so ConvolutionDomain::kAuto can fall back to logs.
+    return std::nullopt;
   }
+  // Ratio g(a)/g(b) against the normalization constant, in domain terms.
+  const auto over_gH = [&](double value) {
+    return log_domain ? std::exp(value - gH) : value / gH;
+  };
 
   // Chain throughputs: lambda_w = g(H - e_w) / g(H) / beta_w.
   result.chain_throughput.assign(static_cast<std::size_t>(num_chains), 0.0);
@@ -177,7 +292,7 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
     const std::size_t off =
         indexer.offset_minus_one(populations, static_cast<std::size_t>(r));
     result.chain_throughput[static_cast<std::size_t>(r)] =
-        (result.g[off] / gH) / result.chain_scale[static_cast<std::size_t>(r)];
+        over_gH(result.g[off]) / result.chain_scale[static_cast<std::size_t>(r)];
   }
 
   // Mean queue lengths.
@@ -208,7 +323,7 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
       // N_nw(H) = x_nw (g * c_n)(H - e_w) / g(H); the extra convolution
       // with c_n is another application of the fixed-rate recursion.
       std::vector<double> g_plus = result.g;
-      apply_fixed_rate(indexer, d, g_plus);
+      fixed_rate(d, g_plus);
       for (int r = 0; r < num_chains; ++r) {
         if (populations[static_cast<std::size_t>(r)] == 0 ||
             d[static_cast<std::size_t>(r)] == 0.0) {
@@ -217,7 +332,7 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
         const std::size_t off = indexer.offset_minus_one(
             populations, static_cast<std::size_t>(r));
         result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] =
-            d[static_cast<std::size_t>(r)] * g_plus[off] / gH;
+            d[static_cast<std::size_t>(r)] * over_gH(g_plus[off]);
       }
       // Utilization: sum_w d_nw lambda_w (original units).
       double u = 0.0;
@@ -239,8 +354,9 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
       result.station_utilization[static_cast<std::size_t>(n)] = total;
     } else {
       // Queue-dependent: marginal distribution via g without station n.
-      std::vector<double> g_minus(indexer.size(), 0.0);
-      g_minus[0] = 1.0;
+      std::vector<double> g_minus(indexer.size(),
+                                  log_domain ? kLogZero : 0.0);
+      g_minus[0] = log_domain ? 0.0 : 1.0;
       for (int m = 0; m < num_stations; ++m) {
         if (m == n) continue;
         const auto& dm = demands[static_cast<std::size_t>(m)];
@@ -248,14 +364,12 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
                                     [](double x) { return x > 0.0; });
         if (!mv) continue;
         if (model.station(m).is_fixed_rate()) {
-          apply_fixed_rate(indexer, dm, g_minus);
+          fixed_rate(dm, g_minus);
         } else {
-          const auto cm =
-              station_lattice_coefficients(indexer, model.station(m), dm);
-          g_minus = lattice_convolve(indexer, g_minus, cm);
+          g_minus = convolve(g_minus, coefficients(model.station(m), dm));
         }
       }
-      const auto cn = station_lattice_coefficients(indexer, station, d);
+      const auto cn = coefficients(station, d);
       // p_n(i | H) = c_n(i) g_minus(H - i) / g(H).
       PopVector i(static_cast<std::size_t>(num_chains), 0);
       double p0 = 0.0;
@@ -268,7 +382,10 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
               i[static_cast<std::size_t>(r)];
         }
         const double p =
-            cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
+            log_domain
+                ? std::exp(cn[indexer.offset(i)] +
+                           g_minus[indexer.offset(diff)] - gH)
+                : cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
         if (util::total_population(i) == 0) p0 = p;
         for (int r = 0; r < num_chains; ++r) {
           result.mean_queue[static_cast<std::size_t>(n) * num_chains + r] +=
@@ -290,8 +407,9 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
 
     if (options.compute_marginals) {
       // Total-customer marginal via g without station n (any type).
-      std::vector<double> g_minus(indexer.size(), 0.0);
-      g_minus[0] = 1.0;
+      std::vector<double> g_minus(indexer.size(),
+                                  log_domain ? kLogZero : 0.0);
+      g_minus[0] = log_domain ? 0.0 : 1.0;
       for (int m = 0; m < num_stations; ++m) {
         if (m == n) continue;
         const auto& dm = demands[static_cast<std::size_t>(m)];
@@ -299,14 +417,12 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
                                     [](double x) { return x > 0.0; });
         if (!mv) continue;
         if (model.station(m).is_fixed_rate()) {
-          apply_fixed_rate(indexer, dm, g_minus);
+          fixed_rate(dm, g_minus);
         } else {
-          const auto cm =
-              station_lattice_coefficients(indexer, model.station(m), dm);
-          g_minus = lattice_convolve(indexer, g_minus, cm);
+          g_minus = convolve(g_minus, coefficients(model.station(m), dm));
         }
       }
-      const auto cn = station_lattice_coefficients(indexer, station, d);
+      const auto cn = coefficients(station, d);
       const long max_total = util::total_population(populations);
       auto& marginal = result.marginal[static_cast<std::size_t>(n)];
       marginal.assign(static_cast<std::size_t>(max_total) + 1, 0.0);
@@ -319,13 +435,39 @@ ConvolutionResult solve_convolution(const qn::NetworkModel& model,
               i[static_cast<std::size_t>(r)];
         }
         const double p =
-            cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
+            log_domain
+                ? std::exp(cn[indexer.offset(i)] +
+                           g_minus[indexer.offset(diff)] - gH)
+                : cn[indexer.offset(i)] * g_minus[indexer.offset(diff)] / gH;
         marginal[static_cast<std::size_t>(util::total_population(i))] += p;
       } while (indexer.next(i));
     }
   }
 
+  if (log_domain) {
+    // Export g normalized by g(H): the raw linear values are exactly
+    // what over/underflowed, but the ratios (the only externally
+    // meaningful quantity) are representable.
+    for (double& v : result.g) v = std::exp(v - gH);
+  }
   return result;
+}
+
+}  // namespace
+
+ConvolutionResult solve_convolution(const qn::NetworkModel& model,
+                                    const ConvolutionOptions& options) {
+  if (options.domain == ConvolutionDomain::kLog) {
+    return *solve_in_domain(model, options, true);
+  }
+  std::optional<ConvolutionResult> linear =
+      solve_in_domain(model, options, false);
+  if (linear.has_value()) return *std::move(linear);
+  if (options.domain == ConvolutionDomain::kLinear) {
+    throw std::runtime_error(
+        "solve_convolution: degenerate normalization constant");
+  }
+  return *solve_in_domain(model, options, true);
 }
 
 }  // namespace windim::exact

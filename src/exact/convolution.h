@@ -21,19 +21,39 @@
 
 namespace windim::exact {
 
+/// Arithmetic domain of the lattice pass.
+enum class ConvolutionDomain {
+  /// Linear first; on a degenerate (over/underflowed) normalization
+  /// constant, transparently re-solve in the log domain instead of
+  /// throwing.  The default.
+  kAuto,
+  /// Linear only; throws std::runtime_error on a degenerate G (the
+  /// historical behavior).
+  kLinear,
+  /// Log-sum-exp throughout: immune to over/underflow at extreme
+  /// populations, at the cost of an exp/log per lattice operation.
+  kLog,
+};
+
 struct ConvolutionOptions {
   /// Also compute, for every station, the marginal distribution of the
   /// *total* number of customers present.  Costs an extra full-lattice
   /// convolution per non-fixed-rate station.
   bool compute_marginals = false;
+  ConvolutionDomain domain = ConvolutionDomain::kAuto;
 };
 
 struct ConvolutionResult {
   util::MixedRadixIndexer indexer;  // lattice of populations 0..H
   /// Rescaled normalization constants over the lattice (only ratios are
-  /// externally meaningful).
+  /// externally meaningful).  When `log_domain` is set, the entries are
+  /// additionally normalized by g(H) — g[top] == 1 — since the raw
+  /// linear values are exactly what over/underflowed.
   std::vector<double> g;
   std::vector<double> chain_scale;  // per-chain demand rescaling factors
+  /// True when the log-domain path produced this result (domain kLog,
+  /// or kAuto after a linear over/underflow).
+  bool log_domain = false;
 
   std::vector<double> chain_throughput;  // per chain, cycles/s
   /// mean_queue[n * R + r], station n, chain r.

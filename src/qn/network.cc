@@ -47,6 +47,19 @@ int NetworkModel::add_chain(Chain chain) {
   return num_chains() - 1;
 }
 
+void NetworkModel::set_population(int r, int population) {
+  if (r < 0 || r >= num_chains()) {
+    throw ModelError("set_population: chain index out of range");
+  }
+  if (chains_[static_cast<std::size_t>(r)].type != ChainType::kClosed) {
+    throw ModelError("set_population: chain is not closed");
+  }
+  if (population < 0) {
+    throw ModelError("set_population: negative population");
+  }
+  chains_[static_cast<std::size_t>(r)].population = population;
+}
+
 void NetworkModel::rebuild_cache() {
   const std::size_t n =
       static_cast<std::size_t>(num_chains()) * num_stations();

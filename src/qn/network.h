@@ -88,6 +88,12 @@ class NetworkModel {
   /// stations; throws ModelError otherwise.
   int add_chain(Chain chain);
 
+  /// Resets a closed chain's population in place (the only per-solve
+  /// mutation the compile-once/solve-many engine needs; demand caches
+  /// are population-independent and stay valid).  Throws ModelError on
+  /// an out-of-range chain, an open chain, or a negative population.
+  void set_population(int r, int population);
+
   [[nodiscard]] int num_stations() const noexcept {
     return static_cast<int>(stations_.size());
   }

@@ -1,0 +1,283 @@
+#include "solver/heuristic_mva.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace windim::solver {
+
+// The iteration below is mva::solve_approx_mva transplanted onto the
+// CompiledModel flat arrays, with the sigma subproblem's single-chain
+// MVA recursion inlined in rolling two-level form.  Operation ORDER is
+// deliberately identical to the legacy code — the compiled_equivalence
+// suite compares the two bit-for-bit — so resist "obvious"
+// refactorings that reassociate any floating-point sum.
+Solution HeuristicMvaSolver::solve(const qn::CompiledModel& model,
+                                   const PopulationVector& population,
+                                   Workspace& ws) const {
+  if (!model.all_closed()) {
+    throw qn::ModelError("solve_approx_mva: all chains must be closed");
+  }
+  if (model.has_queue_dependent()) {
+    throw qn::ModelError(
+        "solve_approx_mva: queue-dependent stations unsupported");
+  }
+  mva::ApproxMvaOptions options =
+      ws.hints.mva != nullptr ? *ws.hints.mva : mva::ApproxMvaOptions{};
+  options.sigma = policy_;
+  const mva::MvaWarmStart* warm_start = ws.hints.warm_start;
+  if (!(options.damping > 0.0 && options.damping <= 1.0)) {
+    throw std::invalid_argument("solve_approx_mva: damping must be in (0,1]");
+  }
+  const int num_stations = model.num_stations();
+  const int num_chains = model.num_chains();
+  if (population.size() != static_cast<std::size_t>(num_chains)) {
+    throw std::invalid_argument(
+        "solve_approx_mva: population vector size mismatch");
+  }
+  for (int pop : population) {
+    if (pop < 0) {
+      throw std::invalid_argument("solve_approx_mva: negative population");
+    }
+  }
+
+  ws.reset();
+  const std::size_t cells =
+      static_cast<std::size_t>(num_stations) * num_chains;
+  // N[n * R + r], t[n * R + r] — station-major, like the legacy solver.
+  std::span<double> number = ws.zeroed_doubles(cells);
+  std::span<double> time = ws.zeroed_doubles(cells);
+  std::span<double> lambda = ws.zeroed_doubles(num_chains);
+  std::span<double> sigma = ws.zeroed_doubles(cells);
+  std::span<double> lambda_prev = ws.doubles(num_chains);
+  std::span<double> lambda_sigma = ws.doubles(num_chains);
+  // Sigma subproblem scratch (<= num_stations entries used per chain).
+  std::span<double> sub_demand = ws.doubles(num_stations);
+  std::span<int> sub_station = ws.ints(num_stations);
+  std::span<int> sub_delay = ws.ints(num_stations);
+  std::span<double> sc_number_prev = ws.doubles(num_stations);
+  std::span<double> sc_number_cur = ws.doubles(num_stations);
+  std::span<double> sc_time = ws.doubles(num_stations);
+
+  if (warm_start != nullptr &&
+      (warm_start->lambda.size() != static_cast<std::size_t>(num_chains) ||
+       warm_start->number.size() != cells ||
+       (!warm_start->sigma.empty() && warm_start->sigma.size() != cells))) {
+    throw std::invalid_argument(
+        "solve_approx_mva: warm-start state does not match the model's "
+        "chain/station counts");
+  }
+
+  // STEP 1: initialize mean queue sizes (thesis eq. 4.16/4.17) and the
+  // chain throughputs from the uncongested cycle times — or, when a
+  // warm start is given, from the nearby converged state.
+  for (int r = 0; r < num_chains; ++r) {
+    const int pop = population[static_cast<std::size_t>(r)];
+    const std::span<const int> stations = model.stations_of(r);
+    if (pop == 0 || stations.empty()) continue;
+    double cycle = 0.0;
+    for (int n : stations) cycle += model.demand(r, n);
+    if (!(cycle > 0.0)) {
+      throw qn::ModelError("solve_approx_mva: chain '" +
+                           model.source().chain(r).name +
+                           "' has zero uncongested cycle time");
+    }
+    if (warm_start != nullptr) {
+      for (int n : stations) {
+        const std::size_t idx = static_cast<std::size_t>(n) * num_chains + r;
+        number[idx] = std::max(0.0, warm_start->number[idx]);
+      }
+      lambda[static_cast<std::size_t>(r)] =
+          std::max(0.0, warm_start->lambda[static_cast<std::size_t>(r)]);
+      if (lambda[static_cast<std::size_t>(r)] > 0.0) continue;
+    }
+    if (options.init == mva::InitPolicy::kBalanced) {
+      const double share =
+          static_cast<double>(pop) / static_cast<double>(stations.size());
+      for (int n : stations) {
+        number[static_cast<std::size_t>(n) * num_chains + r] = share;
+      }
+    } else {
+      int bottleneck = stations.front();
+      for (int n : stations) {
+        if (model.demand(r, n) > model.demand(r, bottleneck)) bottleneck = n;
+      }
+      number[static_cast<std::size_t>(bottleneck) * num_chains + r] = pop;
+    }
+    lambda[static_cast<std::size_t>(r)] = pop / cycle;
+  }
+
+  Solution sol;
+  sol.num_chains = num_chains;
+  sol.converged = false;
+
+  const bool lazy_sigma = warm_start != nullptr && !warm_start->sigma.empty();
+  if (lazy_sigma) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      sigma[i] = std::clamp(warm_start->sigma[i], 0.0, 1.0);
+    }
+    std::copy(lambda.begin(), lambda.end(), lambda_sigma.begin());
+  }
+  const auto sigma_drift = [&]() {
+    double drift = 0.0;
+    for (int r = 0; r < num_chains; ++r) {
+      const double l = lambda[static_cast<std::size_t>(r)];
+      const double d =
+          std::abs(l - lambda_sigma[static_cast<std::size_t>(r)]);
+      drift = std::max(drift, d / std::max(1.0, std::abs(l)));
+    }
+    return drift;
+  };
+
+  std::copy(lambda.begin(), lambda.end(), lambda_prev.begin());
+  bool force_sigma = false;
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    const bool refresh_sigma =
+        !lazy_sigma || force_sigma ||
+        sigma_drift() > options.sigma_refresh_threshold;
+    force_sigma = false;
+    if (refresh_sigma) ++sol.sigma_refreshes;
+    // STEP 2: estimate sigma_ir(r-).
+    for (int r = 0; refresh_sigma && r < num_chains; ++r) {
+      const int pop = population[static_cast<std::size_t>(r)];
+      if (pop == 0) continue;
+      if (options.sigma == mva::SigmaPolicy::kSchweitzerBard) {
+        for (int n = 0; n < num_stations; ++n) {
+          sigma[static_cast<std::size_t>(n) * num_chains + r] =
+              number[static_cast<std::size_t>(n) * num_chains + r] / pop;
+        }
+        continue;
+      }
+      // Thesis heuristic: isolated single-chain problem with service
+      // times inflated by the other chains' utilization (APL LP22-LP33).
+      std::size_t sub_size = 0;
+      for (int n = 0; n < num_stations; ++n) {
+        const double d = model.demand(r, n);
+        if (d <= 0.0) continue;
+        double rho_other = 0.0;
+        for (int j = 0; j < num_chains; ++j) {
+          if (j == r) continue;
+          rho_other +=
+              lambda[static_cast<std::size_t>(j)] * model.demand(j, n);
+        }
+        rho_other = std::clamp(rho_other, 0.0, options.utilization_clamp);
+        const bool delay = model.is_delay(n);
+        sub_demand[sub_size] = delay ? d : d / (1.0 - rho_other);
+        sub_delay[sub_size] = delay ? 1 : 0;
+        sub_station[sub_size] = n;
+        ++sub_size;
+      }
+      // Single-chain MVA recursion (thesis eq. 4.1-4.4) in rolling
+      // two-level form; identical arithmetic to solve_single_chain for
+      // these fixed-rate/IS subproblems.
+      for (std::size_t k = 0; k < sub_size; ++k) sc_number_prev[k] = 0.0;
+      for (int k = 1; k <= pop; ++k) {
+        double cycle_time = 0.0;
+        for (std::size_t i = 0; i < sub_size; ++i) {
+          sc_time[i] = sub_delay[i] != 0
+                           ? sub_demand[i]
+                           : sub_demand[i] * (1.0 + sc_number_prev[i]);
+          cycle_time += sc_time[i];
+        }
+        if (!(cycle_time > 0.0)) {
+          throw std::invalid_argument(
+              "solve_single_chain: chain has zero total demand");
+        }
+        const double sc_lambda = k / cycle_time;
+        for (std::size_t i = 0; i < sub_size; ++i) {
+          sc_number_cur[i] = sc_lambda * sc_time[i];
+        }
+        if (k < pop) {
+          std::swap_ranges(sc_number_prev.begin(),
+                           sc_number_prev.begin() + sub_size,
+                           sc_number_cur.begin());
+        }
+      }
+      for (std::size_t i = 0; i < sub_size; ++i) {
+        const double increment = sc_number_cur[i] - sc_number_prev[i];
+        sigma[static_cast<std::size_t>(sub_station[i]) * num_chains + r] =
+            std::clamp(increment, 0.0, 1.0);
+      }
+    }
+    if (refresh_sigma && lazy_sigma) {
+      std::copy(lambda.begin(), lambda.end(), lambda_sigma.begin());
+    }
+
+    // STEP 3: mean queueing times (thesis eq. 4.13).
+    for (int r = 0; r < num_chains; ++r) {
+      if (population[static_cast<std::size_t>(r)] == 0) continue;
+      for (int n = 0; n < num_stations; ++n) {
+        const double d = model.demand(r, n);
+        if (d <= 0.0) {
+          time[static_cast<std::size_t>(n) * num_chains + r] = 0.0;
+          continue;
+        }
+        if (model.is_delay(n)) {
+          time[static_cast<std::size_t>(n) * num_chains + r] = d;
+          continue;
+        }
+        double others = 0.0;
+        for (int j = 0; j < num_chains; ++j) {
+          others += number[static_cast<std::size_t>(n) * num_chains + j];
+        }
+        const double seen = std::max(
+            0.0,
+            others - sigma[static_cast<std::size_t>(n) * num_chains + r]);
+        time[static_cast<std::size_t>(n) * num_chains + r] = d * (1.0 + seen);
+      }
+    }
+
+    // STEP 4: chain throughputs (Little for chains, thesis eq. 4.14).
+    for (int r = 0; r < num_chains; ++r) {
+      const int pop = population[static_cast<std::size_t>(r)];
+      if (pop == 0) {
+        lambda[static_cast<std::size_t>(r)] = 0.0;
+        continue;
+      }
+      double cycle = 0.0;
+      for (int n = 0; n < num_stations; ++n) {
+        cycle += time[static_cast<std::size_t>(n) * num_chains + r];
+      }
+      lambda[static_cast<std::size_t>(r)] = pop / cycle;
+    }
+
+    // STEP 5: mean queue lengths (Little for stations, thesis eq. 4.15),
+    // with optional under-relaxation.
+    for (int r = 0; r < num_chains; ++r) {
+      for (int n = 0; n < num_stations; ++n) {
+        const std::size_t idx = static_cast<std::size_t>(n) * num_chains + r;
+        const double updated = lambda[static_cast<std::size_t>(r)] * time[idx];
+        number[idx] =
+            options.damping * updated + (1.0 - options.damping) * number[idx];
+      }
+    }
+
+    // STEP 6: stopping condition on the throughput vector (APL CRIT).
+    double crit = 0.0;
+    double scale = 1.0;
+    for (int r = 0; r < num_chains; ++r) {
+      crit = std::max(crit, std::abs(lambda[static_cast<std::size_t>(r)] -
+                                     lambda_prev[static_cast<std::size_t>(r)]));
+      scale = std::max(scale, std::abs(lambda[static_cast<std::size_t>(r)]));
+    }
+    std::copy(lambda.begin(), lambda.end(), lambda_prev.begin());
+    sol.iterations = iteration;
+    if (crit / scale < options.tolerance) {
+      if (refresh_sigma) {
+        sol.converged = true;
+        break;
+      }
+      force_sigma = true;
+    } else if (!refresh_sigma && crit / scale < options.tolerance * 1e2) {
+      force_sigma = true;
+    }
+  }
+
+  sol.chain_throughput = lambda;
+  sol.mean_queue = number;
+  sol.mean_time = time;
+  sol.sigma = sigma;
+  return sol;
+}
+
+}  // namespace windim::solver

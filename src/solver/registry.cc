@@ -1,0 +1,77 @@
+#include "solver/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "solver/adapters.h"
+#include "solver/heuristic_mva.h"
+
+namespace windim::solver {
+namespace {
+
+const Solver& heuristic_mva_solver() {
+  static const HeuristicMvaSolver s{"heuristic-mva",
+                                    mva::SigmaPolicy::kChanSingleChain};
+  return s;
+}
+
+const Solver& schweitzer_mva_solver() {
+  static const HeuristicMvaSolver s{"schweitzer-mva",
+                                    mva::SigmaPolicy::kSchweitzerBard};
+  return s;
+}
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  const auto add = [this](const Solver& s) {
+    entries_.push_back(Entry{std::string(s.name()), &s});
+    solvers_.push_back(&s);
+  };
+  const auto alias = [this](std::string name, const Solver& s) {
+    entries_.push_back(Entry{std::move(name), &s});
+  };
+  add(convolution_solver());
+  add(buzen_solver());
+  add(buzen_log_solver());
+  add(recal_solver());
+  add(tree_convolution_solver());
+  add(product_form_solver());
+  add(exact_mva_solver());
+  add(heuristic_mva_solver());
+  alias("heuristic", heuristic_mva_solver());
+  add(schweitzer_mva_solver());
+  alias("schweitzer", schweitzer_mva_solver());
+  add(linearizer_solver());
+  add(bounds_solver());
+  add(semiclosed_solver());
+}
+
+const SolverRegistry& SolverRegistry::instance() {
+  static const SolverRegistry registry;
+  return registry;
+}
+
+const Solver* SolverRegistry::find(std::string_view name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.solver;
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::require(std::string_view name) const {
+  if (const Solver* s = find(name)) return *s;
+  std::ostringstream os;
+  os << "unknown solver '" << name << "'; available solvers:";
+  for (const Solver* s : solvers_) os << ' ' << s->name();
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const Solver* s : solvers_) out.emplace_back(s->name());
+  return out;
+}
+
+}  // namespace windim::solver

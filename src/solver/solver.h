@@ -1,0 +1,106 @@
+// The uniform solver interface of the compile-once/solve-many engine.
+//
+// Every closed/mixed-network algorithm in this library — convolution,
+// Buzen, RECAL, tree convolution, product form, exact multichain MVA,
+// the WINDIM heuristic, Schweitzer-Bard, Linearizer, balanced job
+// bounds, the semiclosed lattice solver — is reachable through
+//
+//     Solution solve(const qn::CompiledModel&, const PopulationVector&,
+//                    Workspace&) const;
+//
+// so the evaluation engine, the verify oracles, the fuzz driver and the
+// CLI dispatch on a registry name instead of solver-specific switches.
+// Capabilities are declared in Traits; callers gate on traits, never on
+// concrete types.
+//
+// Result lifetime: a Solution is a set of spans into the Workspace
+// passed to solve().  It stays valid until the next solve() on that
+// workspace (which resets the arena).  Copy out what must persist.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "qn/compiled_model.h"
+#include "solver/workspace.h"
+
+namespace windim::solver {
+
+/// Closed-chain populations in chain order, one entry per chain of the
+/// compiled model (the window vector, in the flow-control reading).
+using PopulationVector = std::vector<int>;
+
+/// Static capabilities of a solver, for trait-driven dispatch.
+struct Traits {
+  /// Product-form exact (vs. an approximation/bound).
+  bool exact = false;
+  /// Only models with exactly one chain are accepted.
+  bool requires_single_chain = false;
+  /// Limited queue-dependent stations are supported.
+  bool supports_queue_dependent = false;
+  /// The solver interprets the population vector as per-chain *upper*
+  /// bounds of a semiclosed band and needs compiled semiclosed
+  /// metadata (arrival rates); see CompileOptions.
+  bool semiclosed_view = false;
+  /// Solution::mean_queue is populated (power/delay evaluators need it).
+  bool has_queue_lengths = false;
+  /// Workspace::hints.warm_start is honoured.
+  bool supports_warm_start = false;
+  /// Iterative fixed point (Solution::iterations/converged meaningful).
+  bool iterative = false;
+};
+
+/// Solver output: spans into the solve's Workspace.  Empty spans mean
+/// the solver does not produce that statistic (check Traits first).
+struct Solution {
+  /// Chain completion rates (cycles/s), one per chain.  For the
+  /// semiclosed view this is the *carried* throughput.
+  std::span<const double> chain_throughput;
+  /// mean_queue[n * R + r]: mean chain-r customers at station n.
+  std::span<const double> mean_queue;
+  /// mean_time[n * R + r]: mean time chain r spends at station n per
+  /// chain cycle.
+  std::span<const double> mean_time;
+  /// Per-station total utilization (exact convolution/Buzen only).
+  std::span<const double> station_utilization;
+  /// Converged sigma estimates of the heuristic [n * R + r].
+  std::span<const double> sigma;
+  int num_chains = 0;
+
+  int iterations = 0;
+  int sigma_refreshes = 0;
+  bool converged = true;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return mean_queue[static_cast<std::size_t>(station) * num_chains + chain];
+  }
+  [[nodiscard]] double time(int station, int chain) const {
+    return mean_time[static_cast<std::size_t>(station) * num_chains + chain];
+  }
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name (stable identifier; see solver/registry.h).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual Traits traits() const noexcept = 0;
+
+  /// Evaluates the compiled model at `population` (one entry per chain;
+  /// open chains' entries are ignored).  Resets `ws` on entry — the
+  /// previous Solution obtained from `ws` becomes invalid.  Thread-safe
+  /// as long as each thread passes its own Workspace.
+  ///
+  /// Throws qn::ModelError / std::invalid_argument on inputs outside
+  /// the solver's domain, and std::runtime_error when the algorithm
+  /// itself gives up (state-space caps, degenerate normalization
+  /// constants); callers that probe applicability treat runtime_error
+  /// as "skip", anything else as a hard failure (the oracle contract).
+  [[nodiscard]] virtual Solution solve(const qn::CompiledModel& model,
+                                       const PopulationVector& population,
+                                       Workspace& ws) const = 0;
+};
+
+}  // namespace windim::solver

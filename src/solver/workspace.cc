@@ -1,0 +1,89 @@
+#include "solver/workspace.h"
+
+#include <algorithm>
+
+namespace windim::solver {
+
+std::atomic<std::uint64_t> Workspace::global_heap_allocations_{0};
+
+void* Workspace::raw(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(b.data.get()) + offset_;
+      const std::size_t aligned = (base + align - 1) & ~(align - 1);
+      const std::size_t pad = aligned - base;
+      if (offset_ + pad + bytes <= b.size) {
+        offset_ += pad + bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Current block exhausted; advance (later blocks keep their
+      // capacity from earlier, larger solves).
+      ++block_;
+      offset_ = 0;
+      continue;
+    }
+    // Grow: geometric doubling from 16 KiB, large requests get their
+    // own block.  This is the ONLY heap allocation in the arena, and
+    // after warm-up it never runs again.
+    std::size_t size = blocks_.empty() ? 16 * 1024 : blocks_.back().size * 2;
+    size = std::max(size, bytes + align);
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    ++heap_allocations_;
+    global_heap_allocations_.fetch_add(1, std::memory_order_relaxed);
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+qn::NetworkModel& Workspace::scratch_model(const qn::CompiledModel& model,
+                                           std::span<const int> population) {
+  if (scratch_key_ != model.id()) {
+    // First solve against this compiled model (or the engine switched
+    // models on this workspace): make the one-time copy.
+    scratch_model_.emplace(model.source());
+    scratch_key_ = model.id();
+    ++heap_allocations_;  // the copy allocates; count it as warm-up
+    global_heap_allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  qn::NetworkModel& m = *scratch_model_;
+  for (int r = 0; r < m.num_chains(); ++r) {
+    if (m.chain(r).type != qn::ChainType::kClosed) continue;
+    if (r < static_cast<int>(population.size())) {
+      m.set_population(r, population[static_cast<std::size_t>(r)]);
+    }
+  }
+  return m;
+}
+
+WorkspacePool::Lease::~Lease() {
+  if (pool_ != nullptr && ws_ != nullptr) pool_->release(ws_);
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!idle_.empty()) {
+    Workspace* ws = idle_.back();
+    idle_.pop_back();
+    return Lease(*this, ws);
+  }
+  all_.push_back(std::make_unique<Workspace>());
+  return Lease(*this, all_.back().get());
+}
+
+void WorkspacePool::release(Workspace* ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ws->hints = SolveHints{};
+  idle_.push_back(ws);
+}
+
+std::size_t WorkspacePool::heap_allocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& ws : all_) total += ws->heap_allocations();
+  return total;
+}
+
+}  // namespace windim::solver

@@ -2,21 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <stdexcept>
+#include <vector>
 
-#include "exact/buzen.h"
-#include "exact/convolution.h"
 #include "exact/mixed.h"
-#include "exact/product_form.h"
-#include "exact/recal.h"
 #include "exact/semiclosed.h"
-#include "exact/tree_convolution.h"
 #include "markov/closed_ctmc.h"
 #include "mva/approx.h"
-#include "mva/exact_multichain.h"
-#include "mva/linearizer.h"
+#include "qn/compiled_model.h"
 #include "sim/replicate.h"
+#include "solver/registry.h"
+#include "solver/solver.h"
+#include "solver/workspace.h"
 
 namespace windim::verify {
 namespace {
@@ -93,19 +90,228 @@ std::string cell(int station, int chain) {
          std::to_string(chain);
 }
 
+/// The convolution reference solution, copied out of the solve
+/// workspace (Solution spans die on the next solve on that workspace)
+/// together with the compiled model every comparand pair reuses.
+struct Reference {
+  qn::CompiledModel compiled;
+  std::vector<int> population;  // one entry per chain
+  std::vector<double> throughput;
+  std::vector<double> queue;  // [n * R + r]
+  std::vector<double> utilization;
+  int num_chains = 0;
+  int num_stations = 0;
+
+  [[nodiscard]] double queue_length(int station, int chain) const {
+    return queue[static_cast<std::size_t>(station) * num_chains + chain];
+  }
+};
+
+/// Compiles `m` and solves it with the registry's reference solver
+/// (convolution).  Throws whatever compile()/solve() throw.
+Reference solve_reference(const qn::NetworkModel& m, solver::Workspace& ws) {
+  Reference ref;
+  ref.compiled = qn::CompiledModel::compile(m);
+  const auto base = ref.compiled.base_populations();
+  ref.population.assign(base.begin(), base.end());
+  const solver::Solver& conv =
+      *solver::SolverRegistry::instance().find("convolution");
+  const solver::Solution sol = conv.solve(ref.compiled, ref.population, ws);
+  ref.num_chains = sol.num_chains;
+  ref.num_stations = ref.compiled.num_stations();
+  ref.throughput.assign(sol.chain_throughput.begin(),
+                        sol.chain_throughput.end());
+  ref.queue.assign(sol.mean_queue.begin(), sol.mean_queue.end());
+  ref.utilization.assign(sol.station_utilization.begin(),
+                         sol.station_utilization.end());
+  return ref;
+}
+
+bool solver_enabled(const OracleOptions& opt, const solver::Solver* s) {
+  if (opt.solvers.empty()) return true;
+  const solver::SolverRegistry& reg = solver::SolverRegistry::instance();
+  for (const std::string& name : opt.solvers) {
+    if (reg.find(name) == s) return true;
+  }
+  return false;
+}
+
+// --- the exact-pair table -------------------------------------------------
+//
+// Every exact solver is compared against the convolution reference
+// through the uniform solver::Solver interface: chain throughputs
+// always, queue lengths and utilizations when the solver produces them
+// (the Solution spans are empty otherwise — tree convolution computes
+// no queue lengths, RECAL/product form no utilizations).  What varies
+// per pair is pure data: when the pair applies and whether a
+// runtime_error rejection is a skip (the solver legitimately probes
+// applicability: state-space caps) or a failure (the `applies`
+// predicate already implies the solver's domain, so a throw is a bug).
+
+bool applies_always(const qn::NetworkModel&) { return true; }
+bool applies_plain(const qn::NetworkModel& m) {
+  return fixed_rate_or_delay_only(m);
+}
+bool applies_plain_fixed_rate(const qn::NetworkModel& m) {
+  return fixed_rate_or_delay_only(m) && has_visited_fixed_rate_station(m);
+}
+bool applies_single_chain(const qn::NetworkModel& m) {
+  return m.num_chains() == 1;
+}
+
+struct ExactPair {
+  const char* oracle;  // report name
+  const char* solver;  // registry name
+  bool (*applies)(const qn::NetworkModel&);
+  /// Rejection = failure (vs. skip).
+  bool reject_is_failure;
+  /// Compare per-station utilizations too (Buzen is the only pair
+  /// historically held to its utilization vector).
+  bool compare_utilization;
+};
+
+constexpr ExactPair kExactPairs[] = {
+    {"convolution-vs-product-form", "product-form", applies_always, false,
+     false},
+    {"convolution-vs-exact-mva", "exact-mva", applies_plain, true, false},
+    {"convolution-vs-recal", "recal", applies_plain_fixed_rate, false, false},
+    {"convolution-vs-tree", "tree-convolution", applies_plain_fixed_rate,
+     false, false},
+    {"convolution-vs-buzen", "buzen", applies_single_chain, true, true},
+};
+
+void run_exact_pair(const ExactPair& pair, const Reference& ref,
+                    OracleReport& report, const OracleOptions& opt,
+                    solver::Workspace& ws) {
+  const solver::Solver* solver =
+      solver::SolverRegistry::instance().find(pair.solver);
+  if (solver == nullptr || !solver_enabled(opt, solver)) return;
+  ws.hints = solver::SolveHints{};
+  ws.hints.max_states = opt.max_product_form_states;
+  solver::Solution sol;
+  try {
+    sol = solver->solve(ref.compiled, ref.population, ws);
+  } catch (const std::runtime_error& e) {
+    ws.hints = solver::SolveHints{};
+    if (pair.reject_is_failure) {
+      Comparison check(report, pair.oracle, opt.exact_rel, opt.exact_abs);
+      check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    } else {
+      report.skipped.push_back(pair.oracle);
+    }
+    return;
+  } catch (const std::exception& e) {
+    // Non-runtime_error rejections (trait misuse, malformed input) are
+    // contract violations for any pair.
+    ws.hints = solver::SolveHints{};
+    Comparison check(report, pair.oracle, opt.exact_rel, opt.exact_abs);
+    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    return;
+  }
+  ws.hints = solver::SolveHints{};
+
+  Comparison check(report, pair.oracle, opt.exact_rel, opt.exact_abs);
+  for (int r = 0; r < sol.num_chains; ++r) {
+    check.expect_near(ref.throughput[static_cast<std::size_t>(r)],
+                      sol.chain_throughput[static_cast<std::size_t>(r)],
+                      "chain " + std::to_string(r) + " throughput");
+  }
+  if (!sol.mean_queue.empty()) {
+    for (int n = 0; n < ref.num_stations; ++n) {
+      for (int r = 0; r < sol.num_chains; ++r) {
+        check.expect_near(ref.queue_length(n, r), sol.queue_length(n, r),
+                          cell(n, r) + " queue length");
+      }
+    }
+  }
+  if (pair.compare_utilization && !sol.station_utilization.empty()) {
+    for (int n = 0; n < ref.num_stations; ++n) {
+      check.expect_near(ref.utilization[static_cast<std::size_t>(n)],
+                        sol.station_utilization[static_cast<std::size_t>(n)],
+                        "station " + std::to_string(n) + " utilization");
+    }
+  }
+}
+
+// --- the approximation-envelope table -------------------------------------
+
+struct EnvelopePair {
+  const char* oracle;
+  const char* solver;
+  double OracleOptions::*envelope;
+  double OracleReport::*observed;
+  /// Plain fixed-point iteration (the thesis's choice) can oscillate
+  /// on adversarial random instances; a damping-0.5 retry converges to
+  /// the same fixed point when it exists.
+  bool retry_with_damping;
+};
+
+constexpr EnvelopePair kEnvelopes[] = {
+    {"heuristic-envelope", "heuristic-mva", &OracleOptions::heuristic_envelope,
+     &OracleReport::heuristic_error, true},
+    {"schweitzer-envelope", "schweitzer-mva",
+     &OracleOptions::schweitzer_envelope, &OracleReport::schweitzer_error,
+     true},
+    {"linearizer-envelope", "linearizer", &OracleOptions::linearizer_envelope,
+     &OracleReport::linearizer_error, false},
+};
+
+void run_envelope(const EnvelopePair& pair, const Reference& ref,
+                  OracleReport& report, const OracleOptions& opt,
+                  solver::Workspace& ws) {
+  const solver::Solver* solver =
+      solver::SolverRegistry::instance().find(pair.solver);
+  if (solver == nullptr || !solver_enabled(opt, solver)) return;
+  Comparison check(report, pair.oracle, 0.0, 0.0);
+  solver::Solution sol;
+  try {
+    ws.hints = solver::SolveHints{};
+    sol = solver->solve(ref.compiled, ref.population, ws);
+    if (!sol.converged && pair.retry_with_damping) {
+      mva::ApproxMvaOptions damped;
+      damped.damping = 0.5;
+      ws.hints.mva = &damped;
+      sol = solver->solve(ref.compiled, ref.population, ws);
+    }
+    ws.hints = solver::SolveHints{};
+  } catch (const std::exception& e) {
+    ws.hints = solver::SolveHints{};
+    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
+    return;
+  }
+  if (!sol.converged) {
+    check.fail("iteration did not converge", 0.0);
+    return;
+  }
+  double worst = 0.0;
+  for (int r = 0; r < sol.num_chains; ++r) {
+    const double exact = ref.throughput[static_cast<std::size_t>(r)];
+    if (exact <= 0.0) continue;
+    const double approx = sol.chain_throughput[static_cast<std::size_t>(r)];
+    worst = std::max(worst, std::abs(approx - exact) / exact);
+  }
+  report.*pair.observed = worst;
+  check.expect_true(worst <= opt.*pair.envelope,
+                    "max relative throughput error " + std::to_string(worst) +
+                        " above envelope " +
+                        std::to_string(opt.*pair.envelope),
+                    worst);
+}
+
+// --- model-level checks (no second solver / no uniform Solution) ----------
+
 /// Model-level invariants on the convolution reference solution.
-void check_invariants(const qn::NetworkModel& m,
-                      const exact::ConvolutionResult& conv,
+void check_invariants(const qn::NetworkModel& m, const Reference& ref,
                       OracleReport& report, const OracleOptions& opt) {
   Comparison check(report, "model-invariants", opt.exact_rel, opt.exact_abs);
   for (int r = 0; r < m.num_chains(); ++r) {
-    const double lambda = conv.chain_throughput[static_cast<std::size_t>(r)];
+    const double lambda = ref.throughput[static_cast<std::size_t>(r)];
     check.expect_true(lambda >= 0.0 && std::isfinite(lambda),
                       "chain " + std::to_string(r) + " throughput " +
                           std::to_string(lambda) + " not finite nonnegative");
     double total = 0.0;
     for (int n = 0; n < m.num_stations(); ++n) {
-      const double q = conv.queue_length(n, r);
+      const double q = ref.queue_length(n, r);
       check.expect_true(q >= -1e-9 && std::isfinite(q),
                         cell(n, r) + " queue length " + std::to_string(q) +
                             " negative");
@@ -117,7 +323,7 @@ void check_invariants(const qn::NetworkModel& m,
                       "chain " + std::to_string(r) + " population");
   }
   for (int n = 0; n < m.num_stations(); ++n) {
-    const double u = conv.station_utilization[static_cast<std::size_t>(n)];
+    const double u = ref.utilization[static_cast<std::size_t>(n)];
     if (m.station(n).is_delay()) continue;
     check.expect_true(u >= -1e-9 && u <= 1.0 + 1e-9,
                       "station " + std::to_string(n) + " utilization " +
@@ -126,7 +332,7 @@ void check_invariants(const qn::NetworkModel& m,
     if (m.station(n).is_fixed_rate()) {
       // A queue holds at least its utilization worth of customers.
       double total = 0.0;
-      for (int r = 0; r < m.num_chains(); ++r) total += conv.queue_length(n, r);
+      for (int r = 0; r < m.num_chains(); ++r) total += ref.queue_length(n, r);
       check.expect_true(total >= u - 1e-7,
                         "station " + std::to_string(n) + " mean queue " +
                             std::to_string(total) + " below utilization " +
@@ -136,208 +342,11 @@ void check_invariants(const qn::NetworkModel& m,
   }
 }
 
-void compare_product_form(const Instance& inst,
-                          const exact::ConvolutionResult& conv,
-                          OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  exact::ProductFormResult brute;
-  try {
-    brute = exact::solve_product_form(m, opt.max_product_form_states);
-  } catch (const std::runtime_error&) {
-    report.skipped.push_back("convolution-vs-product-form");
-    return;
-  }
-  Comparison check(report, "convolution-vs-product-form", opt.exact_rel,
-                   opt.exact_abs);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
-                      brute.chain_throughput[static_cast<std::size_t>(r)],
-                      "chain " + std::to_string(r) + " throughput");
-    for (int n = 0; n < m.num_stations(); ++n) {
-      check.expect_near(conv.queue_length(n, r), brute.queue_length(n, r),
-                        cell(n, r) + " queue length");
-    }
-  }
-}
-
-void compare_exact_mva(const Instance& inst,
-                       const exact::ConvolutionResult& conv,
-                       OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  Comparison check(report, "convolution-vs-exact-mva", opt.exact_rel,
-                   opt.exact_abs);
-  mva::MvaSolution sol;
-  try {
-    sol = mva::solve_exact_multichain(m);
-  } catch (const std::exception& e) {
-    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
-    return;
-  }
-  for (int r = 0; r < m.num_chains(); ++r) {
-    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
-                      sol.chain_throughput[static_cast<std::size_t>(r)],
-                      "chain " + std::to_string(r) + " throughput");
-    for (int n = 0; n < m.num_stations(); ++n) {
-      check.expect_near(conv.queue_length(n, r), sol.queue_length(n, r),
-                        cell(n, r) + " queue length");
-    }
-  }
-}
-
-void compare_recal(const Instance& inst, const exact::ConvolutionResult& conv,
-                   OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  exact::RecalResult recal;
-  try {
-    recal = exact::solve_recal(m);
-  } catch (const std::runtime_error&) {
-    report.skipped.push_back("convolution-vs-recal");
-    return;
-  }
-  Comparison check(report, "convolution-vs-recal", opt.exact_rel,
-                   opt.exact_abs);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
-                      recal.chain_throughput[static_cast<std::size_t>(r)],
-                      "chain " + std::to_string(r) + " throughput");
-    for (int n = 0; n < m.num_stations(); ++n) {
-      check.expect_near(conv.queue_length(n, r), recal.queue_length(n, r),
-                        cell(n, r) + " queue length");
-    }
-  }
-}
-
-void compare_tree(const Instance& inst, const exact::ConvolutionResult& conv,
-                  OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  exact::TreeConvolutionResult tree;
-  try {
-    tree = exact::solve_tree_convolution(m);
-  } catch (const std::runtime_error&) {
-    report.skipped.push_back("convolution-vs-tree");
-    return;
-  }
-  Comparison check(report, "convolution-vs-tree", opt.exact_rel,
-                   opt.exact_abs);
-  for (int r = 0; r < m.num_chains(); ++r) {
-    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
-                      tree.chain_throughput[static_cast<std::size_t>(r)],
-                      "chain " + std::to_string(r) + " throughput");
-  }
-}
-
-void compare_buzen(const Instance& inst, const exact::ConvolutionResult& conv,
-                   OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  Comparison check(report, "convolution-vs-buzen", opt.exact_rel,
-                   opt.exact_abs);
-  exact::BuzenResult buzen;
-  try {
-    buzen = exact::solve_buzen(m);
-  } catch (const std::exception& e) {
-    check.fail(std::string("solver rejected instance: ") + e.what(), 0.0);
-    return;
-  }
-  check.expect_near(conv.chain_throughput[0], buzen.throughput,
-                    "chain 0 throughput");
-  for (int n = 0; n < m.num_stations(); ++n) {
-    check.expect_near(conv.queue_length(n, 0),
-                      buzen.mean_number[static_cast<std::size_t>(n)],
-                      "station " + std::to_string(n) + " mean number");
-    check.expect_near(conv.station_utilization[static_cast<std::size_t>(n)],
-                      buzen.utilization[static_cast<std::size_t>(n)],
-                      "station " + std::to_string(n) + " utilization");
-  }
-}
-
-/// Shared core of the three approximate-MVA envelope oracles: returns
-/// the max relative chain-throughput error vs the exact reference, or
-/// records a divergence failure and returns a negative value.
-double approximation_error(const qn::NetworkModel& m,
-                           const exact::ConvolutionResult& conv,
-                           const mva::MvaSolution& sol, bool converged,
-                           Comparison& check) {
-  if (!converged) {
-    check.fail("iteration did not converge", 0.0);
-    return -1.0;
-  }
-  double worst = 0.0;
-  for (int r = 0; r < m.num_chains(); ++r) {
-    const double exact = conv.chain_throughput[static_cast<std::size_t>(r)];
-    const double approx = sol.chain_throughput[static_cast<std::size_t>(r)];
-    if (exact <= 0.0) continue;
-    worst = std::max(worst, std::abs(approx - exact) / exact);
-  }
-  return worst;
-}
-
-mva::MvaSolution solve_heuristic_with_retry(const qn::NetworkModel& m,
-                                            mva::SigmaPolicy policy) {
-  mva::ApproxMvaOptions options;
-  options.sigma = policy;
-  mva::MvaSolution sol = mva::solve_approx_mva(m, options);
-  // Plain fixed-point iteration (the thesis's choice) can oscillate on
-  // adversarial random instances; damping converges to the same fixed
-  // point when it exists.
-  if (!sol.converged) {
-    options.damping = 0.5;
-    sol = mva::solve_approx_mva(m, options);
-  }
-  return sol;
-}
-
-void check_approximations(const Instance& inst,
-                          const exact::ConvolutionResult& conv,
-                          OracleReport& report, const OracleOptions& opt) {
-  const qn::NetworkModel& m = inst.model;
-  {
-    Comparison check(report, "heuristic-envelope", 0.0, 0.0);
-    const mva::MvaSolution sol =
-        solve_heuristic_with_retry(m, mva::SigmaPolicy::kChanSingleChain);
-    const double err = approximation_error(m, conv, sol, sol.converged, check);
-    if (err >= 0.0) {
-      report.heuristic_error = err;
-      check.expect_true(err <= opt.heuristic_envelope,
-                        "max relative throughput error " +
-                            std::to_string(err) + " above envelope " +
-                            std::to_string(opt.heuristic_envelope),
-                        err);
-    }
-  }
-  {
-    Comparison check(report, "schweitzer-envelope", 0.0, 0.0);
-    const mva::MvaSolution sol =
-        solve_heuristic_with_retry(m, mva::SigmaPolicy::kSchweitzerBard);
-    const double err = approximation_error(m, conv, sol, sol.converged, check);
-    if (err >= 0.0) {
-      report.schweitzer_error = err;
-      check.expect_true(err <= opt.schweitzer_envelope,
-                        "max relative throughput error " +
-                            std::to_string(err) + " above envelope " +
-                            std::to_string(opt.schweitzer_envelope),
-                        err);
-    }
-  }
-  {
-    Comparison check(report, "linearizer-envelope", 0.0, 0.0);
-    const mva::MvaSolution sol = mva::solve_linearizer(m);
-    const double err = approximation_error(m, conv, sol, sol.converged, check);
-    if (err >= 0.0) {
-      report.linearizer_error = err;
-      check.expect_true(err <= opt.linearizer_envelope,
-                        "max relative throughput error " +
-                            std::to_string(err) + " above envelope " +
-                            std::to_string(opt.linearizer_envelope),
-                        err);
-    }
-  }
-}
-
 /// Own-chain throughput must not decrease when the chain gains a
 /// customer (product form, fixed-rate/IS stations).
-void check_monotonicity(const Instance& inst,
-                        const exact::ConvolutionResult& conv,
-                        OracleReport& report, const OracleOptions& opt) {
+void check_monotonicity(const Instance& inst, const Reference& ref,
+                        OracleReport& report, const OracleOptions& opt,
+                        solver::Workspace& ws) {
   const qn::NetworkModel& m = inst.model;
   Comparison check(report, "throughput-monotonicity", 0.0, 0.0);
   for (int r = 0; r < m.num_chains(); ++r) {
@@ -349,9 +358,9 @@ void check_monotonicity(const Instance& inst,
       grown.add_chain(std::move(c));
     }
     if (closed_lattice_size(grown) > opt.max_lattice) continue;
-    const exact::ConvolutionResult bigger = exact::solve_convolution(grown);
-    const double before = conv.chain_throughput[static_cast<std::size_t>(r)];
-    const double after = bigger.chain_throughput[static_cast<std::size_t>(r)];
+    const Reference bigger = solve_reference(grown, ws);
+    const double before = ref.throughput[static_cast<std::size_t>(r)];
+    const double after = bigger.throughput[static_cast<std::size_t>(r)];
     check.expect_true(
         after >= before - (1e-9 + 1e-9 * before),
         "chain " + std::to_string(r) + " throughput fell from " +
@@ -362,8 +371,8 @@ void check_monotonicity(const Instance& inst,
   }
 }
 
-void check_semiclosed(const Instance& inst, OracleReport& report,
-                      const OracleOptions& opt) {
+void check_semiclosed(const Instance& inst, const Reference& ref,
+                      OracleReport& report, const OracleOptions& opt) {
   const qn::NetworkModel& m = inst.model;
   {
     Comparison check(report, "semiclosed-invariants", opt.exact_rel,
@@ -414,7 +423,8 @@ void check_semiclosed(const Instance& inst, OracleReport& report,
   }
   {
     // Pinning the bounds to [E, E] must reproduce the closed network
-    // at population E, whatever the arrival rates.
+    // at population E, whatever the arrival rates.  `ref` *is* that
+    // closed solution — the instance's model at its base populations.
     Comparison check(report, "semiclosed-pinned-vs-convolution",
                      opt.exact_rel, 1e-7);
     std::vector<exact::SemiclosedChainSpec> pinned = inst.semiclosed;
@@ -424,10 +434,9 @@ void check_semiclosed(const Instance& inst, OracleReport& report,
     }
     try {
       const exact::SemiclosedResult semi = exact::solve_semiclosed(m, pinned);
-      const exact::ConvolutionResult conv = exact::solve_convolution(m);
       for (int n = 0; n < m.num_stations(); ++n) {
         for (int r = 0; r < m.num_chains(); ++r) {
-          check.expect_near(semi.queue_length(n, r), conv.queue_length(n, r),
+          check.expect_near(semi.queue_length(n, r), ref.queue_length(n, r),
                             cell(n, r) + " queue length");
         }
       }
@@ -437,7 +446,7 @@ void check_semiclosed(const Instance& inst, OracleReport& report,
   }
 }
 
-void check_ctmc(const Instance& inst, const exact::ConvolutionResult& conv,
+void check_ctmc(const Instance& inst, const Reference& ref,
                 OracleReport& report, const OracleOptions& opt) {
   markov::ClosedCtmcResult ctmc;
   try {
@@ -453,18 +462,17 @@ void check_ctmc(const Instance& inst, const exact::ConvolutionResult& conv,
   const qn::NetworkModel& m = inst.model;
   Comparison check(report, "convolution-vs-ctmc", opt.ctmc_rel, opt.ctmc_abs);
   for (int r = 0; r < m.num_chains(); ++r) {
-    check.expect_near(conv.chain_throughput[static_cast<std::size_t>(r)],
+    check.expect_near(ref.throughput[static_cast<std::size_t>(r)],
                       ctmc.throughput[static_cast<std::size_t>(r)],
                       "chain " + std::to_string(r) + " throughput");
     for (int n = 0; n < m.num_stations(); ++n) {
-      check.expect_near(conv.queue_length(n, r), ctmc.queue_length(n, r),
+      check.expect_near(ref.queue_length(n, r), ctmc.queue_length(n, r),
                         cell(n, r) + " queue length");
     }
   }
 }
 
-void check_simulation(const Instance& inst,
-                      const exact::ConvolutionResult& conv,
+void check_simulation(const Instance& inst, const Reference& ref,
                       OracleReport& report, const OracleOptions& opt) {
   sim::ClosedSimOptions options;
   options.sim_time = opt.sim_time;
@@ -482,7 +490,7 @@ void check_simulation(const Instance& inst,
   }
   const qn::NetworkModel& m = inst.model;
   for (int r = 0; r < m.num_chains(); ++r) {
-    const double exact = conv.chain_throughput[static_cast<std::size_t>(r)];
+    const double exact = ref.throughput[static_cast<std::size_t>(r)];
     const sim::MetricEstimate& est =
         rep.chain_throughput[static_cast<std::size_t>(r)];
     const double slack =
@@ -497,7 +505,7 @@ void check_simulation(const Instance& inst,
 }
 
 void check_mixed(const Instance& inst, OracleReport& report,
-                 const OracleOptions& opt) {
+                 const OracleOptions& opt, solver::Workspace& ws) {
   const qn::NetworkModel& m = inst.model;
   exact::MixedSolution mixed;
   {
@@ -566,9 +574,9 @@ void check_mixed(const Instance& inst, OracleReport& report,
     }
     if (closed_index.empty()) return;
     try {
-      const exact::ConvolutionResult conv = exact::solve_convolution(closed);
+      const Reference conv = solve_reference(closed, ws);
       for (std::size_t k = 0; k < closed_index.size(); ++k) {
-        check.expect_near(conv.chain_throughput[k],
+        check.expect_near(conv.throughput[k],
                           mixed.closed.chain_throughput[k],
                           "closed chain " + std::to_string(closed_index[k]) +
                               " throughput");
@@ -592,9 +600,10 @@ bool OracleReport::failed(const std::string& oracle) const {
 OracleReport run_oracles(const Instance& inst, const OracleOptions& opt) {
   OracleReport report;
   const qn::NetworkModel& m = inst.model;
+  solver::Workspace ws;
 
   if (!m.all_closed()) {
-    check_mixed(inst, report, opt);
+    check_mixed(inst, report, opt, ws);
     return report;
   }
 
@@ -603,36 +612,34 @@ OracleReport run_oracles(const Instance& inst, const OracleOptions& opt) {
     return report;
   }
 
-  exact::ConvolutionResult conv;
+  Reference ref;
   try {
-    conv = exact::solve_convolution(m);
+    ref = solve_reference(m, ws);
   } catch (const std::exception& e) {
     report.failures.push_back(
         {"model-invariants",
          std::string("convolution rejected instance: ") + e.what(), 0.0});
     return report;
   }
-  check_invariants(m, conv, report, opt);
+  check_invariants(m, ref, report, opt);
 
-  compare_product_form(inst, conv, report, opt);
-
-  const bool plain = fixed_rate_or_delay_only(m);
-  if (plain) {
-    compare_exact_mva(inst, conv, report, opt);
-    if (has_visited_fixed_rate_station(m)) {
-      compare_recal(inst, conv, report, opt);
-      compare_tree(inst, conv, report, opt);
-    }
-    check_approximations(inst, conv, report, opt);
-    if (opt.with_monotonicity) check_monotonicity(inst, conv, report, opt);
+  for (const ExactPair& pair : kExactPairs) {
+    if (!pair.applies(m)) continue;
+    run_exact_pair(pair, ref, report, opt, ws);
   }
-  if (m.num_chains() == 1) compare_buzen(inst, conv, report, opt);
 
-  if (!inst.semiclosed.empty()) check_semiclosed(inst, report, opt);
+  if (fixed_rate_or_delay_only(m)) {
+    for (const EnvelopePair& pair : kEnvelopes) {
+      run_envelope(pair, ref, report, opt, ws);
+    }
+    if (opt.with_monotonicity) check_monotonicity(inst, ref, report, opt, ws);
+  }
+
+  if (!inst.semiclosed.empty()) check_semiclosed(inst, ref, report, opt);
 
   if (inst.cyclic) {
-    if (opt.with_ctmc) check_ctmc(inst, conv, report, opt);
-    if (opt.with_simulation) check_simulation(inst, conv, report, opt);
+    if (opt.with_ctmc) check_ctmc(inst, ref, report, opt);
+    if (opt.with_simulation) check_simulation(inst, ref, report, opt);
   }
 
   return report;

@@ -36,6 +36,15 @@
 namespace windim::verify {
 
 struct OracleOptions {
+  /// Restrict the solver-pair and envelope oracles to these registry
+  /// solver names (solver::SolverRegistry; aliases resolve).  Empty =
+  /// every applicable pair.  Model-level checks that do not compare a
+  /// second solver (invariants, monotonicity, semiclosed, CTMC,
+  /// simulation, mixed) always run.  Unknown names simply match
+  /// nothing; callers wanting an error should validate against the
+  /// registry first (the CLI does).
+  std::vector<std::string> solvers;
+
   /// Exact-vs-exact comparison: |a-b| <= abs + rel * max(|a|,|b|).
   double exact_rel = 1e-9;
   double exact_abs = 1e-9;

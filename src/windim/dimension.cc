@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "search/eval_cache.h"
+#include "solver/registry.h"
 #include "util/thread_pool.h"
 
 namespace windim::core {
@@ -155,22 +156,33 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   }
 
   // The run-wide engine state: one memo/budget, one evaluation store,
-  // and (for --threads > 1) one worker pool for speculative probes.
+  // one registry solver, one workspace pool (caller's, if provided, so
+  // warm arenas survive across runs), and (for --threads > 1) one
+  // worker pool for speculative probes.
   search::EvalCache cache(options.max_evaluations);
   EvaluationStore store;
+  const solver::Solver& solver = solver::SolverRegistry::instance().require(
+      options.solver.empty() ? to_string(options.evaluator)
+                             : options.solver);
+  solver::WorkspacePool local_workspaces;
+  solver::WorkspacePool& workspaces = options.workspaces != nullptr
+                                          ? *options.workspaces
+                                          : local_workspaces;
   std::unique_ptr<util::ThreadPool> pool;
   const std::size_t pool_size =
       options.threads == 1 ? 1 : util::resolve_thread_count(options.threads);
   if (pool_size > 1) pool = std::make_unique<util::ThreadPool>(pool_size);
 
   const bool warm =
-      options.warm_start && options.evaluator == Evaluator::kHeuristicMva;
+      options.warm_start && solver.traits().supports_warm_start;
   const search::Objective objective = [&](const search::Point& e) {
     std::optional<mva::MvaWarmStart> seed;
     if (warm) seed = store.nearest_anchor(e);
     mva::MvaWarmStart state;
-    Evaluation ev = problem.evaluate(e, options.evaluator, options.mva,
-                                     seed ? &*seed : nullptr, &state);
+    auto ws = workspaces.acquire();
+    Evaluation ev =
+        problem.evaluate_with(e, solver, *ws, &options.mva,
+                              seed ? &*seed : nullptr, &state);
     const double value = objective_value(ev, options);
     store.insert(e, std::move(ev), std::move(state));
     return value;

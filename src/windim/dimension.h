@@ -7,10 +7,12 @@
 // 4.4/4.6), and the search runs over integer windows bounded below by 1.
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "search/pattern_search.h"
+#include "solver/workspace.h"
 #include "windim/problem.h"
 
 namespace windim::core {
@@ -30,6 +32,10 @@ enum class DimensionObjective {
 
 struct DimensionOptions {
   Evaluator evaluator = Evaluator::kHeuristicMva;
+  /// Registry name of the evaluation solver (solver::SolverRegistry).
+  /// Empty = use `evaluator`'s solver.  Unknown names are rejected with
+  /// std::invalid_argument listing the available solvers.
+  std::string solver;
   mva::ApproxMvaOptions mva;
   DimensionObjective objective = DimensionObjective::kPower;
   /// Exponent alpha for kGeneralizedPower.
@@ -65,6 +71,13 @@ struct DimensionOptions {
   /// point so far with DimensionResult::budget_exhausted set instead of
   /// throwing.
   std::size_t max_evaluations = 1'000'000;
+  /// Optional shared workspace pool.  dimension_windows spawns fresh
+  /// worker threads per run, so thread-local workspaces would be torn
+  /// down between runs; a caller-owned pool keeps the warm arenas alive
+  /// across runs (zero allocations per evaluation after the first run —
+  /// what bench_perf_dimension's allocation gate measures).  Null = a
+  /// pool private to this run.
+  solver::WorkspacePool* workspaces = nullptr;
 };
 
 struct DimensionResult {

@@ -2,11 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
-#include "exact/convolution.h"
-#include "exact/semiclosed.h"
-#include "mva/exact_multichain.h"
-#include "mva/linearizer.h"
+#include "solver/registry.h"
 
 namespace windim::core {
 
@@ -77,6 +75,32 @@ WindowProblem::WindowProblem(const net::Topology& topology,
     chain.service_times.push_back(1.0 / tc.arrival_rate);
     base_.chains.push_back(std::move(chain));
   }
+
+  // Compile once: the closed cyclic model (populations 0; every solve
+  // passes the window vector)...
+  compiled_ = qn::CompiledModel::compile(base_.to_model());
+
+  // ...and the semiclosed route view: same station index space, but
+  // each chain skips its reentrant source queue — the Poisson source
+  // with window blocking replaces it (thesis 3.3.3 semiclosed chains).
+  qn::NetworkModel route_model;
+  for (const qn::Station& s : base_.stations) route_model.add_station(s);
+  qn::CompileOptions semi;
+  for (std::size_t r = 0; r < base_.chains.size(); ++r) {
+    const qn::CyclicChain& chain = base_.chains[r];
+    qn::Chain model_chain;
+    model_chain.name = chain.name;
+    model_chain.type = qn::ChainType::kClosed;
+    model_chain.population = 0;  // bounds come from the solve's windows
+    for (std::size_t k = 0; k < chain.route.size(); ++k) {
+      if (chain.route[k] == source_station_[r]) continue;
+      model_chain.visits.push_back(
+          qn::Visit{chain.route[k], 1.0, chain.service_times[k]});
+    }
+    route_model.add_chain(std::move(model_chain));
+    semi.semiclosed_arrival_rate.push_back(classes_[r].arrival_rate);
+  }
+  compiled_semi_ = qn::CompiledModel::compile(route_model, std::move(semi));
 }
 
 qn::CyclicNetwork WindowProblem::network(
@@ -94,13 +118,28 @@ qn::CyclicNetwork WindowProblem::network(
   return net;
 }
 
-Evaluation WindowProblem::evaluate(
-    const std::vector<int>& windows, Evaluator evaluator,
-    const mva::ApproxMvaOptions& mva_options,
+Evaluation WindowProblem::evaluate_with(
+    const std::vector<int>& windows, const solver::Solver& solver,
+    solver::Workspace& ws, const mva::ApproxMvaOptions* mva_options,
     const mva::MvaWarmStart* warm_start,
     mva::MvaWarmStart* final_state) const {
-  const qn::CyclicNetwork cyclic = network(windows);
-  const qn::NetworkModel model = cyclic.to_model();
+  if (windows.size() != classes_.size()) {
+    throw std::invalid_argument("WindowProblem: window vector size mismatch");
+  }
+  for (int w : windows) {
+    if (w < 0) {
+      throw std::invalid_argument("WindowProblem: negative window");
+    }
+  }
+  const solver::Traits traits = solver.traits();
+  if (!traits.has_queue_lengths) {
+    throw std::invalid_argument(
+        "WindowProblem: solver '" + std::string(solver.name()) +
+        "' does not produce queue lengths; network power needs the route "
+        "queue populations");
+  }
+  const qn::CompiledModel& model =
+      traits.semiclosed_view ? compiled_semi_ : compiled_;
   const int num_chains = model.num_chains();
   if (final_state != nullptr) {
     final_state->lambda.clear();
@@ -108,117 +147,37 @@ Evaluation WindowProblem::evaluate(
     final_state->sigma.clear();
   }
 
-  // Obtain chain throughputs and per-station-chain queue lengths from the
-  // chosen engine.
-  std::vector<double> lambda;
-  std::vector<double> queue;  // station x chain
-  int iterations = 0;
-  int ev_sigma_refreshes = 0;
-  bool converged = true;
-  switch (evaluator) {
-    case Evaluator::kHeuristicMva: {
-      const mva::MvaSolution s =
-          mva::solve_approx_mva(model, mva_options, warm_start);
-      lambda = s.chain_throughput;
-      queue = s.mean_queue;
-      iterations = s.iterations;
-      converged = s.converged;
-      ev_sigma_refreshes = s.sigma_refreshes;
-      if (final_state != nullptr) {
-        final_state->lambda = s.chain_throughput;
-        final_state->number = s.mean_queue;
-        final_state->sigma = s.sigma;
-      }
-      break;
-    }
-    case Evaluator::kExactMva: {
-      const mva::MvaSolution s = mva::solve_exact_multichain(model);
-      lambda = s.chain_throughput;
-      queue = s.mean_queue;
-      iterations = s.iterations;
-      break;
-    }
-    case Evaluator::kConvolution: {
-      const exact::ConvolutionResult s = exact::solve_convolution(model);
-      lambda = s.chain_throughput;
-      queue = s.mean_queue;
-      iterations = 1;
-      break;
-    }
-    case Evaluator::kSemiclosed: {
-      // Route queues only: the Poisson source with window blocking
-      // replaces the reentrant source queue (thesis 3.3.3 semiclosed
-      // chains).
-      qn::NetworkModel route_model;
-      for (const qn::Station& s : cyclic.stations) {
-        route_model.add_station(s);
-      }
-      std::vector<exact::SemiclosedChainSpec> specs;
-      for (int r = 0; r < num_chains; ++r) {
-        const qn::CyclicChain& chain =
-            cyclic.chains[static_cast<std::size_t>(r)];
-        qn::Chain model_chain;
-        model_chain.name = chain.name;
-        model_chain.type = qn::ChainType::kClosed;
-        model_chain.population = 0;  // bounds come from the spec
-        for (std::size_t k = 0; k < chain.route.size(); ++k) {
-          if (chain.route[k] == source_station_[static_cast<std::size_t>(r)]) {
-            continue;
-          }
-          model_chain.visits.push_back(
-              qn::Visit{chain.route[k], 1.0, chain.service_times[k]});
-        }
-        route_model.add_chain(std::move(model_chain));
-        exact::SemiclosedChainSpec spec;
-        spec.arrival_rate =
-            classes_[static_cast<std::size_t>(r)].arrival_rate;
-        spec.min_population = 0;
-        spec.max_population = windows[static_cast<std::size_t>(r)];
-        specs.push_back(spec);
-      }
-      const exact::SemiclosedResult s =
-          exact::solve_semiclosed(route_model, specs);
-      lambda = s.carried_throughput;
-      // Map route-model station indices (identical to cyclic station
-      // indices) into the full queue matrix.
-      queue.assign(
-          static_cast<std::size_t>(model.num_stations()) * num_chains, 0.0);
-      for (int n = 0; n < route_model.num_stations(); ++n) {
-        for (int r = 0; r < num_chains; ++r) {
-          queue[static_cast<std::size_t>(n) * num_chains + r] =
-              s.queue_length(n, r);
-        }
-      }
-      iterations = 1;
-      break;
-    }
-    case Evaluator::kLinearizer: {
-      const mva::MvaSolution s = mva::solve_linearizer(model);
-      lambda = s.chain_throughput;
-      queue = s.mean_queue;
-      iterations = s.iterations;
-      converged = s.converged;
-      break;
-    }
+  ws.hints = solver::SolveHints{};
+  if (traits.supports_warm_start) ws.hints.warm_start = warm_start;
+  ws.hints.mva = mva_options;
+  const solver::Solution sol = solver.solve(model, windows, ws);
+  ws.hints = solver::SolveHints{};
+
+  if (traits.supports_warm_start && final_state != nullptr) {
+    final_state->lambda.assign(sol.chain_throughput.begin(),
+                               sol.chain_throughput.end());
+    final_state->number.assign(sol.mean_queue.begin(), sol.mean_queue.end());
+    final_state->sigma.assign(sol.sigma.begin(), sol.sigma.end());
   }
 
   Evaluation ev;
   ev.windows = windows;
-  ev.iterations = iterations;
-  ev.sigma_refreshes = ev_sigma_refreshes;
-  ev.converged = converged;
-  ev.class_throughput = lambda;
+  ev.iterations = traits.iterative ? sol.iterations : 1;
+  ev.sigma_refreshes = sol.sigma_refreshes;
+  ev.converged = sol.converged;
+  ev.class_throughput.assign(sol.chain_throughput.begin(),
+                             sol.chain_throughput.end());
   ev.class_delay.assign(static_cast<std::size_t>(num_chains), 0.0);
 
   double total_rate = 0.0;
   double total_number = 0.0;  // customers on route queues (V(r))
   for (int r = 0; r < num_chains; ++r) {
-    const double rate = lambda[static_cast<std::size_t>(r)];
+    const double rate = sol.chain_throughput[static_cast<std::size_t>(r)];
     total_rate += rate;
     double number_r = 0.0;
     for (int n = 0; n < model.num_stations(); ++n) {
       if (n == source_station_[static_cast<std::size_t>(r)]) continue;
-      number_r += queue[static_cast<std::size_t>(n) * num_chains + r];
+      number_r += sol.mean_queue[static_cast<std::size_t>(n) * num_chains + r];
     }
     total_number += number_r;
     ev.class_delay[static_cast<std::size_t>(r)] =
@@ -228,6 +187,18 @@ Evaluation WindowProblem::evaluate(
   ev.mean_delay = total_rate > 0.0 ? total_number / total_rate : 0.0;
   ev.power = ev.mean_delay > 0.0 ? ev.throughput / ev.mean_delay : 0.0;
   return ev;
+}
+
+Evaluation WindowProblem::evaluate(const std::vector<int>& windows,
+                                   Evaluator evaluator,
+                                   const mva::ApproxMvaOptions& mva_options,
+                                   const mva::MvaWarmStart* warm_start,
+                                   mva::MvaWarmStart* final_state) const {
+  const solver::Solver& solver =
+      solver::SolverRegistry::instance().require(to_string(evaluator));
+  thread_local solver::Workspace ws;
+  return evaluate_with(windows, solver, ws, &mva_options, warm_start,
+                       final_state);
 }
 
 }  // namespace windim::core

@@ -13,6 +13,12 @@
 // only (V(r) = Q(r) minus the reentrant queue):
 //   lambda = sum_r lambda_r,   T = sum_r sum_{i in V(r)} N_ir / lambda,
 //   P = lambda / T.
+//
+// Compile-once/solve-many: the constructor compiles the closed network
+// (and its semiclosed route view) into qn::CompiledModel once; every
+// evaluation then runs a registry solver against the compiled model
+// with the window vector as the population vector, through a reusable
+// solver::Workspace (see evaluate_with).
 #pragma once
 
 #include <string>
@@ -21,11 +27,16 @@
 #include "mva/approx.h"
 #include "net/examples.h"
 #include "net/topology.h"
+#include "qn/compiled_model.h"
 #include "qn/cyclic.h"
+#include "solver/solver.h"
 
 namespace windim::core {
 
-/// Which analytic engine evaluates a window setting.
+/// Which analytic engine evaluates a window setting.  Kept as a stable
+/// shorthand for the most useful registry solvers; to_string(e) is the
+/// solver's registry name, so any solver::SolverRegistry name works
+/// where a string is accepted (see DimensionOptions::solver).
 enum class Evaluator {
   kHeuristicMva,  // thesis WINDIM evaluator (fast, approximate)
   kExactMva,      // exact multichain MVA (lattice cost)
@@ -59,8 +70,9 @@ struct Evaluation {
 
 class WindowProblem {
  public:
-  /// Builds the closed-chain model from a topology and traffic classes.
-  /// Every class must have arrival_rate > 0 and a route of >= 1 hop.
+  /// Builds the closed-chain model from a topology and traffic classes
+  /// and compiles it (plus the semiclosed route view).  Every class must
+  /// have arrival_rate > 0 and a route of >= 1 hop.
   WindowProblem(const net::Topology& topology,
                 std::vector<net::TrafficClass> classes);
 
@@ -79,20 +91,44 @@ class WindowProblem {
   [[nodiscard]] qn::CyclicNetwork network(
       const std::vector<int>& windows) const;
 
+  /// The compiled closed model (populations default to 0; solves pass
+  /// the window vector explicitly).
+  [[nodiscard]] const qn::CompiledModel& compiled() const noexcept {
+    return compiled_;
+  }
+  /// The compiled semiclosed route view: same station index space, but
+  /// chains skip their reentrant source queue and carry the class
+  /// arrival rates as semiclosed metadata.
+  [[nodiscard]] const qn::CompiledModel& compiled_semiclosed() const noexcept {
+    return compiled_semi_;
+  }
+
   /// Index of class r's source (reentrant) station in the cyclic network.
   [[nodiscard]] int source_station(int r) const {
     return source_station_.at(r);
   }
 
+  /// Evaluates a window setting with any registry solver, reusing `ws`
+  /// across calls (zero arena growth after warm-up).  The solver's
+  /// traits pick the compiled view (closed vs. semiclosed) and gate the
+  /// warm-start plumbing; solvers without queue lengths (e.g.
+  /// tree-convolution) are rejected with std::invalid_argument, since
+  /// power needs the route queue populations.
+  ///
+  /// `warm_start` / `final_state` seed and capture the fixed-point
+  /// state of warm-startable solvers; both are ignored (final_state
+  /// cleared) otherwise.
+  [[nodiscard]] Evaluation evaluate_with(
+      const std::vector<int>& windows, const solver::Solver& solver,
+      solver::Workspace& ws,
+      const mva::ApproxMvaOptions* mva_options = nullptr,
+      const mva::MvaWarmStart* warm_start = nullptr,
+      mva::MvaWarmStart* final_state = nullptr) const;
+
   /// Evaluates a window setting.  Throws std::invalid_argument on a
   /// malformed window vector (size mismatch or negative entries).
-  ///
-  /// With the heuristic-MVA evaluator, `warm_start` (when non-null)
-  /// seeds the fixed-point iteration from a nearby converged state and
-  /// `final_state` (when non-null) receives this evaluation's converged
-  /// state for seeding future neighbors; both are ignored by the other
-  /// evaluators (`final_state` is then cleared).  The converged result
-  /// is independent of the seed to the solver tolerance.
+  /// Convenience wrapper over evaluate_with: resolves the evaluator's
+  /// registry solver and uses a thread-local workspace.
   [[nodiscard]] Evaluation evaluate(
       const std::vector<int>& windows,
       Evaluator evaluator = Evaluator::kHeuristicMva,
@@ -105,6 +141,8 @@ class WindowProblem {
   qn::CyclicNetwork base_;            // populations left at 0
   std::vector<int> source_station_;   // per class
   std::vector<int> hops_;
+  qn::CompiledModel compiled_;        // closed cyclic model
+  qn::CompiledModel compiled_semi_;   // semiclosed route view
 };
 
 }  // namespace windim::core

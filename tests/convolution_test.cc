@@ -324,5 +324,70 @@ TEST(ConvolutionTest, ThreeChainLatticeMatchesBruteForce) {
   }
 }
 
+TEST(ConvolutionTest, LogDomainMatchesLinearAtModeratePopulations) {
+  const qn::NetworkModel m = shared_middle(3, 4);
+  ConvolutionOptions linear;
+  linear.domain = ConvolutionDomain::kLinear;
+  ConvolutionOptions log;
+  log.domain = ConvolutionDomain::kLog;
+  const ConvolutionResult a = solve_convolution(m, linear);
+  const ConvolutionResult b = solve_convolution(m, log);
+  EXPECT_FALSE(a.log_domain);
+  EXPECT_TRUE(b.log_domain);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(a.chain_throughput[static_cast<std::size_t>(r)],
+                b.chain_throughput[static_cast<std::size_t>(r)], 1e-9);
+  }
+  for (int n = 0; n < 3; ++n) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_NEAR(a.queue_length(n, r), b.queue_length(n, r), 1e-9);
+    }
+  }
+}
+
+TEST(ConvolutionTest, AutoStaysLinearWhenTheConstantIsRepresentable) {
+  ConvolutionOptions opts;
+  opts.domain = ConvolutionDomain::kAuto;
+  const ConvolutionResult r = solve_convolution(shared_middle(3, 4), opts);
+  EXPECT_FALSE(r.log_domain);
+}
+
+TEST(ConvolutionTest, AutoFallsBackToLogDomainOnOverflow) {
+  // A queue-dependent station whose rate collapses to 1e-120 of nominal:
+  // its lattice coefficient at k customers carries a factor 1e+120k, so
+  // the linear normalization constant overflows already at population 4.
+  // kLinear must report the degenerate constant; kAuto must
+  // transparently re-solve in the log domain and agree with the
+  // log-domain Buzen reference.
+  qn::NetworkModel m;
+  const int a = m.add_station(fcfs("a"));
+  qn::Station slow = fcfs("slow");
+  slow.rate_multipliers = {1e-120};
+  const int s = m.add_station(std::move(slow));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 4;
+  c.visits = {{a, 1.0, 0.05}, {s, 1.0, 0.05}};
+  m.add_chain(std::move(c));
+
+  ConvolutionOptions linear;
+  linear.domain = ConvolutionDomain::kLinear;
+  EXPECT_THROW((void)solve_convolution(m, linear), std::runtime_error);
+
+  ConvolutionOptions auto_domain;
+  auto_domain.domain = ConvolutionDomain::kAuto;
+  const ConvolutionResult conv = solve_convolution(m, auto_domain);
+  EXPECT_TRUE(conv.log_domain);
+
+  const BuzenResult buzen = solve_buzen_log(m);
+  ASSERT_TRUE(std::isfinite(conv.chain_throughput[0]));
+  ASSERT_GT(buzen.throughput, 0.0);
+  EXPECT_NEAR(conv.chain_throughput[0], buzen.throughput,
+              1e-9 * buzen.throughput);
+  // Conservation: the population piles up behind the collapsed station.
+  EXPECT_NEAR(conv.queue_length(0, 0) + conv.queue_length(1, 0), 4.0, 1e-6);
+  EXPECT_GT(conv.queue_length(1, 0), 3.9);
+}
+
 }  // namespace
 }  // namespace windim::exact

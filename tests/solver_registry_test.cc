@@ -1,0 +1,171 @@
+// The solver registry and workspace contracts of the
+// compile-once/solve-many engine: name/alias resolution, the
+// unknown-name error listing available solvers, the zero-allocation
+// warm path, warm-start hints, the product-form state-cap hint, and the
+// scratch-model cache being keyed by compilation id (not address).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mva/approx.h"
+#include "qn/compiled_model.h"
+#include "qn/network.h"
+#include "solver/registry.h"
+#include "solver/solver.h"
+#include "solver/workspace.h"
+
+namespace windim {
+namespace {
+
+qn::Station fcfs(const std::string& name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+/// Two-chain, three-station closed model; `scale` stretches every
+/// service time so distinct instances have distinct solutions.
+qn::NetworkModel two_chain_model(double scale = 1.0) {
+  qn::NetworkModel m;
+  for (int n = 0; n < 3; ++n) m.add_station(fcfs("q" + std::to_string(n)));
+  qn::Chain a;
+  a.type = qn::ChainType::kClosed;
+  a.population = 3;
+  a.visits = {{0, 1.0, 0.04 * scale}, {1, 1.0, 0.05 * scale}};
+  m.add_chain(std::move(a));
+  qn::Chain b;
+  b.type = qn::ChainType::kClosed;
+  b.population = 2;
+  b.visits = {{1, 1.0, 0.05 * scale}, {2, 1.0, 0.09 * scale}};
+  m.add_chain(std::move(b));
+  return m;
+}
+
+TEST(SolverRegistry, ListsEveryCanonicalSolverName) {
+  const std::vector<std::string> names =
+      solver::SolverRegistry::instance().names();
+  const std::vector<std::string> expected = {
+      "convolution", "buzen",         "buzen-log",      "recal",
+      "tree-convolution", "product-form", "exact-mva",  "heuristic-mva",
+      "schweitzer-mva",   "linearizer",   "bounds",     "semiclosed"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : names) {
+    const solver::Solver* s = solver::SolverRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->name(), name);
+  }
+}
+
+TEST(SolverRegistry, AliasesResolveToTheCanonicalSolver) {
+  const auto& reg = solver::SolverRegistry::instance();
+  EXPECT_EQ(reg.find("heuristic"), reg.find("heuristic-mva"));
+  EXPECT_EQ(reg.find("schweitzer"), reg.find("schweitzer-mva"));
+}
+
+TEST(SolverRegistry, RequireOnUnknownNameListsAvailableSolvers) {
+  const auto& reg = solver::SolverRegistry::instance();
+  EXPECT_EQ(reg.find("no-such-solver"), nullptr);
+  try {
+    (void)reg.require("no-such-solver");
+    FAIL() << "require() accepted an unknown name";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown solver 'no-such-solver'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("available solvers:"), std::string::npos) << what;
+    EXPECT_NE(what.find("convolution"), std::string::npos) << what;
+    EXPECT_NE(what.find("heuristic-mva"), std::string::npos) << what;
+  }
+}
+
+TEST(SolverRegistry, WarmSolvesPerformZeroArenaAllocations) {
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(two_chain_model());
+  const solver::PopulationVector population = {3, 2};
+  for (const char* name : {"heuristic-mva", "convolution", "exact-mva"}) {
+    const solver::Solver& s =
+        solver::SolverRegistry::instance().require(name);
+    solver::Workspace ws;
+    (void)s.solve(compiled, population, ws);  // warm-up: arena grows
+    const std::size_t warm = ws.heap_allocations();
+    for (int i = 0; i < 10; ++i) (void)s.solve(compiled, population, ws);
+    EXPECT_EQ(ws.heap_allocations(), warm)
+        << name << " allocated on the warm path";
+  }
+}
+
+TEST(SolverRegistry, WarmStartHintReachesTheSameFixedPoint) {
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(two_chain_model());
+  const solver::PopulationVector population = {3, 2};
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("heuristic-mva");
+  ASSERT_TRUE(s.traits().supports_warm_start);
+
+  solver::Workspace ws;
+  const solver::Solution cold = s.solve(compiled, population, ws);
+  mva::MvaWarmStart state;
+  state.lambda.assign(cold.chain_throughput.begin(),
+                      cold.chain_throughput.end());
+  state.number.assign(cold.mean_queue.begin(), cold.mean_queue.end());
+  state.sigma.assign(cold.sigma.begin(), cold.sigma.end());
+  const int cold_iterations = cold.iterations;
+
+  solver::Workspace warm_ws;
+  warm_ws.hints.warm_start = &state;
+  const solver::Solution warm = s.solve(compiled, population, warm_ws);
+  ASSERT_EQ(warm.chain_throughput.size(), state.lambda.size());
+  for (std::size_t r = 0; r < state.lambda.size(); ++r) {
+    EXPECT_NEAR(warm.chain_throughput[r], state.lambda[r], 1e-8);
+  }
+  // Seeded from the converged state, the fixed point is re-verified in
+  // far fewer sweeps than the cold transient.
+  EXPECT_LT(warm.iterations, cold_iterations);
+}
+
+TEST(SolverRegistry, MaxStatesHintCapsProductFormEnumeration) {
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(two_chain_model());
+  const solver::PopulationVector population = {3, 2};
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("product-form");
+  solver::Workspace ws;
+  EXPECT_NO_THROW((void)s.solve(compiled, population, ws));
+  ws.hints.max_states = 1;
+  EXPECT_THROW((void)s.solve(compiled, population, ws), std::runtime_error);
+}
+
+TEST(SolverRegistry, ScratchModelCacheIsKeyedByCompilationIdNotAddress) {
+  // Regression: the per-workspace scratch NetworkModel used to be keyed
+  // on the CompiledModel's address.  Successive compiled models often
+  // reuse the same address, so a warm workspace would keep solving a
+  // *stale* model with only the populations rewritten.  Compilation ids
+  // are process-unique, so recompiling — even at the same address —
+  // must invalidate the cache.
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("convolution");
+  const solver::PopulationVector population = {3, 2};
+  solver::Workspace ws;
+  auto throughput_of = [&](double scale, solver::Workspace& w) {
+    const qn::CompiledModel compiled =
+        qn::CompiledModel::compile(two_chain_model(scale));
+    const solver::Solution sol = s.solve(compiled, population, w);
+    return std::vector<double>(sol.chain_throughput.begin(),
+                               sol.chain_throughput.end());
+  };  // compiled model destroyed here; the next one may reuse its address
+
+  const std::vector<double> a_warm = throughput_of(1.0, ws);
+  const std::vector<double> b_warm = throughput_of(2.0, ws);
+  solver::Workspace fresh_a;
+  solver::Workspace fresh_b;
+  EXPECT_EQ(a_warm, throughput_of(1.0, fresh_a));
+  EXPECT_EQ(b_warm, throughput_of(2.0, fresh_b));
+  ASSERT_EQ(a_warm.size(), b_warm.size());
+  EXPECT_NE(a_warm, b_warm);  // the two models genuinely differ
+}
+
+}  // namespace
+}  // namespace windim
