@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "cli/spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/msgnet_sim.h"
 #include "sim/replicate.h"
 #include "solver/registry.h"
@@ -42,6 +44,7 @@ int usage() {
       "                       [--objective=power|gpower=A|delaycap=T] "
       "[--csv]\n"
       "                       [--threads=N] [--max-evals=N] [--cold-start]\n"
+      "                       [--metrics-out=FILE] [--trace-out=FILE]\n"
       "  windim_cli evaluate  <spec> E1 E2 ... [--solver=NAME]\n"
       "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
       "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
@@ -54,7 +57,7 @@ int usage() {
       "                       [--solver=NAME,...] [--time-budget=SECONDS]\n"
       "                       [--base-seed=N] [--corpus-out=DIR]\n"
       "                       [--replay=DIR|FILE] [--sim] [--no-shrink]\n"
-      "                       [--no-ctmc] [--quiet]\n"
+      "                       [--no-ctmc] [--quiet] [--metrics-out=FILE]\n"
       "solvers: see `windim_cli solvers` (--evaluator = alias of "
       "--solver)\n"
       "fuzz families: fcfs-closed disciplines queue-dependent semiclosed\n"
@@ -79,6 +82,18 @@ std::optional<std::string> flag_value(const std::string& arg,
   const std::string prefix = std::string("--") + key + "=";
   if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   return std::nullopt;
+}
+
+/// Writes the global metrics snapshot as one JSON object.
+bool write_metrics_json(const std::string& path) {
+  const std::string body = obs::MetricsRegistry::global().snapshot().to_json();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  return static_cast<bool>(out);
 }
 
 std::optional<cli::NetworkSpec> load_spec(const char* path) {
@@ -112,6 +127,8 @@ int cmd_dimension(const cli::NetworkSpec& spec,
                   const std::vector<std::string>& args) {
   core::DimensionOptions options;
   bool csv = false;
+  std::string metrics_out;
+  std::string trace_out;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "solver")) {
       if (resolve_solver(*v) == nullptr) return 2;
@@ -146,15 +163,28 @@ int cmd_dimension(const cli::NetworkSpec& spec,
       options.warm_start = false;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (auto v = flag_value(arg, "metrics-out")) {
+      metrics_out = *v;
+    } else if (auto v = flag_value(arg, "trace-out")) {
+      trace_out = *v;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
     }
   }
 
+  if (!metrics_out.empty()) obs::MetricsRegistry::global().set_enabled(true);
+  obs::SearchTrace trace;
+  if (!trace_out.empty()) options.trace = &trace;
+
   const core::WindowProblem problem(spec.topology, spec.classes);
   const core::DimensionResult result =
       core::dimension_windows(problem, options);
+  if (!trace_out.empty() && !trace.write_jsonl(trace_out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", trace_out.c_str());
+    return 1;
+  }
+  if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
   if (result.budget_exhausted) {
     std::fprintf(stderr,
                  "warning: evaluation budget exhausted after %zu "
@@ -398,6 +428,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   verify::FuzzOptions options;
   options.seeds = 100;
   std::string replay_path;
+  std::string metrics_out;
   bool quiet = false;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "seeds")) {
@@ -457,12 +488,15 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       options.oracle.with_ctmc = false;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (auto v = flag_value(arg, "metrics-out")) {
+      metrics_out = *v;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
     }
   }
 
+  if (!metrics_out.empty()) obs::MetricsRegistry::global().set_enabled(true);
   verify::FuzzReport report;
   if (!replay_path.empty()) {
     const std::vector<std::string> files =
@@ -476,6 +510,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   } else {
     report = verify::run_fuzz(options);
   }
+  if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
   if (!quiet) {
     std::printf("%s", verify::to_json(report).c_str());
   }

@@ -13,10 +13,15 @@
 //       arenas stay warm across runs
 //
 // Gates (exit 1 on violation):
-//   - all three configurations find the identical optimal window vector;
+//   - all configurations find the identical optimal window vector
+//     (including the run with metrics + tracing enabled);
 //   - (c) is at least 1.3x faster than the PR 1 baseline (b);
 //   - the timed reps of (c) perform ZERO Workspace arena allocations
-//     (solver::Workspace::total_heap_allocations() is flat).
+//     (solver::Workspace::total_heap_allocations() is flat);
+//   - the disabled-instrumentation guard costs < 2% of an evaluation
+//     (measured directly as ns per handle op, scaled by a generous
+//     crossings-per-evaluation bound), and the disabled runs record
+//     nothing into the global registry.
 //
 // --json=PATH writes the measurements as a JSON object (the CI
 // perf-smoke job uploads it as the BENCH_perf.json artifact);
@@ -37,6 +42,9 @@
 
 #include "mva/approx.h"
 #include "net/examples.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qn/network.h"
 #include "search/eval_cache.h"
 #include "search/pattern_search.h"
@@ -218,6 +226,26 @@ double median_ms(int reps, const Run& run) {
   return times[times.size() / 2];
 }
 
+// Direct measurement of the disabled-instrumentation guard: every
+// handle operation starts with one relaxed atomic load of the enabled
+// flag and bails.  Measuring the guard itself (instead of differencing
+// two noisy end-to-end timings) makes the <2% overhead gate stable.
+// Must run while the global registry is disabled.
+double guard_cost_ns() {
+  windim::obs::MetricsRegistry& reg = windim::obs::MetricsRegistry::global();
+  const windim::obs::Counter c = reg.counter("bench.guard_probe");
+  const windim::obs::Histogram h = reg.histogram("bench.guard_probe_us");
+  constexpr int kOps = 1 << 21;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    c.add(1);
+    h.observe(static_cast<double>(i));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         (2.0 * kOps);
+}
+
 void print_result(const char* label, double ms, const std::vector<int>& w,
                   double power, std::size_t evals) {
   std::printf("%-24s %8.3f ms   evals=%-4zu windows=(", label, ms, evals);
@@ -275,6 +303,8 @@ int main(int argc, char** argv) {
   const double legacy_ms =
       median_ms(reps, [&] { legacy_result = legacy_dimension(problem, 4); });
 
+  const double guard_ns = guard_cost_ns();
+
   // Allocation gate: the timed compiled-engine reps must not grow any
   // workspace arena (nor copy any scratch model) anywhere in the process.
   const std::uint64_t allocs_before =
@@ -285,6 +315,29 @@ int main(int argc, char** argv) {
   });
   const std::uint64_t warm_allocations =
       windim::solver::Workspace::total_heap_allocations() - allocs_before;
+
+  // Everything so far ran with the registry disabled; it must be empty.
+  const windim::obs::MetricsSnapshot disabled_snapshot =
+      windim::obs::MetricsRegistry::global().snapshot();
+  const bool disabled_clean =
+      disabled_snapshot.counter_or("search.runs") == 0 &&
+      disabled_snapshot.counter_or("search.probes") == 0 &&
+      disabled_snapshot.counter_or("solver.heuristic-mva.solves") == 0;
+
+  // Fully instrumented run: metrics + search trace on.  Reported as an
+  // informational overhead figure; the windows must not change.
+  windim::obs::MetricsRegistry::global().set_enabled(true);
+  windim::obs::SearchTrace trace;
+  DimensionOptions instrumented = engine;
+  instrumented.trace = &trace;
+  DimensionResult instrumented_result;
+  const double instrumented_ms = median_ms(reps, [&] {
+    trace.clear();
+    instrumented_result =
+        windim::core::dimension_windows(problem, instrumented);
+  });
+  windim::obs::MetricsRegistry::global().set_enabled(false);
+  const std::size_t trace_records = trace.records().size();
 
   std::printf("4-class thesis network, heuristic-MVA, %d reps (median)\n\n",
               reps);
@@ -297,19 +350,42 @@ int main(int argc, char** argv) {
   print_result("compiled engine", engine_ms, engine_result.optimal_windows,
                engine_result.evaluation.power,
                engine_result.objective_evaluations);
+  print_result("engine + metrics/trace", instrumented_ms,
+               instrumented_result.optimal_windows,
+               instrumented_result.evaluation.power,
+               instrumented_result.objective_evaluations);
 
   const bool same_windows =
       cold_result.optimal_windows == engine_result.optimal_windows &&
-      legacy_result.optimal_windows == engine_result.optimal_windows;
+      legacy_result.optimal_windows == engine_result.optimal_windows &&
+      instrumented_result.optimal_windows == engine_result.optimal_windows;
   const double speedup_vs_pr1 = legacy_ms / engine_ms;
   const double speedup_vs_cold = cold_ms / engine_ms;
+
+  // Disabled-guard overhead as a fraction of one evaluation: the warm
+  // path crosses the guard once per solve; budget 8 crossings per
+  // evaluation for headroom (hooks added later must stay under it).
+  constexpr double kGuardCrossingsPerEvaluation = 8.0;
+  const double eval_ns =
+      engine_ms * 1e6 /
+      static_cast<double>(std::max<std::size_t>(
+          engine_result.objective_evaluations, 1));
+  const double obs_disabled_overhead_pct =
+      100.0 * kGuardCrossingsPerEvaluation * guard_ns / eval_ns;
+  const double obs_enabled_overhead_pct =
+      100.0 * (instrumented_ms - engine_ms) / engine_ms;
+
   std::printf(
       "\nspeedup vs PR 1 baseline  %.2fx\n"
       "speedup vs serial cold    %.2fx\n"
       "warm-path workspace allocations: %llu\n"
+      "disabled guard: %.2f ns/op -> %.4f%% of an evaluation\n"
+      "enabled metrics+trace overhead: %.2f%% (informational), "
+      "%zu trace records\n"
       "identical windows: %s\n",
       speedup_vs_pr1, speedup_vs_cold,
-      static_cast<unsigned long long>(warm_allocations),
+      static_cast<unsigned long long>(warm_allocations), guard_ns,
+      obs_disabled_overhead_pct, obs_enabled_overhead_pct, trace_records,
       same_windows ? "yes" : "NO");
 
   bool pass = true;
@@ -325,33 +401,65 @@ int main(int argc, char** argv) {
     std::printf("FAIL: warm path performed workspace arena allocations\n");
     pass = false;
   }
+  if (obs_disabled_overhead_pct >= 2.0) {
+    std::printf("FAIL: disabled instrumentation guard costs >= 2%%\n");
+    pass = false;
+  }
+  if (!disabled_clean) {
+    std::printf("FAIL: disabled runs recorded metrics\n");
+    pass = false;
+  }
+  if (trace_records == 0) {
+    std::printf("FAIL: instrumented run produced an empty search trace\n");
+    pass = false;
+  }
   if (pass) std::printf("PASS\n");
 
   if (!json_path.empty()) {
+    windim::obs::JsonWriter w;
+    w.begin_object();
+    w.key("benchmark");
+    w.value("perf_dimension");
+    w.key("network");
+    w.value("canada_topology/four_class_traffic(6,6,6,12)");
+    w.key("evaluator");
+    w.value("heuristic-mva");
+    w.key("reps");
+    w.value(reps);
+    w.key("serial_cold_ms");
+    w.value(cold_ms);
+    w.key("pr1_baseline_ms");
+    w.value(legacy_ms);
+    w.key("engine_ms");
+    w.value(engine_ms);
+    w.key("instrumented_ms");
+    w.value(instrumented_ms);
+    w.key("speedup_vs_pr1");
+    w.value(speedup_vs_pr1);
+    w.key("speedup_vs_cold");
+    w.value(speedup_vs_cold);
+    w.key("warm_workspace_allocations");
+    w.value(static_cast<std::uint64_t>(warm_allocations));
+    w.key("guard_ns_per_op");
+    w.value(guard_ns);
+    w.key("obs_disabled_overhead_pct");
+    w.value(obs_disabled_overhead_pct);
+    w.key("obs_enabled_overhead_pct");
+    w.value(obs_enabled_overhead_pct);
+    w.key("trace_records");
+    w.value(static_cast<std::uint64_t>(trace_records));
+    w.key("identical_windows");
+    w.value(same_windows);
+    w.key("pass");
+    w.value(pass);
+    w.end_object();
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"benchmark\": \"perf_dimension\",\n"
-        "  \"network\": \"canada_topology/four_class_traffic(6,6,6,12)\",\n"
-        "  \"evaluator\": \"heuristic-mva\",\n"
-        "  \"reps\": %d,\n"
-        "  \"serial_cold_ms\": %.6f,\n"
-        "  \"pr1_baseline_ms\": %.6f,\n"
-        "  \"engine_ms\": %.6f,\n"
-        "  \"speedup_vs_pr1\": %.4f,\n"
-        "  \"speedup_vs_cold\": %.4f,\n"
-        "  \"warm_workspace_allocations\": %llu,\n"
-        "  \"identical_windows\": %s,\n"
-        "  \"pass\": %s\n"
-        "}\n",
-        reps, cold_ms, legacy_ms, engine_ms, speedup_vs_pr1, speedup_vs_cold,
-        static_cast<unsigned long long>(warm_allocations),
-        same_windows ? "true" : "false", pass ? "true" : "false");
+    const std::string json = std::move(w).str() + "\n";
+    std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
   }
   return pass ? 0 : 1;

@@ -8,9 +8,12 @@
 // SolverRegistry, so new solvers get a benchmark for free).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "exact/buzen.h"
+#include "obs/metrics.h"
 #include "exact/product_form.h"
 #include "markov/closed_ctmc.h"
 #include "mva/approx.h"
@@ -139,16 +142,18 @@ void BM_FullWindimFourClass(benchmark::State& state) {
 }
 BENCHMARK(BM_FullWindimFourClass)->Args({1, 0})->Args({1, 1})->Args({4, 1});
 
-// Times `Solver::solve` on a warm workspace: the steady-state cost a
-// dimensioning run pays per evaluation (arena already at its high-water
-// mark, zero heap allocations).
+// Times `Solver::solve_profiled` on a warm workspace: the steady-state
+// cost a dimensioning run pays per evaluation (arena already at its
+// high-water mark, zero heap allocations).  With --metrics-out the
+// global registry is enabled, so the sweep doubles as a profiling-hook
+// exerciser and the per-solver counters land in the exported snapshot.
 void BM_RegistrySolver(benchmark::State& state, const solver::Solver* s,
                        const qn::CompiledModel* model,
                        solver::PopulationVector population) {
   solver::Workspace ws;
-  (void)s->solve(*model, population, ws);  // warm the arena
+  (void)s->solve_profiled(*model, population, ws);  // warm the arena
   for (auto _ : state) {
-    benchmark::DoNotOptimize(s->solve(*model, population, ws));
+    benchmark::DoNotOptimize(s->solve_profiled(*model, population, ws));
   }
 }
 
@@ -202,12 +207,40 @@ BENCHMARK(BM_PatternSearchQuadratic);
 }  // namespace
 
 // Custom main (vs BENCHMARK_MAIN): the registry sweep registers its
-// benchmarks at runtime, one per SolverRegistry entry.
+// benchmarks at runtime, one per SolverRegistry entry.  --metrics-out
+// is ours, not google-benchmark's: strip it from argv before
+// Initialize, enable the global registry for the run, and write the
+// merged snapshot as JSON afterwards.
 int main(int argc, char** argv) {
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   RegisterRegistrySolverBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!metrics_out.empty()) {
+    windim::obs::MetricsRegistry::global().set_enabled(true);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    const std::string json =
+        windim::obs::MetricsRegistry::global().snapshot().to_json() + "\n";
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }

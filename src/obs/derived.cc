@@ -1,0 +1,32 @@
+#include "obs/derived.h"
+
+#include <algorithm>
+
+namespace windim::obs {
+
+double jain_fairness(std::span<const double> x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (x.empty() || sum_sq <= 0.0) return 1.0;
+  // Cauchy-Schwarz bounds the index by 1; clamp away the ulp of
+  // rounding error an all-equal allocation can accumulate.
+  return std::min(1.0,
+                  (sum * sum) / (static_cast<double>(x.size()) * sum_sq));
+}
+
+std::vector<double> chain_powers(std::span<const double> throughput,
+                                 std::span<const double> delay) {
+  std::vector<double> powers(throughput.size(), 0.0);
+  for (std::size_t r = 0; r < throughput.size(); ++r) {
+    if (r < delay.size() && delay[r] > 0.0) {
+      powers[r] = throughput[r] / delay[r];
+    }
+  }
+  return powers;
+}
+
+}  // namespace windim::obs

@@ -1,0 +1,22 @@
+// Derived network metrics computed per evaluation: Jain's fairness
+// index over chain powers (Jain, Chiu & Hawe, "A Quantitative Measure
+// of Fairness and Discrimination for Resource Allocation in Shared
+// Computer Systems").
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace windim::obs {
+
+/// Jain's fairness index (Σx)² / (n·Σx²) for allocations x ≥ 0.
+/// Returns 1.0 for an empty or all-zero vector (nothing to be unfair
+/// about); 1/n when a single chain receives everything.
+[[nodiscard]] double jain_fairness(std::span<const double> x);
+
+/// Per-chain power x_r = throughput_r / delay_r (0 when delay_r is not
+/// positive), the allocation vector fairness is judged over.
+[[nodiscard]] std::vector<double> chain_powers(
+    std::span<const double> throughput, std::span<const double> delay);
+
+}  // namespace windim::obs

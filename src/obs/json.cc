@@ -1,0 +1,120 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace windim::obs {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its separator
+  }
+  if (!scope_has_element_.empty()) {
+    if (scope_has_element_.back()) out_.push_back(',');
+    scope_has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_.push_back('{');
+  scope_has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  scope_has_element_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_.push_back('[');
+  scope_has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  scope_has_element_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (!scope_has_element_.empty()) {
+    if (scope_has_element_.back()) out_.push_back(',');
+    scope_has_element_.back() = true;
+  }
+  out_.push_back('"');
+  append_escaped(out_, name);
+  out_.append("\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  out_.push_back('"');
+  append_escaped(out_, s);
+  out_.push_back('"');
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  append_double(out_, v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  out_.append(std::to_string(v));
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  out_.append(std::to_string(v));
+}
+
+void JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_.append(b ? "true" : "false");
+}
+
+void JsonWriter::append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out.append("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out.append(buf);
+}
+
+}  // namespace windim::obs

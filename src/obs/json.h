@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer shared by every exporter (metrics
+// snapshots, search traces, bench output).  Emits compact one-line JSON
+// with deterministic formatting: doubles are printed with %.17g so a
+// value round-trips bit-for-bit, which is what makes trace JSONL
+// byte-comparable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace windim::obs {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool b);
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+  static void append_escaped(std::string& out, std::string_view s);
+  /// %.17g, with bare infinities/NaN mapped to null (invalid JSON
+  /// otherwise).
+  static void append_double(std::string& out, double v);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  // One entry per open scope: true once the scope has an element (so
+  // the next element is comma-separated).
+  std::vector<bool> scope_has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace windim::obs

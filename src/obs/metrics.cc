@@ -1,0 +1,366 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace windim::obs {
+namespace {
+
+std::atomic<std::uint64_t> next_registry_id{1};
+
+// Registries and threads die in either order.  A thread's exit hook
+// must not touch a registry that has already been destroyed, and a
+// registry's destructor must stop exit hooks from releasing shards into
+// it.  The liveness map (registry id -> registry) is the meeting point;
+// ids are process-unique so a recycled address can never be mistaken
+// for a live registry.
+std::mutex& liveness_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::unordered_map<std::uint64_t, MetricsRegistry*>& live_registries() {
+  static auto* map = new std::unordered_map<std::uint64_t, MetricsRegistry*>();
+  return *map;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::record_max(double v) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  std::atomic<double>& slot = registry_->shard().gauges[id_];
+  // Single-writer per shard: a plain load-compare-store is exact.
+  if (v > slot.load(std::memory_order_relaxed)) {
+    slot.store(v, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->record_observation(id_, v);
+}
+
+void MetricsRegistry::record_observation(std::size_t hist_id,
+                                         double v) noexcept {
+  // Lock-free: histograms_ is reserved to kMaxHistograms at
+  // construction and append-only, so entries never move, and each
+  // entry's bounds are immutable once its handle exists.
+  const HistogramMeta* meta = &histograms_[hist_id];
+  const std::vector<double>& bounds = meta->bounds;
+  const std::size_t bucket =
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin();
+  Shard& s = shard();
+  s.hist_counts[meta->bucket_offset + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  std::atomic<double>& sum = s.hist_sums[hist_id];
+  sum.store(sum.load(std::memory_order_relaxed) + v,
+            std::memory_order_relaxed);
+}
+
+ScopedTimerUs::ScopedTimerUs(Histogram h) : histogram_(h) {
+  if (histogram_.registry_ != nullptr && histogram_.registry_->enabled()) {
+    armed_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  if (!armed_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  histogram_.observe(
+      std::chrono::duration<double, std::micro>(elapsed).count());
+}
+
+MetricsRegistry::MetricsRegistry()
+    : id_(next_registry_id.fetch_add(1, std::memory_order_relaxed)) {
+  // Entries must never move: record_observation reads them lock-free.
+  histograms_.reserve(kMaxHistograms);
+  std::lock_guard<std::mutex> lock(liveness_mutex());
+  live_registries().emplace(id_, this);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  std::lock_guard<std::mutex> lock(liveness_mutex());
+  live_registries().erase(id_);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked intentionally: worker threads may outlive static destructors
+  // and their exit hooks consult the liveness map either way.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const std::vector<double>& MetricsRegistry::default_latency_bounds_us() {
+  // Roughly logarithmic from 1 µs to 1 s; solve times on this codebase
+  // span ~2 µs (heuristic-mva warm) to seconds (product-form blowups).
+  static const std::vector<double> bounds = {
+      1,     2,     5,     10,    20,    50,     100,    200,     500,
+      1000,  2000,  5000,  10000, 20000, 50000,  100000, 200000,  500000,
+      1000000};
+  return bounds;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return Counter(this, i);
+  }
+  if (counter_names_.size() >= kMaxCounters) {
+    throw std::runtime_error("MetricsRegistry: counter capacity exhausted at '" +
+                             name + "'");
+  }
+  counter_names_.push_back(name);
+  return Counter(this, counter_names_.size() - 1);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return Gauge(this, i);
+  }
+  if (gauge_names_.size() >= kMaxGauges) {
+    throw std::runtime_error("MetricsRegistry: gauge capacity exhausted at '" +
+                             name + "'");
+  }
+  gauge_names_.push_back(name);
+  return Gauge(this, gauge_names_.size() - 1);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return Histogram(this, i);
+  }
+  if (bounds.empty()) bounds = default_latency_bounds_us();
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::runtime_error(
+          "MetricsRegistry: histogram bounds must be strictly increasing: '" +
+          name + "'");
+    }
+  }
+  const std::size_t buckets = bounds.size() + 1;  // trailing +inf bucket
+  if (histograms_.size() >= kMaxHistograms ||
+      next_bucket_offset_ + buckets > kMaxHistogramBuckets) {
+    throw std::runtime_error(
+        "MetricsRegistry: histogram capacity exhausted at '" + name + "'");
+  }
+  HistogramMeta meta;
+  meta.name = name;
+  meta.bounds = std::move(bounds);
+  meta.bucket_offset = next_bucket_offset_;
+  next_bucket_offset_ += buckets;
+  histograms_.push_back(std::move(meta));
+  return Histogram(this, histograms_.size() - 1);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::acquire_shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_shards_.empty()) {
+    Shard* s = free_shards_.back();
+    free_shards_.pop_back();
+    return s;
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->counters =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kMaxCounters);
+  shard->gauges = std::make_unique<std::atomic<double>[]>(kMaxGauges);
+  shard->hist_counts =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kMaxHistogramBuckets);
+  shard->hist_sums = std::make_unique<std::atomic<double>[]>(kMaxHistograms);
+  for (std::size_t i = 0; i < kMaxCounters; ++i) shard->counters[i] = 0;
+  for (std::size_t i = 0; i < kMaxGauges; ++i) shard->gauges[i] = 0.0;
+  for (std::size_t i = 0; i < kMaxHistogramBuckets; ++i) {
+    shard->hist_counts[i] = 0;
+  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) shard->hist_sums[i] = 0.0;
+  Shard* raw = shard.get();
+  shards_.push_back(std::move(shard));
+  return raw;
+}
+
+void MetricsRegistry::release_shard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_shards_.push_back(shard);
+}
+
+void MetricsRegistry::release_shard_if_live(std::uint64_t registry_id,
+                                            void* shard) {
+  std::lock_guard<std::mutex> lock(liveness_mutex());
+  auto& live = live_registries();
+  auto it = live.find(registry_id);
+  if (it != live.end()) {
+    it->second->release_shard(static_cast<Shard*>(shard));
+  }
+}
+
+namespace {
+
+// Thread-exit hook returning each thread's shards to their registries'
+// free lists (so short-lived pool threads don't leak shard slots).
+struct ThreadShardCache {
+  struct Entry {
+    std::uint64_t registry_id;
+    MetricsRegistry* registry;  // only dereferenced while cached
+    void* shard;
+  };
+  std::vector<Entry> entries;
+  ~ThreadShardCache() {
+    for (const Entry& e : entries) {
+      MetricsRegistry::release_shard_if_live(e.registry_id, e.shard);
+    }
+  }
+};
+
+thread_local ThreadShardCache t_shard_cache;
+
+}  // namespace
+
+MetricsRegistry::Shard& MetricsRegistry::shard() {
+  for (const auto& e : t_shard_cache.entries) {
+    if (e.registry_id == id_) return *static_cast<Shard*>(e.shard);
+  }
+  Shard* s = acquire_shard();
+  t_shard_cache.entries.push_back({id_, this, s});
+  return *s;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    double hwm = 0.0;
+    for (const auto& shard : shards_) {
+      hwm = std::max(hwm, shard->gauges[i].load(std::memory_order_relaxed));
+    }
+    snap.gauges.emplace_back(gauge_names_[i], hwm);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramMeta& meta = histograms_[i];
+    HistogramSnapshot h;
+    h.bounds = meta.bounds;
+    h.counts.assign(meta.bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] +=
+            shard->hist_counts[meta.bucket_offset + b].load(
+                std::memory_order_relaxed);
+      }
+      h.sum += shard->hist_sums[i].load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : h.counts) h.count += c;
+    snap.histograms.emplace_back(meta.name, std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      shard->counters[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      shard->gauges[i].store(0.0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < next_bucket_offset_; ++i) {
+      shard->hist_counts[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+      shard->hist_sums[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name,
+                                 double fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  // Sorted for stable diffs regardless of registration order.
+  std::map<std::string, std::uint64_t> sorted_counters(counters.begin(),
+                                                       counters.end());
+  for (const auto& [name, value] : sorted_counters) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  std::map<std::string, double> sorted_gauges(gauges.begin(), gauges.end());
+  for (const auto& [name, value] : sorted_gauges) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  std::map<std::string, const HistogramSnapshot*> sorted_hists;
+  for (const auto& [name, h] : histograms) sorted_hists.emplace(name, &h);
+  for (const auto& [name, h] : sorted_hists) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h->count);
+    w.key("sum");
+    w.value(h->sum);
+    w.key("bounds");
+    w.begin_array();
+    for (double b : h->bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (std::uint64_t c : h->counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace windim::obs

@@ -1,0 +1,205 @@
+// Lock-cheap process metrics: counters, gauges and fixed-bucket latency
+// histograms, sharded per thread and merged on snapshot.
+//
+// Design constraints (DESIGN.md §8):
+//   - The warm evaluation path must stay allocation- and
+//     contention-free.  Every mutation goes to a per-thread shard that
+//     only its owning thread writes; slots are relaxed atomics so a
+//     concurrent snapshot() is race-free without any lock on the hot
+//     path.  Shard storage is allocated once per (thread, registry)
+//     pair and recycled through a free list when the thread exits.
+//   - Instrumentation is compiled in but OFF by default.  Every handle
+//     operation first checks the registry's enabled flag (one relaxed
+//     atomic load) and bails; bench_perf_dimension measures that guard
+//     and gates its cost below 2% of an evaluation.
+//   - snapshot() merges shards under the registry mutex into an
+//     isolated copy: counters and histogram buckets sum, gauges take
+//     the maximum (the gauge use case here is high-water marks).
+//     reset() zeroes every shard in place, keeping registrations.
+//
+// Handles (Counter/Gauge/Histogram) are cheap value types bound to a
+// registry by name at registration; a default-constructed handle is
+// detached and every operation on it is a no-op.  Registration is
+// idempotent by name and thread-safe; capacity is fixed (see kMax*
+// below) so shard arrays never reallocate under a concurrent reader.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace windim::obs {
+
+class MetricsRegistry;
+
+struct HistogramSnapshot {
+  /// Inclusive upper bounds; the final +inf bucket is implicit.
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries; counts[i] counts values <= bounds[i].
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// An isolated, merged copy of a registry's state; stable once taken.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const;
+  [[nodiscard]] double gauge_or(const std::string& name,
+                                double fallback = 0.0) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      const std::string& name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Monotonic counter handle; merge = sum across shards.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// High-water-mark gauge handle; merge = max across shards.
+class Gauge {
+ public:
+  Gauge() = default;
+  /// Raises the shard's value to at least `v` (never lowers it).
+  void record_max(double v) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Fixed-bucket histogram handle; merge = per-bucket sum across shards.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  friend class ScopedTimerUs;
+  Histogram(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// RAII wall-clock timer: records elapsed microseconds into `h` on
+/// destruction.  Skips the clock reads entirely when the registry is
+/// disabled at construction time.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram h);
+  ~ScopedTimerUs();
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the built-in instrumentation records to.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers (or finds) a metric by name.  Throws std::runtime_error
+  /// when the fixed capacity (kMaxCounters/kMaxGauges/kMaxHistograms or
+  /// kMaxHistogramBuckets) is exhausted.
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  /// `bounds` must be strictly increasing; empty = the default
+  /// microsecond latency buckets.  Re-registering an existing histogram
+  /// ignores `bounds` and returns the original.
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    std::vector<double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every shard in place; registrations and handles stay valid.
+  void reset();
+
+  [[nodiscard]] static const std::vector<double>& default_latency_bounds_us();
+
+  static constexpr std::size_t kMaxCounters = 192;
+  static constexpr std::size_t kMaxGauges = 160;
+  static constexpr std::size_t kMaxHistograms = 64;
+  static constexpr std::size_t kMaxHistogramBuckets = 2048;
+
+  /// Thread-exit plumbing (see metrics.cc): returns a shard to the
+  /// registry identified by `registry_id` iff it is still alive.
+  static void release_shard_if_live(std::uint64_t registry_id, void* shard);
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  void record_observation(std::size_t hist_id, double v) noexcept;
+
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counters;
+    std::unique_ptr<std::atomic<double>[]> gauges;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> hist_counts;
+    std::unique_ptr<std::atomic<double>[]> hist_sums;  // kMaxHistograms
+  };
+  struct HistogramMeta {
+    std::string name;
+    std::vector<double> bounds;
+    std::size_t bucket_offset = 0;  // into hist_counts
+  };
+
+  [[nodiscard]] Shard& shard();
+  [[nodiscard]] Shard* acquire_shard();
+  void release_shard(Shard* shard);
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t id_;  // process-unique, for safe TLS invalidation
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<HistogramMeta> histograms_;
+  std::size_t next_bucket_offset_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;  // every shard ever created
+  std::vector<Shard*> free_shards_;             // released by dead threads
+};
+
+}  // namespace windim::obs

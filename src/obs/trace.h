@@ -1,0 +1,72 @@
+// Structured search trace: one record per pattern-search probe, in the
+// deterministic serial-replay order the search accepts results.
+//
+// Determinism contract (DESIGN.md §8): the speculative engine may
+// evaluate candidates on any thread in any order, but the search
+// trajectory itself is replayed serially, and records are appended from
+// that serial replay only.  Consequently the trace — including the
+// `cache_hit` field, which means "this point was already probed earlier
+// in serial order", not "the memo table happened to be warm" — is
+// byte-identical across thread counts.  Thread ids are ordinals
+// assigned in first-append order (the search thread is always 0), never
+// raw OS ids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace windim::obs {
+
+struct TraceRecord {
+  std::uint64_t step = 0;          // 0-based probe index in serial order
+  std::vector<int> windows;        // the probed window vector
+  double objective = 0.0;          // F: the search objective value
+  double power = 0.0;              // P: network power at this point
+  std::string solver;              // registry solver name
+  bool cache_hit = false;          // deterministic serial revisit
+  std::vector<int> anchor;         // warm-start anchor windows ([] = cold)
+  std::uint64_t thread = 0;        // appender ordinal, 0 = search thread
+};
+
+/// Bounded ring of TraceRecords; drop-oldest on overflow.  Appends are
+/// mutex-guarded — the serial-replay contract means they never contend
+/// in practice (a single thread appends during a search).
+class SearchTrace {
+ public:
+  explicit SearchTrace(std::size_t capacity = 1 << 16);
+
+  void append(TraceRecord record);
+  void clear();
+
+  /// Records in append order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+  [[nodiscard]] std::uint64_t total_appended() const;
+  /// Records evicted by ring overflow.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// One JSON object per line, fixed field order:
+  /// {"step":..,"windows":[..],"F":..,"P":..,"solver":"..",
+  ///  "cache_hit":..,"anchor":[..],"thread":..}\n
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Returns false (and leaves no partial file behind the caller's
+  /// expectations) if the file cannot be written.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::uint64_t thread_ordinal_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // index of the oldest record once full
+  std::uint64_t total_ = 0;
+  std::unordered_map<std::thread::id, std::uint64_t> thread_ordinals_;
+};
+
+}  // namespace windim::obs

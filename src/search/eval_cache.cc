@@ -2,30 +2,59 @@
 
 namespace windim::search {
 
-std::optional<double> EvalCache::lookup(const Point& p) {
-  Shard& s = shard_of(p);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.values.find(p);
-  if (it == s.values.end()) return std::nullopt;
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-bool EvalCache::try_reserve_evaluation() {
-  std::size_t current = evaluations_.load(std::memory_order_relaxed);
+bool EvalCache::try_reserve_budget() noexcept {
+  std::size_t current = misses_.load(std::memory_order_relaxed);
   while (current < max_evaluations_) {
-    if (evaluations_.compare_exchange_weak(current, current + 1,
-                                           std::memory_order_relaxed)) {
+    if (misses_.compare_exchange_weak(current, current + 1,
+                                      std::memory_order_relaxed)) {
       return true;
     }
   }
   return false;
 }
 
+EvalCache::Result EvalCache::lookup_or_reserve(const Point& p) {
+  Shard& s = shard_of(p);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  for (;;) {
+    auto it = s.values.find(p);
+    if (it == s.values.end()) {
+      if (!try_reserve_budget()) {
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+        return {Outcome::kExhausted, 0.0};
+      }
+      s.values.emplace(p, Slot{});
+      return {Outcome::kReserved, 0.0};
+    }
+    if (it->second.done) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {Outcome::kHit, it->second.value};
+    }
+    // Another thread holds the reservation; wait for insert/abandon.
+    // The iterator may be invalidated while unlocked — re-find on wake.
+    s.ready.wait(lock);
+  }
+}
+
 void EvalCache::insert(const Point& p, double value) {
   Shard& s = shard_of(p);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  s.values.emplace(p, value);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    Slot& slot = s.values[p];
+    slot.done = true;
+    slot.value = value;
+  }
+  s.ready.notify_all();
+}
+
+void EvalCache::abandon(const Point& p) {
+  Shard& s = shard_of(p);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.values.find(p);
+    if (it != s.values.end() && !it->second.done) s.values.erase(it);
+  }
+  s.ready.notify_all();
 }
 
 }  // namespace windim::search

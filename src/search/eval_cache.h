@@ -10,12 +10,25 @@
 // slot; when none is left the caller reports exhaustion instead of
 // evaluating (the search then returns its best-so-far point rather than
 // throwing, see pattern_search.h).
+//
+// Statistics are EXACT, not approximate: classification (hit / fresh
+// reservation / budget-exhausted) happens atomically with the shard map
+// update in lookup_or_reserve(), so the invariants
+//
+//   misses() == evaluations actually run == budget consumed
+//   probes() == hits() + misses() + exhausted_probes()
+//
+// hold under any interleaving.  The old split lookup()/try_reserve()
+// API let two threads both miss the same point, double-counting the
+// evaluation and double-spending the budget; lookup_or_reserve() hands
+// the point to exactly one caller and parks later callers on the
+// shard's condition variable until the value (or an abandon) arrives.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -23,49 +36,83 @@ namespace windim::search {
 
 using Point = std::vector<int>;
 
+struct PointHash {
+  std::size_t operator()(const Point& p) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (int v : p) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
 class EvalCache {
  public:
+  enum class Outcome {
+    kHit,        // value is the memoized objective
+    kReserved,   // caller owns the evaluation; must insert() or abandon()
+    kExhausted,  // budget spent and the point is not cached
+  };
+  struct Result {
+    Outcome outcome;
+    double value;  // meaningful only for kHit
+  };
+
   explicit EvalCache(std::size_t max_evaluations = SIZE_MAX)
       : max_evaluations_(max_evaluations) {}
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
 
-  /// Cached value for `p`, counting a cache hit; nullopt when absent.
-  [[nodiscard]] std::optional<double> lookup(const Point& p);
+  /// Classifies a probe of `p` atomically:
+  ///   - cached (or being evaluated elsewhere): waits for the value if
+  ///     pending, returns kHit — exactly one hit counted;
+  ///   - absent with budget left: reserves the point AND one budget
+  ///     slot, returns kReserved — exactly one miss counted; the caller
+  ///     must follow up with insert() (success) or abandon() (failure);
+  ///   - absent with budget exhausted: returns kExhausted.
+  /// Reservations are permanent: budget is spent when reserved, not
+  /// when the value lands (abandon() releases the point, not the slot).
+  [[nodiscard]] Result lookup_or_reserve(const Point& p);
 
-  /// Reserves one fresh evaluation against the budget.  False when the
-  /// budget is exhausted; the reservation is permanent (evaluations are
-  /// counted when reserved, not when the value is stored).
-  [[nodiscard]] bool try_reserve_evaluation();
-
-  /// Stores the value of a reserved evaluation.
+  /// Fulfills a kReserved reservation and wakes waiting probers.
   void insert(const Point& p, double value);
 
+  /// Releases a kReserved point without a value (the evaluation threw);
+  /// waiting probers re-classify, and one of them may re-reserve.
+  void abandon(const Point& p);
+
+  /// Fresh evaluations reserved == budget consumed (exact).
   [[nodiscard]] std::size_t evaluations() const noexcept {
-    return evaluations_.load(std::memory_order_relaxed);
+    return misses_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t exhausted_probes() const noexcept {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  /// Total lookup_or_reserve() calls == hits + misses + exhausted.
+  [[nodiscard]] std::size_t probes() const noexcept {
+    return hits() + misses() + exhausted_probes();
   }
   [[nodiscard]] std::size_t max_evaluations() const noexcept {
     return max_evaluations_;
   }
 
  private:
-  struct PointHash {
-    std::size_t operator()(const Point& p) const noexcept {
-      std::size_t h = 0x9e3779b97f4a7c15ull;
-      for (int v : p) {
-        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
-             (h >> 2);
-      }
-      return h;
-    }
+  struct Slot {
+    bool done = false;  // false while the reserving caller evaluates
+    double value = 0.0;
   };
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<Point, double, PointHash> values;
+    std::condition_variable ready;
+    std::unordered_map<Point, Slot, PointHash> values;
   };
   static constexpr std::size_t kNumShards = 16;
 
@@ -73,10 +120,15 @@ class EvalCache {
     return shards_[PointHash{}(p) % kNumShards];
   }
 
+  /// Spends one budget slot; called with the shard lock held so the
+  /// miss classification and the map insert are one atomic step.
+  [[nodiscard]] bool try_reserve_budget() noexcept;
+
   Shard shards_[kNumShards];
   std::size_t max_evaluations_;
-  std::atomic<std::size_t> evaluations_{0};
+  std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> exhausted_{0};
 };
 
 }  // namespace windim::search

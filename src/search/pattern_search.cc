@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace windim::search {
 namespace {
@@ -16,23 +17,45 @@ struct Evaluator {
   const Objective& objective;
   EvalCache& cache;
   util::ThreadPool* pool;
+  const PatternSearchOptions& options;
   bool exhausted = false;
+  // on_probe bookkeeping: probe index and the deterministic revisit set
+  // (touched only when the hook is installed, keeping the default path
+  // free of per-probe allocations).
+  std::size_t probe_index = 0;
+  std::unordered_set<Point, PointHash> seen;
 
   std::optional<double> operator()(const Point& p) {
-    if (const auto v = cache.lookup(p)) return v;
-    if (!cache.try_reserve_evaluation()) {
+    const EvalCache::Result r = cache.lookup_or_reserve(p);
+    if (r.outcome == EvalCache::Outcome::kExhausted) {
       exhausted = true;
       return std::nullopt;
     }
-    const double v = objective(p);
-    cache.insert(p, v);
+    double v;
+    if (r.outcome == EvalCache::Outcome::kHit) {
+      v = r.value;
+    } else {
+      try {
+        v = objective(p);
+      } catch (...) {
+        cache.abandon(p);
+        throw;
+      }
+      cache.insert(p, v);
+    }
+    if (options.on_probe) {
+      const bool revisit = !seen.insert(p).second;
+      options.on_probe(probe_index++, p, v, revisit);
+    }
     return v;
   }
 
   /// Evaluates every uncached candidate on the pool, concurrently.  A
   /// candidate that loses the budget race is simply left unevaluated;
   /// the serial replay discovers exhaustion when (and if) it actually
-  /// needs the point.
+  /// needs the point.  Speculative probes never fire on_probe — only
+  /// the serial replay does, which is what keeps the stream
+  /// deterministic.
   void prefetch(const std::vector<Point>& candidates) {
     if (pool == nullptr || pool->num_threads() < 2) return;
     std::vector<Point> fresh;
@@ -44,9 +67,14 @@ struct Evaluator {
     jobs.reserve(fresh.size());
     for (const Point& p : fresh) {
       jobs.push_back([this, &p] {
-        if (cache.lookup(p)) return;
-        if (!cache.try_reserve_evaluation()) return;
-        cache.insert(p, objective(p));
+        const EvalCache::Result r = cache.lookup_or_reserve(p);
+        if (r.outcome != EvalCache::Outcome::kReserved) return;
+        try {
+          cache.insert(p, objective(p));
+        } catch (...) {
+          cache.abandon(p);
+          throw;
+        }
       });
     }
     pool->run_batch(std::move(jobs));
@@ -166,7 +194,7 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   }
   const std::size_t evaluations_before = cache->evaluations();
   const std::size_t hits_before = cache->hits();
-  Evaluator eval{objective, *cache, options.pool, false};
+  Evaluator eval{objective, *cache, options.pool, options, false, 0, {}};
   const auto new_base = [&](const Point& p, double f) {
     if (options.on_new_base) options.on_new_base(p, f);
   };

@@ -71,6 +71,17 @@ struct PatternSearchOptions {
   /// deterministic anchor stream (the warm-start engine seeds MVA fixed
   /// points from it; see windim/dimension.cc).
   std::function<void(const Point&, double)> on_new_base;
+  /// Invoked on the calling thread for every probe the serial replay
+  /// resolves to a value, in acceptance order: `step` is the 0-based
+  /// probe index, `revisit` is true when the point was already probed
+  /// earlier in serial order.  Like the trajectory itself, this stream
+  /// is identical in serial and speculative runs (`revisit` is the
+  /// deterministic notion of a cache hit — whether the memo table was
+  /// actually warm depends on speculation and is NOT reported here).
+  /// Budget-exhausted probes resolve to no value and are not reported.
+  std::function<void(std::size_t step, const Point&, double value,
+                     bool revisit)>
+      on_probe;
 };
 
 struct PatternSearchResult {

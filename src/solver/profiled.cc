@@ -1,0 +1,67 @@
+// Solver::solve_profiled — the solve-level profiling hook.
+//
+// Handles are registered lazily per solver name and cached in a
+// process-wide map, so the steady state is one mutex-guarded map lookup
+// per solve *only while profiling is enabled*; disabled, the wrapper is
+// one relaxed atomic load and a tail call into solve().
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "solver/solver.h"
+
+namespace windim::solver {
+namespace {
+
+struct SolverMetrics {
+  obs::Counter solves;
+  obs::Counter iterations;
+  obs::Counter errors;
+  obs::Histogram solve_us;
+  obs::Gauge arena_hwm_bytes;
+};
+
+const SolverMetrics& metrics_for(std::string_view name) {
+  static std::mutex mutex;
+  static std::map<std::string, SolverMetrics, std::less<>>* cache =
+      new std::map<std::string, SolverMetrics, std::less<>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "solver." + std::string(name);
+  SolverMetrics m;
+  m.solves = reg.counter(prefix + ".solves");
+  m.iterations = reg.counter(prefix + ".iterations");
+  m.errors = reg.counter(prefix + ".errors");
+  m.solve_us = reg.histogram(prefix + ".solve_us");
+  m.arena_hwm_bytes = reg.gauge(prefix + ".arena_hwm_bytes");
+  return cache->emplace(std::string(name), m).first->second;
+}
+
+}  // namespace
+
+Solution Solver::solve_profiled(const qn::CompiledModel& model,
+                                const PopulationVector& population,
+                                Workspace& ws) const {
+  if (!obs::MetricsRegistry::global().enabled()) {
+    return solve(model, population, ws);
+  }
+  const SolverMetrics& m = metrics_for(name());
+  obs::ScopedTimerUs timer(m.solve_us);
+  Solution sol;
+  try {
+    sol = solve(model, population, ws);
+  } catch (...) {
+    m.errors.add();
+    throw;
+  }
+  m.solves.add();
+  m.iterations.add(static_cast<std::uint64_t>(
+      sol.iterations < 0 ? 0 : sol.iterations));
+  m.arena_hwm_bytes.record_max(static_cast<double>(ws.bytes_reserved()));
+  return sol;
+}
+
+}  // namespace windim::solver

@@ -101,6 +101,16 @@ class Solver {
   [[nodiscard]] virtual Solution solve(const qn::CompiledModel& model,
                                        const PopulationVector& population,
                                        Workspace& ws) const = 0;
+
+  /// solve() wrapped in per-solver profiling (obs::MetricsRegistry
+  /// counters "solver.<name>.solves"/".iterations"/".errors", latency
+  /// histogram ".solve_us", arena high-water gauge ".arena_hwm_bytes").
+  /// When the global registry is disabled — the default — this is a
+  /// single relaxed atomic load followed by solve(); same contract and
+  /// exceptions otherwise.  Implemented in profiled.cc.
+  [[nodiscard]] Solution solve_profiled(const qn::CompiledModel& model,
+                                        const PopulationVector& population,
+                                        Workspace& ws) const;
 };
 
 }  // namespace windim::solver

@@ -116,7 +116,8 @@ Reference solve_reference(const qn::NetworkModel& m, solver::Workspace& ws) {
   ref.population.assign(base.begin(), base.end());
   const solver::Solver& conv =
       *solver::SolverRegistry::instance().find("convolution");
-  const solver::Solution sol = conv.solve(ref.compiled, ref.population, ws);
+  const solver::Solution sol =
+      conv.solve_profiled(ref.compiled, ref.population, ws);
   ref.num_chains = sol.num_chains;
   ref.num_stations = ref.compiled.num_stations();
   ref.throughput.assign(sol.chain_throughput.begin(),
@@ -190,7 +191,7 @@ void run_exact_pair(const ExactPair& pair, const Reference& ref,
   ws.hints.max_states = opt.max_product_form_states;
   solver::Solution sol;
   try {
-    sol = solver->solve(ref.compiled, ref.population, ws);
+    sol = solver->solve_profiled(ref.compiled, ref.population, ws);
   } catch (const std::runtime_error& e) {
     ws.hints = solver::SolveHints{};
     if (pair.reject_is_failure) {
@@ -266,12 +267,12 @@ void run_envelope(const EnvelopePair& pair, const Reference& ref,
   solver::Solution sol;
   try {
     ws.hints = solver::SolveHints{};
-    sol = solver->solve(ref.compiled, ref.population, ws);
+    sol = solver->solve_profiled(ref.compiled, ref.population, ws);
     if (!sol.converged && pair.retry_with_damping) {
       mva::ApproxMvaOptions damped;
       damped.damping = 0.5;
       ws.hints.mva = &damped;
-      sol = solver->solve(ref.compiled, ref.population, ws);
+      sol = solver->solve_profiled(ref.compiled, ref.population, ws);
     }
     ws.hints = solver::SolveHints{};
   } catch (const std::exception& e) {

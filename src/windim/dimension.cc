@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/eval_cache.h"
 #include "solver/registry.h"
 #include "util/thread_pool.h"
@@ -57,6 +59,30 @@ class EvaluationStore {
   [[nodiscard]] std::optional<mva::MvaWarmStart> nearest_anchor(
       const std::vector<int>& windows) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* best = nearest_entry_locked(windows);
+    if (best == nullptr) return std::nullopt;
+    return best->state;
+  }
+
+  /// Window vector of the nearest anchor (empty before any anchor) —
+  /// the trace's `anchor` field.  Deterministic for the search thread:
+  /// the anchor set only changes between explorations.
+  [[nodiscard]] std::vector<int> nearest_anchor_windows(
+      const std::vector<int>& windows) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* best = nearest_entry_locked(windows);
+    if (best == nullptr) return {};
+    return best->evaluation.windows;
+  }
+
+ private:
+  struct Entry {
+    Evaluation evaluation;
+    mva::MvaWarmStart state;  // empty for non-heuristic evaluators
+  };
+
+  [[nodiscard]] const Entry* nearest_entry_locked(
+      const std::vector<int>& windows) const {
     const Entry* best = nullptr;
     long best_distance = 0;
     for (const Entry* a : anchors_) {
@@ -70,15 +96,8 @@ class EvaluationStore {
         best_distance = distance;
       }
     }
-    if (best == nullptr) return std::nullopt;
-    return best->state;
+    return best;
   }
-
- private:
-  struct Entry {
-    Evaluation evaluation;
-    mva::MvaWarmStart state;  // empty for non-heuristic evaluators
-  };
   struct VectorHash {
     std::size_t operator()(const std::vector<int>& v) const noexcept {
       std::size_t h = 0x9e3779b97f4a7c15ull;
@@ -204,6 +223,24 @@ DimensionResult dimension_windows(const WindowProblem& problem,
       store.add_anchor(p);
     };
   }
+  const std::string solver_name(solver.name());
+  if (options.trace != nullptr) {
+    ps.on_probe = [&](std::size_t step, const search::Point& p, double value,
+                      bool revisit) {
+      obs::TraceRecord rec;
+      rec.step = step;
+      rec.windows = p;
+      rec.objective = value;
+      if (const auto ev = store.find(p)) rec.power = ev->power;
+      rec.solver = solver_name;
+      rec.cache_hit = revisit;
+      // The anchor the *serial* replay seeds from at this probe (the
+      // deterministic reading; a speculative evaluation may have used
+      // an earlier anchor set).  Revisits evaluate nothing.
+      if (warm && !revisit) rec.anchor = store.nearest_anchor_windows(p);
+      options.trace->append(std::move(rec));
+    };
+  }
 
   const search::PatternSearchResult ps_result =
       search::pattern_search(objective, std::move(initial), ps);
@@ -223,6 +260,39 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   result.objective_evaluations = ps_result.evaluations;
   result.cache_hits = ps_result.cache_hits;
   result.base_points = ps_result.base_points;
+
+  // Run-level accounting into the global registry (off by default; the
+  // guard keeps the disabled path free of registration work).  Counter
+  // pairs like evaluations/budget_consumed are intentionally redundant:
+  // the crosscheck tests assert their equality to catch double-count
+  // bugs in the engine.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("search.runs").add();
+    reg.counter("search.probes").add(cache.probes());
+    reg.counter("search.cache_hits").add(cache.hits());
+    reg.counter("search.cache_misses").add(cache.misses());
+    reg.counter("search.evaluations").add(cache.evaluations());
+    reg.counter("search.budget_consumed").add(cache.misses());
+    reg.counter("search.budget_exhausted_probes").add(
+        cache.exhausted_probes());
+    reg.counter("search.base_points").add(ps_result.base_points.size());
+    reg.gauge("windim.throughput").record_max(result.evaluation.throughput);
+    reg.gauge("windim.delay").record_max(result.evaluation.mean_delay);
+    reg.gauge("windim.power").record_max(result.evaluation.power);
+    reg.gauge("windim.fairness").record_max(result.evaluation.fairness);
+    const std::size_t reported_chains =
+        std::min<std::size_t>(result.evaluation.class_throughput.size(), 16);
+    for (std::size_t r = 0; r < reported_chains; ++r) {
+      const std::string prefix = "windim.chain." + std::to_string(r);
+      reg.gauge(prefix + ".throughput")
+          .record_max(result.evaluation.class_throughput[r]);
+      if (r < result.evaluation.class_delay.size()) {
+        reg.gauge(prefix + ".delay")
+            .record_max(result.evaluation.class_delay[r]);
+      }
+    }
+  }
   return result;
 }
 

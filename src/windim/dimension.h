@@ -15,6 +15,10 @@
 #include "solver/workspace.h"
 #include "windim/problem.h"
 
+namespace windim::obs {
+class SearchTrace;
+}  // namespace windim::obs
+
 namespace windim::core {
 
 /// What the search maximizes.
@@ -78,6 +82,12 @@ struct DimensionOptions {
   /// what bench_perf_dimension's allocation gate measures).  Null = a
   /// pool private to this run.
   solver::WorkspacePool* workspaces = nullptr;
+  /// Optional structured search trace: one record per serial-replay
+  /// probe (step, windows, F, P, solver, deterministic cache-hit flag,
+  /// warm-start anchor, thread ordinal), byte-identical across thread
+  /// counts; see obs/trace.h.  Null (the default) skips all trace
+  /// bookkeeping.
+  obs::SearchTrace* trace = nullptr;
 };
 
 struct DimensionResult {

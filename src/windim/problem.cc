@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/derived.h"
 #include "solver/registry.h"
 
 namespace windim::core {
@@ -150,7 +151,7 @@ Evaluation WindowProblem::evaluate_with(
   ws.hints = solver::SolveHints{};
   if (traits.supports_warm_start) ws.hints.warm_start = warm_start;
   ws.hints.mva = mva_options;
-  const solver::Solution sol = solver.solve(model, windows, ws);
+  const solver::Solution sol = solver.solve_profiled(model, windows, ws);
   ws.hints = solver::SolveHints{};
 
   if (traits.supports_warm_start && final_state != nullptr) {
@@ -186,6 +187,8 @@ Evaluation WindowProblem::evaluate_with(
   ev.throughput = total_rate;
   ev.mean_delay = total_rate > 0.0 ? total_number / total_rate : 0.0;
   ev.power = ev.mean_delay > 0.0 ? ev.throughput / ev.mean_delay : 0.0;
+  ev.fairness = obs::jain_fairness(
+      obs::chain_powers(ev.class_throughput, ev.class_delay));
   return ev;
 }
 

@@ -61,6 +61,9 @@ struct Evaluation {
   double power = 0.0;        // throughput / delay (thesis eq. 4.19)
   std::vector<double> class_throughput;
   std::vector<double> class_delay;
+  /// Jain's fairness index over per-class powers lambda_r / T_r
+  /// (obs::jain_fairness); 1.0 = perfectly even power split.
+  double fairness = 1.0;
   int iterations = 0;        // MVA iterations (heuristic evaluator)
   /// Iterations that re-ran the sigma estimation (= iterations for cold
   /// starts; fewer for sigma-seeded warm starts).

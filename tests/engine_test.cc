@@ -71,25 +71,36 @@ TEST(ThreadPoolTest, ResolveThreadCountCapsAtHardware) {
 
 // ----------------------------------------------------------------- eval cache
 
-TEST(EvalCacheTest, LookupInsertAndCounters) {
+TEST(EvalCacheTest, LookupOrReserveClassifiesAndCountsExactly) {
   search::EvalCache cache;
-  EXPECT_FALSE(cache.lookup({1, 2}).has_value());
-  ASSERT_TRUE(cache.try_reserve_evaluation());
+  const auto miss = cache.lookup_or_reserve({1, 2});
+  EXPECT_EQ(miss.outcome, search::EvalCache::Outcome::kReserved);
   cache.insert({1, 2}, 3.5);
-  const auto hit = cache.lookup({1, 2});
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_DOUBLE_EQ(*hit, 3.5);
+  const auto hit = cache.lookup_or_reserve({1, 2});
+  ASSERT_EQ(hit.outcome, search::EvalCache::Outcome::kHit);
+  EXPECT_DOUBLE_EQ(hit.value, 3.5);
   EXPECT_EQ(cache.evaluations(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.probes(), 2u);
 }
 
 TEST(EvalCacheTest, BudgetReservationIsPermanent) {
   search::EvalCache cache(2);
-  EXPECT_TRUE(cache.try_reserve_evaluation());
-  EXPECT_TRUE(cache.try_reserve_evaluation());
-  EXPECT_FALSE(cache.try_reserve_evaluation());
-  EXPECT_FALSE(cache.try_reserve_evaluation());
+  EXPECT_EQ(cache.lookup_or_reserve({1}).outcome,
+            search::EvalCache::Outcome::kReserved);
+  EXPECT_EQ(cache.lookup_or_reserve({2}).outcome,
+            search::EvalCache::Outcome::kReserved);
+  EXPECT_EQ(cache.lookup_or_reserve({3}).outcome,
+            search::EvalCache::Outcome::kExhausted);
+  EXPECT_EQ(cache.lookup_or_reserve({4}).outcome,
+            search::EvalCache::Outcome::kExhausted);
+  // Abandoning a reservation releases the point but not the budget slot.
+  cache.abandon({1});
+  EXPECT_EQ(cache.lookup_or_reserve({1}).outcome,
+            search::EvalCache::Outcome::kExhausted);
   EXPECT_EQ(cache.evaluations(), 2u);
+  EXPECT_EQ(cache.exhausted_probes(), 3u);
 }
 
 TEST(EvalCacheTest, ConcurrentReservationsNeverExceedBudget) {
@@ -98,13 +109,77 @@ TEST(EvalCacheTest, ConcurrentReservationsNeverExceedBudget) {
   std::atomic<std::size_t> granted{0};
   std::vector<std::function<void()>> jobs;
   for (int i = 0; i < 300; ++i) {
-    jobs.push_back([&] {
-      if (cache.try_reserve_evaluation()) ++granted;
+    jobs.push_back([&, i] {
+      const auto r = cache.lookup_or_reserve({i});  // 300 distinct points
+      if (r.outcome == search::EvalCache::Outcome::kReserved) {
+        ++granted;
+        cache.insert({i}, 0.0);
+      }
     });
   }
   pool.run_batch(std::move(jobs));
   EXPECT_EQ(granted.load(), 100u);
   EXPECT_EQ(cache.evaluations(), 100u);
+  EXPECT_EQ(cache.exhausted_probes(), 200u);
+}
+
+// Satellite regression (PR 4): the old split lookup()/try_reserve() API
+// let two threads both miss the same point — stats double-counted and
+// the point was evaluated twice.  lookup_or_reserve() classifies
+// atomically with the shard insert: hammering 100 distinct points with
+// 3 probes each from 4 threads must yield EXACTLY 100 misses and 200
+// hits, under every interleaving (late probers block until the value
+// lands, then count as hits).
+TEST(EvalCacheTest, ExactStatsUnderConcurrentHammer) {
+  search::EvalCache cache;
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> evaluations_run{0};
+  std::vector<std::function<void()>> jobs;
+  for (int probe = 0; probe < 3; ++probe) {
+    for (int i = 0; i < 100; ++i) {
+      jobs.push_back([&, i] {
+        const search::Point p = {i, i + 1};
+        const auto r = cache.lookup_or_reserve(p);
+        if (r.outcome == search::EvalCache::Outcome::kReserved) {
+          ++evaluations_run;
+          cache.insert(p, static_cast<double>(i));
+        } else {
+          ASSERT_EQ(r.outcome, search::EvalCache::Outcome::kHit);
+          EXPECT_DOUBLE_EQ(r.value, static_cast<double>(i));
+        }
+      });
+    }
+  }
+  pool.run_batch(std::move(jobs));
+  EXPECT_EQ(evaluations_run.load(), 100u);
+  EXPECT_EQ(cache.misses(), 100u);
+  EXPECT_EQ(cache.hits(), 200u);
+  EXPECT_EQ(cache.probes(), 300u);
+  EXPECT_EQ(cache.exhausted_probes(), 0u);
+}
+
+TEST(EvalCacheTest, AbandonWakesWaitersAndAllowsReReservation) {
+  search::EvalCache cache;
+  util::ThreadPool pool(2);
+  const search::Point p = {7};
+  ASSERT_EQ(cache.lookup_or_reserve(p).outcome,
+            search::EvalCache::Outcome::kReserved);
+  std::atomic<bool> reserved_again{false};
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([&] {
+    // Blocks until the abandon below, then re-classifies as a miss.
+    const auto r = cache.lookup_or_reserve(p);
+    if (r.outcome == search::EvalCache::Outcome::kReserved) {
+      reserved_again = true;
+      cache.insert(p, 1.0);
+    }
+  });
+  jobs.push_back([&] { cache.abandon(p); });
+  pool.run_batch(std::move(jobs));
+  EXPECT_TRUE(reserved_again.load());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.lookup_or_reserve(p).outcome,
+            search::EvalCache::Outcome::kHit);
 }
 
 // ------------------------------------------------------------ warm-start MVA

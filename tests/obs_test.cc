@@ -1,0 +1,312 @@
+// The observability layer: MetricsRegistry semantics (cross-thread
+// merge, snapshot isolation, reset, disabled-mode no-ops), the JSON
+// writer, the search-trace ring, and the determinism contract — the
+// JSONL trace of a dimensioning run is byte-identical for serial,
+// --threads 4 and --threads 0 (hardware) runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/examples.h"
+#include "obs/derived.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "windim/dimension.h"
+#include "windim/problem.h"
+
+namespace windim {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsMergeAcrossThreads) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter counter = reg.counter("jobs");
+  const obs::Gauge gauge = reg.gauge("hwm");
+  const obs::Histogram hist = reg.histogram("lat", {10.0, 100.0});
+
+  util::ThreadPool pool(4);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back([&, i] {
+      counter.add(2);
+      gauge.record_max(static_cast<double>(i));
+      hist.observe(static_cast<double>(i * 10));
+    });
+  }
+  pool.run_batch(std::move(jobs));
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("jobs"), 80u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("hwm"), 39.0);
+  const obs::HistogramSnapshot* h = snap.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 40u);
+  // Observations 0..390 in steps of 10: <=10 -> {0, 10}, <=100 ->
+  // {20..100}, +inf bucket -> {110..390}.
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 2u);
+  EXPECT_EQ(h->counts[1], 9u);
+  EXPECT_EQ(h->counts[2], 29u);
+  double expected_sum = 0.0;
+  for (int i = 0; i < 40; ++i) expected_sum += i * 10;
+  EXPECT_DOUBLE_EQ(h->sum, expected_sum);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterMutation) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("n");
+  c.add(3);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  c.add(10);
+  EXPECT_EQ(before.counter_or("n"), 3u);
+  EXPECT_EQ(reg.snapshot().counter_or("n"), 13u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("n");
+  const obs::Gauge g = reg.gauge("g");
+  const obs::Histogram h = reg.histogram("h");
+  c.add(7);
+  g.record_max(2.5);
+  h.observe(1.0);
+  reg.reset();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("n", 999), 0u);  // registered, value 0
+  EXPECT_DOUBLE_EQ(snap.gauge_or("g", 999.0), 0.0);
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+  // Handles stay valid across reset.
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().counter_or("n"), 1u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry reg;  // disabled by default
+  ASSERT_FALSE(reg.enabled());
+  const obs::Counter c = reg.counter("n");
+  const obs::Gauge g = reg.gauge("g");
+  const obs::Histogram h = reg.histogram("h");
+  c.add(5);
+  g.record_max(9.0);
+  h.observe(3.0);
+  {
+    obs::ScopedTimerUs timer(h);
+  }
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("n"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("g"), 0.0);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+}
+
+TEST(MetricsRegistryTest, DetachedHandlesAreNoOps) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.add();
+  g.record_max(1.0);
+  h.observe(1.0);
+  obs::ScopedTimerUs timer(h);  // must not crash on destruction either
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter a = reg.counter("same");
+  const obs::Counter b = reg.counter("same");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(reg.snapshot().counter_or("same"), 3u);
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerObservesElapsedMicroseconds) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Histogram h = reg.histogram("t");
+  {
+    obs::ScopedTimerUs timer(h);
+  }
+  const obs::MetricsSnapshot snapshot = reg.snapshot();
+  const obs::HistogramSnapshot* snap = snapshot.histogram("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 1u);
+  EXPECT_GE(snap->sum, 0.0);
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(JsonWriterTest, WritesNestedStructuresWithEscaping) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("a\"b");
+  w.value("x\ny");
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2.5);
+  w.value(true);
+  w.end_array();
+  w.key("obj");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"a\\\"b\":\"x\\ny\",\"list\":[1,2.5,true],\"obj\":{}}");
+}
+
+// -------------------------------------------------------------- derived
+
+TEST(DerivedMetricsTest, JainFairnessIndex) {
+  const std::vector<double> even = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(obs::jain_fairness(even), 1.0);
+  const std::vector<double> starved = {4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(obs::jain_fairness(starved), 0.25);
+  EXPECT_DOUBLE_EQ(obs::jain_fairness(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::jain_fairness(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(DerivedMetricsTest, EvaluationCarriesFairnessOverChainPowers) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  const core::Evaluation ev = problem.evaluate({4, 4});
+  const std::vector<double> powers =
+      obs::chain_powers(ev.class_throughput, ev.class_delay);
+  EXPECT_GT(ev.fairness, 0.0);
+  EXPECT_LE(ev.fairness, 1.0);
+  EXPECT_DOUBLE_EQ(ev.fairness, obs::jain_fairness(powers));
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(SearchTraceTest, RingDropsOldestOnOverflow) {
+  obs::SearchTrace trace(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::TraceRecord r;
+    r.step = static_cast<std::uint64_t>(i);
+    trace.append(std::move(r));
+  }
+  EXPECT_EQ(trace.total_appended(), 6u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const std::vector<obs::TraceRecord> records = trace.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().step, 2u);
+  EXPECT_EQ(records.back().step, 5u);
+}
+
+TEST(SearchTraceTest, JsonlHasFixedFieldOrder) {
+  obs::SearchTrace trace;
+  obs::TraceRecord r;
+  r.step = 3;
+  r.windows = {2, 5};
+  r.objective = 0.125;
+  r.power = 8.0;
+  r.solver = "heuristic-mva";
+  r.cache_hit = true;
+  r.anchor = {2, 4};
+  trace.append(std::move(r));
+  EXPECT_EQ(trace.to_jsonl(),
+            "{\"step\":3,\"windows\":[2,5],\"F\":0.125,\"P\":8,"
+            "\"solver\":\"heuristic-mva\",\"cache_hit\":true,"
+            "\"anchor\":[2,4],\"thread\":0}\n");
+}
+
+TEST(SearchTraceTest, ClearResetsRecordsAndOrdinals) {
+  obs::SearchTrace trace;
+  trace.append(obs::TraceRecord{});
+  trace.clear();
+  EXPECT_EQ(trace.total_appended(), 0u);
+  EXPECT_TRUE(trace.records().empty());
+}
+
+// ------------------------------------------- trace determinism contract
+
+std::string trace_of_run(const core::WindowProblem& problem, int threads,
+                         core::DimensionResult* result_out = nullptr) {
+  obs::SearchTrace trace;
+  core::DimensionOptions options;
+  options.threads = threads;
+  options.trace = &trace;
+  const core::DimensionResult result = dimension_windows(problem, options);
+  if (result_out != nullptr) *result_out = result;
+  return trace.to_jsonl();
+}
+
+TEST(SearchTraceTest, DimensionTraceIsByteIdenticalAcrossThreadCounts) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  core::DimensionResult serial_result;
+  const std::string serial = trace_of_run(problem, 1, &serial_result);
+  ASSERT_FALSE(serial.empty());
+  // One record per serially resolved probe: evaluations + revisits.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(serial.begin(), serial.end(), '\n')),
+            serial_result.objective_evaluations + serial_result.cache_hits);
+  EXPECT_EQ(serial, trace_of_run(problem, 4));
+  EXPECT_EQ(serial, trace_of_run(problem, 0));  // hardware concurrency
+}
+
+TEST(SearchTraceTest, FourClassTraceIsByteIdenticalAcrossThreadCounts) {
+  const core::WindowProblem problem(
+      net::canada_topology(), net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+  const std::string serial = trace_of_run(problem, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, trace_of_run(problem, 4));
+}
+
+TEST(SearchTraceTest, TraceRecordsCarrySolverAndAnchors) {
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  obs::SearchTrace trace;
+  core::DimensionOptions options;
+  options.trace = &trace;
+  (void)dimension_windows(problem, options);
+  const std::vector<obs::TraceRecord> records = trace.records();
+  ASSERT_FALSE(records.empty());
+  // Step indices are the serial probe order.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].step, i);
+    EXPECT_EQ(records[i].solver, "heuristic-mva");
+    EXPECT_EQ(records[i].windows.size(), 2u);
+    EXPECT_EQ(records[i].thread, 0u);  // appended by the search thread
+  }
+  // The initial probe is evaluated cold: no anchor yet, not a revisit.
+  EXPECT_FALSE(records.front().cache_hit);
+  EXPECT_TRUE(records.front().anchor.empty());
+  // Warm starts kick in after the first base point: some later fresh
+  // probe must carry a non-empty anchor.
+  bool saw_anchor = false;
+  for (const obs::TraceRecord& r : records) {
+    if (!r.cache_hit && !r.anchor.empty()) saw_anchor = true;
+  }
+  EXPECT_TRUE(saw_anchor);
+}
+
+TEST(SearchTraceTest, NullTraceKeepsDimensionUntouched) {
+  // Same run with and without a trace: identical result (the hook only
+  // observes).
+  const core::WindowProblem problem(net::canada_topology(),
+                                    net::two_class_traffic(20.0, 20.0));
+  core::DimensionOptions plain;
+  const core::DimensionResult a = dimension_windows(problem, plain);
+  obs::SearchTrace trace;
+  core::DimensionOptions traced;
+  traced.trace = &trace;
+  const core::DimensionResult b = dimension_windows(problem, traced);
+  EXPECT_EQ(a.optimal_windows, b.optimal_windows);
+  EXPECT_EQ(a.base_points, b.base_points);
+  EXPECT_EQ(a.objective_evaluations, b.objective_evaluations);
+}
+
+}  // namespace
+}  // namespace windim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -191,6 +192,62 @@ TEST(PatternSearchTest, OnNewBaseFiresInTrajectoryOrder) {
   for (std::size_t i = 0; i < anchors.size(); ++i) {
     EXPECT_EQ(anchors[i], r.base_points[i].first);
   }
+}
+
+TEST(PatternSearchTest, OnProbeStreamIsIdenticalAcrossSerialAndSpeculative) {
+  struct Probe {
+    std::size_t step;
+    Point point;
+    double value;
+    bool revisit;
+    bool operator==(const Probe&) const = default;
+  };
+  const Point target{11, -4};
+  const Objective f = [&](const Point& p) { return quadratic(p, target); };
+  auto probes_of = [&](util::ThreadPool* pool) {
+    std::vector<Probe> probes;
+    PatternSearchOptions options;
+    options.pool = pool;
+    options.on_probe = [&](std::size_t step, const Point& p, double v,
+                           bool revisit) {
+      probes.push_back({step, p, v, revisit});
+    };
+    (void)pattern_search(f, {0, 0}, options);
+    return probes;
+  };
+  const std::vector<Probe> serial = probes_of(nullptr);
+  util::ThreadPool pool(4);
+  const std::vector<Probe> speculative = probes_of(&pool);
+  EXPECT_EQ(serial, speculative);
+
+  // Probe indices are consecutive from zero, every point in bounds, and
+  // `revisit` means exactly "seen earlier in this stream".
+  ASSERT_FALSE(serial.empty());
+  std::set<Point> seen;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].step, i);
+    EXPECT_DOUBLE_EQ(serial[i].value, quadratic(serial[i].point, target));
+    EXPECT_EQ(serial[i].revisit, !seen.insert(serial[i].point).second);
+  }
+  EXPECT_FALSE(serial.front().revisit);
+  const auto revisits =
+      std::count_if(serial.begin(), serial.end(),
+                    [](const Probe& p) { return p.revisit; });
+  EXPECT_GT(revisits, 0);  // Hooke-Jeeves revisits points by construction
+}
+
+TEST(PatternSearchTest, OnProbeCountsReconcileWithResultTotals) {
+  std::size_t probes = 0;
+  std::size_t revisits = 0;
+  PatternSearchOptions options;
+  options.on_probe = [&](std::size_t, const Point&, double, bool revisit) {
+    ++probes;
+    if (revisit) ++revisits;
+  };
+  const PatternSearchResult r = pattern_search(
+      [](const Point& p) { return quadratic(p, {5, 8}); }, {0, 0}, options);
+  EXPECT_EQ(probes, r.evaluations + r.cache_hits);
+  EXPECT_EQ(revisits, r.cache_hits);
 }
 
 TEST(PatternSearchTest, RejectsMalformedInput) {

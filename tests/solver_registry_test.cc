@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mva/approx.h"
+#include "obs/metrics.h"
 #include "qn/compiled_model.h"
 #include "qn/network.h"
 #include "solver/registry.h"
@@ -136,6 +137,87 @@ TEST(SolverRegistry, MaxStatesHintCapsProductFormEnumeration) {
   EXPECT_NO_THROW((void)s.solve(compiled, population, ws));
   ws.hints.max_states = 1;
   EXPECT_THROW((void)s.solve(compiled, population, ws), std::runtime_error);
+}
+
+TEST(SolverRegistry, ProfilingHooksReportFixedPointTripCount) {
+  // Hand-solved fixture: two disjoint single-station chains, one
+  // customer each.  The initializer already sits on the fixed point —
+  // all of chain r's population at its only station, lambda_r = 1/d_r;
+  // sweep 1 then computes sigma = 1, seen = max(0, 1 - 1) = 0, time =
+  // d_r, lambda_r = 1/d_r again, so CRIT is exactly 0 and the loop
+  // trips exactly once.
+  qn::NetworkModel m;
+  m.add_station(fcfs("qa"));
+  m.add_station(fcfs("qb"));
+  qn::Chain a;
+  a.type = qn::ChainType::kClosed;
+  a.population = 1;
+  a.visits = {{0, 1.0, 0.1}};
+  m.add_chain(std::move(a));
+  qn::Chain b;
+  b.type = qn::ChainType::kClosed;
+  b.population = 1;
+  b.visits = {{1, 1.0, 0.05}};
+  m.add_chain(std::move(b));
+  const qn::CompiledModel compiled = qn::CompiledModel::compile(m);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(true);
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("heuristic-mva");
+  solver::Workspace ws;
+  const solver::Solution sol = s.solve_profiled(compiled, {1, 1}, ws);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.iterations, 1);
+  EXPECT_DOUBLE_EQ(sol.chain_throughput[0], 10.0);
+  EXPECT_DOUBLE_EQ(sol.chain_throughput[1], 20.0);
+
+  obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("solver.heuristic-mva.solves"), 1u);
+  EXPECT_EQ(snap.counter_or("solver.heuristic-mva.iterations"), 1u);
+  const obs::HistogramSnapshot* latency =
+      snap.histogram("solver.heuristic-mva.solve_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1u);
+  EXPECT_GT(snap.gauge_or("solver.heuristic-mva.arena_hwm_bytes"), 0.0);
+
+  // A coupled model with a real transient: the counter accumulates the
+  // reported trip count, so it must equal 1 + the second solve's
+  // iterations.
+  const qn::CompiledModel coupled =
+      qn::CompiledModel::compile(two_chain_model());
+  const solver::Solution coupled_sol =
+      s.solve_profiled(coupled, {3, 2}, ws);
+  EXPECT_GT(coupled_sol.iterations, 1);
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("solver.heuristic-mva.solves"), 2u);
+  EXPECT_EQ(snap.counter_or("solver.heuristic-mva.iterations"),
+            1u + static_cast<std::uint64_t>(coupled_sol.iterations));
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+TEST(SolverRegistry, SolveProfiledIsAPassThroughWhenDisabled) {
+  ASSERT_FALSE(obs::MetricsRegistry::global().enabled());
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(two_chain_model());
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("heuristic-mva");
+  solver::Workspace plain_ws;
+  solver::Workspace profiled_ws;
+  const solver::Solution plain = s.solve(compiled, {3, 2}, plain_ws);
+  const solver::Solution profiled =
+      s.solve_profiled(compiled, {3, 2}, profiled_ws);
+  ASSERT_EQ(plain.chain_throughput.size(), profiled.chain_throughput.size());
+  for (std::size_t r = 0; r < plain.chain_throughput.size(); ++r) {
+    EXPECT_EQ(plain.chain_throughput[r], profiled.chain_throughput[r]);
+  }
+  EXPECT_EQ(plain.iterations, profiled.iterations);
+  // Nothing was recorded.
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().counter_or(
+                "solver.heuristic-mva.solves"),
+            0u);
 }
 
 TEST(SolverRegistry, ScratchModelCacheIsKeyedByCompilationIdNotAddress) {
