@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "cli/spec.h"
+#include "obs/convergence.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/msgnet_sim.h"
 #include "sim/replicate.h"
@@ -45,6 +47,8 @@ int usage() {
       "[--csv]\n"
       "                       [--threads=N] [--max-evals=N] [--cold-start]\n"
       "                       [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "                       [--trace-spans-out=FILE] "
+      "[--convergence-out=FILE]\n"
       "  windim_cli evaluate  <spec> E1 E2 ... [--solver=NAME]\n"
       "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
       "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
@@ -58,6 +62,7 @@ int usage() {
       "                       [--base-seed=N] [--corpus-out=DIR]\n"
       "                       [--replay=DIR|FILE] [--sim] [--no-shrink]\n"
       "                       [--no-ctmc] [--quiet] [--metrics-out=FILE]\n"
+      "                       [--trace-spans-out=FILE]\n"
       "solvers: see `windim_cli solvers` (--evaluator = alias of "
       "--solver)\n"
       "fuzz families: fcfs-closed disciplines queue-dependent semiclosed\n"
@@ -129,6 +134,8 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   bool csv = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string spans_out;
+  std::string convergence_out;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "solver")) {
       if (resolve_solver(*v) == nullptr) return 2;
@@ -167,6 +174,10 @@ int cmd_dimension(const cli::NetworkSpec& spec,
       metrics_out = *v;
     } else if (auto v = flag_value(arg, "trace-out")) {
       trace_out = *v;
+    } else if (auto v = flag_value(arg, "trace-spans-out")) {
+      spans_out = *v;
+    } else if (auto v = flag_value(arg, "convergence-out")) {
+      convergence_out = *v;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -176,10 +187,40 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   if (!metrics_out.empty()) obs::MetricsRegistry::global().set_enabled(true);
   obs::SearchTrace trace;
   if (!trace_out.empty()) options.trace = &trace;
+  obs::ConvergenceLog convergence;
+  if (!convergence_out.empty()) options.convergence = &convergence;
+  obs::SpanTracer& spans = obs::SpanTracer::global();
+  if (!spans_out.empty()) {
+    spans.set_enabled(true);
+    options.spans = &spans;
+  }
 
-  const core::WindowProblem problem(spec.topology, spec.classes);
-  const core::DimensionResult result =
-      core::dimension_windows(problem, options);
+  core::DimensionResult result;
+  {
+    // Root span covering the whole command; compile covers the
+    // compile-once model construction the search amortizes.
+    obs::SpanTracer::Scope dim_span(options.spans, "dimension");
+    std::optional<core::WindowProblem> problem;
+    {
+      obs::SpanTracer::Scope compile_span(options.spans, "compile");
+      compile_span.arg("classes",
+                       static_cast<std::int64_t>(spec.classes.size()));
+      problem.emplace(spec.topology, spec.classes);
+    }
+    result = core::dimension_windows(*problem, options);
+  }
+  if (!spans_out.empty()) {
+    spans.set_enabled(false);
+    if (!spans.write_json(spans_out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", spans_out.c_str());
+      return 1;
+    }
+  }
+  if (!convergence_out.empty() && !convergence.write_jsonl(convergence_out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 convergence_out.c_str());
+    return 1;
+  }
   if (!trace_out.empty() && !trace.write_jsonl(trace_out)) {
     std::fprintf(stderr, "error: cannot write '%s'\n", trace_out.c_str());
     return 1;
@@ -429,6 +470,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   options.seeds = 100;
   std::string replay_path;
   std::string metrics_out;
+  std::string spans_out;
   bool quiet = false;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "seeds")) {
@@ -490,6 +532,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       quiet = true;
     } else if (auto v = flag_value(arg, "metrics-out")) {
       metrics_out = *v;
+    } else if (auto v = flag_value(arg, "trace-spans-out")) {
+      spans_out = *v;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -497,6 +541,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   }
 
   if (!metrics_out.empty()) obs::MetricsRegistry::global().set_enabled(true);
+  if (!spans_out.empty()) obs::SpanTracer::global().set_enabled(true);
   verify::FuzzReport report;
   if (!replay_path.empty()) {
     const std::vector<std::string> files =
@@ -509,6 +554,13 @@ int cmd_fuzz(const std::vector<std::string>& args) {
     report = verify::replay_corpus(files, options);
   } else {
     report = verify::run_fuzz(options);
+  }
+  if (!spans_out.empty()) {
+    obs::SpanTracer::global().set_enabled(false);
+    if (!obs::SpanTracer::global().write_json(spans_out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", spans_out.c_str());
+      return 1;
+    }
   }
   if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
   if (!quiet) {

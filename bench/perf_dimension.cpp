@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "baseline.h"
 #include "mva/approx.h"
 #include "net/examples.h"
 #include "obs/json.h"
@@ -260,6 +261,11 @@ void print_result(const char* label, double ms, const std::vector<int>& w,
 int main(int argc, char** argv) {
   int reps = 15;
   std::string json_path;
+  std::string baseline_in;
+  std::string baseline_out;
+  bool check = false;
+  bool check_wall = false;
+  double tolerance_pct = 25.0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--reps=", 7) == 0) {
@@ -267,11 +273,34 @@ int main(int argc, char** argv) {
       if (reps < 1) reps = 1;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
+    } else if (std::strncmp(arg, "--baseline-in=", 14) == 0) {
+      baseline_in = arg + 14;
+    } else if (std::strncmp(arg, "--baseline-out=", 15) == 0) {
+      baseline_out = arg + 15;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(arg, "--check-wall") == 0) {
+      // Same-machine selftest only: also compare wall-clock times.
+      check = true;
+      check_wall = true;
+    } else if (std::strncmp(arg, "--tolerance-pct=", 16) == 0) {
+      tolerance_pct = std::atof(arg + 16);
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_perf_dimension [--reps=N] [--json=PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_perf_dimension [--reps=N] [--json=PATH]\n"
+          "           [--baseline-in=PATH] [--baseline-out=PATH]\n"
+          "           [--check] [--check-wall] [--tolerance-pct=P]\n"
+          "--check compares the fresh measurements against the\n"
+          "--baseline-in JSON (scale-free metrics only; --check-wall adds\n"
+          "wall-clock times for same-machine runs) and fails on any\n"
+          "regression beyond the tolerance (default 25%%).\n");
       return 2;
     }
+  }
+  if (check && baseline_in.empty()) {
+    std::fprintf(stderr, "error: --check requires --baseline-in=PATH\n");
+    return 2;
   }
 
   const WindowProblem problem(windim::net::canada_topology(),
@@ -415,8 +444,8 @@ int main(int argc, char** argv) {
   }
   if (pass) std::printf("PASS\n");
 
-  if (!json_path.empty()) {
-    windim::obs::JsonWriter w;
+  windim::obs::JsonWriter w;
+  {
     w.begin_object();
     w.key("benchmark");
     w.value("perf_dimension");
@@ -453,14 +482,40 @@ int main(int argc, char** argv) {
     w.key("pass");
     w.value(pass);
     w.end_object();
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+  }
+  const std::string json = w.str();
+
+  if (!json_path.empty() && !windim::bench::save_file(json_path, json)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!baseline_out.empty() &&
+      !windim::bench::save_file(baseline_out, json)) {
+    std::fprintf(stderr, "error: cannot write %s\n", baseline_out.c_str());
+    return 1;
+  }
+
+  if (check) {
+    const std::optional<std::string> baseline =
+        windim::bench::load_file(baseline_in);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "error: cannot read baseline %s\n",
+                   baseline_in.c_str());
       return 1;
     }
-    const std::string json = std::move(w).str() + "\n";
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+    std::vector<windim::bench::CheckSpec> checks =
+        windim::bench::perf_dimension_checks(tolerance_pct);
+    if (check_wall) {
+      std::vector<windim::bench::CheckSpec> wall =
+          windim::bench::wall_clock_checks(tolerance_pct);
+      checks.insert(checks.end(), wall.begin(), wall.end());
+    }
+    const windim::bench::BaselineReport report =
+        windim::bench::compare_baseline(*baseline, json, checks);
+    std::printf("\nbaseline check vs %s (tolerance %.0f%%):\n%s",
+                baseline_in.c_str(), tolerance_pct,
+                report.render().c_str());
+    if (!report.ok()) pass = false;
   }
   return pass ? 0 : 1;
 }

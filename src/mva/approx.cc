@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mva/single_chain.h"
+#include "obs/convergence.h"
 
 namespace windim::mva {
 namespace {
@@ -126,6 +127,12 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
   };
 
   std::vector<double> lambda_prev(lambda);
+  // Optional per-iteration telemetry; read-only observation of the
+  // iterates, never part of the arithmetic.
+  obs::ConvergenceRecorder* recorder = options.convergence;
+  if (recorder != nullptr) {
+    recorder->begin_solve("approx-mva", num_chains, warm_start != nullptr);
+  }
   bool force_sigma = false;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     const bool refresh_sigma =
@@ -238,6 +245,14 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
       scale = std::max(scale,
                        std::abs(lambda[static_cast<std::size_t>(r)]));
     }
+    if (recorder != nullptr) {
+      for (int r = 0; r < num_chains && r < obs::kMaxTrackedChains; ++r) {
+        const double l = lambda[static_cast<std::size_t>(r)];
+        const double p = lambda_prev[static_cast<std::size_t>(r)];
+        recorder->record_chain(r, (l - p) / std::max(1.0, std::abs(l)));
+      }
+      recorder->record_iteration(crit / scale, options.damping);
+    }
     lambda_prev = lambda;
     sol.iterations = iteration;
     if (crit / scale < options.tolerance) {
@@ -256,6 +271,9 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
       // to full precision first.
       force_sigma = true;
     }
+  }
+  if (recorder != nullptr) {
+    recorder->end_solve(sol.iterations, sol.converged);
   }
 
   sol.chain_throughput = lambda;

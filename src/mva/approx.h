@@ -20,6 +20,10 @@
 #include "mva/solution.h"
 #include "qn/network.h"
 
+namespace windim::obs {
+class ConvergenceRecorder;  // obs/convergence.h
+}  // namespace windim::obs
+
 namespace windim::mva {
 
 enum class SigmaPolicy {
@@ -56,6 +60,11 @@ struct ApproxMvaOptions {
   /// estimation is re-run.  Irrelevant without a sigma seed — the cold
   /// iteration re-estimates sigma every sweep, as the thesis does.
   double sigma_refresh_threshold = 0.05;
+  /// Per-iteration telemetry sink (obs/convergence.h).  When non-null,
+  /// the iteration streams begin_solve/record_iteration/end_solve into
+  /// it; recording is read-only and does not perturb the fixed point.
+  /// Owned by the caller; must outlive the solve.
+  obs::ConvergenceRecorder* convergence = nullptr;
 };
 
 /// Initial fixed-point state for warm-starting the heuristic iteration.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/convergence.h"
+
 namespace windim::mva {
 namespace {
 
@@ -41,7 +43,8 @@ struct CoreResult {
 CoreResult solve_core(const qn::NetworkModel& model,
                       const std::vector<int>& pop, const Matrix& fractions,
                       const std::vector<Matrix>& delta,
-                      const LinearizerOptions& options) {
+                      const LinearizerOptions& options,
+                      obs::ConvergenceRecorder* recorder = nullptr) {
   const int num_stations = model.num_stations();
   const int num_chains = model.num_chains();
 
@@ -91,15 +94,22 @@ CoreResult solve_core(const qn::NetworkModel& model,
     // New queue lengths and fractions.
     for (int r = 0; r < num_chains; ++r) {
       const int pr = pop[static_cast<std::size_t>(r)];
+      double chain_delta = 0.0;  // signed, largest magnitude over stations
       for (int n = 0; n < num_stations; ++n) {
         const double updated =
             result.lambda[static_cast<std::size_t>(r)] * result.time.at(n, r);
         result.number.at(n, r) = updated;
         const double new_fraction = pr > 0 ? updated / pr : 0.0;
-        change = std::max(change, std::abs(new_fraction - f.at(n, r)));
+        const double d = new_fraction - f.at(n, r);
+        change = std::max(change, std::abs(d));
+        if (std::abs(d) > std::abs(chain_delta)) chain_delta = d;
         f.at(n, r) = new_fraction;
       }
+      if (recorder != nullptr && r < obs::kMaxTrackedChains) {
+        recorder->record_chain(r, chain_delta);
+      }
     }
+    if (recorder != nullptr) recorder->record_iteration(change, 1.0);
     result.iterations = iteration;
     if (change < options.core_tolerance) {
       result.converged = true;
@@ -154,7 +164,19 @@ MvaSolution solve_linearizer(const qn::NetworkModel& model,
   std::vector<Matrix> delta(
       static_cast<std::size_t>(num_chains), Matrix(num_stations, num_chains));
 
-  CoreResult full = solve_core(model, pop, fractions, delta, options);
+  // Only the FINAL full-population core solve streams telemetry — it is
+  // the solve MvaSolution::iterations reports on.
+  obs::ConvergenceRecorder* recorder = options.convergence;
+  const auto final_recorder = [&](bool is_final) {
+    if (recorder != nullptr && is_final) {
+      recorder->begin_solve("linearizer", num_chains, false);
+      return recorder;
+    }
+    return static_cast<obs::ConvergenceRecorder*>(nullptr);
+  };
+
+  CoreResult full = solve_core(model, pop, fractions, delta, options,
+                               final_recorder(options.iterations == 0));
 
   for (int sweep = 0; sweep < options.iterations; ++sweep) {
     fractions = fractions_of(full, pop);
@@ -173,7 +195,11 @@ MvaSolution solve_linearizer(const qn::NetworkModel& model,
         }
       }
     }
-    full = solve_core(model, pop, fractions, delta, options);
+    full = solve_core(model, pop, fractions, delta, options,
+                      final_recorder(sweep == options.iterations - 1));
+  }
+  if (recorder != nullptr) {
+    recorder->end_solve(full.iterations, full.converged);
   }
 
   MvaSolution sol;

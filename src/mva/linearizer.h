@@ -15,6 +15,10 @@
 #include "mva/solution.h"
 #include "qn/network.h"
 
+namespace windim::obs {
+class ConvergenceRecorder;  // obs/convergence.h
+}  // namespace windim::obs
+
 namespace windim::mva {
 
 struct LinearizerOptions {
@@ -23,6 +27,11 @@ struct LinearizerOptions {
   /// Fixed-point tolerance and iteration cap of the inner core solver.
   double core_tolerance = 1e-10;
   int core_max_iterations = 5000;
+  /// Per-iteration telemetry sink (obs/convergence.h).  Streams the
+  /// FINAL core solve only — the one whose iteration count
+  /// MvaSolution::iterations reports; the reduced-population probes stay
+  /// unrecorded.  Owned by the caller; must outlive the solve.
+  obs::ConvergenceRecorder* convergence = nullptr;
 };
 
 /// Runs Linearizer on an all-closed model with fixed-rate and IS

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,5 +46,40 @@ class JsonWriter {
   std::vector<bool> scope_has_element_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON value — the read-side counterpart of JsonWriter, used by
+/// the perf-baseline harness (bench/baseline.cc) and the span-trace
+/// structure tests.  A strict recursive-descent parser over the subset
+/// this codebase emits (standard JSON; no comments, no trailing
+/// commas); object key order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  /// Object member lookup (first match); null when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] std::string_view string_or(
+      std::string_view key, std::string_view fallback) const noexcept;
+};
+
+/// Parses one complete JSON document (surrounding whitespace allowed);
+/// nullopt on any syntax error or trailing garbage.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace windim::obs

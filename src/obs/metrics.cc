@@ -63,6 +63,13 @@ void MetricsRegistry::record_observation(std::size_t hist_id,
   std::atomic<double>& sum = s.hist_sums[hist_id];
   sum.store(sum.load(std::memory_order_relaxed) + v,
             std::memory_order_relaxed);
+  // High-water mark alongside the buckets: once a value lands in the
+  // overflow bucket the bounds no longer say HOW far past the top it
+  // went; the max does.  Single-writer per shard, like the gauges.
+  std::atomic<double>& hwm = s.hist_maxes[hist_id];
+  if (v > hwm.load(std::memory_order_relaxed)) {
+    hwm.store(v, std::memory_order_relaxed);
+  }
 }
 
 ScopedTimerUs::ScopedTimerUs(Histogram h) : histogram_(h) {
@@ -178,12 +185,16 @@ MetricsRegistry::Shard* MetricsRegistry::acquire_shard() {
   shard->hist_counts =
       std::make_unique<std::atomic<std::uint64_t>[]>(kMaxHistogramBuckets);
   shard->hist_sums = std::make_unique<std::atomic<double>[]>(kMaxHistograms);
+  shard->hist_maxes = std::make_unique<std::atomic<double>[]>(kMaxHistograms);
   for (std::size_t i = 0; i < kMaxCounters; ++i) shard->counters[i] = 0;
   for (std::size_t i = 0; i < kMaxGauges; ++i) shard->gauges[i] = 0.0;
   for (std::size_t i = 0; i < kMaxHistogramBuckets; ++i) {
     shard->hist_counts[i] = 0;
   }
-  for (std::size_t i = 0; i < kMaxHistograms; ++i) shard->hist_sums[i] = 0.0;
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    shard->hist_sums[i] = 0.0;
+    shard->hist_maxes[i] = 0.0;
+  }
   Shard* raw = shard.get();
   shards_.push_back(std::move(shard));
   return raw;
@@ -267,10 +278,23 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                 std::memory_order_relaxed);
       }
       h.sum += shard->hist_sums[i].load(std::memory_order_relaxed);
+      h.max_observed = std::max(
+          h.max_observed, shard->hist_maxes[i].load(std::memory_order_relaxed));
     }
     for (std::uint64_t c : h.counts) h.count += c;
     snap.histograms.emplace_back(meta.name, std::move(h));
   }
+  // Deterministic ordering: registration order depends on which thread
+  // first touched each metric (and on shard recycling across runs);
+  // name order does not.  Sorting here makes equal registry states
+  // produce element-for-element equal snapshots — and byte-stable
+  // --metrics-out files.
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
 }
 
@@ -288,6 +312,7 @@ void MetricsRegistry::reset() {
     }
     for (std::size_t i = 0; i < histograms_.size(); ++i) {
       shard->hist_sums[i].store(0.0, std::memory_order_relaxed);
+      shard->hist_maxes[i].store(0.0, std::memory_order_relaxed);
     }
   }
 }
@@ -348,14 +373,24 @@ std::string MetricsSnapshot::to_json() const {
     w.value(h->count);
     w.key("sum");
     w.value(h->sum);
+    w.key("max_observed");
+    w.value(h->max_observed);
     w.key("bounds");
     w.begin_array();
     for (double b : h->bounds) w.value(b);
     w.end_array();
+    // counts[i] <= bounds[i]; the bucket past the top bound is emitted
+    // as the explicit "overflow" key, not a trailing entry with no
+    // bound to pair it with.
     w.key("counts");
     w.begin_array();
-    for (std::uint64_t c : h->counts) w.value(c);
+    for (std::size_t i = 0; i < h->bounds.size() && i < h->counts.size();
+         ++i) {
+      w.value(h->counts[i]);
+    }
     w.end_array();
+    w.key("overflow");
+    w.value(h->overflow());
     w.end_object();
   }
   w.end_object();

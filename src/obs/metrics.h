@@ -39,15 +39,28 @@ namespace windim::obs {
 class MetricsRegistry;
 
 struct HistogramSnapshot {
-  /// Inclusive upper bounds; the final +inf bucket is implicit.
+  /// Inclusive upper bounds; the final bucket is the explicit overflow
+  /// bucket (values above bounds.back()).
   std::vector<double> bounds;
-  /// bounds.size() + 1 entries; counts[i] counts values <= bounds[i].
+  /// bounds.size() + 1 entries; counts[i] counts values <= bounds[i],
+  /// counts.back() is the overflow bucket.
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Largest value ever observed — the information the fixed buckets
+  /// would otherwise clip once a solve overflows the top bound (JSON
+  /// key "max_observed"; 0 when nothing was observed).
+  double max_observed = 0.0;
+
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return counts.empty() ? 0 : counts.back();
+  }
 };
 
 /// An isolated, merged copy of a registry's state; stable once taken.
+/// Entries are sorted by metric name, so two snapshots of equal state
+/// are equal element-for-element regardless of registration order or
+/// shard recycling.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -178,7 +191,8 @@ class MetricsRegistry {
     std::unique_ptr<std::atomic<std::uint64_t>[]> counters;
     std::unique_ptr<std::atomic<double>[]> gauges;
     std::unique_ptr<std::atomic<std::uint64_t>[]> hist_counts;
-    std::unique_ptr<std::atomic<double>[]> hist_sums;  // kMaxHistograms
+    std::unique_ptr<std::atomic<double>[]> hist_sums;   // kMaxHistograms
+    std::unique_ptr<std::atomic<double>[]> hist_maxes;  // kMaxHistograms
   };
   struct HistogramMeta {
     std::string name;

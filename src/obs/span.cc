@@ -1,0 +1,258 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace windim::obs {
+namespace {
+
+// Thread-local span stack: tracks the open-scope depth per tracer so
+// every event records its nesting level.  A plain vector — a thread
+// rarely observes more than one tracer.
+struct SpanStackEntry {
+  const SpanTracer* tracer;
+  int depth;
+};
+thread_local std::vector<SpanStackEntry> t_span_stack;
+
+int push_depth(const SpanTracer* tracer) {
+  for (SpanStackEntry& e : t_span_stack) {
+    if (e.tracer == tracer) return e.depth++;
+  }
+  t_span_stack.push_back({tracer, 1});
+  return 0;
+}
+
+void pop_depth(const SpanTracer* tracer) {
+  for (SpanStackEntry& e : t_span_stack) {
+    if (e.tracer == tracer && e.depth > 0) {
+      --e.depth;
+      return;
+    }
+  }
+}
+
+void write_arg(JsonWriter& w, const SpanArg& a) {
+  w.key(a.key);
+  if (const auto* d = std::get_if<double>(&a.value)) {
+    w.value(*d);
+  } else if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+    w.value(*i);
+  } else if (const auto* b = std::get_if<bool>(&a.value)) {
+    w.value(*b);
+  } else {
+    w.value(std::get<std::string>(a.value));
+  }
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer(std::size_t capacity_per_track)
+    : capacity_(capacity_per_track == 0 ? 1 : capacity_per_track),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer& SpanTracer::global() {
+  // Leaked for the same reason as MetricsRegistry::global(): worker
+  // threads may outlive static destructors.
+  static auto* tracer = new SpanTracer();
+  return *tracer;
+}
+
+double SpanTracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t SpanTracer::thread_ordinal_locked() {
+  const auto id = std::this_thread::get_id();
+  auto it = thread_ordinals_.find(id);
+  if (it != thread_ordinals_.end()) return it->second;
+  const std::uint64_t ordinal = next_track_++;
+  thread_ordinals_.emplace(id, ordinal);
+  return ordinal;
+}
+
+std::uint64_t SpanTracer::add_track(std::string_view name) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t ordinal = next_track_++;
+  track_names_.emplace_back(ordinal, std::string(name));
+  return ordinal;
+}
+
+void SpanTracer::append_locked(SpanEvent&& event) {
+  ++total_;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void SpanTracer::emit(SpanEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::uint64_t SpanTracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  total_ = 0;
+  dropped_ = 0;
+  thread_ordinals_.clear();
+  track_names_.clear();
+  next_track_ = 0;
+}
+
+SpanTracer::Scope::Scope(SpanTracer* tracer, std::string_view name,
+                         std::string_view cat) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  event_.name.assign(name);
+  event_.cat.assign(cat);
+  event_.depth = push_depth(tracer);
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanTracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  event_.dur_us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  event_.ts_us = std::chrono::duration<double, std::micro>(
+                     start_ - tracer_->epoch_)
+                     .count();
+  pop_depth(tracer_);
+  std::lock_guard<std::mutex> lock(tracer_->mutex_);
+  event_.track = tracer_->thread_ordinal_locked();
+  tracer_->append_locked(std::move(event_));
+}
+
+void SpanTracer::Scope::arg(std::string_view key, double v) {
+  if (tracer_ == nullptr) return;
+  event_.args.push_back({std::string(key), v});
+}
+
+void SpanTracer::Scope::arg(std::string_view key, std::int64_t v) {
+  if (tracer_ == nullptr) return;
+  event_.args.push_back({std::string(key), v});
+}
+
+void SpanTracer::Scope::arg(std::string_view key, bool v) {
+  if (tracer_ == nullptr) return;
+  event_.args.push_back({std::string(key), v});
+}
+
+void SpanTracer::Scope::arg(std::string_view key, std::string_view v) {
+  if (tracer_ == nullptr) return;
+  event_.args.push_back({std::string(key), std::string(v)});
+}
+
+std::string SpanTracer::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Metadata: name the process and every named virtual track.
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(1);
+  w.key("tid");
+  w.value(0);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("windim");
+  w.end_object();
+  w.end_object();
+  for (const auto& [ordinal, name] : track_names_) {
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(ordinal);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.end_object();
+    w.end_object();
+  }
+  // Complete events grouped by track, append order within a track.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events_[a].track < events_[b].track;
+                   });
+  for (std::size_t i : order) {
+    const SpanEvent& e = events_[i];
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value(e.cat);
+    w.key("ph");
+    w.value("X");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(e.track);
+    w.key("ts");
+    w.value(e.ts_us);
+    w.key("dur");
+    w.value(e.dur_us);
+    w.key("args");
+    w.begin_object();
+    // Nesting depth first: trace viewers infer nesting from ts/dur, but
+    // the byte-identity test normalizes those away, so the structural
+    // depth must survive in the args.
+    w.key("depth");
+    w.value(e.depth);
+    for (const SpanArg& a : e.args) write_arg(w, a);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool SpanTracer::write_json(const std::string& path) const {
+  const std::string body = to_json() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace windim::obs

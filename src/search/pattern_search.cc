@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/span.h"
+
 namespace windim::search {
 namespace {
 
@@ -131,6 +133,8 @@ std::vector<Point> probe_candidates(const Point& base, const Point& step,
 std::pair<Point, double> explore(Evaluator& eval, Point base, double f_base,
                                  const Point& step,
                                  const PatternSearchOptions& options) {
+  obs::SpanTracer::Scope span(options.spans, "explore");
+  const double f_entry = f_base;
   eval.prefetch(probe_candidates(base, step, options));
   for (std::size_t i = 0; i < base.size() && !eval.exhausted; ++i) {
     Point plus = base;
@@ -155,6 +159,7 @@ std::pair<Point, double> explore(Evaluator& eval, Point base, double f_base,
       }
     }
   }
+  span.arg("improved", f_base < f_entry);
   return {std::move(base), f_base};
 }
 

@@ -37,6 +37,10 @@
 #include "search/eval_cache.h"
 #include "util/thread_pool.h"
 
+namespace windim::obs {
+class SpanTracer;  // obs/span.h
+}  // namespace windim::obs
+
 namespace windim::search {
 
 /// Objective to minimize; must be defined on every in-bounds point.
@@ -82,6 +86,11 @@ struct PatternSearchOptions {
   std::function<void(std::size_t step, const Point&, double value,
                      bool revisit)>
       on_probe;
+  /// Optional span tracer (obs/span.h): each exploratory move opens a
+  /// real "explore" span on the calling (serial-replay) thread, so the
+  /// span count and order follow the deterministic trajectory, never
+  /// worker scheduling.  Null skips all tracing.
+  obs::SpanTracer* spans = nullptr;
 };
 
 struct PatternSearchResult {

@@ -245,8 +245,10 @@ class LinearizerSolver final : public Solver {
                  const PopulationVector& population,
                  Workspace& ws) const override {
     ws.reset();
+    mva::LinearizerOptions options;
+    options.convergence = ws.hints.convergence;
     const mva::MvaSolution r =
-        mva::solve_linearizer(ws.scratch_model(model, population));
+        mva::solve_linearizer(ws.scratch_model(model, population), options);
     Solution s;
     s.num_chains = r.num_chains;
     s.chain_throughput = copy_to(ws, r.chain_throughput);

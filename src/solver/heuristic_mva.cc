@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/convergence.h"
+
 namespace windim::solver {
 
 // The iteration below is mva::solve_approx_mva transplanted onto the
@@ -130,6 +132,14 @@ Solution HeuristicMvaSolver::solve(const qn::CompiledModel& model,
   };
 
   std::copy(lambda.begin(), lambda.end(), lambda_prev.begin());
+  // Per-iteration telemetry (obs/convergence.h).  The recorder only
+  // READS lambda/lambda_prev between STEP 6 and the lambda_prev copy;
+  // the arithmetic of the iteration — and its bit-for-bit agreement
+  // with mva::solve_approx_mva — is untouched.
+  obs::ConvergenceRecorder* recorder = ws.hints.convergence;
+  if (recorder != nullptr) {
+    recorder->begin_solve(name(), num_chains, warm_start != nullptr);
+  }
   bool force_sigma = false;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     const bool refresh_sigma =
@@ -260,6 +270,14 @@ Solution HeuristicMvaSolver::solve(const qn::CompiledModel& model,
                                      lambda_prev[static_cast<std::size_t>(r)]));
       scale = std::max(scale, std::abs(lambda[static_cast<std::size_t>(r)]));
     }
+    if (recorder != nullptr) {
+      for (int r = 0; r < num_chains && r < obs::kMaxTrackedChains; ++r) {
+        const double l = lambda[static_cast<std::size_t>(r)];
+        const double p = lambda_prev[static_cast<std::size_t>(r)];
+        recorder->record_chain(r, (l - p) / std::max(1.0, std::abs(l)));
+      }
+      recorder->record_iteration(crit / scale, options.damping);
+    }
     std::copy(lambda.begin(), lambda.end(), lambda_prev.begin());
     sol.iterations = iteration;
     if (crit / scale < options.tolerance) {
@@ -271,6 +289,9 @@ Solution HeuristicMvaSolver::solve(const qn::CompiledModel& model,
     } else if (!refresh_sigma && crit / scale < options.tolerance * 1e2) {
       force_sigma = true;
     }
+  }
+  if (recorder != nullptr) {
+    recorder->end_solve(sol.iterations, sol.converged);
   }
 
   sol.chain_throughput = lambda;

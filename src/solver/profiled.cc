@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/convergence.h"
 #include "obs/metrics.h"
 #include "solver/solver.h"
 
@@ -45,8 +46,20 @@ const SolverMetrics& metrics_for(std::string_view name) {
 Solution Solver::solve_profiled(const qn::CompiledModel& model,
                                 const PopulationVector& population,
                                 Workspace& ws) const {
+  // Convergence recording is driven by the per-solve hint, not by the
+  // metrics enabled flag (--convergence-out works without
+  // --metrics-out).  The hint is null on every uninstrumented path, so
+  // the disabled fast path stays one pointer check + one relaxed load.
+  obs::ConvergenceRecorder* recorder = ws.hints.convergence;
+  if (recorder != nullptr) recorder->reset();
   if (!obs::MetricsRegistry::global().enabled()) {
-    return solve(model, population, ws);
+    Solution sol = solve(model, population, ws);
+    if (recorder != nullptr && !recorder->has_record()) {
+      // The solver streamed nothing (non-iterative): summary record
+      // with the exact-solver contract — one "iteration", empty ring.
+      recorder->record_summary(name(), 1, sol.converged);
+    }
+    return sol;
   }
   const SolverMetrics& m = metrics_for(name());
   obs::ScopedTimerUs timer(m.solve_us);
@@ -56,6 +69,9 @@ Solution Solver::solve_profiled(const qn::CompiledModel& model,
   } catch (...) {
     m.errors.add();
     throw;
+  }
+  if (recorder != nullptr && !recorder->has_record()) {
+    recorder->record_summary(name(), 1, sol.converged);
   }
   m.solves.add();
   m.iterations.add(static_cast<std::uint64_t>(

@@ -42,6 +42,10 @@ struct ApproxMvaOptions;  // mva/approx.h
 struct MvaWarmStart;
 }  // namespace windim::mva
 
+namespace windim::obs {
+class ConvergenceRecorder;  // obs/convergence.h
+}  // namespace windim::obs
+
 namespace windim::solver {
 
 /// Optional per-solve inputs the uniform Solver interface cannot carry
@@ -53,6 +57,12 @@ struct SolveHints {
   /// Heuristic MVA / Schweitzer: iteration options (tolerance, damping,
   /// sigma refresh threshold...).  Null = solver defaults.
   const mva::ApproxMvaOptions* mva = nullptr;
+  /// Per-iteration telemetry sink for THIS solve (obs/convergence.h).
+  /// Iterative solvers stream begin/record/end into it; for solvers
+  /// that stream nothing, solve_profiled records a summary
+  /// (iterations == 1, empty ring).  Owned by the caller; must outlive
+  /// the solve.  Null (the default) disables all recording.
+  obs::ConvergenceRecorder* convergence = nullptr;
   /// State-space cap for enumerating solvers (product form); 0 = the
   /// solver's own default.  Exceeding it throws std::runtime_error,
   /// which applicability-probing callers treat as "skip".

@@ -9,6 +9,7 @@
 #include "exact/semiclosed.h"
 #include "markov/closed_ctmc.h"
 #include "mva/approx.h"
+#include "obs/span.h"
 #include "qn/compiled_model.h"
 #include "sim/replicate.h"
 #include "solver/registry.h"
@@ -187,6 +188,9 @@ void run_exact_pair(const ExactPair& pair, const Reference& ref,
   const solver::Solver* solver =
       solver::SolverRegistry::instance().find(pair.solver);
   if (solver == nullptr || !solver_enabled(opt, solver)) return;
+  obs::SpanTracer::Scope span(&obs::SpanTracer::global(), "oracle-check");
+  span.arg("oracle", pair.oracle);
+  span.arg("solver", pair.solver);
   ws.hints = solver::SolveHints{};
   ws.hints.max_states = opt.max_product_form_states;
   solver::Solution sol;
@@ -263,6 +267,9 @@ void run_envelope(const EnvelopePair& pair, const Reference& ref,
   const solver::Solver* solver =
       solver::SolverRegistry::instance().find(pair.solver);
   if (solver == nullptr || !solver_enabled(opt, solver)) return;
+  obs::SpanTracer::Scope span(&obs::SpanTracer::global(), "oracle-check");
+  span.arg("oracle", pair.oracle);
+  span.arg("solver", pair.solver);
   Comparison check(report, pair.oracle, 0.0, 0.0);
   solver::Solution sol;
   try {

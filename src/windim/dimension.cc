@@ -11,7 +11,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/convergence.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "search/eval_cache.h"
 #include "solver/registry.h"
@@ -27,10 +29,12 @@ namespace {
 class EvaluationStore {
  public:
   void insert(const std::vector<int>& windows, Evaluation evaluation,
-              mva::MvaWarmStart state) {
+              mva::MvaWarmStart state,
+              std::optional<obs::SolveRecord> solve_record = std::nullopt) {
     std::lock_guard<std::mutex> lock(mutex_);
     evaluations_.emplace(windows,
-                         Entry{std::move(evaluation), std::move(state)});
+                         Entry{std::move(evaluation), std::move(state),
+                               std::move(solve_record)});
   }
 
   [[nodiscard]] std::optional<Evaluation> find(
@@ -39,6 +43,17 @@ class EvaluationStore {
     const auto it = evaluations_.find(windows);
     if (it == evaluations_.end()) return std::nullopt;
     return it->second.evaluation;
+  }
+
+  /// The SolveRecord captured when `windows` was freshly evaluated
+  /// (nullopt when the run is not observing convergence or the point
+  /// was never evaluated).
+  [[nodiscard]] std::optional<obs::SolveRecord> find_record(
+      const std::vector<int>& windows) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = evaluations_.find(windows);
+    if (it == evaluations_.end()) return std::nullopt;
+    return it->second.solve_record;
   }
 
   /// Registers `windows` as a warm-start anchor.  Anchors are the
@@ -79,6 +94,8 @@ class EvaluationStore {
   struct Entry {
     Evaluation evaluation;
     mva::MvaWarmStart state;  // empty for non-heuristic evaluators
+    /// Per-solve convergence telemetry (only when the run observes it).
+    std::optional<obs::SolveRecord> solve_record;
   };
 
   [[nodiscard]] const Entry* nearest_entry_locked(
@@ -130,6 +147,77 @@ double objective_value(const Evaluation& ev, const DimensionOptions& options) {
       return -ev.throughput;
   }
   return inf;
+}
+
+std::string windows_string(const std::vector<int>& windows) {
+  std::string out;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(windows[i]);
+  }
+  return out;
+}
+
+/// Synthesizes the probe -> solve -> iterate subtree for one
+/// serial-replay probe onto the tracer's virtual replay track.  The
+/// spans are rebuilt from the solve's ConvergenceRecorder samples with a
+/// running cursor timestamp, so their count, order and nesting are
+/// functions of the deterministic replay alone — never of which worker
+/// thread evaluated the probe.  Returns the advanced cursor.
+double synthesize_probe_spans(obs::SpanTracer& tracer, std::uint64_t track,
+                              double cursor_us, std::size_t step,
+                              const std::vector<int>& windows, double value,
+                              bool revisit, const obs::SolveRecord* rec) {
+  double inner_us = 0.0;
+  if (rec != nullptr) {
+    double sweeps_us = 0.0;
+    for (const obs::IterationSample& s : rec->samples) {
+      sweeps_us += s.wall_us;
+    }
+    inner_us = std::max(sweeps_us, rec->wall_us);
+  }
+
+  obs::SpanEvent probe;
+  probe.name = "probe";
+  probe.ts_us = cursor_us;
+  probe.dur_us = inner_us;
+  probe.track = track;
+  probe.depth = 0;
+  probe.args.push_back({"step", static_cast<std::int64_t>(step)});
+  probe.args.push_back({"windows", windows_string(windows)});
+  probe.args.push_back({"objective", value});
+  probe.args.push_back({"cache_hit", revisit});
+  tracer.emit(std::move(probe));
+  if (rec == nullptr) return cursor_us + inner_us + 1.0;
+
+  obs::SpanEvent solve;
+  solve.name = "solve";
+  solve.ts_us = cursor_us;
+  solve.dur_us = inner_us;
+  solve.track = track;
+  solve.depth = 1;
+  solve.args.push_back({"solver", rec->solver});
+  solve.args.push_back({"iterations", std::int64_t{rec->iterations}});
+  solve.args.push_back({"converged", rec->converged});
+  solve.args.push_back(
+      {"class", std::string(obs::to_string(rec->classification))});
+  solve.args.push_back({"warm", rec->warm_started});
+  tracer.emit(std::move(solve));
+
+  double t = cursor_us;
+  for (const obs::IterationSample& s : rec->samples) {
+    obs::SpanEvent sweep;
+    sweep.name = "iterate";
+    sweep.ts_us = t;
+    sweep.dur_us = s.wall_us;
+    sweep.track = track;
+    sweep.depth = 2;
+    sweep.args.push_back({"i", static_cast<std::int64_t>(s.iteration)});
+    sweep.args.push_back({"residual", s.max_residual});
+    tracer.emit(std::move(sweep));
+    t += s.wall_us;
+  }
+  return cursor_us + inner_us + 1.0;
 }
 
 }  // namespace
@@ -194,16 +282,28 @@ DimensionResult dimension_windows(const WindowProblem& problem,
 
   const bool warm =
       options.warm_start && solver.traits().supports_warm_start;
+  // Convergence observation also powers the synthesized solve/iterate
+  // spans, so either sink turns the per-evaluation recorder on.
+  const bool observe_solves =
+      options.convergence != nullptr ||
+      (options.spans != nullptr && options.spans->enabled());
   const search::Objective objective = [&](const search::Point& e) {
     std::optional<mva::MvaWarmStart> seed;
     if (warm) seed = store.nearest_anchor(e);
     mva::MvaWarmStart state;
     auto ws = workspaces.acquire();
-    Evaluation ev =
-        problem.evaluate_with(e, solver, *ws, &options.mva,
-                              seed ? &*seed : nullptr, &state);
+    // One recorder per evaluation (recorders are single-solve,
+    // single-thread); the finished record parks in the store until the
+    // serial replay reaches this point and logs it in replay order.
+    std::optional<obs::ConvergenceRecorder> recorder;
+    if (observe_solves) recorder.emplace();
+    Evaluation ev = problem.evaluate_with(
+        e, solver, *ws, &options.mva, seed ? &*seed : nullptr, &state,
+        recorder ? &*recorder : nullptr);
     const double value = objective_value(ev, options);
-    store.insert(e, std::move(ev), std::move(state));
+    std::optional<obs::SolveRecord> rec;
+    if (recorder && recorder->has_record()) rec = recorder->take_record();
+    store.insert(e, std::move(ev), std::move(state), std::move(rec));
     return value;
   };
 
@@ -218,32 +318,64 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   }
   ps.cache = &cache;
   ps.pool = pool.get();
+  ps.spans = options.spans;
   if (warm) {
     ps.on_new_base = [&](const search::Point& p, double) {
       store.add_anchor(p);
     };
   }
   const std::string solver_name(solver.name());
-  if (options.trace != nullptr) {
+  const bool spans_on =
+      options.spans != nullptr && options.spans->enabled();
+  std::uint64_t replay_track = 0;
+  if (spans_on) replay_track = options.spans->add_track("replay");
+  double replay_cursor_us = 0.0;
+  if (options.trace != nullptr || observe_solves) {
     ps.on_probe = [&](std::size_t step, const search::Point& p, double value,
                       bool revisit) {
-      obs::TraceRecord rec;
-      rec.step = step;
-      rec.windows = p;
-      rec.objective = value;
-      if (const auto ev = store.find(p)) rec.power = ev->power;
-      rec.solver = solver_name;
-      rec.cache_hit = revisit;
-      // The anchor the *serial* replay seeds from at this probe (the
-      // deterministic reading; a speculative evaluation may have used
-      // an earlier anchor set).  Revisits evaluate nothing.
-      if (warm && !revisit) rec.anchor = store.nearest_anchor_windows(p);
-      options.trace->append(std::move(rec));
+      if (options.trace != nullptr) {
+        obs::TraceRecord rec;
+        rec.step = step;
+        rec.windows = p;
+        rec.objective = value;
+        if (const auto ev = store.find(p)) rec.power = ev->power;
+        rec.solver = solver_name;
+        rec.cache_hit = revisit;
+        // The anchor the *serial* replay seeds from at this probe (the
+        // deterministic reading; a speculative evaluation may have used
+        // an earlier anchor set).  Revisits evaluate nothing.
+        if (warm && !revisit) rec.anchor = store.nearest_anchor_windows(p);
+        options.trace->append(std::move(rec));
+      }
+      if (observe_solves) {
+        // Each fresh evaluation's record enters the log exactly once, at
+        // its serial-replay probe; revisits evaluated nothing, so they
+        // log nothing and synthesize a childless cache-hit probe span.
+        std::optional<obs::SolveRecord> rec;
+        if (!revisit) rec = store.find_record(p);
+        if (options.convergence != nullptr && rec) {
+          options.convergence->append(*rec);
+        }
+        if (spans_on) {
+          replay_cursor_us = synthesize_probe_spans(
+              *options.spans, replay_track, replay_cursor_us, step, p, value,
+              revisit, rec ? &*rec : nullptr);
+        }
+      }
     };
   }
 
-  const search::PatternSearchResult ps_result =
-      search::pattern_search(objective, std::move(initial), ps);
+  search::PatternSearchResult ps_result;
+  {
+    obs::SpanTracer::Scope search_span(options.spans, "search");
+    search_span.arg("solver", solver_name);
+    search_span.arg("threads", static_cast<std::int64_t>(pool_size));
+    ps_result = search::pattern_search(objective, std::move(initial), ps);
+    search_span.arg("evaluations",
+                    static_cast<std::int64_t>(ps_result.evaluations));
+    search_span.arg("base_points",
+                    static_cast<std::int64_t>(ps_result.base_points.size()));
+  }
 
   DimensionResult result;
   result.feasible = std::isfinite(ps_result.best_value);
@@ -293,6 +425,10 @@ DimensionResult dimension_windows(const WindowProblem& problem,
       }
     }
   }
+  // Derived windim.convergence.* counters (no-op while the registry is
+  // disabled).  Counts cover the log's whole lifetime: pass a fresh log
+  // per run, or expect cumulative totals.
+  if (options.convergence != nullptr) options.convergence->export_metrics();
   return result;
 }
 

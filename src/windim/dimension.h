@@ -16,7 +16,9 @@
 #include "windim/problem.h"
 
 namespace windim::obs {
+class ConvergenceLog;
 class SearchTrace;
+class SpanTracer;
 }  // namespace windim::obs
 
 namespace windim::core {
@@ -88,6 +90,17 @@ struct DimensionOptions {
   /// counts; see obs/trace.h.  Null (the default) skips all trace
   /// bookkeeping.
   obs::SearchTrace* trace = nullptr;
+  /// Optional per-solve convergence log (obs/convergence.h): every
+  /// fresh evaluation's SolveRecord — residual stream, classification —
+  /// appended in serial-replay order, so record order and content are
+  /// thread-count independent.  Null skips all recording.
+  obs::ConvergenceLog* convergence = nullptr;
+  /// Optional hierarchical span tracer (obs/span.h).  The search phase
+  /// opens a real span on the calling thread; each serial-replay probe
+  /// synthesizes its probe -> solve -> iterate subtree onto a virtual
+  /// "replay" track, keeping the trace byte-identical across thread
+  /// counts once timestamps are normalized.  Null skips all tracing.
+  obs::SpanTracer* spans = nullptr;
 };
 
 struct DimensionResult {

@@ -122,8 +122,8 @@ qn::CyclicNetwork WindowProblem::network(
 Evaluation WindowProblem::evaluate_with(
     const std::vector<int>& windows, const solver::Solver& solver,
     solver::Workspace& ws, const mva::ApproxMvaOptions* mva_options,
-    const mva::MvaWarmStart* warm_start,
-    mva::MvaWarmStart* final_state) const {
+    const mva::MvaWarmStart* warm_start, mva::MvaWarmStart* final_state,
+    obs::ConvergenceRecorder* convergence) const {
   if (windows.size() != classes_.size()) {
     throw std::invalid_argument("WindowProblem: window vector size mismatch");
   }
@@ -151,6 +151,7 @@ Evaluation WindowProblem::evaluate_with(
   ws.hints = solver::SolveHints{};
   if (traits.supports_warm_start) ws.hints.warm_start = warm_start;
   ws.hints.mva = mva_options;
+  ws.hints.convergence = convergence;
   const solver::Solution sol = solver.solve_profiled(model, windows, ws);
   ws.hints = solver::SolveHints{};
 

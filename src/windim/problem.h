@@ -121,12 +121,18 @@ class WindowProblem {
   /// `warm_start` / `final_state` seed and capture the fixed-point
   /// state of warm-startable solvers; both are ignored (final_state
   /// cleared) otherwise.
+  ///
+  /// `convergence`, when non-null, receives this solve's per-iteration
+  /// telemetry (obs/convergence.h): iterative solvers stream every
+  /// sweep; the rest get a summary record (iterations == 1, empty
+  /// ring).
   [[nodiscard]] Evaluation evaluate_with(
       const std::vector<int>& windows, const solver::Solver& solver,
       solver::Workspace& ws,
       const mva::ApproxMvaOptions* mva_options = nullptr,
       const mva::MvaWarmStart* warm_start = nullptr,
-      mva::MvaWarmStart* final_state = nullptr) const;
+      mva::MvaWarmStart* final_state = nullptr,
+      obs::ConvergenceRecorder* convergence = nullptr) const;
 
   /// Evaluates a window setting.  Throws std::invalid_argument on a
   /// malformed window vector (size mismatch or negative entries).

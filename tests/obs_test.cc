@@ -60,6 +60,77 @@ TEST(MetricsRegistryTest, CountersGaugesHistogramsMergeAcrossThreads) {
   EXPECT_DOUBLE_EQ(h->sum, expected_sum);
 }
 
+TEST(MetricsRegistryTest, HistogramOverflowBucketKeepsMaxObserved) {
+  // Regression for the solve_us saturation bug: a solve slower than the
+  // top bound used to vanish into a clipped bucket with no record of
+  // HOW slow it was.  The overflow bucket now counts it and
+  // max_observed keeps the magnitude.
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Histogram h = reg.histogram("solve_us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(1e9);  // far past the top bound
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot* s = snap.histogram("solve_us");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->counts.size(), s->bounds.size() + 1);
+  EXPECT_EQ(s->counts[0], 1u);
+  EXPECT_EQ(s->counts[1], 1u);
+  EXPECT_EQ(s->overflow(), 1u);
+  EXPECT_EQ(s->count, 3u);
+  EXPECT_DOUBLE_EQ(s->max_observed, 1e9);
+  // The JSON export carries both fields explicitly.
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"overflow\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_observed\":1000000000"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedByNameRegardlessOfOrder) {
+  // Two registries populated with identical state in OPPOSITE
+  // registration order must produce element-for-element equal
+  // snapshots — the diffability contract monitoring relies on.
+  const std::vector<std::string> names = {"zeta", "alpha", "mid"};
+  obs::MetricsRegistry forward;
+  obs::MetricsRegistry backward;
+  forward.set_enabled(true);
+  backward.set_enabled(true);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    forward.counter(names[i]).add(i + 1);
+    forward.gauge(names[i] + ".g").record_max(static_cast<double>(i));
+    backward.counter(names[names.size() - 1 - i])
+        .add(names.size() - i);
+    backward.gauge(names[names.size() - 1 - i] + ".g")
+        .record_max(static_cast<double>(names.size() - 1 - i));
+  }
+  const obs::MetricsSnapshot a = forward.snapshot();
+  const obs::MetricsSnapshot b = backward.snapshot();
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i], b.counters[i]);
+  }
+  ASSERT_EQ(a.gauges.size(), b.gauges.size());
+  for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+    EXPECT_EQ(a.gauges[i].first, b.gauges[i].first);
+    EXPECT_DOUBLE_EQ(a.gauges[i].second, b.gauges[i].second);
+  }
+  // Sorted: names ascend.
+  for (std::size_t i = 1; i < a.counters.size(); ++i) {
+    EXPECT_LT(a.counters[i - 1].first, a.counters[i].first);
+  }
+  // Two-snapshot diff of one registry: only the touched metric moves.
+  forward.counter("mid").add(5);
+  const obs::MetricsSnapshot after = forward.snapshot();
+  ASSERT_EQ(after.counters.size(), a.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(after.counters[i].first, a.counters[i].first);
+    const std::uint64_t delta =
+        after.counters[i].second - a.counters[i].second;
+    EXPECT_EQ(delta, a.counters[i].first == "mid" ? 5u : 0u);
+  }
+}
+
 TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterMutation) {
   obs::MetricsRegistry reg;
   reg.set_enabled(true);

@@ -1,0 +1,165 @@
+// The perf-baseline comparison logic (bench/baseline.h): identical and
+// mildly-noisy runs pass, regressions beyond tolerance fail in the
+// metric's regression direction only, exact gates admit no drift,
+// floors keep near-zero baselines from amplifying noise, and malformed
+// or incomplete JSON is a hard error — never a silent pass.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+
+namespace windim::bench {
+namespace {
+
+std::string perf_json(double speedup, double overhead_pct,
+                      int allocations, bool pass) {
+  std::string out = "{\"benchmark\":\"perf_dimension\",\"speedup_vs_pr1\":";
+  out += std::to_string(speedup);
+  out += ",\"obs_disabled_overhead_pct\":";
+  out += std::to_string(overhead_pct);
+  out += ",\"warm_workspace_allocations\":";
+  out += std::to_string(allocations);
+  out += ",\"identical_windows\":true,\"pass\":";
+  out += pass ? "true" : "false";
+  out += ",\"engine_ms\":1.0}";
+  return out;
+}
+
+TEST(PerfBaseline, IdenticalRunPasses) {
+  const std::string base = perf_json(5.9, 0.12, 0, true);
+  const BaselineReport report =
+      compare_baseline(base, base, perf_dimension_checks());
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_EQ(report.comparisons.size(), 5u);
+  EXPECT_TRUE(report.errors.empty());
+}
+
+TEST(PerfBaseline, NoiseWithinTolerancePasses) {
+  const BaselineReport report = compare_baseline(
+      perf_json(5.9, 0.12, 0, true), perf_json(5.0, 0.14, 0, true),
+      perf_dimension_checks(25.0));
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+TEST(PerfBaseline, ImprovementNeverFails) {
+  // Faster and cheaper than the baseline: drift is zero, not negative
+  // noise that could trip a symmetric band.
+  const BaselineReport report = compare_baseline(
+      perf_json(5.9, 0.12, 0, true), perf_json(9.0, 0.01, 0, true),
+      perf_dimension_checks(25.0));
+  EXPECT_TRUE(report.ok()) << report.render();
+  for (const MetricComparison& c : report.comparisons) {
+    EXPECT_DOUBLE_EQ(c.drift_pct, 0.0) << c.metric;
+  }
+}
+
+TEST(PerfBaseline, InflatedBaselineFailsTheSpeedupCheck) {
+  // The committed baseline claims 50x; the fresh run manages 5.9x.
+  const BaselineReport report = compare_baseline(
+      perf_json(50.0, 0.12, 0, true), perf_json(5.9, 0.12, 0, true),
+      perf_dimension_checks(25.0));
+  EXPECT_FALSE(report.ok());
+  bool speedup_failed = false;
+  for (const MetricComparison& c : report.comparisons) {
+    if (c.metric == "speedup_vs_pr1") {
+      speedup_failed = !c.ok;
+      EXPECT_GT(c.drift_pct, 25.0);
+    } else {
+      EXPECT_TRUE(c.ok) << c.metric;
+    }
+  }
+  EXPECT_TRUE(speedup_failed);
+}
+
+TEST(PerfBaseline, AllocationGateIsExact) {
+  const BaselineReport report = compare_baseline(
+      perf_json(5.9, 0.12, 0, true), perf_json(5.9, 0.12, 1, true),
+      perf_dimension_checks(25.0));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PerfBaseline, PassFlagRegressionFails) {
+  const BaselineReport report = compare_baseline(
+      perf_json(5.9, 0.12, 0, true), perf_json(5.9, 0.12, 0, false),
+      perf_dimension_checks(25.0));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PerfBaseline, OverheadFloorAbsorbsTinyBaselineWobble) {
+  // 0.02% -> 0.05% is a 150% relative jump but far below the 0.5pp
+  // floor; it must not flag.  A genuine jump past the floored band
+  // still fails.
+  EXPECT_TRUE(compare_baseline(perf_json(5.9, 0.02, 0, true),
+                               perf_json(5.9, 0.05, 0, true),
+                               perf_dimension_checks(25.0))
+                  .ok());
+  EXPECT_FALSE(compare_baseline(perf_json(5.9, 0.02, 0, true),
+                                perf_json(5.9, 1.9, 0, true),
+                                perf_dimension_checks(25.0))
+                   .ok());
+}
+
+TEST(PerfBaseline, WallClockChecksAreOptInAndDirectional) {
+  std::vector<CheckSpec> checks = wall_clock_checks(25.0);
+  // engine_ms 1.0 -> 1.0: fine.  Against a doubled current value the
+  // lower-is-better direction fails.
+  EXPECT_TRUE(compare_baseline(perf_json(5.9, 0.12, 0, true),
+                               perf_json(5.9, 0.12, 0, true), checks)
+                  .errors.size() > 0)
+      << "wall-clock set requires all four *_ms metrics";
+  const std::string base =
+      "{\"serial_cold_ms\":1.0,\"pr1_baseline_ms\":2.0,"
+      "\"engine_ms\":0.5,\"instrumented_ms\":0.6}";
+  const std::string slow =
+      "{\"serial_cold_ms\":1.0,\"pr1_baseline_ms\":2.0,"
+      "\"engine_ms\":2.5,\"instrumented_ms\":0.6}";
+  EXPECT_TRUE(compare_baseline(base, base, checks).ok());
+  EXPECT_FALSE(compare_baseline(base, slow, checks).ok());
+}
+
+TEST(PerfBaseline, MalformedJsonIsAnError) {
+  const std::string good = perf_json(5.9, 0.12, 0, true);
+  EXPECT_FALSE(compare_baseline("not json", good,
+                                perf_dimension_checks())
+                   .ok());
+  EXPECT_FALSE(compare_baseline(good, "{\"truncated\":",
+                                perf_dimension_checks())
+                   .ok());
+  EXPECT_FALSE(compare_baseline("[1,2,3]", good, perf_dimension_checks())
+                   .ok());
+}
+
+TEST(PerfBaseline, MissingMetricIsAnErrorNotASilentPass) {
+  const BaselineReport report = compare_baseline(
+      "{\"speedup_vs_pr1\":5.9}", perf_json(5.9, 0.12, 0, true),
+      perf_dimension_checks());
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors.front().find("missing metric"),
+            std::string::npos);
+}
+
+TEST(PerfBaseline, RenderNamesEveryFailure) {
+  const BaselineReport report = compare_baseline(
+      perf_json(50.0, 0.12, 0, true), perf_json(5.9, 0.12, 0, true),
+      perf_dimension_checks(25.0));
+  const std::string text = report.render();
+  EXPECT_NE(text.find("FAIL speedup_vs_pr1"), std::string::npos) << text;
+  EXPECT_NE(text.find("baseline check FAILED"), std::string::npos) << text;
+}
+
+TEST(PerfBaseline, SaveLoadRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/perf_baseline_roundtrip.json";
+  const std::string body = perf_json(5.9, 0.12, 0, true);
+  ASSERT_TRUE(save_file(path, body));
+  const auto loaded = load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, body + "\n");
+  EXPECT_FALSE(load_file(path + ".does-not-exist").has_value());
+}
+
+}  // namespace
+}  // namespace windim::bench
