@@ -4,6 +4,7 @@
 //   windim_cli dimension <spec-file> [--solver=NAME] [--max-window=N]
 //                        [--objective=power|gpower=A|delaycap=T] [--csv]
 //   windim_cli evaluate  <spec-file> E1 E2 ... [--solver=NAME]
+//                        [--solver-threads=N]
 //   windim_cli simulate  <spec-file> E1 E2 ... [--time=S] [--seed=N]
 //                        [--buffers=K] [--permits=P] [--reverse-acks]
 //                        [--reps=N]
@@ -30,6 +31,7 @@
 #include "solver/registry.h"
 #include "solver/workspace.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "verify/corpus.h"
 #include "verify/fuzz.h"
 #include "windim/windim.h"
@@ -50,6 +52,7 @@ int usage() {
       "                       [--trace-spans-out=FILE] "
       "[--convergence-out=FILE]\n"
       "  windim_cli evaluate  <spec> E1 E2 ... [--solver=NAME]\n"
+      "                       [--solver-threads=N]\n"
       "  windim_cli simulate  <spec> E1 E2 ... [--time=S] [--seed=N]\n"
       "                       [--buffers=K] [--permits=P] [--reverse-acks]\n"
       "                       [--reps=N]\n"
@@ -66,7 +69,8 @@ int usage() {
       "solvers: see `windim_cli solvers` (--evaluator = alias of "
       "--solver)\n"
       "fuzz families: fcfs-closed disciplines queue-dependent semiclosed\n"
-      "               mixed cyclic windim (default: all)\n");
+      "               mixed cyclic windim (default: all); large-cyclic\n"
+      "               (1k+ chains) must be requested by name\n");
   return 2;
 }
 
@@ -292,11 +296,18 @@ int cmd_evaluate(const cli::NetworkSpec& spec,
   const auto windows = parse_windows(args, spec.classes.size(), flags);
   if (!windows) return 2;
   std::string solver_name = "heuristic-mva";
+  int solver_threads = 0;
   for (const std::string& arg : flags) {
     if (auto v = flag_value(arg, "solver")) {
       solver_name = *v;
     } else if (auto v = flag_value(arg, "evaluator")) {
       solver_name = *v;
+    } else if (auto v = flag_value(arg, "solver-threads")) {
+      solver_threads = std::stoi(*v);
+      if (solver_threads < 0) {
+        std::fprintf(stderr, "error: --solver-threads must be >= 0\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -306,6 +317,14 @@ int cmd_evaluate(const cli::NetworkSpec& spec,
   if (solver == nullptr) return 2;
   const core::WindowProblem problem(spec.topology, spec.classes);
   solver::Workspace ws;
+  // Chain-block-parallel MVA sweeps; bit-identical to the serial sweep
+  // for any thread count (solver/heuristic_mva.cc), so this is purely
+  // a wall-clock knob for continental-scale models.
+  std::optional<util::ThreadPool> pool;
+  if (solver_threads > 1) {
+    pool.emplace(static_cast<std::size_t>(solver_threads));
+    ws.hints.pool = &*pool;
+  }
   std::printf("evaluator:  %s\n", std::string(solver->name()).c_str());
   print_evaluation(problem.evaluate_with(*windows, *solver, ws),
                    spec.classes);

@@ -71,6 +71,22 @@ std::vector<CheckSpec> perf_dimension_checks(double tolerance_pct) {
   };
 }
 
+std::vector<CheckSpec> perf_large_model_checks(double tolerance_pct) {
+  // Same philosophy as perf_dimension_checks: speedup ratios drift
+  // within tolerance, the allocation / solution-identity / pass gates
+  // are exact.  The 10k ratio is the acceptance headline (>= 3x is the
+  // benchmark's own hard gate; the baseline check additionally pins
+  // the measured margin).
+  return {
+      {"large_speedup_10k", Direction::kHigherIsBetter, tolerance_pct, 0.0},
+      {"large_speedup_1k", Direction::kHigherIsBetter, tolerance_pct, 0.0},
+      {"large_warm_workspace_allocations", Direction::kLowerIsBetter, 0.0,
+       0.0},
+      {"large_identical_windows", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"large_pass", Direction::kHigherIsBetter, 0.0, 0.0},
+  };
+}
+
 std::vector<CheckSpec> wall_clock_checks(double tolerance_pct) {
   // Millisecond floors keep sub-millisecond phases from flagging on
   // scheduler jitter.  Same-machine comparisons only.

@@ -73,6 +73,14 @@ struct BaselineReport {
 [[nodiscard]] std::vector<CheckSpec> perf_dimension_checks(
     double tolerance_pct = 25.0);
 
+/// The scale-free default checks for bench_perf_large_model --check:
+/// large_speedup_10k / large_speedup_1k (ratio metrics under
+/// `tolerance_pct`), large_warm_workspace_allocations,
+/// large_identical_windows and large_pass (exact).  The keys are
+/// prefixed so both benchmarks can share one merged baseline object.
+[[nodiscard]] std::vector<CheckSpec> perf_large_model_checks(
+    double tolerance_pct = 25.0);
+
 /// Same-machine wall-clock checks (opt-in): serial_cold_ms,
 /// pr1_baseline_ms, engine_ms, instrumented_ms.
 [[nodiscard]] std::vector<CheckSpec> wall_clock_checks(

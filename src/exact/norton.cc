@@ -1,0 +1,104 @@
+#include "exact/norton.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mva/single_chain.h"
+
+namespace windim::exact {
+
+NortonResult norton_aggregate(const qn::NetworkModel& model,
+                              std::span<const int> subnetwork) {
+  model.validate();
+  if (model.num_chains() != 1) {
+    throw qn::ModelError("norton_aggregate: model must have exactly one chain");
+  }
+  const qn::Chain& chain = model.chain(0);
+  if (chain.type != qn::ChainType::kClosed) {
+    throw qn::ModelError("norton_aggregate: the chain must be closed");
+  }
+  const int population = chain.population;
+  if (population < 1) {
+    throw qn::ModelError("norton_aggregate: population must be >= 1");
+  }
+  const int num_stations = model.num_stations();
+  if (subnetwork.empty() ||
+      subnetwork.size() >= static_cast<std::size_t>(num_stations)) {
+    throw qn::ModelError(
+        "norton_aggregate: subnetwork must be a nonempty proper subset of "
+        "the stations");
+  }
+  std::vector<char> in_sub(static_cast<std::size_t>(num_stations), 0);
+  for (int n : subnetwork) {
+    if (n < 0 || n >= num_stations) {
+      throw qn::ModelError(
+          "norton_aggregate: subnetwork references unknown station");
+    }
+    if (in_sub[static_cast<std::size_t>(n)] != 0) {
+      throw qn::ModelError(
+          "norton_aggregate: duplicate station in subnetwork");
+    }
+    in_sub[static_cast<std::size_t>(n)] = 1;
+  }
+
+  // Short the subnetwork: keep only the stations the chain visits (the
+  // others carry no flow) and solve the isolated single-chain network
+  // at populations 1..K.  throughput[j] is the FES rate with j present.
+  std::vector<mva::SingleChainStation> shorted;
+  for (int n = 0; n < num_stations; ++n) {
+    if (in_sub[static_cast<std::size_t>(n)] == 0) continue;
+    const double d = model.demand(0, n);
+    if (d <= 0.0) continue;
+    mva::SingleChainStation s;
+    s.station = model.station(n);
+    s.demand = d;
+    shorted.push_back(std::move(s));
+  }
+  if (shorted.empty()) {
+    throw qn::ModelError(
+        "norton_aggregate: the chain visits no subnetwork station");
+  }
+  const mva::SingleChainResult sub = mva::solve_single_chain(shorted,
+                                                             population);
+
+  NortonResult result;
+  result.fes_rates.assign(static_cast<std::size_t>(population), 0.0);
+  for (int j = 1; j <= population; ++j) {
+    result.fes_rates[static_cast<std::size_t>(j) - 1] =
+        sub.throughput[static_cast<std::size_t>(j)];
+  }
+
+  // Collapsed model: the complement verbatim, then the FES.  With unit
+  // demand at the FES (visit ratio 1, service time 1s) its effective
+  // rate at queue length j is exactly fes_rates[j-1], the shorted
+  // subnetwork's throughput in the chain's reference-flow units.
+  qn::NetworkModel aggregated;
+  std::vector<int> to_aggregated(static_cast<std::size_t>(num_stations), -1);
+  for (int n = 0; n < num_stations; ++n) {
+    if (in_sub[static_cast<std::size_t>(n)] != 0) continue;
+    to_aggregated[static_cast<std::size_t>(n)] =
+        aggregated.add_station(model.station(n));
+    result.kept.push_back(n);
+  }
+  qn::Station fes;
+  fes.name = "fes";
+  fes.discipline = qn::Discipline::kFcfs;
+  fes.rate_multipliers = result.fes_rates;
+  result.fes_station = aggregated.add_station(std::move(fes));
+
+  qn::Chain collapsed;
+  collapsed.name = chain.name;
+  collapsed.type = qn::ChainType::kClosed;
+  collapsed.population = population;
+  for (const qn::Visit& v : chain.visits) {
+    const int mapped = to_aggregated[static_cast<std::size_t>(v.station)];
+    if (mapped < 0) continue;  // folded into the FES
+    collapsed.visits.push_back({mapped, v.visit_ratio, v.mean_service_time});
+  }
+  collapsed.visits.push_back({result.fes_station, 1.0, 1.0});
+  aggregated.add_chain(std::move(collapsed));
+  result.aggregated = std::move(aggregated);
+  return result;
+}
+
+}  // namespace windim::exact

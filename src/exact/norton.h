@@ -1,0 +1,54 @@
+// Flow-equivalent-server (Norton) aggregation, after Chandy, Herzog &
+// Woo (1975).
+//
+// For a closed single-chain product-form network, any subnetwork of
+// stations can be replaced by ONE queue-dependent station — the
+// flow-equivalent server (FES) — without changing the steady-state
+// behaviour of the rest of the network.  The FES's rate at queue
+// length j is the throughput of the subnetwork "shorted" (solved in
+// isolation) with j customers circulating, computed here with the
+// exact single-chain MVA recursion at populations 1..K.
+//
+// The aggregation is EXACT for single-chain product-form networks:
+// solving the collapsed model with any exact solver (convolution,
+// exact MVA...) reproduces the original model's chain throughput and
+// the complement stations' queue statistics.  That exactness is what
+// the verify suite exploits — a collapsed 30-station model is a cheap
+// oracle for spot-checking per-chain marginals of continental-scale
+// fixtures whose full model no brute-force oracle can touch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qn/network.h"
+
+namespace windim::exact {
+
+/// Result of norton_aggregate.
+struct NortonResult {
+  /// The collapsed model: the complement stations (original relative
+  /// order and parameters) plus the FES as the LAST station.  Same
+  /// chain name/population as the source model.
+  qn::NetworkModel aggregated;
+  /// Index of the FES station inside `aggregated` (== num complement
+  /// stations kept).
+  int fes_station = 0;
+  /// fes_rates[j-1]: shorted-subnetwork throughput with j customers,
+  /// j = 1..K — the FES's queue-dependent rate multipliers.
+  std::vector<double> fes_rates;
+  /// kept[i]: original station index of aggregated station i, for
+  /// i < fes_station (statistics cross-walk).
+  std::vector<int> kept;
+};
+
+/// Collapses `subnetwork` (original station indices) of a closed
+/// single-chain model into a flow-equivalent server.  Requirements:
+/// exactly one chain, closed, population >= 1; `subnetwork` a nonempty
+/// proper subset of the stations, without duplicates, containing at
+/// least one station the chain visits.  Throws qn::ModelError when any
+/// requirement fails.
+[[nodiscard]] NortonResult norton_aggregate(const qn::NetworkModel& model,
+                                            std::span<const int> subnetwork);
+
+}  // namespace windim::exact

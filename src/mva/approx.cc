@@ -126,6 +126,15 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
     return drift;
   };
 
+  // Hoisted per-station sweep reductions, shared with the native kernel
+  // (solver/heuristic_mva.cc — the two files change in lockstep):
+  // busy[n] = sum_j lambda_j * D_jn feeds STEP 2's rho_other as
+  // busy[n] - lambda_r * D_rn, and total[n] = sum_j N_jn replaces
+  // STEP 3's per-(r,n) "others" sum (which never depended on r).  Both
+  // drop a sweep from O(N R^2) to O(N R).
+  std::vector<double> busy(static_cast<std::size_t>(num_stations), 0.0);
+  std::vector<double> total(static_cast<std::size_t>(num_stations), 0.0);
+
   std::vector<double> lambda_prev(lambda);
   // Optional per-iteration telemetry; read-only observation of the
   // iterates, never part of the arithmetic.
@@ -141,6 +150,16 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
     force_sigma = false;
     if (refresh_sigma) ++sol.sigma_refreshes;
     // STEP 2: estimate sigma_ir(r-).
+    if (refresh_sigma && options.sigma != SigmaPolicy::kSchweitzerBard &&
+        num_chains > 1) {
+      for (int n = 0; n < num_stations; ++n) {
+        double b = 0.0;
+        for (int j = 0; j < num_chains; ++j) {
+          b += lambda[static_cast<std::size_t>(j)] * model.demand(j, n);
+        }
+        busy[static_cast<std::size_t>(n)] = b;
+      }
+    }
     for (int r = 0; refresh_sigma && r < num_chains; ++r) {
       const int pop = model.chain(r).population;
       if (pop == 0) continue;
@@ -158,11 +177,14 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
       for (int n = 0; n < num_stations; ++n) {
         const double d = model.demand(r, n);
         if (d <= 0.0) continue;
+        // Other chains' utilization from the hoisted busy[] minus this
+        // chain's own term.  A single-chain model keeps the legacy
+        // empty-sum zero verbatim: busy - own could round away from 0
+        // under FP contraction, the literal 0.0 cannot.
         double rho_other = 0.0;
-        for (int j = 0; j < num_chains; ++j) {
-          if (j == r) continue;
-          rho_other += lambda[static_cast<std::size_t>(j)] *
-                       model.demand(j, n);
+        if (num_chains > 1) {
+          const double own = lambda[static_cast<std::size_t>(r)] * d;
+          rho_other = busy[static_cast<std::size_t>(n)] - own;
         }
         rho_other = std::clamp(rho_other, 0.0, options.utilization_clamp);
         SingleChainStation s;
@@ -183,7 +205,16 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
     }
     if (refresh_sigma && lazy_sigma) lambda_sigma = lambda;
 
-    // STEP 3: mean queueing times (thesis eq. 4.13).
+    // STEP 3: mean queueing times (thesis eq. 4.13), with the hoisted
+    // per-station queue totals (the "others" sum of the thesis text is
+    // r-independent; sigma is subtracted per chain below).
+    for (int n = 0; n < num_stations; ++n) {
+      double t = 0.0;
+      for (int j = 0; j < num_chains; ++j) {
+        t += number[static_cast<std::size_t>(n) * num_chains + j];
+      }
+      total[static_cast<std::size_t>(n)] = t;
+    }
     for (int r = 0; r < num_chains; ++r) {
       if (model.chain(r).population == 0) continue;
       for (int n = 0; n < num_stations; ++n) {
@@ -196,13 +227,10 @@ MvaSolution solve_approx_mva(const qn::NetworkModel& model,
           time[static_cast<std::size_t>(n) * num_chains + r] = d;
           continue;
         }
-        double others = 0.0;
-        for (int j = 0; j < num_chains; ++j) {
-          others += number[static_cast<std::size_t>(n) * num_chains + j];
-        }
         const double seen = std::max(
             0.0,
-            others - sigma[static_cast<std::size_t>(n) * num_chains + r]);
+            total[static_cast<std::size_t>(n)] -
+                sigma[static_cast<std::size_t>(n) * num_chains + r]);
         time[static_cast<std::size_t>(n) * num_chains + r] =
             d * (1.0 + seen);
       }

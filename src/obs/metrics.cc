@@ -107,12 +107,18 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 const std::vector<double>& MetricsRegistry::default_latency_bounds_us() {
-  // Roughly logarithmic from 1 µs to 1 s; solve times on this codebase
-  // span ~2 µs (heuristic-mva warm) to seconds (product-form blowups).
+  // Roughly logarithmic from 1 µs to 60 s; solve times on this codebase
+  // span ~2 µs (heuristic-mva warm) through seconds (product-form
+  // blowups) to tens of seconds (the 100k-chain scale fixtures).  The
+  // old 1 s ceiling saturated the overflow bucket on every large-model
+  // solve, flattening exactly the tail the latency histograms exist to
+  // resolve.  24 bounds -> 25 buckets; 64 histograms x 25 = 1600, well
+  // inside the kMaxHistogramBuckets = 2048 slab.
   static const std::vector<double> bounds = {
-      1,     2,     5,     10,    20,    50,     100,    200,     500,
-      1000,  2000,  5000,  10000, 20000, 50000,  100000, 200000,  500000,
-      1000000};
+      1,       2,       5,       10,      20,      50,      100,    200,
+      500,     1000,    2000,    5000,    10000,   20000,   50000,  100000,
+      200000,  500000,  1000000, 2000000, 5000000, 10000000, 20000000,
+      60000000};
   return bounds;
 }
 

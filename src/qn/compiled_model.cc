@@ -5,7 +5,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/checked_math.h"
+
 namespace windim::qn {
+namespace {
+
+/// R x N (or any layout product) with an overflow-checked multiply;
+/// throws the typed OverflowError instead of wrapping.
+std::size_t checked_cells(std::size_t a, std::size_t b, const char* what) {
+  std::size_t out = 0;
+  if (util::mul_overflows(a, b, out)) {
+    throw OverflowError(std::string("CompiledModel::compile: ") + what +
+                        " size overflows std::size_t");
+  }
+  return out;
+}
+
+}  // namespace
 
 CompiledModel CompiledModel::compile(const NetworkModel& model,
                                      CompileOptions options) {
@@ -19,17 +35,21 @@ CompiledModel CompiledModel::compile(const NetworkModel& model,
   const int R = c.num_chains_ = model.num_chains();
   c.all_closed_ = model.all_closed();
 
-  const std::size_t cells =
-      static_cast<std::size_t>(R) * static_cast<std::size_t>(N);
+  const std::size_t cells = c.cells_ =
+      checked_cells(static_cast<std::size_t>(R), static_cast<std::size_t>(N),
+                    "chain x station matrix");
   c.demand_cm_.assign(cells, 0.0);
   c.service_time_cm_.assign(cells, 0.0);
   c.visit_ratio_cm_.assign(cells, 0.0);
+  c.demand_sm_.assign(cells, 0.0);
   for (int r = 0; r < R; ++r) {
     for (int n = 0; n < N; ++n) {
       const std::size_t idx = static_cast<std::size_t>(r) * N + n;
-      c.demand_cm_[idx] = model.demand(r, n);
+      const double d = model.demand(r, n);
+      c.demand_cm_[idx] = d;
       c.service_time_cm_[idx] = model.service_time(r, n);
       c.visit_ratio_cm_[idx] = model.visit_ratio(r, n);
+      c.demand_sm_[static_cast<std::size_t>(n) * R + r] = d;
     }
   }
 
@@ -72,13 +92,16 @@ CompiledModel CompiledModel::compile(const NetworkModel& model,
   c.cycle_time_.assign(static_cast<std::size_t>(R), 0.0);
   c.bottleneck_.assign(static_cast<std::size_t>(R), -1);
   c.max_demand_.assign(static_cast<std::size_t>(R), 0.0);
+  c.delay_demand_.assign(static_cast<std::size_t>(R), 0.0);
   for (int r = 0; r < R; ++r) {
     double cycle = 0.0;
     double best = 0.0;
+    double delay = 0.0;
     int bottleneck = -1;
     for (const int n : c.stations_of(r)) {
       const double d = c.demand(r, n);
       cycle += d;
+      if (c.is_delay(n)) delay += d;
       if (d > best) {
         best = d;
         bottleneck = n;
@@ -87,6 +110,7 @@ CompiledModel CompiledModel::compile(const NetworkModel& model,
     c.cycle_time_[static_cast<std::size_t>(r)] = cycle;
     c.bottleneck_[static_cast<std::size_t>(r)] = bottleneck;
     c.max_demand_[static_cast<std::size_t>(r)] = best;
+    c.delay_demand_[static_cast<std::size_t>(r)] = delay;
   }
 
   for (int r = 0; r < R; ++r) {

@@ -66,6 +66,10 @@ class CompiledModel {
 
   [[nodiscard]] int num_stations() const noexcept { return num_stations_; }
   [[nodiscard]] int num_chains() const noexcept { return num_chains_; }
+  /// Flat cell count num_stations * num_chains, computed once at
+  /// compile() through an overflow-checked 64-bit multiply (throws
+  /// OverflowError there, never wraps here).
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_; }
   [[nodiscard]] bool all_closed() const noexcept { return all_closed_; }
   [[nodiscard]] bool has_queue_dependent() const noexcept {
     return has_queue_dependent_;
@@ -94,6 +98,27 @@ class CompiledModel {
   }
   [[nodiscard]] double visit_ratio(int r, int n) const {
     return visit_ratio_cm_[static_cast<std::size_t>(r) * num_stations_ + n];
+  }
+
+  /// Station-major demand slab [n * R + r]: the structure-of-arrays
+  /// view the MVA sweep kernels iterate.  At a fixed station the
+  /// per-chain demands are contiguous, so per-station reductions over
+  /// chains (busy time, total queue length) are unit-stride.
+  [[nodiscard]] std::span<const double> station_major_demands()
+      const noexcept {
+    return demand_sm_;
+  }
+  /// Chain demands at station n (one row of the station-major slab).
+  [[nodiscard]] std::span<const double> station_demands(int n) const {
+    return {demand_sm_.data() + static_cast<std::size_t>(n) * num_chains_,
+            static_cast<std::size_t>(num_chains_)};
+  }
+
+  /// Chain r's total demand at delay (IS) stations.  delay_demand(r) /
+  /// uncongested_cycle_time(r) is the delay-dominance fraction the
+  /// solver registry's shape-based routing dispatches on.
+  [[nodiscard]] double delay_demand(int r) const {
+    return delay_demand_[static_cast<std::size_t>(r)];
   }
 
   // --- station typing ---------------------------------------------------
@@ -159,12 +184,15 @@ class CompiledModel {
   std::uint64_t id_ = 0;
   int num_stations_ = 0;
   int num_chains_ = 0;
+  std::size_t cells_ = 0;
   bool all_closed_ = true;
   bool has_queue_dependent_ = false;
 
   std::vector<double> demand_cm_;        // [r * N + n]
   std::vector<double> service_time_cm_;  // [r * N + n]
   std::vector<double> visit_ratio_cm_;   // [r * N + n]
+  std::vector<double> demand_sm_;        // [n * R + r] (SoA sweep view)
+  std::vector<double> delay_demand_;     // per chain
 
   std::vector<StationKind> station_kind_;
   std::vector<double> rate_multipliers_;     // flattened

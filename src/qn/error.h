@@ -13,4 +13,13 @@ class ModelError : public std::runtime_error {
   explicit ModelError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a size computation (flat matrix cells, arena byte
+/// counts) would overflow std::size_t.  A typed error instead of the
+/// silent wraparound UB that int offset arithmetic used to invite at
+/// the 100k-chain scale.
+class OverflowError : public ModelError {
+ public:
+  explicit OverflowError(const std::string& what) : ModelError(what) {}
+};
+
 }  // namespace windim::qn

@@ -47,6 +47,22 @@ int NetworkModel::add_chain(Chain chain) {
   return num_chains() - 1;
 }
 
+NetworkModel NetworkModel::from_parts(std::vector<Station> stations,
+                                      std::vector<Chain> chains) {
+  NetworkModel m;
+  m.stations_ = std::move(stations);
+  for (const Chain& c : chains) {
+    for (const Visit& v : c.visits) {
+      if (v.station < 0 || v.station >= m.num_stations()) {
+        throw ModelError("from_parts: visit references unknown station");
+      }
+    }
+  }
+  m.chains_ = std::move(chains);
+  m.rebuild_cache();
+  return m;
+}
+
 void NetworkModel::set_population(int r, int population) {
   if (r < 0 || r >= num_chains()) {
     throw ModelError("set_population: chain index out of range");

@@ -88,6 +88,14 @@ class NetworkModel {
   /// stations; throws ModelError otherwise.
   int add_chain(Chain chain);
 
+  /// Bulk construction: all stations and chains at once, one demand-cache
+  /// rebuild total.  add_chain rebuilds the R x N cache per call, which
+  /// is O(R^2 N) when assembling a model chain by chain — prohibitive for
+  /// the 10k/100k-chain synthetic fixtures this path exists for.  Visit
+  /// references are validated like add_chain; throws ModelError.
+  [[nodiscard]] static NetworkModel from_parts(std::vector<Station> stations,
+                                               std::vector<Chain> chains);
+
   /// Resets a closed chain's population in place (the only per-solve
   /// mutation the compile-once/solve-many engine needs; demand caches
   /// are population-independent and stay valid).  Throws ModelError on

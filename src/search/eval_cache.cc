@@ -1,6 +1,38 @@
 #include "search/eval_cache.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace windim::search {
+namespace {
+
+constexpr std::size_t kMinShards = 16;
+constexpr std::size_t kMaxShards = 256;
+constexpr std::size_t kShardsPerThread = 4;  // load factor
+
+std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t resolve_shards(std::size_t requested) noexcept {
+  std::size_t n = requested;
+  if (n == 0) {
+    // hardware_concurrency() may report 0 on exotic hosts; the clamp
+    // below turns that into the floor.
+    n = static_cast<std::size_t>(std::thread::hardware_concurrency()) *
+        kShardsPerThread;
+  }
+  return std::clamp(round_up_pow2(n), kMinShards, kMaxShards);
+}
+
+}  // namespace
+
+EvalCache::EvalCache(std::size_t max_evaluations, std::size_t shards)
+    : num_shards_(resolve_shards(shards)),
+      shards_(std::make_unique<Shard[]>(num_shards_)),
+      max_evaluations_(max_evaluations) {}
 
 bool EvalCache::try_reserve_budget() noexcept {
   std::size_t current = misses_.load(std::memory_order_relaxed);

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -59,8 +60,14 @@ class EvalCache {
     double value;  // meaningful only for kHit
   };
 
-  explicit EvalCache(std::size_t max_evaluations = SIZE_MAX)
-      : max_evaluations_(max_evaluations) {}
+  /// `shards` = 0 (the default) derives the shard count from the
+  /// machine: hardware_concurrency x 4 (a load factor keeping collision
+  /// probability low when every worker probes at once), rounded up to a
+  /// power of two and clamped to [16, 256].  The old fixed 16 was a
+  /// contention ceiling on wide hosts; pass an explicit count to pin it
+  /// (tests, single-threaded tools).
+  explicit EvalCache(std::size_t max_evaluations = SIZE_MAX,
+                     std::size_t shards = 0);
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
@@ -103,6 +110,10 @@ class EvalCache {
   [[nodiscard]] std::size_t max_evaluations() const noexcept {
     return max_evaluations_;
   }
+  /// Actual shard count (always a power of two in [16, 256]).
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return num_shards_;
+  }
 
  private:
   struct Slot {
@@ -114,17 +125,17 @@ class EvalCache {
     std::condition_variable ready;
     std::unordered_map<Point, Slot, PointHash> values;
   };
-  static constexpr std::size_t kNumShards = 16;
-
   Shard& shard_of(const Point& p) noexcept {
-    return shards_[PointHash{}(p) % kNumShards];
+    // num_shards_ is a power of two; mask instead of modulo.
+    return shards_[PointHash{}(p) & (num_shards_ - 1)];
   }
 
   /// Spends one budget slot; called with the shard lock held so the
   /// miss classification and the map insert are one atomic step.
   [[nodiscard]] bool try_reserve_budget() noexcept;
 
-  Shard shards_[kNumShards];
+  std::size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
   std::size_t max_evaluations_;
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> hits_{0};

@@ -21,6 +21,40 @@ const Solver& schweitzer_mva_solver() {
   return s;
 }
 
+/// Delay-dominance fraction at or above which a single-chain model is
+/// routed to the exact recursion (see SolverRegistry::route).  The
+/// pinned heuristic worst case sits at ~0.30; well clear of the
+/// threshold on both sides.
+constexpr double kDelayDominanceThreshold = 0.25;
+
+/// The "auto" registry entry: trait-wise it promises only what every
+/// routing target provides (queue lengths; exactness and iteration
+/// counts depend on the dispatched solver).
+class AutoSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "auto";
+  }
+  [[nodiscard]] Traits traits() const noexcept override {
+    Traits t;
+    t.has_queue_lengths = true;
+    t.supports_warm_start = true;
+    t.iterative = true;
+    return t;
+  }
+  [[nodiscard]] Solution solve(const qn::CompiledModel& model,
+                               const PopulationVector& population,
+                               Workspace& ws) const override {
+    return SolverRegistry::instance().route(model).solve(model, population,
+                                                         ws);
+  }
+};
+
+const Solver& auto_router_solver() {
+  static const AutoSolver s;
+  return s;
+}
+
 }  // namespace
 
 SolverRegistry::SolverRegistry() {
@@ -45,6 +79,19 @@ SolverRegistry::SolverRegistry() {
   add(linearizer_solver());
   add(bounds_solver());
   add(semiclosed_solver());
+  add(auto_router_solver());
+}
+
+const Solver& SolverRegistry::route(
+    const qn::CompiledModel& model) const noexcept {
+  if (model.num_chains() == 1 && model.all_closed() &&
+      !model.has_queue_dependent() &&
+      model.uncongested_cycle_time(0) > 0.0 &&
+      model.delay_demand(0) >=
+          kDelayDominanceThreshold * model.uncongested_cycle_time(0)) {
+    return exact_mva_solver();
+  }
+  return heuristic_mva_solver();
 }
 
 const SolverRegistry& SolverRegistry::instance() {

@@ -14,6 +14,7 @@
 //   linearizer         Chandy & Neuse Linearizer
 //   bounds             balanced job bounds (single chain)
 //   semiclosed         semiclosed population-band lattice solver
+//   auto               shape-based routing (route(); see below)
 //
 // The registry is process-global and immutable after static
 // initialization; lookups are thread-safe.
@@ -41,6 +42,17 @@ class SolverRegistry {
 
   /// Canonical names in registration order (no aliases).
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Shape-based routing: the solver the "auto" entry dispatches to for
+  /// `model`.  Delay-dominated single-chain closed models — at least a
+  /// quarter of the uncongested cycle time spent at IS stations — go to
+  /// exact single-chain MVA: they are exactly the shape on which the
+  /// thesis heuristic's sigma estimate degrades worst (the pinned ~49%
+  /// corpus worst case), and the exact recursion is cheap there.
+  /// Everything else keeps the heuristic.  The explicit names
+  /// ("heuristic-mva", "exact-mva") always bypass the routing.
+  [[nodiscard]] const Solver& route(
+      const qn::CompiledModel& model) const noexcept;
 
   /// All registered solvers in registration order.
   [[nodiscard]] const std::vector<const Solver*>& solvers() const noexcept {

@@ -2,12 +2,34 @@
 
 #include <algorithm>
 
+#include "util/checked_math.h"
+
 namespace windim::solver {
 
 std::atomic<std::uint64_t> Workspace::global_heap_allocations_{0};
 
+std::size_t Workspace::checked_bytes(std::size_t count,
+                                     std::size_t element_size) {
+  std::size_t bytes = 0;
+  if (util::mul_overflows(count, element_size, bytes)) {
+    throw qn::OverflowError(
+        "Workspace: scratch request overflows std::size_t");
+  }
+  return bytes;
+}
+
 void* Workspace::raw(std::size_t bytes, std::size_t align) {
   if (bytes == 0) bytes = 1;
+  {
+    // Reject requests the arena arithmetic below (bytes + align, plus
+    // the block base) could wrap on; the typed error keeps oversized
+    // lease sizing a diagnosable failure rather than UB.
+    std::size_t padded = 0;
+    if (util::add_overflows(bytes, align, padded)) {
+      throw qn::OverflowError(
+          "Workspace: scratch request overflows std::size_t");
+    }
+  }
   for (;;) {
     if (block_ < blocks_.size()) {
       Block& b = blocks_[block_];

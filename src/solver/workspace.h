@@ -46,6 +46,10 @@ namespace windim::obs {
 class ConvergenceRecorder;  // obs/convergence.h
 }  // namespace windim::obs
 
+namespace windim::util {
+class ThreadPool;  // util/thread_pool.h
+}  // namespace windim::util
+
 namespace windim::solver {
 
 /// Optional per-solve inputs the uniform Solver interface cannot carry
@@ -67,6 +71,13 @@ struct SolveHints {
   /// solver's own default.  Exceeding it throws std::runtime_error,
   /// which applicability-probing callers treat as "skip".
   std::size_t max_states = 0;
+  /// Optional worker pool for chain-block-parallel MVA sweeps.  Null
+  /// (the default) keeps every sweep serial.  The parallel sweep
+  /// partitions chains into fixed blocks whose per-chain results are
+  /// independent, so the output is bit-identical to the serial sweep
+  /// for any pool size (serial-replay determinism).  The pool is
+  /// borrowed, not owned, and must outlive the solve.
+  util::ThreadPool* pool = nullptr;
 };
 
 class Workspace {
@@ -81,13 +92,18 @@ class Workspace {
     offset_ = 0;
   }
 
-  /// Uninitialized scratch spans; valid until the next reset().
+  /// Uninitialized scratch spans; valid until the next reset().  Byte
+  /// sizes go through an overflow-checked multiply: a count that would
+  /// wrap std::size_t throws qn::OverflowError instead of leasing a
+  /// silently undersized block.
   [[nodiscard]] std::span<double> doubles(std::size_t n) {
-    return {static_cast<double*>(raw(n * sizeof(double), alignof(double))),
+    return {static_cast<double*>(
+                raw(checked_bytes(n, sizeof(double)), alignof(double))),
             n};
   }
   [[nodiscard]] std::span<int> ints(std::size_t n) {
-    return {static_cast<int*>(raw(n * sizeof(int), alignof(int))), n};
+    return {static_cast<int*>(raw(checked_bytes(n, sizeof(int)), alignof(int))),
+            n};
   }
   /// Zero-filled variants.
   [[nodiscard]] std::span<double> zeroed_doubles(std::size_t n) {
@@ -146,6 +162,9 @@ class Workspace {
   };
 
   void* raw(std::size_t bytes, std::size_t align);
+  /// count * element_size with overflow detection (qn::OverflowError).
+  static std::size_t checked_bytes(std::size_t count,
+                                   std::size_t element_size);
 
   std::vector<Block> blocks_;
   std::size_t block_ = 0;   // current block index

@@ -1,0 +1,39 @@
+// Overflow-checked size arithmetic for flat-array layouts.
+//
+// CompiledModel's cell matrices and the Workspace bump arena both
+// compute byte counts as products of independently large factors
+// (chains x stations x sizeof(double)).  At the 100k-chain scale those
+// products approach — and on 32-bit size_t exceed — the representable
+// range, so every layout-sizing multiply goes through these helpers and
+// surfaces qn::OverflowError instead of wrapping around.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace windim::util {
+
+/// out = a * b; returns true when the product overflows std::size_t
+/// (out is unspecified in that case).
+[[nodiscard]] inline bool mul_overflows(std::size_t a, std::size_t b,
+                                        std::size_t& out) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_mul_overflow(a, b, &out);
+#else
+  out = a * b;
+  return b != 0 && a > std::numeric_limits<std::size_t>::max() / b;
+#endif
+}
+
+/// out = a + b; returns true when the sum overflows std::size_t.
+[[nodiscard]] inline bool add_overflows(std::size_t a, std::size_t b,
+                                        std::size_t& out) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_add_overflow(a, b, &out);
+#else
+  out = a + b;
+  return out < a;
+#endif
+}
+
+}  // namespace windim::util

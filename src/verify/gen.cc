@@ -241,6 +241,57 @@ Instance gen_windim(util::Rng& rng, const GenOptions& opt) {
   return inst;
 }
 
+/// Large-cyclic family: a fixed 24-station FCFS ring backbone plus 8
+/// IS "think" stations, shared by GenOptions::large_chains closed
+/// chains.  Each chain rides a contiguous arc of the ring (2-5
+/// stations, random entry point and visit ratios) and one IS station
+/// with a per-chain think time — the BCMP-legal heterogeneity: FCFS
+/// service times are per station (scaled 1/R so station utilization
+/// stays in the 0.25-0.75 band at any chain count), IS times per
+/// chain.  Built through NetworkModel::from_parts: one demand-cache
+/// rebuild total instead of add_chain's O(R) rebuild per chain, which
+/// is what makes the 100k fixture constructible at all.
+qn::NetworkModel gen_large_cyclic(util::Rng& rng, const GenOptions& opt) {
+  constexpr int kRingStations = 24;
+  constexpr int kThinkStations = 8;
+  const int chains = std::max(1, opt.large_chains);
+
+  std::vector<qn::Station> stations;
+  stations.reserve(kRingStations + kThinkStations);
+  std::vector<double> ring_time(kRingStations);
+  for (int n = 0; n < kRingStations; ++n) {
+    stations.push_back(make_station("ring" + std::to_string(n),
+                                    qn::Discipline::kFcfs));
+    ring_time[static_cast<std::size_t>(n)] =
+        rng.uniform(0.1, 0.3) / static_cast<double>(chains);
+  }
+  for (int n = 0; n < kThinkStations; ++n) {
+    stations.push_back(make_station("think" + std::to_string(n),
+                                    qn::Discipline::kInfiniteServer));
+  }
+
+  std::vector<qn::Chain> chain_list;
+  chain_list.reserve(static_cast<std::size_t>(chains));
+  for (int r = 0; r < chains; ++r) {
+    qn::Chain c;
+    c.name = "c" + std::to_string(r);
+    c.type = qn::ChainType::kClosed;
+    c.population = rng.uniform_int(1, 3);
+    const int entry = rng.uniform_int(0, kRingStations - 1);
+    const int hops = rng.uniform_int(2, 5);
+    for (int i = 0; i < hops; ++i) {
+      const int n = (entry + i) % kRingStations;
+      c.visits.push_back({n, rng.uniform(0.5, 2.0),
+                          ring_time[static_cast<std::size_t>(n)]});
+    }
+    const int think = kRingStations + rng.uniform_int(0, kThinkStations - 1);
+    c.visits.push_back({think, 1.0, rng.uniform(0.05, 0.2)});
+    chain_list.push_back(std::move(c));
+  }
+  return qn::NetworkModel::from_parts(std::move(stations),
+                                      std::move(chain_list));
+}
+
 }  // namespace
 
 const char* to_string(Family f) noexcept {
@@ -252,6 +303,7 @@ const char* to_string(Family f) noexcept {
     case Family::kMixed: return "mixed";
     case Family::kCyclic: return "cyclic";
     case Family::kWindim: return "windim";
+    case Family::kLargeCyclic: return "large-cyclic";
   }
   return "?";
 }
@@ -260,6 +312,8 @@ std::optional<Family> family_from_string(const std::string& token) {
   for (Family f : all_families()) {
     if (token == to_string(f)) return f;
   }
+  // Opt-in only (excluded from all_families(); see gen.h).
+  if (token == to_string(Family::kLargeCyclic)) return Family::kLargeCyclic;
   return std::nullopt;
 }
 
@@ -299,6 +353,9 @@ Instance generate(Family family, std::uint64_t seed,
       break;
     case Family::kWindim:
       inst = gen_windim(rng, options);
+      break;
+    case Family::kLargeCyclic:
+      inst.model = gen_large_cyclic(rng, options);
       break;
   }
   inst.family = family;

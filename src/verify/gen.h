@@ -24,6 +24,14 @@
 //   windim           window flow-control problems: random topology +
 //                    traffic through core::WindowProblem, windows as
 //                    chain populations (the thesis's actual workload)
+//   large-cyclic     continental-scale ring backbones: a fixed station
+//                    set shared by GenOptions::large_chains (1k-100k)
+//                    closed chains routed around it, service times
+//                    scaled 1/R so utilization stays moderate at any
+//                    chain count.  NOT in all_families(): brute-force
+//                    oracles cannot touch it; it exists for the SoA
+//                    sweep kernels, the scale benches and the Norton
+//                    spot checks, and is requested by name.
 #pragma once
 
 #include <cstdint>
@@ -46,13 +54,17 @@ enum class Family {
   kMixed,
   kCyclic,
   kWindim,
+  kLargeCyclic,
 };
 
 [[nodiscard]] const char* to_string(Family f) noexcept;
 /// Parses a family token ("fcfs-closed", "disciplines", ...).
 [[nodiscard]] std::optional<Family> family_from_string(
     const std::string& token);
-/// Every family, in a fixed canonical order ("--family=all").
+/// Every family, in a fixed canonical order ("--family=all").  The
+/// large-cyclic family is deliberately absent — its instances are far
+/// beyond the brute-force oracles' reach — and must be named
+/// explicitly (family_from_string still parses "large-cyclic").
 [[nodiscard]] const std::vector<Family>& all_families();
 
 /// One generated (or shrunk, or corpus-loaded) test instance.
@@ -77,6 +89,9 @@ struct GenOptions {
   int max_stations = 6;
   int max_chains = 4;
   int max_population = 4;
+  /// Chain count for the large-cyclic family only (1k/10k/100k scale
+  /// fixtures); the small-model bounds above do not apply to it.
+  int large_chains = 1000;
 };
 
 /// Deterministically generates instance `seed` of `family`.  The

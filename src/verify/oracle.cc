@@ -267,9 +267,18 @@ void run_envelope(const EnvelopePair& pair, const Reference& ref,
   const solver::Solver* solver =
       solver::SolverRegistry::instance().find(pair.solver);
   if (solver == nullptr || !solver_enabled(opt, solver)) return;
+  // The heuristic envelope follows the registry's shape-based routing
+  // unless the run pins solvers explicitly (--solver=heuristic-mva):
+  // production dispatch sends delay-dominated single-chain models to
+  // the exact recursion, and the oracle should hold the code path users
+  // actually get — not a configuration nobody runs — to its envelope.
+  if (opt.solvers.empty() &&
+      std::string_view(pair.solver) == "heuristic-mva") {
+    solver = &solver::SolverRegistry::instance().route(ref.compiled);
+  }
   obs::SpanTracer::Scope span(&obs::SpanTracer::global(), "oracle-check");
   span.arg("oracle", pair.oracle);
-  span.arg("solver", pair.solver);
+  span.arg("solver", solver->name());
   Comparison check(report, pair.oracle, 0.0, 0.0);
   solver::Solution sol;
   try {

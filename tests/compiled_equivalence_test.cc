@@ -33,6 +33,7 @@
 #include "qn/compiled_model.h"
 #include "solver/registry.h"
 #include "solver/workspace.h"
+#include "util/thread_pool.h"
 #include "verify/corpus.h"
 #include "verify/gen.h"
 
@@ -232,6 +233,107 @@ TEST(CompiledEquivalence, CommittedCorpusInstancesMatchLegacySolvers) {
   for (const std::string& path : files) {
     const verify::CorpusEntry entry = verify::load_corpus_file(path);
     check_instance(entry.instance, ws);
+  }
+}
+
+/// Continental-scale fixtures: only the MVA sweep solvers run (the
+/// exact lattice solvers are hopeless at 1k+ chains), compared
+/// bit-for-bit against the legacy scalar sweep — the guarantee that the
+/// SoA/hoisted kernel restructuring changed the memory layout and the
+/// asymptotics, not one bit of the arithmetic.
+void check_large_cyclic(int chains, std::uint64_t seed) {
+  verify::GenOptions opt;
+  opt.large_chains = chains;
+  const verify::Instance inst =
+      verify::generate(verify::Family::kLargeCyclic, seed, opt);
+  const std::string id = inst.name + "-" + std::to_string(chains);
+  const qn::NetworkModel& m = inst.model;
+  const qn::CompiledModel compiled = qn::CompiledModel::compile(m);
+  ASSERT_EQ(compiled.num_chains(), chains);
+  const std::vector<int> population(compiled.base_populations().begin(),
+                                    compiled.base_populations().end());
+  solver::Workspace ws;
+  for (const mva::SigmaPolicy policy :
+       {mva::SigmaPolicy::kChanSingleChain,
+        mva::SigmaPolicy::kSchweitzerBard}) {
+    const char* name = policy == mva::SigmaPolicy::kChanSingleChain
+                           ? "heuristic-mva"
+                           : "schweitzer-mva";
+    compare(
+        name, compiled, population, ws, id,
+        [&] {
+          mva::ApproxMvaOptions options;
+          options.sigma = policy;
+          return mva::solve_approx_mva(m, options);
+        },
+        [&](const solver::Solution& s, const mva::MvaSolution& r) {
+          EXPECT_TRUE(s.converged) << name << " on " << id;
+          EXPECT_EQ(s.iterations, r.iterations) << name << " on " << id;
+          EXPECT_EQ(s.converged, r.converged) << name << " on " << id;
+          // Bit-for-bit, not near: operation order is part of the
+          // kernel's contract with the legacy sweep.
+          ASSERT_EQ(s.chain_throughput.size(), r.chain_throughput.size());
+          for (std::size_t i = 0; i < r.chain_throughput.size(); ++i) {
+            ASSERT_EQ(s.chain_throughput[i], r.chain_throughput[i])
+                << name << " throughput[" << i << "] on " << id;
+          }
+          ASSERT_EQ(s.mean_queue.size(), r.mean_queue.size());
+          for (std::size_t i = 0; i < r.mean_queue.size(); ++i) {
+            ASSERT_EQ(s.mean_queue[i], r.mean_queue[i])
+                << name << " queue[" << i << "] on " << id;
+          }
+        });
+  }
+}
+
+TEST(CompiledEquivalence, LargeCyclic1kMatchesLegacySweepBitForBit) {
+  check_large_cyclic(1000, 1);
+}
+
+TEST(CompiledEquivalence, LargeCyclic10kMatchesLegacySweepBitForBit) {
+  check_large_cyclic(10000, 1);
+}
+
+TEST(CompiledEquivalence, ChainBlockPoolSweepIsBitIdenticalToSerial) {
+  // Serial-replay determinism of the parallel STEP 2 dispatch: any pool
+  // size must give EXACTLY the serial results (same blocks, same
+  // per-chain arithmetic, disjoint writes).
+  verify::GenOptions opt;
+  opt.large_chains = 1000;
+  const verify::Instance inst =
+      verify::generate(verify::Family::kLargeCyclic, 7, opt);
+  const qn::CompiledModel compiled = qn::CompiledModel::compile(inst.model);
+  const std::vector<int> population(compiled.base_populations().begin(),
+                                    compiled.base_populations().end());
+  const solver::Solver& s =
+      solver::SolverRegistry::instance().require("heuristic-mva");
+
+  solver::Workspace serial_ws;
+  const solver::Solution serial = s.solve(compiled, population, serial_ws);
+
+  for (const std::size_t threads : {2u, 5u}) {
+    util::ThreadPool pool(threads);
+    solver::Workspace pool_ws;
+    pool_ws.hints.pool = &pool;
+    const solver::Solution parallel = s.solve(compiled, population, pool_ws);
+    EXPECT_EQ(parallel.iterations, serial.iterations) << threads;
+    EXPECT_EQ(parallel.converged, serial.converged) << threads;
+    ASSERT_EQ(parallel.chain_throughput.size(),
+              serial.chain_throughput.size());
+    for (std::size_t i = 0; i < serial.chain_throughput.size(); ++i) {
+      ASSERT_EQ(parallel.chain_throughput[i], serial.chain_throughput[i])
+          << "throughput[" << i << "] with " << threads << " threads";
+    }
+    ASSERT_EQ(parallel.mean_queue.size(), serial.mean_queue.size());
+    for (std::size_t i = 0; i < serial.mean_queue.size(); ++i) {
+      ASSERT_EQ(parallel.mean_queue[i], serial.mean_queue[i])
+          << "queue[" << i << "] with " << threads << " threads";
+    }
+    ASSERT_EQ(parallel.sigma.size(), serial.sigma.size());
+    for (std::size_t i = 0; i < serial.sigma.size(); ++i) {
+      ASSERT_EQ(parallel.sigma[i], serial.sigma[i])
+          << "sigma[" << i << "] with " << threads << " threads";
+    }
   }
 }
 

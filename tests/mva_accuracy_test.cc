@@ -91,12 +91,15 @@ TEST_F(MvaAccuracy, SchweitzerBardStaysWithinRecordedEnvelope) {
 
 TEST_F(MvaAccuracy, KnownHeuristicWorstCaseDelayDominatedChain) {
   // Shrink-amplified worst case from the fuzz campaign (committed as
-  // tests/corpus/disciplines-187-heuristic-xfail.corpus): one chain of
+  // tests/corpus/disciplines-187-heuristic.corpus): one chain of
   // population 2 spending most of its cycle at IS stations.  The
   // thesis sigma policy mis-estimates sigma at the single queueing
   // station and lands ~49% high; Schweitzer-Bard and Linearizer stay
-  // tight.  If the heuristic is ever improved past the 0.40 bar below,
-  // retire this test together with the corpus xfail entry.
+  // tight.  This pins the RAW heuristic: the registry's shape-based
+  // routing (solver_registry_test.cc) dispatches this shape to exact
+  // single-chain MVA, which is why the corpus entry itself must pass.
+  // If the heuristic is ever improved past the 0.40 bar below, retire
+  // this test and revisit the routing threshold.
   qn::NetworkModel m;
   qn::Station is1, is2, q;
   is1.name = "q1";
@@ -120,7 +123,7 @@ TEST_F(MvaAccuracy, KnownHeuristicWorstCaseDelayDominatedChain) {
   const mva::MvaSolution exact = mva::solve_exact_multichain(m);
   const mva::MvaSolution chan = mva::solve_approx_mva(m);
   const double chan_err = max_rel_error(chan, exact);
-  EXPECT_GT(chan_err, 0.40) << "heuristic improved: retire the xfail";
+  EXPECT_GT(chan_err, 0.40) << "heuristic improved: revisit auto-routing";
   EXPECT_LT(chan_err, 0.60);
 
   mva::ApproxMvaOptions sb;

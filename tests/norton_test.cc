@@ -1,0 +1,180 @@
+// Flow-equivalent-server (Norton) aggregation tests: exactness on
+// single-chain product-form networks, validation errors, and the
+// large-cyclic spot check that motivates the pass (a collapsed ring is
+// a cheap oracle for per-chain marginals of continental fixtures).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "exact/norton.h"
+#include "qn/compiled_model.h"
+#include "qn/error.h"
+#include "qn/network.h"
+#include "solver/registry.h"
+#include "solver/solver.h"
+#include "solver/workspace.h"
+#include "verify/gen.h"
+
+namespace windim {
+namespace {
+
+qn::Station fcfs(const char* name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kFcfs;
+  return s;
+}
+
+qn::Station is(const char* name) {
+  qn::Station s;
+  s.name = name;
+  s.discipline = qn::Discipline::kInfiniteServer;
+  return s;
+}
+
+// Five-station single-chain closed network with mixed disciplines and
+// non-unit visit ratios — enough structure that an indexing mistake in
+// the aggregation cannot cancel out.
+qn::NetworkModel five_station_model(int population) {
+  qn::NetworkModel m;
+  m.add_station(fcfs("cpu"));
+  m.add_station(fcfs("disk-a"));
+  m.add_station(fcfs("disk-b"));
+  m.add_station(is("think"));
+  m.add_station(fcfs("net"));
+  qn::Chain c;
+  c.name = "jobs";
+  c.type = qn::ChainType::kClosed;
+  c.population = population;
+  c.visits = {{0, 1.0, 0.05},
+              {1, 0.6, 0.08},
+              {2, 0.4, 0.12},
+              {3, 1.0, 0.5},
+              {4, 2.0, 0.03}};
+  m.add_chain(std::move(c));
+  return m;
+}
+
+solver::Solution solve_with(const char* name, const qn::CompiledModel& model,
+                            const std::vector<int>& population,
+                            solver::Workspace& ws) {
+  return solver::SolverRegistry::instance().require(name).solve(
+      model, population, ws);
+}
+
+TEST(Norton, AggregationIsExactForSingleChainProductForm) {
+  const int population = 4;
+  const qn::NetworkModel full = five_station_model(population);
+  const qn::CompiledModel full_c = qn::CompiledModel::compile(full);
+  solver::Workspace full_ws;
+  const solver::Solution ref =
+      solve_with("convolution", full_c, {population}, full_ws);
+
+  // Collapse the two disks and the network link into one FES.
+  const std::array<int, 3> sub{1, 2, 4};
+  const exact::NortonResult norton = exact::norton_aggregate(full, sub);
+  ASSERT_EQ(norton.aggregated.num_stations(), 3);
+  ASSERT_EQ(norton.fes_station, 2);
+  ASSERT_EQ(norton.kept, (std::vector<int>{0, 3}));
+  ASSERT_EQ(norton.fes_rates.size(), static_cast<std::size_t>(population));
+
+  const qn::CompiledModel agg_c =
+      qn::CompiledModel::compile(norton.aggregated);
+  solver::Workspace agg_ws;
+  const solver::Solution agg =
+      solve_with("convolution", agg_c, {population}, agg_ws);
+
+  // Exact, not approximate: chain throughput and every kept station's
+  // queue length must reproduce the full model's.
+  ASSERT_EQ(agg.chain_throughput.size(), 1u);
+  EXPECT_NEAR(agg.chain_throughput[0], ref.chain_throughput[0],
+              1e-9 * ref.chain_throughput[0]);
+  for (std::size_t i = 0; i < norton.kept.size(); ++i) {
+    const double want = ref.queue_length(norton.kept[i], 0);
+    const double got = agg.queue_length(static_cast<int>(i), 0);
+    EXPECT_NEAR(got, want, 1e-9 * (1.0 + want))
+        << "kept station " << norton.kept[i];
+  }
+  // The FES holds exactly the subnetwork's aggregate population.
+  double sub_queue = 0.0;
+  for (int n : sub) sub_queue += ref.queue_length(n, 0);
+  EXPECT_NEAR(agg.queue_length(norton.fes_station, 0), sub_queue,
+              1e-9 * (1.0 + sub_queue));
+}
+
+TEST(Norton, FesRatesAreTheShortedSubnetworkThroughputs) {
+  const qn::NetworkModel full = five_station_model(3);
+  const exact::NortonResult norton = exact::norton_aggregate(
+      full, std::array<int, 2>{1, 2});
+  ASSERT_EQ(norton.fes_rates.size(), 3u);
+  // Throughput of a closed network is strictly increasing in
+  // population (finite demands, no saturation at these sizes).
+  EXPECT_GT(norton.fes_rates[0], 0.0);
+  EXPECT_GT(norton.fes_rates[1], norton.fes_rates[0]);
+  EXPECT_GT(norton.fes_rates[2], norton.fes_rates[1]);
+}
+
+TEST(Norton, LargeCyclicRingCollapsesToAnExactTwoStationModel) {
+  // The verify-suite use case: a single-chain large-cyclic instance
+  // (same generator as the continental fixtures, R = 1) has its whole
+  // 24-station ring folded into one FES, leaving ring-FES + think — a
+  // two-station model any exact solver handles instantly.
+  verify::GenOptions opt;
+  opt.large_chains = 1;
+  const verify::Instance inst =
+      verify::generate(verify::Family::kLargeCyclic, 11, opt);
+  ASSERT_EQ(inst.model.num_chains(), 1);
+  const int population = inst.model.chain(0).population;
+
+  std::vector<int> ring(24);
+  for (int n = 0; n < 24; ++n) ring[static_cast<std::size_t>(n)] = n;
+  const exact::NortonResult norton = exact::norton_aggregate(inst.model, ring);
+
+  const qn::CompiledModel full_c = qn::CompiledModel::compile(inst.model);
+  const qn::CompiledModel agg_c =
+      qn::CompiledModel::compile(norton.aggregated);
+  solver::Workspace full_ws;
+  solver::Workspace agg_ws;
+  const solver::Solution ref =
+      solve_with("convolution", full_c, {population}, full_ws);
+  const solver::Solution agg =
+      solve_with("convolution", agg_c, {population}, agg_ws);
+  EXPECT_NEAR(agg.chain_throughput[0], ref.chain_throughput[0],
+              1e-9 * ref.chain_throughput[0]);
+}
+
+TEST(Norton, RejectsInvalidInputs) {
+  const qn::NetworkModel single = five_station_model(2);
+
+  // Multichain models are out of scope (Norton is exact only for one
+  // chain; the multichain generalization is approximate).
+  qn::NetworkModel multi = five_station_model(2);
+  qn::Chain extra;
+  extra.name = "second";
+  extra.type = qn::ChainType::kClosed;
+  extra.population = 1;
+  extra.visits = {{0, 1.0, 0.05}};
+  multi.add_chain(std::move(extra));
+  EXPECT_THROW((void)exact::norton_aggregate(multi, std::array<int, 1>{0}),
+               qn::ModelError);
+
+  // Subnetwork must be a nonempty proper subset without duplicates,
+  // referencing known stations the chain actually visits.
+  EXPECT_THROW(
+      (void)exact::norton_aggregate(single, std::span<const int>{}),
+      qn::ModelError);
+  EXPECT_THROW((void)exact::norton_aggregate(
+                   single, std::array<int, 5>{0, 1, 2, 3, 4}),
+               qn::ModelError);
+  EXPECT_THROW(
+      (void)exact::norton_aggregate(single, std::array<int, 2>{1, 1}),
+      qn::ModelError);
+  EXPECT_THROW(
+      (void)exact::norton_aggregate(single, std::array<int, 1>{99}),
+      qn::ModelError);
+}
+
+}  // namespace
+}  // namespace windim

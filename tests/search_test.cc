@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <thread>
 
+#include "search/eval_cache.h"
 #include "search/exhaustive.h"
 #include "search/pattern_search.h"
 
@@ -140,6 +143,33 @@ TEST(PatternSearchTest, AmpleBudgetNeverReportsExhaustion) {
   const PatternSearchResult r = pattern_search(
       [](const Point& p) { return quadratic(p, {5, 5}); }, {0, 0});
   EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(EvalCacheTest, ShardCountDerivesFromHardwareAndStaysClamped) {
+  // Default: hardware_concurrency x 4, power of two, clamped [16, 256].
+  const EvalCache derived;
+  const std::size_t n = derived.num_shards();
+  EXPECT_GE(n, 16u);
+  EXPECT_LE(n, 256u);
+  EXPECT_EQ(n & (n - 1), 0u) << "shard count must be a power of two";
+  const std::size_t cores = std::thread::hardware_concurrency();
+  if (cores > 0) {
+    EXPECT_GE(n, std::min<std::size_t>(256, cores));  // >= 1 shard per core
+  }
+  // Explicit counts are honoured (rounded up to a power of two, clamped).
+  EXPECT_EQ(EvalCache(SIZE_MAX, 16).num_shards(), 16u);
+  EXPECT_EQ(EvalCache(SIZE_MAX, 17).num_shards(), 32u);
+  EXPECT_EQ(EvalCache(SIZE_MAX, 1).num_shards(), 16u);
+  EXPECT_EQ(EvalCache(SIZE_MAX, 100000).num_shards(), 256u);
+  // Statistics invariants hold with a nonstandard shard count.
+  EvalCache cache(SIZE_MAX, 64);
+  const auto r = cache.lookup_or_reserve({1, 2, 3});
+  EXPECT_EQ(r.outcome, EvalCache::Outcome::kReserved);
+  cache.insert({1, 2, 3}, 7.0);
+  const auto hit = cache.lookup_or_reserve({1, 2, 3});
+  EXPECT_EQ(hit.outcome, EvalCache::Outcome::kHit);
+  EXPECT_EQ(hit.value, 7.0);
+  EXPECT_EQ(cache.probes(), cache.hits() + cache.misses());
 }
 
 TEST(PatternSearchTest, SharedCacheCarriesValuesAcrossSearches) {

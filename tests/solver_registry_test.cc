@@ -5,6 +5,7 @@
 // scratch-model cache being keyed by compilation id (not address).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -51,7 +52,8 @@ TEST(SolverRegistry, ListsEveryCanonicalSolverName) {
   const std::vector<std::string> expected = {
       "convolution", "buzen",         "buzen-log",      "recal",
       "tree-convolution", "product-form", "exact-mva",  "heuristic-mva",
-      "schweitzer-mva",   "linearizer",   "bounds",     "semiclosed"};
+      "schweitzer-mva",   "linearizer",   "bounds",     "semiclosed",
+      "auto"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     const solver::Solver* s = solver::SolverRegistry::instance().find(name);
@@ -82,6 +84,93 @@ TEST(SolverRegistry, RequireOnUnknownNameListsAvailableSolvers) {
   }
 }
 
+/// The shrink-amplified heuristic worst case (see
+/// tests/corpus/disciplines-187-heuristic.corpus and
+/// mva_accuracy_test.cc): a delay-dominated single chain on which the
+/// thesis sigma policy lands ~49% high.
+qn::NetworkModel delay_dominated_model() {
+  qn::NetworkModel m;
+  qn::Station is1, is2;
+  is1.name = "q1";
+  is1.discipline = qn::Discipline::kInfiniteServer;
+  is2.name = "q2";
+  is2.discipline = qn::Discipline::kInfiniteServer;
+  m.add_station(std::move(is1));
+  m.add_station(std::move(is2));
+  m.add_station(fcfs("q3"));
+  qn::Chain c;
+  c.name = "c0";
+  c.type = qn::ChainType::kClosed;
+  c.population = 2;
+  c.visits = {{0, 1.0, 0.1}, {1, 1.0, 0.03}, {2, 1.0, 0.3}};
+  m.add_chain(std::move(c));
+  return m;
+}
+
+TEST(SolverRegistry, AutoRoutesDelayDominatedSingleChainToExactMva) {
+  const auto& reg = solver::SolverRegistry::instance();
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(delay_dominated_model());
+  // Shape check: 0.13 of a 0.43 s cycle at IS stations (~30%), above
+  // the 25% routing threshold.
+  EXPECT_EQ(&reg.route(compiled), reg.find("exact-mva"));
+
+  const solver::PopulationVector population = {2};
+  solver::Workspace ws;
+  const solver::Solution exact =
+      reg.require("exact-mva").solve(compiled, population, ws);
+  const double exact_lambda = exact.chain_throughput[0];
+  ASSERT_GT(exact_lambda, 0.0);
+
+  solver::Workspace auto_ws;
+  const solver::Solution routed =
+      reg.require("auto").solve(compiled, population, auto_ws);
+  EXPECT_TRUE(routed.converged);
+  EXPECT_NEAR(routed.chain_throughput[0], exact_lambda,
+              1e-9 * exact_lambda);
+}
+
+TEST(SolverRegistry, ExplicitHeuristicNameBypassesTheRouting) {
+  // --solver=heuristic-mva must keep the raw thesis iteration reachable
+  // (and therefore keep exhibiting its known ~49% worst-case error on
+  // the delay-dominated shape): the routing is a dispatch-time default,
+  // not a change to any solver.
+  const auto& reg = solver::SolverRegistry::instance();
+  const qn::CompiledModel compiled =
+      qn::CompiledModel::compile(delay_dominated_model());
+  const solver::PopulationVector population = {2};
+  solver::Workspace ws;
+  const double exact_lambda =
+      reg.require("exact-mva").solve(compiled, population, ws)
+          .chain_throughput[0];
+  solver::Workspace hws;
+  const solver::Solution heuristic =
+      reg.require("heuristic-mva").solve(compiled, population, hws);
+  ASSERT_TRUE(heuristic.converged);
+  const double err =
+      std::abs(heuristic.chain_throughput[0] - exact_lambda) / exact_lambda;
+  EXPECT_GT(err, 0.40) << "heuristic improved: revisit auto-routing";
+  EXPECT_LT(err, 0.60);
+}
+
+TEST(SolverRegistry, AutoKeepsTheHeuristicForMultichainAndLowDelayShapes) {
+  const auto& reg = solver::SolverRegistry::instance();
+  // Multichain: always the heuristic.
+  const qn::CompiledModel multi = qn::CompiledModel::compile(two_chain_model());
+  EXPECT_EQ(&reg.route(multi), reg.find("heuristic-mva"));
+  // Single chain but queueing-dominated (no IS time at all).
+  qn::NetworkModel m;
+  m.add_station(fcfs("q0"));
+  m.add_station(fcfs("q1"));
+  qn::Chain c;
+  c.type = qn::ChainType::kClosed;
+  c.population = 3;
+  c.visits = {{0, 1.0, 0.1}, {1, 1.0, 0.2}};
+  m.add_chain(std::move(c));
+  const qn::CompiledModel queueing = qn::CompiledModel::compile(m);
+  EXPECT_EQ(&reg.route(queueing), reg.find("heuristic-mva"));
+}
+
 TEST(SolverRegistry, WarmSolvesPerformZeroArenaAllocations) {
   const qn::CompiledModel compiled =
       qn::CompiledModel::compile(two_chain_model());
@@ -96,6 +185,20 @@ TEST(SolverRegistry, WarmSolvesPerformZeroArenaAllocations) {
     EXPECT_EQ(ws.heap_allocations(), warm)
         << name << " allocated on the warm path";
   }
+}
+
+TEST(SolverRegistry, OversizedScratchRequestsThrowTypedOverflowError) {
+  // A count whose byte size wraps std::size_t must surface as the typed
+  // error, not as a silently undersized lease (the large-N overflow
+  // class: 64-bit cell counts flowing into arena byte math).
+  solver::Workspace ws;
+  EXPECT_THROW((void)ws.doubles(SIZE_MAX / 4), qn::OverflowError);
+  EXPECT_THROW((void)ws.ints(SIZE_MAX / 2), qn::OverflowError);
+  // OverflowError is a ModelError: existing catch sites stay valid.
+  EXPECT_THROW((void)ws.doubles(SIZE_MAX / 4), qn::ModelError);
+  // The workspace stays usable after a rejected request.
+  const std::span<double> ok = ws.doubles(8);
+  EXPECT_EQ(ok.size(), 8u);
 }
 
 TEST(SolverRegistry, WarmStartHintReachesTheSameFixedPoint) {

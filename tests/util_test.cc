@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/checked_math.h"
 #include "util/math.h"
 #include "util/mixed_radix.h"
 #include "util/rng.h"
@@ -11,6 +12,29 @@
 
 namespace windim::util {
 namespace {
+
+// ---------------------------------------------------------------- checked math
+
+TEST(CheckedMath, MulDetectsOverflowAtTheBoundary) {
+  std::size_t out = 0;
+  EXPECT_FALSE(mul_overflows(0, SIZE_MAX, out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_FALSE(mul_overflows(1, SIZE_MAX, out));
+  EXPECT_EQ(out, SIZE_MAX);
+  EXPECT_FALSE(mul_overflows(SIZE_MAX / 2, 2, out));
+  EXPECT_EQ(out, SIZE_MAX - 1);
+  EXPECT_TRUE(mul_overflows(SIZE_MAX / 2 + 1, 2, out));
+  EXPECT_TRUE(mul_overflows(SIZE_MAX, 2, out));
+  EXPECT_TRUE(mul_overflows(std::size_t{1} << 32, std::size_t{1} << 32, out));
+}
+
+TEST(CheckedMath, AddDetectsOverflowAtTheBoundary) {
+  std::size_t out = 0;
+  EXPECT_FALSE(add_overflows(SIZE_MAX - 1, 1, out));
+  EXPECT_EQ(out, SIZE_MAX);
+  EXPECT_TRUE(add_overflows(SIZE_MAX, 1, out));
+  EXPECT_TRUE(add_overflows(SIZE_MAX / 2 + 1, SIZE_MAX / 2 + 1, out));
+}
 
 // ---------------------------------------------------------------- mixed radix
 
