@@ -10,6 +10,7 @@
 //                        [--reps=N]
 //   windim_cli sweep     <spec-file> [--loads=0.5,1,1.5,2] [--solver=NAME]
 //   windim_cli capacity  <spec-file> --budget=KBPS [--rule=sqrt|prop]
+//   windim_cli serve     --socket=PATH | --stdio [--threads=N]
 //   windim_cli solvers
 //
 // Solver names come from the solver registry (windim_cli solvers lists
@@ -17,6 +18,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "sim/msgnet_sim.h"
 #include "sim/replicate.h"
 #include "solver/registry.h"
@@ -47,7 +50,8 @@ int usage() {
       "  windim_cli dimension <spec> [--solver=NAME] [--max-window=N]\n"
       "                       [--objective=power|gpower=A|delaycap=T] "
       "[--csv]\n"
-      "                       [--threads=N] [--max-evals=N] [--cold-start]\n"
+      "                       [--threads=N] [--solver-threads=N]\n"
+      "                       [--max-evals=N] [--cold-start]\n"
       "                       [--metrics-out=FILE] [--trace-out=FILE]\n"
       "                       [--trace-spans-out=FILE] "
       "[--convergence-out=FILE]\n"
@@ -59,6 +63,9 @@ int usage() {
       "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--solver=NAME]\n"
       "                       [--threads=N]\n"
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
+      "  windim_cli serve     --socket=PATH | --stdio [--threads=N]\n"
+      "                       [--cache-size=N] [--max-request-bytes=N]\n"
+      "                       [--default-deadline-ms=MS]\n"
       "  windim_cli solvers\n"
       "  windim_cli fuzz      [--seeds=N] [--family=NAME,...] [--jobs=N]\n"
       "                       [--solver=NAME,...] [--time-budget=SECONDS]\n"
@@ -167,6 +174,14 @@ int cmd_dimension(const cli::NetworkSpec& spec,
     } else if (auto v = flag_value(arg, "threads")) {
       // 1 = serial; N > 1 = speculative parallel probes; 0 = hardware.
       options.threads = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "solver-threads")) {
+      // Chain-block-parallel MVA sweeps inside each evaluation;
+      // bit-identical to the serial sweep for any thread count.
+      options.solver_threads = std::stoi(*v);
+      if (options.solver_threads <= 0) {
+        std::fprintf(stderr, "error: --solver-threads must be >= 1\n");
+        return 2;
+      }
     } else if (auto v = flag_value(arg, "max-evals")) {
       options.max_evaluations =
           static_cast<std::size_t>(std::stoull(*v));
@@ -296,7 +311,7 @@ int cmd_evaluate(const cli::NetworkSpec& spec,
   const auto windows = parse_windows(args, spec.classes.size(), flags);
   if (!windows) return 2;
   std::string solver_name = "heuristic-mva";
-  int solver_threads = 0;
+  int solver_threads = 1;
   for (const std::string& arg : flags) {
     if (auto v = flag_value(arg, "solver")) {
       solver_name = *v;
@@ -304,8 +319,8 @@ int cmd_evaluate(const cli::NetworkSpec& spec,
       solver_name = *v;
     } else if (auto v = flag_value(arg, "solver-threads")) {
       solver_threads = std::stoi(*v);
-      if (solver_threads < 0) {
-        std::fprintf(stderr, "error: --solver-threads must be >= 0\n");
+      if (solver_threads <= 0) {
+        std::fprintf(stderr, "error: --solver-threads must be >= 1\n");
         return 2;
       }
     } else {
@@ -596,6 +611,57 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServeOptions options;
+  std::string socket_path;
+  bool stdio = false;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "socket")) {
+      socket_path = *v;
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (auto v = flag_value(arg, "threads")) {
+      options.threads = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "cache-size")) {
+      const int n = std::stoi(*v);
+      if (n <= 0) {
+        std::fprintf(stderr, "error: --cache-size must be >= 1\n");
+        return 2;
+      }
+      options.cache_capacity = static_cast<std::size_t>(n);
+    } else if (auto v = flag_value(arg, "max-request-bytes")) {
+      const long long n = std::stoll(*v);
+      if (n <= 0) {
+        std::fprintf(stderr, "error: --max-request-bytes must be >= 1\n");
+        return 2;
+      }
+      options.max_request_bytes = static_cast<std::size_t>(n);
+    } else if (auto v = flag_value(arg, "default-deadline-ms")) {
+      options.default_deadline_ms = std::stod(*v);
+      if (options.default_deadline_ms < 0.0) {
+        std::fprintf(stderr, "error: --default-deadline-ms must be >= 0\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (stdio == !socket_path.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs exactly one of --socket=PATH or "
+                 "--stdio\n");
+    return 2;
+  }
+  serve::Server server(options);
+  if (stdio) return server.serve_stream(std::cin, std::cout);
+  return server.serve_unix(socket_path, [&socket_path]() {
+    // Readiness line the smoke harness synchronizes on.
+    std::printf("listening %s\n", socket_path.c_str());
+    std::fflush(stdout);
+  });
+}
+
 int cmd_solvers() {
   util::TextTable table({"name", "kind", "chains", "queue lengths", "notes"});
   for (const solver::Solver* s : solver::SolverRegistry::instance().solvers()) {
@@ -626,6 +692,10 @@ int main(int argc, char** argv) {
       // fuzz takes no spec file: every instance is generated or
       // replayed from the corpus.
       return cmd_fuzz(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (command == "serve") {
+      // serve takes no spec file: models arrive inside requests.
+      return cmd_serve(std::vector<std::string>(argv + 2, argv + argc));
     }
     if (command == "solvers") return cmd_solvers();
     if (argc < 3) return usage();

@@ -87,6 +87,21 @@ std::vector<CheckSpec> perf_large_model_checks(double tolerance_pct) {
   };
 }
 
+std::vector<CheckSpec> perf_serve_checks(double tolerance_pct) {
+  // The daemon's own hard gate (>= 1000 req/s) folds into serve_pass;
+  // the committed baseline additionally pins that the cache keeps
+  // absorbing repeat topologies and that the well-formed stream stays
+  // error-free.  serve_requests_per_sec / serve_p99_us are recorded in
+  // the JSON for trend inspection but are machine-bound, so they carry
+  // no cross-machine check.
+  return {
+      {"serve_cache_hit_rate", Direction::kHigherIsBetter, tolerance_pct,
+       0.1},
+      {"serve_error_free", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"serve_pass", Direction::kHigherIsBetter, 0.0, 0.0},
+  };
+}
+
 std::vector<CheckSpec> wall_clock_checks(double tolerance_pct) {
   // Millisecond floors keep sub-millisecond phases from flagging on
   // scheduler jitter.  Same-machine comparisons only.

@@ -81,6 +81,14 @@ struct BaselineReport {
 [[nodiscard]] std::vector<CheckSpec> perf_large_model_checks(
     double tolerance_pct = 25.0);
 
+/// The scale-free default checks for bench_perf_serve --check: the
+/// cache hit rate (ratio metric under `tolerance_pct`, floored at 0.1)
+/// plus the exact serve_error_free and serve_pass gates — the absolute
+/// requests/second figure is machine-bound and gated by the benchmark
+/// itself (>= 1000 req/s), not by the committed baseline.
+[[nodiscard]] std::vector<CheckSpec> perf_serve_checks(
+    double tolerance_pct = 25.0);
+
 /// Same-machine wall-clock checks (opt-in): serial_cold_ms,
 /// pr1_baseline_ms, engine_ms, instrumented_ms.
 [[nodiscard]] std::vector<CheckSpec> wall_clock_checks(

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Scripted fault-injection session against a live `windim serve` daemon.
+
+Usage: serve_smoke.py PATH_TO_WINDIM_CLI
+
+Boots the daemon on a Unix-domain socket (with a small request-size cap
+so the oversized-payload path is reachable), then drives one client
+session through every reply class the protocol defines:
+
+  1. a well-formed evaluate        -> ok reply with the evaluation body;
+  2. non-JSON garbage              -> parse_error, null id, daemon alive;
+  3. an unknown op                 -> invalid_request with the id echoed;
+  4. an unknown solver             -> unknown_solver listing the registry;
+  5. an oversized request line     -> payload_too_large, never parsed;
+  6. an already-expired deadline   -> deadline_exceeded;
+  7. a stats probe                 -> ok reply carrying serve/cache
+                                      counters that match the session;
+  8. a SECOND concurrent connection evaluating successfully while the
+     first stays open (connections share one server);
+  9. SIGTERM                       -> graceful drain, exit code 0, the
+                                      socket unlinked.
+
+Exits nonzero (with a diagnostic on stderr) on the first violation.
+The serve-smoke CI job runs this under ASan+UBSan so every one of
+those paths is also leak- and UB-checked.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+SPEC = "node A\nnode B\nnode C\nchannel A B 50\nchannel B C 50\n" \
+       "class east rate 20 path A B C\nclass west rate 10 path C B\n"
+
+
+def fail(msg):
+    sys.stderr.write("serve_smoke: FAIL: %s\n" % msg)
+    sys.exit(1)
+
+
+def connect(path, deadline=10.0):
+    end = time.time() + deadline
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            sock.settimeout(30.0)
+            return sock
+        except OSError:
+            sock.close()
+            if time.time() > end:
+                fail("cannot connect to %s" % path)
+            time.sleep(0.05)
+
+
+def roundtrip(sock, rfile, request):
+    line = request if isinstance(request, str) else json.dumps(request)
+    sock.sendall(line.encode() + b"\n")
+    reply = rfile.readline()
+    if not reply:
+        fail("connection closed instead of replying to: %r" % line[:80])
+    try:
+        return json.loads(reply)
+    except ValueError:
+        fail("reply is not JSON: %r" % reply[:120])
+
+
+def expect_error(reply, code, what):
+    if reply.get("ok") is not False or reply.get("error", {}).get("code") != code:
+        fail("%s: wanted error %s, got %s" % (what, code, reply))
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_smoke.py PATH_TO_WINDIM_CLI")
+    cli = sys.argv[1]
+    sock_path = os.path.join(
+        tempfile.mkdtemp(prefix="windim-serve-"), "smoke.sock")
+    daemon = subprocess.Popen(
+        [cli, "serve", "--socket=%s" % sock_path, "--max-request-bytes=4096"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        ready = daemon.stdout.readline()
+        if "listening" not in ready:
+            fail("daemon did not announce the socket: %r" % ready)
+
+        sock = connect(sock_path)
+        rfile = sock.makefile("r")
+
+        # 1. Well-formed evaluate.
+        r = roundtrip(sock, rfile, {"op": "evaluate", "spec": SPEC,
+                                    "windows": [3, 2], "id": 1})
+        if r.get("ok") is not True or r.get("id") != 1:
+            fail("evaluate: %s" % r)
+        if "throughput" not in r.get("result", {}):
+            fail("evaluate reply carries no throughput: %s" % r)
+
+        # 2. Non-JSON garbage: typed parse_error, daemon stays alive.
+        expect_error(roundtrip(sock, rfile, "this is not json"),
+                     "parse_error", "garbage line")
+
+        # 3. Unknown op, id echoed back.
+        r = roundtrip(sock, rfile, {"op": "transmogrify", "id": 3})
+        expect_error(r, "invalid_request", "unknown op")
+        if r.get("id") != 3:
+            fail("unknown op lost the id echo: %s" % r)
+
+        # 4. Unknown solver names the registry.
+        r = roundtrip(sock, rfile, {"op": "evaluate", "spec": SPEC,
+                                    "windows": [1, 1], "solver": "nope",
+                                    "id": 4})
+        expect_error(r, "unknown_solver", "unknown solver")
+        if "available" not in r["error"]["message"]:
+            fail("unknown_solver does not list solvers: %s" % r)
+
+        # 5. Oversized line is refused unparsed (cap is 4096 bytes).
+        expect_error(
+            roundtrip(sock, rfile,
+                      '{"op":"evaluate","junk":"%s"}' % ("x" * 8192)),
+            "payload_too_large", "oversized line")
+
+        # 6. Already-expired deadline cancels cooperatively.
+        expect_error(roundtrip(sock, rfile,
+                               {"op": "evaluate", "spec": SPEC,
+                                "windows": [3, 2], "deadline_ms": 1e-6,
+                                "id": 6}),
+                     "deadline_exceeded", "expired deadline")
+
+        # 7. Stats reflect the session so far.
+        r = roundtrip(sock, rfile, {"op": "stats", "id": 7})
+        if r.get("ok") is not True:
+            fail("stats: %s" % r)
+        serve_stats = r["result"]["serve"]
+        if serve_stats["errors"] < 4:
+            fail("stats missed the injected faults: %s" % serve_stats)
+        if r["result"]["cache"]["entries"] < 1:
+            fail("stats shows an empty model cache: %s" % r["result"])
+
+        # 8. A second concurrent connection shares the server (and its
+        # warm cache) while the first stays open.
+        sock2 = connect(sock_path)
+        rfile2 = sock2.makefile("r")
+        r = roundtrip(sock2, rfile2, {"op": "evaluate", "spec": SPEC,
+                                      "windows": [3, 2], "id": 8})
+        if r.get("ok") is not True:
+            fail("second connection evaluate: %s" % r)
+        rfile2.close()
+        sock2.close()
+        rfile.close()
+        sock.close()
+
+        # 9. Graceful SIGTERM drain: exit 0, socket unlinked.
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            fail("daemon exited %d after SIGTERM" % code)
+        if os.path.exists(sock_path):
+            fail("socket not unlinked after drain")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    print("serve_smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -79,6 +79,11 @@ void JsonWriter::value(bool b) {
   out_.append(b ? "true" : "false");
 }
 
+void JsonWriter::value_null() {
+  comma_if_needed();
+  out_.append("null");
+}
+
 void JsonWriter::append_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {

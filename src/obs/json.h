@@ -28,6 +28,9 @@ class JsonWriter {
   void value(std::uint64_t v);
   void value(int v) { value(static_cast<std::int64_t>(v)); }
   void value(bool b);
+  /// A literal JSON null (value(double NaN) also degrades to null, but
+  /// this states the intent — e.g. the serve reply's absent request id).
+  void value_null();
 
   [[nodiscard]] std::string str() && { return std::move(out_); }
   [[nodiscard]] const std::string& str() const& { return out_; }

@@ -21,6 +21,7 @@ struct Evaluator {
   util::ThreadPool* pool;
   const PatternSearchOptions& options;
   bool exhausted = false;
+  bool cancelled = false;
   // on_probe bookkeeping: probe index and the deterministic revisit set
   // (touched only when the hook is installed, keeping the default path
   // free of per-probe allocations).
@@ -28,6 +29,13 @@ struct Evaluator {
   std::unordered_set<Point, PointHash> seen;
 
   std::optional<double> operator()(const Point& p) {
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      // Cancellation rides the exhaustion control flow: every caller
+      // already unwinds gracefully on a nullopt probe.
+      cancelled = true;
+      exhausted = true;
+      return std::nullopt;
+    }
     const EvalCache::Result r = cache.lookup_or_reserve(p);
     if (r.outcome == EvalCache::Outcome::kExhausted) {
       exhausted = true;
@@ -60,6 +68,9 @@ struct Evaluator {
   /// deterministic.
   void prefetch(const std::vector<Point>& candidates) {
     if (pool == nullptr || pool->num_threads() < 2) return;
+    // No speculation past an expired token: the serial replay is about
+    // to stop, so prefetched evaluations could only waste budget.
+    if (options.cancel != nullptr && options.cancel->expired()) return;
     std::vector<Point> fresh;
     for (const Point& p : candidates) {
       if (std::find(fresh.begin(), fresh.end(), p) != fresh.end()) continue;
@@ -199,7 +210,8 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   }
   const std::size_t evaluations_before = cache->evaluations();
   const std::size_t hits_before = cache->hits();
-  Evaluator eval{objective, *cache, options.pool, options, false, 0, {}};
+  Evaluator eval{objective, *cache, options.pool, options, false, false, 0,
+                 {}};
   const auto new_base = [&](const Point& p, double f) {
     if (options.on_new_base) options.on_new_base(p, f);
   };
@@ -208,10 +220,11 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   Point base = std::move(initial);
   const std::optional<double> f_initial = eval(base);
   if (!f_initial) {
-    // Budget did not even cover the initial point.
+    // Budget (or the cancel token) did not even cover the initial point.
     result.best = std::move(base);
     result.best_value = std::numeric_limits<double>::infinity();
-    result.budget_exhausted = true;
+    result.cancelled = eval.cancelled;
+    result.budget_exhausted = !eval.cancelled;
     return result;
   }
   double f_base = *f_initial;
@@ -281,7 +294,8 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   result.evaluations = cache->evaluations() - evaluations_before;
   result.cache_hits = cache->hits() - hits_before;
   result.step_reductions = reductions;
-  result.budget_exhausted = eval.exhausted;
+  result.cancelled = eval.cancelled;
+  result.budget_exhausted = eval.exhausted && !eval.cancelled;
   return result;
 }
 

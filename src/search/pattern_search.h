@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "search/eval_cache.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace windim::obs {
@@ -91,6 +92,13 @@ struct PatternSearchOptions {
   /// span count and order follow the deterministic trajectory, never
   /// worker scheduling.  Null skips all tracing.
   obs::SpanTracer* spans = nullptr;
+  /// Cooperative stop signal (util/cancel.h), polled before every
+  /// serial-replay probe.  Once expired, the search stops accepting
+  /// probes and returns its best point so far with
+  /// PatternSearchResult::cancelled set — the same graceful unwind as
+  /// budget exhaustion, so a deadline never loses the work already
+  /// done.  Null (the default) disables the polling entirely.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct PatternSearchResult {
@@ -104,6 +112,10 @@ struct PatternSearchResult {
   /// (never worse than the initial point).  If the budget did not even
   /// cover the initial evaluation, `best_value` is +infinity.
   bool budget_exhausted = false;
+  /// True when options.cancel expired mid-search; `best` is the best
+  /// point found before the stop (budget_exhausted stays false unless
+  /// the budget independently ran out first).
+  bool cancelled = false;
   /// Successive base points (including the initial one), for diagnostics
   /// and tests of the ridge-following behaviour.
   std::vector<std::pair<Point, double>> base_points;

@@ -1,0 +1,368 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace windim::serve {
+namespace {
+
+using obs::JsonValue;
+
+/// Field-set schema per op, used both to read and to reject unknowns.
+bool field_allowed(Op op, std::string_view key) {
+  if (key == "op" || key == "id") return true;
+  switch (op) {
+    case Op::kEvaluate:
+      return key == "spec" || key == "windows" || key == "solver" ||
+             key == "solver_threads" || key == "deadline_ms";
+    case Op::kDimension:
+      return key == "spec" || key == "solver" || key == "solver_threads" ||
+             key == "threads" || key == "max_window" || key == "objective" ||
+             key == "power_exponent" || key == "max_delay" ||
+             key == "max_evals" || key == "deadline_ms";
+    case Op::kFuzzReplay:
+      return key == "entry" || key == "no_ctmc" || key == "deadline_ms";
+    case Op::kStats:
+    case Op::kShutdown:
+      return false;  // envelope fields only
+  }
+  return false;
+}
+
+/// Reads an integer-valued JSON number; rejects fractions and values
+/// outside [lo, hi].
+std::optional<long long> read_int(const JsonValue& v, long long lo,
+                                  long long hi) {
+  if (!v.is_number()) return std::nullopt;
+  const double d = v.number;
+  if (!std::isfinite(d) || d != std::floor(d)) return std::nullopt;
+  if (d < static_cast<double>(lo) || d > static_cast<double>(hi)) {
+    return std::nullopt;
+  }
+  return static_cast<long long>(d);
+}
+
+RequestId read_id(const JsonValue& v) {
+  RequestId id;
+  if (v.kind == JsonValue::Kind::kNumber) {
+    id.kind = RequestId::Kind::kNumber;
+    id.number = v.number;
+  } else if (v.kind == JsonValue::Kind::kString) {
+    id.kind = RequestId::Kind::kString;
+    id.string = v.string;
+  }
+  return id;
+}
+
+ParseResult fail(ParseResult result, ErrorCode code, std::string message) {
+  result.request.reset();
+  result.code = code;
+  result.message = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInvalidRequest: return "invalid_request";
+    case ErrorCode::kInvalidSpec: return "invalid_spec";
+    case ErrorCode::kUnknownSolver: return "unknown_solver";
+    case ErrorCode::kOverflow: return "overflow";
+    case ErrorCode::kBudgetExhausted: return "budget_exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kPayloadTooLarge: return "payload_too_large";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kEvaluate: return "evaluate";
+    case Op::kDimension: return "dimension";
+    case Op::kFuzzReplay: return "fuzz-replay";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "stats";
+}
+
+std::optional<Op> op_from_string(std::string_view s) noexcept {
+  if (s == "evaluate") return Op::kEvaluate;
+  if (s == "dimension") return Op::kDimension;
+  if (s == "fuzz-replay") return Op::kFuzzReplay;
+  if (s == "stats") return Op::kStats;
+  if (s == "shutdown") return Op::kShutdown;
+  return std::nullopt;
+}
+
+ParseResult parse_request(std::string_view line) {
+  ParseResult result;
+  const std::optional<JsonValue> doc = obs::parse_json(line);
+  if (!doc.has_value()) {
+    return fail(std::move(result), ErrorCode::kParseError,
+                "request is not valid JSON");
+  }
+  if (!doc->is_object()) {
+    return fail(std::move(result), ErrorCode::kParseError,
+                "request must be a JSON object");
+  }
+  // Id first, so every later error can echo it.
+  if (const JsonValue* id = doc->find("id")) {
+    if (id->kind != JsonValue::Kind::kNumber &&
+        id->kind != JsonValue::Kind::kString) {
+      return fail(std::move(result), ErrorCode::kInvalidRequest,
+                  "field 'id' must be a number or a string");
+    }
+    result.id = read_id(*id);
+  }
+  const JsonValue* op_value = doc->find("op");
+  if (op_value == nullptr) {
+    return fail(std::move(result), ErrorCode::kParseError,
+                "missing required field 'op'");
+  }
+  if (op_value->kind != JsonValue::Kind::kString) {
+    return fail(std::move(result), ErrorCode::kParseError,
+                "field 'op' must be a string");
+  }
+  const std::optional<Op> op = op_from_string(op_value->string);
+  if (!op.has_value()) {
+    return fail(std::move(result), ErrorCode::kInvalidRequest,
+                "unknown op '" + op_value->string +
+                    "'; expected evaluate, dimension, fuzz-replay, stats "
+                    "or shutdown");
+  }
+
+  Request request;
+  request.op = *op;
+  request.id = result.id;
+
+  // Strict schema: reject any field the op does not define.  Duplicate
+  // keys are rejected too (find() returns the first; a duplicate would
+  // silently shadow otherwise).
+  for (std::size_t i = 0; i < doc->object.size(); ++i) {
+    const std::string& key = doc->object[i].first;
+    if (!field_allowed(*op, key)) {
+      return fail(std::move(result), ErrorCode::kInvalidRequest,
+                  "unknown field '" + key + "' for op '" +
+                      std::string(to_string(*op)) + "'");
+    }
+    for (std::size_t j = i + 1; j < doc->object.size(); ++j) {
+      if (doc->object[j].first == key) {
+        return fail(std::move(result), ErrorCode::kInvalidRequest,
+                    "duplicate field '" + key + "'");
+      }
+    }
+  }
+
+  const auto string_field = [&](const char* key, std::string& out,
+                                bool required) -> std::optional<ParseResult> {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr) {
+      if (required) {
+        return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                    ErrorCode::kInvalidRequest,
+                    std::string("missing required field '") + key + "'");
+      }
+      return std::nullopt;
+    }
+    if (v->kind != JsonValue::Kind::kString) {
+      return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                  ErrorCode::kInvalidRequest,
+                  std::string("field '") + key + "' must be a string");
+    }
+    out = v->string;
+    return std::nullopt;
+  };
+  const auto int_field = [&](const char* key, long long lo, long long hi,
+                             auto& out) -> std::optional<ParseResult> {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr) return std::nullopt;
+    const std::optional<long long> n = read_int(*v, lo, hi);
+    if (!n.has_value()) {
+      return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                  ErrorCode::kInvalidRequest,
+                  std::string("field '") + key + "' must be an integer in [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    out = static_cast<std::decay_t<decltype(out)>>(*n);
+    return std::nullopt;
+  };
+  const auto number_field = [&](const char* key, double lo,
+                                double& out) -> std::optional<ParseResult> {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr) return std::nullopt;
+    if (!v->is_number() || !std::isfinite(v->number) || v->number < lo) {
+      return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                  ErrorCode::kInvalidRequest,
+                  std::string("field '") + key +
+                      "' must be a finite number >= " + std::to_string(lo));
+    }
+    out = v->number;
+    return std::nullopt;
+  };
+
+  switch (*op) {
+    case Op::kEvaluate: {
+      if (auto err = string_field("spec", request.spec, true)) return *err;
+      const JsonValue* windows = doc->find("windows");
+      if (windows == nullptr || !windows->is_array() ||
+          windows->array.empty()) {
+        return fail(std::move(result), ErrorCode::kInvalidRequest,
+                    "field 'windows' must be a non-empty array of "
+                    "non-negative integers");
+      }
+      for (const JsonValue& w : windows->array) {
+        const std::optional<long long> n = read_int(w, 0, 1 << 20);
+        if (!n.has_value()) {
+          return fail(std::move(result), ErrorCode::kInvalidRequest,
+                      "field 'windows' must be a non-empty array of "
+                      "non-negative integers");
+        }
+        request.windows.push_back(static_cast<int>(*n));
+      }
+      if (auto err = string_field("solver", request.solver, false)) {
+        return *err;
+      }
+      if (auto err = int_field("solver_threads", 1, 4096,
+                               request.solver_threads)) {
+        return *err;
+      }
+      if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
+        return *err;
+      }
+      break;
+    }
+    case Op::kDimension: {
+      if (auto err = string_field("spec", request.spec, true)) return *err;
+      if (auto err = string_field("solver", request.solver, false)) {
+        return *err;
+      }
+      if (auto err = string_field("objective", request.objective, false)) {
+        return *err;
+      }
+      if (request.objective != "power" && request.objective != "gpower" &&
+          request.objective != "delaycap") {
+        return fail(std::move(result), ErrorCode::kInvalidRequest,
+                    "field 'objective' must be power, gpower or delaycap");
+      }
+      if (auto err = int_field("solver_threads", 1, 4096,
+                               request.solver_threads)) {
+        return *err;
+      }
+      if (auto err = int_field("threads", 1, 4096, request.threads)) {
+        return *err;
+      }
+      if (auto err = int_field("max_window", 1, 1 << 20,
+                               request.max_window)) {
+        return *err;
+      }
+      if (auto err = number_field("power_exponent", 0.0,
+                                  request.power_exponent)) {
+        return *err;
+      }
+      if (auto err = number_field("max_delay", 0.0, request.max_delay)) {
+        return *err;
+      }
+      long long max_evals = 0;
+      if (auto err = int_field("max_evals", 1,
+                               std::numeric_limits<long long>::max() / 2,
+                               max_evals)) {
+        return *err;
+      }
+      request.max_evals = static_cast<std::size_t>(max_evals);
+      if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
+        return *err;
+      }
+      break;
+    }
+    case Op::kFuzzReplay: {
+      if (auto err = string_field("entry", request.entry, true)) return *err;
+      const JsonValue* no_ctmc = doc->find("no_ctmc");
+      if (no_ctmc != nullptr) {
+        if (no_ctmc->kind != JsonValue::Kind::kBool) {
+          return fail(std::move(result), ErrorCode::kInvalidRequest,
+                      "field 'no_ctmc' must be a boolean");
+        }
+        request.no_ctmc = no_ctmc->boolean;
+      }
+      if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
+        return *err;
+      }
+      break;
+    }
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+
+  result.request = std::move(request);
+  return result;
+}
+
+void write_id(obs::JsonWriter& w, const RequestId& id) {
+  switch (id.kind) {
+    case RequestId::Kind::kNone:
+      w.value_null();
+      break;
+    case RequestId::Kind::kNumber:
+      w.value(id.number);
+      break;
+    case RequestId::Kind::kString:
+      w.value(std::string_view(id.string));
+      break;
+  }
+}
+
+void begin_reply(obs::JsonWriter& w, const RequestId& id, Op op) {
+  w.begin_object();
+  w.key("id");
+  write_id(w, id);
+  w.key("op");
+  w.value(to_string(op));
+}
+
+void begin_ok_result(obs::JsonWriter& w) {
+  w.key("ok");
+  w.value(true);
+  w.key("result");
+  w.begin_object();
+}
+
+std::string finish_reply(obs::JsonWriter&& w) {
+  w.end_object();  // result
+  w.end_object();  // envelope
+  return std::move(w).str();
+}
+
+std::string error_reply(const RequestId& id, std::optional<Op> op,
+                        ErrorCode code, std::string_view message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id");
+  write_id(w, id);
+  w.key("op");
+  if (op.has_value()) {
+    w.value(to_string(*op));
+  } else {
+    w.value_null();
+  }
+  w.key("ok");
+  w.value(false);
+  w.key("error");
+  w.begin_object();
+  w.key("code");
+  w.value(to_string(code));
+  w.key("message");
+  w.value(message);
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace windim::serve

@@ -1,0 +1,676 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli/spec.h"
+#include "obs/json.h"
+#include "qn/error.h"
+#include "solver/registry.h"
+#include "util/cancel.h"
+#include "verify/corpus.h"
+#include "verify/oracle.h"
+#include "windim/dimension.h"
+
+namespace windim::serve {
+namespace {
+
+/// Internal throw type carrying a protocol error code; execute() is the
+/// only frame that catches it.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Deadline token for one request: armed only when the request (or the
+/// server default) asks for one.
+struct RequestDeadline {
+  util::CancelToken token;
+  bool armed = false;
+
+  RequestDeadline(double request_ms, double default_ms) {
+    const double ms = request_ms > 0.0 ? request_ms : default_ms;
+    if (ms > 0.0) {
+      token.set_deadline_after(std::chrono::nanoseconds(
+          static_cast<std::int64_t>(ms * 1e6)));
+      armed = true;
+    }
+  }
+  [[nodiscard]] const util::CancelToken* get() const noexcept {
+    return armed ? &token : nullptr;
+  }
+};
+
+/// Same wording as SolverRegistry::require(): the reply names every
+/// available solver so a client can self-correct without a docs trip.
+std::string unknown_solver_message(const std::string& name) {
+  std::string message = "unknown solver '" + name + "'; available solvers:";
+  for (const std::string& known :
+       solver::SolverRegistry::instance().names()) {
+    message += " " + known;
+  }
+  return message;
+}
+
+void write_evaluation(obs::JsonWriter& w, const core::Evaluation& ev) {
+  w.key("windows");
+  w.begin_array();
+  for (const int e : ev.windows) w.value(e);
+  w.end_array();
+  w.key("throughput");
+  w.value(ev.throughput);
+  w.key("mean_delay");
+  w.value(ev.mean_delay);
+  w.key("power");
+  w.value(ev.power);
+  w.key("fairness");
+  w.value(ev.fairness);
+  w.key("class_throughput");
+  w.begin_array();
+  for (const double x : ev.class_throughput) w.value(x);
+  w.end_array();
+  w.key("class_delay");
+  w.begin_array();
+  for (const double x : ev.class_delay) w.value(x);
+  w.end_array();
+  w.key("iterations");
+  w.value(ev.iterations);
+  w.key("converged");
+  w.value(ev.converged);
+}
+
+void write_histogram(obs::JsonWriter& w, const obs::HistogramSnapshot& h) {
+  w.begin_object();
+  w.key("count");
+  w.value(h.count);
+  w.key("sum");
+  w.value(h.sum);
+  w.key("max_observed");
+  w.value(h.max_observed);
+  w.key("bounds");
+  w.begin_array();
+  for (const double b : h.bounds) w.value(b);
+  w.end_array();
+  w.key("counts");
+  w.begin_array();
+  for (const std::uint64_t c : h.counts) w.value(c);
+  w.end_array();
+  w.end_object();
+}
+
+/// SIGTERM/SIGINT latch for serve_unix (async-signal-safe flag).
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int) { g_stop_signal = 1; }
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(options),
+      pool_(util::resolve_thread_count(options.threads)),
+      cache_(options.cache_capacity) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (options_.enable_metrics) reg.set_enabled(true);
+  latency_evaluate_ = reg.histogram("windim.serve.latency_us.evaluate");
+  latency_dimension_ = reg.histogram("windim.serve.latency_us.dimension");
+  latency_fuzz_replay_ = reg.histogram("windim.serve.latency_us.fuzz_replay");
+  latency_stats_ = reg.histogram("windim.serve.latency_us.stats");
+}
+
+Server::Reply Server::handle_line(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (line.size() > options_.max_request_bytes) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    // Oversized lines are rejected *unparsed* (parsing attacker-sized
+    // input is exactly what the cap exists to avoid), so no id echo.
+    return {error_reply(RequestId{}, std::nullopt, ErrorCode::kPayloadTooLarge,
+                        "request line exceeds " +
+                            std::to_string(options_.max_request_bytes) +
+                            " bytes"),
+            false};
+  }
+  ParseResult parsed = parse_request(line);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return {error_reply(parsed.id, std::nullopt, parsed.code, parsed.message),
+            false};
+  }
+  const Request& request = *parsed.request;
+  op_counts_[static_cast<std::size_t>(request.op)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (shutting_down_.load(std::memory_order_acquire) &&
+      request.op != Op::kShutdown) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return {error_reply(request.id, request.op, ErrorCode::kShuttingDown,
+                        "server is draining"),
+            false};
+  }
+  return execute(request);
+}
+
+Server::Reply Server::execute(const Request& request) {
+  obs::Histogram* latency = nullptr;
+  switch (request.op) {
+    case Op::kEvaluate: latency = &latency_evaluate_; break;
+    case Op::kDimension: latency = &latency_dimension_; break;
+    case Op::kFuzzReplay: latency = &latency_fuzz_replay_; break;
+    case Op::kStats: latency = &latency_stats_; break;
+    case Op::kShutdown: break;
+  }
+
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  try {
+    std::string json;
+    bool shutdown = false;
+    {
+      std::optional<obs::ScopedTimerUs> timer;
+      if (latency != nullptr) timer.emplace(*latency);
+      switch (request.op) {
+        case Op::kEvaluate:
+          json = run_evaluate(request);
+          break;
+        case Op::kDimension:
+          json = run_dimension(request);
+          break;
+        case Op::kFuzzReplay:
+          json = run_fuzz_replay(request);
+          break;
+        case Op::kStats:
+          json = run_stats(request);
+          break;
+        case Op::kShutdown: {
+          shutting_down_.store(true, std::memory_order_release);
+          shutdown = true;
+          obs::JsonWriter w;
+          begin_reply(w, request.id, Op::kShutdown);
+          begin_ok_result(w);
+          w.key("draining");
+          w.value(true);
+          json = finish_reply(std::move(w));
+          break;
+        }
+      }
+    }
+    if (json.size() > options_.max_response_bytes) {
+      throw ServeError(ErrorCode::kPayloadTooLarge,
+                       "reply body exceeds " +
+                           std::to_string(options_.max_response_bytes) +
+                           " bytes");
+    }
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(json), shutdown};
+  } catch (const ServeError& e) {
+    code = e.code();
+    message = e.what();
+  } catch (const cli::SpecError& e) {
+    code = ErrorCode::kInvalidSpec;
+    message = std::string("spec: ") + e.what();
+  } catch (const util::CancelledError& e) {
+    code = ErrorCode::kDeadlineExceeded;
+    message = e.what();
+  } catch (const qn::OverflowError& e) {
+    code = ErrorCode::kOverflow;
+    message = e.what();
+  } catch (const qn::ModelError& e) {
+    code = ErrorCode::kInvalidSpec;
+    message = e.what();
+  } catch (const std::invalid_argument& e) {
+    code = ErrorCode::kInvalidRequest;
+    message = e.what();
+  } catch (const std::exception& e) {
+    code = ErrorCode::kInternal;
+    message = e.what();
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return {error_reply(request.id, request.op, code, message), false};
+}
+
+std::string Server::run_evaluate(const Request& request) {
+  const std::shared_ptr<const CachedModel> model =
+      cache_.lookup_or_compile(request.spec);
+  const std::string solver_name =
+      request.solver.empty() ? "heuristic-mva" : request.solver;
+  const solver::Solver* solver =
+      solver::SolverRegistry::instance().find(solver_name);
+  if (solver == nullptr) {
+    throw ServeError(ErrorCode::kUnknownSolver,
+                     unknown_solver_message(solver_name));
+  }
+  if (static_cast<int>(request.windows.size()) !=
+      model->problem.num_classes()) {
+    throw ServeError(
+        ErrorCode::kInvalidRequest,
+        "'windows' has " + std::to_string(request.windows.size()) +
+            " entries but the spec defines " +
+            std::to_string(model->problem.num_classes()) + " classes");
+  }
+
+  const RequestDeadline deadline(request.deadline_ms,
+                                 options_.default_deadline_ms);
+  std::unique_ptr<util::ThreadPool> solver_pool;
+  if (request.solver_threads > 1) {
+    solver_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(request.solver_threads));
+  }
+
+  auto ws = workspaces_.acquire();
+  // Caller-owned hints evaluate_with preserves across its reset.
+  ws->hints.pool = solver_pool.get();
+  ws->hints.cancel = deadline.get();
+  const core::Evaluation ev =
+      model->problem.evaluate_with(request.windows, *solver, *ws);
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kEvaluate);
+  begin_ok_result(w);
+  w.key("solver");
+  w.value(solver->name());
+  write_evaluation(w, ev);
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_dimension(const Request& request) {
+  const std::shared_ptr<const CachedModel> model =
+      cache_.lookup_or_compile(request.spec);
+  if (!request.solver.empty() &&
+      solver::SolverRegistry::instance().find(request.solver) == nullptr) {
+    throw ServeError(ErrorCode::kUnknownSolver,
+                     unknown_solver_message(request.solver));
+  }
+
+  const RequestDeadline deadline(request.deadline_ms,
+                                 options_.default_deadline_ms);
+  core::DimensionOptions opts;
+  opts.solver = request.solver;
+  opts.max_window = request.max_window;
+  opts.threads = request.threads;
+  opts.solver_threads = request.solver_threads;
+  opts.power_exponent = request.power_exponent;
+  opts.max_delay = request.max_delay;
+  if (request.max_evals > 0) opts.max_evaluations = request.max_evals;
+  opts.workspaces = &workspaces_;
+  opts.cancel = deadline.get();
+  if (request.objective == "power") {
+    opts.objective = core::DimensionObjective::kPower;
+  } else if (request.objective == "gpower") {
+    opts.objective = core::DimensionObjective::kGeneralizedPower;
+  } else {
+    opts.objective = core::DimensionObjective::kThroughputUnderDelayCap;
+    if (!(request.max_delay > 0.0)) {
+      throw ServeError(ErrorCode::kInvalidRequest,
+                       "objective 'delaycap' requires max_delay > 0");
+    }
+  }
+
+  const core::DimensionResult result =
+      core::dimension_windows(model->problem, opts);
+  if (result.budget_exhausted && result.base_points.empty()) {
+    throw ServeError(ErrorCode::kBudgetExhausted,
+                     "evaluation budget exhausted before the initial point "
+                     "completed");
+  }
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kDimension);
+  begin_ok_result(w);
+  w.key("optimal_windows");
+  w.begin_array();
+  for (const int e : result.optimal_windows) w.value(e);
+  w.end_array();
+  w.key("feasible");
+  w.value(result.feasible);
+  w.key("budget_exhausted");
+  w.value(result.budget_exhausted);
+  w.key("cancelled");
+  w.value(result.cancelled);
+  w.key("objective_evaluations");
+  w.value(static_cast<std::uint64_t>(result.objective_evaluations));
+  w.key("evaluation");
+  w.begin_object();
+  write_evaluation(w, result.evaluation);
+  w.end_object();
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_fuzz_replay(const Request& request) {
+  verify::CorpusEntry entry;
+  try {
+    entry = verify::parse_corpus_entry(request.entry);
+  } catch (const std::exception& e) {
+    throw ServeError(ErrorCode::kInvalidSpec,
+                     std::string("corpus entry: ") + e.what());
+  }
+  const RequestDeadline deadline(request.deadline_ms,
+                                 options_.default_deadline_ms);
+  if (deadline.armed && deadline.token.expired()) {
+    throw util::CancelledError("fuzz-replay: deadline expired before run");
+  }
+
+  verify::OracleOptions opts;
+  opts.with_ctmc = !request.no_ctmc;
+  const verify::OracleReport report = verify::run_oracles(entry.instance, opts);
+  const bool matches = entry.expect.empty() ? report.ok()
+                                            : report.failed(entry.expect);
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kFuzzReplay);
+  begin_ok_result(w);
+  w.key("ok");
+  w.value(report.ok());
+  w.key("expect");
+  w.value(entry.expect);
+  w.key("matches_expectation");
+  w.value(matches);
+  w.key("ran");
+  w.begin_array();
+  for (const std::string& name : report.ran) w.value(name);
+  w.end_array();
+  w.key("skipped");
+  w.begin_array();
+  for (const std::string& name : report.skipped) w.value(name);
+  w.end_array();
+  w.key("failures");
+  w.begin_array();
+  for (const verify::Disagreement& d : report.failures) {
+    w.begin_object();
+    w.key("oracle");
+    w.value(d.oracle);
+    w.key("detail");
+    w.value(d.detail);
+    w.key("magnitude");
+    w.value(d.magnitude);
+    w.end_object();
+  }
+  w.end_array();
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_stats(const Request& request) {
+  const ServeCounters c = counters();
+  const CacheStats cs = cache_.stats();
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kStats);
+  begin_ok_result(w);
+  w.key("serve");
+  w.begin_object();
+  w.key("requests");
+  w.value(c.requests);
+  w.key("ok");
+  w.value(c.ok);
+  w.key("errors");
+  w.value(c.errors);
+  w.key("by_op");
+  w.begin_object();
+  w.key("evaluate");
+  w.value(c.evaluate);
+  w.key("dimension");
+  w.value(c.dimension);
+  w.key("fuzz-replay");
+  w.value(c.fuzz_replay);
+  w.key("stats");
+  w.value(c.stats);
+  w.key("shutdown");
+  w.value(c.shutdown);
+  w.end_object();
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(pool_.num_threads()));
+  w.end_object();
+
+  w.key("cache");
+  w.begin_object();
+  w.key("hits");
+  w.value(cs.hits);
+  w.key("misses");
+  w.value(cs.misses);
+  w.key("evictions");
+  w.value(cs.evictions);
+  w.key("entries");
+  w.value(static_cast<std::uint64_t>(cs.entries));
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(cs.capacity));
+  w.end_object();
+
+  // The full PR 4/5 instrumentation view: engine counters/gauges plus
+  // the windim.serve.* per-request-class latency histograms, exactly as
+  // the registry merges them (sorted by name, deterministic layout).
+  w.key("metrics");
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : snap.gauges) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, hist] : snap.histograms) {
+    w.key(name);
+    write_histogram(w, hist);
+  }
+  w.end_object();
+  w.end_object();
+  return finish_reply(std::move(w));
+}
+
+ServeCounters Server::counters() const {
+  ServeCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.ok = ok_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.evaluate =
+      op_counts_[static_cast<std::size_t>(Op::kEvaluate)].load(
+          std::memory_order_relaxed);
+  c.dimension =
+      op_counts_[static_cast<std::size_t>(Op::kDimension)].load(
+          std::memory_order_relaxed);
+  c.fuzz_replay =
+      op_counts_[static_cast<std::size_t>(Op::kFuzzReplay)].load(
+          std::memory_order_relaxed);
+  c.stats = op_counts_[static_cast<std::size_t>(Op::kStats)].load(
+      std::memory_order_relaxed);
+  c.shutdown = op_counts_[static_cast<std::size_t>(Op::kShutdown)].load(
+      std::memory_order_relaxed);
+  return c;
+}
+
+bool Server::pump(const std::function<ReadResult(std::string&)>& next_line,
+                  const std::function<void(const std::string&)>& write_line) {
+  std::deque<std::future<Reply>> inflight;
+  bool stop_reading = false;
+  bool saw_shutdown = false;
+
+  const auto drain_front = [&] {
+    Reply reply = inflight.front().get();
+    inflight.pop_front();
+    write_line(reply.json);
+    if (reply.shutdown) {
+      // Stop accepting lines; everything already submitted still drains
+      // (those requests were concurrent with the shutdown).
+      stop_reading = true;
+      saw_shutdown = true;
+    }
+  };
+  // Completed replies flush eagerly (FIFO — only the front can be
+  // written), so a client waiting for an answer before sending its
+  // next request is never starved by a quiet intake.
+  const auto drain_ready = [&] {
+    while (!stop_reading && !inflight.empty() &&
+           inflight.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      drain_front();
+    }
+  };
+
+  std::string line;
+  while (!stop_reading) {
+    drain_ready();
+    if (stop_reading) break;
+    // Bounded pipelining: block on the oldest reply before reading
+    // ahead further than max_inflight.
+    while (!stop_reading &&
+           inflight.size() >= std::max<std::size_t>(1, options_.max_inflight)) {
+      drain_front();
+    }
+    if (stop_reading) break;
+    const ReadResult r = next_line(line);
+    if (r == ReadResult::kEof) break;
+    if (r == ReadResult::kIdle) continue;
+    auto task = std::make_shared<std::packaged_task<Reply()>>(
+        [this, captured = line]() { return handle_line(captured); });
+    inflight.push_back(task->get_future());
+    pool_.submit([task]() { (*task)(); });
+  }
+  while (!inflight.empty()) drain_front();
+  return saw_shutdown;
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  pump(
+      [&](std::string& line) {
+        return std::getline(in, line) ? ReadResult::kLine : ReadResult::kEof;
+      },
+      [&](const std::string& reply) {
+        out << reply << '\n';
+        out.flush();
+      });
+  return 0;
+}
+
+int Server::serve_unix(const std::string& path,
+                       const std::function<void()>& on_ready) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return 2;  // path does not fit AF_UNIX
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return 2;
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    return 2;
+  }
+
+  g_stop_signal = 0;
+  struct sigaction sa{};
+  sa.sa_handler = on_stop_signal;
+  struct sigaction old_term{};
+  struct sigaction old_int{};
+  ::sigaction(SIGTERM, &sa, &old_term);
+  ::sigaction(SIGINT, &sa, &old_int);
+
+  if (on_ready) on_ready();
+
+  std::vector<std::thread> connections;
+  while (g_stop_signal == 0 &&
+         !shutting_down_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Bounded reads: the 50 ms timeout both caps the tail latency of an
+    // eagerly-flushed reply (pump drains ready futures between polls)
+    // and lets a connection blocked on a quiet client notice the drain
+    // flag.
+    timeval tv{};
+    tv.tv_usec = 50 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    connections.emplace_back([this, fd]() {
+      std::string buffer;
+      std::size_t scan = 0;
+      pump(
+          [&](std::string& line) {
+            const std::size_t nl = buffer.find('\n', scan);
+            if (nl != std::string::npos) {
+              line.assign(buffer, 0, nl);
+              buffer.erase(0, nl + 1);
+              scan = 0;
+              return ReadResult::kLine;
+            }
+            scan = buffer.size();
+            char chunk[4096];
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n > 0) {
+              buffer.append(chunk, static_cast<std::size_t>(n));
+              return ReadResult::kIdle;  // re-scan on the next poll
+            }
+            if (n == 0) return ReadResult::kEof;  // peer closed
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+              if (g_stop_signal != 0 ||
+                  shutting_down_.load(std::memory_order_acquire)) {
+                // Drain: stop reading, flush in-flight.
+                return ReadResult::kEof;
+              }
+              return ReadResult::kIdle;
+            }
+            return ReadResult::kEof;
+          },
+          [&](const std::string& reply) { write_all(fd, reply + "\n"); });
+      ::close(fd);
+    });
+  }
+
+  // Graceful drain: stop accepting, let every connection flush its
+  // in-flight replies, then tear down.
+  shutting_down_.store(true, std::memory_order_release);
+  ::close(listen_fd);
+  for (std::thread& t : connections) t.join();
+  ::unlink(path.c_str());
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  return 0;
+}
+
+}  // namespace windim::serve

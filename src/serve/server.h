@@ -1,0 +1,159 @@
+// The `windim serve` daemon: a long-lived request-batching front end
+// over the compile-once/solve-many engine.
+//
+// One Server owns the LRU model cache, the worker pool, and a shared
+// WorkspacePool; concurrent requests batch onto the pool with
+// per-request workspace leases, so the warm-path allocation guarantees
+// of the engine survive intact under a mixed request stream.
+//
+// Transport is pluggable around one thread-safe entry point,
+// handle_line(): serve_stream() speaks NDJSON over any istream/ostream
+// pair (the --stdio mode the conformance and concurrency tests drive),
+// serve_unix() accepts connections on a Unix-domain socket with a
+// graceful SIGTERM drain.  Both preserve REQUEST ORDER per connection
+// while letting requests execute concurrently: a bounded deque of
+// futures pipelines up to ServeOptions::max_inflight lines and replies
+// are written strictly FIFO.
+//
+// Robustness contract (the fault-injection suite pins all of it):
+//   - no request, however malformed, kills the process — every failure
+//     maps to a typed error reply (serve/protocol.h);
+//   - request lines and reply bodies are size-capped;
+//   - per-request deadlines cancel cooperatively (util/cancel.h):
+//     mid-solve expiry unwinds via util::CancelledError into a
+//     deadline_exceeded reply;
+//   - after shutdown is accepted, in-flight requests drain and every
+//     later request is answered with shutting_down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "solver/workspace.h"
+#include "util/thread_pool.h"
+
+namespace windim::serve {
+
+struct ServeOptions {
+  /// Worker threads executing requests; 0 or negative = hardware
+  /// concurrency.
+  int threads = 0;
+  /// Compiled-model LRU capacity (entries).
+  std::size_t cache_capacity = 64;
+  /// A request line longer than this is answered with
+  /// payload_too_large and never parsed.
+  std::size_t max_request_bytes = 1u << 20;   // 1 MiB
+  /// A reply body larger than this is replaced by payload_too_large.
+  std::size_t max_response_bytes = 8u << 20;  // 8 MiB
+  /// Deadline applied to requests that do not carry their own
+  /// deadline_ms; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Per-connection pipelining depth: lines read ahead of the oldest
+  /// unwritten reply.
+  std::size_t max_inflight = 64;
+  /// Turn the global obs::MetricsRegistry on so the windim.serve.*
+  /// latency histograms (and the engine's PR 4/5 instrumentation)
+  /// accumulate and surface through the `stats` op.
+  bool enable_metrics = true;
+};
+
+/// Aggregate request counters (always on, independent of the metrics
+/// registry switch).
+struct ServeCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t evaluate = 0;
+  std::uint64_t dimension = 0;
+  std::uint64_t fuzz_replay = 0;
+  std::uint64_t stats = 0;
+  std::uint64_t shutdown = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+
+  struct Reply {
+    std::string json;       // one reply line, no trailing newline
+    bool shutdown = false;  // this request asked the server to drain
+  };
+
+  /// Executes one request line end to end and renders the reply.
+  /// Thread-safe; never throws.  A well-formed evaluate / dimension /
+  /// fuzz-replay reply is a pure function of the line (no wall-clock
+  /// content), which is what the byte-identity suites pin.
+  [[nodiscard]] Reply handle_line(const std::string& line);
+
+  /// NDJSON loop over a stream pair: reads lines from `in`, writes one
+  /// reply line per request to `out` in request order, pipelining up to
+  /// max_inflight requests onto the worker pool.  Returns 0 on a clean
+  /// drain (EOF or shutdown op), and stops reading — but drains what is
+  /// in flight — when a shutdown reply reaches the front of the queue.
+  int serve_stream(std::istream& in, std::ostream& out);
+
+  /// Unix-domain-socket accept loop at `path` (unlinked+rebound on
+  /// start).  Each connection runs the serve_stream discipline on its
+  /// own thread.  Returns 0 after a graceful drain triggered by either
+  /// a shutdown op or SIGTERM/SIGINT; non-zero only for socket setup
+  /// failures.  `on_ready`, when set, runs once the socket is
+  /// listening (the smoke harness synchronizes on it).
+  int serve_unix(const std::string& path,
+                 const std::function<void()>& on_ready = nullptr);
+
+  [[nodiscard]] ServeCounters counters() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] bool shutting_down() const noexcept {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// What one intake poll produced.  kIdle lets a transport with a
+  /// bounded read (the Unix socket) hand control back so finished
+  /// replies flush while the client is quiet — a blocking transport
+  /// (serve_stream) simply never returns it.
+  enum class ReadResult { kLine, kIdle, kEof };
+
+  /// The generic bounded-pipelining pump behind serve_stream/serve_unix:
+  /// `next_line` yields the next request line, `write_line` emits one
+  /// reply line.  Completed replies are written (strictly FIFO) as soon
+  /// as they are ready, not only when the pipeline fills or the input
+  /// ends.  Returns true when the loop ended because of a shutdown op
+  /// (vs. plain EOF).
+  bool pump(const std::function<ReadResult(std::string&)>& next_line,
+            const std::function<void(const std::string&)>& write_line);
+
+  [[nodiscard]] Reply execute(const Request& request);
+  [[nodiscard]] std::string run_evaluate(const Request& request);
+  [[nodiscard]] std::string run_dimension(const Request& request);
+  [[nodiscard]] std::string run_fuzz_replay(const Request& request);
+  [[nodiscard]] std::string run_stats(const Request& request);
+
+  ServeOptions options_;
+  util::ThreadPool pool_;
+  ModelCache cache_;
+  solver::WorkspacePool workspaces_;
+  std::atomic<bool> shutting_down_{false};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> op_counts_[5] = {};  // indexed by Op
+
+  obs::Histogram latency_evaluate_;
+  obs::Histogram latency_dimension_;
+  obs::Histogram latency_fuzz_replay_;
+  obs::Histogram latency_stats_;
+};
+
+}  // namespace windim::serve

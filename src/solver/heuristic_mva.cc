@@ -250,7 +250,18 @@ Solution HeuristicMvaSolver::solve(const qn::CompiledModel& model,
     recorder->begin_solve(name(), num_chains, warm_start != nullptr);
   }
   bool force_sigma = false;
+  const util::CancelToken* cancel = ws.hints.cancel;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    // Cooperative deadline/cancellation checkpoint: once per sweep, so
+    // a continental-scale solve unwinds within one sweep of an expired
+    // token.  Aborting never touches the sweep arithmetic — the kernel
+    // stays bit-for-bit against mva::solve_approx_mva when it runs.
+    if (cancel != nullptr && cancel->expired()) {
+      if (recorder != nullptr) recorder->end_solve(iteration - 1, false);
+      throw util::CancelledError(
+          "heuristic-mva: solve cancelled after " +
+          std::to_string(iteration - 1) + " sweeps");
+    }
     const bool refresh_sigma =
         !lazy_sigma || force_sigma ||
         sigma_drift() > options.sigma_refresh_threshold;

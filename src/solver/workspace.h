@@ -36,6 +36,7 @@
 
 #include "qn/compiled_model.h"
 #include "qn/network.h"
+#include "util/cancel.h"
 
 namespace windim::mva {
 struct ApproxMvaOptions;  // mva/approx.h
@@ -78,6 +79,13 @@ struct SolveHints {
   /// for any pool size (serial-replay determinism).  The pool is
   /// borrowed, not owned, and must outlive the solve.
   util::ThreadPool* pool = nullptr;
+  /// Cooperative stop signal (util/cancel.h).  Iterative solvers poll
+  /// it once per sweep and throw util::CancelledError when it has
+  /// expired — a mid-solve abort has no partial Solution worth
+  /// returning.  Borrowed, must outlive the solve; null disables the
+  /// polling.  Like `pool`, this is a caller-owned hint: the
+  /// evaluation engine preserves it across its per-solve hint resets.
+  const util::CancelToken* cancel = nullptr;
 };
 
 class Workspace {

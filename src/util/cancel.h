@@ -1,0 +1,70 @@
+// Cooperative cancellation with an optional deadline.
+//
+// A CancelToken is the one-way stop signal the serving layer hands to
+// long-running engine calls: the owner arms it (cancel(), or a wall
+// deadline via set_deadline_after), workers poll expired() at natural
+// checkpoints — between pattern-search probes, between MVA sweeps — and
+// unwind.  Polling is a relaxed atomic load plus, only when a deadline
+// is armed, one steady_clock read; an unarmed token costs one load.
+//
+// Two unwind styles coexist:
+//   - search::pattern_search treats an expired token like budget
+//     exhaustion and RETURNS its best point so far (cancelled flag set);
+//   - solvers deep inside a single solve (heuristic-MVA sweeps) have no
+//     partial result worth returning and THROW CancelledError, which
+//     the serve layer maps to a deadline_exceeded reply.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace windim::util {
+
+/// Thrown by solvers that abandon a solve on an expired CancelToken.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the token immediately; expired() is true from now on.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline `after` from now (steady clock).
+  /// Non-positive durations cancel immediately.
+  void set_deadline_after(std::chrono::nanoseconds after) noexcept {
+    if (after <= std::chrono::nanoseconds::zero()) {
+      cancel();
+      return;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + after;
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or an armed deadline has passed.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock epoch nanoseconds; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace windim::util

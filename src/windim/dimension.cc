@@ -279,6 +279,18 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   const std::size_t pool_size =
       options.threads == 1 ? 1 : util::resolve_thread_count(options.threads);
   if (pool_size > 1) pool = std::make_unique<util::ThreadPool>(pool_size);
+  // Separate pool for the chain-block sweeps inside each solve
+  // (SolveHints::pool): shared across every evaluation of the run —
+  // ThreadPool is thread-safe, so concurrent speculative probes may
+  // batch onto it — and bit-identical to serial sweeps by construction.
+  std::unique_ptr<util::ThreadPool> solver_pool;
+  const std::size_t solver_pool_size =
+      options.solver_threads == 1
+          ? 1
+          : util::resolve_thread_count(options.solver_threads);
+  if (solver_pool_size > 1) {
+    solver_pool = std::make_unique<util::ThreadPool>(solver_pool_size);
+  }
 
   const bool warm =
       options.warm_start && solver.traits().supports_warm_start;
@@ -292,6 +304,9 @@ DimensionResult dimension_windows(const WindowProblem& problem,
     if (warm) seed = store.nearest_anchor(e);
     mva::MvaWarmStart state;
     auto ws = workspaces.acquire();
+    // Caller-owned hints evaluate_with preserves across its reset.
+    ws->hints.pool = solver_pool.get();
+    ws->hints.cancel = options.cancel;
     // One recorder per evaluation (recorders are single-solve,
     // single-thread); the finished record parks in the store until the
     // serial replay reaches this point and logs it in replay order.
@@ -319,6 +334,7 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   ps.cache = &cache;
   ps.pool = pool.get();
   ps.spans = options.spans;
+  ps.cancel = options.cancel;
   if (warm) {
     ps.on_new_base = [&](const search::Point& p, double) {
       store.add_anchor(p);
@@ -380,6 +396,7 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   DimensionResult result;
   result.feasible = std::isfinite(ps_result.best_value);
   result.budget_exhausted = ps_result.budget_exhausted;
+  result.cancelled = ps_result.cancelled;
   result.optimal_windows = ps_result.best;
   // The best point was already evaluated inside the objective; reuse it
   // rather than re-running the evaluator.  (The store can only miss when

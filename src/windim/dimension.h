@@ -65,6 +65,15 @@ struct DimensionOptions {
   /// memo); only the evaluation/cache-hit counts may differ, because
   /// speculative probes that the serial order never needs still run.
   int threads = 1;
+  /// Worker threads for the chain-block-parallel MVA sweeps INSIDE each
+  /// evaluation (SolveHints::pool): 1 keeps every sweep serial, N > 1
+  /// shares one pool of N workers across the run's solves, 0 or a
+  /// negative value resolves to the hardware concurrency.  The sweep
+  /// partitioning is bit-identical to the serial sweep for any pool
+  /// size, so this is purely a wall-clock knob for continental-scale
+  /// models; it composes with `threads` (speculative probes), though
+  /// running both > 1 oversubscribes small machines.
+  int solver_threads = 1;
   /// Seed each heuristic-MVA evaluation from the converged state of the
   /// nearest already-accepted base point (fewer fixed-point iterations
   /// for the neighboring probes pattern search generates).  Base points
@@ -101,6 +110,14 @@ struct DimensionOptions {
   /// "replay" track, keeping the trace byte-identical across thread
   /// counts once timestamps are normalized.  Null skips all tracing.
   obs::SpanTracer* spans = nullptr;
+  /// Cooperative deadline/cancellation token (util/cancel.h), polled
+  /// before every serial-replay probe and once per MVA sweep.  On
+  /// expiry the search returns its best point so far with
+  /// DimensionResult::cancelled set (same graceful unwind as budget
+  /// exhaustion); a token that expires mid-solve aborts that solve via
+  /// util::CancelledError, which propagates to the caller.  Null (the
+  /// default) disables all polling.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct DimensionResult {
@@ -114,6 +131,9 @@ struct DimensionResult {
   /// finished; `optimal_windows` is then the best point found so far
   /// rather than a converged optimum.
   bool budget_exhausted = false;
+  /// True when DimensionOptions::cancel expired mid-search;
+  /// `optimal_windows` is the best point found before the stop.
+  bool cancelled = false;
   std::size_t objective_evaluations = 0;
   std::size_t cache_hits = 0;
   /// Base-point trajectory of the pattern search (diagnostics).

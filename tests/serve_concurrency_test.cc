@@ -1,0 +1,179 @@
+// Concurrency suite for `windim serve`: N client threads hammer one
+// Server and every reply must be BYTE-IDENTICAL to the answer a fresh
+// single-threaded server gives for the same request line — the
+// determinism contract (replies carry no wall-clock values, the engine
+// is serial-replay deterministic) made observable.  Also pins the cache
+// accounting identity hits + misses == compile lookups and the
+// per-connection reply ordering of the pipelined stream loop.
+//
+// Runs under TSan in CI (the tsan job executes the full ctest suite).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/server.h"
+
+namespace windim {
+namespace {
+
+std::string spec_text(int channels, double rate) {
+  std::string spec;
+  for (int i = 0; i <= channels; ++i) {
+    spec += "node N" + std::to_string(i) + "\n";
+  }
+  for (int i = 0; i < channels; ++i) {
+    spec += "channel N" + std::to_string(i) + " N" + std::to_string(i + 1) +
+            " 50\n";
+  }
+  std::string path;
+  for (int i = 0; i <= channels; ++i) path += " N" + std::to_string(i);
+  spec += "class fwd rate " + std::to_string(rate) + " path" + path + "\n";
+  std::string reverse;
+  for (int i = channels; i >= 0; --i) reverse += " N" + std::to_string(i);
+  spec += "class back rate " + std::to_string(rate / 2.0) + " path" +
+          reverse + "\n";
+  return spec;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  obs::JsonWriter::append_escaped(out, s);
+  return out;
+}
+
+/// The mixed request stream: evaluates and dimensions over four
+/// distinct topologies, ids 0..n-1.
+std::vector<std::string> request_lines(int n) {
+  const std::string specs[] = {
+      json_escape(spec_text(2, 20.0)), json_escape(spec_text(3, 15.0)),
+      json_escape(spec_text(4, 10.0)), json_escape(spec_text(2, 25.0))};
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string& spec = specs[i % 4];
+    if (i % 3 == 0) {
+      lines.push_back("{\"op\":\"dimension\",\"spec\":\"" + spec +
+                      "\",\"max_window\":6,\"id\":" + std::to_string(i) + "}");
+    } else {
+      lines.push_back("{\"op\":\"evaluate\",\"spec\":\"" + spec +
+                      "\",\"windows\":[" + std::to_string(1 + i % 4) + "," +
+                      std::to_string(1 + i % 2) +
+                      "],\"id\":" + std::to_string(i) + "}");
+    }
+  }
+  return lines;
+}
+
+serve::ServeOptions options_with(int threads) {
+  serve::ServeOptions options;
+  options.threads = threads;
+  options.enable_metrics = false;
+  return options;
+}
+
+TEST(ServeConcurrency, RepliesAreByteIdenticalToSingleShotAnswers) {
+  const std::vector<std::string> lines = request_lines(24);
+
+  // Reference answers: a fresh serial server per line, so no cache or
+  // workspace state can leak between requests.
+  std::vector<std::string> expected;
+  for (const std::string& line : lines) {
+    serve::Server one_shot(options_with(1));
+    expected.push_back(one_shot.handle_line(line).json);
+  }
+
+  // One shared server, four worker threads, six client threads issuing
+  // interleaved overlapping subsets.
+  serve::Server server(options_with(4));
+  constexpr int kClients = 6;
+  std::vector<std::vector<std::string>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([c, &lines, &got, &server]() {
+        for (std::size_t i = static_cast<std::size_t>(c) % 3;
+             i < lines.size(); i += 2) {
+          got[static_cast<std::size_t>(c)].push_back(
+              server.handle_line(lines[i]).json);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    std::size_t k = 0;
+    for (std::size_t i = static_cast<std::size_t>(c) % 3; i < lines.size();
+         i += 2, ++k) {
+      EXPECT_EQ(got[static_cast<std::size_t>(c)][k], expected[i])
+          << "client " << c << " line " << i;
+    }
+  }
+
+  // Cache accounting: every evaluate/dimension did exactly one lookup.
+  const serve::CacheStats cs = server.cache_stats();
+  std::uint64_t lookups = 0;
+  for (int c = 0; c < kClients; ++c) {
+    lookups += got[static_cast<std::size_t>(c)].size();
+  }
+  EXPECT_EQ(cs.hits + cs.misses, lookups);
+  // Four distinct topologies; racy duplicate compiles are counted as
+  // hits by the cache, so misses is exactly the entry count.
+  EXPECT_EQ(cs.entries, 4u);
+  EXPECT_EQ(cs.misses, 4u);
+}
+
+TEST(ServeConcurrency, PipelinedStreamPreservesRequestOrder) {
+  const std::vector<std::string> lines = request_lines(30);
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+
+  serve::Server server(options_with(4));
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+
+  std::istringstream replies(out.str());
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(replies, line)) {
+    const auto doc = obs::parse_json(line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("id")->number, static_cast<double>(index))
+        << "reply out of order at position " << index;
+    ++index;
+  }
+  EXPECT_EQ(index, lines.size());
+}
+
+TEST(ServeConcurrency, ConcurrentStreamsShareOneServer) {
+  const std::vector<std::string> lines = request_lines(12);
+  serve::Server server(options_with(4));
+
+  std::vector<std::string> outputs(3);
+  {
+    std::vector<std::thread> conns;
+    for (int c = 0; c < 3; ++c) {
+      conns.emplace_back([c, &lines, &outputs, &server]() {
+        std::string input;
+        for (const std::string& line : lines) input += line + "\n";
+        std::istringstream in(input);
+        std::ostringstream out;
+        server.serve_stream(in, out);
+        outputs[static_cast<std::size_t>(c)] = out.str();
+      });
+    }
+    for (std::thread& t : conns) t.join();
+  }
+  // Every connection got the same ordered byte stream.
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+}  // namespace
+}  // namespace windim

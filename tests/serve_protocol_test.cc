@@ -1,0 +1,289 @@
+// Golden protocol conformance + fault injection for `windim serve`.
+//
+// Drives the daemon through its --stdio discipline (Server::handle_line
+// and serve_stream): every request type produces the documented reply
+// envelope, and every malformed input — broken JSON, unknown ops and
+// fields, duplicate keys, bad values, oversized payloads, truncated
+// input, expired deadlines — produces a TYPED error reply, with the
+// server provably alive after each one.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "verify/corpus.h"
+#include "verify/gen.h"
+
+namespace windim {
+namespace {
+
+constexpr const char* kSpec =
+    "node A\nnode B\nnode C\n"
+    "channel A B 50\nchannel B C 50\n"
+    "class east rate 20 path A B C\n"
+    "class west rate 10 path C B\n";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  obs::JsonWriter::append_escaped(out, s);
+  return out;
+}
+
+std::string evaluate_line(int id) {
+  return "{\"op\":\"evaluate\",\"spec\":\"" + json_escape(kSpec) +
+         "\",\"windows\":[2,1],\"id\":" + std::to_string(id) + "}";
+}
+
+/// Parses a reply line; fails the test on invalid JSON.
+obs::JsonValue parse_reply(const std::string& line) {
+  const std::optional<obs::JsonValue> doc = obs::parse_json(line);
+  EXPECT_TRUE(doc.has_value()) << "reply is not valid JSON: " << line;
+  return doc.value_or(obs::JsonValue{});
+}
+
+std::string error_code(const obs::JsonValue& reply) {
+  const obs::JsonValue* err = reply.find("error");
+  if (err == nullptr) return "";
+  return std::string(err->string_or("code", ""));
+}
+
+/// The liveness probe the fault-injection cases run after every error:
+/// a well-formed request must still succeed.
+void expect_alive(serve::Server& server) {
+  const auto reply =
+      parse_reply(server.handle_line(evaluate_line(999)).json);
+  EXPECT_EQ(reply.find("ok")->boolean, true)
+      << "server no longer answers well-formed requests";
+}
+
+serve::ServeOptions serial_options() {
+  serve::ServeOptions options;
+  options.threads = 1;
+  options.enable_metrics = false;
+  return options;
+}
+
+TEST(ServeProtocol, EvaluateReplyCarriesEnvelopeAndResult) {
+  serve::Server server(serial_options());
+  const auto r = server.handle_line(evaluate_line(7));
+  EXPECT_FALSE(r.shutdown);
+  const obs::JsonValue reply = parse_reply(r.json);
+  EXPECT_EQ(reply.find("id")->number, 7.0);
+  EXPECT_EQ(reply.string_or("op", ""), "evaluate");
+  EXPECT_TRUE(reply.find("ok")->boolean);
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("solver", ""), "heuristic-mva");
+  EXPECT_GT(result->number_or("throughput", 0.0), 0.0);
+  EXPECT_GT(result->number_or("power", 0.0), 0.0);
+  ASSERT_NE(result->find("class_delay"), nullptr);
+  EXPECT_EQ(result->find("class_delay")->array.size(), 2u);
+}
+
+TEST(ServeProtocol, RequestIdEchoesNumberStringAndNull) {
+  serve::Server server(serial_options());
+  const auto num = parse_reply(server.handle_line(evaluate_line(42)).json);
+  EXPECT_EQ(num.find("id")->number, 42.0);
+
+  const std::string with_string_id =
+      "{\"op\":\"stats\",\"id\":\"job-9\"}";
+  const auto str = parse_reply(server.handle_line(with_string_id).json);
+  EXPECT_EQ(std::string(str.find("id")->string), "job-9");
+
+  const auto none = parse_reply(server.handle_line("{\"op\":\"stats\"}").json);
+  EXPECT_EQ(none.find("id")->kind, obs::JsonValue::Kind::kNull);
+}
+
+TEST(ServeProtocol, DimensionAndStatsAndShutdownSucceed) {
+  serve::Server server(serial_options());
+  const std::string dim = "{\"op\":\"dimension\",\"spec\":\"" +
+                          json_escape(kSpec) +
+                          "\",\"max_window\":8,\"id\":1}";
+  const auto dim_reply = parse_reply(server.handle_line(dim).json);
+  EXPECT_TRUE(dim_reply.find("ok")->boolean);
+  const obs::JsonValue* result = dim_reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->find("feasible")->boolean);
+  EXPECT_EQ(result->find("optimal_windows")->array.size(), 2u);
+
+  const auto stats = parse_reply(server.handle_line("{\"op\":\"stats\"}").json);
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  const obs::JsonValue* serve_section = stats.find("result")->find("serve");
+  ASSERT_NE(serve_section, nullptr);
+  EXPECT_GE(serve_section->number_or("requests", 0.0), 2.0);
+
+  const auto down = server.handle_line("{\"op\":\"shutdown\",\"id\":2}");
+  EXPECT_TRUE(down.shutdown);
+  EXPECT_TRUE(parse_reply(down.json).find("ok")->boolean);
+  EXPECT_TRUE(server.shutting_down());
+}
+
+TEST(ServeProtocol, FuzzReplayRunsOraclesOnSerializedEntry) {
+  serve::Server server(serial_options());
+  verify::CorpusEntry entry;
+  entry.instance = verify::generate(verify::Family::kFcfsClosed, 3);
+  const std::string line = "{\"op\":\"fuzz-replay\",\"entry\":\"" +
+                           json_escape(verify::serialize(entry)) +
+                           "\",\"no_ctmc\":true,\"id\":1}";
+  const auto reply = parse_reply(server.handle_line(line).json);
+  ASSERT_TRUE(reply.find("ok")->boolean) << reply.string_or("op", "");
+  const obs::JsonValue* result = reply.find("result");
+  EXPECT_TRUE(result->find("ok")->boolean);
+  EXPECT_TRUE(result->find("matches_expectation")->boolean);
+  EXPECT_FALSE(result->find("ran")->array.empty());
+  EXPECT_TRUE(result->find("failures")->array.empty());
+}
+
+// --- fault injection ----------------------------------------------------
+
+TEST(ServeProtocol, MalformedJsonYieldsParseErrorAndServerStaysAlive) {
+  serve::Server server(serial_options());
+  for (const char* bad :
+       {"not json at all", "{\"op\":\"evaluate\"", "[1,2,3]", "42",
+        "{\"op\":17}", "{\"spec\":\"x\"}", ""}) {
+    const auto reply = parse_reply(server.handle_line(bad).json);
+    EXPECT_FALSE(reply.find("ok")->boolean) << bad;
+    EXPECT_EQ(error_code(reply), "parse_error") << bad;
+    expect_alive(server);
+  }
+}
+
+TEST(ServeProtocol, UnknownOpAndUnknownFieldAreTypedErrors) {
+  serve::Server server(serial_options());
+  const auto unknown_op =
+      parse_reply(server.handle_line("{\"op\":\"explode\",\"id\":1}").json);
+  EXPECT_EQ(error_code(unknown_op), "invalid_request");
+  EXPECT_EQ(unknown_op.find("id")->number, 1.0);  // id still echoed
+  expect_alive(server);
+
+  const std::string typo = "{\"op\":\"evaluate\",\"spec\":\"" +
+                           json_escape(kSpec) +
+                           "\",\"windows\":[2,1],\"solvr\":\"x\"}";
+  const auto unknown_field = parse_reply(server.handle_line(typo).json);
+  EXPECT_EQ(error_code(unknown_field), "invalid_request");
+  expect_alive(server);
+
+  const auto duplicate = parse_reply(
+      server.handle_line("{\"op\":\"stats\",\"id\":1,\"id\":2}").json);
+  EXPECT_EQ(error_code(duplicate), "invalid_request");
+  expect_alive(server);
+}
+
+TEST(ServeProtocol, BadValuesAreTypedErrors) {
+  serve::Server server(serial_options());
+  const std::string spec = json_escape(kSpec);
+  const struct {
+    std::string line;
+    const char* code;
+  } cases[] = {
+      // windows: empty, fractional, negative, wrong count
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec + "\",\"windows\":[]}",
+       "invalid_request"},
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec + "\",\"windows\":[1.5,1]}",
+       "invalid_request"},
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec + "\",\"windows\":[-1,1]}",
+       "invalid_request"},
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec + "\",\"windows\":[1]}",
+       "invalid_request"},
+      // unknown solver
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec +
+           "\",\"windows\":[1,1],\"solver\":\"nope\"}",
+       "unknown_solver"},
+      {"{\"op\":\"dimension\",\"spec\":\"" + spec +
+           "\",\"solver\":\"nope\"}",
+       "unknown_solver"},
+      // unparseable network spec
+      {"{\"op\":\"evaluate\",\"spec\":\"garbage here\",\"windows\":[1]}",
+       "invalid_spec"},
+      // bad objective / delaycap without a cap
+      {"{\"op\":\"dimension\",\"spec\":\"" + spec +
+           "\",\"objective\":\"speed\"}",
+       "invalid_request"},
+      {"{\"op\":\"dimension\",\"spec\":\"" + spec +
+           "\",\"objective\":\"delaycap\"}",
+       "invalid_request"},
+      // non-positive thread counts are rejected at the schema
+      {"{\"op\":\"evaluate\",\"spec\":\"" + spec +
+           "\",\"windows\":[1,1],\"solver_threads\":0}",
+       "invalid_request"},
+      // corpus entry text that is not a corpus entry
+      {"{\"op\":\"fuzz-replay\",\"entry\":\"bogus\"}", "invalid_spec"},
+  };
+  for (const auto& c : cases) {
+    const auto reply = parse_reply(server.handle_line(c.line).json);
+    EXPECT_FALSE(reply.find("ok")->boolean) << c.line;
+    EXPECT_EQ(error_code(reply), c.code) << c.line;
+    expect_alive(server);
+  }
+}
+
+TEST(ServeProtocol, OversizedRequestIsRejectedUnparsed) {
+  serve::ServeOptions options = serial_options();
+  options.max_request_bytes = 256;
+  serve::Server server(options);
+  std::string big = "{\"op\":\"evaluate\",\"spec\":\"";
+  big.append(1000, 'x');
+  big += "\",\"windows\":[1]}";
+  const auto reply = parse_reply(server.handle_line(big).json);
+  EXPECT_EQ(error_code(reply), "payload_too_large");
+  // Unparsed, so no id echo even though the line had none anyway.
+  EXPECT_EQ(reply.find("id")->kind, obs::JsonValue::Kind::kNull);
+  expect_alive(server);
+}
+
+TEST(ServeProtocol, ExpiredDeadlineYieldsDeadlineExceeded) {
+  serve::Server server(serial_options());
+  // A deadline of 1 nanosecond-scale ms is expired by the first
+  // cooperative poll inside the solver.
+  const std::string line = "{\"op\":\"evaluate\",\"spec\":\"" +
+                           json_escape(kSpec) +
+                           "\",\"windows\":[2,1],\"deadline_ms\":1e-6}";
+  const auto reply = parse_reply(server.handle_line(line).json);
+  EXPECT_FALSE(reply.find("ok")->boolean);
+  EXPECT_EQ(error_code(reply), "deadline_exceeded");
+  expect_alive(server);
+}
+
+TEST(ServeProtocol, StreamHandlesTruncatedInputAndStaysOrdered) {
+  serve::Server server(serial_options());
+  // Last line is truncated mid-object (no closing brace, no newline):
+  // getline still delivers it, and it must produce a parse_error reply
+  // rather than wedging or killing the loop.
+  std::istringstream in(evaluate_line(1) + "\n" +
+                        "{\"op\":\"stats\",\"id\":2}\n" +
+                        "{\"op\":\"evaluate\",\"spec\":\"tru");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+  std::istringstream replies(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(replies, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(parse_reply(lines[0]).find("id")->number, 1.0);
+  EXPECT_EQ(parse_reply(lines[1]).find("id")->number, 2.0);
+  EXPECT_EQ(error_code(parse_reply(lines[2])), "parse_error");
+}
+
+TEST(ServeProtocol, ShutdownStopsIntakeAndLaterRequestsAreRefused) {
+  serve::Server server(serial_options());
+  std::istringstream in("{\"op\":\"shutdown\",\"id\":1}\n" +
+                        evaluate_line(2) + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+  std::istringstream replies(out.str());
+  std::string first;
+  ASSERT_TRUE(std::getline(replies, first));
+  EXPECT_TRUE(parse_reply(first).find("ok")->boolean);
+  // Requests arriving on other connections after the drain began get
+  // the typed refusal, not silence or a crash.
+  const auto late = parse_reply(server.handle_line(evaluate_line(3)).json);
+  EXPECT_EQ(error_code(late), "shutting_down");
+}
+
+}  // namespace
+}  // namespace windim
