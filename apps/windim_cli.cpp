@@ -15,9 +15,11 @@
 //
 // Solver names come from the solver registry (windim_cli solvers lists
 // them); --evaluator is accepted as a compatibility alias of --solver.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -48,8 +50,11 @@ int usage() {
       stderr,
       "usage:\n"
       "  windim_cli dimension <spec> [--solver=NAME] [--max-window=N]\n"
-      "                       [--objective=power|gpower=A|delaycap=T] "
-      "[--csv]\n"
+      "                       [--objective=power|gpower=A|delaycap=T|\n"
+      "                        alpha-fair|power-fair-constrained] [--csv]\n"
+      "                       [--alpha=0|1|2|inf] [--min-fairness=F]\n"
+      "                       [--max-delay=T]\n"
+      "                       [--pareto-out=FILE] [--pareto-points=N]\n"
       "                       [--threads=N] [--solver-threads=N]\n"
       "                       [--max-evals=N] [--cold-start]\n"
       "                       [--metrics-out=FILE] [--trace-out=FILE]\n"
@@ -132,6 +137,7 @@ void print_evaluation(const core::Evaluation& ev,
   std::printf("throughput: %.3f msg/s\n", ev.throughput);
   std::printf("delay:      %.4f s\n", ev.mean_delay);
   std::printf("power:      %.2f\n", ev.power);
+  std::printf("fairness:   %.4f\n", ev.fairness);
   for (std::size_t r = 0; r < classes.size(); ++r) {
     std::printf("  %-12s window %d  throughput %8.3f msg/s  delay %7.2f ms\n",
                 classes[r].name.c_str(), ev.windows[r],
@@ -147,6 +153,8 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   std::string trace_out;
   std::string spans_out;
   std::string convergence_out;
+  std::string pareto_out;
+  int pareto_points = 9;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "solver")) {
       if (resolve_solver(*v) == nullptr) return 2;
@@ -167,8 +175,58 @@ int cmd_dimension(const cli::NetworkSpec& spec,
         options.objective =
             core::DimensionObjective::kThroughputUnderDelayCap;
         options.max_delay = std::stod(v->substr(9));
+        if (!(options.max_delay > 0.0)) {
+          std::fprintf(stderr,
+                       "error: --objective=delaycap requires a positive "
+                       "delay cap in seconds (got '%s')\n",
+                       v->substr(9).c_str());
+          return 2;
+        }
+      } else if (*v == "alpha-fair") {
+        options.objective = core::DimensionObjective::kAlphaFair;
+      } else if (*v == "power-fair-constrained") {
+        options.objective =
+            core::DimensionObjective::kPowerFairConstrained;
       } else {
-        std::fprintf(stderr, "error: unknown objective '%s'\n", v->c_str());
+        std::fprintf(stderr,
+                     "error: unknown objective '%s' (power, gpower=A, "
+                     "delaycap=T, alpha-fair, power-fair-constrained)\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "alpha")) {
+      if (*v == "inf") {
+        options.alpha = std::numeric_limits<double>::infinity();
+      } else {
+        options.alpha = std::stod(*v);
+      }
+      if (!(options.alpha == 0.0 || options.alpha == 1.0 ||
+            options.alpha == 2.0 || std::isinf(options.alpha))) {
+        std::fprintf(stderr, "error: --alpha must be 0, 1, 2 or inf\n");
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "min-fairness")) {
+      options.min_fairness = std::stod(*v);
+      if (std::isnan(options.min_fairness) || options.min_fairness < 0.0 ||
+          options.min_fairness > 1.0) {
+        std::fprintf(stderr, "error: --min-fairness must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "max-delay")) {
+      options.max_delay = std::stod(*v);
+      if (!(options.max_delay > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --max-delay must be a positive delay cap in "
+                     "seconds (got '%s')\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "pareto-out")) {
+      pareto_out = *v;
+    } else if (auto v = flag_value(arg, "pareto-points")) {
+      pareto_points = std::stoi(*v);
+      if (pareto_points < 2) {
+        std::fprintf(stderr, "error: --pareto-points must be >= 2\n");
         return 2;
       }
     } else if (auto v = flag_value(arg, "threads")) {
@@ -212,6 +270,58 @@ int cmd_dimension(const cli::NetworkSpec& spec,
   if (!spans_out.empty()) {
     spans.set_enabled(true);
     options.spans = &spans;
+  }
+
+  if (!pareto_out.empty()) {
+    // Pareto mode: sweep the power/fairness trade-off instead of a
+    // single solve; the single-solve flags (evaluator, bounds, threads,
+    // budget) configure every solve of the scan.
+    core::ParetoOptions popts;
+    popts.base = options;
+    popts.num_points = pareto_points;
+    // An explicit --min-fairness becomes the lowest floor of the scan
+    // (the default anchors it at the unconstrained optimum's fairness).
+    if (options.min_fairness > 0.0) {
+      popts.min_fairness_floor = options.min_fairness;
+    }
+    const core::WindowProblem problem(spec.topology, spec.classes);
+    const core::ParetoFront front = core::pareto_front(problem, popts);
+    std::ofstream out(pareto_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", pareto_out.c_str());
+      return 1;
+    }
+    out << core::to_json(front) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", pareto_out.c_str());
+      return 1;
+    }
+    if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
+    if (front.cancelled) {
+      std::fprintf(stderr, "warning: pareto scan cancelled mid-sweep\n");
+    }
+    if (front.budget_exhausted) {
+      std::fprintf(stderr,
+                   "warning: evaluation budget exhausted during the scan\n");
+    }
+    util::TextTable table(
+        {"floor", "fairness", "power", "throughput", "delay_ms", "windows"});
+    for (const core::ParetoPoint& p : front.points) {
+      table.begin_row()
+          .add(p.fairness_floor, 4)
+          .add(p.fairness, 4)
+          .add(p.power, 2)
+          .add(p.throughput, 3)
+          .add(p.mean_delay * 1000.0, 2)
+          .add(util::format_window(p.windows));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "pareto:     %zu points (%zu solves, %zu infeasible, %zu "
+        "dominated)\n",
+        front.points.size(), front.runs, front.infeasible_runs,
+        front.dominated_dropped);
+    return 0;
   }
 
   core::DimensionResult result;

@@ -102,6 +102,23 @@ std::vector<CheckSpec> perf_serve_checks(double tolerance_pct) {
   };
 }
 
+std::vector<CheckSpec> perf_pareto_checks(double tolerance_pct) {
+  // The front's identity gates are deterministic by construction
+  // (serial-replay search, fixed scan order), so they carry zero
+  // tolerance; only the pruned-lattice fraction is allowed to drift —
+  // it moves when the evaluator or the balanced-job bounds are
+  // legitimately tightened or relaxed.
+  return {
+      {"pareto_front_points", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"pareto_deterministic", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"pareto_reproducible", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"pareto_prune_fraction", Direction::kHigherIsBetter, tolerance_pct,
+       0.05},
+      {"pareto_prune_identical", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"pareto_pass", Direction::kHigherIsBetter, 0.0, 0.0},
+  };
+}
+
 std::vector<CheckSpec> wall_clock_checks(double tolerance_pct) {
   // Millisecond floors keep sub-millisecond phases from flagging on
   // scheduler jitter.  Same-machine comparisons only.

@@ -89,6 +89,14 @@ struct BaselineReport {
 [[nodiscard]] std::vector<CheckSpec> perf_serve_checks(
     double tolerance_pct = 25.0);
 
+/// The scale-free default checks for bench_perf_pareto --check: the
+/// front size, thread-count determinism, seed reproducibility and
+/// prune/optimum-identity gates are exact; the pruned lattice fraction
+/// is a ratio metric under `tolerance_pct` (floored at 0.05 so a small
+/// absolute wobble on a thin prune cannot explode relatively).
+[[nodiscard]] std::vector<CheckSpec> perf_pareto_checks(
+    double tolerance_pct = 25.0);
+
 /// Same-machine wall-clock checks (opt-in): serial_cold_ms,
 /// pr1_baseline_ms, engine_ms, instrumented_ms.
 [[nodiscard]] std::vector<CheckSpec> wall_clock_checks(

@@ -13,11 +13,19 @@ session through every reply class the protocol defines:
   4. an unknown solver             -> unknown_solver listing the registry;
   5. an oversized request line     -> payload_too_large, never parsed;
   6. an already-expired deadline   -> deadline_exceeded;
-  7. a stats probe                 -> ok reply carrying serve/cache
+  7. a pareto scan                 -> ok reply with a sorted non-empty
+                                      front and the alpha-fair reference;
+  8. a malformed pareto alpha      -> invalid_request naming the lawful
+                                      values;
+  9. an unreachable fairness floor -> ok reply with an EMPTY front and
+                                      the infeasible run counted;
+ 10. a pareto expired deadline     -> deadline_exceeded (refused whole,
+                                      never a truncated front);
+ 11. a stats probe                 -> ok reply carrying serve/cache
                                       counters that match the session;
-  8. a SECOND concurrent connection evaluating successfully while the
+ 12. a SECOND concurrent connection evaluating successfully while the
      first stays open (connections share one server);
-  9. SIGTERM                       -> graceful drain, exit code 0, the
+ 13. SIGTERM                       -> graceful drain, exit code 0, the
                                       socket unlinked.
 
 Exits nonzero (with a diagnostic on stderr) on the first violation.
@@ -131,17 +139,56 @@ def main():
                                 "id": 6}),
                      "deadline_exceeded", "expired deadline")
 
-        # 7. Stats reflect the session so far.
+        # 7. Pareto scan: sorted non-empty front + alpha-fair reference.
+        r = roundtrip(sock, rfile, {"op": "pareto", "spec": SPEC,
+                                    "points": 5, "alpha": "inf", "id": 70})
+        if r.get("ok") is not True:
+            fail("pareto: %s" % r)
+        points = r["result"]["points"]
+        if not points:
+            fail("pareto front is empty: %s" % r["result"])
+        fairness = [p["fairness"] for p in points]
+        if fairness != sorted(fairness):
+            fail("pareto front not sorted by fairness: %s" % fairness)
+        if r["result"].get("alpha_fair", {}).get("alpha") != "inf":
+            fail("pareto lost the alpha-fair reference: %s" % r["result"])
+
+        # 8. Malformed alpha: typed invalid_request naming the domain.
+        r = roundtrip(sock, rfile, {"op": "pareto", "spec": SPEC,
+                                    "alpha": 0.5, "id": 71})
+        expect_error(r, "invalid_request", "malformed alpha")
+        if "alpha" not in r["error"]["message"]:
+            fail("alpha error does not name the field: %s" % r)
+
+        # 9. Unreachable fairness floor: empty front, never a silently
+        # relaxed scan.
+        r = roundtrip(sock, rfile, {"op": "pareto", "spec": SPEC,
+                                    "min_fairness": 0.9999, "id": 72})
+        if r.get("ok") is not True:
+            fail("infeasible-floor pareto should still reply ok: %s" % r)
+        if r["result"]["points"] or r["result"]["infeasible_runs"] < 1:
+            fail("unreachable floor was relaxed: %s" % r["result"])
+
+        # 10. Expired pareto deadline: the whole scan is refused — a
+        # truncated front must never masquerade as the curve.
+        expect_error(roundtrip(sock, rfile,
+                               {"op": "pareto", "spec": SPEC,
+                                "deadline_ms": 1e-6, "id": 73}),
+                     "deadline_exceeded", "pareto expired deadline")
+
+        # 11. Stats reflect the session so far.
         r = roundtrip(sock, rfile, {"op": "stats", "id": 7})
         if r.get("ok") is not True:
             fail("stats: %s" % r)
         serve_stats = r["result"]["serve"]
-        if serve_stats["errors"] < 4:
+        if serve_stats["errors"] < 6:
             fail("stats missed the injected faults: %s" % serve_stats)
+        if serve_stats["by_op"].get("pareto", 0) < 1:
+            fail("stats did not count the pareto scans: %s" % serve_stats)
         if r["result"]["cache"]["entries"] < 1:
             fail("stats shows an empty model cache: %s" % r["result"])
 
-        # 8. A second concurrent connection shares the server (and its
+        # 12. A second concurrent connection shares the server (and its
         # warm cache) while the first stays open.
         sock2 = connect(sock_path)
         rfile2 = sock2.makefile("r")
@@ -154,7 +201,7 @@ def main():
         rfile.close()
         sock.close()
 
-        # 9. Graceful SIGTERM drain: exit 0, socket unlinked.
+        # 13. Graceful SIGTERM drain: exit 0, socket unlinked.
         daemon.send_signal(signal.SIGTERM)
         code = daemon.wait(timeout=30)
         if code != 0:

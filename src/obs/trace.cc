@@ -74,6 +74,12 @@ std::string SearchTrace::to_jsonl() const {
     w.end_array();
     w.key("F");
     w.value(r.objective);
+    w.key("obj");
+    w.begin_array();
+    for (double x : r.objective_vector) w.value(x);
+    w.end_array();
+    w.key("viol");
+    w.value(r.violation);
     w.key("P");
     w.value(r.power);
     w.key("solver");

@@ -26,6 +26,12 @@ struct TraceRecord {
   std::uint64_t step = 0;          // 0-based probe index in serial order
   std::vector<int> windows;        // the probed window vector
   double objective = 0.0;          // F: the search objective value
+  /// Full objective vector of the probe (search/objective.h); [F] for
+  /// scalar objectives, larger for the fairness/utility family.
+  std::vector<double> objective_vector;
+  /// Total constraint slack (<= 0 means feasible; scalar objectives
+  /// always 0).
+  double violation = 0.0;
   double power = 0.0;              // P: network power at this point
   std::string solver;              // registry solver name
   bool cache_hit = false;          // deterministic serial revisit
@@ -51,8 +57,8 @@ class SearchTrace {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// One JSON object per line, fixed field order:
-  /// {"step":..,"windows":[..],"F":..,"P":..,"solver":"..",
-  ///  "cache_hit":..,"anchor":[..],"thread":..}\n
+  /// {"step":..,"windows":[..],"F":..,"obj":[..],"viol":..,"P":..,
+  ///  "solver":"..","cache_hit":..,"anchor":[..],"thread":..}\n
   [[nodiscard]] std::string to_jsonl() const;
   /// Returns false (and leaves no partial file behind the caller's
   /// expectations) if the file cannot be written.

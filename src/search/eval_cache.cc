@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 namespace windim::search {
 namespace {
@@ -53,10 +54,10 @@ EvalCache::Result EvalCache::lookup_or_reserve(const Point& p) {
     if (it == s.values.end()) {
       if (!try_reserve_budget()) {
         exhausted_.fetch_add(1, std::memory_order_relaxed);
-        return {Outcome::kExhausted, 0.0};
+        return {Outcome::kExhausted, {}};
       }
       s.values.emplace(p, Slot{});
-      return {Outcome::kReserved, 0.0};
+      return {Outcome::kReserved, {}};
     }
     if (it->second.done) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -68,13 +69,13 @@ EvalCache::Result EvalCache::lookup_or_reserve(const Point& p) {
   }
 }
 
-void EvalCache::insert(const Point& p, double value) {
+void EvalCache::insert(const Point& p, VectorEval value) {
   Shard& s = shard_of(p);
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     Slot& slot = s.values[p];
     slot.done = true;
-    slot.value = value;
+    slot.value = std::move(value);
   }
   s.ready.notify_all();
 }

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -36,6 +37,30 @@
 namespace windim::search {
 
 using Point = std::vector<int>;
+
+/// One full evaluation of a point: an objective vector (meaning fixed
+/// by the caller's comparator, see search/objective.h) plus the total
+/// constraint violation.  `violation <= 0` means feasible; a positive
+/// value ranks infeasible points against each other (smaller is
+/// closer to the feasible set).  Scalar searches store one-element
+/// vectors with violation 0 — the thesis-exact shim.
+struct VectorEval {
+  std::vector<double> objectives;
+  double violation = 0.0;
+
+  [[nodiscard]] bool feasible() const noexcept { return violation <= 0.0; }
+
+  /// Wraps a legacy scalar objective value (the +inf-encodes-infeasible
+  /// convention travels inside objectives[0], untouched).
+  [[nodiscard]] static VectorEval scalar(double value) {
+    return VectorEval{{value}, 0.0};
+  }
+  /// objectives[0], or +infinity when nothing was evaluated.
+  [[nodiscard]] double scalar_value() const noexcept {
+    return objectives.empty() ? std::numeric_limits<double>::infinity()
+                              : objectives[0];
+  }
+};
 
 struct PointHash {
   std::size_t operator()(const Point& p) const noexcept {
@@ -57,7 +82,7 @@ class EvalCache {
   };
   struct Result {
     Outcome outcome;
-    double value;  // meaningful only for kHit
+    VectorEval value;  // meaningful only for kHit
   };
 
   /// `shards` = 0 (the default) derives the shard count from the
@@ -83,8 +108,15 @@ class EvalCache {
   /// when the value lands (abandon() releases the point, not the slot).
   [[nodiscard]] Result lookup_or_reserve(const Point& p);
 
-  /// Fulfills a kReserved reservation and wakes waiting probers.
-  void insert(const Point& p, double value);
+  /// Fulfills a kReserved reservation and wakes waiting probers.  The
+  /// cache memoizes the FULL evaluation — objective vector and
+  /// violation — not a scalarization, so a shared cache serves any
+  /// comparator.
+  void insert(const Point& p, VectorEval value);
+  /// Scalar convenience: memoizes VectorEval::scalar(value).
+  void insert(const Point& p, double value) {
+    insert(p, VectorEval::scalar(value));
+  }
 
   /// Releases a kReserved point without a value (the evaluation threw);
   /// waiting probers re-classify, and one of them may re-reserve.
@@ -118,7 +150,7 @@ class EvalCache {
  private:
   struct Slot {
     bool done = false;  // false while the reserving caller evaluates
-    double value = 0.0;
+    VectorEval value;
   };
   struct Shard {
     std::mutex mutex;

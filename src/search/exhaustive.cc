@@ -1,43 +1,116 @@
 #include "search/exhaustive.h"
 
+#include <cstddef>
 #include <stdexcept>
 
-#include "util/mixed_radix.h"
-
 namespace windim::search {
+namespace {
 
-ExhaustiveResult exhaustive_search(const Objective& objective,
-                                   const Point& lower, const Point& upper,
-                                   bool keep_surface) {
+/// Number of lattice points in the tail box [lower[from..], upper[from..]].
+std::size_t tail_volume(const Point& lower, const Point& upper,
+                        std::size_t from) noexcept {
+  std::size_t v = 1;
+  for (std::size_t i = from; i < lower.size(); ++i) {
+    v *= static_cast<std::size_t>(upper[i] - lower[i] + 1);
+  }
+  return v;
+}
+
+struct Enumerator {
+  const VectorObjective& objective;
+  const Point& lower;
+  const Point& upper;
+  const VectorExhaustiveOptions& options;
+  const Comparator& better;
+  VectorExhaustiveResult& result;
+  Point point;
+  Point box_lower;
+  Point box_upper;
+  bool has_best = false;
+
+  /// Depth-first over coordinates, last coordinate innermost — the same
+  /// row-major visit order as util::MixedRadixIndexer, so the scalar
+  /// shim ties break identically to the historical flat loop.
+  void descend(std::size_t depth) {
+    if (result.cancelled) return;
+    if (depth == lower.size()) {
+      if (options.cancel != nullptr && options.cancel->expired()) {
+        result.cancelled = true;
+        return;
+      }
+      VectorEval v = objective(point);
+      ++result.evaluations;
+      if (options.keep_surface) result.surface.emplace_back(point, v);
+      if (!has_best || better(v, result.best_eval)) {
+        result.best = point;
+        result.best_eval = std::move(v);
+        has_best = true;
+        if (options.on_improve) {
+          options.on_improve(result.best, result.best_eval);
+        }
+      }
+      return;
+    }
+    for (int c = lower[depth]; c <= upper[depth]; ++c) {
+      point[depth] = c;
+      if (has_best && options.prune) {
+        box_lower[depth] = c;
+        box_upper[depth] = c;
+        if (options.prune(box_lower, box_upper, result.best_eval)) {
+          result.pruned += tail_volume(lower, upper, depth + 1);
+          continue;
+        }
+      }
+      descend(depth + 1);
+      if (result.cancelled) break;
+    }
+    // Restore the spanning range for this coordinate before returning to
+    // the parent level.
+    box_lower[depth] = lower[depth];
+    box_upper[depth] = upper[depth];
+  }
+};
+
+}  // namespace
+
+VectorExhaustiveResult vector_exhaustive_search(
+    const VectorObjective& objective, const Point& lower, const Point& upper,
+    const VectorExhaustiveOptions& options) {
   if (lower.empty() || lower.size() != upper.size()) {
     throw std::invalid_argument("exhaustive_search: malformed box");
   }
-  util::PopVector extent(lower.size());
   for (std::size_t i = 0; i < lower.size(); ++i) {
     if (upper[i] < lower[i]) {
       throw std::invalid_argument("exhaustive_search: empty box");
     }
-    extent[i] = upper[i] - lower[i];
   }
-  const util::MixedRadixIndexer indexer(extent);
+  const Comparator better =
+      options.better ? options.better : scalar_comparator();
+  VectorExhaustiveResult result;
+  Enumerator e{objective, lower,  upper, options, better,
+               result,    lower,  lower, upper,   false};
+  e.descend(0);
+  return result;
+}
 
+ExhaustiveResult exhaustive_search(const Objective& objective,
+                                   const Point& lower, const Point& upper,
+                                   bool keep_surface) {
+  const VectorObjective vector_objective = [&objective](const Point& p) {
+    return VectorEval::scalar(objective(p));
+  };
+  VectorExhaustiveOptions vo;
+  vo.keep_surface = keep_surface;
+  VectorExhaustiveResult vr =
+      vector_exhaustive_search(vector_objective, lower, upper, vo);
   ExhaustiveResult result;
-  util::PopVector offset(lower.size(), 0);
-  bool first = true;
-  do {
-    Point p(lower.size());
-    for (std::size_t i = 0; i < lower.size(); ++i) {
-      p[i] = lower[i] + offset[i];
-    }
-    const double v = objective(p);
-    ++result.evaluations;
-    if (keep_surface) result.surface.emplace_back(p, v);
-    if (first || v < result.best_value) {
-      result.best = std::move(p);
-      result.best_value = v;
-      first = false;
-    }
-  } while (indexer.next(offset));
+  result.best = std::move(vr.best);
+  result.best_value = scalarize(vr.best_eval);
+  result.evaluations = vr.evaluations;
+  result.surface.reserve(vr.surface.size());
+  for (auto& [p, f] : vr.surface) {
+    result.surface.emplace_back(std::move(p), scalarize(f));
+  }
   return result;
 }
 

@@ -5,13 +5,27 @@
 // certifies (or refutes) the global optimality of the searched optimum
 // ("In probing the global optimality of the window sizes selected ...",
 // thesis 4.5).
+//
+// The vector entry point enumerates under a pluggable comparator (see
+// search/objective.h) and supports bounds-based box pruning: a caller-
+// supplied predicate inspects each sub-box (a prefix of coordinates
+// fixed, the rest spanning the full range) against the incumbent best
+// and may discard the whole box without evaluating it.  Optimistic
+// bounds — e.g. the balanced-job bounds of mva/bounds.h, which upper-
+// bound every chain's throughput in any closed multichain network —
+// make the predicate sound: a box whose *bound* cannot beat the
+// incumbent cannot contain the optimum.  Pruning never changes the
+// result, only the work (the enumeration order of surviving points is
+// the row-major order of util::MixedRadixIndexer either way).
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "search/pattern_search.h"
+#include "util/cancel.h"
 
 namespace windim::search {
 
@@ -26,9 +40,58 @@ struct ExhaustiveResult {
 
 /// Evaluates `objective` at every point of the inclusive box
 /// [lower, upper].  Throws std::invalid_argument on malformed boxes.
+/// A shim over vector_exhaustive_search with scalar_comparator() —
+/// bit-for-bit the historical enumeration.
 [[nodiscard]] ExhaustiveResult exhaustive_search(const Objective& objective,
                                                  const Point& lower,
                                                  const Point& upper,
                                                  bool keep_surface = false);
+
+// ----------------------------------------------------------------------
+// Vector-valued enumeration with pruning.
+
+/// Box-prune predicate: `box_lower`/`box_upper` delimit an inclusive
+/// sub-box of the search box (some prefix of coordinates pinned to a
+/// single value, the rest spanning their full range); `incumbent` is
+/// the best evaluation found so far.  Return true to skip every point
+/// of the box.  Only called once an incumbent exists, so the optimum
+/// survives any predicate; soundness (not skipping the true optimum)
+/// is the caller's responsibility and requires an *optimistic* bound
+/// over the box.
+using BoxPrune = std::function<bool(const Point& box_lower,
+                                    const Point& box_upper,
+                                    const VectorEval& incumbent)>;
+
+struct VectorExhaustiveOptions {
+  /// Strict "a beats b" ordering; null means scalar_comparator().
+  Comparator better;
+  bool keep_surface = false;
+  /// Optional bounds-based pruning hook (see BoxPrune).
+  BoxPrune prune;
+  /// Invoked on every strict improvement, in enumeration order (the
+  /// first point is always an improvement).
+  std::function<void(const Point&, const VectorEval&)> on_improve;
+  /// Cooperative stop: polled per evaluated point; on expiry the scan
+  /// returns its best-so-far with `cancelled` set.
+  const util::CancelToken* cancel = nullptr;
+};
+
+struct VectorExhaustiveResult {
+  Point best;
+  VectorEval best_eval;
+  std::size_t evaluations = 0;
+  /// Lattice points skipped by the prune predicate.
+  std::size_t pruned = 0;
+  bool cancelled = false;
+  std::vector<std::pair<Point, VectorEval>> surface;
+};
+
+/// Evaluates the vector objective over the inclusive box [lower, upper]
+/// under options.better, applying the prune predicate to every sub-box
+/// before descending into it.  Throws std::invalid_argument on
+/// malformed boxes.
+[[nodiscard]] VectorExhaustiveResult vector_exhaustive_search(
+    const VectorObjective& objective, const Point& lower, const Point& upper,
+    const VectorExhaustiveOptions& options = {});
 
 }  // namespace windim::search

@@ -1,0 +1,70 @@
+#include "search/objective.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace windim::search {
+namespace {
+
+/// Feasibility-first pre-ordering shared by every constrained
+/// comparator: returns +1 when a is strictly better, -1 when b is, 0
+/// when the verdict must come from the objective vectors.
+int feasibility_rank(const VectorEval& a, const VectorEval& b) noexcept {
+  const bool fa = a.feasible();
+  const bool fb = b.feasible();
+  if (fa != fb) return fa ? 1 : -1;
+  if (!fa) {
+    // Both infeasible: closer to the feasible set wins, so the search
+    // keeps a descent direction even outside the constraint region.
+    if (a.violation < b.violation) return 1;
+    if (b.violation < a.violation) return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Comparator scalar_comparator() {
+  return [](const VectorEval& a, const VectorEval& b) {
+    // Thesis-exact shim: strict `<` on the first (only) objective,
+    // +inf encodes infeasible, NaN never improves — bit-for-bit the
+    // historical `double` comparison.
+    return scalarize(a) < scalarize(b);
+  };
+}
+
+Comparator lexicographic_comparator() {
+  return [](const VectorEval& a, const VectorEval& b) {
+    const int rank = feasibility_rank(a, b);
+    if (rank != 0) return rank > 0;
+    const std::size_t n = std::min(a.objectives.size(), b.objectives.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.objectives[i] < b.objectives[i]) return true;
+      if (b.objectives[i] < a.objectives[i]) return false;
+    }
+    // A longer vector never beats an equal prefix: equality keeps the
+    // incumbent.
+    return false;
+  };
+}
+
+Comparator weighted_sum_comparator(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument(
+        "weighted_sum_comparator: empty weight vector");
+  }
+  return [weights = std::move(weights)](const VectorEval& a,
+                                        const VectorEval& b) {
+    const int rank = feasibility_rank(a, b);
+    if (rank != 0) return rank > 0;
+    double sa = 0.0;
+    double sb = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (i < a.objectives.size()) sa += weights[i] * a.objectives[i];
+      if (i < b.objectives.size()) sb += weights[i] * b.objectives[i];
+    }
+    return sa < sb;
+  };
+}
+
+}  // namespace windim::search

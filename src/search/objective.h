@@ -1,0 +1,64 @@
+// Vector-valued, constraint-aware objective substrate for the integer
+// searches (pattern search, exhaustive enumeration).
+//
+// The thesis dimensions windows against a single scalar (1/power), but
+// fairness- and utility-aware dimensioning needs more: an evaluation is
+// an *objective vector* plus a feasibility verdict, and "better" is a
+// pluggable strict ordering over full evaluations.  The orderings
+// provided here:
+//
+//   - scalar_comparator(): compares objectives[0] with `<` and nothing
+//     else — the thesis-exact shim.  A scalar objective wrapped into a
+//     one-element vector behaves bit-for-bit like the historical
+//     `double f(Point)` search, including the +inf-encodes-infeasible
+//     convention (the shim never consults `violation`).
+//   - lexicographic_comparator(): feasibility first (any feasible
+//     evaluation beats any infeasible one; two infeasible evaluations
+//     rank by smaller constraint violation), then the objective vector
+//     lexicographically.  This is the ordering the constrained and
+//     alpha-fair window objectives search under: an infeasible region
+//     still has gradient (decreasing violation), so the pattern search
+//     can walk back into the feasible set instead of stalling on a
+//     plateau of +inf.
+//   - weighted_sum_comparator(w): feasibility first, then the
+//     scalarization sum_i w_i * objectives[i].
+//
+// All orderings are strict ("a is better than b"); equality under the
+// ordering keeps the incumbent, which is what makes searches
+// deterministic for any evaluation interleaving.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "search/eval_cache.h"
+
+namespace windim::search {
+
+using VectorObjective = std::function<VectorEval(const Point&)>;
+
+/// Strict "a is better than b" ordering over full evaluations.
+using Comparator =
+    std::function<bool(const VectorEval&, const VectorEval&)>;
+
+/// The historical scalar reading of an evaluation: objectives[0], or
+/// +infinity for an empty vector (nothing was evaluated).
+[[nodiscard]] inline double scalarize(const VectorEval& e) noexcept {
+  return e.objectives.empty() ? std::numeric_limits<double>::infinity()
+                              : e.objectives[0];
+}
+
+/// Thesis-exact shim: strict `<` on objectives[0], violation ignored.
+[[nodiscard]] Comparator scalar_comparator();
+
+/// Feasibility-first, then objectives compared lexicographically.
+[[nodiscard]] Comparator lexicographic_comparator();
+
+/// Feasibility-first, then the weighted sum of the objective vector
+/// (missing components weigh 0).  Throws std::invalid_argument on an
+/// empty weight vector.
+[[nodiscard]] Comparator weighted_sum_comparator(std::vector<double> weights);
+
+}  // namespace windim::search

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/span.h"
 
@@ -16,10 +17,10 @@ namespace {
 /// nullopt exactly once the budget is exhausted; `prefetch` fills the
 /// cache concurrently without affecting the serial acceptance order.
 struct Evaluator {
-  const Objective& objective;
+  const VectorObjective& objective;
   EvalCache& cache;
   util::ThreadPool* pool;
-  const PatternSearchOptions& options;
+  const VectorSearchOptions& options;
   bool exhausted = false;
   bool cancelled = false;
   // on_probe bookkeeping: probe index and the deterministic revisit set
@@ -28,7 +29,7 @@ struct Evaluator {
   std::size_t probe_index = 0;
   std::unordered_set<Point, PointHash> seen;
 
-  std::optional<double> operator()(const Point& p) {
+  std::optional<VectorEval> operator()(const Point& p) {
     if (options.cancel != nullptr && options.cancel->expired()) {
       // Cancellation rides the exhaustion control flow: every caller
       // already unwinds gracefully on a nullopt probe.
@@ -36,14 +37,14 @@ struct Evaluator {
       exhausted = true;
       return std::nullopt;
     }
-    const EvalCache::Result r = cache.lookup_or_reserve(p);
+    EvalCache::Result r = cache.lookup_or_reserve(p);
     if (r.outcome == EvalCache::Outcome::kExhausted) {
       exhausted = true;
       return std::nullopt;
     }
-    double v;
+    VectorEval v;
     if (r.outcome == EvalCache::Outcome::kHit) {
-      v = r.value;
+      v = std::move(r.value);
     } else {
       try {
         v = objective(p);
@@ -94,7 +95,7 @@ struct Evaluator {
   }
 };
 
-bool in_bounds(const Point& p, const PatternSearchOptions& options) {
+bool in_bounds(const Point& p, const VectorSearchOptions& options) {
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (!options.lower_bound.empty() && p[i] < options.lower_bound[i]) {
       return false;
@@ -106,7 +107,7 @@ bool in_bounds(const Point& p, const PatternSearchOptions& options) {
   return true;
 }
 
-Point clip(Point p, const PatternSearchOptions& options) {
+Point clip(Point p, const VectorSearchOptions& options) {
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (!options.lower_bound.empty()) {
       p[i] = std::max(p[i], options.lower_bound[i]);
@@ -122,7 +123,7 @@ Point clip(Point p, const PatternSearchOptions& options) {
 /// (speculation superset: the serial move only evaluates a minus probe
 /// when the plus probe failed, and later probes shift with acceptances).
 std::vector<Point> probe_candidates(const Point& base, const Point& step,
-                                    const PatternSearchOptions& options) {
+                                    const VectorSearchOptions& options) {
   std::vector<Point> candidates;
   candidates.reserve(2 * base.size());
   for (std::size_t i = 0; i < base.size(); ++i) {
@@ -137,47 +138,51 @@ std::vector<Point> probe_candidates(const Point& base, const Point& step,
 }
 
 /// Exploratory move about `base`: perturb each coordinate by +step then
-/// -step, keeping strict improvements (thesis Fig 4.2).  Returns the
-/// explored point and its value.  On budget exhaustion the move stops
-/// accepting further probes and returns the best point reached so far
-/// (`cache.exhausted` is then set).
-std::pair<Point, double> explore(Evaluator& eval, Point base, double f_base,
-                                 const Point& step,
-                                 const PatternSearchOptions& options) {
+/// -step, keeping strict improvements under the comparator (thesis
+/// Fig 4.2).  Returns the explored point and its evaluation.  On budget
+/// exhaustion the move stops accepting further probes and returns the
+/// best point reached so far (`eval.exhausted` is then set).
+std::pair<Point, VectorEval> explore(Evaluator& eval, const Comparator& better,
+                                     Point base, VectorEval f_base,
+                                     const Point& step,
+                                     const VectorSearchOptions& options) {
   obs::SpanTracer::Scope span(options.spans, "explore");
-  const double f_entry = f_base;
   eval.prefetch(probe_candidates(base, step, options));
+  bool improved = false;
   for (std::size_t i = 0; i < base.size() && !eval.exhausted; ++i) {
     Point plus = base;
     plus[i] += step[i];
     if (in_bounds(plus, options)) {
-      const std::optional<double> f_plus = eval(plus);
+      std::optional<VectorEval> f_plus = eval(plus);
       if (!f_plus) break;
-      if (*f_plus < f_base) {
+      if (better(*f_plus, f_base)) {
         base = std::move(plus);
-        f_base = *f_plus;
+        f_base = std::move(*f_plus);
+        improved = true;
         continue;
       }
     }
     Point minus = base;
     minus[i] -= step[i];
     if (in_bounds(minus, options)) {
-      const std::optional<double> f_minus = eval(minus);
+      std::optional<VectorEval> f_minus = eval(minus);
       if (!f_minus) break;
-      if (*f_minus < f_base) {
+      if (better(*f_minus, f_base)) {
         base = std::move(minus);
-        f_base = *f_minus;
+        f_base = std::move(*f_minus);
+        improved = true;
       }
     }
   }
-  span.arg("improved", f_base < f_entry);
-  return {std::move(base), f_base};
+  span.arg("improved", improved);
+  return {std::move(base), std::move(f_base)};
 }
 
 }  // namespace
 
-PatternSearchResult pattern_search(const Objective& objective, Point initial,
-                                   const PatternSearchOptions& options) {
+VectorSearchResult vector_pattern_search(const VectorObjective& objective,
+                                         Point initial,
+                                         const VectorSearchOptions& options) {
   if (initial.empty()) {
     throw std::invalid_argument("pattern_search: empty initial point");
   }
@@ -201,6 +206,8 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   if (!in_bounds(initial, options)) {
     throw std::invalid_argument("pattern_search: initial point out of bounds");
   }
+  const Comparator better =
+      options.better ? options.better : scalar_comparator();
 
   std::unique_ptr<EvalCache> private_cache;
   EvalCache* cache = options.cache;
@@ -212,35 +219,35 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   const std::size_t hits_before = cache->hits();
   Evaluator eval{objective, *cache, options.pool, options, false, false, 0,
                  {}};
-  const auto new_base = [&](const Point& p, double f) {
+  const auto new_base = [&](const Point& p, const VectorEval& f) {
     if (options.on_new_base) options.on_new_base(p, f);
   };
 
-  PatternSearchResult result;
+  VectorSearchResult result;
   Point base = std::move(initial);
-  const std::optional<double> f_initial = eval(base);
+  std::optional<VectorEval> f_initial = eval(base);
   if (!f_initial) {
     // Budget (or the cancel token) did not even cover the initial point.
     result.best = std::move(base);
-    result.best_value = std::numeric_limits<double>::infinity();
     result.cancelled = eval.cancelled;
     result.budget_exhausted = !eval.cancelled;
     return result;
   }
-  double f_base = *f_initial;
+  VectorEval f_base = std::move(*f_initial);
   result.base_points.emplace_back(base, f_base);
   new_base(base, f_base);
 
   int reductions = 0;
   while (!eval.exhausted) {
     // Exploratory move about the current base point.
-    auto [explored, f_explored] = explore(eval, base, f_base, step, options);
-    if (f_explored < f_base) {
+    auto [explored, f_explored] =
+        explore(eval, better, base, f_base, step, options);
+    if (better(f_explored, f_base)) {
       // New base established; enter the pattern-move phase (thesis
       // Fig 4.3/4.4).
       Point previous = base;
       base = std::move(explored);
-      f_base = f_explored;
+      f_base = std::move(f_explored);
       result.base_points.emplace_back(base, f_base);
       new_base(base, f_base);
       while (!eval.exhausted) {
@@ -255,14 +262,14 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
                                                          options);
         candidates.push_back(pattern);
         eval.prefetch(candidates);
-        const std::optional<double> f_pattern = eval(pattern);
+        std::optional<VectorEval> f_pattern = eval(pattern);
         if (!f_pattern) break;
-        auto [next, f_next] =
-            explore(eval, pattern, *f_pattern, step, options);
-        if (f_next < f_base) {
+        auto [next, f_next] = explore(eval, better, pattern,
+                                      std::move(*f_pattern), step, options);
+        if (better(f_next, f_base)) {
           previous = base;
           base = std::move(next);
-          f_base = f_next;
+          f_base = std::move(f_next);
           result.base_points.emplace_back(base, f_base);
           new_base(base, f_base);
         } else {
@@ -290,12 +297,63 @@ PatternSearchResult pattern_search(const Objective& objective, Point initial,
   }
 
   result.best = base;
-  result.best_value = f_base;
+  result.best_eval = std::move(f_base);
   result.evaluations = cache->evaluations() - evaluations_before;
   result.cache_hits = cache->hits() - hits_before;
   result.step_reductions = reductions;
   result.cancelled = eval.cancelled;
   result.budget_exhausted = eval.exhausted && !eval.cancelled;
+  return result;
+}
+
+PatternSearchResult pattern_search(const Objective& objective, Point initial,
+                                   const PatternSearchOptions& options) {
+  // Thesis-exact shim: wrap the scalar objective into one-element
+  // evaluations and search under scalar_comparator().  The comparator
+  // consults objectives[0] alone (+inf encodes infeasible), so the
+  // trajectory, optimum and every counter are bit-for-bit the
+  // historical scalar search.
+  const VectorObjective vector_objective = [&objective](const Point& p) {
+    return VectorEval::scalar(objective(p));
+  };
+  VectorSearchOptions vo;
+  vo.initial_step = options.initial_step;
+  vo.max_step_reductions = options.max_step_reductions;
+  vo.lower_bound = options.lower_bound;
+  vo.upper_bound = options.upper_bound;
+  vo.max_evaluations = options.max_evaluations;
+  vo.cache = options.cache;
+  vo.pool = options.pool;
+  vo.better = scalar_comparator();
+  vo.spans = options.spans;
+  vo.cancel = options.cancel;
+  if (options.on_new_base) {
+    vo.on_new_base = [&options](const Point& p, const VectorEval& f) {
+      options.on_new_base(p, scalarize(f));
+    };
+  }
+  if (options.on_probe) {
+    vo.on_probe = [&options](std::size_t step, const Point& p,
+                             const VectorEval& f, bool revisit) {
+      options.on_probe(step, p, scalarize(f), revisit);
+    };
+  }
+
+  VectorSearchResult vr =
+      vector_pattern_search(vector_objective, std::move(initial), vo);
+
+  PatternSearchResult result;
+  result.best = std::move(vr.best);
+  result.best_value = scalarize(vr.best_eval);
+  result.evaluations = vr.evaluations;
+  result.cache_hits = vr.cache_hits;
+  result.step_reductions = vr.step_reductions;
+  result.budget_exhausted = vr.budget_exhausted;
+  result.cancelled = vr.cancelled;
+  result.base_points.reserve(vr.base_points.size());
+  for (auto& [p, f] : vr.base_points) {
+    result.base_points.emplace_back(std::move(p), scalarize(f));
+  }
   return result;
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "search/eval_cache.h"
+#include "search/objective.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 
@@ -44,9 +45,11 @@ class SpanTracer;  // obs/span.h
 
 namespace windim::search {
 
-/// Objective to minimize; must be defined on every in-bounds point.
-/// Called concurrently from pool threads when speculative exploration is
-/// enabled, so it must be thread-safe (const problem evaluations are).
+/// Scalar objective to minimize; must be defined on every in-bounds
+/// point.  Called concurrently from pool threads when speculative
+/// exploration is enabled, so it must be thread-safe (const problem
+/// evaluations are).  The scalar entry point is a shim over the
+/// vector-valued substrate below — same trajectory, bit-for-bit.
 using Objective = std::function<double(const Point&)>;
 
 struct PatternSearchOptions {
@@ -126,5 +129,54 @@ struct PatternSearchResult {
 [[nodiscard]] PatternSearchResult pattern_search(
     const Objective& objective, Point initial,
     const PatternSearchOptions& options = {});
+
+// ----------------------------------------------------------------------
+// Vector-valued substrate (search/objective.h): the search compares
+// full evaluations — objective vector + feasibility — through a
+// pluggable strict ordering.  The scalar pattern_search above is a
+// shim over this entry point with scalar_comparator(); the Hooke-
+// Jeeves trajectory logic is shared, so the shim is bit-for-bit the
+// historical behavior.
+
+struct VectorSearchOptions {
+  /// See the PatternSearchOptions fields of the same names.
+  Point initial_step;
+  int max_step_reductions = 4;
+  Point lower_bound;
+  Point upper_bound;
+  std::size_t max_evaluations = 1'000'000;
+  EvalCache* cache = nullptr;
+  util::ThreadPool* pool = nullptr;
+  /// Strict "a beats b" ordering; null means scalar_comparator().
+  Comparator better;
+  /// Trajectory hooks over full evaluations (same determinism contract
+  /// as the scalar hooks: serial-replay order, thread-count independent).
+  std::function<void(const Point&, const VectorEval&)> on_new_base;
+  std::function<void(std::size_t step, const Point&, const VectorEval&,
+                     bool revisit)>
+      on_probe;
+  obs::SpanTracer* spans = nullptr;
+  const util::CancelToken* cancel = nullptr;
+};
+
+struct VectorSearchResult {
+  Point best;
+  /// Full evaluation at `best`; empty objectives when the budget did
+  /// not even cover the initial point.
+  VectorEval best_eval;
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;
+  int step_reductions = 0;
+  bool budget_exhausted = false;
+  bool cancelled = false;
+  std::vector<std::pair<Point, VectorEval>> base_points;
+};
+
+/// Minimizes the vector objective from `initial` under options.better.
+/// Throws std::invalid_argument on dimension mismatches or an
+/// out-of-bounds initial point.
+[[nodiscard]] VectorSearchResult vector_pattern_search(
+    const VectorObjective& objective, Point initial,
+    const VectorSearchOptions& options = {});
 
 }  // namespace windim::search

@@ -21,6 +21,12 @@ bool field_allowed(Op op, std::string_view key) {
       return key == "spec" || key == "solver" || key == "solver_threads" ||
              key == "threads" || key == "max_window" || key == "objective" ||
              key == "power_exponent" || key == "max_delay" ||
+             key == "alpha" || key == "min_fairness" ||
+             key == "max_evals" || key == "deadline_ms";
+    case Op::kPareto:
+      return key == "spec" || key == "solver" || key == "solver_threads" ||
+             key == "threads" || key == "max_window" || key == "points" ||
+             key == "min_fairness" || key == "alpha" ||
              key == "max_evals" || key == "deadline_ms";
     case Op::kFuzzReplay:
       return key == "entry" || key == "no_ctmc" || key == "deadline_ms";
@@ -85,6 +91,7 @@ std::string_view to_string(Op op) noexcept {
   switch (op) {
     case Op::kEvaluate: return "evaluate";
     case Op::kDimension: return "dimension";
+    case Op::kPareto: return "pareto";
     case Op::kFuzzReplay: return "fuzz-replay";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
@@ -95,6 +102,7 @@ std::string_view to_string(Op op) noexcept {
 std::optional<Op> op_from_string(std::string_view s) noexcept {
   if (s == "evaluate") return Op::kEvaluate;
   if (s == "dimension") return Op::kDimension;
+  if (s == "pareto") return Op::kPareto;
   if (s == "fuzz-replay") return Op::kFuzzReplay;
   if (s == "stats") return Op::kStats;
   if (s == "shutdown") return Op::kShutdown;
@@ -134,8 +142,8 @@ ParseResult parse_request(std::string_view line) {
   if (!op.has_value()) {
     return fail(std::move(result), ErrorCode::kInvalidRequest,
                 "unknown op '" + op_value->string +
-                    "'; expected evaluate, dimension, fuzz-replay, stats "
-                    "or shutdown");
+                    "'; expected evaluate, dimension, pareto, fuzz-replay, "
+                    "stats or shutdown");
   }
 
   Request request;
@@ -206,6 +214,39 @@ ParseResult parse_request(std::string_view line) {
     out = v->number;
     return std::nullopt;
   };
+  // The registry restricts the alpha-fair aversion to {0, 1, 2, inf};
+  // infinity has no JSON literal, so the wire value is the string "inf".
+  const auto alpha_field = [&]() -> std::optional<ParseResult> {
+    const JsonValue* v = doc->find("alpha");
+    if (v == nullptr) return std::nullopt;
+    if (v->kind == JsonValue::Kind::kString && v->string == "inf") {
+      request.alpha = std::numeric_limits<double>::infinity();
+      request.has_alpha = true;
+      return std::nullopt;
+    }
+    if (v->is_number() &&
+        (v->number == 0.0 || v->number == 1.0 || v->number == 2.0)) {
+      request.alpha = v->number;
+      request.has_alpha = true;
+      return std::nullopt;
+    }
+    return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                ErrorCode::kInvalidRequest,
+                "field 'alpha' must be 0, 1, 2 or \"inf\"");
+  };
+  const auto min_fairness_field = [&]() -> std::optional<ParseResult> {
+    if (doc->find("min_fairness") == nullptr) return std::nullopt;
+    if (auto err = number_field("min_fairness", 0.0, request.min_fairness)) {
+      return err;
+    }
+    if (request.min_fairness > 1.0) {
+      return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                  ErrorCode::kInvalidRequest,
+                  "field 'min_fairness' must be in [0, 1]");
+    }
+    request.has_min_fairness = true;
+    return std::nullopt;
+  };
 
   switch (*op) {
     case Op::kEvaluate: {
@@ -247,9 +288,12 @@ ParseResult parse_request(std::string_view line) {
         return *err;
       }
       if (request.objective != "power" && request.objective != "gpower" &&
-          request.objective != "delaycap") {
+          request.objective != "delaycap" &&
+          request.objective != "alpha-fair" &&
+          request.objective != "power-fair-constrained") {
         return fail(std::move(result), ErrorCode::kInvalidRequest,
-                    "field 'objective' must be power, gpower or delaycap");
+                    "field 'objective' must be power, gpower, delaycap, "
+                    "alpha-fair or power-fair-constrained");
       }
       if (auto err = int_field("solver_threads", 1, 4096,
                                request.solver_threads)) {
@@ -269,6 +313,49 @@ ParseResult parse_request(std::string_view line) {
       if (auto err = number_field("max_delay", 0.0, request.max_delay)) {
         return *err;
       }
+      // A delay cap of zero (or below — number_field already rejects
+      // negatives) can never hold: reject it here with a clear message
+      // instead of reporting every floor infeasible downstream.
+      if (doc->find("max_delay") != nullptr && !(request.max_delay > 0.0)) {
+        return fail(std::move(result), ErrorCode::kInvalidRequest,
+                    "field 'max_delay' must be a positive delay cap in "
+                    "seconds");
+      }
+      if (auto err = alpha_field()) return *err;
+      if (auto err = min_fairness_field()) return *err;
+      long long max_evals = 0;
+      if (auto err = int_field("max_evals", 1,
+                               std::numeric_limits<long long>::max() / 2,
+                               max_evals)) {
+        return *err;
+      }
+      request.max_evals = static_cast<std::size_t>(max_evals);
+      if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
+        return *err;
+      }
+      break;
+    }
+    case Op::kPareto: {
+      if (auto err = string_field("spec", request.spec, true)) return *err;
+      if (auto err = string_field("solver", request.solver, false)) {
+        return *err;
+      }
+      if (auto err = int_field("solver_threads", 1, 4096,
+                               request.solver_threads)) {
+        return *err;
+      }
+      if (auto err = int_field("threads", 1, 4096, request.threads)) {
+        return *err;
+      }
+      if (auto err = int_field("max_window", 1, 1 << 20,
+                               request.max_window)) {
+        return *err;
+      }
+      if (auto err = int_field("points", 2, 64, request.points)) {
+        return *err;
+      }
+      if (auto err = alpha_field()) return *err;
+      if (auto err = min_fairness_field()) return *err;
       long long max_evals = 0;
       if (auto err = int_field("max_evals", 1,
                                std::numeric_limits<long long>::max() / 2,

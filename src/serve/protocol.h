@@ -9,8 +9,11 @@
 //    "id":7}
 //   {"op":"dimension","spec":"...","solver":"auto","max_window":64,
 //    "objective":"power","power_exponent":1.0,"max_delay":0.5,
-//    "threads":1,"solver_threads":1,"max_evals":100000,
-//    "deadline_ms":1000,"id":"job-12"}
+//    "alpha":1,"min_fairness":0.8,"threads":1,"solver_threads":1,
+//    "max_evals":100000,"deadline_ms":1000,"id":"job-12"}
+//   {"op":"pareto","spec":"...","solver":"auto","max_window":64,
+//    "points":9,"min_fairness":0.5,"alpha":"inf","threads":1,
+//    "solver_threads":1,"max_evals":100000,"deadline_ms":5000,"id":8}
 //   {"op":"fuzz-replay","entry":"# windim fuzz corpus v1\n...",
 //    "no_ctmc":true,"id":3}
 //   {"op":"stats","id":4}
@@ -63,6 +66,7 @@ enum class ErrorCode {
 enum class Op {
   kEvaluate,
   kDimension,
+  kPareto,
   kFuzzReplay,
   kStats,
   kShutdown,
@@ -95,6 +99,18 @@ struct Request {
   std::string objective = "power";
   double power_exponent = 1.0;
   double max_delay = 0.0;
+  /// Fairness aversion (dimension objective 'alpha-fair', or the
+  /// optional alpha-fair reference solve of the pareto op): 0, 1, 2 or
+  /// +infinity (wire value the string "inf").  has_alpha records
+  /// whether the field was present.
+  double alpha = 1.0;
+  bool has_alpha = false;
+  /// Jain-fairness floor in [0, 1].  dimension: constraint of the
+  /// 'power-fair-constrained' objective.  pareto: lowest floor of the
+  /// scan (has_min_fairness distinguishes "absent" from 0).
+  double min_fairness = 0.0;
+  bool has_min_fairness = false;
+  int points = 9;                 // pareto: fairness floors to scan
   std::size_t max_evals = 0;      // 0 = engine default
   double deadline_ms = 0.0;       // 0 = server default / none
   // fuzz-replay:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <deque>
@@ -29,6 +30,7 @@
 #include "verify/corpus.h"
 #include "verify/oracle.h"
 #include "windim/dimension.h"
+#include "windim/pareto.h"
 
 namespace windim::serve {
 namespace {
@@ -148,6 +150,7 @@ Server::Server(ServeOptions options)
   if (options_.enable_metrics) reg.set_enabled(true);
   latency_evaluate_ = reg.histogram("windim.serve.latency_us.evaluate");
   latency_dimension_ = reg.histogram("windim.serve.latency_us.dimension");
+  latency_pareto_ = reg.histogram("windim.serve.latency_us.pareto");
   latency_fuzz_replay_ = reg.histogram("windim.serve.latency_us.fuzz_replay");
   latency_stats_ = reg.histogram("windim.serve.latency_us.stats");
 }
@@ -188,6 +191,7 @@ Server::Reply Server::execute(const Request& request) {
   switch (request.op) {
     case Op::kEvaluate: latency = &latency_evaluate_; break;
     case Op::kDimension: latency = &latency_dimension_; break;
+    case Op::kPareto: latency = &latency_pareto_; break;
     case Op::kFuzzReplay: latency = &latency_fuzz_replay_; break;
     case Op::kStats: latency = &latency_stats_; break;
     case Op::kShutdown: break;
@@ -207,6 +211,9 @@ Server::Reply Server::execute(const Request& request) {
           break;
         case Op::kDimension:
           json = run_dimension(request);
+          break;
+        case Op::kPareto:
+          json = run_pareto(request);
           break;
         case Op::kFuzzReplay:
           json = run_fuzz_replay(request);
@@ -326,10 +333,16 @@ std::string Server::run_dimension(const Request& request) {
   if (request.max_evals > 0) opts.max_evaluations = request.max_evals;
   opts.workspaces = &workspaces_;
   opts.cancel = deadline.get();
+  opts.alpha = request.has_alpha ? request.alpha : 1.0;
+  opts.min_fairness = request.has_min_fairness ? request.min_fairness : 0.0;
   if (request.objective == "power") {
     opts.objective = core::DimensionObjective::kPower;
   } else if (request.objective == "gpower") {
     opts.objective = core::DimensionObjective::kGeneralizedPower;
+  } else if (request.objective == "alpha-fair") {
+    opts.objective = core::DimensionObjective::kAlphaFair;
+  } else if (request.objective == "power-fair-constrained") {
+    opts.objective = core::DimensionObjective::kPowerFairConstrained;
   } else {
     opts.objective = core::DimensionObjective::kThroughputUnderDelayCap;
     if (!(request.max_delay > 0.0)) {
@@ -355,6 +368,12 @@ std::string Server::run_dimension(const Request& request) {
   w.end_array();
   w.key("feasible");
   w.value(result.feasible);
+  w.key("objective_vector");
+  w.begin_array();
+  for (const double x : result.objective_vector) w.value(x);
+  w.end_array();
+  w.key("violation");
+  w.value(result.violation);
   w.key("budget_exhausted");
   w.value(result.budget_exhausted);
   w.key("cancelled");
@@ -365,6 +384,118 @@ std::string Server::run_dimension(const Request& request) {
   w.begin_object();
   write_evaluation(w, result.evaluation);
   w.end_object();
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_pareto(const Request& request) {
+  const std::shared_ptr<const CachedModel> model =
+      cache_.lookup_or_compile(request.spec);
+  if (!request.solver.empty() &&
+      solver::SolverRegistry::instance().find(request.solver) == nullptr) {
+    throw ServeError(ErrorCode::kUnknownSolver,
+                     unknown_solver_message(request.solver));
+  }
+
+  const RequestDeadline deadline(request.deadline_ms,
+                                 options_.default_deadline_ms);
+  if (deadline.armed && deadline.token.expired()) {
+    throw util::CancelledError("pareto: deadline expired before scan");
+  }
+
+  core::ParetoOptions popts;
+  popts.base.solver = request.solver;
+  popts.base.max_window = request.max_window;
+  popts.base.threads = request.threads;
+  popts.base.solver_threads = request.solver_threads;
+  if (request.max_evals > 0) popts.base.max_evaluations = request.max_evals;
+  popts.base.workspaces = &workspaces_;
+  popts.base.cancel = deadline.get();
+  popts.num_points = request.points;
+  if (request.has_min_fairness) {
+    popts.min_fairness_floor = request.min_fairness;
+  }
+
+  const core::ParetoFront front = core::pareto_front(model->problem, popts);
+  // A scan the deadline cut short is a failure, not a thinner front: the
+  // client would otherwise mistake the truncated prefix for the curve.
+  if (front.cancelled) {
+    throw util::CancelledError("pareto: deadline expired mid-scan");
+  }
+
+  // Optional alpha-fair reference: where pure utility maximization at
+  // the requested aversion lands relative to the front.
+  std::optional<core::DimensionResult> alpha_ref;
+  if (request.has_alpha) {
+    core::DimensionOptions aopts = popts.base;
+    aopts.objective = core::DimensionObjective::kAlphaFair;
+    aopts.alpha = request.alpha;
+    alpha_ref = core::dimension_windows(model->problem, aopts);
+    if (alpha_ref->cancelled) {
+      throw util::CancelledError("pareto: deadline expired mid-scan");
+    }
+  }
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kPareto);
+  begin_ok_result(w);
+  w.key("points");
+  w.begin_array();
+  for (const core::ParetoPoint& p : front.points) {
+    w.begin_object();
+    w.key("windows");
+    w.begin_array();
+    for (const int e : p.windows) w.value(e);
+    w.end_array();
+    w.key("power");
+    w.value(p.power);
+    w.key("fairness");
+    w.value(p.fairness);
+    w.key("throughput");
+    w.value(p.throughput);
+    w.key("mean_delay");
+    w.value(p.mean_delay);
+    w.key("floor");
+    w.value(p.fairness_floor);
+    w.key("initial");
+    w.begin_array();
+    for (const int e : p.initial_windows) w.value(e);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(front.runs));
+  w.key("infeasible_runs");
+  w.value(static_cast<std::uint64_t>(front.infeasible_runs));
+  w.key("dominated_dropped");
+  w.value(static_cast<std::uint64_t>(front.dominated_dropped));
+  w.key("budget_exhausted");
+  w.value(front.budget_exhausted);
+  if (alpha_ref.has_value()) {
+    w.key("alpha_fair");
+    w.begin_object();
+    w.key("alpha");
+    if (std::isinf(request.alpha)) {
+      w.value(std::string_view("inf"));
+    } else {
+      w.value(request.alpha);
+    }
+    w.key("windows");
+    w.begin_array();
+    for (const int e : alpha_ref->optimal_windows) w.value(e);
+    w.end_array();
+    w.key("feasible");
+    w.value(alpha_ref->feasible);
+    w.key("power");
+    w.value(alpha_ref->evaluation.power);
+    w.key("fairness");
+    w.value(alpha_ref->evaluation.fairness);
+    w.key("throughput");
+    w.value(alpha_ref->evaluation.throughput);
+    w.key("mean_delay");
+    w.value(alpha_ref->evaluation.mean_delay);
+    w.end_object();
+  }
   return finish_reply(std::move(w));
 }
 
@@ -443,6 +574,8 @@ std::string Server::run_stats(const Request& request) {
   w.value(c.evaluate);
   w.key("dimension");
   w.value(c.dimension);
+  w.key("pareto");
+  w.value(c.pareto);
   w.key("fuzz-replay");
   w.value(c.fuzz_replay);
   w.key("stats");
@@ -509,6 +642,8 @@ ServeCounters Server::counters() const {
   c.dimension =
       op_counts_[static_cast<std::size_t>(Op::kDimension)].load(
           std::memory_order_relaxed);
+  c.pareto = op_counts_[static_cast<std::size_t>(Op::kPareto)].load(
+      std::memory_order_relaxed);
   c.fuzz_replay =
       op_counts_[static_cast<std::size_t>(Op::kFuzzReplay)].load(
           std::memory_order_relaxed);

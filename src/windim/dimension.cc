@@ -131,22 +131,17 @@ class EvaluationStore {
   std::vector<const Entry*> anchors_;
 };
 
-double objective_value(const Evaluation& ev, const DimensionOptions& options) {
-  const double inf = std::numeric_limits<double>::infinity();
-  switch (options.objective) {
-    case DimensionObjective::kPower:
-      // Minimize F = 1/P (thesis 4.3); degenerate settings are +inf.
-      return ev.power > 0.0 ? 1.0 / ev.power : inf;
-    case DimensionObjective::kGeneralizedPower: {
-      if (!(ev.throughput > 0.0) || !(ev.mean_delay > 0.0)) return inf;
-      return ev.mean_delay / std::pow(ev.throughput, options.power_exponent);
-    }
-    case DimensionObjective::kThroughputUnderDelayCap:
-      if (!(ev.throughput > 0.0)) return inf;
-      if (ev.mean_delay > options.max_delay) return inf;
-      return -ev.throughput;
-  }
-  return inf;
+/// The ObjectiveSpec a run's options describe (windim/objectives.h owns
+/// the value/comparator semantics).
+ObjectiveSpec objective_spec(const DimensionOptions& options) {
+  ObjectiveSpec spec;
+  spec.kind = options.objective;
+  spec.power_exponent = options.power_exponent;
+  spec.max_delay = options.max_delay;
+  spec.alpha = options.alpha;
+  spec.min_fairness = options.min_fairness;
+  spec.chain_delay_caps = options.chain_delay_caps;
+  return spec;
 }
 
 std::string windows_string(const std::vector<int>& windows) {
@@ -251,16 +246,8 @@ DimensionResult dimension_windows(const WindowProblem& problem,
     e = std::clamp(e, options.min_window, options.max_window);
   }
 
-  if (options.objective == DimensionObjective::kGeneralizedPower &&
-      !(options.power_exponent > 0.0)) {
-    throw std::invalid_argument(
-        "dimension_windows: power_exponent must be positive");
-  }
-  if (options.objective == DimensionObjective::kThroughputUnderDelayCap &&
-      !(options.max_delay > 0.0)) {
-    throw std::invalid_argument(
-        "dimension_windows: max_delay must be positive");
-  }
+  const ObjectiveSpec spec = objective_spec(options);
+  validate(spec, num_classes);
 
   // The run-wide engine state: one memo/budget, one evaluation store,
   // one registry solver, one workspace pool (caller's, if provided, so
@@ -299,7 +286,7 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   const bool observe_solves =
       options.convergence != nullptr ||
       (options.spans != nullptr && options.spans->enabled());
-  const search::Objective objective = [&](const search::Point& e) {
+  const search::VectorObjective objective = [&](const search::Point& e) {
     std::optional<mva::MvaWarmStart> seed;
     if (warm) seed = store.nearest_anchor(e);
     mva::MvaWarmStart state;
@@ -315,14 +302,15 @@ DimensionResult dimension_windows(const WindowProblem& problem,
     Evaluation ev = problem.evaluate_with(
         e, solver, *ws, &options.mva, seed ? &*seed : nullptr, &state,
         recorder ? &*recorder : nullptr);
-    const double value = objective_value(ev, options);
+    search::VectorEval value = objective_vector(ev, spec);
     std::optional<obs::SolveRecord> rec;
     if (recorder && recorder->has_record()) rec = recorder->take_record();
     store.insert(e, std::move(ev), std::move(state), std::move(rec));
     return value;
   };
 
-  search::PatternSearchOptions ps;
+  search::VectorSearchOptions ps;
+  ps.better = objective_comparator(spec);
   ps.lower_bound.assign(static_cast<std::size_t>(num_classes),
                         options.min_window);
   ps.upper_bound.assign(static_cast<std::size_t>(num_classes),
@@ -336,7 +324,7 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   ps.spans = options.spans;
   ps.cancel = options.cancel;
   if (warm) {
-    ps.on_new_base = [&](const search::Point& p, double) {
+    ps.on_new_base = [&](const search::Point& p, const search::VectorEval&) {
       store.add_anchor(p);
     };
   }
@@ -347,13 +335,16 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   if (spans_on) replay_track = options.spans->add_track("replay");
   double replay_cursor_us = 0.0;
   if (options.trace != nullptr || observe_solves) {
-    ps.on_probe = [&](std::size_t step, const search::Point& p, double value,
-                      bool revisit) {
+    ps.on_probe = [&](std::size_t step, const search::Point& p,
+                      const search::VectorEval& eval, bool revisit) {
+      const double value = search::scalarize(eval);
       if (options.trace != nullptr) {
         obs::TraceRecord rec;
         rec.step = step;
         rec.windows = p;
         rec.objective = value;
+        rec.objective_vector = eval.objectives;
+        rec.violation = eval.violation;
         if (const auto ev = store.find(p)) rec.power = ev->power;
         rec.solver = solver_name;
         rec.cache_hit = revisit;
@@ -381,12 +372,13 @@ DimensionResult dimension_windows(const WindowProblem& problem,
     };
   }
 
-  search::PatternSearchResult ps_result;
+  search::VectorSearchResult ps_result;
   {
     obs::SpanTracer::Scope search_span(options.spans, "search");
     search_span.arg("solver", solver_name);
     search_span.arg("threads", static_cast<std::int64_t>(pool_size));
-    ps_result = search::pattern_search(objective, std::move(initial), ps);
+    ps_result =
+        search::vector_pattern_search(objective, std::move(initial), ps);
     search_span.arg("evaluations",
                     static_cast<std::int64_t>(ps_result.evaluations));
     search_span.arg("base_points",
@@ -394,10 +386,13 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   }
 
   DimensionResult result;
-  result.feasible = std::isfinite(ps_result.best_value);
+  result.feasible = std::isfinite(search::scalarize(ps_result.best_eval)) &&
+                    ps_result.best_eval.feasible();
   result.budget_exhausted = ps_result.budget_exhausted;
   result.cancelled = ps_result.cancelled;
   result.optimal_windows = ps_result.best;
+  result.objective_vector = ps_result.best_eval.objectives;
+  result.violation = ps_result.best_eval.violation;
   // The best point was already evaluated inside the objective; reuse it
   // rather than re-running the evaluator.  (The store can only miss when
   // the budget did not even cover the initial point.)
@@ -408,7 +403,10 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   }
   result.objective_evaluations = ps_result.evaluations;
   result.cache_hits = ps_result.cache_hits;
-  result.base_points = ps_result.base_points;
+  result.base_points.reserve(ps_result.base_points.size());
+  for (const auto& [p, f] : ps_result.base_points) {
+    result.base_points.emplace_back(p, search::scalarize(f));
+  }
 
   // Run-level accounting into the global registry (off by default; the
   // guard keeps the disabled path free of registration work).  Counter
@@ -418,6 +416,10 @@ DimensionResult dimension_windows(const WindowProblem& problem,
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) {
     reg.counter("search.runs").add();
+    reg.counter(std::string("search.objective.") + to_string(spec.kind) +
+                ".runs")
+        .add();
+    reg.gauge("windim.violation").record_max(result.violation);
     reg.counter("search.probes").add(cache.probes());
     reg.counter("search.cache_hits").add(cache.hits());
     reg.counter("search.cache_misses").add(cache.misses());

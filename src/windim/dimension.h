@@ -13,6 +13,7 @@
 
 #include "search/pattern_search.h"
 #include "solver/workspace.h"
+#include "windim/objectives.h"
 #include "windim/problem.h"
 
 namespace windim::obs {
@@ -23,18 +24,10 @@ class SpanTracer;
 
 namespace windim::core {
 
-/// What the search maximizes.
-enum class DimensionObjective {
-  /// Network power P = throughput / delay (thesis eq. 4.19).
-  kPower,
-  /// Kleinrock's generalized power P_a = throughput^alpha / delay:
-  /// alpha > 1 weights throughput more (larger windows), alpha < 1
-  /// weights delay more (smaller windows).
-  kGeneralizedPower,
-  /// Maximize throughput subject to mean network delay <= max_delay;
-  /// settings violating the cap are infeasible.
-  kThroughputUnderDelayCap,
-};
+/// What the search maximizes — the objective registry of
+/// windim/objectives.h (kPower, kGeneralizedPower,
+/// kThroughputUnderDelayCap, kAlphaFair, kPowerFairConstrained).
+using DimensionObjective = ObjectiveKind;
 
 struct DimensionOptions {
   Evaluator evaluator = Evaluator::kHeuristicMva;
@@ -46,8 +39,18 @@ struct DimensionOptions {
   DimensionObjective objective = DimensionObjective::kPower;
   /// Exponent alpha for kGeneralizedPower.
   double power_exponent = 1.0;
-  /// Delay cap (seconds) for kThroughputUnderDelayCap.
+  /// Delay cap (seconds) for kThroughputUnderDelayCap; optional extra
+  /// mean-delay cap (0 = off) for kPowerFairConstrained.
   double max_delay = 0.0;
+  /// Fairness aversion for kAlphaFair: 0 (max throughput), 1
+  /// (proportional fair), 2 (TCP-fair) or +infinity (max-min).
+  double alpha = 1.0;
+  /// Jain-fairness floor in [0, 1] for kPowerFairConstrained (binding)
+  /// and kAlphaFair (optional, 0 = off).
+  double min_fairness = 0.0;
+  /// Optional per-chain delay caps (seconds) for kPowerFairConstrained;
+  /// empty = none, else one positive cap per class.
+  std::vector<double> chain_delay_caps;
   /// Empty = Kleinrock hop-count initialization.
   std::vector<int> initial_windows;
   /// Inclusive window bounds for the search box.
@@ -123,6 +126,12 @@ struct DimensionOptions {
 struct DimensionResult {
   std::vector<int> optimal_windows;
   Evaluation evaluation;  // metrics at the optimum
+  /// Full objective vector at the optimum (windim/objectives.h); a
+  /// one-element [F] for the thesis scalars.
+  std::vector<double> objective_vector;
+  /// Total constraint slack at the optimum (<= 0 means the constraints
+  /// hold; always 0 for the unconstrained scalars).
+  double violation = 0.0;
   /// False when no window setting satisfied the objective's constraints
   /// (e.g. a delay cap below the minimum achievable delay); in that case
   /// `optimal_windows` is just the search's start and must not be used.

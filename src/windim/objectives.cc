@@ -1,0 +1,224 @@
+#include "windim/objectives.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace windim::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sum of alpha-fair utilities over the per-chain throughputs; requires
+/// every throughput > 0 (the caller screens that first).
+double alpha_fair_utility(const std::vector<double>& rates, double alpha) {
+  if (std::isinf(alpha)) {
+    double m = kInf;
+    for (double x : rates) m = std::min(m, x);
+    return m;
+  }
+  double u = 0.0;
+  for (double x : rates) {
+    if (alpha == 0.0) {
+      u += x;
+    } else if (alpha == 1.0) {
+      u += std::log(x);
+    } else {  // alpha == 2, validated
+      u += -1.0 / x;
+    }
+  }
+  return u;
+}
+
+search::VectorEval alpha_fair_eval(const Evaluation& ev,
+                                   const ObjectiveSpec& spec) {
+  // Chains pushed to zero throughput have unbounded disutility for
+  // a >= 1; treat them as a constraint violation for every a so the
+  // comparator ranks such settings by how many chains are starved
+  // rather than by an arbitrary infinity.
+  std::size_t starved = 0;
+  for (double x : ev.class_throughput) {
+    if (!(x > 0.0)) ++starved;
+  }
+  search::VectorEval out;
+  double violation = static_cast<double>(starved);
+  if (spec.min_fairness > 0.0) {
+    violation += std::max(0.0, spec.min_fairness - ev.fairness);
+  }
+  out.violation = violation;
+  if (starved > 0 || ev.class_throughput.empty()) {
+    out.objectives = {kInf, ev.power > 0.0 ? 1.0 / ev.power : kInf};
+    return out;
+  }
+  // Minimize the negative utility; carry 1/P as a deterministic
+  // secondary key so lexicographic ties (plateaus of the utility) break
+  // toward the more powerful setting instead of the incumbent's
+  // arbitrary position.
+  const double utility = alpha_fair_utility(ev.class_throughput, spec.alpha);
+  out.objectives = {-utility, ev.power > 0.0 ? 1.0 / ev.power : kInf};
+  return out;
+}
+
+search::VectorEval power_fair_eval(const Evaluation& ev,
+                                   const ObjectiveSpec& spec) {
+  search::VectorEval out;
+  double violation = std::max(0.0, spec.min_fairness - ev.fairness);
+  if (spec.max_delay > 0.0) {
+    violation += std::max(0.0, ev.mean_delay - spec.max_delay);
+  }
+  for (std::size_t r = 0; r < spec.chain_delay_caps.size(); ++r) {
+    if (r < ev.class_delay.size()) {
+      violation += std::max(0.0, ev.class_delay[r] - spec.chain_delay_caps[r]);
+    }
+  }
+  out.violation = violation;
+  // Secondary key -fairness: among equal-power settings the fairer one
+  // wins (deterministic plateau tie-break).
+  out.objectives = {ev.power > 0.0 ? 1.0 / ev.power : kInf, -ev.fairness};
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ObjectiveKind k) noexcept {
+  switch (k) {
+    case ObjectiveKind::kPower:
+      return "power";
+    case ObjectiveKind::kGeneralizedPower:
+      return "gpower";
+    case ObjectiveKind::kThroughputUnderDelayCap:
+      return "delaycap";
+    case ObjectiveKind::kAlphaFair:
+      return "alpha-fair";
+    case ObjectiveKind::kPowerFairConstrained:
+      return "power-fair-constrained";
+  }
+  return "?";
+}
+
+std::vector<const char*> objective_kind_names() {
+  return {"power", "gpower", "delaycap", "alpha-fair",
+          "power-fair-constrained"};
+}
+
+ObjectiveKind objective_kind_from_string(std::string_view name) {
+  if (name == "power") return ObjectiveKind::kPower;
+  if (name == "gpower") return ObjectiveKind::kGeneralizedPower;
+  if (name == "delaycap") return ObjectiveKind::kThroughputUnderDelayCap;
+  if (name == "alpha-fair") return ObjectiveKind::kAlphaFair;
+  if (name == "power-fair-constrained") {
+    return ObjectiveKind::kPowerFairConstrained;
+  }
+  std::string msg = "unknown objective '";
+  msg += name;
+  msg += "'; available:";
+  for (const char* n : objective_kind_names()) {
+    msg += ' ';
+    msg += n;
+  }
+  throw std::invalid_argument(msg);
+}
+
+void validate(const ObjectiveSpec& spec, int num_classes) {
+  switch (spec.kind) {
+    case ObjectiveKind::kPower:
+      break;
+    case ObjectiveKind::kGeneralizedPower:
+      if (!(spec.power_exponent > 0.0)) {
+        throw std::invalid_argument(
+            "objective gpower: power_exponent must be positive");
+      }
+      break;
+    case ObjectiveKind::kThroughputUnderDelayCap:
+      if (!(spec.max_delay > 0.0)) {
+        throw std::invalid_argument(
+            "objective delaycap: max_delay must be positive");
+      }
+      break;
+    case ObjectiveKind::kAlphaFair:
+      if (!(spec.alpha == 0.0 || spec.alpha == 1.0 || spec.alpha == 2.0 ||
+            (std::isinf(spec.alpha) && spec.alpha > 0.0))) {
+        throw std::invalid_argument(
+            "objective alpha-fair: alpha must be 0, 1, 2 or inf");
+      }
+      if (spec.min_fairness < 0.0 || spec.min_fairness > 1.0 ||
+          std::isnan(spec.min_fairness)) {
+        throw std::invalid_argument(
+            "objective alpha-fair: min_fairness must be in [0, 1]");
+      }
+      break;
+    case ObjectiveKind::kPowerFairConstrained:
+      if (spec.min_fairness < 0.0 || spec.min_fairness > 1.0 ||
+          std::isnan(spec.min_fairness)) {
+        throw std::invalid_argument(
+            "objective power-fair-constrained: min_fairness must be in "
+            "[0, 1]");
+      }
+      if (spec.max_delay < 0.0 || std::isnan(spec.max_delay)) {
+        throw std::invalid_argument(
+            "objective power-fair-constrained: max_delay must be positive "
+            "(0 disables the cap)");
+      }
+      if (num_classes >= 0 && !spec.chain_delay_caps.empty() &&
+          spec.chain_delay_caps.size() != static_cast<std::size_t>(
+                                              num_classes)) {
+        throw std::invalid_argument(
+            "objective power-fair-constrained: chain_delay_caps size "
+            "mismatch");
+      }
+      for (double cap : spec.chain_delay_caps) {
+        if (!(cap > 0.0)) {
+          throw std::invalid_argument(
+              "objective power-fair-constrained: chain delay caps must be "
+              "positive");
+        }
+      }
+      break;
+  }
+}
+
+search::VectorEval objective_vector(const Evaluation& ev,
+                                    const ObjectiveSpec& spec) {
+  switch (spec.kind) {
+    case ObjectiveKind::kPower:
+      return search::VectorEval::scalar(ev.power > 0.0 ? 1.0 / ev.power
+                                                       : kInf);
+    case ObjectiveKind::kGeneralizedPower: {
+      if (!(ev.throughput > 0.0) || !(ev.mean_delay > 0.0)) {
+        return search::VectorEval::scalar(kInf);
+      }
+      return search::VectorEval::scalar(
+          ev.mean_delay / std::pow(ev.throughput, spec.power_exponent));
+    }
+    case ObjectiveKind::kThroughputUnderDelayCap: {
+      if (!(ev.throughput > 0.0)) return search::VectorEval::scalar(kInf);
+      if (ev.mean_delay > spec.max_delay) {
+        return search::VectorEval::scalar(kInf);
+      }
+      return search::VectorEval::scalar(-ev.throughput);
+    }
+    case ObjectiveKind::kAlphaFair:
+      return alpha_fair_eval(ev, spec);
+    case ObjectiveKind::kPowerFairConstrained:
+      return power_fair_eval(ev, spec);
+  }
+  return search::VectorEval::scalar(kInf);
+}
+
+search::Comparator objective_comparator(const ObjectiveSpec& spec) {
+  switch (spec.kind) {
+    case ObjectiveKind::kPower:
+    case ObjectiveKind::kGeneralizedPower:
+    case ObjectiveKind::kThroughputUnderDelayCap:
+      // Thesis scalars: the shim comparator, pinned bit-for-bit by
+      // tests/objectives_test.cc.
+      return search::scalar_comparator();
+    case ObjectiveKind::kAlphaFair:
+    case ObjectiveKind::kPowerFairConstrained:
+      return search::lexicographic_comparator();
+  }
+  return search::scalar_comparator();
+}
+
+}  // namespace windim::core

@@ -1,0 +1,99 @@
+// Dimensioning objective registry: maps an Evaluation (windows ->
+// throughput/delay/power/fairness) to the vector-valued evaluations the
+// search substrate compares (search/objective.h).
+//
+// Two families:
+//
+//  * The thesis scalars — power 1/P, Kleinrock's generalized power
+//    T/lambda^a, throughput under a delay cap — stay one-element
+//    vectors with violation 0 and compare under scalar_comparator();
+//    their trajectories are bit-for-bit the historical searches.
+//
+//  * Fairness/utility-aware objectives — the alpha-fair utility family
+//    of Walton/Kelly (alpha = 0 max-throughput, 1 proportional-fair,
+//    2 TCP-fair, infinity max-min) and constrained power (maximize P
+//    subject to a Jain-fairness floor over per-chain powers and
+//    optional delay caps) — carry their constraint slack in
+//    VectorEval::violation and compare feasibility-first under
+//    lexicographic_comparator(), so the search keeps a descent
+//    direction even while outside the feasible region.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/objective.h"
+#include "windim/problem.h"
+
+namespace windim::core {
+
+enum class ObjectiveKind {
+  /// Network power P = throughput / delay (thesis eq. 4.19); minimize
+  /// 1/P.
+  kPower,
+  /// Generalized power: minimize delay / throughput^a.
+  kGeneralizedPower,
+  /// Maximize throughput subject to mean delay <= max_delay.
+  kThroughputUnderDelayCap,
+  /// Maximize the alpha-fair utility sum over per-chain throughputs,
+  ///   U_a(x) = x           (a = 0, max total throughput)
+  ///   U_a(x) = log x       (a = 1, proportional fairness)
+  ///   U_a(x) = -1/x        (a = 2, TCP-fair / min potential delay)
+  ///   U_a(x) = min_r x_r   (a = infinity, max-min fairness)
+  /// An optional Jain-fairness floor folds into the violation term.
+  kAlphaFair,
+  /// Maximize power subject to Jain fairness (over chain powers) >=
+  /// min_fairness, plus optional per-chain and mean delay caps.
+  kPowerFairConstrained,
+};
+
+/// Full description of what a dimensioning run optimizes.  The scalar
+/// knobs mirror DimensionOptions; validate() enforces the domain rules.
+struct ObjectiveSpec {
+  ObjectiveKind kind = ObjectiveKind::kPower;
+  /// Exponent a for kGeneralizedPower (> 0).
+  double power_exponent = 1.0;
+  /// Mean-delay cap (seconds): required > 0 for
+  /// kThroughputUnderDelayCap; optional (0 = off) extra constraint for
+  /// kPowerFairConstrained.
+  double max_delay = 0.0;
+  /// Fairness aversion for kAlphaFair: 0, 1, 2 or +infinity.
+  double alpha = 1.0;
+  /// Jain-fairness floor in [0, 1]: the binding constraint of
+  /// kPowerFairConstrained; optional (0 = off) for kAlphaFair.
+  double min_fairness = 0.0;
+  /// Optional per-chain delay caps (seconds, all > 0) for
+  /// kPowerFairConstrained; empty = none, else one cap per class.
+  std::vector<double> chain_delay_caps;
+};
+
+[[nodiscard]] const char* to_string(ObjectiveKind k) noexcept;
+/// Parses a registry name ("power", "gpower", "delaycap", "alpha-fair",
+/// "power-fair-constrained"); throws std::invalid_argument listing the
+/// registry on unknown names.
+[[nodiscard]] ObjectiveKind objective_kind_from_string(std::string_view name);
+/// Every registry name, in a fixed order (for parity sweeps and docs).
+[[nodiscard]] std::vector<const char*> objective_kind_names();
+
+/// Throws std::invalid_argument on out-of-domain knobs (non-positive
+/// power_exponent or max_delay where required, alpha outside
+/// {0, 1, 2, inf}, min_fairness outside [0, 1], non-positive or
+/// mis-sized chain delay caps).  `num_classes` < 0 skips the
+/// chain_delay_caps size check.
+void validate(const ObjectiveSpec& spec, int num_classes = -1);
+
+/// The vector evaluation of one window setting under `spec`.  All
+/// objectives minimize objectives[0]; constrained kinds report their
+/// total constraint slack in `violation` (<= 0 means feasible).  The
+/// thesis scalars return exactly VectorEval::scalar(legacy value).
+[[nodiscard]] search::VectorEval objective_vector(const Evaluation& ev,
+                                                  const ObjectiveSpec& spec);
+
+/// The comparator the search must rank evaluations with:
+/// scalar_comparator() for the thesis scalars (bit-for-bit history),
+/// lexicographic_comparator() for the constrained kinds.
+[[nodiscard]] search::Comparator objective_comparator(
+    const ObjectiveSpec& spec);
+
+}  // namespace windim::core

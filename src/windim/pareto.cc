@@ -1,0 +1,361 @@
+#include "windim/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "mva/bounds.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace windim::core {
+namespace {
+
+ParetoPoint make_point(const DimensionResult& r, double floor,
+                       std::vector<int> seed) {
+  ParetoPoint p;
+  p.windows = r.optimal_windows;
+  p.power = r.evaluation.power;
+  p.fairness = r.evaluation.fairness;
+  p.throughput = r.evaluation.throughput;
+  p.mean_delay = r.evaluation.mean_delay;
+  p.fairness_floor = floor;
+  p.initial_windows = std::move(seed);
+  p.evaluation = r.evaluation;
+  return p;
+}
+
+/// True when `a` weakly dominates `b` in the maximize-(power, fairness)
+/// sense with at least one strict edge.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.power >= b.power && a.fairness >= b.fairness &&
+         (a.power > b.power || a.fairness > b.fairness);
+}
+
+}  // namespace
+
+ParetoFront pareto_front(const WindowProblem& problem,
+                         const ParetoOptions& options) {
+  if (options.num_points < 2) {
+    throw std::invalid_argument("pareto_front: num_points must be >= 2");
+  }
+  if (!(options.max_fairness_floor > 0.0) ||
+      options.max_fairness_floor > 1.0 ||
+      std::isnan(options.max_fairness_floor)) {
+    throw std::invalid_argument(
+        "pareto_front: max_fairness_floor must be in (0, 1]");
+  }
+  if (options.min_fairness_floor > 1.0 ||
+      std::isnan(options.min_fairness_floor)) {
+    throw std::invalid_argument(
+        "pareto_front: min_fairness_floor must be <= 1 (negative = auto)");
+  }
+
+  ParetoFront front;
+
+  // Anchor: the unconstrained power optimum fixes the low-fairness end
+  // of the scan (floors below its fairness would all rediscover it).
+  DimensionOptions unconstrained = options.base;
+  unconstrained.objective = DimensionObjective::kPower;
+  unconstrained.min_fairness = 0.0;
+  const DimensionResult anchor = dimension_windows(problem, unconstrained);
+  front.budget_exhausted = anchor.budget_exhausted;
+  if (anchor.cancelled) {
+    front.cancelled = true;
+    return front;
+  }
+  // Second anchor: the most fairness this problem can reach.  A floor
+  // of 1.0 is (almost always) infeasible everywhere, and the
+  // feasibility-first comparator then minimizes the violation
+  // 1 - fairness — i.e. the solve climbs Jain fairness directly.  Its
+  // fairness brackets the scan from above; floors beyond it would all
+  // come back infeasible (the failure mode of a naive [F0, 1] grid).
+  DimensionOptions fairest = options.base;
+  fairest.objective = DimensionObjective::kPowerFairConstrained;
+  fairest.min_fairness = 1.0;
+  fairest.initial_windows = anchor.optimal_windows;
+  const DimensionResult fair_anchor = dimension_windows(problem, fairest);
+  front.budget_exhausted |= fair_anchor.budget_exhausted;
+  if (fair_anchor.cancelled) {
+    front.cancelled = true;
+    return front;
+  }
+  // An explicit caller floor is honored verbatim, even above
+  // max_fairness_floor — asking for the unreachable should come back as
+  // infeasible runs, not as a silently relaxed scan.
+  const double f0 =
+      options.min_fairness_floor >= 0.0
+          ? options.min_fairness_floor
+          : std::min(anchor.evaluation.fairness, options.max_fairness_floor);
+  const double f1 =
+      std::clamp(fair_anchor.evaluation.fairness, f0,
+                 std::max(f0, options.max_fairness_floor));
+
+  // Distinct floors only: a collapsed bracket (caller floor above the
+  // achievable maximum, or a perfectly fair anchor) runs once, not
+  // num_points times.
+  std::vector<double> floors;
+  floors.reserve(static_cast<std::size_t>(options.num_points));
+  for (int i = 0; i < options.num_points; ++i) {
+    const double floor =
+        f0 + (f1 - f0) * static_cast<double>(i) /
+                 static_cast<double>(options.num_points - 1);
+    if (floors.empty() || floor != floors.back()) floors.push_back(floor);
+  }
+
+  std::vector<ParetoPoint> candidates;
+  std::vector<int> seed = anchor.optimal_windows;
+  for (const double floor : floors) {
+    if (options.base.cancel != nullptr && options.base.cancel->expired()) {
+      front.cancelled = true;
+      break;
+    }
+    DimensionOptions constrained = options.base;
+    constrained.objective = DimensionObjective::kPowerFairConstrained;
+    constrained.min_fairness = floor;
+    constrained.initial_windows = seed;  // warm start: previous optimum
+    const DimensionResult r = dimension_windows(problem, constrained);
+    ++front.runs;
+    front.budget_exhausted |= r.budget_exhausted;
+    if (r.cancelled) {
+      front.cancelled = true;
+      break;
+    }
+    if (!r.feasible) {
+      // Floors only rise, but a tighter floor may still be feasible
+      // from a different start; keep scanning rather than bailing, so
+      // a locally-infeasible solve does not truncate the front.
+      ++front.infeasible_runs;
+      continue;
+    }
+    candidates.push_back(make_point(r, floor, seed));
+    seed = r.optimal_windows;
+  }
+
+  // Dominance filter over the candidate set (duplicate window vectors
+  // collapse first — adjacent floors often share an optimum).
+  std::set<std::vector<int>> seen;
+  std::vector<ParetoPoint> unique;
+  for (ParetoPoint& c : candidates) {
+    if (seen.insert(c.windows).second) unique.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < unique.size(); ++j) {
+      if (i != j && dominates(unique[j], unique[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      ++front.dominated_dropped;
+    } else {
+      front.points.push_back(std::move(unique[i]));
+    }
+  }
+  std::sort(front.points.begin(), front.points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.fairness != b.fairness) return a.fairness < b.fairness;
+              if (a.power != b.power) return a.power > b.power;
+              return a.windows < b.windows;
+            });
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("windim.pareto.scans").add();
+    reg.counter("windim.pareto.runs").add(front.runs);
+    reg.counter("windim.pareto.points").add(front.points.size());
+    reg.counter("windim.pareto.infeasible_runs").add(front.infeasible_runs);
+    reg.counter("windim.pareto.dominated_dropped")
+        .add(front.dominated_dropped);
+    if (!front.points.empty()) {
+      reg.gauge("windim.pareto.max_power")
+          .record_max(front.points.front().power);
+      reg.gauge("windim.pareto.max_fairness")
+          .record_max(front.points.back().fairness);
+    }
+  }
+  return front;
+}
+
+std::string to_json(const ParetoFront& front) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("points");
+  w.begin_array();
+  for (const ParetoPoint& p : front.points) {
+    w.begin_object();
+    w.key("windows");
+    w.begin_array();
+    for (int x : p.windows) w.value(x);
+    w.end_array();
+    w.key("power");
+    w.value(p.power);
+    w.key("fairness");
+    w.value(p.fairness);
+    w.key("throughput");
+    w.value(p.throughput);
+    w.key("mean_delay");
+    w.value(p.mean_delay);
+    w.key("floor");
+    w.value(p.fairness_floor);
+    w.key("initial");
+    w.begin_array();
+    for (int x : p.initial_windows) w.value(x);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(front.runs));
+  w.key("infeasible_runs");
+  w.value(static_cast<std::uint64_t>(front.infeasible_runs));
+  w.key("dominated_dropped");
+  w.value(static_cast<std::uint64_t>(front.dominated_dropped));
+  w.key("budget_exhausted");
+  w.value(front.budget_exhausted);
+  w.key("cancelled");
+  w.value(front.cancelled);
+  w.end_object();
+  return std::move(w).str();
+}
+
+namespace {
+
+/// Window-independent per-chain data for the balanced-job box prunes:
+/// service demands from the unit-window network plus a lazily grown
+/// per-(chain, population) cache of isolated balanced-job throughput
+/// upper bounds.  Isolated-chain analysis is optimistic in a closed
+/// multichain network (contention between chains only lowers a chain's
+/// throughput) and monotone in the population, so the bound at a box's
+/// top corner bounds every point in the box.
+struct BalancedJobState {
+  struct ChainDemands {
+    std::vector<double> queueing;  // route + reentrant source queue
+    double route_demand = 0.0;     // no-queueing route delay lower bound
+  };
+  std::vector<ChainDemands> chains;
+  double min_route_demand = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> ub_cache;
+
+  double lambda_ub(std::size_t r, int population) {
+    if (population < 1) return 0.0;
+    std::vector<double>& cache = ub_cache[r];
+    const std::size_t idx = static_cast<std::size_t>(population);
+    if (idx >= cache.size()) {
+      cache.resize(idx + 1, -1.0);
+    }
+    if (cache[idx] < 0.0) {
+      cache[idx] =
+          mva::balanced_job_bounds(chains[r].queueing, 0.0, population)
+              .throughput_upper;
+    }
+    return cache[idx];
+  }
+};
+
+std::shared_ptr<BalancedJobState> collect_balanced_job_state(
+    const WindowProblem& problem) {
+  const int num_classes = problem.num_classes();
+  const qn::CyclicNetwork net =
+      problem.network(std::vector<int>(static_cast<std::size_t>(num_classes),
+                                       1));
+  auto state = std::make_shared<BalancedJobState>();
+  state->chains.reserve(static_cast<std::size_t>(num_classes));
+  for (int r = 0; r < num_classes; ++r) {
+    const qn::CyclicChain& c = net.chains.at(static_cast<std::size_t>(r));
+    BalancedJobState::ChainDemands d;
+    d.queueing = c.service_times;
+    const int source = problem.source_station(r);
+    for (std::size_t k = 0; k < c.route.size(); ++k) {
+      if (c.route[k] != source) d.route_demand += c.service_times[k];
+    }
+    state->min_route_demand =
+        std::min(state->min_route_demand, d.route_demand);
+    state->chains.push_back(std::move(d));
+  }
+  state->ub_cache.resize(state->chains.size());
+  return state;
+}
+
+}  // namespace
+
+search::BoxPrune balanced_job_power_prune(const WindowProblem& problem) {
+  auto state = collect_balanced_job_state(problem);
+  if (!(state->min_route_demand > 0.0)) {
+    return {};  // a zero-demand route defeats every delay lower bound
+  }
+
+  return [state](const search::Point&, const search::Point& box_upper,
+                 const search::VectorEval& incumbent) {
+    if (!incumbent.feasible()) return false;
+    const double best = incumbent.scalar_value();  // 1/P at the incumbent
+    if (!(best > 0.0) || !std::isfinite(best)) return false;
+    const std::size_t num_chains = state->chains.size();
+    std::vector<double> lambda_ub(num_chains, 0.0);
+    for (std::size_t r = 0; r < num_chains; ++r) {
+      lambda_ub[r] = state->lambda_ub(r, box_upper[r]);
+    }
+    // Network power is (sum lambda)^2 / (sum lambda_r T_r) (Little over
+    // the route populations), and each chain's delay is at least its
+    // no-queueing route demand d_r.  f(x) = (sum x)^2 / (sum x_r d_r)
+    // is quadratic-over-linear, hence convex, so its maximum over the
+    // box 0 <= x_r <= lambda_ub_r sits at a vertex — a subset of chains
+    // at their throughput bound.  Enumerating the subsets gives a sound
+    // power upper bound, far tighter than sum(lambda_ub) / min d_r.
+    double power_ub = 0.0;
+    if (num_chains <= 12) {
+      const std::size_t vertices = (std::size_t{1} << num_chains) - 1;
+      for (std::size_t mask = 1; mask <= vertices; ++mask) {
+        double rate = 0.0;
+        double weighted_demand = 0.0;
+        for (std::size_t r = 0; r < num_chains; ++r) {
+          if ((mask >> r) & 1u) {
+            rate += lambda_ub[r];
+            weighted_demand += lambda_ub[r] * state->chains[r].route_demand;
+          }
+        }
+        if (weighted_demand > 0.0) {
+          power_ub = std::max(power_ub, rate * rate / weighted_demand);
+        }
+      }
+    } else {
+      // Too many chains to enumerate: fall back to the looser (but
+      // still sound) min-demand denominator.
+      double rate = 0.0;
+      double min_demand = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < num_chains; ++r) {
+        rate += lambda_ub[r];
+        min_demand = std::min(min_demand, state->chains[r].route_demand);
+      }
+      if (min_demand > 0.0) power_ub = rate / min_demand;
+    }
+    // The box cannot contain a point with 1/P < best.
+    return power_ub > 0.0 && 1.0 / power_ub > best;
+  };
+}
+
+search::BoxPrune balanced_job_throughput_prune(const WindowProblem& problem) {
+  auto state = collect_balanced_job_state(problem);
+
+  return [state](const search::Point&, const search::Point& box_upper,
+                 const search::VectorEval& incumbent) {
+    if (!incumbent.feasible()) return false;
+    const double best = incumbent.scalar_value();  // -sum(lambda)
+    if (!std::isfinite(best)) return false;
+    double rate = 0.0;
+    for (std::size_t r = 0; r < state->chains.size(); ++r) {
+      rate += state->lambda_ub(r, box_upper[r]);
+    }
+    // No point in the box can carry more than `rate` total throughput,
+    // so its best objective value is -rate; prune when even that loses
+    // to the incumbent.
+    return -rate > best;
+  };
+}
+
+}  // namespace windim::core

@@ -38,7 +38,10 @@
 #include "qn/network.h"
 #include "qn/traffic.h"
 #include "search/exhaustive.h"
+#include "search/objective.h"
 #include "search/pattern_search.h"
 #include "windim/capacity.h"
 #include "windim/dimension.h"
+#include "windim/objectives.h"
+#include "windim/pareto.h"
 #include "windim/problem.h"

@@ -78,7 +78,7 @@ TEST(EvalCacheTest, LookupOrReserveClassifiesAndCountsExactly) {
   cache.insert({1, 2}, 3.5);
   const auto hit = cache.lookup_or_reserve({1, 2});
   ASSERT_EQ(hit.outcome, search::EvalCache::Outcome::kHit);
-  EXPECT_DOUBLE_EQ(hit.value, 3.5);
+  EXPECT_DOUBLE_EQ(hit.value.scalar_value(), 3.5);
   EXPECT_EQ(cache.evaluations(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
@@ -145,7 +145,7 @@ TEST(EvalCacheTest, ExactStatsUnderConcurrentHammer) {
           cache.insert(p, static_cast<double>(i));
         } else {
           ASSERT_EQ(r.outcome, search::EvalCache::Outcome::kHit);
-          EXPECT_DOUBLE_EQ(r.value, static_cast<double>(i));
+          EXPECT_DOUBLE_EQ(r.value.scalar_value(), static_cast<double>(i));
         }
       });
     }

@@ -1,0 +1,282 @@
+// The objective registry (windim/objectives.h): name round-trips,
+// option validation, the exact objective-vector semantics of every
+// kind, the Jain-fairness pins of Evaluation.fairness, and the
+// exhaustive/pattern-search parity sweep over the whole registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "search/exhaustive.h"
+#include "search/pattern_search.h"
+#include "windim/windim.h"
+
+namespace windim::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+WindowProblem two_class_problem(double s1 = 20.0, double s2 = 20.0) {
+  return WindowProblem(net::canada_topology(),
+                       net::two_class_traffic(s1, s2));
+}
+
+WindowProblem four_class_problem() {
+  return WindowProblem(net::canada_topology(),
+                       net::four_class_traffic(6.0, 6.0, 6.0, 12.0));
+}
+
+/// Jain's index computed from first principles, independent of
+/// obs::jain_fairness: (sum x)^2 / (n * sum x^2).
+double jain_by_hand(const std::vector<double>& x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+/// The per-class power allocation Evaluation.fairness is judged over.
+std::vector<double> powers_by_hand(const Evaluation& ev) {
+  std::vector<double> p;
+  for (std::size_t r = 0; r < ev.class_throughput.size(); ++r) {
+    p.push_back(ev.class_throughput[r] / ev.class_delay[r]);
+  }
+  return p;
+}
+
+TEST(ObjectiveRegistryTest, NamesRoundTrip) {
+  const std::vector<const char*> names = objective_kind_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const char* name : names) {
+    EXPECT_STREQ(to_string(objective_kind_from_string(name)), name);
+  }
+}
+
+TEST(ObjectiveRegistryTest, UnknownNameListsTheRegistry) {
+  try {
+    (void)objective_kind_from_string("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    for (const char* name : objective_kind_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(ObjectiveRegistryTest, ValidateRejectsOutOfDomainKnobs) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kGeneralizedPower;
+  spec.power_exponent = 0.0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = {};
+  spec.kind = ObjectiveKind::kThroughputUnderDelayCap;
+  spec.max_delay = 0.0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = {};
+  spec.kind = ObjectiveKind::kAlphaFair;
+  spec.alpha = 0.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.alpha = kInf;
+  EXPECT_NO_THROW(validate(spec));
+
+  spec = {};
+  spec.kind = ObjectiveKind::kPowerFairConstrained;
+  spec.min_fairness = 1.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.min_fairness = 0.8;
+  spec.chain_delay_caps = {0.1, -0.2};
+  EXPECT_THROW(validate(spec, 2), std::invalid_argument);
+  spec.chain_delay_caps = {0.1, 0.2, 0.3};
+  EXPECT_THROW(validate(spec, 2), std::invalid_argument);  // size mismatch
+  spec.chain_delay_caps = {0.1, 0.2};
+  EXPECT_NO_THROW(validate(spec, 2));
+}
+
+// ---------------------------------------------------------------------
+// Evaluation.fairness pins: Jain's index over per-class powers, checked
+// against a from-first-principles computation.
+
+TEST(FairnessPinTest, SingleChainIsPerfectlyFair) {
+  std::vector<net::TrafficClass> classes = net::two_class_traffic(20.0, 20.0);
+  classes.resize(1);
+  const WindowProblem p(net::canada_topology(), std::move(classes));
+  const Evaluation ev = p.evaluate({3});
+  EXPECT_GT(ev.power, 0.0);
+  EXPECT_DOUBLE_EQ(ev.fairness, 1.0);
+}
+
+TEST(FairnessPinTest, SymmetricTwoClassIsPerfectlyFair) {
+  const Evaluation ev = two_class_problem().evaluate({3, 3});
+  EXPECT_DOUBLE_EQ(ev.class_throughput[0], ev.class_throughput[1]);
+  EXPECT_DOUBLE_EQ(ev.fairness, 1.0);
+}
+
+TEST(FairnessPinTest, AsymmetricTwoClassMatchesHandComputedJain) {
+  const Evaluation ev = two_class_problem(10.0, 30.0).evaluate({2, 5});
+  const double jain = jain_by_hand(powers_by_hand(ev));
+  EXPECT_GT(jain, 0.0);
+  EXPECT_LT(jain, 1.0);
+  EXPECT_DOUBLE_EQ(ev.fairness, jain);
+}
+
+TEST(FairnessPinTest, FourClassMatchesHandComputedJain) {
+  const Evaluation ev = four_class_problem().evaluate({2, 3, 2, 4});
+  const double jain = jain_by_hand(powers_by_hand(ev));
+  EXPECT_GT(jain, 0.0);
+  EXPECT_LT(jain, 1.0);
+  EXPECT_DOUBLE_EQ(ev.fairness, jain);
+  // Two-value sanity anchor: Jain of {1, 3} is (1+3)^2 / (2*(1+9)).
+  EXPECT_DOUBLE_EQ(jain_by_hand({1.0, 3.0}), 16.0 / 20.0);
+}
+
+// ---------------------------------------------------------------------
+// objective_vector semantics, one synthetic evaluation per kind.
+
+Evaluation synthetic_eval() {
+  Evaluation ev;
+  ev.throughput = 30.0;
+  ev.mean_delay = 0.1;
+  ev.power = 300.0;
+  ev.class_throughput = {10.0, 20.0};
+  ev.class_delay = {0.1, 0.1};
+  ev.fairness = 0.9;
+  return ev;
+}
+
+TEST(ObjectiveVectorTest, PowerIsTheScalarShim) {
+  const search::VectorEval v =
+      objective_vector(synthetic_eval(), ObjectiveSpec{});
+  ASSERT_EQ(v.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.objectives[0], 1.0 / 300.0);
+  EXPECT_DOUBLE_EQ(v.violation, 0.0);
+}
+
+TEST(ObjectiveVectorTest, GeneralizedPowerUsesTheExponent) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kGeneralizedPower;
+  spec.power_exponent = 2.0;
+  const search::VectorEval v = objective_vector(synthetic_eval(), spec);
+  ASSERT_EQ(v.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.objectives[0], 0.1 / (30.0 * 30.0));
+}
+
+TEST(ObjectiveVectorTest, DelayCapEncodesInfeasibilityAsInfinity) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kThroughputUnderDelayCap;
+  spec.max_delay = 0.2;
+  EXPECT_DOUBLE_EQ(objective_vector(synthetic_eval(), spec).objectives[0],
+                   -30.0);
+  spec.max_delay = 0.05;  // cap below the evaluation's mean delay
+  EXPECT_EQ(objective_vector(synthetic_eval(), spec).objectives[0], kInf);
+}
+
+TEST(ObjectiveVectorTest, AlphaFairUtilitiesPerAlpha) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kAlphaFair;
+  const Evaluation ev = synthetic_eval();
+
+  spec.alpha = 0.0;  // total throughput
+  search::VectorEval v = objective_vector(ev, spec);
+  ASSERT_EQ(v.objectives.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.objectives[0], -(10.0 + 20.0));
+  EXPECT_DOUBLE_EQ(v.objectives[1], 1.0 / 300.0);
+  EXPECT_DOUBLE_EQ(v.violation, 0.0);
+
+  spec.alpha = 1.0;  // proportional fairness
+  v = objective_vector(ev, spec);
+  EXPECT_DOUBLE_EQ(v.objectives[0], -(std::log(10.0) + std::log(20.0)));
+
+  spec.alpha = 2.0;  // harmonic
+  v = objective_vector(ev, spec);
+  EXPECT_DOUBLE_EQ(v.objectives[0], 1.0 / 10.0 + 1.0 / 20.0);
+
+  spec.alpha = kInf;  // max-min
+  v = objective_vector(ev, spec);
+  EXPECT_DOUBLE_EQ(v.objectives[0], -10.0);
+}
+
+TEST(ObjectiveVectorTest, AlphaFairCountsStarvedChainsAsViolation) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kAlphaFair;
+  spec.alpha = 1.0;
+  Evaluation ev = synthetic_eval();
+  ev.class_throughput = {0.0, 20.0};
+  const search::VectorEval v = objective_vector(ev, spec);
+  EXPECT_DOUBLE_EQ(v.violation, 1.0);
+  EXPECT_EQ(v.objectives[0], kInf);
+}
+
+TEST(ObjectiveVectorTest, PowerFairConstrainedReportsSlack) {
+  ObjectiveSpec spec;
+  spec.kind = ObjectiveKind::kPowerFairConstrained;
+  spec.min_fairness = 0.95;
+  const search::VectorEval v = objective_vector(synthetic_eval(), spec);
+  ASSERT_EQ(v.objectives.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.objectives[0], 1.0 / 300.0);
+  EXPECT_DOUBLE_EQ(v.objectives[1], -0.9);
+  EXPECT_NEAR(v.violation, 0.05, 1e-12);  // fairness 0.9 under floor 0.95
+  EXPECT_FALSE(v.feasible());
+
+  spec.min_fairness = 0.8;
+  spec.max_delay = 0.05;  // mean delay 0.1 exceeds the cap by 0.05
+  EXPECT_NEAR(objective_vector(synthetic_eval(), spec).violation, 0.05,
+              1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive/pattern-search parity over the whole registry: on a small
+// box the Hooke-Jeeves search must reach an evaluation the full
+// enumeration cannot strictly beat, for every objective kind.
+
+TEST(ObjectiveParityTest, PatternSearchMatchesExhaustiveForEveryKind) {
+  const WindowProblem problem = two_class_problem(10.0, 30.0);
+  const double cap = problem.evaluate({2, 2}).mean_delay;
+  for (const char* name : objective_kind_names()) {
+    ObjectiveSpec spec;
+    spec.kind = objective_kind_from_string(name);
+    if (spec.kind == ObjectiveKind::kGeneralizedPower) {
+      spec.power_exponent = 2.0;
+    }
+    if (spec.kind == ObjectiveKind::kThroughputUnderDelayCap) {
+      spec.max_delay = cap;  // feasible at (2, 2) by construction
+    }
+    if (spec.kind == ObjectiveKind::kPowerFairConstrained) {
+      spec.min_fairness = 0.5;
+    }
+    validate(spec, problem.num_classes());
+    const search::Comparator better = objective_comparator(spec);
+    const search::VectorObjective objective =
+        [&](const search::Point& p) {
+          return objective_vector(problem.evaluate(p), spec);
+        };
+
+    search::VectorExhaustiveOptions eo;
+    eo.better = better;
+    const search::VectorExhaustiveResult exhaustive =
+        search::vector_exhaustive_search(objective, {1, 1}, {4, 4}, eo);
+
+    search::VectorSearchOptions so;
+    so.lower_bound = {1, 1};
+    so.upper_bound = {4, 4};
+    so.better = better;
+    const search::VectorSearchResult pattern =
+        search::vector_pattern_search(objective, {1, 1}, so);
+
+    // Parity under the kind's own ordering: the global enumeration
+    // cannot strictly beat what the pattern search found.
+    EXPECT_FALSE(better(exhaustive.best_eval, pattern.best_eval))
+        << "objective " << name << " pattern best lost to exhaustive";
+    EXPECT_LE(pattern.evaluations, exhaustive.evaluations) << name;
+  }
+}
+
+}  // namespace
+}  // namespace windim::core

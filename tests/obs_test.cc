@@ -281,13 +281,16 @@ TEST(SearchTraceTest, JsonlHasFixedFieldOrder) {
   r.step = 3;
   r.windows = {2, 5};
   r.objective = 0.125;
+  r.objective_vector = {0.125, -0.5};
+  r.violation = 0.25;
   r.power = 8.0;
   r.solver = "heuristic-mva";
   r.cache_hit = true;
   r.anchor = {2, 4};
   trace.append(std::move(r));
   EXPECT_EQ(trace.to_jsonl(),
-            "{\"step\":3,\"windows\":[2,5],\"F\":0.125,\"P\":8,"
+            "{\"step\":3,\"windows\":[2,5],\"F\":0.125,\"obj\":[0.125,-0.5],"
+            "\"viol\":0.25,\"P\":8,"
             "\"solver\":\"heuristic-mva\",\"cache_hit\":true,"
             "\"anchor\":[2,4],\"thread\":0}\n");
 }

@@ -168,7 +168,7 @@ TEST(EvalCacheTest, ShardCountDerivesFromHardwareAndStaysClamped) {
   cache.insert({1, 2, 3}, 7.0);
   const auto hit = cache.lookup_or_reserve({1, 2, 3});
   EXPECT_EQ(hit.outcome, EvalCache::Outcome::kHit);
-  EXPECT_EQ(hit.value, 7.0);
+  EXPECT_EQ(hit.value.scalar_value(), 7.0);
   EXPECT_EQ(cache.probes(), cache.hits() + cache.misses());
 }
 
@@ -332,6 +332,123 @@ TEST(ExhaustiveTest, RejectsEmptyBox) {
   const Objective f = [](const Point&) { return 0.0; };
   EXPECT_THROW((void)exhaustive_search(f, {2}, {1}), std::invalid_argument);
   EXPECT_THROW((void)exhaustive_search(f, {}, {}), std::invalid_argument);
+}
+
+TEST(ComparatorTest, ScalarComparatorIgnoresViolation) {
+  const Comparator better = scalar_comparator();
+  const VectorEval lo{{1.0}, 5.0};  // infeasible but smaller objective
+  const VectorEval hi{{2.0}, 0.0};
+  EXPECT_TRUE(better(lo, hi));
+  EXPECT_FALSE(better(hi, lo));
+  // Equality keeps the incumbent: neither beats the other.
+  EXPECT_FALSE(better(lo, lo));
+}
+
+TEST(ComparatorTest, LexicographicRanksFeasibilityFirst) {
+  const Comparator better = lexicographic_comparator();
+  const VectorEval feasible{{9.0, 9.0}, 0.0};
+  const VectorEval infeasible{{1.0, 1.0}, 0.5};
+  const VectorEval worse_infeasible{{1.0, 1.0}, 2.0};
+  EXPECT_TRUE(better(feasible, infeasible));
+  EXPECT_FALSE(better(infeasible, feasible));
+  // Two infeasible evaluations rank by smaller violation — the search
+  // can walk downhill in constraint slack back into the feasible set.
+  EXPECT_TRUE(better(infeasible, worse_infeasible));
+  // Two feasible evaluations rank lexicographically.
+  const VectorEval tied_first{{9.0, 1.0}, 0.0};
+  EXPECT_TRUE(better(tied_first, feasible));
+  EXPECT_FALSE(better(feasible, feasible));
+}
+
+TEST(ComparatorTest, WeightedSumScalarizesAfterFeasibility) {
+  const Comparator better = weighted_sum_comparator({1.0, 10.0});
+  const VectorEval a{{5.0, 0.0}, 0.0};  // sum 5
+  const VectorEval b{{0.0, 1.0}, 0.0};  // sum 10
+  EXPECT_TRUE(better(a, b));
+  const VectorEval infeasible{{-100.0, -100.0}, 1.0};
+  EXPECT_TRUE(better(b, infeasible));
+  EXPECT_THROW((void)weighted_sum_comparator({}), std::invalid_argument);
+}
+
+TEST(VectorSearchTest, ScalarShimIsBitForBitThePatternSearch) {
+  // The historical scalar search and the vector substrate under the
+  // scalar comparator must agree on everything observable: optimum,
+  // value, evaluation count and the full base-point trajectory.
+  const Objective f = [](const Point& p) { return quadratic(p, {6, 2}); };
+  PatternSearchOptions so;
+  so.lower_bound = {0, 0};
+  so.upper_bound = {9, 9};
+  const PatternSearchResult scalar = pattern_search(f, {1, 8}, so);
+
+  VectorSearchOptions vo;
+  vo.lower_bound = {0, 0};
+  vo.upper_bound = {9, 9};
+  const VectorSearchResult vec = vector_pattern_search(
+      [&](const Point& p) { return VectorEval::scalar(f(p)); }, {1, 8}, vo);
+
+  EXPECT_EQ(vec.best, scalar.best);
+  EXPECT_EQ(scalarize(vec.best_eval), scalar.best_value);
+  EXPECT_EQ(vec.evaluations, scalar.evaluations);
+  ASSERT_EQ(vec.base_points.size(), scalar.base_points.size());
+  for (std::size_t i = 0; i < vec.base_points.size(); ++i) {
+    EXPECT_EQ(vec.base_points[i].first, scalar.base_points[i].first);
+    EXPECT_EQ(scalarize(vec.base_points[i].second),
+              scalar.base_points[i].second);
+  }
+}
+
+TEST(VectorSearchTest, ExhaustiveShimIsBitForBitTheEnumeration) {
+  const Objective f = [](const Point& p) { return quadratic(p, {2, 4}); };
+  const ExhaustiveResult scalar = exhaustive_search(f, {1, 1}, {5, 5});
+  const VectorExhaustiveResult vec = vector_exhaustive_search(
+      [&](const Point& p) { return VectorEval::scalar(f(p)); }, {1, 1},
+      {5, 5});
+  EXPECT_EQ(vec.best, scalar.best);
+  EXPECT_EQ(scalarize(vec.best_eval), scalar.best_value);
+  EXPECT_EQ(vec.evaluations, scalar.evaluations);
+  EXPECT_EQ(vec.pruned, 0u);
+}
+
+TEST(VectorSearchTest, LexicographicSearchWalksBackIntoFeasibleRegion) {
+  // Feasible set: p[0] >= 5.  Violation decreases toward it, so the
+  // constrained search escapes an infeasible start instead of stalling
+  // on a plateau of +inf the way the scalar encoding would.
+  const VectorObjective f = [](const Point& p) {
+    VectorEval e;
+    e.objectives = {quadratic(p, {7, 3})};
+    e.violation = std::max(0.0, 5.0 - static_cast<double>(p[0]));
+    return e;
+  };
+  VectorSearchOptions vo;
+  vo.lower_bound = {0, 0};
+  vo.upper_bound = {9, 9};
+  vo.better = lexicographic_comparator();
+  const VectorSearchResult r = vector_pattern_search(f, {0, 0}, vo);
+  EXPECT_EQ(r.best, (Point{7, 3}));
+  EXPECT_TRUE(r.best_eval.feasible());
+}
+
+TEST(VectorSearchTest, BoxPruneSkipsLatticeAndKeepsOptimum) {
+  // Objective p[0] + p[1] over [0,4]^2; the sound optimistic bound of a
+  // sub-box is the value at its lower corner, so boxes whose lower
+  // corner already loses to the incumbent are skipped wholesale.
+  const VectorObjective f = [](const Point& p) {
+    return VectorEval::scalar(static_cast<double>(p[0] + p[1]));
+  };
+  const VectorExhaustiveResult full =
+      vector_exhaustive_search(f, {0, 0}, {4, 4});
+  VectorExhaustiveOptions options;
+  options.prune = [](const Point& box_lower, const Point&,
+                     const VectorEval& incumbent) {
+    double bound = 0.0;
+    for (int v : box_lower) bound += v;
+    return bound > incumbent.objectives[0];
+  };
+  const VectorExhaustiveResult pruned =
+      vector_exhaustive_search(f, {0, 0}, {4, 4}, options);
+  EXPECT_EQ(pruned.best, full.best);
+  EXPECT_GT(pruned.pruned, 0u);
+  EXPECT_EQ(pruned.evaluations + pruned.pruned, full.evaluations);
 }
 
 }  // namespace

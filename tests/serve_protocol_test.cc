@@ -269,6 +269,90 @@ TEST(ServeProtocol, StreamHandlesTruncatedInputAndStaysOrdered) {
   EXPECT_EQ(error_code(parse_reply(lines[2])), "parse_error");
 }
 
+TEST(ServeProtocol, ParetoReplyCarriesFrontAndAlphaFairReference) {
+  serve::Server server(serial_options());
+  const std::string line = "{\"op\":\"pareto\",\"spec\":\"" +
+                           json_escape(kSpec) +
+                           "\",\"points\":5,\"alpha\":\"inf\",\"id\":11}";
+  const auto reply = parse_reply(server.handle_line(line).json);
+  EXPECT_TRUE(reply.find("ok")->boolean);
+  EXPECT_EQ(reply.string_or("op", ""), "pareto");
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  const obs::JsonValue* points = result->find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_FALSE(points->array.empty());
+  double last_fairness = -1.0;
+  for (const obs::JsonValue& p : points->array) {
+    EXPECT_GT(p.number_or("power", 0.0), 0.0);
+    EXPECT_EQ(p.find("windows")->array.size(), 2u);
+    EXPECT_EQ(p.find("initial")->array.size(), 2u);
+    // Ascending fairness: the documented sort order of the front.
+    EXPECT_GT(p.number_or("fairness", -1.0), last_fairness);
+    last_fairness = p.number_or("fairness", -1.0);
+  }
+  EXPECT_GE(result->number_or("runs", 0.0), 1.0);
+  const obs::JsonValue* ref = result->find("alpha_fair");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->string_or("alpha", ""), "inf");  // echoed as the string
+  EXPECT_EQ(ref->find("windows")->array.size(), 2u);
+}
+
+TEST(ServeProtocol, ParetoInfeasibleFloorComesBackEmptyNotRelaxed) {
+  // A fairness floor above the spec's achievable Jain maximum: the
+  // golden shape is ok:true with an EMPTY front and the infeasible run
+  // counted — never a silently widened scan.
+  serve::Server server(serial_options());
+  const std::string line = "{\"op\":\"pareto\",\"spec\":\"" +
+                           json_escape(kSpec) +
+                           "\",\"min_fairness\":0.9999,\"id\":12}";
+  const auto reply = parse_reply(server.handle_line(line).json);
+  ASSERT_TRUE(reply.find("ok")->boolean);
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->find("points")->array.empty());
+  EXPECT_EQ(result->number_or("runs", 0.0), 1.0);
+  EXPECT_EQ(result->number_or("infeasible_runs", 0.0), 1.0);
+  expect_alive(server);
+}
+
+TEST(ServeProtocol, ParetoFaultsAreTypedErrors) {
+  serve::Server server(serial_options());
+  const std::string spec = json_escape(kSpec);
+  const struct {
+    std::string line;
+    const char* code;
+  } cases[] = {
+      // malformed alpha: only 0, 1, 2 or the string "inf" are lawful
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"alpha\":0.5}",
+       "invalid_request"},
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"alpha\":\"lots\"}",
+       "invalid_request"},
+      // fairness floor outside [0, 1]
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"min_fairness\":1.5}",
+       "invalid_request"},
+      // degenerate scan resolution
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"points\":1}",
+       "invalid_request"},
+      // unknown solver is screened before any solve
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"solver\":\"nope\"}",
+       "unknown_solver"},
+      // expired deadline: refused whole, not answered with a truncated
+      // front
+      {"{\"op\":\"pareto\",\"spec\":\"" + spec + "\",\"deadline_ms\":1e-6}",
+       "deadline_exceeded"},
+      // dimension twin of the CLI check: a non-positive delay cap
+      {"{\"op\":\"dimension\",\"spec\":\"" + spec + "\",\"max_delay\":0}",
+       "invalid_request"},
+  };
+  for (const auto& c : cases) {
+    const auto reply = parse_reply(server.handle_line(c.line).json);
+    EXPECT_FALSE(reply.find("ok")->boolean) << c.line;
+    EXPECT_EQ(error_code(reply), c.code) << c.line;
+    expect_alive(server);
+  }
+}
+
 TEST(ServeProtocol, ShutdownStopsIntakeAndLaterRequestsAreRefused) {
   serve::Server server(serial_options());
   std::istringstream in("{\"op\":\"shutdown\",\"id\":1}\n" +
