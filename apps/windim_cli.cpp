@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "cli/spec.h"
+#include "control/matrix.h"
+#include "control/registry.h"
+#include "control/scenario.h"
 #include "obs/convergence.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -67,6 +70,14 @@ int usage() {
       "                       [--reps=N]\n"
       "  windim_cli sweep     <spec> [--loads=0.5,1,1.5,2] [--solver=NAME]\n"
       "                       [--threads=N]\n"
+      "  windim_cli scenario  <spec> [--policies=A,B] [--scenarios=A,B]\n"
+      "                       [--time=S] [--warmup=S] [--seed=N] "
+      "[--jobs=N]\n"
+      "                       [--max-window=N] [--solver=NAME]\n"
+      "                       [--tracking-period=S] "
+      "[--ramp=T:F,T:F,...]\n"
+      "                       [--scorecard-out=FILE] [--metrics-out=FILE]\n"
+      "                       [--trace-spans-out=FILE]\n"
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
       "  windim_cli serve     --socket=PATH | --stdio [--threads=N]\n"
       "                       [--cache-size=N] [--max-request-bytes=N]\n"
@@ -521,6 +532,161 @@ int cmd_simulate(const cli::NetworkSpec& spec,
   return 0;
 }
 
+/// Splits a comma-separated value list ("a,b,c") into tokens.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string token = value.substr(pos, comma - pos);
+    if (!token.empty()) tokens.push_back(token);
+    pos = comma + 1;
+  }
+  return tokens;
+}
+
+int cmd_scenario(const cli::NetworkSpec& spec,
+                 const std::vector<std::string>& args) {
+  control::MatrixOptions options;
+  std::string scorecard_out;
+  std::string metrics_out;
+  std::string spans_out;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "policies")) {
+      options.policies = split_csv(*v);
+      for (const std::string& name : options.policies) {
+        if (!control::is_policy(name)) {
+          std::fprintf(stderr, "error: %s\n",
+                       control::unknown_policy_message(name).c_str());
+          return 2;
+        }
+      }
+    } else if (auto v = flag_value(arg, "scenarios")) {
+      options.scenarios = split_csv(*v);
+      for (const std::string& name : options.scenarios) {
+        if (!control::is_scenario(name)) {
+          std::fprintf(stderr, "error: %s\n",
+                       control::unknown_scenario_message(name).c_str());
+          return 2;
+        }
+      }
+    } else if (auto v = flag_value(arg, "time")) {
+      options.sim_time = std::stod(*v);
+      if (!(options.sim_time > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --time must be a positive duration in seconds\n");
+        return 2;
+      }
+      options.warmup = options.sim_time / 10.0;
+    } else if (auto v = flag_value(arg, "warmup")) {
+      options.warmup = std::stod(*v);
+      if (options.warmup < 0.0) {
+        std::fprintf(
+            stderr,
+            "error: --warmup must be a non-negative duration in seconds\n");
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "seed")) {
+      options.seed = static_cast<std::uint64_t>(std::stoull(*v));
+    } else if (auto v = flag_value(arg, "jobs")) {
+      options.jobs = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "max-window")) {
+      options.max_window = std::stoi(*v);
+    } else if (auto v = flag_value(arg, "solver")) {
+      if (resolve_solver(*v) == nullptr) return 2;
+      options.solver = *v;
+    } else if (auto v = flag_value(arg, "tracking-period")) {
+      options.tracking_period = std::stod(*v);
+      if (!(options.tracking_period > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --tracking-period must be a positive duration "
+                     "in seconds\n");
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "ramp")) {
+      // T:FACTOR[,T:FACTOR...] — a custom piecewise-linear load
+      // profile replacing the built-in ramp scenario.
+      for (const std::string& token : split_csv(*v)) {
+        const std::size_t colon = token.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= token.size()) {
+          std::fprintf(stderr,
+                       "error: --ramp expects T:FACTOR[,T:FACTOR...]\n");
+          return 2;
+        }
+        sim::RateBreakpoint bp;
+        bp.time = std::stod(token.substr(0, colon));
+        bp.factor = std::stod(token.substr(colon + 1));
+        options.custom_ramp.points.push_back(bp);
+      }
+      // Rejects out-of-order breakpoints and negative factors up
+      // front, before any cell runs.
+      try {
+        options.custom_ramp.validate();
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "scorecard-out")) {
+      scorecard_out = *v;
+    } else if (auto v = flag_value(arg, "metrics-out")) {
+      metrics_out = *v;
+    } else if (auto v = flag_value(arg, "trace-spans-out")) {
+      spans_out = *v;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_out.empty()) obs::MetricsRegistry::global().set_enabled(true);
+  if (!spans_out.empty()) obs::SpanTracer::global().set_enabled(true);
+
+  const control::MatrixResult result =
+      control::run_matrix(spec.topology, spec.classes, options);
+
+  std::printf("static WINDIM optimum: %s  power %.2f  delay %.4f s\n",
+              util::format_window(result.static_windows).c_str(),
+              result.static_power, result.static_delay);
+  std::printf("matrix: %zu scenarios x %zu policies, %.0f s each, seed "
+              "%llu\n",
+              result.scenarios.size(), result.policies.size(),
+              result.sim_time,
+              static_cast<unsigned long long>(result.seed));
+  util::TextTable table({"scenario", "policy", "power", "delay(ms)",
+                         "p99(ms)", "loss", "fairness"});
+  for (const control::MatrixCell& cell : result.cells) {
+    table.begin_row()
+        .add(cell.scenario)
+        .add(cell.policy)
+        .add(cell.power, 2)
+        .add(cell.mean_delay * 1000.0, 2)
+        .add(cell.p99_delay * 1000.0, 2)
+        .add(cell.loss, 4)
+        .add(cell.fairness, 4);
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (!scorecard_out.empty()) {
+    std::ofstream out(scorecard_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   scorecard_out.c_str());
+      return 1;
+    }
+    out << control::render_scorecard(result);
+    if (!out) return 1;
+    std::printf("scorecard:  %s\n", scorecard_out.c_str());
+  }
+  if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
+  if (!spans_out.empty() &&
+      !obs::SpanTracer::global().write_json(spans_out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", spans_out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_sweep(const cli::NetworkSpec& spec,
               const std::vector<std::string>& args) {
   std::vector<double> factors{0.5, 1.0, 1.5, 2.0};
@@ -816,6 +982,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(*spec, args);
     if (command == "simulate") return cmd_simulate(*spec, args);
     if (command == "sweep") return cmd_sweep(*spec, args);
+    if (command == "scenario") return cmd_scenario(*spec, args);
     if (command == "capacity") return cmd_capacity(*spec, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

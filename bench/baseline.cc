@@ -119,6 +119,21 @@ std::vector<CheckSpec> perf_pareto_checks(double tolerance_pct) {
   };
 }
 
+std::vector<CheckSpec> perf_scenario_checks(double tolerance_pct) {
+  // The scorecard identity gates are deterministic by construction
+  // (per-cell seeding, preallocated slots, fixed render order), so they
+  // carry zero tolerance; only the stationary-cell power ratio is
+  // allowed statistical drift around 1.0.
+  return {
+      {"scenario_cells", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"scenario_deterministic", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"scenario_reproducible", Direction::kHigherIsBetter, 0.0, 0.0},
+      {"scenario_stationary_power_ratio", Direction::kHigherIsBetter,
+       tolerance_pct, 0.5},
+      {"scenario_pass", Direction::kHigherIsBetter, 0.0, 0.0},
+  };
+}
+
 std::vector<CheckSpec> wall_clock_checks(double tolerance_pct) {
   // Millisecond floors keep sub-millisecond phases from flagging on
   // scheduler jitter.  Same-machine comparisons only.

@@ -97,6 +97,14 @@ struct BaselineReport {
 [[nodiscard]] std::vector<CheckSpec> perf_pareto_checks(
     double tolerance_pct = 25.0);
 
+/// The scale-free default checks for bench_perf_scenario --check: the
+/// cell count, worker-count determinism and seed reproducibility gates
+/// are exact; the stationary/static power ratio vs the analytic optimum
+/// is a ratio metric under `tolerance_pct` (floored at 0.5 — it sits
+/// near 1.0 by construction).
+[[nodiscard]] std::vector<CheckSpec> perf_scenario_checks(
+    double tolerance_pct = 25.0);
+
 /// Same-machine wall-clock checks (opt-in): serial_cold_ms,
 /// pr1_baseline_ms, engine_ms, instrumented_ms.
 [[nodiscard]] std::vector<CheckSpec> wall_clock_checks(

@@ -1,0 +1,254 @@
+#include "control/matrix.h"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "control/registry.h"
+#include "obs/derived.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/msgnet_sim.h"
+#include "util/thread_pool.h"
+#include "windim/dimension.h"
+#include "windim/problem.h"
+
+namespace windim::control {
+namespace {
+
+double cell_wall_us(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t base, std::size_t scenario_idx,
+                        std::size_t policy_idx) {
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ull *
+                               (static_cast<std::uint64_t>(scenario_idx) *
+                                    1024ull +
+                                static_cast<std::uint64_t>(policy_idx) + 1ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+MatrixResult run_matrix(const net::Topology& topology,
+                        const std::vector<net::TrafficClass>& classes,
+                        const MatrixOptions& options) {
+  if (!(options.sim_time > 0.0)) {
+    throw std::invalid_argument(
+        "scenario matrix: sim time must be a positive duration in seconds");
+  }
+  if (options.warmup < 0.0 || options.warmup >= options.sim_time) {
+    throw std::invalid_argument(
+        "scenario matrix: warmup must be a non-negative duration shorter "
+        "than the sim time");
+  }
+  MatrixResult result;
+  result.policies =
+      options.policies.empty() ? policy_names() : options.policies;
+  result.scenarios =
+      options.scenarios.empty() ? scenario_names() : options.scenarios;
+  for (const std::string& p : result.policies) {
+    if (!is_policy(p)) {
+      throw std::invalid_argument(unknown_policy_message(p));
+    }
+  }
+  // Scenarios are built (and therefore validated) up front, before any
+  // cell runs.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(result.scenarios.size());
+  for (const std::string& s : result.scenarios) {
+    specs.push_back(make_scenario(s, options.sim_time,
+                                  topology.num_channels(),
+                                  &options.custom_ramp));
+  }
+  result.sim_time = options.sim_time;
+  result.warmup = options.warmup;
+  result.seed = options.seed;
+
+  auto& metrics = obs::MetricsRegistry::global();
+  const obs::Counter runs_counter = metrics.counter("windim.scenario.runs");
+  const obs::Counter cells_counter = metrics.counter("windim.scenario.cells");
+  const obs::Histogram cell_us =
+      metrics.histogram("windim.scenario.cell_us");
+  const obs::Gauge max_power = metrics.gauge("windim.scenario.max_power");
+  runs_counter.add(1);
+
+  obs::SpanTracer& tracer = obs::SpanTracer::global();
+  obs::SpanTracer::Scope matrix_scope(&tracer, "scenario_matrix");
+  matrix_scope.arg("policies", static_cast<int>(result.policies.size()));
+  matrix_scope.arg("scenarios", static_cast<int>(result.scenarios.size()));
+
+  // Dimension once for the nominal traffic: the static baseline and
+  // every online policy's starting point.
+  core::WindowProblem problem(topology, classes);
+  core::DimensionOptions dim_options;
+  dim_options.max_window = options.max_window;
+  const core::DimensionResult dimensioned =
+      core::dimension_windows(problem, dim_options);
+  result.static_windows = dimensioned.optimal_windows;
+  result.static_power = dimensioned.evaluation.power;
+  result.static_delay = dimensioned.evaluation.mean_delay;
+
+  PolicyContext context;
+  context.topology = &topology;
+  context.classes = &classes;
+  context.static_windows = result.static_windows;
+  // The reactive policies' congestion signal, scaled to this network:
+  // half again the analytic mean delay at the static optimum.
+  context.delay_threshold = 1.5 * result.static_delay;
+  context.max_window = options.max_window;
+  context.solver = options.solver;
+  context.tracking_period = options.tracking_period;
+
+  const std::size_t num_cells =
+      result.scenarios.size() * result.policies.size();
+  result.cells.resize(num_cells);
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(num_cells);
+  for (std::size_t s = 0; s < result.scenarios.size(); ++s) {
+    for (std::size_t p = 0; p < result.policies.size(); ++p) {
+      const std::size_t slot = s * result.policies.size() + p;
+      jobs.push_back([&, s, p, slot] {
+        const auto start = std::chrono::steady_clock::now();
+        MatrixCell& cell = result.cells[slot];
+        cell.scenario = result.scenarios[s];
+        cell.policy = result.policies[p];
+        cell.seed = cell_seed(options.seed, s, p);
+
+        const std::unique_ptr<sim::WindowController> controller =
+            make_policy(result.policies[p], context);
+        sim::MsgNetOptions sim_options;
+        sim_options.windows = result.static_windows;
+        sim_options.sim_time = options.sim_time;
+        sim_options.warmup = options.warmup;
+        sim_options.seed = cell.seed;
+        sim_options.source_queue_limit = 0;  // loss model: score drops
+        sim_options.dynamics = &specs[s].dynamics;
+        sim_options.controller = controller.get();
+        const sim::MsgNetResult run =
+            sim::simulate_msgnet(topology, classes, sim_options);
+
+        cell.power = run.power;
+        cell.mean_delay = run.mean_network_delay;
+        cell.p99_delay = run.p99_network_delay;
+        cell.loss = run.loss_fraction;
+        cell.delivered_rate = run.delivered_rate;
+        std::vector<double> throughput(run.per_class.size(), 0.0);
+        std::vector<double> delay(run.per_class.size(), 0.0);
+        for (std::size_t r = 0; r < run.per_class.size(); ++r) {
+          throughput[r] = run.per_class[r].delivered_rate;
+          delay[r] = run.per_class[r].mean_network_delay;
+        }
+        const std::vector<double> powers =
+            obs::chain_powers(throughput, delay);
+        cell.fairness = obs::jain_fairness(powers);
+
+        cells_counter.add(1);
+        cell_us.observe(cell_wall_us(start));
+        max_power.record_max(cell.power);
+      });
+    }
+  }
+
+  const std::size_t workers =
+      options.jobs == 1 ? 0 : util::resolve_thread_count(options.jobs);
+  util::ThreadPool pool(workers);
+  pool.run_batch(std::move(jobs));
+
+  // Synthesized per-cell spans, emitted after the parallel phase in
+  // scorecard order with a running cursor — deterministic across jobs.
+  if (tracer.enabled()) {
+    const std::uint64_t track = tracer.add_track("scenario");
+    double cursor = 0.0;
+    for (const MatrixCell& cell : result.cells) {
+      obs::SpanEvent event;
+      event.name = "cell";
+      event.cat = "scenario";
+      event.ts_us = cursor;
+      event.dur_us = 1.0;
+      event.track = track;
+      event.args.push_back({"scenario", cell.scenario});
+      event.args.push_back({"policy", cell.policy});
+      event.args.push_back({"power", cell.power});
+      tracer.emit(std::move(event));
+      cursor += 1.0;
+    }
+  }
+
+  return result;
+}
+
+void write_scorecard_fields(obs::JsonWriter& w, const MatrixResult& result) {
+  w.key("schema");
+  w.value("windim.scenario.scorecard.v1");
+  w.key("seed");
+  w.value(static_cast<std::uint64_t>(result.seed));
+  w.key("sim_time");
+  w.value(result.sim_time);
+  w.key("warmup");
+  w.value(result.warmup);
+  w.key("static_windows");
+  w.begin_array();
+  for (int e : result.static_windows) w.value(e);
+  w.end_array();
+  w.key("static_power");
+  w.value(result.static_power);
+  w.key("static_delay");
+  w.value(result.static_delay);
+  w.key("policies");
+  w.begin_array();
+  for (const std::string& p : result.policies) w.value(p);
+  w.end_array();
+  w.key("scenarios");
+  w.begin_array();
+  for (const std::string& s : result.scenarios) w.value(s);
+  w.end_array();
+  w.key("cells");
+  w.begin_array();
+  for (const MatrixCell& cell : result.cells) {
+    w.begin_object();
+    w.key("scenario");
+    w.value(cell.scenario);
+    w.key("policy");
+    w.value(cell.policy);
+    w.key("seed");
+    w.value(static_cast<std::uint64_t>(cell.seed));
+    w.key("power");
+    w.value(cell.power);
+    w.key("mean_delay");
+    w.value(cell.mean_delay);
+    w.key("p99_delay");
+    w.value(cell.p99_delay);
+    w.key("loss");
+    w.value(cell.loss);
+    w.key("fairness");
+    w.value(cell.fairness);
+    w.key("delivered_rate");
+    w.value(cell.delivered_rate);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string render_scorecard(const MatrixResult& result) {
+  obs::JsonWriter w;
+  w.begin_object();
+  write_scorecard_fields(w, result);
+  w.end_object();
+  std::string out = std::move(w).str();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace windim::control

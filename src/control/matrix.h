@@ -1,0 +1,99 @@
+// The policies × scenarios matrix runner: dimension once with WINDIM,
+// then simulate every (scenario, policy) cell of the grid and score
+// power, mean/p99 delay, loss and Jain fairness per cell.
+//
+// Determinism contract (scenario_test.cc pins it): every cell owns a
+// private simulator seeded by cell_seed(base, scenario, policy), cells
+// write into a preallocated slot of the result matrix, and the JSON
+// scorecard is rendered after the parallel phase in fixed
+// scenario-major order with obs::JsonWriter — so the scorecard is
+// byte-identical across --jobs 1/8 and reproducible from the recorded
+// seed.  Wall-clock data goes only to windim.scenario.* metrics, never
+// into the scorecard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/scenario.h"
+#include "net/topology.h"
+#include "sim/dynamics.h"
+
+namespace windim::obs {
+class JsonWriter;
+}  // namespace windim::obs
+
+namespace windim::control {
+
+struct MatrixOptions {
+  /// Policy names (registry.h); empty = every registered policy.
+  std::vector<std::string> policies;
+  /// Scenario names (scenario.h); empty = every built-in scenario.
+  std::vector<std::string> scenarios;
+  double sim_time = 500.0;
+  double warmup = 50.0;
+  std::uint64_t seed = 1;
+  /// Worker threads for the grid; 1 = serial, 0/negative = hardware
+  /// concurrency.  Never affects the scorecard bytes.
+  int jobs = 1;
+  int max_window = 64;
+  /// Tracking-WINDIM re-dimension solver (registry name; empty = the
+  /// thesis heuristic).
+  std::string solver;
+  /// Tracking-WINDIM re-dimension period in seconds (<= 0 = default).
+  double tracking_period = 0.0;
+  /// Replaces the built-in ramp profile when non-empty (CLI --ramp).
+  sim::RateProfile custom_ramp;
+};
+
+struct MatrixCell {
+  std::string scenario;
+  std::string policy;
+  std::uint64_t seed = 0;  // the cell's private simulator seed
+  double power = 0.0;
+  double mean_delay = 0.0;   // network delay, admission -> delivery
+  double p99_delay = 0.0;
+  double loss = 0.0;         // source drops / arrivals
+  double fairness = 1.0;     // Jain index over per-class powers
+  double delivered_rate = 0.0;
+};
+
+struct MatrixResult {
+  std::vector<std::string> policies;
+  std::vector<std::string> scenarios;
+  /// The WINDIM optimum for the nominal traffic (the static baseline
+  /// and every online policy's starting point).
+  std::vector<int> static_windows;
+  double static_power = 0.0;  // analytic power at the optimum
+  double static_delay = 0.0;  // analytic mean delay at the optimum
+  double sim_time = 0.0;
+  double warmup = 0.0;
+  std::uint64_t seed = 0;
+  /// Scenario-major: cells[s * policies.size() + p].
+  std::vector<MatrixCell> cells;
+};
+
+/// The deterministic per-cell seed: a splitmix64 finalizer over the
+/// base seed and the cell coordinates (never 0).
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t base,
+                                      std::size_t scenario_idx,
+                                      std::size_t policy_idx);
+
+/// Runs the grid.  Throws std::invalid_argument on unknown policy or
+/// scenario names (with the registry list) and on non-positive or
+/// inconsistent durations.
+[[nodiscard]] MatrixResult run_matrix(
+    const net::Topology& topology,
+    const std::vector<net::TrafficClass>& classes,
+    const MatrixOptions& options = {});
+
+/// Writes the scorecard object's members into an already-open JSON
+/// object scope (shared by render_scorecard and the serve op's reply).
+void write_scorecard_fields(obs::JsonWriter& w, const MatrixResult& result);
+
+/// One-line deterministic JSON scorecard (schema
+/// "windim.scenario.scorecard.v1").
+[[nodiscard]] std::string render_scorecard(const MatrixResult& result);
+
+}  // namespace windim::control

@@ -1,0 +1,163 @@
+// Online window policies behind the simulator's WindowController
+// interface (sim/window_controller.h): the contestants of the
+// dynamic-traffic scenario matrix.
+//
+//   - StaticWindowController: the thesis position — dimension once with
+//     WINDIM and never move.  The baseline every online policy is
+//     scored against.
+//   - AimdController: per-delivery additive increase, multiplicative
+//     decrease on a delay-threshold breach or a source drop, with a
+//     cooldown so one congestion episode triggers one cut (the classic
+//     TCP-style AIMD loop at message granularity).
+//   - DelayTriggeredController: the cs244 delay-triggered idiom —
+//     additive increase rate-limited to one step per period while the
+//     measured delay stays under the threshold, a fixed subtractive cut
+//     the moment it does not.
+//   - TrackingWindimController: no packet-level reaction at all;
+//     periodically re-dimensions with the compiled WINDIM engine from
+//     the observed per-class offered rates and adopts the new optimum
+//     ("what if we simply re-ran the thesis algorithm as traffic
+//     drifts?").
+//
+// All controllers keep real-valued windows internally and expose
+// floor(w) clamped to [min, max], so hand-computed trajectories in
+// control_test.cc stay exact.  None of them consumes randomness — a
+// requirement of the scenario harness's byte-identical determinism pin.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/window_controller.h"
+
+namespace windim::control {
+
+/// Fixed windows: the WINDIM optimum (or any vector) applied verbatim.
+class StaticWindowController : public sim::WindowController {
+ public:
+  explicit StaticWindowController(std::vector<int> windows)
+      : windows_(std::move(windows)) {}
+
+  [[nodiscard]] int window(int cls) const override {
+    return windows_.at(static_cast<std::size_t>(cls));
+  }
+
+ private:
+  std::vector<int> windows_;
+};
+
+struct AimdConfig {
+  double increase = 1.0;         // window += increase per timely delivery
+  double decrease_factor = 0.5;  // window *= decrease_factor on congestion
+  /// Network delay (seconds) above which a delivery signals congestion.
+  double delay_threshold = 0.35;
+  /// Minimum time (seconds) between two multiplicative decreases, so a
+  /// burst of queued late deliveries costs one cut, not a collapse.
+  double cooldown = 1.0;
+  double min_window = 1.0;
+  double max_window = 64.0;
+};
+
+class AimdController : public sim::WindowController {
+ public:
+  AimdController(std::vector<int> initial_windows, AimdConfig config);
+
+  void reset(double now) override;
+  [[nodiscard]] int window(int cls) const override;
+  void on_delivery(int cls, double now, double network_delay) override;
+  void on_drop(int cls, double now) override;
+
+  /// The real-valued window (tests pin exact trajectories).
+  [[nodiscard]] double raw_window(int cls) const {
+    return window_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  void decrease(int cls, double now);
+
+  std::vector<int> initial_;
+  AimdConfig config_;
+  std::vector<double> window_;
+  std::vector<double> last_decrease_;
+};
+
+struct DelayTriggeredConfig {
+  double increase = 1.0;   // DT_INC: additive step per quiet period
+  double decrease = 10.0;  // DT_DEC: subtractive cut on a late delivery
+  /// Network delay (seconds) separating "increase" from "cut".
+  double delay_threshold = 0.35;
+  /// Minimum time (seconds) between two additive increases.
+  double period = 0.5;
+  double min_window = 1.0;
+  double max_window = 64.0;
+};
+
+class DelayTriggeredController : public sim::WindowController {
+ public:
+  DelayTriggeredController(std::vector<int> initial_windows,
+                           DelayTriggeredConfig config);
+
+  void reset(double now) override;
+  [[nodiscard]] int window(int cls) const override;
+  void on_delivery(int cls, double now, double network_delay) override;
+
+  [[nodiscard]] double raw_window(int cls) const {
+    return window_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  std::vector<int> initial_;
+  DelayTriggeredConfig config_;
+  std::vector<double> window_;
+  std::vector<double> last_update_;
+};
+
+struct TrackingConfig {
+  /// Seconds between re-dimensionings (the controller's tick period).
+  double period = 50.0;
+  /// EWMA weight of the newest rate observation in [0, 1].
+  double smoothing = 0.5;
+  /// Observed rates are floored at this fraction of the nominal class
+  /// rate before re-dimensioning (the closed-chain model needs strictly
+  /// positive source rates).
+  double min_rate_fraction = 0.01;
+  int max_window = 64;
+  /// Registry solver for the re-dimension runs; empty = the thesis
+  /// heuristic evaluator.
+  std::string solver;
+};
+
+/// Periodically re-runs WINDIM on the observed offered rates and adopts
+/// the resulting optimum.  Deterministic: the dimension runs are serial
+/// and seeded only by the observed rates.
+class TrackingWindimController : public sim::WindowController {
+ public:
+  TrackingWindimController(const net::Topology& topology,
+                           std::vector<net::TrafficClass> classes,
+                           std::vector<int> initial_windows,
+                           TrackingConfig config);
+  ~TrackingWindimController() override;
+
+  void reset(double now) override;
+  [[nodiscard]] int window(int cls) const override;
+  [[nodiscard]] double tick_period() const override {
+    return config_.period;
+  }
+  void on_tick(double now, const std::vector<double>& offered_rates) override;
+
+  /// Number of successful re-dimension runs since reset.
+  [[nodiscard]] int redimensions() const { return redimensions_; }
+
+ private:
+  const net::Topology& topology_;
+  std::vector<net::TrafficClass> classes_;
+  std::vector<int> initial_;
+  TrackingConfig config_;
+  std::vector<int> windows_;
+  std::vector<double> smoothed_rate_;
+  int redimensions_ = 0;
+};
+
+}  // namespace windim::control

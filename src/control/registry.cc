@@ -1,0 +1,72 @@
+#include "control/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "control/policies.h"
+
+namespace windim::control {
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> kNames = {
+      "aimd", "delay-triggered", "static", "tracking-windim"};
+  return kNames;
+}
+
+bool is_policy(const std::string& name) {
+  const auto& names = policy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string unknown_policy_message(const std::string& name) {
+  std::string message = "unknown policy '" + name + "'; available policies: ";
+  const auto& names = policy_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) message += ", ";
+    message += names[i];
+  }
+  return message;
+}
+
+std::unique_ptr<sim::WindowController> make_policy(
+    const std::string& name, const PolicyContext& context) {
+  if (!is_policy(name)) {
+    throw std::invalid_argument(unknown_policy_message(name));
+  }
+  if (context.topology == nullptr || context.classes == nullptr ||
+      context.static_windows.empty()) {
+    throw std::invalid_argument(
+        "make_policy: context needs a topology, classes and the static "
+        "window vector");
+  }
+  if (name == "static") {
+    return std::make_unique<StaticWindowController>(context.static_windows);
+  }
+  if (name == "aimd") {
+    AimdConfig config;
+    config.max_window = static_cast<double>(context.max_window);
+    if (context.delay_threshold > 0.0) {
+      config.delay_threshold = context.delay_threshold;
+    }
+    return std::make_unique<AimdController>(context.static_windows, config);
+  }
+  if (name == "delay-triggered") {
+    DelayTriggeredConfig config;
+    config.max_window = static_cast<double>(context.max_window);
+    if (context.delay_threshold > 0.0) {
+      config.delay_threshold = context.delay_threshold;
+    }
+    return std::make_unique<DelayTriggeredController>(context.static_windows,
+                                                      config);
+  }
+  TrackingConfig config;
+  config.max_window = context.max_window;
+  config.solver = context.solver;
+  if (context.tracking_period > 0.0) {
+    config.period = context.tracking_period;
+  }
+  return std::make_unique<TrackingWindimController>(
+      *context.topology, *context.classes, context.static_windows, config);
+}
+
+}  // namespace windim::control

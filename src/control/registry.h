@@ -1,0 +1,51 @@
+// Name-keyed policy registry for the scenario matrix: the CLI, the
+// serve op and the test harness all construct controllers through one
+// factory so the available-policy list in error messages and docs can
+// never drift from the implementations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/window_controller.h"
+
+namespace windim::control {
+
+/// Everything a policy factory may need.  `static_windows` is the
+/// WINDIM optimum for the nominal traffic (the static baseline and the
+/// online policies' starting point); `delay_threshold` scales the
+/// reactive policies' congestion signal to the network at hand
+/// (<= 0 falls back to the policy default).
+struct PolicyContext {
+  const net::Topology* topology = nullptr;
+  const std::vector<net::TrafficClass>* classes = nullptr;
+  std::vector<int> static_windows;
+  double delay_threshold = 0.0;
+  int max_window = 64;
+  /// Tracking-WINDIM re-dimension solver (registry name; empty = the
+  /// thesis heuristic).
+  std::string solver;
+  /// Tracking-WINDIM re-dimension period in seconds (<= 0 = default).
+  double tracking_period = 0.0;
+};
+
+/// Sorted policy names: {"aimd", "delay-triggered", "static",
+/// "tracking-windim"}.
+[[nodiscard]] const std::vector<std::string>& policy_names();
+
+/// True when `name` is a registered policy.
+[[nodiscard]] bool is_policy(const std::string& name);
+
+/// "unknown policy 'x'; available policies: aimd, delay-triggered,
+/// static, tracking-windim" — shared by the CLI and the serve op.
+[[nodiscard]] std::string unknown_policy_message(const std::string& name);
+
+/// Constructs a fresh controller for `name`.  Throws
+/// std::invalid_argument with unknown_policy_message on an unknown name
+/// or on a malformed context (null topology/classes, empty windows).
+[[nodiscard]] std::unique_ptr<sim::WindowController> make_policy(
+    const std::string& name, const PolicyContext& context);
+
+}  // namespace windim::control

@@ -1,0 +1,74 @@
+#include "control/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace windim::control {
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> kNames = {
+      "flash-crowd", "link-failure", "on-off",
+      "ramp",        "random-service", "stationary"};
+  return kNames;
+}
+
+bool is_scenario(const std::string& name) {
+  const auto& names = scenario_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string unknown_scenario_message(const std::string& name) {
+  std::string message =
+      "unknown scenario '" + name + "'; available scenarios: ";
+  const auto& names = scenario_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) message += ", ";
+    message += names[i];
+  }
+  return message;
+}
+
+ScenarioSpec make_scenario(const std::string& name, double sim_time,
+                           int num_channels,
+                           const sim::RateProfile* custom_ramp) {
+  if (!is_scenario(name)) {
+    throw std::invalid_argument(unknown_scenario_message(name));
+  }
+  if (!(sim_time > 0.0)) {
+    throw std::invalid_argument(
+        "make_scenario: sim_time must be a positive duration in seconds");
+  }
+  ScenarioSpec spec;
+  spec.name = name;
+  if (name == "stationary") {
+    // Empty dynamics: constant rate, reliable channels.
+  } else if (name == "ramp") {
+    if (custom_ramp != nullptr && !custom_ramp->points.empty()) {
+      custom_ramp->validate();
+      spec.dynamics.profile = *custom_ramp;
+    } else {
+      spec.dynamics.profile = sim::ramp_profile(0.5, 1.5, sim_time);
+    }
+  } else if (name == "flash-crowd") {
+    spec.dynamics.profile =
+        sim::flash_crowd_profile(3.0, 0.5 * sim_time, 0.1 * sim_time);
+  } else if (name == "on-off") {
+    spec.dynamics.modulation.enabled = true;
+    spec.dynamics.modulation.on_factor = 1.5;
+    spec.dynamics.modulation.off_factor = 0.5;
+    spec.dynamics.modulation.mean_on = 0.05 * sim_time;
+    spec.dynamics.modulation.mean_off = 0.05 * sim_time;
+  } else if (name == "link-failure") {
+    sim::LinkFailure failure;
+    failure.channel = 0;
+    failure.fail_time = 0.4 * sim_time;
+    failure.repair_time = 0.6 * sim_time;
+    spec.dynamics.failures.push_back(failure);
+  } else {  // random-service
+    spec.dynamics.random_service = true;
+  }
+  spec.dynamics.validate(num_channels);
+  return spec;
+}
+
+}  // namespace windim::control

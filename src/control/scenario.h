@@ -1,0 +1,49 @@
+// Built-in dynamic-traffic scenarios for the policy × scenario matrix.
+// Each scenario is a named ScenarioDynamics builder parameterized by
+// the simulation horizon, so "the flash crowd peaks mid-run" holds for
+// any --time:
+//
+//   stationary      constant-rate Poisson (the thesis's world; the
+//                   analytic cross-check cell)
+//   ramp            load ramp 0.5x -> 1.5x over the horizon
+//   flash-crowd     3x spike centred mid-run, rising/falling over 10%
+//                   of the horizon each side
+//   on-off          MMPP-2 bursts: 1.5x / 0.5x with mean sojourns of
+//                   5% of the horizon (mean load preserved)
+//   link-failure    channel 0 fails at 40% of the horizon, repaired at
+//                   60%
+//   random-service  stochastic-service channels (Shekaramiz et al.):
+//                   unit-mean exponential speed factor per transmission
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/dynamics.h"
+
+namespace windim::control {
+
+struct ScenarioSpec {
+  std::string name;
+  sim::ScenarioDynamics dynamics;
+};
+
+/// Sorted scenario names: {"flash-crowd", "link-failure", "on-off",
+/// "ramp", "random-service", "stationary"}.
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+[[nodiscard]] bool is_scenario(const std::string& name);
+
+/// "unknown scenario 'x'; available scenarios: ..." — shared by the
+/// CLI and the serve op.
+[[nodiscard]] std::string unknown_scenario_message(const std::string& name);
+
+/// Builds the named scenario for a run of `sim_time` seconds on a
+/// topology with `num_channels` channels.  `custom_ramp`, when
+/// non-empty, replaces the built-in ramp profile (CLI --ramp).  Throws
+/// std::invalid_argument on unknown names or non-positive sim_time.
+[[nodiscard]] ScenarioSpec make_scenario(
+    const std::string& name, double sim_time, int num_channels,
+    const sim::RateProfile* custom_ramp = nullptr);
+
+}  // namespace windim::control

@@ -30,6 +30,11 @@ bool field_allowed(Op op, std::string_view key) {
              key == "max_evals" || key == "deadline_ms";
     case Op::kFuzzReplay:
       return key == "entry" || key == "no_ctmc" || key == "deadline_ms";
+    case Op::kScenario:
+      return key == "spec" || key == "policies" || key == "scenarios" ||
+             key == "sim_time" || key == "warmup" || key == "seed" ||
+             key == "jobs" || key == "max_window" || key == "solver" ||
+             key == "deadline_ms";
     case Op::kStats:
     case Op::kShutdown:
       return false;  // envelope fields only
@@ -95,6 +100,7 @@ std::string_view to_string(Op op) noexcept {
     case Op::kFuzzReplay: return "fuzz-replay";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
+    case Op::kScenario: return "scenario";
   }
   return "stats";
 }
@@ -103,6 +109,7 @@ std::optional<Op> op_from_string(std::string_view s) noexcept {
   if (s == "evaluate") return Op::kEvaluate;
   if (s == "dimension") return Op::kDimension;
   if (s == "pareto") return Op::kPareto;
+  if (s == "scenario") return Op::kScenario;
   if (s == "fuzz-replay") return Op::kFuzzReplay;
   if (s == "stats") return Op::kStats;
   if (s == "shutdown") return Op::kShutdown;
@@ -142,8 +149,8 @@ ParseResult parse_request(std::string_view line) {
   if (!op.has_value()) {
     return fail(std::move(result), ErrorCode::kInvalidRequest,
                 "unknown op '" + op_value->string +
-                    "'; expected evaluate, dimension, pareto, fuzz-replay, "
-                    "stats or shutdown");
+                    "'; expected evaluate, dimension, pareto, scenario, "
+                    "fuzz-replay, stats or shutdown");
   }
 
   Request request;
@@ -363,6 +370,70 @@ ParseResult parse_request(std::string_view line) {
         return *err;
       }
       request.max_evals = static_cast<std::size_t>(max_evals);
+      if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
+        return *err;
+      }
+      break;
+    }
+    case Op::kScenario: {
+      if (auto err = string_field("spec", request.spec, true)) return *err;
+      const auto string_array_field =
+          [&](const char* key,
+              std::vector<std::string>& out) -> std::optional<ParseResult> {
+        const JsonValue* v = doc->find(key);
+        if (v == nullptr) return std::nullopt;
+        if (!v->is_array()) {
+          return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                      ErrorCode::kInvalidRequest,
+                      std::string("field '") + key +
+                          "' must be an array of strings");
+        }
+        for (const JsonValue& item : v->array) {
+          if (item.kind != JsonValue::Kind::kString || item.string.empty()) {
+            return fail(ParseResult{std::nullopt, {}, {}, result.id},
+                        ErrorCode::kInvalidRequest,
+                        std::string("field '") + key +
+                            "' must be an array of strings");
+          }
+          out.push_back(item.string);
+        }
+        return std::nullopt;
+      };
+      if (auto err = string_array_field("policies", request.policies)) {
+        return *err;
+      }
+      if (auto err = string_array_field("scenarios", request.scenarios)) {
+        return *err;
+      }
+      if (auto err = number_field("sim_time", 0.0, request.sim_time)) {
+        return *err;
+      }
+      if (doc->find("sim_time") != nullptr && !(request.sim_time > 0.0)) {
+        return fail(std::move(result), ErrorCode::kInvalidRequest,
+                    "field 'sim_time' must be a positive duration in "
+                    "seconds");
+      }
+      if (doc->find("warmup") != nullptr) {
+        if (auto err = number_field("warmup", 0.0, request.warmup)) {
+          return *err;
+        }
+        request.has_warmup = true;
+      }
+      long long seed = 1;
+      if (auto err = int_field("seed", 0,
+                               std::numeric_limits<long long>::max() / 2,
+                               seed)) {
+        return *err;
+      }
+      request.seed = static_cast<std::uint64_t>(seed);
+      if (auto err = int_field("jobs", 1, 4096, request.jobs)) return *err;
+      if (auto err = int_field("max_window", 1, 1 << 20,
+                               request.max_window)) {
+        return *err;
+      }
+      if (auto err = string_field("solver", request.solver, false)) {
+        return *err;
+      }
       if (auto err = number_field("deadline_ms", 0.0, request.deadline_ms)) {
         return *err;
       }

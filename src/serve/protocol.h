@@ -14,6 +14,10 @@
 //   {"op":"pareto","spec":"...","solver":"auto","max_window":64,
 //    "points":9,"min_fairness":0.5,"alpha":"inf","threads":1,
 //    "solver_threads":1,"max_evals":100000,"deadline_ms":5000,"id":8}
+//   {"op":"scenario","spec":"...","policies":["static","aimd"],
+//    "scenarios":["stationary","ramp"],"sim_time":120,"warmup":12,
+//    "seed":1,"jobs":4,"max_window":64,"solver":"heuristic-mva",
+//    "deadline_ms":10000,"id":9}
 //   {"op":"fuzz-replay","entry":"# windim fuzz corpus v1\n...",
 //    "no_ctmc":true,"id":3}
 //   {"op":"stats","id":4}
@@ -70,7 +74,11 @@ enum class Op {
   kFuzzReplay,
   kStats,
   kShutdown,
+  kScenario,
 };
+
+/// Number of Op values (sizes the server's per-op counters).
+inline constexpr int kNumOps = 7;
 
 [[nodiscard]] std::string_view to_string(Op op) noexcept;
 [[nodiscard]] std::optional<Op> op_from_string(std::string_view s) noexcept;
@@ -116,6 +124,14 @@ struct Request {
   // fuzz-replay:
   std::string entry;              // corpus entry text
   bool no_ctmc = false;
+  // scenario:
+  std::vector<std::string> policies;   // empty = every registered policy
+  std::vector<std::string> scenarios;  // empty = every built-in scenario
+  double sim_time = 120.0;
+  double warmup = 12.0;
+  bool has_warmup = false;
+  std::uint64_t seed = 1;
+  int jobs = 1;
 };
 
 /// Outcome of parsing one request line: either a Request or a typed

@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include "cli/spec.h"
+#include "control/matrix.h"
 #include "obs/json.h"
 #include "qn/error.h"
 #include "solver/registry.h"
@@ -151,6 +152,7 @@ Server::Server(ServeOptions options)
   latency_evaluate_ = reg.histogram("windim.serve.latency_us.evaluate");
   latency_dimension_ = reg.histogram("windim.serve.latency_us.dimension");
   latency_pareto_ = reg.histogram("windim.serve.latency_us.pareto");
+  latency_scenario_ = reg.histogram("windim.serve.latency_us.scenario");
   latency_fuzz_replay_ = reg.histogram("windim.serve.latency_us.fuzz_replay");
   latency_stats_ = reg.histogram("windim.serve.latency_us.stats");
 }
@@ -192,6 +194,7 @@ Server::Reply Server::execute(const Request& request) {
     case Op::kEvaluate: latency = &latency_evaluate_; break;
     case Op::kDimension: latency = &latency_dimension_; break;
     case Op::kPareto: latency = &latency_pareto_; break;
+    case Op::kScenario: latency = &latency_scenario_; break;
     case Op::kFuzzReplay: latency = &latency_fuzz_replay_; break;
     case Op::kStats: latency = &latency_stats_; break;
     case Op::kShutdown: break;
@@ -214,6 +217,9 @@ Server::Reply Server::execute(const Request& request) {
           break;
         case Op::kPareto:
           json = run_pareto(request);
+          break;
+        case Op::kScenario:
+          json = run_scenario(request);
           break;
         case Op::kFuzzReplay:
           json = run_fuzz_replay(request);
@@ -499,6 +505,47 @@ std::string Server::run_pareto(const Request& request) {
   return finish_reply(std::move(w));
 }
 
+std::string Server::run_scenario(const Request& request) {
+  const std::shared_ptr<const CachedModel> model =
+      cache_.lookup_or_compile(request.spec);
+  if (!request.solver.empty() &&
+      solver::SolverRegistry::instance().find(request.solver) == nullptr) {
+    throw ServeError(ErrorCode::kUnknownSolver,
+                     unknown_solver_message(request.solver));
+  }
+
+  const RequestDeadline deadline(request.deadline_ms,
+                                 options_.default_deadline_ms);
+  if (deadline.armed && deadline.token.expired()) {
+    throw util::CancelledError("scenario: deadline expired before run");
+  }
+
+  control::MatrixOptions mopts;
+  mopts.policies = request.policies;
+  mopts.scenarios = request.scenarios;
+  mopts.sim_time = request.sim_time;
+  mopts.warmup = request.has_warmup ? request.warmup : request.sim_time / 10.0;
+  mopts.seed = request.seed;
+  mopts.jobs = request.jobs;
+  mopts.max_window = request.max_window;
+  mopts.solver = request.solver;
+  // Unknown policy/scenario names and bad durations surface as
+  // std::invalid_argument, which execute() maps to invalid_request.
+  const control::MatrixResult matrix = control::run_matrix(
+      model->spec.topology, model->spec.classes, mopts);
+  // The matrix runner cannot cancel mid-grid; a deadline that expired
+  // while it ran is still reported as exceeded rather than a late ok.
+  if (deadline.armed && deadline.token.expired()) {
+    throw util::CancelledError("scenario: deadline expired mid-run");
+  }
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kScenario);
+  begin_ok_result(w);
+  control::write_scorecard_fields(w, matrix);
+  return finish_reply(std::move(w));
+}
+
 std::string Server::run_fuzz_replay(const Request& request) {
   verify::CorpusEntry entry;
   try {
@@ -576,6 +623,8 @@ std::string Server::run_stats(const Request& request) {
   w.value(c.dimension);
   w.key("pareto");
   w.value(c.pareto);
+  w.key("scenario");
+  w.value(c.scenario);
   w.key("fuzz-replay");
   w.value(c.fuzz_replay);
   w.key("stats");
@@ -643,6 +692,8 @@ ServeCounters Server::counters() const {
       op_counts_[static_cast<std::size_t>(Op::kDimension)].load(
           std::memory_order_relaxed);
   c.pareto = op_counts_[static_cast<std::size_t>(Op::kPareto)].load(
+      std::memory_order_relaxed);
+  c.scenario = op_counts_[static_cast<std::size_t>(Op::kScenario)].load(
       std::memory_order_relaxed);
   c.fuzz_replay =
       op_counts_[static_cast<std::size_t>(Op::kFuzzReplay)].load(

@@ -73,6 +73,7 @@ struct ServeCounters {
   std::uint64_t evaluate = 0;
   std::uint64_t dimension = 0;
   std::uint64_t pareto = 0;
+  std::uint64_t scenario = 0;
   std::uint64_t fuzz_replay = 0;
   std::uint64_t stats = 0;
   std::uint64_t shutdown = 0;
@@ -138,6 +139,7 @@ class Server {
   [[nodiscard]] std::string run_evaluate(const Request& request);
   [[nodiscard]] std::string run_dimension(const Request& request);
   [[nodiscard]] std::string run_pareto(const Request& request);
+  [[nodiscard]] std::string run_scenario(const Request& request);
   [[nodiscard]] std::string run_fuzz_replay(const Request& request);
   [[nodiscard]] std::string run_stats(const Request& request);
 
@@ -150,11 +152,12 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> ok_{0};
   std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> op_counts_[6] = {};  // indexed by Op
+  std::atomic<std::uint64_t> op_counts_[kNumOps] = {};  // indexed by Op
 
   obs::Histogram latency_evaluate_;
   obs::Histogram latency_dimension_;
   obs::Histogram latency_pareto_;
+  obs::Histogram latency_scenario_;
   obs::Histogram latency_fuzz_replay_;
   obs::Histogram latency_stats_;
 };

@@ -1,0 +1,100 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace windim::sim {
+
+double RateProfile::at(double t) const noexcept {
+  if (points.empty()) return 1.0;
+  if (t <= points.front().time) return points.front().factor;
+  if (t >= points.back().time) return points.back().factor;
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    if (t <= points[k].time) {
+      const RateBreakpoint& a = points[k - 1];
+      const RateBreakpoint& b = points[k];
+      const double span = b.time - a.time;
+      const double w = span > 0.0 ? (t - a.time) / span : 1.0;
+      return a.factor + w * (b.factor - a.factor);
+    }
+  }
+  return points.back().factor;
+}
+
+double RateProfile::peak() const noexcept {
+  double peak = points.empty() ? 1.0 : 0.0;
+  for (const RateBreakpoint& p : points) peak = std::max(peak, p.factor);
+  return peak;
+}
+
+void RateProfile::validate() const {
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    if (points[k].factor < 0.0) {
+      throw std::invalid_argument(
+          "rate profile: breakpoint factor must be >= 0 (got " +
+          std::to_string(points[k].factor) + ")");
+    }
+    if (k > 0 && !(points[k].time > points[k - 1].time)) {
+      throw std::invalid_argument(
+          "rate profile: breakpoint times must be strictly increasing (" +
+          std::to_string(points[k - 1].time) + " then " +
+          std::to_string(points[k].time) + ")");
+    }
+  }
+}
+
+RateProfile ramp_profile(double factor0, double factor1, double duration) {
+  RateProfile profile;
+  profile.points = {{0.0, factor0}, {duration, factor1}};
+  profile.validate();
+  return profile;
+}
+
+RateProfile flash_crowd_profile(double peak_factor, double peak_time,
+                                double rise) {
+  RateProfile profile;
+  profile.points = {{peak_time - rise, 1.0},
+                    {peak_time, peak_factor},
+                    {peak_time + rise, 1.0}};
+  profile.validate();
+  return profile;
+}
+
+void OnOffModulation::validate() const {
+  if (!enabled) return;
+  if (!(mean_on > 0.0) || !(mean_off > 0.0)) {
+    throw std::invalid_argument(
+        "on-off modulation: sojourn means must be positive");
+  }
+  if (on_factor < 0.0 || off_factor < 0.0) {
+    throw std::invalid_argument(
+        "on-off modulation: rate factors must be >= 0");
+  }
+}
+
+void ScenarioDynamics::validate(int num_channels) const {
+  profile.validate();
+  modulation.validate();
+  for (const LinkFailure& f : failures) {
+    if (f.channel < 0 || f.channel >= num_channels) {
+      throw std::invalid_argument("link failure: channel " +
+                                  std::to_string(f.channel) +
+                                  " is not in the topology");
+    }
+    if (!(f.fail_time >= 0.0) || !(f.repair_time > f.fail_time)) {
+      throw std::invalid_argument(
+          "link failure: need 0 <= fail_time < repair_time");
+    }
+  }
+}
+
+double ScenarioDynamics::peak_factor() const noexcept {
+  double peak = profile.peak();
+  if (modulation.enabled) {
+    peak *= std::max(modulation.on_factor, modulation.off_factor);
+  }
+  return peak;
+}
+
+}  // namespace windim::sim

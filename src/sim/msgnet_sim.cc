@@ -1,5 +1,7 @@
 #include "sim/msgnet_sim.h"
 
+#include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <stdexcept>
@@ -79,6 +81,15 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
     throw std::invalid_argument(
         "simulate_msgnet: node_buffer_limit size mismatch");
   }
+  const bool has_dynamics = options.dynamics != nullptr;
+  if (has_dynamics) {
+    options.dynamics->validate(num_channels);
+    if (!(options.dynamics->peak_factor() > 0.0)) {
+      throw std::invalid_argument(
+          "simulate_msgnet: scenario dynamics need a positive peak rate "
+          "factor");
+    }
+  }
 
   // Routes.
   std::vector<ClassRoute> routes(static_cast<std::size_t>(num_classes));
@@ -114,6 +125,17 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
   std::vector<int> in_flight(static_cast<std::size_t>(num_classes), 0);
   int free_permits = options.isarithmic_permits;
 
+  // Dynamic-scenario state.  `mod_factor` is the current modulation
+  // multiplier; `peak` bounds the thinned arrival streams.
+  std::vector<char> channel_failed(static_cast<std::size_t>(num_channels),
+                                   0);
+  double mod_factor = 1.0;
+  bool mod_on = true;
+  const double peak = has_dynamics ? options.dynamics->peak_factor() : 1.0;
+  if (has_dynamics && options.dynamics->modulation.enabled) {
+    mod_factor = options.dynamics->modulation.on_factor;
+  }
+
   // Statistics.
   bool measuring = false;
   std::vector<long> arrivals(static_cast<std::size_t>(num_classes), 0);
@@ -129,6 +151,8 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
       static_cast<std::size_t>(num_channels));
   std::vector<long> channel_completions(
       static_cast<std::size_t>(num_channels), 0);
+  std::vector<double> delay_samples;  // measured network delays (p99)
+  std::vector<long> tick_arrivals(static_cast<std::size_t>(num_classes), 0);
   auto channel_occupancy = [&](int channel) {
     const ChannelState& ch = channels[static_cast<std::size_t>(channel)];
     return static_cast<double>(ch.queue.size()) +
@@ -153,6 +177,10 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
            node_occupancy[static_cast<std::size_t>(node)] < limit;
   };
   auto window_of = [&](int cls) {
+    if (options.controller != nullptr) {
+      const int e = options.controller->window(cls);
+      return e <= 0 ? -1 : e;
+    }
     if (options.windows.empty()) return -1;  // disabled
     const int e = options.windows[static_cast<std::size_t>(cls)];
     return e <= 0 ? -1 : e;
@@ -172,6 +200,9 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
     ChannelState& ch = channels[static_cast<std::size_t>(channel)];
     note_channel(channel);
     if (ch.serving >= 0 || ch.queue.empty()) return;
+    // A failed channel finishes its in-flight transmission but starts
+    // no new one; the repair event restarts it.
+    if (channel_failed[static_cast<std::size_t>(channel)]) return;
     const int id = ch.queue.front();
     ch.queue.pop_front();
     ch.serving = id;
@@ -181,7 +212,12 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
     const double bits =
         m.is_ack ? rng.exponential(options.ack_bits)
                  : sample_bits(rng, mr.length_model, mr.service_mean_bits);
-    const double service = bits / channel_capacity_bps(channel);
+    double service = bits / channel_capacity_bps(channel);
+    if (has_dynamics && options.dynamics->random_service) {
+      // Stochastic-service channel: scale by a unit-mean exponential
+      // speed factor (mean rate preserved, variance doubled).
+      service *= rng.exponential(1.0);
+    }
     calendar.schedule(service, [&, channel] { finish_service(channel); });
   };
 
@@ -264,6 +300,11 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
             calendar.now() - m.admit_time);
         total_delay[static_cast<std::size_t>(cls)].record(
             calendar.now() - m.arrival_time);
+        delay_samples.push_back(calendar.now() - m.admit_time);
+      }
+      if (options.controller != nullptr) {
+        options.controller->on_delivery(cls, calendar.now(),
+                                        calendar.now() - m.admit_time);
       }
       if (window_of(cls) > 0 && options.ack_mode == AckMode::kReversePath) {
         Message ack;
@@ -339,6 +380,9 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
         ++node_occupancy[static_cast<std::size_t>(source_node)];
         in_network.update(calendar.now(), in_network.current() + 1.0);
         if (measuring) ++admissions[static_cast<std::size_t>(r)];
+        if (options.controller != nullptr) {
+          options.controller->on_admit(r, calendar.now());
+        }
 
         const int first_channel =
             routes[static_cast<std::size_t>(r)].channels[0];
@@ -350,9 +394,26 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
     }
   };
 
-  // Poisson arrival processes.
+  // Poisson arrival processes.  With dynamics the stream is generated
+  // by thinning: candidates fire at the class's peak rate and are
+  // accepted with probability rate(now)/peak, so the stream is an exact
+  // nonhomogeneous Poisson process for any profile/modulation product.
   std::function<void(int)> arrive = [&](int cls) {
+    if (has_dynamics) {
+      const double factor =
+          options.dynamics->profile.at(calendar.now()) * mod_factor;
+      if (rng.uniform01() * peak >= factor) {
+        // Thinned-out candidate: schedule the next one and stop.
+        calendar.schedule(
+            rng.exponential(
+                1.0 /
+                (classes[static_cast<std::size_t>(cls)].arrival_rate * peak)),
+            [&, cls] { arrive(cls); });
+        return;
+      }
+    }
     if (measuring) ++arrivals[static_cast<std::size_t>(cls)];
+    ++tick_arrivals[static_cast<std::size_t>(cls)];
     auto& waiting = source_queue[static_cast<std::size_t>(cls)];
     // Enqueue, attempt immediate admission, then enforce the backlog
     // limit: with limit 0 an arrival is carried only if it can enter the
@@ -368,16 +429,70 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
             options.source_queue_limit) {
       waiting.pop_back();
       if (measuring) ++drops[static_cast<std::size_t>(cls)];
+      if (options.controller != nullptr) {
+        options.controller->on_drop(cls, calendar.now());
+      }
     }
     calendar.schedule(
-        rng.exponential(1.0 /
-                        classes[static_cast<std::size_t>(cls)].arrival_rate),
+        rng.exponential(
+            1.0 / (classes[static_cast<std::size_t>(cls)].arrival_rate *
+                   (has_dynamics ? peak : 1.0))),
         [&, cls] { arrive(cls); });
   };
+
+  // Modulation chain: alternate ON/OFF with exponential sojourns.
+  std::function<void()> toggle_modulation = [&] {
+    const OnOffModulation& mm = options.dynamics->modulation;
+    mod_on = !mod_on;
+    mod_factor = mod_on ? mm.on_factor : mm.off_factor;
+    calendar.schedule(rng.exponential(mod_on ? mm.mean_on : mm.mean_off),
+                      toggle_modulation);
+  };
+  if (has_dynamics && options.dynamics->modulation.enabled) {
+    calendar.schedule(rng.exponential(options.dynamics->modulation.mean_on),
+                      toggle_modulation);
+  }
+
+  // Scheduled link failures/repairs.
+  if (has_dynamics) {
+    for (const LinkFailure& f : options.dynamics->failures) {
+      calendar.schedule(f.fail_time, [&, c = f.channel] {
+        channel_failed[static_cast<std::size_t>(c)] = 1;
+      });
+      calendar.schedule(f.repair_time, [&, c = f.channel] {
+        channel_failed[static_cast<std::size_t>(c)] = 0;
+        start_service(c);
+      });
+    }
+  }
+
+  // Controller lifecycle: reset, then periodic rate-observation ticks.
+  std::function<void()> controller_tick;
+  if (options.controller != nullptr) {
+    options.controller->reset(0.0);
+    const double period = options.controller->tick_period();
+    if (period > 0.0) {
+      controller_tick = [&, period] {
+        std::vector<double> rates(static_cast<std::size_t>(num_classes),
+                                  0.0);
+        for (int r = 0; r < num_classes; ++r) {
+          rates[static_cast<std::size_t>(r)] =
+              tick_arrivals[static_cast<std::size_t>(r)] / period;
+          tick_arrivals[static_cast<std::size_t>(r)] = 0;
+        }
+        options.controller->on_tick(calendar.now(), rates);
+        try_admissions();
+        calendar.schedule(period, controller_tick);
+      };
+      calendar.schedule(period, controller_tick);
+    }
+  }
+
   for (int r = 0; r < num_classes; ++r) {
     calendar.schedule(
-        rng.exponential(1.0 /
-                        classes[static_cast<std::size_t>(r)].arrival_rate),
+        rng.exponential(
+            1.0 / (classes[static_cast<std::size_t>(r)].arrival_rate *
+                   (has_dynamics ? peak : 1.0))),
         [&, r] { arrive(r); });
   }
 
@@ -428,6 +543,26 @@ MsgNetResult simulate_msgnet(const net::Topology& topology,
   result.power = result.mean_network_delay > 0.0
                      ? result.delivered_rate / result.mean_network_delay
                      : 0.0;
+  if (!delay_samples.empty()) {
+    // Exact order statistic: the ceil(0.99 n)-th smallest sample.
+    std::sort(delay_samples.begin(), delay_samples.end());
+    const std::size_t n = delay_samples.size();
+    std::size_t idx = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(n)));
+    idx = idx > 0 ? idx - 1 : 0;
+    if (idx >= n) idx = n - 1;
+    result.p99_network_delay = delay_samples[idx];
+  }
+  long total_arrivals = 0;
+  long total_drops = 0;
+  for (int r = 0; r < num_classes; ++r) {
+    total_arrivals += arrivals[static_cast<std::size_t>(r)];
+    total_drops += drops[static_cast<std::size_t>(r)];
+  }
+  if (total_arrivals > 0) {
+    result.loss_fraction = static_cast<double>(total_drops) /
+                           static_cast<double>(total_arrivals);
+  }
   result.mean_in_network = in_network.mean(options.sim_time);
   result.per_channel.resize(static_cast<std::size_t>(num_channels));
   for (int c = 0; c < num_channels; ++c) {

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "sim/dynamics.h"
+#include "sim/window_controller.h"
 
 namespace windim::sim {
 
@@ -56,6 +58,14 @@ struct MsgNetOptions {
   double sim_time = 500.0;
   double warmup = 50.0;
   std::uint64_t seed = 1;
+  /// Optional nonstationary traffic/channel dynamics (not owned; must
+  /// outlive the call).  Null keeps the stationary model bit-identical
+  /// to earlier revisions under the same seed.
+  const ScenarioDynamics* dynamics = nullptr;
+  /// Optional online window controller (not owned; must outlive the
+  /// call).  When set it overrides `windows` for every admission
+  /// decision and receives packet-level callbacks.
+  WindowController* controller = nullptr;
 };
 
 struct MsgNetClassStats {
@@ -79,6 +89,12 @@ struct MsgNetResult {
   double mean_total_delay = 0.0;
   /// delivered_rate / mean_network_delay (thesis power, measured).
   double power = 0.0;
+  /// Exact 99th-percentile network delay over all measured deliveries
+  /// (0 when nothing was delivered).
+  double p99_network_delay = 0.0;
+  /// Source drops / arrivals over the measurement window (0 when no
+  /// arrivals were observed).
+  double loss_fraction = 0.0;
   double mean_in_network = 0.0;  // time-averaged admitted messages
   std::vector<MsgNetClassStats> per_class;
   /// Per half-duplex channel, in topology order.

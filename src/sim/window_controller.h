@@ -1,0 +1,67 @@
+// Online end-to-end window control: the simulator consults a
+// WindowController (when one is attached via MsgNetOptions::controller)
+// for the per-class window on every admission decision, and feeds it
+// the packet-level events an endpoint could actually observe —
+// admissions, deliveries with their measured network delay, and source
+// drops — plus an optional periodic tick carrying smoothed per-class
+// offered rates (for policies that re-dimension, not react per packet).
+//
+// The interface lives in src/sim so the simulator has no dependency on
+// concrete policies; implementations live in src/control.
+//
+// Contract: the simulator is single-threaded per run, so controllers
+// need no locking; all callbacks happen in nondecreasing `now` order;
+// window() must be cheap (it is called on every admission attempt) and
+// deterministic given the callback history — controllers must not keep
+// their own randomness or wall-clock state, or scenario runs lose their
+// byte-identical determinism pin.
+#pragma once
+
+#include <vector>
+
+namespace windim::sim {
+
+class WindowController {
+ public:
+  virtual ~WindowController() = default;
+
+  /// Called once before the simulation starts (at simulated time `now`,
+  /// normally 0).  Controllers drop any state from a previous run.
+  virtual void reset(double now) { (void)now; }
+
+  /// The current end-to-end window for class `cls`; <= 0 disables the
+  /// window for that class (unlimited in-flight messages).
+  [[nodiscard]] virtual int window(int cls) const = 0;
+
+  /// A message of class `cls` entered the network.
+  virtual void on_admit(int cls, double now) {
+    (void)cls;
+    (void)now;
+  }
+
+  /// A message of class `cls` was delivered after `network_delay`
+  /// seconds in the network (admission -> delivery).
+  virtual void on_delivery(int cls, double now, double network_delay) {
+    (void)cls;
+    (void)now;
+    (void)network_delay;
+  }
+
+  /// A message of class `cls` was dropped at the source (backlog limit).
+  virtual void on_drop(int cls, double now) {
+    (void)cls;
+    (void)now;
+  }
+
+  /// Period of on_tick callbacks in seconds; <= 0 disables ticking.
+  [[nodiscard]] virtual double tick_period() const { return 0.0; }
+
+  /// Periodic callback with the per-class offered rates (arrivals/s)
+  /// observed over the last tick period.
+  virtual void on_tick(double now, const std::vector<double>& offered_rates) {
+    (void)now;
+    (void)offered_rates;
+  }
+};
+
+}  // namespace windim::sim

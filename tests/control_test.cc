@@ -1,0 +1,265 @@
+// Unit tests of the online window policies (src/control): every
+// reactive controller is driven through a hand-computed event sequence
+// and its real-valued window trajectory pinned exactly — the policies
+// consume no randomness, so the trajectories are arithmetic, not
+// statistics.  The policy/scenario registries and the dynamics
+// validators are covered here too, so the CLI and serve error paths
+// stay honest about what is available.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "control/policies.h"
+#include "control/registry.h"
+#include "control/scenario.h"
+#include "net/examples.h"
+#include "sim/dynamics.h"
+#include "windim/dimension.h"
+#include "windim/problem.h"
+
+namespace windim::control {
+namespace {
+
+TEST(StaticPolicyTest, ReturnsWindowsVerbatim) {
+  const StaticWindowController c({3, 7});
+  EXPECT_EQ(c.window(0), 3);
+  EXPECT_EQ(c.window(1), 7);
+  EXPECT_LE(c.tick_period(), 0.0);  // no periodic callback
+}
+
+TEST(AimdPolicyTest, HandComputedTrajectory) {
+  // Defaults: +1 per timely delivery, x0.5 on congestion, threshold
+  // 0.35 s, cooldown 1 s, window in [1, 64].
+  AimdController c({3}, AimdConfig{});
+  EXPECT_EQ(c.window(0), 3);
+
+  c.on_delivery(0, 0.1, 0.20);  // timely: 3 -> 4
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 4.0);
+  c.on_delivery(0, 0.2, 0.35);  // exactly at threshold still counts: -> 5
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 5.0);
+  c.on_delivery(0, 0.3, 0.50);  // late: multiplicative cut 5 -> 2.5
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 2.5);
+  EXPECT_EQ(c.window(0), 2);  // floor of the real-valued window
+  c.on_delivery(0, 0.6, 0.90);  // within cooldown: no second cut
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 2.5);
+  c.on_drop(0, 1.5);  // cooldown expired; a drop cuts too: 2.5 -> 1.25
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.25);
+  EXPECT_EQ(c.window(0), 1);
+  c.on_drop(0, 3.0);  // 1.25 * 0.5 floors at min_window = 1
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.0);
+  EXPECT_EQ(c.window(0), 1);
+}
+
+TEST(AimdPolicyTest, AdditiveIncreaseCapsAtMaxWindow) {
+  AimdConfig config;
+  config.max_window = 4.0;
+  AimdController c({3}, config);
+  c.on_delivery(0, 0.1, 0.0);
+  c.on_delivery(0, 0.2, 0.0);
+  c.on_delivery(0, 0.3, 0.0);
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 4.0);
+  EXPECT_EQ(c.window(0), 4);
+}
+
+TEST(AimdPolicyTest, ResetRestoresInitialWindowsAndCooldown) {
+  AimdController c({3, 5}, AimdConfig{});
+  c.on_delivery(0, 0.1, 9.0);  // cut class 0
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.5);
+  c.reset(0.0);
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 3.0);
+  EXPECT_DOUBLE_EQ(c.raw_window(1), 5.0);
+  // The cooldown clock is cleared too: an immediate cut works again.
+  c.on_delivery(0, 0.05, 9.0);
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.5);
+}
+
+TEST(AimdPolicyTest, RejectsEmptyInitialWindows) {
+  EXPECT_THROW(AimdController({}, AimdConfig{}), std::invalid_argument);
+}
+
+TEST(DelayTriggeredPolicyTest, HandComputedTrajectory) {
+  // Defaults: +1 per quiet period (0.5 s), -10 on a late delivery,
+  // threshold 0.35 s, window in [1, 64].
+  DelayTriggeredController c({5}, DelayTriggeredConfig{});
+  EXPECT_EQ(c.window(0), 5);
+
+  c.on_delivery(0, 0.1, 0.10);  // first quiet delivery: 5 -> 6
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 6.0);
+  c.on_delivery(0, 0.3, 0.10);  // 0.2 s since last step: rate-limited
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 6.0);
+  c.on_delivery(0, 0.7, 0.10);  // 0.6 s elapsed: 6 -> 7
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 7.0);
+  c.on_delivery(0, 0.8, 0.40);  // late: subtractive cut floors at 1
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.0);
+  EXPECT_EQ(c.window(0), 1);
+  // The cut restarts the period clock: no increase until 1.3.
+  c.on_delivery(0, 1.0, 0.10);
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 1.0);
+  c.on_delivery(0, 1.3, 0.10);
+  EXPECT_DOUBLE_EQ(c.raw_window(0), 2.0);
+}
+
+TEST(DelayTriggeredPolicyTest, ClassesAreIndependent) {
+  DelayTriggeredController c({4, 4}, DelayTriggeredConfig{});
+  c.on_delivery(0, 0.1, 0.9);  // cut class 0 only
+  EXPECT_EQ(c.window(0), 1);
+  EXPECT_EQ(c.window(1), 4);
+}
+
+TEST(TrackingPolicyTest, RedimensionsFromObservedRates) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 25.0);
+  TrackingConfig config;
+  config.period = 10.0;
+  config.smoothing = 1.0;  // adopt the observation outright
+  TrackingWindimController c(topo, classes, {1, 1}, config);
+  EXPECT_EQ(c.window(0), 1);
+  EXPECT_DOUBLE_EQ(c.tick_period(), 10.0);
+
+  // Feeding the nominal rates must reproduce the nominal optimum.
+  core::WindowProblem problem(topo, classes);
+  const core::DimensionResult nominal = core::dimension_windows(problem, {});
+  c.on_tick(10.0, {25.0, 25.0});
+  EXPECT_EQ(c.redimensions(), 1);
+  for (std::size_t r = 0; r < nominal.optimal_windows.size(); ++r) {
+    EXPECT_EQ(c.window(static_cast<int>(r)),
+              nominal.optimal_windows[r])
+        << "class " << r;
+  }
+
+  // A malformed observation vector is ignored, not adopted.
+  c.on_tick(20.0, {25.0});
+  EXPECT_EQ(c.redimensions(), 1);
+}
+
+TEST(TrackingPolicyTest, RejectsMalformedConstruction) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 25.0);
+  EXPECT_THROW(TrackingWindimController(topo, classes, {1}, TrackingConfig{}),
+               std::invalid_argument);
+  TrackingConfig bad_period;
+  bad_period.period = 0.0;
+  EXPECT_THROW(TrackingWindimController(topo, classes, {1, 1}, bad_period),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistryTest, NamesAreSortedAndComplete) {
+  const std::vector<std::string> expected{"aimd", "delay-triggered", "static",
+                                          "tracking-windim"};
+  EXPECT_EQ(policy_names(), expected);
+  for (const std::string& name : expected) EXPECT_TRUE(is_policy(name));
+  EXPECT_FALSE(is_policy("bogus"));
+}
+
+TEST(PolicyRegistryTest, FactoryBuildsEveryPolicy) {
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 25.0);
+  PolicyContext context;
+  context.topology = &topo;
+  context.classes = &classes;
+  context.static_windows = {3, 3};
+  context.delay_threshold = 0.4;
+  for (const std::string& name : policy_names()) {
+    const std::unique_ptr<sim::WindowController> c =
+        make_policy(name, context);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->window(0), 3) << name;  // all start from the optimum
+  }
+}
+
+TEST(PolicyRegistryTest, UnknownNameCarriesTheAvailableList) {
+  EXPECT_EQ(unknown_policy_message("bogus"),
+            "unknown policy 'bogus'; available policies: aimd, "
+            "delay-triggered, static, tracking-windim");
+  const net::Topology topo = net::canada_topology();
+  const auto classes = net::two_class_traffic(25.0, 25.0);
+  PolicyContext context;
+  context.topology = &topo;
+  context.classes = &classes;
+  context.static_windows = {3, 3};
+  EXPECT_THROW((void)make_policy("bogus", context), std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, NamesAreSortedAndComplete) {
+  const std::vector<std::string> expected{"flash-crowd", "link-failure",
+                                          "on-off", "ramp", "random-service",
+                                          "stationary"};
+  EXPECT_EQ(scenario_names(), expected);
+  for (const std::string& name : expected) EXPECT_TRUE(is_scenario(name));
+  EXPECT_FALSE(is_scenario("meteor"));
+}
+
+TEST(ScenarioRegistryTest, BuildersValidateAgainstTheTopology) {
+  for (const std::string& name : scenario_names()) {
+    const ScenarioSpec spec = make_scenario(name, 100.0, 4);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.dynamics.validate(4)) << name;
+    EXPECT_GT(spec.dynamics.peak_factor(), 0.0) << name;
+  }
+  // Stationary is the empty dynamics (the analytic cross-check cell).
+  const ScenarioSpec stationary = make_scenario("stationary", 100.0, 4);
+  EXPECT_TRUE(stationary.dynamics.profile.points.empty());
+  EXPECT_FALSE(stationary.dynamics.modulation.enabled);
+  EXPECT_TRUE(stationary.dynamics.failures.empty());
+  EXPECT_FALSE(stationary.dynamics.random_service);
+
+  const ScenarioSpec failure = make_scenario("link-failure", 100.0, 4);
+  ASSERT_EQ(failure.dynamics.failures.size(), 1u);
+  EXPECT_DOUBLE_EQ(failure.dynamics.failures[0].fail_time, 40.0);
+  EXPECT_DOUBLE_EQ(failure.dynamics.failures[0].repair_time, 60.0);
+
+  EXPECT_THROW((void)make_scenario("meteor", 100.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("ramp", 0.0, 4), std::invalid_argument);
+}
+
+TEST(DynamicsTest, RateProfileInterpolatesAndValidates) {
+  const sim::RateProfile ramp = sim::ramp_profile(0.5, 1.5, 100.0);
+  EXPECT_DOUBLE_EQ(ramp.at(-1.0), 0.5);   // flat before the first knot
+  EXPECT_DOUBLE_EQ(ramp.at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ramp.at(50.0), 1.0);   // linear interpolation
+  EXPECT_DOUBLE_EQ(ramp.at(100.0), 1.5);
+  EXPECT_DOUBLE_EQ(ramp.at(200.0), 1.5);  // flat after the last knot
+  EXPECT_DOUBLE_EQ(ramp.peak(), 1.5);
+  EXPECT_NO_THROW(ramp.validate());
+
+  const sim::RateProfile crowd = sim::flash_crowd_profile(3.0, 50.0, 10.0);
+  EXPECT_DOUBLE_EQ(crowd.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(crowd.at(45.0), 2.0);  // halfway up the spike
+  EXPECT_DOUBLE_EQ(crowd.at(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(crowd.at(70.0), 1.0);
+  EXPECT_DOUBLE_EQ(crowd.peak(), 3.0);
+
+  sim::RateProfile out_of_order;
+  out_of_order.points = {{10.0, 1.0}, {5.0, 2.0}};
+  EXPECT_THROW(out_of_order.validate(), std::invalid_argument);
+  sim::RateProfile negative;
+  negative.points = {{0.0, -0.5}};
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+}
+
+TEST(DynamicsTest, ScenarioValidationRejectsBadComponents) {
+  sim::ScenarioDynamics bad_channel;
+  bad_channel.failures.push_back({7, 10.0, 20.0});
+  EXPECT_THROW(bad_channel.validate(4), std::invalid_argument);
+
+  sim::ScenarioDynamics bad_order;
+  bad_order.failures.push_back({0, 20.0, 10.0});
+  EXPECT_THROW(bad_order.validate(4), std::invalid_argument);
+
+  sim::ScenarioDynamics bad_sojourn;
+  bad_sojourn.modulation.enabled = true;
+  bad_sojourn.modulation.mean_on = 0.0;
+  EXPECT_THROW(bad_sojourn.validate(4), std::invalid_argument);
+
+  sim::ScenarioDynamics modulated;
+  modulated.modulation.enabled = true;
+  modulated.modulation.on_factor = 1.5;
+  modulated.modulation.off_factor = 0.5;
+  modulated.profile = sim::ramp_profile(1.0, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(modulated.peak_factor(), 3.0);  // 2.0 x 1.5
+}
+
+}  // namespace
+}  // namespace windim::control
