@@ -81,7 +81,9 @@ int usage() {
       "  windim_cli capacity  <spec> --budget=KBPS [--rule=sqrt|prop]\n"
       "  windim_cli serve     --socket=PATH | --stdio [--threads=N]\n"
       "                       [--cache-size=N] [--max-request-bytes=N]\n"
-      "                       [--default-deadline-ms=MS]\n"
+      "                       [--default-deadline-ms=MS] [--no-window]\n"
+      "                       [--metrics-out=FILE] [--metrics-listen=FILE]\n"
+      "                       [--flight-out=FILE]\n"
       "  windim_cli solvers\n"
       "  windim_cli fuzz      [--seeds=N] [--family=NAME,...] [--jobs=N]\n"
       "                       [--solver=NAME,...] [--time-budget=SECONDS]\n"
@@ -890,12 +892,25 @@ int cmd_fuzz(const std::vector<std::string>& args) {
 int cmd_serve(const std::vector<std::string>& args) {
   serve::ServeOptions options;
   std::string socket_path;
+  std::string metrics_out;
   bool stdio = false;
   for (const std::string& arg : args) {
     if (auto v = flag_value(arg, "socket")) {
       socket_path = *v;
     } else if (arg == "--stdio") {
       stdio = true;
+    } else if (auto v = flag_value(arg, "metrics-out")) {
+      // Flag parity with dimension/fuzz/scenario: one cumulative
+      // registry snapshot on graceful shutdown.
+      metrics_out = *v;
+    } else if (auto v = flag_value(arg, "metrics-listen")) {
+      // SIGUSR1 scrape target: the live OpenMetrics exposition lands
+      // here without touching the daemon's stdio.
+      options.expo_path = *v;
+    } else if (auto v = flag_value(arg, "flight-out")) {
+      options.flight_path = *v;
+    } else if (arg == "--no-window") {
+      options.enable_window = false;
     } else if (auto v = flag_value(arg, "threads")) {
       options.threads = std::stoi(*v);
     } else if (auto v = flag_value(arg, "cache-size")) {
@@ -930,12 +945,18 @@ int cmd_serve(const std::vector<std::string>& args) {
     return 2;
   }
   serve::Server server(options);
-  if (stdio) return server.serve_stream(std::cin, std::cout);
-  return server.serve_unix(socket_path, [&socket_path]() {
-    // Readiness line the smoke harness synchronizes on.
-    std::printf("listening %s\n", socket_path.c_str());
-    std::fflush(stdout);
-  });
+  int rc = 0;
+  if (stdio) {
+    rc = server.serve_stream(std::cin, std::cout);
+  } else {
+    rc = server.serve_unix(socket_path, [&socket_path]() {
+      // Readiness line the smoke harness synchronizes on.
+      std::printf("listening %s\n", socket_path.c_str());
+      std::fflush(stdout);
+    });
+  }
+  if (!metrics_out.empty() && !write_metrics_json(metrics_out)) return 1;
+  return rc;
 }
 
 int cmd_solvers() {

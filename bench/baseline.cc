@@ -94,9 +94,16 @@ std::vector<CheckSpec> perf_serve_checks(double tolerance_pct) {
   // error-free.  serve_requests_per_sec / serve_p99_us are recorded in
   // the JSON for trend inspection but are machine-bound, so they carry
   // no cross-machine check.
+  // serve_window_overhead_pct prices the live observability plane
+  // (sliding windows + trace buffer) against a window-off control run;
+  // the benchmark hard-fails at 2%, and the baseline check bounds drift
+  // below that (floored at 2.0 so a near-zero committed overhead cannot
+  // turn scheduler noise into a huge relative regression).
   return {
       {"serve_cache_hit_rate", Direction::kHigherIsBetter, tolerance_pct,
        0.1},
+      {"serve_window_overhead_pct", Direction::kLowerIsBetter, tolerance_pct,
+       2.0},
       {"serve_error_free", Direction::kHigherIsBetter, 0.0, 0.0},
       {"serve_pass", Direction::kHigherIsBetter, 0.0, 0.0},
   };

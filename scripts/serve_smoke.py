@@ -22,11 +22,29 @@ session through every reply class the protocol defines:
  10. a pareto expired deadline     -> deadline_exceeded (refused whole,
                                       never a truncated front);
  11. a stats probe                 -> ok reply carrying serve/cache
-                                      counters that match the session;
- 12. a SECOND concurrent connection evaluating successfully while the
+                                      counters that match the session,
+                                      plus the PR 10 sliding-window
+                                      rates and quantiles;
+ 12. a metrics scrape             -> the exposition parses as
+                                      OpenMetrics (tiny parser below:
+                                      TYPE comments, labeled samples,
+                                      cumulative le buckets, # EOF) and
+                                      carries the windim_serve_window_*
+                                      gauges;
+ 13. a trace drain                -> real spans (parse/cache_lookup/
+                                      workspace_lease/solve) from the
+                                      session's evaluates;
+ 14. a flight dump op             -> digests covering the whole session,
+                                      faults included;
+ 15. SIGUSR1                      -> the daemon writes the flight JSONL
+                                      and the OpenMetrics file to their
+                                      configured paths, WITHOUT dying;
+ 16. a SECOND concurrent connection evaluating successfully while the
      first stays open (connections share one server);
- 13. SIGTERM                       -> graceful drain, exit code 0, the
-                                      socket unlinked.
+ 17. SIGTERM                      -> graceful drain, exit code 0, the
+                                      socket unlinked, and the
+                                      --metrics-out final snapshot
+                                      written as valid JSON.
 
 Exits nonzero (with a diagnostic on stderr) on the first violation.
 The serve-smoke CI job runs this under ASan+UBSan so every one of
@@ -35,6 +53,7 @@ those paths is also leak- and UB-checked.
 
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -83,14 +102,71 @@ def expect_error(reply, code, what):
         fail("%s: wanted error %s, got %s" % (what, code, reply))
 
 
+SAMPLE_RE = re.compile(r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\S+)$')
+
+
+def parse_openmetrics(text, what):
+    """Tiny OpenMetrics text parser: returns ({family: type}, [samples]).
+
+    Checks the grammar this repo emits: `# TYPE name counter|gauge|
+    histogram` comments, `name[{labels}] value` samples, a final `# EOF`
+    line, and cumulative (monotone) `le` bucket counts per histogram.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        fail("%s: exposition does not end with # EOF" % what)
+    families = {}
+    samples = []
+    for line in lines[:-1]:
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                       "histogram"):
+                    fail("%s: malformed TYPE comment: %r" % (what, line))
+                if parts[2] in families:
+                    fail("%s: duplicate family %s" % (what, parts[2]))
+                families[parts[2]] = parts[3]
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail("%s: unparseable sample line: %r" % (what, line))
+        try:
+            value = float(m.group(3).replace("+Inf", "inf"))
+        except ValueError:
+            fail("%s: non-numeric sample value: %r" % (what, line))
+        samples.append((m.group(1), m.group(2) or "", value))
+    for name, mtype in families.items():
+        if mtype != "histogram":
+            continue
+        buckets = [(labels, v) for (n, labels, v) in samples
+                   if n == name + "_bucket"]
+        if not buckets or 'le="+Inf"' not in buckets[-1][0]:
+            fail("%s: histogram %s lacks an le=\"+Inf\" bucket" % (what, name))
+        previous = 0.0
+        for labels, v in buckets:
+            if v < previous:
+                fail("%s: %s buckets not cumulative at %s" %
+                     (what, name, labels))
+            previous = v
+    return families, samples
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: serve_smoke.py PATH_TO_WINDIM_CLI")
     cli = sys.argv[1]
-    sock_path = os.path.join(
-        tempfile.mkdtemp(prefix="windim-serve-"), "smoke.sock")
+    workdir = tempfile.mkdtemp(prefix="windim-serve-")
+    sock_path = os.path.join(workdir, "smoke.sock")
+    flight_path = os.path.join(workdir, "flight.jsonl")
+    expo_path = os.path.join(workdir, "metrics.prom")
+    metrics_out = os.path.join(workdir, "final-metrics.json")
     daemon = subprocess.Popen(
-        [cli, "serve", "--socket=%s" % sock_path, "--max-request-bytes=4096"],
+        [cli, "serve", "--socket=%s" % sock_path, "--max-request-bytes=4096",
+         "--flight-out=%s" % flight_path, "--metrics-listen=%s" % expo_path,
+         "--metrics-out=%s" % metrics_out],
         stdout=subprocess.PIPE, text=True)
     try:
         ready = daemon.stdout.readline()
@@ -187,8 +263,88 @@ def main():
             fail("stats did not count the pareto scans: %s" % serve_stats)
         if r["result"]["cache"]["entries"] < 1:
             fail("stats shows an empty model cache: %s" % r["result"])
+        window = r["result"]["window"]
+        if window.get("enabled") is not True:
+            fail("live plane disabled by default: %s" % window)
+        evaluate_window = window["by_op"]["evaluate"]
+        if evaluate_window["rate_60s"] <= 0:
+            fail("windowed evaluate rate is zero mid-session: %s" %
+                 evaluate_window)
+        if evaluate_window["p99_us_60s"] < evaluate_window["p50_us_60s"]:
+            fail("windowed quantiles inverted: %s" % evaluate_window)
 
-        # 12. A second concurrent connection shares the server (and its
+        # 12. Scrape-and-parse: the metrics op returns an OpenMetrics
+        # exposition the tiny parser accepts, with the windowed gauges.
+        r = roundtrip(sock, rfile, {"op": "metrics", "id": 9})
+        if r.get("ok") is not True:
+            fail("metrics: %s" % r)
+        if not r["result"]["content_type"].startswith(
+                "application/openmetrics-text"):
+            fail("metrics content_type: %s" % r["result"]["content_type"])
+        families, samples = parse_openmetrics(
+            r["result"]["exposition"], "metrics op")
+        if families.get("windim_serve_window_rate_10s") != "gauge":
+            fail("exposition lacks the windowed rate gauge: %s" %
+                 sorted(families))
+        if "histogram" not in families.values():
+            fail("exposition carries no histogram family")
+        window_ops = [labels for (name, labels, _) in samples
+                      if name == "windim_serve_window_rate_10s"]
+        if 'op="evaluate"' not in "".join(window_ops) or \
+                'op="all"' not in "".join(window_ops):
+            fail("windowed gauges missing op rows: %s" % window_ops)
+
+        # 13. Trace drain: real spans from the session's evaluates.
+        r = roundtrip(sock, rfile, {"op": "trace", "id": 10})
+        if r.get("ok") is not True:
+            fail("trace: %s" % r)
+        traces = r["result"]["traces"]
+        if not traces:
+            fail("trace drain returned nothing after a full session")
+        spans = [s["name"] for t in traces if t["op"] == "evaluate"
+                 for s in t["spans"]]
+        for stage in ("parse", "cache_lookup", "workspace_lease", "solve"):
+            if stage not in spans:
+                fail("evaluate traces lack a %s span: %s" % (stage, spans))
+
+        # 14. The dump op returns the whole session's digests, faults
+        # included, oldest first.
+        r = roundtrip(sock, rfile, {"op": "dump", "id": 11})
+        if r.get("ok") is not True:
+            fail("dump: %s" % r)
+        digests = r["result"]["digests"]
+        outcomes = set(d["outcome"] for d in digests)
+        if "ok" not in outcomes or "parse_error" not in outcomes:
+            fail("flight digests missed a reply class: %s" % outcomes)
+        seqs = [d["seq"] for d in digests]
+        if seqs != sorted(seqs):
+            fail("flight digests out of order: %s" % seqs)
+
+        # 15. SIGUSR1: live dumps written to the configured paths, the
+        # daemon keeps serving.  The accept loop notices the latch
+        # within its 200 ms poll timeout.
+        daemon.send_signal(signal.SIGUSR1)
+        deadline = time.time() + 10.0
+        while not (os.path.exists(flight_path) and os.path.exists(expo_path)):
+            if time.time() > deadline:
+                fail("SIGUSR1 produced no dump files within 10 s")
+            time.sleep(0.05)
+        time.sleep(0.2)  # let both writes complete
+        with open(flight_path) as f:
+            flight_lines = [ln for ln in f.read().split("\n") if ln]
+        if not flight_lines:
+            fail("SIGUSR1 flight dump is empty")
+        for ln in flight_lines:
+            digest = json.loads(ln)
+            if "seq" not in digest or "outcome" not in digest:
+                fail("flight JSONL line lacks digest fields: %r" % ln)
+        with open(expo_path) as f:
+            parse_openmetrics(f.read(), "SIGUSR1 exposition")
+        r = roundtrip(sock, rfile, {"op": "stats", "id": 12})
+        if r.get("ok") is not True:
+            fail("daemon died after SIGUSR1: %s" % r)
+
+        # 16. A second concurrent connection shares the server (and its
         # warm cache) while the first stays open.
         sock2 = connect(sock_path)
         rfile2 = sock2.makefile("r")
@@ -201,13 +357,20 @@ def main():
         rfile.close()
         sock.close()
 
-        # 13. Graceful SIGTERM drain: exit 0, socket unlinked.
+        # 17. Graceful SIGTERM drain: exit 0, socket unlinked, final
+        # metrics snapshot written.
         daemon.send_signal(signal.SIGTERM)
         code = daemon.wait(timeout=30)
         if code != 0:
             fail("daemon exited %d after SIGTERM" % code)
         if os.path.exists(sock_path):
             fail("socket not unlinked after drain")
+        if not os.path.exists(metrics_out):
+            fail("--metrics-out wrote no final snapshot")
+        with open(metrics_out) as f:
+            final = json.load(f)
+        if not final:
+            fail("final metrics snapshot is empty")
     finally:
         if daemon.poll() is None:
             daemon.kill()

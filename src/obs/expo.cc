@@ -1,0 +1,136 @@
+#include "obs/expo.h"
+
+#include <cctype>
+
+#include "obs/json.h"
+
+namespace windim::obs {
+namespace {
+
+void append_number(std::string& out, double v) {
+  // Integral values print without an exponent or trailing ".0" — the
+  // format treats "5" and "5.0" identically and the shorter form keeps
+  // bucket le labels matching the JSON bounds arrays.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v >= -1e15 &&
+      v <= 1e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  JsonWriter::append_double(out, v);
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   std::string_view suffix,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       labels,
+                   double value) {
+  out += name;
+  out += suffix;
+  if (!labels.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ',';
+      first = false;
+      out += sanitize_metric_name(k);
+      out += "=\"";
+      out += escape_label_value(v);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+  append_number(out, value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_openmetrics(const MetricsSnapshot& snapshot,
+                               const std::vector<ExpoGauge>& extra) {
+  std::string out;
+  for (const auto& [raw_name, value] : snapshot.counters) {
+    const std::string name = sanitize_metric_name(raw_name);
+    append_type(out, name, "counter");
+    append_sample(out, name, "_total", {}, static_cast<double>(value));
+  }
+  for (const auto& [raw_name, value] : snapshot.gauges) {
+    const std::string name = sanitize_metric_name(raw_name);
+    append_type(out, name, "gauge");
+    append_sample(out, name, "", {}, value);
+  }
+  for (const auto& [raw_name, hist] : snapshot.histograms) {
+    const std::string name = sanitize_metric_name(raw_name);
+    append_type(out, name, "histogram");
+    // Cumulative buckets with every explicit bound as its le label —
+    // the grid is part of the contract, never implied.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bounds.size() && b < hist.counts.size();
+         ++b) {
+      cumulative += hist.counts[b];
+      std::string le;
+      append_number(le, hist.bounds[b]);
+      append_sample(out, name, "_bucket", {{"le", le}},
+                    static_cast<double>(cumulative));
+    }
+    append_sample(out, name, "_bucket", {{"le", "+Inf"}},
+                  static_cast<double>(hist.count));
+    append_sample(out, name, "_sum", {}, hist.sum);
+    append_sample(out, name, "_count", {}, static_cast<double>(hist.count));
+  }
+  // Live gauges (windowed values etc.): one # TYPE header per
+  // consecutive run of the same family name.
+  std::string open_family;
+  for (const ExpoGauge& g : extra) {
+    const std::string name = sanitize_metric_name(g.name);
+    if (name != open_family) {
+      append_type(out, name, "gauge");
+      open_family = name;
+    }
+    append_sample(out, name, "", g.labels, g.value);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace windim::obs

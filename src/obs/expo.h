@@ -1,0 +1,71 @@
+// Prometheus / OpenMetrics text exposition over MetricsSnapshot.
+//
+// render_openmetrics() turns one merged registry snapshot (plus any
+// caller-supplied live gauges, e.g. the windim.serve.window.* values)
+// into the OpenMetrics 1.0 text format standard scrapers ingest:
+//
+//   # TYPE windim_serve_requests counter
+//   windim_serve_requests_total 42
+//   # TYPE windim_serve_latency_us_evaluate histogram
+//   windim_serve_latency_us_evaluate_bucket{le="1"} 0
+//   ...
+//   windim_serve_latency_us_evaluate_bucket{le="+Inf"} 17
+//   windim_serve_latency_us_evaluate_sum 512.25
+//   windim_serve_latency_us_evaluate_count 17
+//   # EOF
+//
+// Contract (pinned by expo_test and the serve_smoke scrape step):
+//   - metric names are the registry names with every character outside
+//     [a-zA-Z0-9_:] mapped to '_' (so windim.serve.requests ->
+//     windim_serve_requests); counters carry the mandatory _total
+//     suffix;
+//   - histogram buckets are CUMULATIVE and every explicit bound is
+//     emitted as its le label (plus the closing le="+Inf" = count), so
+//     a scraper never has to guess the bucket grid;
+//   - families appear in snapshot order (sorted by name — snapshots are
+//     pre-sorted), extra gauges after the snapshot in caller order, and
+//     the output ends with the mandatory "# EOF\n";
+//   - doubles print via the shared %.17g writer, so exposition of equal
+//     snapshots is byte-identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace windim::obs {
+
+/// Content-Type a conforming scraper negotiates for this payload.
+inline constexpr std::string_view kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// One live gauge sample outside the cumulative registry (the serve
+/// plane's windowed values).  Labels render as {key="value",...} in the
+/// given order; rows sharing a name must be passed consecutively so the
+/// family's # TYPE header is emitted once.
+struct ExpoGauge {
+  std::string name;  // raw (dotted) name; sanitized on render
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Maps every character outside [a-zA-Z0-9_:] to '_' (and prefixes '_'
+/// when the name would start with a digit).
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Renders the full exposition: snapshot counters as counter families
+/// (_total), gauges as gauge families, histograms as histogram families
+/// with explicit le bounds, then `extra` as gauge families, then
+/// "# EOF".
+[[nodiscard]] std::string render_openmetrics(
+    const MetricsSnapshot& snapshot,
+    const std::vector<ExpoGauge>& extra = {});
+
+}  // namespace windim::obs

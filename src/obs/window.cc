@@ -1,0 +1,196 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace windim::obs {
+
+SteadyWindowClock::SteadyWindowClock()
+    : epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+std::uint64_t SteadyWindowClock::now_us() {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<std::uint64_t>((now_ns - epoch_ns_) / 1000);
+}
+
+WindowClock& steady_window_clock() {
+  // Leaked like MetricsRegistry::global(): serving threads may consult
+  // the clock during static destruction.
+  static auto* clock = new SteadyWindowClock();
+  return *clock;
+}
+
+WindowCounter::WindowCounter(WindowClock* clock, std::uint64_t tick_us,
+                             std::size_t slots)
+    : clock_(clock != nullptr ? clock : &steady_window_clock()),
+      tick_us_(tick_us > 0 ? tick_us : 1),
+      ring_(std::max<std::size_t>(slots, 2), 0) {}
+
+void WindowCounter::rotate_locked(std::uint64_t tick) {
+  if (tick <= current_tick_) return;  // clock must be monotone
+  const std::uint64_t stale = tick - current_tick_;
+  if (stale >= ring_.size()) {
+    std::fill(ring_.begin(), ring_.end(), 0);
+  } else {
+    for (std::uint64_t t = current_tick_ + 1; t <= tick; ++t) {
+      ring_[t % ring_.size()] = 0;
+    }
+  }
+  current_tick_ = tick;
+}
+
+void WindowCounter::add(std::uint64_t n) {
+  const std::uint64_t tick = clock_->now_us() / tick_us_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  rotate_locked(tick);
+  ring_[tick % ring_.size()] += n;
+  total_ += n;
+}
+
+std::uint64_t WindowCounter::sum_window(std::uint64_t window_ticks) {
+  const std::uint64_t tick = clock_->now_us() / tick_us_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  rotate_locked(tick);
+  // The window never exceeds the ring horizon; older buckets are gone.
+  const std::uint64_t w =
+      std::min<std::uint64_t>(window_ticks, ring_.size());
+  std::uint64_t sum = 0;
+  for (std::uint64_t back = 0; back < w && back <= current_tick_; ++back) {
+    sum += ring_[(current_tick_ - back) % ring_.size()];
+  }
+  return sum;
+}
+
+double WindowCounter::rate_per_sec(std::uint64_t window_ticks) {
+  if (window_ticks == 0) return 0.0;
+  const double window_seconds = static_cast<double>(window_ticks) *
+                                static_cast<double>(tick_us_) / 1e6;
+  return static_cast<double>(sum_window(window_ticks)) / window_seconds;
+}
+
+std::uint64_t WindowCounter::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+WindowHistogram::WindowHistogram(WindowClock* clock,
+                                 std::vector<double> bounds,
+                                 std::uint64_t tick_us, std::size_t slots)
+    : clock_(clock != nullptr ? clock : &steady_window_clock()),
+      tick_us_(tick_us > 0 ? tick_us : 1),
+      bounds_(bounds.empty() ? MetricsRegistry::default_latency_bounds_us()
+                             : std::move(bounds)) {
+  ring_.resize(std::max<std::size_t>(slots, 2));
+  for (Slice& s : ring_) s.counts.assign(bounds_.size() + 1, 0);
+}
+
+void WindowHistogram::rotate_locked(std::uint64_t tick) {
+  if (tick <= current_tick_ && ring_[current_tick_ % ring_.size()].live) {
+    return;
+  }
+  // Lazily reclaim every slice whose tick fell off the horizon; slices
+  // are only written through this path so reclamation stays O(slots)
+  // per rotation, not per observation.
+  for (std::uint64_t t = current_tick_ + 1; t <= tick; ++t) {
+    Slice& s = ring_[t % ring_.size()];
+    std::fill(s.counts.begin(), s.counts.end(), 0);
+    s.sum = 0.0;
+    s.max = 0.0;
+    s.live = false;
+    if (tick - t >= ring_.size()) {
+      // Everything up to tick - ring size maps to the same slots again;
+      // skip ahead instead of re-zeroing the whole ring per stale tick.
+      t = tick - ring_.size();
+    }
+  }
+  current_tick_ = std::max(current_tick_, tick);
+  Slice& cur = ring_[current_tick_ % ring_.size()];
+  if (!cur.live) {
+    cur.tick = current_tick_;
+    cur.live = true;
+  }
+}
+
+void WindowHistogram::observe(double v) {
+  const std::uint64_t tick = clock_->now_us() / tick_us_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  rotate_locked(tick);
+  Slice& s = ring_[current_tick_ % ring_.size()];
+  const std::size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  s.counts[bucket] += 1;
+  s.sum += v;
+  s.max = std::max(s.max, v);
+  total_ += 1;
+}
+
+HistogramSnapshot WindowHistogram::merged(std::uint64_t window_ticks) {
+  const std::uint64_t tick = clock_->now_us() / tick_us_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot h;
+  // Untouched histogram (an op the daemon never served): skip the
+  // rotation and the ring walk — stats probes render every op row, so
+  // idle rows must stay near-free.
+  if (total_ == 0) return h;
+  rotate_locked(tick);
+  h.bounds = bounds_;
+  h.counts.assign(bounds_.size() + 1, 0);
+  const std::uint64_t w =
+      std::min<std::uint64_t>(window_ticks, ring_.size());
+  for (std::uint64_t back = 0; back < w && back <= current_tick_; ++back) {
+    const std::uint64_t t = current_tick_ - back;
+    const Slice& s = ring_[t % ring_.size()];
+    if (!s.live || s.tick != t) continue;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      h.counts[b] += s.counts[b];
+    }
+    h.sum += s.sum;
+    h.max_observed = std::max(h.max_observed, s.max);
+  }
+  for (const std::uint64_t c : h.counts) h.count += c;
+  return h;
+}
+
+double WindowHistogram::quantile(double q, std::uint64_t window_ticks) {
+  return histogram_quantile(merged(window_ticks), q);
+}
+
+std::uint64_t WindowHistogram::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0 || h.counts.empty() || h.bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank: the smallest k with cumulative(k) >= ceil(q * count).
+  const double want = q * static_cast<double>(h.count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const std::uint64_t before = cumulative;
+    cumulative += h.counts[b];
+    if (cumulative < rank) continue;
+    if (b >= h.bounds.size()) {
+      // Overflow bucket: no finite upper edge — clamp to the top bound
+      // (the documented saturation underestimate; overflow() > 0 flags
+      // it to the reader).
+      return h.bounds.back();
+    }
+    const double hi = h.bounds[b];
+    const double lo = b == 0 ? 0.0 : h.bounds[b - 1];
+    const double in_bucket = static_cast<double>(h.counts[b]);
+    const double need = static_cast<double>(rank - before);
+    return lo + (hi - lo) * (need / in_bucket);
+  }
+  return h.bounds.back();
+}
+
+}  // namespace windim::obs

@@ -1,0 +1,205 @@
+// Sliding-window metrics for the live serving plane: time-decayed rate
+// counters and windowed quantile sketches over a coarse injectable
+// clock.
+//
+// The PR 4 MetricsRegistry is cumulative-since-boot by design — exactly
+// right for batch CLI runs that dump one snapshot on exit, and exactly
+// wrong for a long-lived daemon where "p99 regressed THIS MINUTE" is
+// the question.  The types here close that gap (DESIGN.md §14):
+//
+//   - WindowClock is the single time source.  Production injects
+//     nothing and gets a steady_clock-backed implementation; tests
+//     inject ManualWindowClock and every windowed value becomes a pure
+//     function of the recorded events — the same determinism discipline
+//     the cumulative snapshots already obey.
+//   - WindowCounter keeps a ring of per-tick buckets (default tick =
+//     1 s, 64 slots covering a 60 s horizon).  rate_per_sec(w) sums the
+//     last w ticks, current partial tick included, and divides by w —
+//     values appear immediately and decay to zero within w seconds of
+//     the traffic stopping.
+//   - WindowHistogram keeps a ring of fixed-bucket sub-histograms, one
+//     per tick, rotated lazily on the coarse clock and merged on read.
+//     A merge is a plain per-bucket sum, so a 60 s p99 costs one pass
+//     over 64 x (bounds+1) integers — no per-observation allocation,
+//     no decay math on the hot path.
+//
+// Quantiles come from histogram_quantile(), shared with the cumulative
+// snapshots.  Its error bound is documented at the declaration and
+// pinned by window_test: the estimate always lies inside the bucket
+// containing the target rank, so the relative error is bounded by the
+// bucket's relative width — at the 60 s saturation bound of the PR 6
+// default grid, the (2e7, 6e7] us bucket, that is a factor of 3 at
+// worst, and beyond saturation the estimate clamps at the top bound.
+//
+// All mutating and reading operations are thread-safe (one mutex per
+// instance; the serving hot path holds it for a few dozen ns).  Every
+// windowed value lives under the distinct windim.serve.window.*
+// exposition namespace so the cumulative windim.* names stay byte-
+// stable (the determinism pin of PR 4/5).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace windim::obs {
+
+/// Injectable microsecond clock driving every windowed metric (and the
+/// serve plane's request spans).  Implementations must be safe to call
+/// from concurrent threads.
+class WindowClock {
+ public:
+  virtual ~WindowClock() = default;
+  /// Microseconds since an arbitrary fixed epoch; must be monotone
+  /// non-decreasing.
+  [[nodiscard]] virtual std::uint64_t now_us() = 0;
+};
+
+/// The production clock: steady_clock microseconds since first use.
+/// steady_window_clock() returns the shared process-wide instance.
+class SteadyWindowClock : public WindowClock {
+ public:
+  SteadyWindowClock();
+  [[nodiscard]] std::uint64_t now_us() override;
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+[[nodiscard]] WindowClock& steady_window_clock();
+
+/// Test clock: time moves only when the test says so.
+class ManualWindowClock : public WindowClock {
+ public:
+  explicit ManualWindowClock(std::uint64_t start_us = 0) : now_(start_us) {}
+  [[nodiscard]] std::uint64_t now_us() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set_us(std::uint64_t us) { now_.store(us, std::memory_order_relaxed); }
+  void advance_us(std::uint64_t us) {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+  void advance_seconds(std::uint64_t s) { advance_us(s * 1'000'000ull); }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+/// Deterministic "time passes" clock for latency tests: every now_us()
+/// call advances by a fixed step, so a code path that reads the clock a
+/// fixed number of times produces pinned durations.
+class SteppingWindowClock : public WindowClock {
+ public:
+  explicit SteppingWindowClock(std::uint64_t step_us) : step_(step_us) {}
+  [[nodiscard]] std::uint64_t now_us() override {
+    return now_.fetch_add(step_, std::memory_order_relaxed) + step_;
+  }
+
+ private:
+  const std::uint64_t step_;
+  std::atomic<std::uint64_t> now_{0};
+};
+
+/// Time-decayed event counter: a ring of per-tick buckets.  Events land
+/// in the bucket of the current tick; reads sum the last `window_ticks`
+/// buckets (current partial tick included).  Buckets older than the
+/// ring horizon are zeroed lazily as the clock advances past them.
+class WindowCounter {
+ public:
+  /// `tick_us` is the bucket width, `slots` the ring size; the horizon
+  /// is slots ticks.  Defaults give 1 s buckets over >= 60 s.
+  explicit WindowCounter(WindowClock* clock,
+                         std::uint64_t tick_us = 1'000'000,
+                         std::size_t slots = 64);
+
+  void add(std::uint64_t n = 1);
+
+  /// Sum of the last `window_ticks` buckets, current tick included.
+  [[nodiscard]] std::uint64_t sum_window(std::uint64_t window_ticks);
+  /// sum_window / (window_ticks * tick seconds).
+  [[nodiscard]] double rate_per_sec(std::uint64_t window_ticks);
+  /// Cumulative total since construction (never decays).
+  [[nodiscard]] std::uint64_t total() const;
+
+ private:
+  void rotate_locked(std::uint64_t tick);
+
+  WindowClock* clock_;
+  const std::uint64_t tick_us_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> ring_;
+  std::uint64_t current_tick_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Windowed quantile sketch: a ring of fixed-bucket sub-histograms, one
+/// per tick, merged on read into a HistogramSnapshot over the last
+/// `window_ticks` ticks.  Bounds follow the cumulative-histogram
+/// convention (strictly increasing inclusive upper bounds plus an
+/// implicit overflow bucket).
+class WindowHistogram {
+ public:
+  /// Empty `bounds` = MetricsRegistry::default_latency_bounds_us().
+  explicit WindowHistogram(WindowClock* clock,
+                           std::vector<double> bounds = {},
+                           std::uint64_t tick_us = 1'000'000,
+                           std::size_t slots = 64);
+
+  void observe(double v);
+
+  /// Per-bucket sum of the live slices in the window (current tick
+  /// included); count/sum/max_observed cover the same window.
+  [[nodiscard]] HistogramSnapshot merged(std::uint64_t window_ticks);
+  /// histogram_quantile over merged(window_ticks).
+  [[nodiscard]] double quantile(double q, std::uint64_t window_ticks);
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slice {
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1
+    double sum = 0.0;
+    double max = 0.0;
+    std::uint64_t tick = 0;  // which tick this slice currently holds
+    bool live = false;
+  };
+
+  void rotate_locked(std::uint64_t tick);
+
+  WindowClock* clock_;
+  const std::uint64_t tick_us_;
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<Slice> ring_;
+  std::uint64_t current_tick_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Bucket-interpolated quantile estimate over a fixed-bucket histogram
+/// snapshot, q in [0, 1] (Prometheus histogram_quantile semantics).
+///
+/// The target rank is ceil(q * count); the estimate interpolates
+/// linearly inside the first bucket whose cumulative count reaches that
+/// rank (lower edge 0 for the first bucket).  ERROR BOUND (pinned by
+/// window_test.QuantileErrorBoundAtSaturation):
+///
+///   - the true quantile and the estimate lie in the SAME bucket
+///     (lo, hi], so |estimate - true| < hi - lo and the relative error
+///     is at most (hi - lo) / lo;
+///   - on the default 1-2-5 microsecond grid the worst finite bucket is
+///     the 60 s saturation bucket (2e7, 6e7] us added in PR 6: absolute
+///     error < 40 s, relative error < 2x (estimate within a factor of
+///     3 of the true value);
+///   - if the rank lands in the overflow bucket the estimate clamps to
+///     max(bounds.back(), max_observed is NOT consulted) — i.e. a p99
+///     beyond saturation is reported as the 60 s bound, an explicit
+///     underestimate flagged by a nonzero overflow() in the snapshot.
+///
+/// Returns 0 when the snapshot is empty.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& h, double q);
+
+}  // namespace windim::obs

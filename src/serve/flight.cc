@@ -1,0 +1,130 @@
+#include "serve/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace windim::serve {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::push(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (size_ == capacity_) {
+    // Overwrite the oldest: the buffer favors the recent past, exactly
+    // like the flight recorder.
+    ring_[first_] = std::move(trace);
+    first_ = (first_ + 1) % capacity_;
+    ++dropped_;
+    return;
+  }
+  ring_[(first_ + size_) % capacity_] = std::move(trace);
+  ++size_;
+}
+
+std::vector<RequestTrace> TraceBuffer::drain(std::size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = max == 0 ? size_ : std::min(max, size_);
+  std::vector<RequestTrace> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(ring_[first_]));
+    ring_[first_] = RequestTrace{};
+    first_ = (first_ + 1) % capacity_;
+  }
+  size_ -= n;
+  return out;
+}
+
+std::size_t TraceBuffer::buffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::uint64_t TraceBuffer::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::record(RequestDigest digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[total_ % capacity_] = std::move(digest);
+  ++total_;
+}
+
+std::vector<RequestDigest> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, capacity_));
+  std::vector<RequestDigest> out;
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void write_digest_fields(obs::JsonWriter& w, const RequestDigest& d) {
+  w.key("seq");
+  w.value(d.seq);
+  w.key("end_us");
+  w.value(d.end_us);
+  w.key("op");
+  w.value(std::string_view(d.op));
+  w.key("id");
+  w.value(std::string_view(d.id));
+  w.key("topology_hash");
+  w.value(d.topology_hash);
+  w.key("latency_us");
+  w.value(d.latency_us);
+  w.key("ok");
+  w.value(d.ok);
+  w.key("outcome");
+  w.value(std::string_view(d.outcome));
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const RequestDigest& d : snapshot()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    write_digest_fields(w, d);
+    w.end_object();
+    out += std::move(w).str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_jsonl();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace windim::serve

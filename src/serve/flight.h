@@ -1,0 +1,121 @@
+// The daemon's black box: request-scoped traces and the flight
+// recorder.
+//
+// Two bounded, preallocated rings sit beside the serving data plane
+// (DESIGN.md §14):
+//
+//   - TraceBuffer holds the last N REQUEST TRACES: per-request span
+//     lists (parse -> queue -> cache lookup -> workspace lease ->
+//     solve) recorded live on the serving path with real stage
+//     timings from the injected clock — not replay-synthesized like
+//     the PR 5 engine spans.  The `trace` serve op DRAINS it, so one
+//     slow request can be explained end to end while the daemon keeps
+//     running.
+//   - FlightRecorder holds the last N REQUEST DIGESTS (op, id,
+//     topology hash, latency, outcome / error-taxonomy code) for
+//     every request, successful or not.  It is never drained: on a
+//     fault, on SIGUSR1, or on the `dump` op the ring is written out
+//     as JSONL — the post-mortem record of what the daemon was doing
+//     when things went wrong.
+//
+// Both rings are mutex-guarded (one push per request, far off the
+// solve hot path) and allocation-bounded: the ring storage is sized at
+// construction and entries are overwritten in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace windim::obs {
+class JsonWriter;
+}
+
+namespace windim::serve {
+
+/// One stage of a request's lifecycle; times are microseconds on the
+/// serve clock, start relative to the clock epoch.
+struct RequestSpan {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// One request's end-to-end trace.
+struct RequestTrace {
+  std::uint64_t seq = 0;       // monotone per server
+  std::string id;              // rendered request id ("null" if absent)
+  std::string op;              // op string ("unknown" pre-parse)
+  std::uint64_t topology_hash = 0;  // 0 when the request names no model
+  std::uint64_t start_us = 0;
+  std::uint64_t total_us = 0;
+  std::string outcome;         // "ok" or the ErrorCode string
+  std::vector<RequestSpan> spans;
+};
+
+/// Bounded drain-on-read ring of request traces.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(RequestTrace trace);
+  /// Oldest-first; removes what it returns.  max == 0 drains all.
+  [[nodiscard]] std::vector<RequestTrace> drain(std::size_t max = 0);
+
+  [[nodiscard]] std::size_t buffered() const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> ring_;  // ring_[ (first_ + i) % cap ]
+  std::size_t first_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One request digest — the flight recorder's unit of record.
+struct RequestDigest {
+  std::uint64_t seq = 0;
+  std::uint64_t end_us = 0;    // completion time on the serve clock
+  std::string op;              // "unknown" when the line never parsed
+  std::string id;              // rendered request id ("null" if absent)
+  std::uint64_t topology_hash = 0;
+  double latency_us = 0.0;
+  bool ok = false;
+  std::string outcome;         // "ok" or the ErrorCode string
+};
+
+/// Preallocated last-N digest ring; snapshot-on-read (never drained).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(RequestDigest digest);
+  /// Oldest-first copy of the live ring.
+  [[nodiscard]] std::vector<RequestDigest> snapshot() const;
+  /// One JSON object per line, oldest first, fixed field order.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Writes to_jsonl() to `path`; false on I/O failure.
+  bool dump(const std::string& path) const;
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RequestDigest> ring_;
+  std::uint64_t total_ = 0;  // ring_[total_ % capacity_] is next slot
+};
+
+/// Fixed-field-order JSONL body of one digest (shared by to_jsonl and
+/// the `dump` op's reply renderer).
+void write_digest_fields(obs::JsonWriter& w, const RequestDigest& d);
+
+}  // namespace windim::serve

@@ -35,8 +35,12 @@ bool field_allowed(Op op, std::string_view key) {
              key == "sim_time" || key == "warmup" || key == "seed" ||
              key == "jobs" || key == "max_window" || key == "solver" ||
              key == "deadline_ms";
+    case Op::kTrace:
+      return key == "limit";
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kMetrics:
+    case Op::kDump:
       return false;  // envelope fields only
   }
   return false;
@@ -101,6 +105,9 @@ std::string_view to_string(Op op) noexcept {
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
     case Op::kScenario: return "scenario";
+    case Op::kTrace: return "trace";
+    case Op::kMetrics: return "metrics";
+    case Op::kDump: return "dump";
   }
   return "stats";
 }
@@ -112,6 +119,9 @@ std::optional<Op> op_from_string(std::string_view s) noexcept {
   if (s == "scenario") return Op::kScenario;
   if (s == "fuzz-replay") return Op::kFuzzReplay;
   if (s == "stats") return Op::kStats;
+  if (s == "trace") return Op::kTrace;
+  if (s == "metrics") return Op::kMetrics;
+  if (s == "dump") return Op::kDump;
   if (s == "shutdown") return Op::kShutdown;
   return std::nullopt;
 }
@@ -150,7 +160,7 @@ ParseResult parse_request(std::string_view line) {
     return fail(std::move(result), ErrorCode::kInvalidRequest,
                 "unknown op '" + op_value->string +
                     "'; expected evaluate, dimension, pareto, scenario, "
-                    "fuzz-replay, stats or shutdown");
+                    "fuzz-replay, stats, trace, metrics, dump or shutdown");
   }
 
   Request request;
@@ -454,8 +464,16 @@ ParseResult parse_request(std::string_view line) {
       }
       break;
     }
+    case Op::kTrace: {
+      if (auto err = int_field("limit", 1, 1 << 20, request.limit)) {
+        return *err;
+      }
+      break;
+    }
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kMetrics:
+    case Op::kDump:
       break;
   }
 

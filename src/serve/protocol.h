@@ -21,6 +21,9 @@
 //   {"op":"fuzz-replay","entry":"# windim fuzz corpus v1\n...",
 //    "no_ctmc":true,"id":3}
 //   {"op":"stats","id":4}
+//   {"op":"trace","limit":16,"id":10}
+//   {"op":"metrics","id":11}
+//   {"op":"dump","id":12}
 //   {"op":"shutdown","id":5}
 //
 // Reply: exactly one line per request line, in request order per
@@ -75,10 +78,13 @@ enum class Op {
   kStats,
   kShutdown,
   kScenario,
+  kTrace,    // drain the request-trace span buffer
+  kMetrics,  // OpenMetrics text exposition of the live registry
+  kDump,     // flight-recorder digest dump
 };
 
 /// Number of Op values (sizes the server's per-op counters).
-inline constexpr int kNumOps = 7;
+inline constexpr int kNumOps = 10;
 
 [[nodiscard]] std::string_view to_string(Op op) noexcept;
 [[nodiscard]] std::optional<Op> op_from_string(std::string_view s) noexcept;
@@ -132,6 +138,8 @@ struct Request {
   bool has_warmup = false;
   std::uint64_t seed = 1;
   int jobs = 1;
+  // trace:
+  int limit = 0;                  // max traces to drain; 0 = all buffered
 };
 
 /// Outcome of parsing one request line: either a Request or a typed

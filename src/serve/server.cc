@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <future>
@@ -128,6 +129,61 @@ void write_histogram(obs::JsonWriter& w, const obs::HistogramSnapshot& h) {
 volatile std::sig_atomic_t g_stop_signal = 0;
 void on_stop_signal(int) { g_stop_signal = 1; }
 
+/// SIGUSR1 latch: the accept loop answers it with write_live_dumps().
+volatile std::sig_atomic_t g_usr1_signal = 0;
+void on_usr1_signal(int) { g_usr1_signal = 1; }
+
+/// Window horizons in 1 s ticks for the stats/exposition readouts.
+constexpr std::uint64_t kWindow10s = 10;
+constexpr std::uint64_t kWindow60s = 60;
+
+/// Display order for per-op live readouts (stats `window.by_op` and the
+/// exposition rows): the paper-facing ops first, introspection last.
+constexpr Op kOpDisplayOrder[kNumOps] = {
+    Op::kEvaluate, Op::kDimension, Op::kPareto,  Op::kScenario,
+    Op::kFuzzReplay, Op::kStats,   Op::kTrace,   Op::kMetrics,
+    Op::kDump,     Op::kShutdown};
+
+/// Echo of the request id as the trace/digest id string: "null" when
+/// absent, the %.17g rendering for numbers, the raw string otherwise.
+std::string render_request_id(const RequestId& id) {
+  switch (id.kind) {
+    case RequestId::Kind::kNone:
+      return "null";
+    case RequestId::Kind::kNumber: {
+      std::string out;
+      obs::JsonWriter::append_double(out, id.number);
+      return out;
+    }
+    case RequestId::Kind::kString:
+      return id.string;
+  }
+  return "null";
+}
+
+/// RAII stage span recorder; a null clock disables it (zero clock reads
+/// when the live plane is off).
+class StageSpan {
+ public:
+  StageSpan(obs::WindowClock* clock, RequestTrace& trace, const char* name)
+      : clock_(clock), trace_(&trace), name_(name) {
+    if (clock_ != nullptr) start_ = clock_->now_us();
+  }
+  ~StageSpan() {
+    if (clock_ != nullptr) {
+      trace_->spans.push_back({name_, start_, clock_->now_us() - start_});
+    }
+  }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  obs::WindowClock* clock_;
+  RequestTrace* trace_;
+  const char* name_;
+  std::uint64_t start_ = 0;
+};
+
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -146,7 +202,11 @@ bool write_all(int fd, const std::string& data) {
 Server::Server(ServeOptions options)
     : options_(options),
       pool_(util::resolve_thread_count(options.threads)),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &obs::steady_window_clock()),
+      flight_(options.flight_capacity),
+      traces_(options.trace_capacity) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   if (options_.enable_metrics) reg.set_enabled(true);
   latency_evaluate_ = reg.histogram("windim.serve.latency_us.evaluate");
@@ -155,40 +215,96 @@ Server::Server(ServeOptions options)
   latency_scenario_ = reg.histogram("windim.serve.latency_us.scenario");
   latency_fuzz_replay_ = reg.histogram("windim.serve.latency_us.fuzz_replay");
   latency_stats_ = reg.histogram("windim.serve.latency_us.stats");
+  latency_trace_ = reg.histogram("windim.serve.latency_us.trace");
+  latency_metrics_ = reg.histogram("windim.serve.latency_us.metrics");
+  latency_dump_ = reg.histogram("windim.serve.latency_us.dump");
+  windows_.reserve(kNumOps + 1);
+  for (int i = 0; i <= kNumOps; ++i) {
+    windows_.push_back(std::make_unique<OpWindow>(clock_));
+  }
 }
 
 Server::Reply Server::handle_line(const std::string& line) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  if (line.size() > options_.max_request_bytes) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    // Oversized lines are rejected *unparsed* (parsing attacker-sized
-    // input is exactly what the cap exists to avoid), so no id echo.
-    return {error_reply(RequestId{}, std::nullopt, ErrorCode::kPayloadTooLarge,
-                        "request line exceeds " +
-                            std::to_string(options_.max_request_bytes) +
-                            " bytes"),
-            false};
-  }
-  ParseResult parsed = parse_request(line);
-  if (!parsed.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return {error_reply(parsed.id, std::nullopt, parsed.code, parsed.message),
-            false};
-  }
-  const Request& request = *parsed.request;
-  op_counts_[static_cast<std::size_t>(request.op)].fetch_add(
-      1, std::memory_order_relaxed);
-  if (shutting_down_.load(std::memory_order_acquire) &&
-      request.op != Op::kShutdown) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return {error_reply(request.id, request.op, ErrorCode::kShuttingDown,
-                        "server is draining"),
-            false};
-  }
-  return execute(request);
+  return handle_line(line, 0);
 }
 
-Server::Reply Server::execute(const Request& request) {
+Server::Reply Server::handle_line(const std::string& line,
+                                  std::uint64_t enqueued_at_us) {
+  const std::uint64_t start_us = clock_->now_us();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  RequestTrace trace;
+  trace.op = "unknown";
+  trace.id = "null";
+  // Client-visible latency starts at intake, not worker pickup: the
+  // time spent queued behind the pipeline is part of what the request
+  // experienced, and the "queue" span makes it attributable.
+  const std::uint64_t t0_us =
+      (enqueued_at_us != 0 && enqueued_at_us <= start_us) ? enqueued_at_us
+                                                          : start_us;
+  trace.start_us = t0_us;
+  if (options_.enable_window && t0_us < start_us) {
+    trace.spans.push_back({"queue", t0_us, start_us - t0_us});
+  }
+
+  Reply reply;
+  std::optional<Op> op;
+  bool ok = false;
+  ErrorCode code = ErrorCode::kInternal;
+  double deadline_ms = options_.default_deadline_ms;
+
+  if (line.size() > options_.max_request_bytes) {
+    // Oversized lines are rejected *unparsed* (parsing attacker-sized
+    // input is exactly what the cap exists to avoid), so no id echo.
+    code = ErrorCode::kPayloadTooLarge;
+    reply = {error_reply(RequestId{}, std::nullopt, code,
+                         "request line exceeds " +
+                             std::to_string(options_.max_request_bytes) +
+                             " bytes"),
+             false};
+  } else {
+    ParseResult parsed;
+    {
+      StageSpan span(span_clock(), trace, "parse");
+      parsed = parse_request(line);
+    }
+    if (!parsed.ok()) {
+      trace.id = render_request_id(parsed.id);
+      code = parsed.code;
+      reply = {error_reply(parsed.id, std::nullopt, parsed.code,
+                           parsed.message),
+               false};
+    } else {
+      const Request& request = *parsed.request;
+      op = request.op;
+      trace.op = std::string(to_string(request.op));
+      trace.id = render_request_id(request.id);
+      if (request.deadline_ms > 0.0) deadline_ms = request.deadline_ms;
+      op_counts_[static_cast<std::size_t>(request.op)].fetch_add(
+          1, std::memory_order_relaxed);
+      if (shutting_down_.load(std::memory_order_acquire) &&
+          request.op != Op::kShutdown) {
+        code = ErrorCode::kShuttingDown;
+        reply = {error_reply(request.id, request.op, code,
+                             "server is draining"),
+                 false};
+      } else {
+        reply = execute(request, trace, ok, code);
+      }
+    }
+  }
+
+  if (ok) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  finish_request(op, std::move(trace), t0_us, deadline_ms, ok, code);
+  return reply;
+}
+
+Server::Reply Server::execute(const Request& request, RequestTrace& trace,
+                              bool& ok, ErrorCode& code) {
   obs::Histogram* latency = nullptr;
   switch (request.op) {
     case Op::kEvaluate: latency = &latency_evaluate_; break;
@@ -197,10 +313,12 @@ Server::Reply Server::execute(const Request& request) {
     case Op::kScenario: latency = &latency_scenario_; break;
     case Op::kFuzzReplay: latency = &latency_fuzz_replay_; break;
     case Op::kStats: latency = &latency_stats_; break;
+    case Op::kTrace: latency = &latency_trace_; break;
+    case Op::kMetrics: latency = &latency_metrics_; break;
+    case Op::kDump: latency = &latency_dump_; break;
     case Op::kShutdown: break;
   }
 
-  ErrorCode code = ErrorCode::kInternal;
   std::string message;
   try {
     std::string json;
@@ -210,22 +328,31 @@ Server::Reply Server::execute(const Request& request) {
       if (latency != nullptr) timer.emplace(*latency);
       switch (request.op) {
         case Op::kEvaluate:
-          json = run_evaluate(request);
+          json = run_evaluate(request, trace);
           break;
         case Op::kDimension:
-          json = run_dimension(request);
+          json = run_dimension(request, trace);
           break;
         case Op::kPareto:
-          json = run_pareto(request);
+          json = run_pareto(request, trace);
           break;
         case Op::kScenario:
-          json = run_scenario(request);
+          json = run_scenario(request, trace);
           break;
         case Op::kFuzzReplay:
-          json = run_fuzz_replay(request);
+          json = run_fuzz_replay(request, trace);
           break;
         case Op::kStats:
           json = run_stats(request);
+          break;
+        case Op::kTrace:
+          json = run_trace(request);
+          break;
+        case Op::kMetrics:
+          json = run_metrics(request);
+          break;
+        case Op::kDump:
+          json = run_dump(request);
           break;
         case Op::kShutdown: {
           shutting_down_.store(true, std::memory_order_release);
@@ -246,7 +373,7 @@ Server::Reply Server::execute(const Request& request) {
                            std::to_string(options_.max_response_bytes) +
                            " bytes");
     }
-    ok_.fetch_add(1, std::memory_order_relaxed);
+    ok = true;
     return {std::move(json), shutdown};
   } catch (const ServeError& e) {
     code = e.code();
@@ -270,13 +397,73 @@ Server::Reply Server::execute(const Request& request) {
     code = ErrorCode::kInternal;
     message = e.what();
   }
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  ok = false;
   return {error_reply(request.id, request.op, code, message), false};
 }
 
-std::string Server::run_evaluate(const Request& request) {
-  const std::shared_ptr<const CachedModel> model =
-      cache_.lookup_or_compile(request.spec);
+void Server::finish_request(const std::optional<Op>& op, RequestTrace&& trace,
+                            std::uint64_t t0_us, double deadline_ms, bool ok,
+                            ErrorCode code) {
+  const std::uint64_t end_us = clock_->now_us();
+  const std::uint64_t latency_us = end_us > t0_us ? end_us - t0_us : 0;
+  trace.total_us = latency_us;
+  trace.outcome = ok ? "ok" : std::string(to_string(code));
+  trace.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  RequestDigest digest;
+  digest.seq = trace.seq;
+  digest.end_us = end_us;
+  digest.op = trace.op;
+  digest.id = trace.id;
+  digest.topology_hash = trace.topology_hash;
+  digest.latency_us = static_cast<double>(latency_us);
+  digest.ok = ok;
+  digest.outcome = trace.outcome;
+  flight_.record(std::move(digest));
+
+  // SLO breach: the request had an armed deadline and either died of it
+  // or finished past it (a late success still burned the budget).
+  const bool breach =
+      deadline_ms > 0.0 &&
+      ((!ok && code == ErrorCode::kDeadlineExceeded) ||
+       static_cast<double>(latency_us) > deadline_ms * 1000.0);
+  if (breach && op.has_value()) {
+    slo_breach_totals_[static_cast<std::size_t>(*op)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  if (options_.enable_window) {
+    const double v = static_cast<double>(latency_us);
+    OpWindow& all = *windows_[kNumOps];
+    all.requests.add();
+    all.latency_us.observe(v);
+    if (!ok) all.errors.add();
+    if (breach) all.slo_breaches.add();
+    if (op.has_value()) {
+      OpWindow& w = *windows_[static_cast<std::size_t>(*op)];
+      w.requests.add();
+      w.latency_us.observe(v);
+      if (!ok) w.errors.add();
+      if (breach) w.slo_breaches.add();
+    }
+    traces_.push(std::move(trace));
+  }
+
+  // Fault: an internal error is the black box's trigger — write the
+  // ring out while the state that produced the fault is still in it.
+  if (!ok && code == ErrorCode::kInternal && !options_.flight_path.empty()) {
+    (void)flight_.dump(options_.flight_path);
+  }
+}
+
+std::string Server::run_evaluate(const Request& request,
+                                 RequestTrace& trace) {
+  std::shared_ptr<const CachedModel> model;
+  {
+    StageSpan span(span_clock(), trace, "cache_lookup");
+    model = cache_.lookup_or_compile(request.spec);
+  }
+  trace.topology_hash = model->topology_hash;
   const std::string solver_name =
       request.solver.empty() ? "heuristic-mva" : request.solver;
   const solver::Solver* solver =
@@ -302,12 +489,23 @@ std::string Server::run_evaluate(const Request& request) {
         static_cast<std::size_t>(request.solver_threads));
   }
 
+  obs::WindowClock* sc = span_clock();
+  std::uint64_t lease_start = sc != nullptr ? sc->now_us() : 0;
   auto ws = workspaces_.acquire();
+  if (sc != nullptr) {
+    trace.spans.push_back(
+        {"workspace_lease", lease_start, sc->now_us() - lease_start});
+  }
   // Caller-owned hints evaluate_with preserves across its reset.
   ws->hints.pool = solver_pool.get();
   ws->hints.cancel = deadline.get();
-  const core::Evaluation ev =
-      model->problem.evaluate_with(request.windows, *solver, *ws);
+  std::optional<core::Evaluation> solved;
+  {
+    StageSpan span(sc, trace, "solve");
+    solved.emplace(
+        model->problem.evaluate_with(request.windows, *solver, *ws));
+  }
+  const core::Evaluation& ev = *solved;
 
   obs::JsonWriter w;
   begin_reply(w, request.id, Op::kEvaluate);
@@ -318,9 +516,14 @@ std::string Server::run_evaluate(const Request& request) {
   return finish_reply(std::move(w));
 }
 
-std::string Server::run_dimension(const Request& request) {
-  const std::shared_ptr<const CachedModel> model =
-      cache_.lookup_or_compile(request.spec);
+std::string Server::run_dimension(const Request& request,
+                                  RequestTrace& trace) {
+  std::shared_ptr<const CachedModel> model;
+  {
+    StageSpan span(span_clock(), trace, "cache_lookup");
+    model = cache_.lookup_or_compile(request.spec);
+  }
+  trace.topology_hash = model->topology_hash;
   if (!request.solver.empty() &&
       solver::SolverRegistry::instance().find(request.solver) == nullptr) {
     throw ServeError(ErrorCode::kUnknownSolver,
@@ -357,8 +560,12 @@ std::string Server::run_dimension(const Request& request) {
     }
   }
 
-  const core::DimensionResult result =
-      core::dimension_windows(model->problem, opts);
+  std::optional<core::DimensionResult> searched;
+  {
+    StageSpan span(span_clock(), trace, "search");
+    searched.emplace(core::dimension_windows(model->problem, opts));
+  }
+  const core::DimensionResult& result = *searched;
   if (result.budget_exhausted && result.base_points.empty()) {
     throw ServeError(ErrorCode::kBudgetExhausted,
                      "evaluation budget exhausted before the initial point "
@@ -393,9 +600,13 @@ std::string Server::run_dimension(const Request& request) {
   return finish_reply(std::move(w));
 }
 
-std::string Server::run_pareto(const Request& request) {
-  const std::shared_ptr<const CachedModel> model =
-      cache_.lookup_or_compile(request.spec);
+std::string Server::run_pareto(const Request& request, RequestTrace& trace) {
+  std::shared_ptr<const CachedModel> model;
+  {
+    StageSpan span(span_clock(), trace, "cache_lookup");
+    model = cache_.lookup_or_compile(request.spec);
+  }
+  trace.topology_hash = model->topology_hash;
   if (!request.solver.empty() &&
       solver::SolverRegistry::instance().find(request.solver) == nullptr) {
     throw ServeError(ErrorCode::kUnknownSolver,
@@ -421,7 +632,12 @@ std::string Server::run_pareto(const Request& request) {
     popts.min_fairness_floor = request.min_fairness;
   }
 
-  const core::ParetoFront front = core::pareto_front(model->problem, popts);
+  std::optional<core::ParetoFront> scanned;
+  {
+    StageSpan span(span_clock(), trace, "scan");
+    scanned.emplace(core::pareto_front(model->problem, popts));
+  }
+  const core::ParetoFront& front = *scanned;
   // A scan the deadline cut short is a failure, not a thinner front: the
   // client would otherwise mistake the truncated prefix for the curve.
   if (front.cancelled) {
@@ -505,9 +721,14 @@ std::string Server::run_pareto(const Request& request) {
   return finish_reply(std::move(w));
 }
 
-std::string Server::run_scenario(const Request& request) {
-  const std::shared_ptr<const CachedModel> model =
-      cache_.lookup_or_compile(request.spec);
+std::string Server::run_scenario(const Request& request,
+                                 RequestTrace& trace) {
+  std::shared_ptr<const CachedModel> model;
+  {
+    StageSpan span(span_clock(), trace, "cache_lookup");
+    model = cache_.lookup_or_compile(request.spec);
+  }
+  trace.topology_hash = model->topology_hash;
   if (!request.solver.empty() &&
       solver::SolverRegistry::instance().find(request.solver) == nullptr) {
     throw ServeError(ErrorCode::kUnknownSolver,
@@ -531,8 +752,13 @@ std::string Server::run_scenario(const Request& request) {
   mopts.solver = request.solver;
   // Unknown policy/scenario names and bad durations surface as
   // std::invalid_argument, which execute() maps to invalid_request.
-  const control::MatrixResult matrix = control::run_matrix(
-      model->spec.topology, model->spec.classes, mopts);
+  std::optional<control::MatrixResult> ran;
+  {
+    StageSpan span(span_clock(), trace, "matrix");
+    ran.emplace(control::run_matrix(model->spec.topology,
+                                    model->spec.classes, mopts));
+  }
+  const control::MatrixResult& matrix = *ran;
   // The matrix runner cannot cancel mid-grid; a deadline that expired
   // while it ran is still reported as exceeded rather than a late ok.
   if (deadline.armed && deadline.token.expired()) {
@@ -546,7 +772,8 @@ std::string Server::run_scenario(const Request& request) {
   return finish_reply(std::move(w));
 }
 
-std::string Server::run_fuzz_replay(const Request& request) {
+std::string Server::run_fuzz_replay(const Request& request,
+                                    RequestTrace& trace) {
   verify::CorpusEntry entry;
   try {
     entry = verify::parse_corpus_entry(request.entry);
@@ -562,7 +789,12 @@ std::string Server::run_fuzz_replay(const Request& request) {
 
   verify::OracleOptions opts;
   opts.with_ctmc = !request.no_ctmc;
-  const verify::OracleReport report = verify::run_oracles(entry.instance, opts);
+  std::optional<verify::OracleReport> oracles;
+  {
+    StageSpan span(span_clock(), trace, "oracles");
+    oracles.emplace(verify::run_oracles(entry.instance, opts));
+  }
+  const verify::OracleReport& report = *oracles;
   const bool matches = entry.expect.empty() ? report.ok()
                                             : report.failed(entry.expect);
 
@@ -629,11 +861,90 @@ std::string Server::run_stats(const Request& request) {
   w.value(c.fuzz_replay);
   w.key("stats");
   w.value(c.stats);
+  w.key("trace");
+  w.value(c.trace);
+  w.key("metrics");
+  w.value(c.metrics);
+  w.key("dump");
+  w.value(c.dump);
   w.key("shutdown");
   w.value(c.shutdown);
   w.end_object();
   w.key("threads");
   w.value(static_cast<std::uint64_t>(pool_.num_threads()));
+  w.end_object();
+
+  // Live plane: sliding-window rates and quantiles per op, driven by
+  // the injected clock.  Deliberately OUTSIDE the cumulative "metrics"
+  // section — windowed values move with time, cumulative snapshots stay
+  // byte-stable.
+  w.key("window");
+  w.begin_object();
+  w.key("enabled");
+  w.value(options_.enable_window);
+  if (options_.enable_window) {
+    w.key("by_op");
+    w.begin_object();
+    for (int i = 0; i <= kNumOps; ++i) {
+      const bool aggregate = i == kNumOps;
+      const std::size_t index =
+          aggregate ? kNumOps
+                    : static_cast<std::size_t>(kOpDisplayOrder[i]);
+      OpWindow& win = *windows_[index];
+      w.key(aggregate ? std::string("all")
+                      : std::string(to_string(kOpDisplayOrder[i])));
+      w.begin_object();
+      // One ring merge per window size serves both quantiles; the
+      // stats op rides the hot request path, so this keeps the live
+      // plane inside its <2% throughput budget.
+      const obs::HistogramSnapshot lat10 =
+          win.latency_us.merged(kWindow10s);
+      const obs::HistogramSnapshot lat60 =
+          win.latency_us.merged(kWindow60s);
+      w.key("rate_10s");
+      w.value(win.requests.rate_per_sec(kWindow10s));
+      w.key("rate_60s");
+      w.value(win.requests.rate_per_sec(kWindow60s));
+      w.key("errors_60s");
+      w.value(win.errors.sum_window(kWindow60s));
+      w.key("p50_us_10s");
+      w.value(obs::histogram_quantile(lat10, 0.5));
+      w.key("p99_us_10s");
+      w.value(obs::histogram_quantile(lat10, 0.99));
+      w.key("p50_us_60s");
+      w.value(obs::histogram_quantile(lat60, 0.5));
+      w.key("p99_us_60s");
+      w.value(obs::histogram_quantile(lat60, 0.99));
+      const std::uint64_t breaches = win.slo_breaches.sum_window(kWindow60s);
+      const std::uint64_t requests = win.requests.sum_window(kWindow60s);
+      w.key("slo_breaches_60s");
+      w.value(breaches);
+      w.key("slo_burn_60s");
+      w.value(requests == 0 ? 0.0
+                            : static_cast<double>(breaches) /
+                                  static_cast<double>(requests));
+      if (!aggregate) {
+        w.key("slo_breaches_total");
+        w.value(slo_breach_totals_[index].load(std::memory_order_relaxed));
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.key("trace_buffered");
+    w.value(static_cast<std::uint64_t>(traces_.buffered()));
+    w.key("trace_total");
+    w.value(traces_.total());
+    w.key("trace_dropped");
+    w.value(traces_.dropped());
+  }
+  w.end_object();
+
+  w.key("flight");
+  w.begin_object();
+  w.key("total");
+  w.value(flight_.total());
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(flight_.capacity()));
   w.end_object();
 
   w.key("cache");
@@ -680,6 +991,166 @@ std::string Server::run_stats(const Request& request) {
   return finish_reply(std::move(w));
 }
 
+std::string Server::run_trace(const Request& request) {
+  const std::size_t limit =
+      request.limit > 0 ? static_cast<std::size_t>(request.limit) : 0;
+  const std::vector<RequestTrace> drained = traces_.drain(limit);
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kTrace);
+  begin_ok_result(w);
+  w.key("enabled");
+  w.value(options_.enable_window);
+  w.key("traces");
+  w.begin_array();
+  for (const RequestTrace& t : drained) {
+    w.begin_object();
+    w.key("seq");
+    w.value(t.seq);
+    w.key("id");
+    w.value(std::string_view(t.id));
+    w.key("op");
+    w.value(std::string_view(t.op));
+    w.key("topology_hash");
+    w.value(t.topology_hash);
+    w.key("start_us");
+    w.value(t.start_us);
+    w.key("total_us");
+    w.value(t.total_us);
+    w.key("outcome");
+    w.value(std::string_view(t.outcome));
+    w.key("spans");
+    w.begin_array();
+    for (const RequestSpan& s : t.spans) {
+      w.begin_object();
+      w.key("name");
+      w.value(std::string_view(s.name));
+      w.key("start_us");
+      w.value(s.start_us);
+      w.key("dur_us");
+      w.value(s.dur_us);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("buffered");
+  w.value(static_cast<std::uint64_t>(traces_.buffered()));
+  w.key("dropped");
+  w.value(traces_.dropped());
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_metrics(const Request& request) {
+  const std::string body = exposition();
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kMetrics);
+  begin_ok_result(w);
+  w.key("content_type");
+  w.value(obs::kOpenMetricsContentType);
+  w.key("exposition");
+  w.value(std::string_view(body));
+  return finish_reply(std::move(w));
+}
+
+std::string Server::run_dump(const Request& request) {
+  bool written = false;
+  if (!options_.flight_path.empty()) {
+    written = flight_.dump(options_.flight_path);
+  }
+  const std::vector<RequestDigest> digests = flight_.snapshot();
+
+  obs::JsonWriter w;
+  begin_reply(w, request.id, Op::kDump);
+  begin_ok_result(w);
+  w.key("digests");
+  w.begin_array();
+  for (const RequestDigest& d : digests) {
+    w.begin_object();
+    write_digest_fields(w, d);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total");
+  w.value(flight_.total());
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(flight_.capacity()));
+  w.key("path");
+  w.value(std::string_view(options_.flight_path));
+  w.key("written");
+  w.value(written);
+  return finish_reply(std::move(w));
+}
+
+void Server::append_window_gauges(std::vector<obs::ExpoGauge>& out) {
+  if (!options_.enable_window) return;
+  const auto label = [](int i) -> std::string {
+    return i == kNumOps ? "all"
+                        : std::string(to_string(kOpDisplayOrder[i]));
+  };
+  const auto window = [this](int i) -> OpWindow& {
+    return i == kNumOps
+               ? *windows_[kNumOps]
+               : *windows_[static_cast<std::size_t>(kOpDisplayOrder[i])];
+  };
+  // Family-major order: rows sharing a name are consecutive so
+  // render_openmetrics emits one # TYPE header per family.
+  const auto family = [&](const char* name, auto&& read) {
+    for (int i = 0; i <= kNumOps; ++i) {
+      out.push_back(obs::ExpoGauge{name, {{"op", label(i)}}, read(window(i))});
+    }
+  };
+  family("windim.serve.window.rate_10s", [](OpWindow& win) {
+    return win.requests.rate_per_sec(kWindow10s);
+  });
+  family("windim.serve.window.rate_60s", [](OpWindow& win) {
+    return win.requests.rate_per_sec(kWindow60s);
+  });
+  family("windim.serve.window.error_rate_60s", [](OpWindow& win) {
+    return win.errors.rate_per_sec(kWindow60s);
+  });
+  family("windim.serve.window.p50_us_10s", [](OpWindow& win) {
+    return win.latency_us.quantile(0.5, kWindow10s);
+  });
+  family("windim.serve.window.p99_us_10s", [](OpWindow& win) {
+    return win.latency_us.quantile(0.99, kWindow10s);
+  });
+  family("windim.serve.window.p50_us_60s", [](OpWindow& win) {
+    return win.latency_us.quantile(0.5, kWindow60s);
+  });
+  family("windim.serve.window.p99_us_60s", [](OpWindow& win) {
+    return win.latency_us.quantile(0.99, kWindow60s);
+  });
+  family("windim.serve.window.slo_burn_60s", [](OpWindow& win) {
+    const std::uint64_t breaches = win.slo_breaches.sum_window(kWindow60s);
+    const std::uint64_t requests = win.requests.sum_window(kWindow60s);
+    return requests == 0 ? 0.0
+                         : static_cast<double>(breaches) /
+                               static_cast<double>(requests);
+  });
+}
+
+std::string Server::exposition() {
+  std::vector<obs::ExpoGauge> extra;
+  append_window_gauges(extra);
+  return obs::render_openmetrics(obs::MetricsRegistry::global().snapshot(),
+                                 extra);
+}
+
+void Server::write_live_dumps() {
+  if (!options_.expo_path.empty()) {
+    const std::string body = exposition();
+    if (std::FILE* f = std::fopen(options_.expo_path.c_str(), "w")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!options_.flight_path.empty()) {
+    (void)flight_.dump(options_.flight_path);
+  }
+}
+
 ServeCounters Server::counters() const {
   ServeCounters c;
   c.requests = requests_.load(std::memory_order_relaxed);
@@ -699,6 +1170,12 @@ ServeCounters Server::counters() const {
       op_counts_[static_cast<std::size_t>(Op::kFuzzReplay)].load(
           std::memory_order_relaxed);
   c.stats = op_counts_[static_cast<std::size_t>(Op::kStats)].load(
+      std::memory_order_relaxed);
+  c.trace = op_counts_[static_cast<std::size_t>(Op::kTrace)].load(
+      std::memory_order_relaxed);
+  c.metrics = op_counts_[static_cast<std::size_t>(Op::kMetrics)].load(
+      std::memory_order_relaxed);
+  c.dump = op_counts_[static_cast<std::size_t>(Op::kDump)].load(
       std::memory_order_relaxed);
   c.shutdown = op_counts_[static_cast<std::size_t>(Op::kShutdown)].load(
       std::memory_order_relaxed);
@@ -747,8 +1224,11 @@ bool Server::pump(const std::function<ReadResult(std::string&)>& next_line,
     const ReadResult r = next_line(line);
     if (r == ReadResult::kEof) break;
     if (r == ReadResult::kIdle) continue;
+    const std::uint64_t enqueued_us = clock_->now_us();
     auto task = std::make_shared<std::packaged_task<Reply()>>(
-        [this, captured = line]() { return handle_line(captured); });
+        [this, captured = line, enqueued_us]() {
+          return handle_line(captured, enqueued_us);
+        });
     inflight.push_back(task->get_future());
     pool_.submit([task]() { (*task)(); });
   }
@@ -788,12 +1268,17 @@ int Server::serve_unix(const std::string& path,
   }
 
   g_stop_signal = 0;
+  g_usr1_signal = 0;
   struct sigaction sa{};
   sa.sa_handler = on_stop_signal;
   struct sigaction old_term{};
   struct sigaction old_int{};
+  struct sigaction old_usr1{};
   ::sigaction(SIGTERM, &sa, &old_term);
   ::sigaction(SIGINT, &sa, &old_int);
+  struct sigaction sa_usr1{};
+  sa_usr1.sa_handler = on_usr1_signal;
+  ::sigaction(SIGUSR1, &sa_usr1, &old_usr1);
 
   if (on_ready) on_ready();
 
@@ -802,7 +1287,14 @@ int Server::serve_unix(const std::string& path,
          !shutting_down_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 200);
-    if (rc < 0 && errno != EINTR) break;
+    const int poll_errno = errno;
+    if (g_usr1_signal != 0) {
+      // SIGUSR1 = "show me the live plane, keep serving": exposition
+      // and flight JSONL go to their configured paths, no stdio noise.
+      g_usr1_signal = 0;
+      write_live_dumps();
+    }
+    if (rc < 0 && poll_errno != EINTR) break;
     if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
@@ -856,6 +1348,7 @@ int Server::serve_unix(const std::string& path,
   ::unlink(path.c_str());
   ::sigaction(SIGTERM, &old_term, nullptr);
   ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGUSR1, &old_usr1, nullptr);
   return 0;
 }
 

@@ -24,6 +24,16 @@
 //     deadline_exceeded reply;
 //   - after shutdown is accepted, in-flight requests drain and every
 //     later request is answered with shutting_down.
+//
+// Live observability (DESIGN.md §14) rides the same entry point: every
+// request is traced through its stages (queue -> parse -> cache lookup
+// -> workspace lease -> solve) on an injectable clock, lands a digest
+// in the flight recorder, and feeds per-op sliding-window rates and
+// latency quantiles.  The `trace`, `metrics` and `dump` ops (and
+// SIGUSR1 under serve_unix) read that state without stopping the
+// daemon.  Windowed values live OUTSIDE the cumulative
+// obs::MetricsRegistry, so the byte-stable snapshot contract of the
+// PR 4/5 metrics survives untouched.
 #pragma once
 
 #include <atomic>
@@ -31,10 +41,16 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "obs/expo.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "serve/cache.h"
+#include "serve/flight.h"
 #include "serve/protocol.h"
 #include "solver/workspace.h"
 #include "util/thread_pool.h"
@@ -62,6 +78,27 @@ struct ServeOptions {
   /// latency histograms (and the engine's PR 4/5 instrumentation)
   /// accumulate and surface through the `stats` op.
   bool enable_metrics = true;
+  /// Live-plane clock; null = the process-wide steady clock.  Tests
+  /// inject obs::ManualWindowClock / obs::SteppingWindowClock so every
+  /// windowed value and span duration is a pure function of the
+  /// request stream.
+  obs::WindowClock* clock = nullptr;
+  /// Master switch for the live plane: sliding-window rates/quantiles,
+  /// SLO burn tracking and request traces.  The flight recorder stays
+  /// on regardless — the black box must cover exactly the flights
+  /// nobody expected to crash.
+  bool enable_window = true;
+  /// Trace-buffer ring size (requests whose span lists the `trace` op
+  /// can still drain).
+  std::size_t trace_capacity = 256;
+  /// Flight-recorder ring size (last-N request digests).
+  std::size_t flight_capacity = 512;
+  /// When set, SIGUSR1 under serve_unix writes the OpenMetrics
+  /// exposition to this path (stdio-free scrape).
+  std::string expo_path;
+  /// When set, the flight recorder dumps its JSONL here on SIGUSR1, on
+  /// the `dump` op, and on any internal-error reply (fault dump).
+  std::string flight_path;
 };
 
 /// Aggregate request counters (always on, independent of the metrics
@@ -77,6 +114,9 @@ struct ServeCounters {
   std::uint64_t fuzz_replay = 0;
   std::uint64_t stats = 0;
   std::uint64_t shutdown = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t metrics = 0;
+  std::uint64_t dump = 0;
 };
 
 class Server {
@@ -112,6 +152,17 @@ class Server {
 
   [[nodiscard]] ServeCounters counters() const;
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  /// Current OpenMetrics text exposition: the cumulative registry
+  /// snapshot plus (when the live plane is on) the windowed
+  /// windim_serve_window_* gauges, one row per op.
+  [[nodiscard]] std::string exposition();
+  [[nodiscard]] const FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+  [[nodiscard]] TraceBuffer& traces() noexcept { return traces_; }
+  /// SIGUSR1 entry: writes the exposition to expo_path and the flight
+  /// JSONL to flight_path (whichever are configured).
+  void write_live_dumps();
   [[nodiscard]] bool shutting_down() const noexcept {
     return shutting_down_.load(std::memory_order_acquire);
   }
@@ -135,13 +186,55 @@ class Server {
   bool pump(const std::function<ReadResult(std::string&)>& next_line,
             const std::function<void(const std::string&)>& write_line);
 
-  [[nodiscard]] Reply execute(const Request& request);
-  [[nodiscard]] std::string run_evaluate(const Request& request);
-  [[nodiscard]] std::string run_dimension(const Request& request);
-  [[nodiscard]] std::string run_pareto(const Request& request);
-  [[nodiscard]] std::string run_scenario(const Request& request);
-  [[nodiscard]] std::string run_fuzz_replay(const Request& request);
+  /// Per-op live-plane state: windowed request/error/SLO-breach rates
+  /// and a windowed latency sketch.  windows_[kNumOps] is the all-ops
+  /// aggregate.
+  struct OpWindow {
+    obs::WindowCounter requests;
+    obs::WindowCounter errors;
+    obs::WindowCounter slo_breaches;
+    obs::WindowHistogram latency_us;
+
+    explicit OpWindow(obs::WindowClock* clock)
+        : requests(clock),
+          errors(clock),
+          slo_breaches(clock),
+          latency_us(clock) {}
+  };
+
+  /// handle_line with the transport's enqueue timestamp: the gap to the
+  /// worker pickup becomes the request's "queue" span, and windowed
+  /// latency covers the full client-visible interval.
+  [[nodiscard]] Reply handle_line(const std::string& line,
+                                  std::uint64_t enqueued_at_us);
+  [[nodiscard]] Reply execute(const Request& request, RequestTrace& trace,
+                              bool& ok, ErrorCode& code);
+  [[nodiscard]] std::string run_evaluate(const Request& request,
+                                         RequestTrace& trace);
+  [[nodiscard]] std::string run_dimension(const Request& request,
+                                          RequestTrace& trace);
+  [[nodiscard]] std::string run_pareto(const Request& request,
+                                       RequestTrace& trace);
+  [[nodiscard]] std::string run_scenario(const Request& request,
+                                         RequestTrace& trace);
+  [[nodiscard]] std::string run_fuzz_replay(const Request& request,
+                                            RequestTrace& trace);
   [[nodiscard]] std::string run_stats(const Request& request);
+  [[nodiscard]] std::string run_trace(const Request& request);
+  [[nodiscard]] std::string run_metrics(const Request& request);
+  [[nodiscard]] std::string run_dump(const Request& request);
+
+  /// Every reply path funnels through here: flight digest, windowed
+  /// rates/latency, SLO accounting, trace push, fault dump.
+  void finish_request(const std::optional<Op>& op, RequestTrace&& trace,
+                      std::uint64_t t0_us, double deadline_ms, bool ok,
+                      ErrorCode code);
+  /// Clock for stage spans; null when the live plane is off (spans are
+  /// skipped entirely, no clock reads on the hot path).
+  [[nodiscard]] obs::WindowClock* span_clock() const noexcept {
+    return options_.enable_window ? clock_ : nullptr;
+  }
+  void append_window_gauges(std::vector<obs::ExpoGauge>& out);
 
   ServeOptions options_;
   util::ThreadPool pool_;
@@ -153,6 +246,13 @@ class Server {
   std::atomic<std::uint64_t> ok_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> op_counts_[kNumOps] = {};  // indexed by Op
+  std::atomic<std::uint64_t> slo_breach_totals_[kNumOps] = {};
+
+  obs::WindowClock* clock_;
+  FlightRecorder flight_;
+  TraceBuffer traces_;
+  std::vector<std::unique_ptr<OpWindow>> windows_;  // kNumOps + 1 entries
+  std::atomic<std::uint64_t> next_seq_{0};
 
   obs::Histogram latency_evaluate_;
   obs::Histogram latency_dimension_;
@@ -160,6 +260,9 @@ class Server {
   obs::Histogram latency_scenario_;
   obs::Histogram latency_fuzz_replay_;
   obs::Histogram latency_stats_;
+  obs::Histogram latency_trace_;
+  obs::Histogram latency_metrics_;
+  obs::Histogram latency_dump_;
 };
 
 }  // namespace windim::serve

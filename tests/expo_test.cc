@@ -1,0 +1,193 @@
+// OpenMetrics text exposition (obs/expo.h): name sanitization, label
+// escaping, counter/gauge/histogram family layout, cumulative bucket
+// monotonicity, the # EOF terminator, byte-determinism of equal
+// snapshots — and the MetricsRegistry shard-recycling contract under
+// thread churn (spawn/join loops): no count lost and a stable
+// exposition across shard reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expo.h"
+#include "obs/metrics.h"
+
+namespace windim {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return out;
+}
+
+TEST(ExpoTest, SanitizeMapsOutsideCharsetToUnderscore) {
+  EXPECT_EQ(obs::sanitize_metric_name("windim.serve.requests"),
+            "windim_serve_requests");
+  EXPECT_EQ(obs::sanitize_metric_name("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:ns"), "ok_name:ns");
+}
+
+TEST(ExpoTest, EscapeLabelValueHandlesQuotesBackslashesNewlines) {
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(ExpoTest, RendersCountersGaugesHistogramsWithEof) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("windim.jobs").add(42);
+  reg.gauge("windim.hwm").record_max(7.5);
+  const obs::Histogram h = reg.histogram("windim.lat_us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(5000.0);  // overflow
+
+  const std::string text = obs::render_openmetrics(reg.snapshot());
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+
+  // Counter family: TYPE header + _total sample.
+  EXPECT_NE(text.find("# TYPE windim_jobs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("windim_jobs_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE windim_hwm gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("windim_hwm 7.5\n"), std::string::npos);
+
+  // Histogram family: every explicit bound as a cumulative le bucket,
+  // then +Inf = count, _sum, _count.
+  EXPECT_NE(text.find("# TYPE windim_lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("windim_lat_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("windim_lat_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("windim_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("windim_lat_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("windim_lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExpoTest, BucketCountsAreCumulativeAndMonotone) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Histogram h =
+      reg.histogram("m", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 20; ++i) h.observe(static_cast<double>(i % 10));
+
+  const std::string text = obs::render_openmetrics(reg.snapshot());
+  std::uint64_t previous = 0;
+  int buckets = 0;
+  for (const std::string& line : lines_of(text)) {
+    if (line.rfind("m_bucket{", 0) != 0) continue;
+    const std::uint64_t value =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, 5);  // 4 bounds + le="+Inf"
+}
+
+TEST(ExpoTest, ExtraGaugesRenderWithLabelsAndSharedTypeHeader) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const std::vector<obs::ExpoGauge> extra = {
+      {"windim.serve.window.rate_10s", {{"op", "evaluate"}}, 2.5},
+      {"windim.serve.window.rate_10s", {{"op", "all"}}, 4.0},
+      {"windim.serve.window.p99_us_60s", {{"op", "all"}}, 120.0},
+  };
+  const std::string text = obs::render_openmetrics(reg.snapshot(), extra);
+  // One TYPE header for the two consecutive rate_10s rows.
+  std::size_t headers = 0;
+  for (const std::string& line : lines_of(text)) {
+    if (line == "# TYPE windim_serve_window_rate_10s gauge") ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(
+      text.find("windim_serve_window_rate_10s{op=\"evaluate\"} 2.5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("windim_serve_window_rate_10s{op=\"all\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("windim_serve_window_p99_us_60s{op=\"all\"} 120\n"),
+            std::string::npos);
+}
+
+TEST(ExpoTest, EqualSnapshotsRenderByteIdentical) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("c").add(3);
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  const std::string a = obs::render_openmetrics(reg.snapshot());
+  const std::string b = obs::render_openmetrics(reg.snapshot());
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------ shard churn (PR 10)
+
+// Threads that exit release their registry shard to the free list; a
+// later thread reuses it.  Across repeated spawn/join rounds no count
+// may be lost and the exposition must stay stable (same families, same
+// totals) — the daemon's connection threads churn exactly like this.
+TEST(ExpoTest, ShardRecyclingUnderThreadChurnLosesNothing) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter churn = reg.counter("churn.requests");
+  const obs::Histogram lat = reg.histogram("churn.lat_us", {10.0, 100.0});
+
+  constexpr int kRounds = 16;
+  constexpr int kThreadsPerRound = 8;
+  constexpr int kAddsPerThread = 250;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreadsPerRound);
+    for (int t = 0; t < kThreadsPerRound; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kAddsPerThread; ++i) {
+          churn.add();
+          lat.observe(50.0);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  constexpr std::uint64_t kExpected =
+      static_cast<std::uint64_t>(kRounds) * kThreadsPerRound *
+      kAddsPerThread;
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("churn.requests"), kExpected);
+  const obs::HistogramSnapshot* h = snap.histogram("churn.lat_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kExpected);
+
+  // Renderer stability across shard reuse: the exposition of two
+  // back-to-back snapshots (no traffic in between) is byte-identical,
+  // and the recycled shards did not spawn duplicate families.
+  const std::string a = obs::render_openmetrics(snap);
+  const std::string b = obs::render_openmetrics(reg.snapshot());
+  EXPECT_EQ(a, b);
+  std::size_t family_headers = 0;
+  for (const std::string& line : lines_of(a)) {
+    if (line.rfind("# TYPE churn_requests ", 0) == 0) ++family_headers;
+  }
+  EXPECT_EQ(family_headers, 1u);
+  EXPECT_NE(a.find("churn_requests_total " + std::to_string(kExpected)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace windim
